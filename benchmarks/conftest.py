@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures.
+
+Each paper artifact gets one benchmark module.  All share one session-scoped
+:class:`repro.experiments.Workbench` at the ``bench`` scale so datasets are
+rendered and steering networks trained exactly once per run; the per-figure
+benchmark then times only that experiment's own work (autoencoder training
+and scoring).
+
+Experiment reports are printed (run with ``-s`` to see them inline) and also
+collected into ``benchmarks/report.txt`` at the end of the session so the
+paper-vs-measured tables survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.config import BENCH
+from repro.experiments.harness import ExperimentResult, Workbench
+
+_REPORTS: Dict[str, ExperimentResult] = {}
+
+
+@pytest.fixture(scope="session")
+def bench_workbench() -> Workbench:
+    """Session-shared workbench at bench scale."""
+    return Workbench(BENCH, seed=0)
+
+
+@pytest.fixture
+def report():
+    """Collect an ExperimentResult for the end-of-session report file."""
+
+    def _collect(result: ExperimentResult) -> ExperimentResult:
+        _REPORTS[result.exp_id] = result
+        print()
+        print(result.render())
+        return result
+
+    return _collect
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _REPORTS:
+        return
+    # One file per experiment so partial runs never clobber other results...
+    reports_dir = Path(__file__).parent / "reports"
+    reports_dir.mkdir(exist_ok=True)
+    for exp_id, result in _REPORTS.items():
+        (reports_dir / f"{exp_id}.txt").write_text(result.render() + "\n")
+    # ...and a combined report assembled from everything measured so far.
+    blocks = [
+        path.read_text().rstrip() for path in sorted(reports_dir.glob("*.txt"))
+    ]
+    (Path(__file__).parent / "report.txt").write_text("\n\n".join(blocks) + "\n")

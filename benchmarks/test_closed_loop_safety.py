@@ -1,0 +1,24 @@
+"""Benchmark: closed-loop safety with detector hand-over (extension)."""
+
+from repro.config import BENCH
+from repro.experiments.registry import run_experiment
+
+
+def test_closed_loop_safety(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_experiment("safety", BENCH, workbench=bench_workbench),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+
+    # A clean camera keeps the car on the road...
+    assert result.metrics["offroad_clean"] == 0.0
+    # ...a blocked lens does not...
+    assert result.metrics["offroad_blocked"] > 0.05
+    # ...and the detector-triggered hand-over restores safety.
+    assert result.metrics["offroad_guarded"] == 0.0
+    assert result.metrics["max_offset_guarded"] < result.metrics["max_offset_blocked"]
+    # The hand-over must come after the fault (no pre-fault false alarm)
+    # and promptly (the persistence rule's floor is 2 frames).
+    assert 0 <= result.metrics["handover_latency"] <= 10

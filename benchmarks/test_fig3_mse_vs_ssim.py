@@ -1,0 +1,20 @@
+"""Benchmark: Figure 3 — equal-MSE noise vs brightness (see EXP-F3)."""
+
+from repro.config import BENCH
+from repro.experiments.registry import run_experiment
+
+
+def test_fig3_mse_vs_ssim(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig3", BENCH, workbench=bench_workbench),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # Both perturbations hit the paper's MSE (~91 on 0-255 intensities)...
+    assert abs(result.metrics["mse_noise_255"] - 91.0) < 5.0
+    assert abs(result.metrics["mse_brightness_255"] - 91.0) < 5.0
+    # ...but SSIM separates them: noise scores well below brightness
+    # (paper: 0.64 vs 0.98).
+    assert result.metrics["ssim_noise"] < result.metrics["ssim_brightness"]
+    assert result.metrics["ssim_gap"] > 0.03

@@ -1,0 +1,17 @@
+"""Benchmark: Figure 4 — VBP masks on both datasets (see EXP-F4)."""
+
+from repro.config import BENCH
+from repro.experiments.registry import run_experiment
+
+
+def test_fig4_vbp_masks(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig4", BENCH, workbench=bench_workbench),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # Saliency concentrates on the lane markings on both datasets — the
+    # quantified form of the paper's "reasonable activations" overlays.
+    assert result.metrics["concentration_dsu"] > 1.0
+    assert result.metrics["concentration_dsi"] > 1.0

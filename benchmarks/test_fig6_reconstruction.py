@@ -1,0 +1,17 @@
+"""Benchmark: Figure 6 — reconstruction quality comparison (EXP-F6)."""
+
+from repro.config import BENCH
+from repro.experiments.registry import run_experiment
+
+
+def test_fig6_reconstruction(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig6", BENCH, workbench=bench_workbench),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # The raw+MSE baseline reconstructs blurrily even for target-class
+    # images; the proposed VBP+SSIM system retains high-frequency structure.
+    assert result.metrics["sharpness_vbp_ssim"] > result.metrics["sharpness_raw_mse"]
+    assert result.metrics["recon_ssim_vbp_ssim"] > result.metrics["recon_ssim_raw_mse"]

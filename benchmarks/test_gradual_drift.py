@@ -1,0 +1,19 @@
+"""Benchmark: gradual-drift (dusk) detection latency (extension)."""
+
+from repro.config import BENCH
+from repro.experiments.registry import run_experiment
+
+
+def test_gradual_drift(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_experiment("drift", BENCH, workbench=bench_workbench),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # CUSUM must notice the dusk...
+    assert result.metrics["cusum_detected"] == 1.0
+    # ...no later than the per-frame persistence alarm...
+    assert result.metrics["cusum_first"] <= result.metrics["monitor_first"]
+    # ...and not during the clean prefix.
+    assert result.metrics["clean_prefix_clear"] == 1.0

@@ -1,0 +1,18 @@
+"""Benchmark: noise-sensitivity curve (extension of Figure 7)."""
+
+from repro.config import BENCH
+from repro.experiments.registry import run_experiment
+
+
+def test_noise_sweep(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_experiment("noise_sweep", BENCH, workbench=bench_workbench),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # SSIM at or above MSE along (most of) the curve — the paper's ordering
+    # holds beyond its single operating point.
+    assert result.metrics["ssim_win_fraction"] >= 0.8
+    # Separation grows with noise magnitude.
+    assert result.metrics["auroc_ssim_s0.5"] > result.metrics["auroc_ssim_s0.05"]

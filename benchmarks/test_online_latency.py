@@ -1,0 +1,19 @@
+"""Benchmark: online detection latency (extension beyond the paper)."""
+
+from repro.config import BENCH
+from repro.experiments.registry import run_experiment
+
+
+def test_online_latency(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_experiment("latency", BENCH, workbench=bench_workbench),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # Every domain switch must be caught...
+    assert result.metrics["alarm_rate"] == 1.0
+    # ...quickly (the persistence rule's floor is 2 frames)...
+    assert result.metrics["mean_latency_frames"] <= 10.0
+    # ...without alarming on clean drives.
+    assert result.metrics["clean_false_alarm_rate"] == 0.0

@@ -1,0 +1,75 @@
+"""Micro-benchmarks for the numpy substrate.
+
+Not paper artifacts — these track the throughput of the hot paths every
+experiment depends on (convolution, SSIM + gradient, autoencoder training
+steps), so performance regressions in the substrate are visible separately
+from the figure-level results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics.ssim import ssim, ssim_and_grad
+from repro.models import DenseAutoencoder
+from repro.nn import Adam, Conv2d, MSELoss, SSIMLoss, Trainer
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return np.random.default_rng(0).random((8, 24, 64))
+
+
+def test_conv2d_forward(benchmark):
+    conv = Conv2d(1, 24, 5, stride=2, rng=0)
+    x = np.random.default_rng(0).random((8, 1, 60, 160))
+    out = benchmark(conv.forward, x)
+    assert out.shape[1] == 24
+
+
+def test_conv2d_backward(benchmark):
+    conv = Conv2d(1, 24, 5, stride=2, rng=0)
+    x = np.random.default_rng(0).random((8, 1, 60, 160))
+    out = conv.forward(x)
+    grad = np.ones_like(out)
+
+    def step():
+        conv.zero_grad()
+        return conv.backward(grad)
+
+    assert benchmark(step).shape == x.shape
+
+
+def test_ssim_metric(benchmark, frames):
+    a, b = frames[:4], frames[4:]
+    scores = benchmark(ssim, a, b, 9)
+    assert scores.shape == (4,)
+
+
+def test_ssim_with_gradient(benchmark, frames):
+    a, b = frames[:4], frames[4:]
+    _, grad = benchmark(ssim_and_grad, a, b, 9)
+    assert grad.shape == a.shape
+
+
+def test_autoencoder_train_step_mse(benchmark, frames):
+    ae = DenseAutoencoder((24, 64), rng=0)
+    trainer = Trainer(ae, MSELoss(), Adam(ae.parameters(), lr=1e-3))
+    flat = frames.reshape(8, -1)
+    loss = benchmark(trainer.train_step, flat, flat)
+    assert loss >= 0.0
+
+
+def test_autoencoder_train_step_ssim(benchmark, frames):
+    ae = DenseAutoencoder((24, 64), rng=0)
+    trainer = Trainer(ae, SSIMLoss((24, 64), window_size=9), Adam(ae.parameters(), lr=1e-3))
+    flat = frames.reshape(8, -1)
+    loss = benchmark(trainer.train_step, flat, flat)
+    assert loss >= 0.0
+
+
+def test_dataset_rendering(benchmark):
+    from repro.datasets import SyntheticUdacity
+
+    dsu = SyntheticUdacity((24, 64))
+    batch = benchmark(dsu.render_batch, 8, 0)
+    assert len(batch) == 8

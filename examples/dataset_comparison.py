@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Dataset comparison: the paper's Figure 5 as a runnable script.
+
+Trains all three systems the paper compares —
+
+* raw images + MSE autoencoder  (Richter & Roy, the prior method)
+* VBP images + MSE autoencoder  (ablation: saliency helps even with MSE)
+* VBP images + SSIM autoencoder (the proposed method)
+
+— on the synthetic Udacity surrogate, scores a held-out target sample and a
+novel sample from the indoor surrogate, and prints the separation
+statistics plus an ASCII rendering of the proposed method's score
+histograms (the right panel of Figure 5).
+
+Run:  python examples/dataset_comparison.py
+"""
+
+from repro import (
+    PilotNet,
+    PilotNetConfig,
+    RichterRoyBaseline,
+    SaliencyNoveltyPipeline,
+    SyntheticIndoor,
+    SyntheticUdacity,
+    VbpMseBaseline,
+    evaluate_detector,
+    train_pilotnet,
+)
+from repro.metrics.histograms import render_ascii_histogram
+from repro.novelty import AutoencoderConfig
+
+IMAGE_SHAPE = (24, 64)
+SEED = 0
+
+
+def main() -> None:
+    print("rendering data and training the steering CNN...")
+    dsu = SyntheticUdacity(IMAGE_SHAPE)
+    dsi = SyntheticIndoor(IMAGE_SHAPE)
+    train = dsu.render_batch(160, rng=SEED)
+    test = dsu.render_batch(60, rng=SEED + 1)
+    novel = dsi.render_batch(60, rng=SEED + 2)
+
+    model = PilotNet(PilotNetConfig.for_image(IMAGE_SHAPE), rng=SEED)
+    train_pilotnet(model, train.frames, train.angles, epochs=4, batch_size=32, rng=SEED)
+
+    config = AutoencoderConfig(epochs=30, batch_size=32, ssim_window=9)
+    systems = {
+        "raw+MSE (Richter&Roy)": RichterRoyBaseline(IMAGE_SHAPE, config=config, rng=SEED),
+        "VBP+MSE (ablation)": VbpMseBaseline(model, IMAGE_SHAPE, config=config, rng=SEED),
+        "VBP+SSIM (proposed)": SaliencyNoveltyPipeline(
+            model, IMAGE_SHAPE, loss="ssim", config=config, rng=SEED
+        ),
+    }
+
+    print("fitting and evaluating the three systems...\n")
+    results = {}
+    for name, system in systems.items():
+        system.fit(train.frames)
+        results[name] = evaluate_detector(system, test.frames, novel.frames, name=name)
+        print(results[name].summary_row())
+
+    proposed = results["VBP+SSIM (proposed)"]
+    print("\nscore histograms for the proposed method "
+          "('#' = target DSU, '*' = novel DSI):\n")
+    print(render_ascii_histogram(proposed.comparison, width=34,
+                                 label_target="DSU (target)", label_novel="DSI (novel)"))
+
+    print(
+        "\nexpected shape (paper Figure 5): separation improves "
+        "raw+MSE -> VBP+MSE -> VBP+SSIM; the proposed method flags "
+        "essentially every novel frame at ~0% false positives."
+    )
+
+
+if __name__ == "__main__":
+    main()

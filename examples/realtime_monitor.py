@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Real-time monitoring: novelty detection on a simulated drive.
+
+The paper picks VBP over slower saliency methods specifically for
+"real-world systems where real-time decision making is required".  This
+example simulates that deployment: a drive that starts in the training
+domain (outdoor/DSU), suffers a brief sensor-noise burst, recovers, and
+then enters an entirely unseen environment (indoor/DSI).  A
+:class:`repro.novelty.StreamMonitor` scores each incoming frame and raises
+a persistence alarm when novelty lasts — single-frame glitches warn but do
+not alarm.
+
+Run:  python examples/realtime_monitor.py
+"""
+
+import numpy as np
+
+from repro import (
+    PilotNet,
+    PilotNetConfig,
+    SaliencyNoveltyPipeline,
+    SyntheticIndoor,
+    SyntheticUdacity,
+    train_pilotnet,
+)
+from repro.datasets import add_gaussian_noise
+from repro.novelty import AutoencoderConfig, StreamMonitor
+
+IMAGE_SHAPE = (24, 64)
+SEED = 0
+
+
+def build_drive(dsu, dsi):
+    """A 60-frame drive: 20 clean, 5 noisy, 10 clean, 25 out-of-domain."""
+    clean_a = dsu.render_batch(20, rng=SEED + 10).frames
+    burst = add_gaussian_noise(dsu.render_batch(5, rng=SEED + 11).frames, 0.5, rng=SEED)
+    clean_b = dsu.render_batch(10, rng=SEED + 12).frames
+    unseen = dsi.render_batch(25, rng=SEED + 13).frames
+    frames = np.concatenate([clean_a, burst, clean_b, unseen])
+    phases = ["clean"] * 20 + ["noise-burst"] * 5 + ["clean"] * 10 + ["new-domain"] * 25
+    return frames, phases
+
+
+def main() -> None:
+    print("training the steering CNN and fitting the detector...")
+    dsu = SyntheticUdacity(IMAGE_SHAPE)
+    dsi = SyntheticIndoor(IMAGE_SHAPE)
+    train = dsu.render_batch(160, rng=SEED)
+
+    model = PilotNet(PilotNetConfig.for_image(IMAGE_SHAPE), rng=SEED)
+    train_pilotnet(model, train.frames, train.angles, epochs=4, batch_size=32, rng=SEED)
+    pipeline = SaliencyNoveltyPipeline(
+        model,
+        IMAGE_SHAPE,
+        loss="ssim",
+        config=AutoencoderConfig(epochs=30, batch_size=32, ssim_window=9),
+        rng=SEED,
+    )
+    pipeline.fit(train.frames)
+
+    monitor = StreamMonitor(pipeline, window=5, min_consecutive=3)
+    frames, phases = build_drive(dsu, dsi)
+
+    print("\nstreaming the drive through the monitor:\n")
+    print(f"{'frame':>5} {'phase':<12} {'score':>8} {'novel':>6} {'alarm':>6}")
+    first_alarm = None
+    for verdict, phase in zip(monitor.observe_batch(frames), phases):
+        marker = "  <-- ALARM" if verdict.alarm else ""
+        if verdict.alarm and first_alarm is None:
+            first_alarm = verdict.index
+        if verdict.is_novel or verdict.index % 10 == 0:
+            print(
+                f"{verdict.index:>5} {phase:<12} {verdict.score:>8.4f} "
+                f"{str(verdict.is_novel):>6} {str(verdict.alarm):>6}{marker}"
+            )
+
+    domain_change = 35  # the drive enters the unseen environment here
+    print(f"\nframes seen: {monitor.frames_seen}")
+    print(f"alarm frames: {monitor.alarm_frames}")
+    if first_alarm is None:
+        print("no persistent alarm raised (unexpected at these settings)")
+    else:
+        print(
+            f"first alarm at frame {first_alarm} — the unseen environment "
+            f"begins at frame {domain_change}, so the hand-over latency is "
+            f"{max(first_alarm - domain_change, 0)} frames. A brief noise "
+            "burst may warn per-frame without sustaining an alarm."
+        )
+
+
+if __name__ == "__main__":
+    main()

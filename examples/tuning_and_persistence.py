@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Tuning and deployment: search hyperparameters, save the winner, reload.
+
+The workflow a team adopting this library would actually run:
+
+1. grid-search the one-class stage's hyperparameters on held-out data;
+2. refit the best configuration;
+3. persist the fitted pipeline (autoencoder weights + decision threshold)
+   and the steering model to disk;
+4. reload both in a fresh "deployment" context and verify the decisions
+   match bit-for-bit.
+
+Run:  python examples/tuning_and_persistence.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    PilotNet,
+    PilotNetConfig,
+    SaliencyNoveltyPipeline,
+    SyntheticIndoor,
+    SyntheticUdacity,
+    train_pilotnet,
+)
+from repro.nn import load_model, save_model
+from repro.novelty import AutoencoderConfig, load_pipeline_state, save_pipeline_state
+from repro.tuning import grid_search, render_leaderboard
+
+IMAGE_SHAPE = (24, 64)
+SEED = 0
+OUT = Path("out/deployment")
+
+
+def main() -> None:
+    print("preparing data and the steering model...")
+    dsu = SyntheticUdacity(IMAGE_SHAPE)
+    train = dsu.render_batch(160, rng=SEED)
+    test = dsu.render_batch(50, rng=SEED + 1)
+    novel = SyntheticIndoor(IMAGE_SHAPE).render_batch(50, rng=SEED + 2)
+
+    model = PilotNet(PilotNetConfig.for_image(IMAGE_SHAPE), rng=SEED)
+    train_pilotnet(model, train.frames, train.angles, epochs=4, batch_size=32, rng=SEED)
+
+    # -- 1. hyperparameter search -----------------------------------------
+    print("grid-searching the one-class stage (8 candidates)...\n")
+    trials = grid_search(
+        model,
+        IMAGE_SHAPE,
+        train_frames=train.frames,
+        test_frames=test.frames,
+        novel_frames=novel.frames,
+        grid={
+            "loss": ["ssim", "mse"],
+            "hidden": [(64, 16, 64), (32, 8, 32)],
+            "learning_rate": [1e-3, 3e-3],
+        },
+        base_config=AutoencoderConfig(epochs=20, batch_size=32, ssim_window=9),
+        rng=SEED,
+    )
+    print(render_leaderboard(trials, top=5))
+    best = trials[0]
+    print(f"\nbest configuration: {best.params}")
+
+    # -- 2. refit the winner ----------------------------------------------
+    config = AutoencoderConfig(
+        epochs=20, batch_size=32, ssim_window=9,
+        hidden=best.params.get("hidden", (64, 16, 64)),
+        learning_rate=best.params.get("learning_rate", 1e-3),
+    )
+    pipeline = SaliencyNoveltyPipeline(
+        model, IMAGE_SHAPE, loss=best.params.get("loss", "ssim"),
+        config=config, rng=SEED,
+    )
+    pipeline.fit(train.frames)
+
+    # -- 3. persist ---------------------------------------------------------
+    model_path = save_and_report(model, pipeline)
+
+    # -- 4. reload in a fresh context and verify ----------------------------
+    print("\nreloading in a fresh deployment context...")
+    fresh_model = PilotNet(PilotNetConfig.for_image(IMAGE_SHAPE), rng=123)
+    load_model(fresh_model, model_path)
+    restored = load_pipeline_state(OUT / "pipeline.npz", fresh_model)
+
+    original_decisions = pipeline.predict_novel(novel.frames)
+    restored_decisions = restored.predict_novel(novel.frames)
+    match = bool(np.array_equal(original_decisions, restored_decisions))
+    print(f"decisions identical after reload: {match}")
+    print(f"novel detection rate: {restored_decisions.mean():.1%}")
+
+
+def save_and_report(model, pipeline) -> Path:
+    model_path = OUT / "steering_model.npz"
+    save_model(model, model_path)
+    save_pipeline_state(pipeline, OUT / "pipeline.npz")
+    print(f"\nsaved steering model -> {model_path}")
+    print(f"saved fitted pipeline -> {OUT / 'pipeline.npz'}")
+    return model_path
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""repro — reproduction of "Novelty Detection via Network Saliency in
+Visual-based Deep Learning" (Chen, Yoon, Shao; DSN 2019).
+
+The package implements the paper's two-layer novelty-detection framework
+and every substrate it relies on:
+
+* :mod:`repro.nn` — a from-scratch numpy deep-learning framework (layers,
+  losses including differentiable SSIM, optimizers, training loop);
+* :mod:`repro.models` — the PilotNet-style steering CNN and the 64-16-64
+  one-class autoencoder;
+* :mod:`repro.saliency` — VisualBackProp plus LRP/gradient baselines;
+* :mod:`repro.metrics` — SSIM, MSE, empirical CDFs, ROC, histogram
+  separation, sharpness;
+* :mod:`repro.datasets` — synthetic stand-ins for the Udacity (DSU) and
+  in-house indoor (DSI) driving datasets, with perturbations and FGSM;
+* :mod:`repro.novelty` — the proposed pipeline and the paper's baselines;
+* :mod:`repro.experiments` — one runnable experiment per paper figure.
+
+Quickstart
+----------
+>>> from repro import (
+...     SyntheticUdacity, SyntheticIndoor, PilotNet, PilotNetConfig,
+...     train_pilotnet, SaliencyNoveltyPipeline,
+... )
+>>> dsu = SyntheticUdacity((24, 64))
+>>> batch = dsu.render_batch(100, rng=0)
+>>> net = PilotNet(PilotNetConfig.for_image((24, 64)), rng=0)
+>>> _ = train_pilotnet(net, batch.frames, batch.angles, epochs=3, rng=0)
+>>> pipeline = SaliencyNoveltyPipeline(net, (24, 64), rng=0).fit(batch.frames)
+>>> novel = SyntheticIndoor((24, 64)).render_batch(10, rng=1)
+>>> bool(pipeline.predict_novel(novel.frames).mean() > 0.5)
+True
+"""
+
+from repro.config import BENCH, CI, PAPER, Scale, get_scale
+from repro.datasets import SyntheticIndoor, SyntheticUdacity
+from repro.exceptions import (
+    ConfigurationError,
+    ExperimentError,
+    NotFittedError,
+    ReproError,
+    SerializationError,
+    ShapeError,
+)
+from repro.metrics import auroc, mse, psnr, ssim
+from repro.models import ConvAutoencoder, DenseAutoencoder, PilotNet, PilotNetConfig
+from repro.models.pilotnet import train_pilotnet
+from repro.novelty import (
+    AutoencoderConfig,
+    NoveltyDetector,
+    OneClassAutoencoder,
+    RichterRoyBaseline,
+    SaliencyNoveltyPipeline,
+    VbpMseBaseline,
+    evaluate_detector,
+)
+from repro.saliency import GradientSaliency, LayerwiseRelevancePropagation, VisualBackProp
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCH",
+    "CI",
+    "PAPER",
+    "Scale",
+    "get_scale",
+    "SyntheticIndoor",
+    "SyntheticUdacity",
+    "ConfigurationError",
+    "ExperimentError",
+    "NotFittedError",
+    "ReproError",
+    "SerializationError",
+    "ShapeError",
+    "auroc",
+    "mse",
+    "psnr",
+    "ssim",
+    "ConvAutoencoder",
+    "DenseAutoencoder",
+    "PilotNet",
+    "PilotNetConfig",
+    "train_pilotnet",
+    "AutoencoderConfig",
+    "NoveltyDetector",
+    "OneClassAutoencoder",
+    "RichterRoyBaseline",
+    "SaliencyNoveltyPipeline",
+    "VbpMseBaseline",
+    "evaluate_detector",
+    "GradientSaliency",
+    "LayerwiseRelevancePropagation",
+    "VisualBackProp",
+    "__version__",
+]

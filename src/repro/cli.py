@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiment``
+    Run one reproduction experiment (or all) at a chosen scale preset and
+    print its paper-style report.
+``render``
+    Render sample frames from a synthetic dataset to PGM files for visual
+    inspection.
+``masks``
+    Train a steering CNN and export VBP saliency masks and overlays (the
+    paper's Figure 4 artifact) as PGM/PPM files.
+``demo``
+    The quickstart flow: train everything, print detection statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.config import PRESETS, get_scale
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Novelty Detection via Network Saliency in "
+            "Visual-based Deep Learning' (Chen, Yoon, Shao; DSN 2019)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="run a reproduction experiment")
+    exp.add_argument(
+        "exp_id",
+        help="experiment id (fig2..fig7, reverse, timing, ablations) or 'all'",
+    )
+    exp.add_argument(
+        "--scale", choices=sorted(PRESETS), default="bench",
+        help="scale preset (default: bench)",
+    )
+    exp.add_argument("--seed", type=int, default=0, help="root random seed")
+    exp.add_argument(
+        "--markdown", type=Path, default=None, metavar="PATH",
+        help="also write the results as a markdown report",
+    )
+
+    render = sub.add_parser("render", help="render dataset frames to PGM files")
+    render.add_argument("dataset", choices=["dsu", "dsi"], help="which surrogate")
+    render.add_argument("--count", type=int, default=4, help="frames to render")
+    render.add_argument("--scale", choices=sorted(PRESETS), default="paper")
+    render.add_argument("--seed", type=int, default=0)
+    render.add_argument("--out", type=Path, default=Path("out/frames"))
+    render.add_argument(
+        "--drive", action="store_true",
+        help="render a temporally coherent drive instead of i.i.d. frames",
+    )
+
+    masks = sub.add_parser("masks", help="export VBP masks and overlays")
+    masks.add_argument("dataset", choices=["dsu", "dsi"])
+    masks.add_argument("--count", type=int, default=4)
+    masks.add_argument("--scale", choices=sorted(PRESETS), default="bench")
+    masks.add_argument("--seed", type=int, default=0)
+    masks.add_argument("--out", type=Path, default=Path("out/masks"))
+
+    demo = sub.add_parser("demo", help="run the end-to-end detection demo")
+    demo.add_argument("--scale", choices=sorted(PRESETS), default="bench")
+    demo.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+    from repro.experiments.report import write_markdown_report
+
+    if args.exp_id == "all":
+        results = run_all(args.scale, rng=args.seed)
+    elif args.exp_id in EXPERIMENTS:
+        results = {
+            args.exp_id: run_experiment(args.exp_id, args.scale, rng=args.seed)
+        }
+    else:
+        known = ", ".join(sorted(EXPERIMENTS))
+        print(f"unknown experiment {args.exp_id!r}; known: {known}, all", file=sys.stderr)
+        return 2
+
+    for result in results.values():
+        print(result.render())
+        print()
+    if args.markdown is not None:
+        path = write_markdown_report(
+            results, args.markdown, scale=get_scale(args.scale),
+            title=f"Reproduction results ({args.scale} scale)",
+        )
+        print(f"markdown report written to {path}")
+    return 0
+
+
+def _dataset(name: str, image_shape):
+    from repro.datasets import SyntheticIndoor, SyntheticUdacity
+
+    cls = SyntheticUdacity if name == "dsu" else SyntheticIndoor
+    return cls(image_shape)
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro import viz
+
+    scale = get_scale(args.scale)
+    dataset = _dataset(args.dataset, scale.image_shape)
+    if args.drive:
+        batch = dataset.render_drive(args.count, rng=args.seed)
+    else:
+        batch = dataset.render_batch(args.count, rng=args.seed)
+    for i, frame in enumerate(batch.frames):
+        path = viz.save_pgm(frame, args.out / f"{args.dataset}_{i:03d}.pgm")
+        print(f"wrote {path}  (angle {batch.angles[i]:+.3f})")
+    return 0
+
+
+def _cmd_masks(args: argparse.Namespace) -> int:
+    from repro import viz
+    from repro.experiments.harness import Workbench
+    from repro.saliency import VisualBackProp
+
+    scale = get_scale(args.scale)
+    workbench = Workbench(scale, seed=args.seed)
+    print(f"training the steering CNN on {args.dataset.upper()}...")
+    model = workbench.steering_model(args.dataset)
+    batch = workbench.batch(args.dataset, "test")
+    frames = batch.frames[: args.count]
+    masks = VisualBackProp(model).saliency(frames)
+    for i, (frame, mask) in enumerate(zip(frames, masks)):
+        frame_path = viz.save_pgm(frame, args.out / f"{args.dataset}_{i:03d}_input.pgm")
+        mask_path = viz.save_pgm(mask, args.out / f"{args.dataset}_{i:03d}_mask.pgm")
+        overlay_path = viz.save_overlay_ppm(
+            frame, mask, args.out / f"{args.dataset}_{i:03d}_overlay.ppm"
+        )
+        print(f"wrote {frame_path}, {mask_path}, {overlay_path}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import Workbench
+    from repro.novelty import SaliencyNoveltyPipeline, evaluate_detector
+
+    scale = get_scale(args.scale)
+    workbench = Workbench(scale, seed=args.seed)
+    print("training the steering CNN...")
+    model = workbench.steering_model("dsu")
+    print("fitting the proposed detector (VBP + SSIM autoencoder)...")
+    pipeline = SaliencyNoveltyPipeline(
+        model, scale.image_shape, loss="ssim",
+        config=workbench.autoencoder_config(), rng=args.seed,
+    )
+    pipeline.fit(workbench.batch("dsu", "train").frames)
+    result = evaluate_detector(
+        pipeline,
+        workbench.batch("dsu", "test").frames,
+        workbench.batch("dsi", "novel").frames,
+        name="VBP+SSIM (proposed)",
+    )
+    print()
+    print(result.summary_row())
+    return 0
+
+
+_COMMANDS = {
+    "experiment": _cmd_experiment,
+    "render": _cmd_render,
+    "masks": _cmd_masks,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Synthetic driving datasets and input perturbations.
+
+The paper evaluates on two datasets this environment cannot provide — the
+public Udacity driving set (``DSU``, real Mountain View footage) and the
+authors' in-house indoor model-car track (``DSI``).  This package renders
+procedural surrogates with the properties the experiments actually exercise:
+
+* :class:`SyntheticUdacity` — outdoor scenes: perspective roads with lane
+  markings, textured terrain, sky/cloud clutter, and brightness variation
+  (the "irrelevant features" the paper argues raw-image autoencoders trip
+  over);
+* :class:`SyntheticIndoor` — indoor scenes: a tape-marked track on a clean
+  floor with walls and furniture, visually disjoint from the outdoor set.
+
+Each rendered sample carries the frame, the ground-truth steering angle
+(derived from the road curvature), and a ground-truth road-region mask that
+lets the benchmarks *quantify* the paper's qualitative saliency figures.
+
+:mod:`repro.datasets.perturbations` implements the paper's image
+modifications (Gaussian noise, brightness, and the rotation/translation/
+occlusion/blur family its introduction cites as adversarial threats), and
+:mod:`repro.datasets.adversarial` implements FGSM on the numpy network.
+"""
+
+from repro.datasets.augmentation import augment_with_flips, horizontal_flip, random_flip_epoch
+from repro.datasets.base import DrivingDataset, DrivingSample, RenderedBatch
+from repro.datasets.perturbations import (
+    add_gaussian_noise,
+    adjust_brightness,
+    adjust_contrast,
+    apply_blur,
+    calibrate_brightness_to_mse,
+    calibrate_noise_to_mse,
+    occlude,
+    rotate,
+    salt_and_pepper,
+    translate,
+)
+from repro.datasets.road_geometry import CameraModel, RoadGeometry, TrackProfile
+from repro.datasets.weather import add_fog, add_rain, add_shadow
+from repro.datasets.store import load_batch, save_batch
+from repro.datasets.synthetic_indoor import SyntheticIndoor
+from repro.datasets.synthetic_udacity import SyntheticUdacity
+
+__all__ = [
+    "augment_with_flips",
+    "horizontal_flip",
+    "random_flip_epoch",
+    "DrivingDataset",
+    "DrivingSample",
+    "RenderedBatch",
+    "add_gaussian_noise",
+    "adjust_brightness",
+    "adjust_contrast",
+    "salt_and_pepper",
+    "apply_blur",
+    "calibrate_brightness_to_mse",
+    "calibrate_noise_to_mse",
+    "occlude",
+    "rotate",
+    "translate",
+    "CameraModel",
+    "RoadGeometry",
+    "TrackProfile",
+    "add_fog",
+    "add_rain",
+    "add_shadow",
+    "SyntheticIndoor",
+    "SyntheticUdacity",
+    "load_batch",
+    "save_batch",
+]

@@ -1,0 +1,85 @@
+"""Adversarial example generation on the numpy network.
+
+The paper's introduction motivates novelty detection partly by adversarial
+fragility: "simple adversarial attacks such as the addition of noise can
+drastically change the prediction of the model".  This module implements
+the Fast Gradient Sign Method (Goodfellow et al.) against the steering
+regressor, so the examples and benchmarks can test whether the detector
+flags adversarially perturbed frames.
+
+For a regression model, FGSM *maximizes* the prediction error by stepping
+along the sign of the loss gradient with respect to the input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.losses import MSELoss
+from repro.nn.model import Sequential
+
+
+def fgsm_attack(
+    model: Sequential,
+    frames: np.ndarray,
+    targets: np.ndarray,
+    epsilon: float = 0.05,
+    clip: bool = True,
+) -> np.ndarray:
+    """FGSM perturbation of driving frames against a steering regressor.
+
+    Parameters
+    ----------
+    model:
+        The trained prediction network (input ``(N, 1, H, W)``).
+    frames:
+        Clean frames, ``(N, H, W)`` or ``(N, 1, H, W)``, values in [0, 1].
+    targets:
+        True steering angles, shape ``(N,)`` or ``(N, 1)``.
+    epsilon:
+        L-infinity perturbation budget.
+
+    Returns
+    -------
+    Perturbed frames with the same shape as the input.
+    """
+    if epsilon <= 0:
+        raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+    frames = np.asarray(frames, dtype=np.float64)
+    squeeze = frames.ndim == 3
+    batch = frames[:, None, :, :] if squeeze else frames
+    if batch.ndim != 4:
+        raise ShapeError(f"frames must be (N, H, W) or (N, 1, H, W), got {frames.shape}")
+    targets = np.asarray(targets, dtype=np.float64).reshape(batch.shape[0], 1)
+
+    loss = MSELoss()
+    pred = model.forward(batch, training=False)
+    loss.forward(pred, targets)
+    grad_input = model.backward(loss.backward())
+    model.zero_grad()  # parameter grads from this pass are not wanted
+
+    adversarial = batch + epsilon * np.sign(grad_input)
+    if clip:
+        adversarial = np.clip(adversarial, 0.0, 1.0)
+    return adversarial[:, 0, :, :] if squeeze else adversarial
+
+
+def prediction_shift(model: Sequential, clean: np.ndarray, perturbed: np.ndarray) -> np.ndarray:
+    """Absolute change in predicted steering angle caused by a perturbation.
+
+    A quick measure of attack effectiveness used in the adversarial
+    example script.
+    """
+    clean = np.asarray(clean, dtype=np.float64)
+    perturbed = np.asarray(perturbed, dtype=np.float64)
+    if clean.shape != perturbed.shape:
+        raise ShapeError(
+            f"clean and perturbed must align, got {clean.shape} vs {perturbed.shape}"
+        )
+    if clean.ndim == 3:
+        clean = clean[:, None, :, :]
+        perturbed = perturbed[:, None, :, :]
+    before = model.predict(clean)[:, 0]
+    after = model.predict(perturbed)[:, 0]
+    return np.abs(after - before)

@@ -1,0 +1,66 @@
+"""Training-data augmentation for the steering task.
+
+The synthetic road geometry is left/right symmetric: mirroring a frame
+horizontally produces a valid scene whose correct steering command is the
+negation of the original (curvature, lane offset and heading all flip
+sign).  Horizontal-flip augmentation therefore doubles the effective
+dataset for free and, more importantly, removes any left/right bias from
+the curvature distribution the renderer happened to sample — the standard
+trick used when training real lane-keeping networks (including the PilotNet
+lineage this repo reproduces).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.utils.seeding import RngLike, derive_rng
+
+
+def horizontal_flip(frames: np.ndarray, angles: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Mirror frames left-right and negate the steering labels."""
+    frames = np.asarray(frames, dtype=np.float64)
+    angles = np.asarray(angles, dtype=np.float64)
+    if frames.ndim != 3:
+        raise ShapeError(f"horizontal_flip expects (N, H, W) frames, got {frames.shape}")
+    if angles.shape != (frames.shape[0],):
+        raise ShapeError(
+            f"angles must be ({frames.shape[0]},), got {angles.shape}"
+        )
+    return frames[:, :, ::-1].copy(), -angles
+
+
+def augment_with_flips(
+    frames: np.ndarray, angles: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate the originals with their mirrored copies (2N samples)."""
+    flipped_frames, flipped_angles = horizontal_flip(frames, angles)
+    return (
+        np.concatenate([frames, flipped_frames]),
+        np.concatenate([np.asarray(angles, dtype=np.float64), flipped_angles]),
+    )
+
+
+def random_flip_epoch(
+    frames: np.ndarray, angles: np.ndarray, rng: RngLike = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flip a random half of the batch in place of full doubling.
+
+    Keeps the dataset size constant (useful when memory, not samples, is
+    the constraint) while still balancing the left/right statistics in
+    expectation.
+    """
+    frames = np.asarray(frames, dtype=np.float64)
+    angles = np.asarray(angles, dtype=np.float64)
+    if frames.ndim != 3:
+        raise ShapeError(f"random_flip_epoch expects (N, H, W) frames, got {frames.shape}")
+    generator = derive_rng(rng, stream="flip")
+    mask = generator.random(frames.shape[0]) < 0.5
+    out_frames = frames.copy()
+    out_angles = angles.copy()
+    out_frames[mask] = frames[mask][:, :, ::-1]
+    out_angles[mask] = -angles[mask]
+    return out_frames, out_angles

@@ -1,0 +1,141 @@
+"""Dataset abstractions shared by the synthetic renderers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.datasets.road_geometry import CameraModel, RoadGeometry
+from repro.exceptions import ConfigurationError
+from repro.utils.seeding import RngLike, derive_rng
+
+
+@dataclass(frozen=True)
+class DrivingSample:
+    """One rendered driving frame with its labels.
+
+    Attributes
+    ----------
+    frame:
+        Grayscale image in [0, 1], shape ``(H, W)``.
+    steering_angle:
+        Ground-truth steering label (the regression target).
+    road_mask:
+        Boolean ``(H, W)`` mask of the drivable road region — ground truth
+        the real datasets lack, used to quantify saliency alignment.
+    marking_mask:
+        Boolean ``(H, W)`` mask of the painted lane markings / track tape —
+        the "edge of the road" features the paper's Figure 2 says VBP
+        should extract.
+    """
+
+    frame: np.ndarray
+    steering_angle: float
+    road_mask: np.ndarray
+    marking_mask: np.ndarray
+
+
+@dataclass(frozen=True)
+class RenderedBatch:
+    """A batch of rendered samples as stacked arrays."""
+
+    frames: np.ndarray
+    angles: np.ndarray
+    road_masks: np.ndarray
+    marking_masks: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.frames.shape[0])
+
+
+class DrivingDataset:
+    """Base class for procedural driving-scene renderers.
+
+    Subclasses implement :meth:`_render_one`; the base class provides batch
+    rendering with deterministic per-sample seeds, so
+    ``dataset.render_batch(n, rng=42)`` is bit-reproducible and sample ``i``
+    does not depend on how many other samples were drawn.
+    """
+
+    #: Human-readable dataset name ("DSU" / "DSI" in the paper's notation).
+    name: str = "driving"
+
+    def __init__(self, image_shape: Tuple[int, int], camera: CameraModel = None) -> None:
+        h, w = int(image_shape[0]), int(image_shape[1])
+        if h < 8 or w < 8:
+            raise ConfigurationError(f"image_shape too small: {image_shape}")
+        self.image_shape = (h, w)
+        self.camera = camera or CameraModel(image_shape=(h, w))
+        self.geometry = self._build_geometry()
+
+    def _build_geometry(self) -> RoadGeometry:
+        """Road geometry parameters; subclasses override to retune."""
+        return RoadGeometry(self.camera)
+
+    def _render_scene(
+        self, profile, rng: np.random.Generator
+    ) -> DrivingSample:
+        """Render a frame for a given viewing situation (subclass hook)."""
+        raise NotImplementedError
+
+    def _render_one(self, rng: np.random.Generator) -> DrivingSample:
+        """Render a frame with an i.i.d.-sampled viewing situation."""
+        profile = self.geometry.sample_profile(rng)
+        return self._render_scene(profile, rng)
+
+    def sample(self, rng: RngLike = None) -> DrivingSample:
+        """Render a single sample."""
+        return self._render_one(derive_rng(rng))
+
+    def render_drive(self, n_frames: int, rng: RngLike = None, dt: float = 0.1) -> RenderedBatch:
+        """Render a temporally coherent drive of ``n_frames``.
+
+        The viewing situation evolves smoothly (see
+        :meth:`repro.datasets.RoadGeometry.simulate_drive`) while the scene
+        decoration — clutter, textures, lighting — is drawn from a single
+        per-drive seed, so consecutive frames depict the same stretch of
+        world from a moving car rather than independent scenes.
+        """
+        if n_frames < 1:
+            raise ConfigurationError(f"n_frames must be >= 1, got {n_frames}")
+        root = derive_rng(rng, stream=f"{self.name}-drive")
+        scene_seed = int(root.integers(0, 2**62))
+        profiles = self.geometry.simulate_drive(n_frames, rng=root, dt=dt)
+
+        frames = np.empty((n_frames,) + self.image_shape, dtype=np.float64)
+        angles = np.empty(n_frames, dtype=np.float64)
+        masks = np.empty((n_frames,) + self.image_shape, dtype=bool)
+        markings = np.empty((n_frames,) + self.image_shape, dtype=bool)
+        for i, profile in enumerate(profiles):
+            # The same scene seed each frame keeps decoration static; only
+            # the road geometry (and hence the label) changes.
+            sample = self._render_scene(profile, np.random.default_rng(scene_seed))
+            frames[i] = sample.frame
+            angles[i] = sample.steering_angle
+            masks[i] = sample.road_mask
+            markings[i] = sample.marking_mask
+        return RenderedBatch(
+            frames=frames, angles=angles, road_masks=masks, marking_masks=markings
+        )
+
+    def render_batch(self, n: int, rng: RngLike = None) -> RenderedBatch:
+        """Render ``n`` samples into stacked arrays."""
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        root = derive_rng(rng, stream=self.name)
+        seeds = root.integers(0, 2**62, size=n)
+        frames = np.empty((n,) + self.image_shape, dtype=np.float64)
+        angles = np.empty(n, dtype=np.float64)
+        masks = np.empty((n,) + self.image_shape, dtype=bool)
+        markings = np.empty((n,) + self.image_shape, dtype=bool)
+        for i, seed in enumerate(seeds):
+            sample = self._render_one(np.random.default_rng(int(seed)))
+            frames[i] = sample.frame
+            angles[i] = sample.steering_angle
+            masks[i] = sample.road_mask
+            markings[i] = sample.marking_mask
+        return RenderedBatch(
+            frames=frames, angles=angles, road_masks=masks, marking_masks=markings
+        )

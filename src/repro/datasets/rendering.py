@@ -1,0 +1,154 @@
+"""Procedural rendering primitives shared by both dataset renderers.
+
+Everything here is vectorized over whole images: value-noise textures,
+cloud fields, rectangle sprites, and the row-wise ground-plane fill that
+paints roads from :class:`repro.datasets.road_geometry.RoadGeometry`
+outputs.  Images are float64 grayscale in [0, 1].
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.image.ops import resize_bilinear
+from repro.utils.seeding import RngLike, derive_rng
+
+
+def value_noise(
+    shape: Tuple[int, int],
+    cells: Tuple[int, int],
+    rng: RngLike = None,
+    octaves: int = 1,
+) -> np.ndarray:
+    """Smooth value noise in [0, 1]: random coarse grids upsampled bilinearly.
+
+    ``cells`` controls the base frequency; additional ``octaves`` add
+    halved-amplitude, doubled-frequency detail (classic fractal noise).
+    """
+    h, w = int(shape[0]), int(shape[1])
+    ch, cw = int(cells[0]), int(cells[1])
+    if ch < 2 or cw < 2:
+        raise ConfigurationError(f"cells must be >= 2, got {cells}")
+    if octaves < 1:
+        raise ConfigurationError(f"octaves must be >= 1, got {octaves}")
+    generator = derive_rng(rng)
+    out = np.zeros((h, w), dtype=np.float64)
+    amplitude, total = 1.0, 0.0
+    for octave in range(octaves):
+        grid_h = min(ch * 2**octave, h)
+        grid_w = min(cw * 2**octave, w)
+        coarse = generator.random((grid_h, grid_w))
+        out += amplitude * resize_bilinear(coarse, (h, w))
+        total += amplitude
+        amplitude *= 0.5
+    return out / total
+
+
+def cloud_field(
+    shape: Tuple[int, int], rng: RngLike = None, coverage: float = 0.45
+) -> np.ndarray:
+    """A soft cloud-brightness field in [0, 1] (0 = clear sky).
+
+    Thresholded smooth noise with soft shoulders — the classic "irrelevant
+    feature" the paper says should not influence steering.
+    """
+    if not 0.0 <= coverage <= 1.0:
+        raise ConfigurationError(f"coverage must be in [0, 1], got {coverage}")
+    noise = value_noise(shape, cells=(3, 5), rng=rng, octaves=3)
+    threshold = np.quantile(noise, 1.0 - coverage) if coverage > 0 else noise.max() + 1.0
+    soft = (noise - threshold) / 0.15
+    return np.clip(soft, 0.0, 1.0)
+
+
+def draw_rectangle(
+    image: np.ndarray,
+    top: int,
+    left: int,
+    height: int,
+    width: int,
+    value: float,
+    blend: float = 1.0,
+) -> None:
+    """Paint an axis-aligned rectangle in place, clipped to the image.
+
+    ``blend`` mixes the rectangle value with the existing content
+    (1.0 = opaque).
+    """
+    if height < 1 or width < 1:
+        return
+    h, w = image.shape
+    r0, r1 = max(top, 0), min(top + height, h)
+    c0, c1 = max(left, 0), min(left + width, w)
+    if r0 >= r1 or c0 >= c1:
+        return
+    region = image[r0:r1, c0:c1]
+    image[r0:r1, c0:c1] = (1.0 - blend) * region + blend * value
+
+
+def ground_fill(
+    shape: Tuple[int, int],
+    rows: np.ndarray,
+    left_cols: np.ndarray,
+    right_cols: np.ndarray,
+) -> np.ndarray:
+    """Boolean mask of the region between two per-row column boundaries.
+
+    Used to paint the road surface and to produce ground-truth road masks
+    for the saliency-alignment experiments.
+    """
+    h, w = int(shape[0]), int(shape[1])
+    mask = np.zeros((h, w), dtype=bool)
+    cols = np.arange(w)[None, :]
+    rows = np.asarray(rows, dtype=int)
+    inside = (cols >= left_cols[:, None]) & (cols <= right_cols[:, None])
+    valid = (rows >= 0) & (rows < h)
+    mask[rows[valid]] = inside[valid]
+    return mask
+
+
+def band_mask(
+    shape: Tuple[int, int],
+    rows: np.ndarray,
+    center_cols: np.ndarray,
+    half_width_px: np.ndarray,
+    dash: Tuple[np.ndarray, float, float] = None,
+) -> np.ndarray:
+    """Boolean mask of a (possibly dashed) band following per-row centers.
+
+    Parameters
+    ----------
+    center_cols, half_width_px:
+        Per-row band center column and half width in pixels.
+    dash:
+        Optional ``(distances, period, duty)`` — rows whose ground distance
+        falls in the "off" phase of the dash cycle are excluded, producing
+        dashed lane markings.
+    """
+    h, w = int(shape[0]), int(shape[1])
+    mask = np.zeros((h, w), dtype=bool)
+    cols = np.arange(w)[None, :]
+    rows = np.asarray(rows, dtype=int)
+    near = np.abs(cols - center_cols[:, None]) <= half_width_px[:, None]
+    if dash is not None:
+        distances, period, duty = dash
+        if period <= 0 or not 0.0 < duty <= 1.0:
+            raise ConfigurationError(f"invalid dash spec: period={period}, duty={duty}")
+        on = (np.mod(distances, period) / period) < duty
+        near &= on[:, None]
+    valid = (rows >= 0) & (rows < h)
+    mask[rows[valid]] = near[valid]
+    return mask
+
+
+def vignette(shape: Tuple[int, int], strength: float = 0.15) -> np.ndarray:
+    """Multiplicative vignette field (1 at center, darker at corners)."""
+    if not 0.0 <= strength < 1.0:
+        raise ConfigurationError(f"strength must be in [0, 1), got {strength}")
+    h, w = int(shape[0]), int(shape[1])
+    ys = np.linspace(-1.0, 1.0, h)[:, None]
+    xs = np.linspace(-1.0, 1.0, w)[None, :]
+    radius2 = ys**2 + xs**2
+    return 1.0 - strength * radius2 / 2.0

@@ -1,0 +1,265 @@
+"""Road geometry: curvature profiles, steering labels, camera projection.
+
+The steering-angle regression task needs a ground truth that is a *function
+of visible road structure* — that is what lets a trained network's saliency
+concentrate on the road (Figure 2 of the paper).  We model the road ahead of
+the camera as a constant-curvature arc on a flat ground plane:
+
+* lateral centerline offset at forward distance ``d``:
+  ``c(d) = offset + tan(heading) * d + 0.5 * curvature * d**2``
+  (the standard clothoid small-angle approximation);
+* the steering label is the Ackermann angle for that curvature plus a
+  proportional correction for the car's lane offset and heading error —
+  exactly the control law a lane-keeping driver executes.
+
+:class:`CameraModel` is a pinhole camera over a flat ground plane: forward
+distance ``d`` maps to image row ``horizon + focal_v / d`` and lateral
+offset ``x`` maps to column ``cx + focal_u * x / d``.  The renderers invert
+this per pixel row, which vectorizes scene drawing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.seeding import RngLike, derive_rng
+
+
+@dataclass(frozen=True)
+class CameraModel:
+    """Pinhole camera over a flat ground plane.
+
+    Attributes
+    ----------
+    image_shape:
+        ``(H, W)`` of rendered frames.
+    horizon_frac:
+        Vertical position of the horizon as a fraction of image height.
+    focal_v, focal_u:
+        Vertical/horizontal projection constants (in pixel·meters): a ground
+        point at forward distance ``d`` and lateral offset ``x`` projects to
+        ``row = horizon + focal_v / d``, ``col = cx + focal_u * x / d``.
+    min_distance:
+        Closest ground distance rendered (the bottom image row).
+    """
+
+    image_shape: Tuple[int, int]
+    horizon_frac: float = 0.35
+    focal_v: float = 18.0
+    focal_u: float = 24.0
+    min_distance: float = 1.5
+
+    def __post_init__(self) -> None:
+        h, w = self.image_shape
+        if h < 4 or w < 4:
+            raise ConfigurationError(f"image too small: {self.image_shape}")
+        if not 0.05 <= self.horizon_frac <= 0.9:
+            raise ConfigurationError(f"horizon_frac out of range: {self.horizon_frac}")
+        if self.focal_v <= 0 or self.focal_u <= 0 or self.min_distance <= 0:
+            raise ConfigurationError("camera constants must be positive")
+
+    @property
+    def horizon_row(self) -> float:
+        """Image row of the horizon line."""
+        return self.image_shape[0] * self.horizon_frac
+
+    @property
+    def center_col(self) -> float:
+        """Principal-point column."""
+        return (self.image_shape[1] - 1) / 2.0
+
+    def rows_below_horizon(self) -> np.ndarray:
+        """Integer rows strictly below the horizon (the drawable ground)."""
+        h = self.image_shape[0]
+        first = int(np.floor(self.horizon_row)) + 1
+        return np.arange(max(first, 0), h)
+
+    def row_to_distance(self, rows: np.ndarray) -> np.ndarray:
+        """Ground distance seen at each image row (rows below horizon).
+
+        Distances are clipped below at ``min_distance`` so the bottom rows
+        stay finite and well-conditioned.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        delta = np.maximum(rows - self.horizon_row, 1e-6)
+        return np.maximum(self.focal_v / delta, self.min_distance)
+
+    def ground_to_column(self, x: np.ndarray, d: np.ndarray) -> np.ndarray:
+        """Image column of lateral ground offset ``x`` at distance ``d``."""
+        return self.center_col + self.focal_u * np.asarray(x) / np.asarray(d)
+
+    def column_to_lateral(self, cols: np.ndarray, d: np.ndarray) -> np.ndarray:
+        """Lateral ground offset imaged at column ``cols``, distance ``d``."""
+        return (np.asarray(cols, dtype=np.float64) - self.center_col) * np.asarray(d) / self.focal_u
+
+
+@dataclass(frozen=True)
+class TrackProfile:
+    """One viewing situation on a track.
+
+    Attributes
+    ----------
+    curvature:
+        Road curvature (1/m); positive bends right in image coordinates.
+    lane_offset:
+        Car's lateral displacement from the lane center (m).
+    heading:
+        Car's heading error relative to the road tangent (rad).
+    """
+
+    curvature: float
+    lane_offset: float
+    heading: float
+
+
+class RoadGeometry:
+    """Samples viewing situations and computes labels and road shape.
+
+    Parameters
+    ----------
+    camera:
+        Projection model shared with the renderer.
+    road_half_width:
+        Half the drivable width (m).
+    max_curvature, max_offset, max_heading:
+        Sampling ranges for :meth:`sample_profile`.
+    steering_gain, offset_gain, heading_gain:
+        Control-law constants mapping geometry to the steering label.
+    """
+
+    def __init__(
+        self,
+        camera: CameraModel,
+        road_half_width: float = 1.8,
+        max_curvature: float = 0.05,
+        max_offset: float = 0.5,
+        max_heading: float = 0.08,
+        steering_gain: float = 12.0,
+        offset_gain: float = 0.35,
+        heading_gain: float = 1.2,
+    ) -> None:
+        if road_half_width <= 0:
+            raise ConfigurationError(f"road_half_width must be positive, got {road_half_width}")
+        if max_curvature < 0 or max_offset < 0 or max_heading < 0:
+            raise ConfigurationError("sampling ranges must be non-negative")
+        self.camera = camera
+        self.road_half_width = float(road_half_width)
+        self.max_curvature = float(max_curvature)
+        self.max_offset = float(max_offset)
+        self.max_heading = float(max_heading)
+        self.steering_gain = float(steering_gain)
+        self.offset_gain = float(offset_gain)
+        self.heading_gain = float(heading_gain)
+
+    def sample_profile(self, rng: RngLike = None) -> TrackProfile:
+        """Draw a random viewing situation (uniform over the ranges)."""
+        generator = derive_rng(rng)
+        return TrackProfile(
+            curvature=float(generator.uniform(-self.max_curvature, self.max_curvature)),
+            lane_offset=float(generator.uniform(-self.max_offset, self.max_offset)),
+            heading=float(generator.uniform(-self.max_heading, self.max_heading)),
+        )
+
+    def centerline(self, profile: TrackProfile, distances: np.ndarray) -> np.ndarray:
+        """Lateral centerline offset (camera frame) at each forward distance."""
+        d = np.asarray(distances, dtype=np.float64)
+        return (
+            -profile.lane_offset
+            + np.tan(-profile.heading) * d
+            + 0.5 * profile.curvature * d**2
+        )
+
+    def steering_angle(self, profile: TrackProfile) -> float:
+        """Lane-keeping steering label for a viewing situation.
+
+        Combines the curvature feed-forward term with proportional
+        corrections steering the car back toward the lane center.
+        """
+        return float(
+            self.steering_gain * profile.curvature
+            - self.offset_gain * profile.lane_offset
+            - self.heading_gain * profile.heading
+        )
+
+    def simulate_drive(
+        self,
+        n_frames: int,
+        rng: RngLike = None,
+        dt: float = 0.1,
+        curvature_tau: float = 3.0,
+        control_tau: float = 1.5,
+    ) -> "list[TrackProfile]":
+        """Evolve a viewing situation over time — a temporally coherent drive.
+
+        Road curvature follows an Ornstein-Uhlenbeck process (curves begin,
+        persist, and relax back to straight), while the car's lane offset
+        and heading error follow their own mean-reverting processes — a
+        driver continuously correcting toward the lane center.  Consecutive
+        profiles are therefore strongly correlated, unlike
+        :meth:`sample_profile`'s i.i.d. draws.
+
+        Parameters
+        ----------
+        n_frames:
+            Number of time steps to simulate.
+        dt:
+            Time step in seconds.
+        curvature_tau, control_tau:
+            Mean-reversion time constants for the road curvature and the
+            car-state (offset/heading) processes.
+        """
+        if n_frames < 1:
+            raise ConfigurationError(f"n_frames must be >= 1, got {n_frames}")
+        if dt <= 0 or curvature_tau <= 0 or control_tau <= 0:
+            raise ConfigurationError("dt and time constants must be positive")
+        generator = derive_rng(rng, stream="drive")
+        profile = self.sample_profile(generator)
+        profiles = [profile]
+        # Noise scales chosen so the stationary std sits well inside the
+        # sampling ranges (OU stationary std = sigma * sqrt(tau / 2)).
+        curvature_sigma = self.max_curvature * np.sqrt(2.0 / curvature_tau) * 0.5
+        offset_sigma = self.max_offset * np.sqrt(2.0 / control_tau) * 0.5
+        heading_sigma = self.max_heading * np.sqrt(2.0 / control_tau) * 0.5
+        for _ in range(n_frames - 1):
+            curvature = self._ou_step(
+                profile.curvature, curvature_tau, curvature_sigma, dt, generator
+            )
+            offset = self._ou_step(
+                profile.lane_offset, control_tau, offset_sigma, dt, generator
+            )
+            heading = self._ou_step(
+                profile.heading, control_tau, heading_sigma, dt, generator
+            )
+            profile = TrackProfile(
+                curvature=float(np.clip(curvature, -self.max_curvature, self.max_curvature)),
+                lane_offset=float(np.clip(offset, -self.max_offset, self.max_offset)),
+                heading=float(np.clip(heading, -self.max_heading, self.max_heading)),
+            )
+            profiles.append(profile)
+        return profiles
+
+    @staticmethod
+    def _ou_step(
+        value: float, tau: float, sigma: float, dt: float, rng: np.random.Generator
+    ) -> float:
+        """One Euler-Maruyama step of a zero-mean Ornstein-Uhlenbeck process."""
+        return value - (value / tau) * dt + sigma * np.sqrt(dt) * rng.normal()
+
+    def road_extent(
+        self, profile: TrackProfile, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-row road geometry in image coordinates.
+
+        Returns ``(distances, left_cols, right_cols)`` — for each image row
+        below the horizon, the ground distance it sees and the columns of
+        the road's left/right edges.
+        """
+        distances = self.camera.row_to_distance(rows)
+        center = self.centerline(profile, distances)
+        left = self.camera.ground_to_column(center - self.road_half_width, distances)
+        right = self.camera.ground_to_column(center + self.road_half_width, distances)
+        return distances, left, right

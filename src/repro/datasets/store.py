@@ -1,0 +1,68 @@
+"""Persistence for rendered batches.
+
+Rendering is deterministic, so batches are *re-creatable* — but paper-scale
+batches take minutes to render, and sharing the exact arrays used in an
+experiment beats sharing a recipe.  These helpers store a
+:class:`repro.datasets.RenderedBatch` as a compressed ``.npz`` with a
+format marker, and load it back with validation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.base import RenderedBatch
+from repro.exceptions import SerializationError
+
+#: Format marker written into every batch file.
+_FORMAT = "repro.rendered_batch.v1"
+
+
+def save_batch(batch: RenderedBatch, path: Union[str, Path]) -> Path:
+    """Write a rendered batch to a compressed ``.npz`` file."""
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            format=np.array(_FORMAT),
+            frames=batch.frames,
+            angles=batch.angles,
+            road_masks=batch.road_masks,
+            marking_masks=batch.marking_masks,
+        )
+    except OSError as exc:
+        raise SerializationError(f"failed to save batch to {path}: {exc}") from exc
+    return path
+
+
+def load_batch(path: Union[str, Path]) -> RenderedBatch:
+    """Load a batch written by :func:`save_batch` (format-checked)."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"batch file {path} does not exist")
+    try:
+        with np.load(path) as data:
+            if "format" not in data.files or str(data["format"]) != _FORMAT:
+                raise SerializationError(
+                    f"{path} is not a rendered-batch file (missing format marker)"
+                )
+            batch = RenderedBatch(
+                frames=np.asarray(data["frames"], dtype=np.float64),
+                angles=np.asarray(data["angles"], dtype=np.float64),
+                road_masks=np.asarray(data["road_masks"], dtype=bool),
+                marking_masks=np.asarray(data["marking_masks"], dtype=bool),
+            )
+    except (OSError, ValueError, KeyError) as exc:
+        raise SerializationError(f"failed to read batch {path}: {exc}") from exc
+    n = batch.frames.shape[0]
+    if not (
+        batch.angles.shape == (n,)
+        and batch.road_masks.shape == batch.frames.shape
+        and batch.marking_masks.shape == batch.frames.shape
+    ):
+        raise SerializationError(f"{path} contains inconsistent array shapes")
+    return batch

@@ -1,0 +1,89 @@
+"""Synthetic indoor racing scenes — the in-house (DSI) surrogate.
+
+Emulates the authors' model-car environment: a track laid out with bright
+tape on an indoor floor, with walls and furniture as backdrop.  Relative to
+the outdoor surrogate, scenes are darker, far less textured, and follow a
+different geometry (narrower track, sharper curvature) — a visually
+disjoint driving domain, which is exactly the role DSI plays in the paper's
+dataset-comparison experiment (one dataset is the target class, the other
+is novel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import DrivingDataset, DrivingSample
+from repro.datasets.rendering import band_mask, draw_rectangle, ground_fill, value_noise
+from repro.datasets.road_geometry import CameraModel, RoadGeometry
+
+
+class SyntheticIndoor(DrivingDataset):
+    """Indoor tape-marked track scenes with clean, dark surroundings."""
+
+    name = "DSI"
+
+    def _build_geometry(self) -> RoadGeometry:
+        # A model car: narrow track, tighter turns, stronger steering gain.
+        return RoadGeometry(
+            self.camera,
+            road_half_width=1.0,
+            max_curvature=0.09,
+            max_offset=0.3,
+            max_heading=0.1,
+            steering_gain=9.0,
+        )
+
+    def _render_scene(self, profile, rng: np.random.Generator) -> DrivingSample:
+        h, w = self.image_shape
+        camera = self.camera
+
+        frame = np.zeros((h, w), dtype=np.float64)
+        horizon = int(np.floor(camera.horizon_row))
+
+        # --- wall above the horizon with a baseboard stripe --------------
+        wall_value = rng.uniform(0.28, 0.4)
+        frame[: horizon + 1] = wall_value
+        baseboard_rows = max(h // 30, 1)
+        draw_rectangle(frame, horizon - baseboard_rows + 1, 0, baseboard_rows, w,
+                       value=wall_value * 0.6)
+
+        # --- furniture silhouettes against the wall ----------------------
+        for _ in range(rng.integers(0, 3)):
+            fw = int(rng.integers(max(w // 12, 2), max(w // 5, 3)))
+            fh = int(rng.integers(max(h // 12, 2), max(horizon // 2, 3)))
+            col = int(rng.integers(0, max(w - fw, 1)))
+            draw_rectangle(frame, horizon - fh + 1, col, fh, fw,
+                           value=float(rng.uniform(0.12, 0.3)))
+
+        # --- floor: nearly uniform with faint texture --------------------
+        rows = camera.rows_below_horizon()
+        floor_value = rng.uniform(0.42, 0.5)
+        floor_texture = 0.02 * value_noise((h, w), cells=(3, 5), rng=rng)
+        frame[rows[0]:] = floor_value + floor_texture[rows[0]:]
+
+        # --- track: slightly darker lane between bright tape lines -------
+        distances, left, right = self.geometry.road_extent(profile, rows)
+        track = ground_fill((h, w), rows, left, right)
+        frame[track] = floor_value - 0.06
+
+        tape_half = np.maximum(camera.focal_u * 0.06 / distances, 0.5)
+        tape = band_mask((h, w), rows, left, tape_half) | band_mask(
+            (h, w), rows, right, tape_half
+        )
+        below_horizon = np.zeros((h, w), dtype=bool)
+        below_horizon[rows[0]:] = True
+        markings = tape & below_horizon
+        frame[markings] = rng.uniform(0.88, 0.96)
+
+        # Mild global lighting variation; indoor lighting is stable, so the
+        # range is much narrower than the outdoor surrogate's.
+        frame *= rng.uniform(0.9, 1.05)
+        frame = np.clip(frame, 0.0, 1.0)
+
+        return DrivingSample(
+            frame=frame,
+            steering_angle=self.geometry.steering_angle(profile),
+            road_mask=track,
+            marking_mask=markings,
+        )

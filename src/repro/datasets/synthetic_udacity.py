@@ -1,0 +1,112 @@
+"""Synthetic outdoor driving scenes — the Udacity (DSU) surrogate.
+
+Emulates the statistics the paper attributes to real-world driving footage:
+a perspective road with painted lane markings (the task-relevant structure),
+surrounded by abundant task-*irrelevant* variation — textured terrain,
+skies with clouds, roadside structures, and global brightness changes ("the
+shape of clouds or the color of shop signs should not affect the steering
+prediction").  That irrelevant variation is precisely what defeats the
+raw-image MSE autoencoder baseline in the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import DrivingDataset, DrivingSample
+from repro.datasets.rendering import (
+    band_mask,
+    cloud_field,
+    draw_rectangle,
+    ground_fill,
+    value_noise,
+    vignette,
+)
+from repro.datasets.road_geometry import CameraModel, RoadGeometry
+
+
+class SyntheticUdacity(DrivingDataset):
+    """Outdoor road scenes with heavy background clutter.
+
+    Scene recipe per sample (all randomized under the per-sample seed):
+    sky gradient + cloud field above the horizon; fractal-noise terrain
+    below it; an asphalt road whose centerline follows the sampled
+    :class:`TrackProfile`, with solid edge lines and a dashed center line;
+    0-3 distant building/sign rectangles; global brightness in
+    [0.7, 1.15] and a mild vignette.
+    """
+
+    name = "DSU"
+
+    def _build_geometry(self) -> RoadGeometry:
+        return RoadGeometry(
+            self.camera,
+            road_half_width=1.8,
+            max_curvature=0.05,
+            max_offset=0.5,
+            max_heading=0.08,
+        )
+
+    def _render_scene(self, profile, rng: np.random.Generator) -> DrivingSample:
+        h, w = self.image_shape
+        camera = self.camera
+
+        frame = np.zeros((h, w), dtype=np.float64)
+        horizon = int(np.floor(camera.horizon_row))
+
+        # --- sky: vertical gradient plus clouds -------------------------
+        sky_rows = max(horizon + 1, 1)
+        base_sky = rng.uniform(0.55, 0.8)
+        gradient = np.linspace(base_sky, base_sky - 0.15, sky_rows)[:, None]
+        frame[:sky_rows] = gradient
+        clouds = cloud_field((sky_rows, w), rng=rng, coverage=rng.uniform(0.2, 0.6))
+        frame[:sky_rows] += 0.25 * clouds
+        frame[:sky_rows] = np.clip(frame[:sky_rows], 0.0, 1.0)
+
+        # --- terrain: fractal noise below the horizon --------------------
+        rows = camera.rows_below_horizon()
+        terrain = 0.25 + 0.3 * value_noise((h, w), cells=(4, 8), rng=rng, octaves=3)
+        frame[rows[0]:] = terrain[rows[0]:]
+
+        # --- road surface and markings -----------------------------------
+        distances, left, right = self.geometry.road_extent(profile, rows)
+        road = ground_fill((h, w), rows, left, right)
+        asphalt = rng.uniform(0.38, 0.48)
+        road_texture = 0.05 * value_noise((h, w), cells=(6, 12), rng=rng)
+        frame[road] = asphalt + road_texture[road]
+
+        # Line widths shrink with distance like every other ground feature.
+        line_half = np.maximum(camera.focal_u * 0.08 / distances, 0.5)
+        center_cols = (left + right) / 2.0
+        edges = band_mask((h, w), rows, left, line_half) | band_mask(
+            (h, w), rows, right, line_half
+        )
+        dashes = band_mask(
+            (h, w), rows, center_cols, line_half, dash=(distances, 4.0, 0.5)
+        )
+        lane_paint = rng.uniform(0.85, 0.95)
+        markings = (edges | dashes) & road
+        frame[markings] = lane_paint
+
+        # --- roadside structures (buildings / signs) ---------------------
+        for _ in range(rng.integers(0, 4)):
+            bw = int(rng.integers(max(w // 16, 2), max(w // 6, 3)))
+            bh = int(rng.integers(max(h // 10, 2), max(horizon, 3)))
+            side = rng.choice([-1, 1])
+            col = int(camera.center_col + side * rng.integers(w // 4, w // 2 + 1))
+            draw_rectangle(
+                frame, horizon - bh + 1, col - bw // 2, bh, bw,
+                value=float(rng.uniform(0.2, 0.75)),
+            )
+
+        # --- global photometric variation --------------------------------
+        frame *= vignette((h, w), strength=0.12)
+        frame *= rng.uniform(0.7, 1.15)
+        frame = np.clip(frame, 0.0, 1.0)
+
+        return DrivingSample(
+            frame=frame,
+            steering_angle=self.geometry.steering_angle(profile),
+            road_mask=road,
+            marking_mask=markings,
+        )

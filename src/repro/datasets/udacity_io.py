@@ -1,0 +1,165 @@
+"""Loader for real driving data in the Udacity dataset layout.
+
+The reproduction itself runs on synthetic data (no network access to fetch
+the 45k-image Udacity set), but a user who *has* the dataset — or any
+directory of frames plus a steering log — can run every pipeline in this
+repo on it through this module.
+
+Expected layout (matching Udacity's ``CH2`` export and common dashcam
+dumps):
+
+* a CSV driving log with a header row containing at least a frame-filename
+  column and a steering-angle column (names configurable; Udacity uses
+  ``frame_id``/``filename`` and ``steering_angle``/``angle``);
+* an image directory with the referenced frames.  Supported formats are
+  binary PGM (``.pgm``) and numpy arrays (``.npy`` holding ``(H, W)`` or
+  ``(H, W, 3)`` data) — both dependency-free to read.  PNG/JPEG decoding
+  needs an imaging library this environment does not provide; convert with
+  any standard tool first.
+
+Frames pass through the paper's preprocessing
+(:func:`repro.image.preprocess_frame`): grayscale → resize → [0, 1].
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.image.ops import preprocess_frame
+from repro.viz import load_pgm
+
+#: Column-name candidates accepted without explicit configuration.
+_FRAME_COLUMNS = ("filename", "frame_id", "frame", "image", "center")
+_ANGLE_COLUMNS = ("steering_angle", "angle", "steering")
+
+
+@dataclass(frozen=True)
+class DrivingLogEntry:
+    """One row of a driving log: a frame path and its steering label."""
+
+    frame_path: Path
+    steering_angle: float
+
+
+def _resolve_column(header: Sequence[str], candidates: Sequence[str], kind: str, explicit: Optional[str]) -> str:
+    if explicit is not None:
+        if explicit not in header:
+            raise ConfigurationError(
+                f"{kind} column {explicit!r} not in CSV header {list(header)}"
+            )
+        return explicit
+    for candidate in candidates:
+        if candidate in header:
+            return candidate
+    raise ConfigurationError(
+        f"could not find a {kind} column in CSV header {list(header)}; "
+        f"pass one explicitly (candidates tried: {list(candidates)})"
+    )
+
+
+def read_driving_log(
+    csv_path: Union[str, Path],
+    frames_dir: Union[str, Path, None] = None,
+    frame_column: Optional[str] = None,
+    angle_column: Optional[str] = None,
+) -> List[DrivingLogEntry]:
+    """Parse a driving-log CSV into frame-path / angle entries.
+
+    Relative frame paths are resolved against ``frames_dir`` (defaulting to
+    the CSV's own directory).  Rows whose frame file does not exist raise
+    immediately with the offending path — silent sample loss would bias any
+    experiment run on the result.
+    """
+    csv_path = Path(csv_path)
+    if not csv_path.exists():
+        raise ConfigurationError(f"driving log {csv_path} does not exist")
+    base = Path(frames_dir) if frames_dir is not None else csv_path.parent
+
+    entries: List[DrivingLogEntry] = []
+    with open(csv_path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise ConfigurationError(f"driving log {csv_path} has no header row")
+        frame_col = _resolve_column(reader.fieldnames, _FRAME_COLUMNS, "frame", frame_column)
+        angle_col = _resolve_column(reader.fieldnames, _ANGLE_COLUMNS, "angle", angle_column)
+        for line_number, row in enumerate(reader, start=2):
+            raw_path = (row[frame_col] or "").strip()
+            raw_angle = (row[angle_col] or "").strip()
+            if not raw_path:
+                raise ConfigurationError(f"{csv_path}:{line_number}: empty frame path")
+            try:
+                angle = float(raw_angle)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{csv_path}:{line_number}: invalid steering angle {raw_angle!r}"
+                ) from None
+            frame_path = Path(raw_path)
+            if not frame_path.is_absolute():
+                frame_path = base / frame_path
+            if not frame_path.exists():
+                raise ConfigurationError(
+                    f"{csv_path}:{line_number}: frame {frame_path} does not exist"
+                )
+            entries.append(DrivingLogEntry(frame_path=frame_path, steering_angle=angle))
+    if not entries:
+        raise ConfigurationError(f"driving log {csv_path} contains no data rows")
+    return entries
+
+
+def load_frame(path: Union[str, Path]) -> np.ndarray:
+    """Load one raw frame (``.pgm`` or ``.npy``) as a float array."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".pgm":
+        return load_pgm(path)
+    if suffix == ".npy":
+        data = np.load(path)
+        if data.ndim not in (2, 3):
+            raise ShapeError(f"{path}: expected (H, W) or (H, W, 3) data, got {data.shape}")
+        return np.asarray(data, dtype=np.float64)
+    raise ConfigurationError(
+        f"unsupported frame format {suffix!r} for {path}; supported: .pgm, .npy"
+    )
+
+
+def load_dataset(
+    csv_path: Union[str, Path],
+    frames_dir: Union[str, Path, None] = None,
+    size: Tuple[int, int] = (60, 160),
+    limit: Optional[int] = None,
+    frame_column: Optional[str] = None,
+    angle_column: Optional[str] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Load and preprocess a real driving dataset.
+
+    Returns ``(frames, angles)`` where ``frames`` is ``(N, H, W)`` grayscale
+    in [0, 1] at the requested ``size`` (the paper's 60x160 by default) and
+    ``angles`` is ``(N,)``.  ``limit`` caps the number of rows loaded (the
+    full Udacity set is 45k frames).
+
+    The output plugs directly into the pipelines::
+
+        frames, angles = load_dataset("driving_log.csv", size=(60, 160))
+        model = PilotNet(PilotNetConfig.for_image((60, 160)))
+        train_pilotnet(model, frames, angles, ...)
+    """
+    entries = read_driving_log(
+        csv_path, frames_dir, frame_column=frame_column, angle_column=angle_column
+    )
+    if limit is not None:
+        if limit < 1:
+            raise ConfigurationError(f"limit must be >= 1, got {limit}")
+        entries = entries[:limit]
+
+    frames = np.empty((len(entries),) + tuple(size), dtype=np.float64)
+    angles = np.empty(len(entries), dtype=np.float64)
+    for i, entry in enumerate(entries):
+        frames[i] = preprocess_frame(load_frame(entry.frame_path), size=size)
+        angles[i] = entry.steering_angle
+    return frames, angles

@@ -1,0 +1,133 @@
+"""Synthetic weather effects (the DeepTest transformation family).
+
+The paper cites DeepTest (Tian et al., ICSE 2018), which stress-tests
+driving networks with synthetic weather.  These transformations complete
+this repo's perturbation family with the weather cases:
+
+* :func:`add_fog` — contrast collapse toward a bright airlight value,
+  stronger with (approximate) scene depth;
+* :func:`add_rain` — bright diagonal streak overlays;
+* :func:`add_shadow` — a dark polygonal band across the scene (tree or
+  building shadow over the road).
+
+All functions are pure and accept ``(H, W)`` images or ``(N, H, W)``
+batches in [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.utils.seeding import RngLike, derive_rng
+
+
+def _check(image: np.ndarray, name: str) -> np.ndarray:
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim not in (2, 3):
+        raise ShapeError(f"{name} expects (H, W) or (N, H, W), got {image.shape}")
+    return image
+
+
+def add_fog(image: np.ndarray, density: float = 0.5, airlight: float = 0.8) -> np.ndarray:
+    """Blend toward a bright airlight, more strongly near the horizon.
+
+    Uses the standard atmospheric-scattering form
+    :math:`I' = I\\,t + A\\,(1 - t)` with a transmission map :math:`t`
+    that decreases toward the top of the ground region (farther ground is
+    seen through more atmosphere).  ``density`` in [0, 1] scales the
+    effect; ``airlight`` is the fog color.
+    """
+    image = _check(image, "add_fog")
+    if not 0.0 <= density <= 1.0:
+        raise ConfigurationError(f"density must be in [0, 1], got {density}")
+    if not 0.0 <= airlight <= 1.0:
+        raise ConfigurationError(f"airlight must be in [0, 1], got {airlight}")
+    h = image.shape[-2]
+    # Approximate depth: the top rows (sky, far road) are seen through the
+    # most atmosphere, the bottom row through the least.
+    depth = np.linspace(1.0, 0.0, h)[:, None]
+    transmission = 1.0 - density * depth
+    return image * transmission + airlight * (1.0 - transmission)
+
+
+def add_rain(
+    image: np.ndarray,
+    amount: int = 40,
+    length: int = 5,
+    brightness: float = 0.85,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Overlay bright diagonal rain streaks.
+
+    Parameters
+    ----------
+    amount:
+        Number of streaks per image.
+    length:
+        Streak length in pixels (drawn at a fixed diagonal slope).
+    brightness:
+        Intensity painted along each streak.
+    """
+    image = _check(image, "add_rain").copy()
+    if amount < 0:
+        raise ConfigurationError(f"amount must be >= 0, got {amount}")
+    if length < 1:
+        raise ConfigurationError(f"length must be >= 1, got {length}")
+    if not 0.0 <= brightness <= 1.0:
+        raise ConfigurationError(f"brightness must be in [0, 1], got {brightness}")
+    generator = derive_rng(rng)
+
+    def _streaks(img: np.ndarray) -> None:
+        h, w = img.shape
+        rows = generator.integers(0, h, size=amount)
+        cols = generator.integers(0, w, size=amount)
+        for r0, c0 in zip(rows, cols):
+            for step in range(length):
+                r, c = r0 + step, c0 + step // 2  # steep diagonal
+                if r < h and c < w:
+                    img[r, c] = brightness
+
+    if image.ndim == 2:
+        _streaks(image)
+    else:
+        for img in image:
+            _streaks(img)
+    return image
+
+
+def add_shadow(
+    image: np.ndarray,
+    darkness: float = 0.5,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Darken a random quadrilateral band (a cast shadow across the road).
+
+    The band spans the full image height between two independently sampled
+    top/bottom column intervals, giving the slanted shadow edges real cast
+    shadows have.
+    """
+    image = _check(image, "add_shadow").copy()
+    if not 0.0 < darkness <= 1.0:
+        raise ConfigurationError(f"darkness must be in (0, 1], got {darkness}")
+    generator = derive_rng(rng)
+
+    def _shade(img: np.ndarray) -> None:
+        h, w = img.shape
+        top_start = generator.uniform(0, w * 0.7)
+        top_width = generator.uniform(w * 0.2, w * 0.5)
+        bottom_start = generator.uniform(0, w * 0.7)
+        bottom_width = generator.uniform(w * 0.2, w * 0.5)
+        fractions = np.linspace(0.0, 1.0, h)
+        starts = top_start + (bottom_start - top_start) * fractions
+        widths = top_width + (bottom_width - top_width) * fractions
+        cols = np.arange(w)[None, :]
+        inside = (cols >= starts[:, None]) & (cols <= (starts + widths)[:, None])
+        img[inside] *= 1.0 - darkness
+
+    if image.ndim == 2:
+        _shade(image)
+    else:
+        for img in image:
+            _shade(img)
+    return image

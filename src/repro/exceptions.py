@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime state
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent.
+
+    Raised eagerly at construction time (e.g. a dataclass ``__post_init__``)
+    so that invalid setups fail before any expensive work starts.
+    """
+
+
+class ShapeError(ReproError):
+    """An array has the wrong shape or dimensionality for an operation."""
+
+
+class NotFittedError(ReproError):
+    """A component that must be trained/fitted first was used prematurely.
+
+    For example calling :meth:`repro.novelty.NoveltyDetector.predict` before
+    :meth:`~repro.novelty.NoveltyDetector.fit`.
+    """
+
+
+class SerializationError(ReproError):
+    """A model checkpoint could not be written or read back consistently."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was misused (unknown id, missing artifact...)."""

@@ -1,0 +1,18 @@
+"""Reproduction experiments, one module per paper figure/claim.
+
+Each experiment module exposes ``run(scale, rng=0) -> ExperimentResult``;
+:mod:`repro.experiments.registry` maps experiment ids (``fig2`` ... ``fig7``,
+``reverse``, ``timing``, ``ablations``) to those callables, and the
+benchmark suite under ``benchmarks/`` invokes them one per paper artifact.
+"""
+
+from repro.experiments.harness import ExperimentResult, Workbench
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "Workbench",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,68 @@
+"""Figure 3 — MSE vs SSIM on noise vs brightness.
+
+The paper engineers two modified copies of a road image — one with added
+Gaussian noise, one with increased brightness — "to result in similar MSE
+purely based on pixel-wise loss" (91.7 vs 90.6 on the 0-255 intensity
+scale) and shows SSIM tells them apart (0.64 vs 0.98): noise destroys
+structure while a brightness shift preserves it.
+
+We reproduce the construction exactly: calibrate both perturbations of a
+rendered road frame to the same target MSE, then report the two metrics on
+the paper's scales (MSE on 0-255 intensities, SSIM on [-1, 1]).
+"""
+
+from __future__ import annotations
+
+from repro.config import Scale
+from repro.datasets.perturbations import (
+    calibrate_brightness_to_mse,
+    calibrate_noise_to_mse,
+)
+from repro.experiments.harness import ExperimentResult, Workbench
+from repro.metrics.mse import mse
+from repro.metrics.ssim import ssim
+
+#: The paper's quoted MSE (~91) lives on 0-255 intensities; our images are
+#: [0, 1], so the equivalent target is 91 / 255**2.
+PAPER_MSE_255 = 91.0
+
+
+def run(scale: Scale, rng: int = 0, workbench: Workbench = None) -> ExperimentResult:
+    """Reproduce Figure 3's equal-MSE noise/brightness comparison."""
+    bench = workbench or Workbench(scale, seed=rng)
+    image = bench.batch("dsu", "test").frames[0]
+    target_mse = PAPER_MSE_255 / 255.0**2
+
+    noisy = calibrate_noise_to_mse(image, target_mse, rng=rng)
+    bright = calibrate_brightness_to_mse(image, target_mse)
+
+    window = scale.ssim_window
+    results = {
+        "original": (mse(image, image), ssim(image, image, window_size=window)),
+        "gaussian noise": (mse(image, noisy), ssim(image, noisy, window_size=window)),
+        "brightness": (mse(image, bright), ssim(image, bright, window_size=window)),
+    }
+
+    rows = [f"{'variant':<18} {'MSE (0-255 scale)':>18} {'SSIM':>8}"]
+    for name, (m, s) in results.items():
+        rows.append(f"{name:<18} {m * 255.0**2:>18.1f} {s:>8.3f}")
+    rows.append(
+        "paper reference:   original 0.0/1.0(identity), noise 91.7/0.64, "
+        "brightness 90.6/0.98"
+    )
+
+    ssim_noise = results["gaussian noise"][1]
+    ssim_bright = results["brightness"][1]
+    return ExperimentResult(
+        exp_id="fig3",
+        title="Equal-MSE perturbations: SSIM separates noise from brightness",
+        rows=rows,
+        metrics={
+            "mse_noise_255": results["gaussian noise"][0] * 255.0**2,
+            "mse_brightness_255": results["brightness"][0] * 255.0**2,
+            "ssim_noise": ssim_noise,
+            "ssim_brightness": ssim_bright,
+            "ssim_gap": ssim_bright - ssim_noise,
+        },
+        notes="both perturbations calibrated to the paper's MSE of ~91 (0-255 scale)",
+    )

@@ -1,0 +1,48 @@
+"""Figure 4 — VBP produces reasonable masks on both datasets.
+
+The paper shows example VBP masks overlaid on input frames for both DSI and
+DSU, arguing the activations are "reasonable ... as a human driver would
+expect", i.e. they land on the road.  With ground-truth road masks from the
+renderers we can report, per dataset, the saliency concentration on the
+road and basic mask statistics for a network trained on that dataset.
+"""
+
+from __future__ import annotations
+
+from repro.config import Scale
+from repro.experiments.harness import ExperimentResult, Workbench, saliency_concentration
+from repro.saliency.vbp import VisualBackProp
+
+
+def run(scale: Scale, rng: int = 0, workbench: Workbench = None) -> ExperimentResult:
+    """Reproduce Figure 4's per-dataset VBP mask inspection, quantified."""
+    bench = workbench or Workbench(scale, seed=rng)
+
+    rows = [
+        f"{'dataset':<8} {'marking concentration':>22} {'mask mean':>10} {'mask std':>10}"
+    ]
+    metrics = {}
+    for dataset in ("dsu", "dsi"):
+        model = bench.steering_model(dataset)
+        test = bench.batch(dataset, "test")
+        masks = VisualBackProp(model).saliency(test.frames)
+        concentration = saliency_concentration(masks, test.marking_masks, dilate=2)
+        rows.append(
+            f"{dataset.upper():<8} {concentration:>22.3f} "
+            f"{masks.mean():>10.3f} {masks.std():>10.3f}"
+        )
+        metrics[f"concentration_{dataset}"] = concentration
+        metrics[f"mask_mean_{dataset}"] = float(masks.mean())
+
+    return ExperimentResult(
+        exp_id="fig4",
+        title="VBP masks concentrate on lane markings for both datasets",
+        rows=rows,
+        metrics=metrics,
+        notes=(
+            "concentration > 1 means saliency prefers the lane-marking region "
+            "over a uniform spread; the paper argues the same point with "
+            "overlay images ('reasonable activations as a human driver would "
+            "expect')"
+        ),
+    )

@@ -1,0 +1,70 @@
+"""Figure 6 — reconstruction quality: raw+MSE blurs, VBP+SSIM doesn't.
+
+The paper shows an original image reconstructed by the MSE autoencoder
+(blurry even for a *target-class* image) next to a VBP image reconstructed
+by the SSIM autoencoder (clean), arguing that blurriness is why the MSE
+baseline cannot separate classes visually.
+
+Blur is measurable: we report the *sharpness ratio* — gradient energy of
+the reconstruction relative to its input (1.0 = all high-frequency content
+preserved; small = blurred away) — for both systems on held-out
+target-class images, along with the input-reconstruction similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import Scale
+from repro.experiments.harness import ExperimentResult, Workbench
+from repro.metrics.sharpness import sharpness_ratio
+from repro.metrics.ssim import ssim
+from repro.novelty.baselines import RichterRoyBaseline
+from repro.novelty.framework import SaliencyNoveltyPipeline
+
+
+def run(scale: Scale, rng: int = 0, workbench: Workbench = None) -> ExperimentResult:
+    """Reproduce Figure 6's reconstruction-quality comparison."""
+    bench = workbench or Workbench(scale, seed=rng)
+    train = bench.batch("dsu", "train")
+    test = bench.batch("dsu", "test")
+    config = bench.autoencoder_config()
+
+    baseline = RichterRoyBaseline(scale.image_shape, config=config, rng=rng)
+    baseline.fit(train.frames)
+    proposed = SaliencyNoveltyPipeline(
+        bench.steering_model("dsu"), scale.image_shape, loss="ssim", config=config, rng=rng
+    )
+    proposed.fit(train.frames)
+
+    base_in, base_rec = baseline.reconstruct(test.frames)
+    prop_in, prop_rec = proposed.reconstruct(test.frames)
+
+    def stats(inputs: np.ndarray, recs: np.ndarray):
+        ratios = [sharpness_ratio(r, i) for r, i in zip(recs, inputs)]
+        sims = ssim(inputs, recs, window_size=scale.ssim_window)
+        return float(np.mean(ratios)), float(np.mean(sims))
+
+    base_sharp, base_sim = stats(base_in, base_rec)
+    prop_sharp, prop_sim = stats(prop_in, prop_rec)
+
+    rows = [
+        f"{'system':<28} {'sharpness ratio':>16} {'recon SSIM':>12}",
+        f"{'raw+MSE (Richter&Roy)':<28} {base_sharp:>16.3f} {base_sim:>12.3f}",
+        f"{'VBP+SSIM (proposed)':<28} {prop_sharp:>16.3f} {prop_sim:>12.3f}",
+    ]
+    return ExperimentResult(
+        exp_id="fig6",
+        title="Reconstruction quality on target-class images",
+        rows=rows,
+        metrics={
+            "sharpness_raw_mse": base_sharp,
+            "sharpness_vbp_ssim": prop_sharp,
+            "recon_ssim_raw_mse": base_sim,
+            "recon_ssim_vbp_ssim": prop_sim,
+        },
+        notes=(
+            "the paper's 'blurry vs clean' side-by-side, quantified as the "
+            "reconstruction's retained gradient energy"
+        ),
+    )

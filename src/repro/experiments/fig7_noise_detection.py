@@ -1,0 +1,75 @@
+"""Figure 7 — detecting Gaussian-noise corruption of in-distribution data.
+
+The novel set here is not a different dataset but *noisy copies of DSU
+frames*: the paper adds Gaussian noise, passes the noisy frames through
+VBP ("the VBP images of the noisy images were also garbled looking"), and
+compares how well MSE vs SSIM scores on those VBP images separate clean
+from noisy.  Expected shape: the separation is smaller than in the
+dataset-comparison experiment, and SSIM separates where MSE struggles
+("An MSE loss is not able to distinguish noisy images while SSIM is able
+to separate the two distributions").
+
+The paper also notes that raw-image MSE behaves like VBP-image MSE here;
+we include that third row for completeness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import Scale
+from repro.datasets.perturbations import add_gaussian_noise
+from repro.experiments.harness import ExperimentResult, Workbench
+from repro.novelty.baselines import RichterRoyBaseline, VbpMseBaseline
+from repro.novelty.evaluation import evaluate_detector
+from repro.novelty.framework import SaliencyNoveltyPipeline
+
+#: Noise level of the corrupted copies (std on [0, 1] intensities).  Higher
+#: than Figure 3's calibrated example because this substrate's VBP masks are
+#: more noise-robust than the paper's GPU-trained network (fewer conv
+#: stages, smoother learned filters); the comparative SSIM-vs-MSE claim
+#: holds across 0.1-0.5, with 0.3 giving a clear margin.
+NOISE_SIGMA = 0.3
+
+
+def run(scale: Scale, rng: int = 0, workbench: Workbench = None) -> ExperimentResult:
+    """Reproduce Figure 7's clean-vs-noisy separation comparison."""
+    bench = workbench or Workbench(scale, seed=rng)
+    train = bench.batch("dsu", "train")
+    test = bench.batch("dsu", "test")
+    noisy_frames = add_gaussian_noise(test.frames, NOISE_SIGMA, rng=rng + 13)
+    model = bench.steering_model("dsu")
+    config = bench.autoencoder_config()
+
+    systems = {
+        "VBP+MSE": VbpMseBaseline(model, scale.image_shape, config=config, rng=rng),
+        "VBP+SSIM": SaliencyNoveltyPipeline(
+            model, scale.image_shape, loss="ssim", config=config, rng=rng
+        ),
+        "raw+MSE": RichterRoyBaseline(scale.image_shape, config=config, rng=rng),
+    }
+    rows = []
+    metrics: Dict[str, float] = {}
+    for name, system in systems.items():
+        system.fit(train.frames)
+        result = evaluate_detector(system, test.frames, noisy_frames, name=name)
+        rows.append(result.summary_row())
+        key = name.lower().replace("+", "_")
+        metrics[f"auroc_{key}"] = result.auroc
+        metrics[f"overlap_{key}"] = result.overlap
+        metrics[f"detect_{key}"] = result.detection_rate
+
+    return ExperimentResult(
+        exp_id="fig7",
+        title=f"Noise detection: clean DSU vs DSU + N(0, {NOISE_SIGMA}^2)",
+        rows=rows,
+        metrics=metrics,
+        notes=(
+            "expected shape: on VBP images SSIM separates noisy from clean "
+            "better than MSE, and the separation is smaller than the cross-"
+            "dataset experiment because lane features survive the noise. "
+            "DEVIATION: raw+MSE detects noise easily here (unlike the paper) "
+            "because the synthetic DSU is less varied than real footage, so "
+            "the raw autoencoder's training-loss distribution is tight"
+        ),
+    )

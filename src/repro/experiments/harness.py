@@ -1,0 +1,206 @@
+"""Shared experiment machinery.
+
+:class:`Workbench` builds and caches the artifacts most experiments share —
+rendered dataset batches and trained steering networks — so a benchmark run
+that regenerates every figure doesn't retrain the same CNN seven times.
+:class:`ExperimentResult` is the uniform "one table per paper artifact"
+output format; its :meth:`~ExperimentResult.render` is what the benchmark
+harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import Scale
+from repro.datasets.base import RenderedBatch
+from repro.datasets.synthetic_indoor import SyntheticIndoor
+from repro.datasets.synthetic_udacity import SyntheticUdacity
+from repro.exceptions import ExperimentError
+from repro.models.pilotnet import PilotNet, PilotNetConfig, train_pilotnet
+from repro.novelty.framework import AutoencoderConfig
+from repro.utils.log import get_logger
+
+_log = get_logger(__name__)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one reproduction experiment.
+
+    Attributes
+    ----------
+    exp_id:
+        Registry id (``fig5``, ``timing``, ...).
+    title:
+        What paper artifact this reproduces.
+    rows:
+        Pre-formatted table rows (the "same rows/series the paper reports").
+    metrics:
+        Machine-readable key metrics, used by tests to assert the paper's
+        comparative claims hold.
+    notes:
+        Free-text caveats (scale used, substitutions relied on).
+    """
+
+    exp_id: str
+    title: str
+    rows: List[str] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Human-readable report block."""
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        lines.extend(self.rows)
+        if self.metrics:
+            metric_parts = [f"{k}={v:.4g}" for k, v in sorted(self.metrics.items())]
+            lines.append("metrics: " + "  ".join(metric_parts))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+class Workbench:
+    """Caches datasets, rendered batches and trained CNNs for one scale.
+
+    All artifacts are derived deterministically from ``(scale, seed)``:
+    asking twice returns the same object, and two workbenches with equal
+    arguments produce bit-identical data.
+    """
+
+    def __init__(self, scale: Scale, seed: int = 0) -> None:
+        self.scale = scale
+        self.seed = int(seed)
+        self.dsu = SyntheticUdacity(scale.image_shape)
+        self.dsi = SyntheticIndoor(scale.image_shape)
+        self._batches: Dict[str, RenderedBatch] = {}
+        self._models: Dict[str, PilotNet] = {}
+
+    # -- data ----------------------------------------------------------
+    def batch(self, dataset: str, split: str) -> RenderedBatch:
+        """A rendered batch for ``dataset`` in {'dsu', 'dsi'} and ``split``
+        in {'train', 'test', 'novel'} (sizes from the scale preset)."""
+        key = f"{dataset}:{split}"
+        if key not in self._batches:
+            renderers = {"dsu": self.dsu, "dsi": self.dsi}
+            sizes = {
+                "train": self.scale.n_train,
+                "test": self.scale.n_test,
+                "novel": self.scale.n_novel,
+            }
+            if dataset not in renderers or split not in sizes:
+                raise ExperimentError(f"unknown batch request {key!r}")
+            # Distinct seeds per (dataset, split) keep batches independent.
+            offsets = {"train": 0, "test": 1, "novel": 2}
+            seed = self.seed * 1000 + offsets[split] + (0 if dataset == "dsu" else 500)
+            self._batches[key] = renderers[dataset].render_batch(sizes[split], rng=seed)
+        return self._batches[key]
+
+    # -- models ----------------------------------------------------------
+    def steering_model(self, dataset: str, random_labels: bool = False) -> PilotNet:
+        """A PilotNet trained on the given dataset's training batch.
+
+        ``random_labels=True`` trains on shuffled steering angles — the
+        control network of the paper's Figure 2 ("network trained with
+        random steering angles").
+        """
+        key = f"{dataset}:{'random' if random_labels else 'true'}"
+        if key not in self._models:
+            _log.info(
+                "training steering model %s (%d epochs on %d frames)",
+                key, self.scale.cnn_epochs, self.scale.n_train,
+            )
+            batch = self.batch(dataset, "train")
+            angles = batch.angles
+            if random_labels:
+                angles = np.random.default_rng(self.seed + 77).permutation(angles)
+            model = PilotNet(
+                PilotNetConfig.for_image(self.scale.image_shape), rng=self.seed
+            )
+            train_pilotnet(
+                model,
+                batch.frames,
+                angles,
+                epochs=self.scale.cnn_epochs,
+                batch_size=self.scale.batch_size,
+                rng=self.seed,
+            )
+            self._models[key] = model
+        return self._models[key]
+
+    def driver_model(self, dataset: str) -> PilotNet:
+        """A *well-trained* PilotNet suitable for closed-loop driving.
+
+        The standard :meth:`steering_model` budget (a few epochs) produces
+        feature maps good enough for VisualBackProp but a regressor barely
+        better than predicting the mean — fine for saliency, useless as a
+        controller.  This variant trains 10x longer and is cached
+        separately.
+        """
+        key = f"{dataset}:driver"
+        if key not in self._models:
+            batch = self.batch(dataset, "train")
+            model = PilotNet(
+                PilotNetConfig.for_image(self.scale.image_shape), rng=self.seed
+            )
+            train_pilotnet(
+                model,
+                batch.frames,
+                batch.angles,
+                epochs=self.scale.cnn_epochs * 10,
+                batch_size=self.scale.batch_size,
+                rng=self.seed,
+            )
+            self._models[key] = model
+        return self._models[key]
+
+    # -- configs ---------------------------------------------------------
+    def autoencoder_config(self, **overrides) -> AutoencoderConfig:
+        """The scale's default one-class training configuration."""
+        base = dict(
+            epochs=self.scale.ae_epochs,
+            batch_size=self.scale.batch_size,
+            ssim_window=self.scale.ssim_window,
+        )
+        base.update(overrides)
+        return AutoencoderConfig(**base)
+
+
+def saliency_concentration(
+    masks: np.ndarray, region_masks: np.ndarray, dilate: int = 0
+) -> float:
+    """How much saliency mass concentrates on a region, normalized by area.
+
+    Returns ``(mass inside region / total mass) / (region area / image
+    area)``.  1.0 means saliency ignores the region entirely (uniform
+    spread); values above 1 mean the network attends to it — the
+    quantitative version of the paper's Figure 2/4 visual argument.
+
+    ``dilate`` grows the region by that many binary-dilation iterations,
+    allowing a few pixels of slack when the region is thin (lane markings)
+    and the saliency mask is produced at reduced deconvolution resolution.
+    """
+    from scipy import ndimage
+
+    masks = np.asarray(masks, dtype=np.float64)
+    region = np.asarray(region_masks, dtype=bool)
+    if masks.shape != region.shape:
+        raise ExperimentError(
+            f"masks {masks.shape} and region masks {region.shape} must align"
+        )
+    if dilate > 0:
+        region = np.stack(
+            [ndimage.binary_dilation(r, iterations=dilate) for r in region]
+        )
+    total_mass = masks.sum()
+    if total_mass == 0:
+        return 0.0
+    mass_fraction = (masks * region).sum() / total_mass
+    area_fraction = region.mean()
+    if area_fraction == 0:
+        return 0.0
+    return float(mass_fraction / area_fraction)

@@ -1,0 +1,79 @@
+"""Experiment registry: id → runnable, shared by benchmarks and the CLI."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.config import Scale, get_scale
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    ablations,
+    closed_loop,
+    fig2_vbp_alignment,
+    fig3_mse_vs_ssim,
+    fig4_vbp_masks,
+    fig5_dataset_comparison,
+    fig6_reconstruction,
+    fig7_noise_detection,
+    gradual_drift,
+    noise_sweep,
+    online_latency,
+    timing,
+)
+from repro.experiments.harness import ExperimentResult, Workbench
+
+Runner = Callable[..., ExperimentResult]
+
+#: All reproduction experiments, keyed by the paper artifact they rebuild.
+EXPERIMENTS: Dict[str, Runner] = {
+    "fig2": fig2_vbp_alignment.run,
+    "fig3": fig3_mse_vs_ssim.run,
+    "fig4": fig4_vbp_masks.run,
+    "fig5": fig5_dataset_comparison.run,
+    "fig6": fig6_reconstruction.run,
+    "fig7": fig7_noise_detection.run,
+    "reverse": fig5_dataset_comparison.run_reverse,
+    "timing": timing.run,
+    "ablations": ablations.run,
+    "latency": online_latency.run,
+    "safety": closed_loop.run,
+    "noise_sweep": noise_sweep.run,
+    "drift": gradual_drift.run,
+}
+
+
+def get_experiment(exp_id: str) -> Runner:
+    """Look up an experiment runner by id."""
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; known experiments: {known}"
+        ) from None
+
+
+def run_experiment(
+    exp_id: str,
+    scale: str = "bench",
+    rng: int = 0,
+    workbench: Workbench = None,
+) -> ExperimentResult:
+    """Run one experiment at a named scale preset.
+
+    Passing a shared ``workbench`` lets callers regenerate several figures
+    without re-rendering data or retraining the steering networks.
+    """
+    runner = get_experiment(exp_id)
+    scale_obj: Scale = get_scale(scale) if isinstance(scale, str) else scale
+    return runner(scale_obj, rng=rng, workbench=workbench)
+
+
+def run_all(scale: str = "bench", rng: int = 0) -> Dict[str, ExperimentResult]:
+    """Run every registered experiment with one shared workbench."""
+    scale_obj = get_scale(scale) if isinstance(scale, str) else scale
+    bench = Workbench(scale_obj, seed=rng)
+    return {
+        exp_id: runner(scale_obj, rng=rng, workbench=bench)
+        for exp_id, runner in EXPERIMENTS.items()
+    }

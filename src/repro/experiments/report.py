@@ -1,0 +1,81 @@
+"""Markdown report generation for experiment runs.
+
+Turns a collection of :class:`repro.experiments.ExperimentResult` objects
+into a single markdown document — the machine-written counterpart of
+EXPERIMENTS.md, regenerable at any scale with
+``python -m repro experiment all --markdown report.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.config import Scale
+from repro.experiments.harness import ExperimentResult
+
+#: Paper artifact each experiment id corresponds to (extensions marked).
+_ARTIFACTS: Dict[str, str] = {
+    "fig2": "Figure 2",
+    "fig3": "Figure 3",
+    "fig4": "Figure 4",
+    "fig5": "Figure 5",
+    "fig6": "Figure 6",
+    "fig7": "Figure 7",
+    "reverse": "§IV-B.3 remark",
+    "timing": "§III-B speed claim",
+    "ablations": "extension (design ablations)",
+    "latency": "extension (online latency)",
+    "safety": "extension (closed-loop safety)",
+    "noise_sweep": "extension (Figure 7 sensitivity curve)",
+    "drift": "extension (gradual-drift detection)",
+}
+
+
+def results_to_markdown(
+    results: Dict[str, ExperimentResult], scale: Scale = None, title: str = None
+) -> str:
+    """Render experiment results as a markdown document."""
+    lines = [f"# {title or 'Reproduction results'}", ""]
+    if scale is not None:
+        lines.append(
+            f"Scale: {scale.image_shape[0]}x{scale.image_shape[1]} frames, "
+            f"{scale.n_train} training images, {scale.n_test}/{scale.n_novel} "
+            f"test/novel samples, CNN {scale.cnn_epochs} epochs, "
+            f"AE {scale.ae_epochs} epochs."
+        )
+        lines.append("")
+    for exp_id, result in results.items():
+        artifact = _ARTIFACTS.get(exp_id, "")
+        heading = f"## {exp_id}: {result.title}"
+        if artifact:
+            heading += f" — {artifact}"
+        lines.append(heading)
+        lines.append("")
+        lines.append("```")
+        lines.extend(result.rows)
+        lines.append("```")
+        if result.metrics:
+            lines.append("")
+            lines.append("| metric | value |")
+            lines.append("|---|---|")
+            for key, value in sorted(result.metrics.items()):
+                lines.append(f"| {key} | {value:.4g} |")
+        if result.notes:
+            lines.append("")
+            lines.append(f"*{result.notes}*")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_markdown_report(
+    results: Dict[str, ExperimentResult],
+    path: Union[str, Path],
+    scale: Scale = None,
+    title: str = None,
+) -> Path:
+    """Render and write the markdown report; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(results_to_markdown(results, scale=scale, title=title) + "\n")
+    return path

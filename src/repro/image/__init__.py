@@ -1,0 +1,32 @@
+"""Image preprocessing operations.
+
+The paper's preprocessing pipeline (§III-A) converts camera frames to
+grayscale, downsamples them to 60x160, and normalizes intensities to
+[0, 1] before they reach either the steering CNN or the autoencoder.  This
+package provides those operations plus the filtering primitives used by the
+datasets and perturbation modules.
+"""
+
+from repro.image.filters import gaussian_blur, sobel_magnitude, uniform_blur
+from repro.image.ops import (
+    center_crop,
+    equalize_histogram,
+    gamma_correct,
+    normalize01,
+    preprocess_frame,
+    resize_bilinear,
+    to_grayscale,
+)
+
+__all__ = [
+    "gaussian_blur",
+    "sobel_magnitude",
+    "uniform_blur",
+    "center_crop",
+    "equalize_histogram",
+    "gamma_correct",
+    "normalize01",
+    "preprocess_frame",
+    "resize_bilinear",
+    "to_grayscale",
+]

@@ -1,0 +1,148 @@
+"""Core image operations: grayscale, resize, crop, normalize.
+
+All functions accept either a single image or a leading batch dimension and
+preserve ``float64`` precision.  Grayscale images are ``(H, W)`` (or
+``(N, H, W)``); color images carry a trailing RGB channel axis.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+#: ITU-R BT.601 luma coefficients, the standard RGB-to-gray projection.
+_LUMA = np.array([0.299, 0.587, 0.114])
+
+
+def to_grayscale(image: np.ndarray) -> np.ndarray:
+    """Convert ``(..., H, W, 3)`` RGB to ``(..., H, W)`` luma grayscale.
+
+    Grayscale inputs (no trailing channel axis of size 3) pass through
+    unchanged, so pipelines can be written channel-agnostically.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim >= 3 and image.shape[-1] == 3:
+        return image @ _LUMA
+    if image.ndim in (2, 3):
+        return image
+    raise ShapeError(f"cannot interpret shape {image.shape} as an image")
+
+
+def normalize01(image: np.ndarray) -> np.ndarray:
+    """Rescale an image (or batch) linearly into [0, 1].
+
+    A constant image maps to all-zeros.  Batches are normalized *per image*
+    so one bright frame cannot compress another's dynamic range.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 2:
+        lo, hi = image.min(), image.max()
+        if hi == lo:
+            return np.zeros_like(image)
+        return (image - lo) / (hi - lo)
+    if image.ndim == 3:
+        lo = image.min(axis=(1, 2), keepdims=True)
+        hi = image.max(axis=(1, 2), keepdims=True)
+        span = np.where(hi > lo, hi - lo, 1.0)
+        out = (image - lo) / span
+        out[np.broadcast_to(hi == lo, out.shape)] = 0.0
+        return out
+    raise ShapeError(f"normalize01 expects (H, W) or (N, H, W), got {image.shape}")
+
+
+def resize_bilinear(image: np.ndarray, size: Tuple[int, int]) -> np.ndarray:
+    """Resize grayscale ``(H, W)`` or ``(N, H, W)`` images bilinearly.
+
+    Uses align-corners=False pixel-center semantics (the common default in
+    imaging libraries).
+    """
+    image = np.asarray(image, dtype=np.float64)
+    out_h, out_w = int(size[0]), int(size[1])
+    if out_h < 1 or out_w < 1:
+        raise ShapeError(f"target size must be positive, got {size}")
+    squeeze = image.ndim == 2
+    if squeeze:
+        image = image[None]
+    if image.ndim != 3:
+        raise ShapeError(f"resize_bilinear expects (H, W) or (N, H, W), got {image.shape}")
+
+    n, h, w = image.shape
+    # Map output pixel centers back into input coordinates.
+    ys = (np.arange(out_h) + 0.5) * h / out_h - 0.5
+    xs = (np.arange(out_w) + 0.5) * w / out_w - 0.5
+    ys = np.clip(ys, 0, h - 1)
+    xs = np.clip(xs, 0, w - 1)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0)[None, :, None]
+    wx = (xs - x0)[None, None, :]
+
+    top = image[:, y0][:, :, x0] * (1 - wx) + image[:, y0][:, :, x1] * wx
+    bottom = image[:, y1][:, :, x0] * (1 - wx) + image[:, y1][:, :, x1] * wx
+    out = top * (1 - wy) + bottom * wy
+    return out[0] if squeeze else out
+
+
+def center_crop(image: np.ndarray, size: Tuple[int, int]) -> np.ndarray:
+    """Crop the central ``(h, w)`` region of ``(H, W)`` / ``(N, H, W)`` images."""
+    image = np.asarray(image, dtype=np.float64)
+    crop_h, crop_w = int(size[0]), int(size[1])
+    h, w = image.shape[-2], image.shape[-1]
+    if crop_h < 1 or crop_w < 1 or crop_h > h or crop_w > w:
+        raise ShapeError(f"cannot crop {size} from image of size {(h, w)}")
+    top = (h - crop_h) // 2
+    left = (w - crop_w) // 2
+    return image[..., top : top + crop_h, left : left + crop_w]
+
+
+def preprocess_frame(frame: np.ndarray, size: Tuple[int, int] = (60, 160)) -> np.ndarray:
+    """The paper's preprocessing chain: grayscale → resize → normalize to [0, 1].
+
+    ``size`` defaults to the paper's 60x160 working resolution.
+    """
+    gray = to_grayscale(frame)
+    resized = resize_bilinear(gray, size)
+    return normalize01(resized)
+
+
+def gamma_correct(image: np.ndarray, gamma: float) -> np.ndarray:
+    """Apply gamma correction ``I' = I**gamma`` to a [0, 1] image.
+
+    ``gamma < 1`` brightens mid-tones, ``gamma > 1`` darkens them — the
+    standard camera-response adjustment.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim not in (2, 3):
+        raise ShapeError(f"gamma_correct expects (H, W) or (N, H, W), got {image.shape}")
+    if gamma <= 0:
+        raise ShapeError(f"gamma must be positive, got {gamma}")
+    return np.clip(image, 0.0, 1.0) ** gamma
+
+
+def equalize_histogram(image: np.ndarray, bins: int = 256) -> np.ndarray:
+    """Histogram equalization: map intensities through their empirical CDF.
+
+    Spreads the intensity distribution toward uniform, the classic
+    contrast-enhancement preprocessing for low-contrast camera frames.
+    Batches are equalized per image.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 3:
+        return np.stack([equalize_histogram(img, bins=bins) for img in image])
+    if image.ndim != 2:
+        raise ShapeError(f"equalize_histogram expects (H, W) or (N, H, W), got {image.shape}")
+    if bins < 2:
+        raise ShapeError(f"bins must be >= 2, got {bins}")
+    clipped = np.clip(image, 0.0, 1.0)
+    hist, edges = np.histogram(clipped, bins=bins, range=(0.0, 1.0))
+    cdf = np.cumsum(hist).astype(np.float64)
+    if cdf[-1] == 0:
+        return clipped.copy()
+    cdf /= cdf[-1]
+    indices = np.minimum((clipped * bins).astype(int), bins - 1)
+    return cdf[indices]

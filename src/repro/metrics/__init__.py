@@ -1,0 +1,69 @@
+"""Image-similarity and evaluation metrics.
+
+This package implements the two similarity metrics the paper compares —
+pixel-wise MSE and the Structural Similarity Index (SSIM, Wang & Bovik) —
+plus the statistical machinery its evaluation relies on: empirical CDFs with
+percentile thresholds (the Richter & Roy novelty rule), ROC/AUROC analysis,
+histogram-separation statistics (the quantitative content of Figures 5 and
+7), and a gradient-energy sharpness score (the quantitative content of
+Figure 6's "blurry vs clean reconstruction" comparison).
+"""
+
+from repro.metrics.bootstrap import BootstrapResult, bootstrap_auroc, bootstrap_statistic
+from repro.metrics.cdf import EmpiricalCDF, percentile_threshold
+from repro.metrics.histograms import (
+    HistogramComparison,
+    compare_distributions,
+    histogram_overlap,
+)
+from repro.metrics.mse import mse, pairwise_mse, psnr
+from repro.metrics.msssim import downsample2x, ms_ssim, ms_ssim_and_grad, upsample2x_adjoint
+from repro.metrics.roc import (
+    PrCurve,
+    RocCurve,
+    auroc,
+    average_precision,
+    pr_curve,
+    roc_curve,
+    tpr_at_fpr,
+)
+from repro.metrics.sharpness import gradient_energy, sharpness_ratio
+from repro.metrics.ssim import (
+    SsimComponents,
+    ssim,
+    ssim_and_grad,
+    ssim_components,
+    ssim_map,
+)
+
+__all__ = [
+    "BootstrapResult",
+    "bootstrap_auroc",
+    "bootstrap_statistic",
+    "EmpiricalCDF",
+    "percentile_threshold",
+    "HistogramComparison",
+    "compare_distributions",
+    "histogram_overlap",
+    "mse",
+    "pairwise_mse",
+    "psnr",
+    "downsample2x",
+    "ms_ssim",
+    "ms_ssim_and_grad",
+    "upsample2x_adjoint",
+    "PrCurve",
+    "RocCurve",
+    "auroc",
+    "average_precision",
+    "pr_curve",
+    "roc_curve",
+    "tpr_at_fpr",
+    "gradient_energy",
+    "sharpness_ratio",
+    "SsimComponents",
+    "ssim",
+    "ssim_and_grad",
+    "ssim_components",
+    "ssim_map",
+]

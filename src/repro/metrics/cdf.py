@@ -1,0 +1,70 @@
+"""Empirical CDFs and percentile thresholds.
+
+The paper inherits its decision rule from Richter & Roy: fit the empirical
+CDF of reconstruction losses on the training set and flag a test image as
+novel when its loss falls outside the 99th percentile.  :class:`EmpiricalCDF`
+implements the distribution; :func:`percentile_threshold` extracts the
+decision threshold used by :class:`repro.novelty.NoveltyDetector`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.utils.validation import require_finite
+
+
+class EmpiricalCDF:
+    """Empirical cumulative distribution function of a scalar sample.
+
+    Evaluation uses the standard right-continuous estimator
+    ``F(t) = #{x_i <= t} / n``.  Quantiles use linear interpolation between
+    order statistics (numpy's default), matching how percentile thresholds
+    are normally tuned in practice.
+    """
+
+    def __init__(self, samples: np.ndarray) -> None:
+        samples = np.asarray(samples, dtype=np.float64).ravel()
+        if samples.size == 0:
+            raise ShapeError("EmpiricalCDF requires at least one sample")
+        require_finite(samples, "EmpiricalCDF samples")
+        self._sorted = np.sort(samples)
+
+    @property
+    def n(self) -> int:
+        """Number of samples the CDF was built from."""
+        return int(self._sorted.size)
+
+    @property
+    def samples(self) -> np.ndarray:
+        """Sorted copy of the underlying sample."""
+        return self._sorted.copy()
+
+    def evaluate(self, t) -> np.ndarray:
+        """``F(t)``, the fraction of samples ``<= t`` (vectorized)."""
+        t = np.asarray(t, dtype=np.float64)
+        ranks = np.searchsorted(self._sorted, t, side="right")
+        result = ranks / self.n
+        return float(result) if result.ndim == 0 else result
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at ``q`` in [0, 1] (linear interpolation)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile level must be in [0, 1], got {q}")
+        return float(np.quantile(self._sorted, q))
+
+    def __call__(self, t) -> np.ndarray:
+        return self.evaluate(t)
+
+
+def percentile_threshold(samples: np.ndarray, percentile: float = 99.0) -> float:
+    """Threshold at the given percentile of the sample distribution.
+
+    ``percentile_threshold(losses, 99.0)`` is the paper's novelty cut-off:
+    a test loss above this value lies outside the 99th percentile of the
+    training-loss distribution.
+    """
+    if not 0.0 <= percentile <= 100.0:
+        raise ConfigurationError(f"percentile must be in [0, 100], got {percentile}")
+    return EmpiricalCDF(samples).quantile(percentile / 100.0)

@@ -1,0 +1,150 @@
+"""Multi-scale SSIM (arithmetic-mean variant) with analytic gradient.
+
+The paper trains its autoencoder with single-scale SSIM over 11x11 windows.
+A standard refinement is multi-scale SSIM (Wang et al., 2003), which also
+compares coarser versions of the two images so that large-structure errors
+are penalized even when fine-scale windows look locally plausible.
+
+This module implements the **arithmetic-mean variant**: the score is the
+plain average of single-scale SSIM values computed on successively 2x
+average-pooled images,
+
+.. math:: \\mathrm{MS}(x, y) = \\frac{1}{S}\\sum_{s=0}^{S-1}
+          \\mathrm{SSIM}(D^s x, D^s y)
+
+(rather than Wang's weighted geometric product of luminance/contrast
+terms).  The arithmetic form keeps the gradient exactly computable by
+back-projecting each scale's SSIM gradient through the average-pooling
+adjoint, which is what makes it usable as a *training loss* on the numpy
+substrate; the geometric variant's extra machinery changes none of the
+comparisons this repo makes.  Used by the loss-function ablation
+(``repro.experiments.ablations``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.metrics.ssim import DEFAULT_WINDOW_SIZE, ssim, ssim_and_grad
+
+
+def downsample2x(images: np.ndarray) -> np.ndarray:
+    """2x2 average pooling over the trailing two axes (odd edges cropped).
+
+    Works on ``(H, W)`` images or ``(N, H, W)`` batches.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim not in (2, 3):
+        raise ShapeError(f"downsample2x expects (H, W) or (N, H, W), got {images.shape}")
+    h, w = images.shape[-2] // 2 * 2, images.shape[-1] // 2 * 2
+    if h < 2 or w < 2:
+        raise ShapeError(f"image too small to downsample: {images.shape}")
+    trimmed = images[..., :h, :w]
+    return 0.25 * (
+        trimmed[..., 0::2, 0::2]
+        + trimmed[..., 0::2, 1::2]
+        + trimmed[..., 1::2, 0::2]
+        + trimmed[..., 1::2, 1::2]
+    )
+
+
+def upsample2x_adjoint(grad: np.ndarray, target_shape: Tuple[int, ...]) -> np.ndarray:
+    """Adjoint of :func:`downsample2x`: spread each gradient over its 2x2
+    block (weight 1/4 each), zero-padding any cropped odd edge."""
+    grad = np.asarray(grad, dtype=np.float64)
+    out = np.zeros(target_shape, dtype=np.float64)
+    h, w = grad.shape[-2] * 2, grad.shape[-1] * 2
+    quarter = 0.25 * grad
+    out[..., 0:h:2, 0:w:2] = quarter
+    out[..., 0:h:2, 1:w:2] = quarter
+    out[..., 1:h:2, 0:w:2] = quarter
+    out[..., 1:h:2, 1:w:2] = quarter
+    return out
+
+
+def _validate_scales(shape: Tuple[int, int], scales: int, window_size: int) -> None:
+    h, w = shape
+    for _ in range(scales - 1):
+        h, w = h // 2, w // 2
+    if window_size > min(h, w):
+        raise ConfigurationError(
+            f"{scales} scales reduce the image to {h}x{w}, smaller than the "
+            f"{window_size}-pixel SSIM window; use fewer scales or a smaller window"
+        )
+
+
+def ms_ssim(
+    x: np.ndarray,
+    y: np.ndarray,
+    scales: int = 3,
+    window_size: int = DEFAULT_WINDOW_SIZE,
+    data_range: float = 1.0,
+    window: str = "uniform",
+):
+    """Arithmetic-mean multi-scale SSIM.
+
+    Returns a float for ``(H, W)`` inputs, an ``(N,)`` vector for batches.
+    ``scales=1`` reduces exactly to single-scale :func:`repro.metrics.ssim`.
+    """
+    if scales < 1:
+        raise ConfigurationError(f"scales must be >= 1, got {scales}")
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    _validate_scales(x.shape[-2:], scales, window_size)
+
+    total = None
+    cur_x, cur_y = x, y
+    for level in range(scales):
+        score = ssim(cur_x, cur_y, window_size=window_size, data_range=data_range, window=window)
+        total = score if total is None else total + score
+        if level < scales - 1:
+            cur_x = downsample2x(cur_x)
+            cur_y = downsample2x(cur_y)
+    return total / scales
+
+
+def ms_ssim_and_grad(
+    x: np.ndarray,
+    y: np.ndarray,
+    scales: int = 3,
+    window_size: int = DEFAULT_WINDOW_SIZE,
+    data_range: float = 1.0,
+    window: str = "uniform",
+):
+    """Mean multi-scale SSIM and its analytic gradient with respect to ``y``.
+
+    The per-scale SSIM gradients are back-projected through the chain of
+    2x2 average-pooling operators via their adjoint and averaged.
+    """
+    if scales < 1:
+        raise ConfigurationError(f"scales must be >= 1, got {scales}")
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    _validate_scales(x.shape[-2:], scales, window_size)
+
+    # Forward: remember each pyramid level's shape for the backward pass.
+    levels_x: List[np.ndarray] = [x]
+    levels_y: List[np.ndarray] = [y]
+    for _ in range(scales - 1):
+        levels_x.append(downsample2x(levels_x[-1]))
+        levels_y.append(downsample2x(levels_y[-1]))
+
+    total_score = None
+    total_grad = np.zeros_like(y)
+    for level in range(scales):
+        score, grad = ssim_and_grad(
+            levels_x[level],
+            levels_y[level],
+            window_size=window_size,
+            data_range=data_range,
+            window=window,
+        )
+        total_score = score if total_score is None else total_score + score
+        # Back-project this level's gradient to full resolution.
+        for back in range(level, 0, -1):
+            grad = upsample2x_adjoint(grad, levels_y[back - 1].shape)
+        total_grad += grad
+    return total_score / scales, total_grad / scales

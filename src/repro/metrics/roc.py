@@ -1,0 +1,164 @@
+"""ROC analysis for novelty scores.
+
+The paper argues separability from histograms; AUROC is the standard scalar
+summary of the same information (1.0 = the two distributions are perfectly
+separable, 0.5 = indistinguishable).  These routines quantify Figures 5 and
+7 so the benchmark harness can report numbers instead of pictures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """A receiver-operating-characteristic curve.
+
+    Attributes
+    ----------
+    fpr, tpr:
+        False/true positive rates at each threshold, monotonically
+        non-decreasing from 0 to 1.
+    thresholds:
+        Score thresholds corresponding to each operating point ("positive"
+        means ``score >= threshold``).
+    """
+
+    fpr: np.ndarray
+    tpr: np.ndarray
+    thresholds: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        """Area under the curve via the trapezoid rule."""
+        # np.trapz was renamed to np.trapezoid in numpy 2.0.
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        return float(trapezoid(self.tpr, self.fpr))
+
+
+def _validate_scores(scores: np.ndarray, labels: np.ndarray):
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    labels = np.asarray(labels).ravel().astype(bool)
+    if scores.shape != labels.shape:
+        raise ShapeError(
+            f"scores and labels must align, got {scores.shape} vs {labels.shape}"
+        )
+    if scores.size == 0:
+        raise ShapeError("roc requires at least one sample")
+    if labels.all() or not labels.any():
+        raise ShapeError("roc requires both positive and negative samples")
+    return scores, labels
+
+
+def roc_curve(scores: np.ndarray, labels: np.ndarray) -> RocCurve:
+    """ROC curve for scores where *higher* means *more positive*.
+
+    Parameters
+    ----------
+    scores:
+        Scalar scores (e.g. reconstruction losses, where higher = more
+        novel).
+    labels:
+        Boolean array; ``True`` marks the positive (novel) class.
+    """
+    scores, labels = _validate_scores(scores, labels)
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+
+    tp = np.cumsum(sorted_labels)
+    fp = np.cumsum(~sorted_labels)
+    n_pos = tp[-1]
+    n_neg = fp[-1]
+
+    # Collapse runs of equal scores to single operating points.
+    distinct = np.r_[np.nonzero(np.diff(sorted_scores))[0], sorted_scores.size - 1]
+    tpr = np.r_[0.0, tp[distinct] / n_pos]
+    fpr = np.r_[0.0, fp[distinct] / n_neg]
+    thresholds = np.r_[np.inf, sorted_scores[distinct]]
+    return RocCurve(fpr=fpr, tpr=tpr, thresholds=thresholds)
+
+
+def auroc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve (higher score = more positive).
+
+    Computed via the rank-statistic (Mann-Whitney U) formulation, which is
+    exact and handles ties correctly.
+    """
+    scores, labels = _validate_scores(scores, labels)
+    # Average ranks so tied scores contribute 0.5.
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty_like(scores)
+    ranks[order] = np.arange(1, scores.size + 1, dtype=np.float64)
+    unique, inverse, counts = np.unique(scores, return_inverse=True, return_counts=True)
+    if unique.size != scores.size:
+        rank_sums = np.bincount(inverse, weights=ranks)
+        ranks = (rank_sums / counts)[inverse]
+    n_pos = labels.sum()
+    n_neg = labels.size - n_pos
+    u = ranks[labels].sum() - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def tpr_at_fpr(scores: np.ndarray, labels: np.ndarray, max_fpr: float = 0.01) -> float:
+    """Highest achievable TPR subject to ``FPR <= max_fpr``.
+
+    With ``max_fpr = 0.01`` this is the detection rate at the paper's
+    99th-percentile operating point.
+    """
+    if not 0.0 <= max_fpr <= 1.0:
+        raise ShapeError(f"max_fpr must be in [0, 1], got {max_fpr}")
+    curve = roc_curve(scores, labels)
+    feasible = curve.fpr <= max_fpr
+    return float(curve.tpr[feasible].max())
+
+
+@dataclass(frozen=True)
+class PrCurve:
+    """A precision-recall curve.
+
+    Attributes
+    ----------
+    precision, recall:
+        Operating points, ordered by decreasing threshold (recall
+        non-decreasing).
+    thresholds:
+        Score thresholds ("positive" means ``score >= threshold``).
+    """
+
+    precision: np.ndarray
+    recall: np.ndarray
+    thresholds: np.ndarray
+
+
+def pr_curve(scores: np.ndarray, labels: np.ndarray) -> PrCurve:
+    """Precision-recall curve (higher score = more positive)."""
+    scores, labels = _validate_scores(scores, labels)
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+
+    tp = np.cumsum(sorted_labels)
+    predicted = np.arange(1, scores.size + 1)
+    distinct = np.r_[np.nonzero(np.diff(sorted_scores))[0], sorted_scores.size - 1]
+    precision = tp[distinct] / predicted[distinct]
+    recall = tp[distinct] / tp[-1]
+    return PrCurve(
+        precision=precision, recall=recall, thresholds=sorted_scores[distinct]
+    )
+
+
+def average_precision(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Average precision (area under the PR curve, step interpolation).
+
+    The standard AP estimator: the sum over distinct recall increments of
+    the precision at that operating point.
+    """
+    curve = pr_curve(scores, labels)
+    recall_steps = np.diff(np.r_[0.0, curve.recall])
+    return float(np.sum(recall_steps * curve.precision))

@@ -1,0 +1,15 @@
+"""Network architectures used by the paper's framework.
+
+* :class:`PilotNet` — the steering-angle prediction CNN (modeled on
+  Bojarski et al.'s end-to-end driving network, as the paper does).
+* :class:`DenseAutoencoder` — the one-class classifier: a feedforward
+  autoencoder with 64-16-64 hidden units, ReLU activations, and a sigmoid
+  output (paper §III-A).
+* :class:`ConvAutoencoder` — a convolutional extension beyond the paper,
+  for the ablation benchmarks.
+"""
+
+from repro.models.autoencoder import ConvAutoencoder, DenseAutoencoder
+from repro.models.pilotnet import PilotNet, PilotNetConfig
+
+__all__ = ["PilotNet", "PilotNetConfig", "DenseAutoencoder", "ConvAutoencoder"]

@@ -1,0 +1,161 @@
+"""One-class autoencoders.
+
+:class:`DenseAutoencoder` is the paper's classifier verbatim (§III-A): a
+feedforward autoencoder with three hidden fully-connected layers of 64, 16
+and 64 units, ReLU activations, and a sigmoid output layer sized to the
+flattened image (9600 for 60x160 frames).  Inputs are grayscale images
+normalized to [0, 1].
+
+:class:`ConvAutoencoder` is an extension beyond the paper used by the
+ablation benchmarks: a small convolutional encoder/decoder that preserves
+spatial structure instead of flattening it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.layers import (
+    Conv2d,
+    ConvTranspose2d,
+    Dense,
+    Flatten,
+    Layer,
+    ReLU,
+    Sigmoid,
+)
+from repro.nn.model import Sequential
+from repro.utils.seeding import RngLike, derive_rng
+
+
+class DenseAutoencoder(Sequential):
+    """The paper's 64-16-64 feedforward autoencoder.
+
+    Parameters
+    ----------
+    image_shape:
+        ``(H, W)`` of the images being reconstructed; the network operates
+        on the flattened ``H*W`` vector (9600 at the paper's resolution).
+    hidden:
+        Hidden-layer widths.  Defaults to the paper's ``(64, 16, 64)``; the
+        middle entry is the bottleneck.
+    """
+
+    def __init__(
+        self,
+        image_shape: Tuple[int, int],
+        hidden: Tuple[int, ...] = (64, 16, 64),
+        rng: RngLike = None,
+    ) -> None:
+        if len(image_shape) != 2 or image_shape[0] < 1 or image_shape[1] < 1:
+            raise ConfigurationError(f"image_shape must be (H, W), got {image_shape}")
+        if not hidden:
+            raise ConfigurationError("hidden layer widths must be non-empty")
+        if any(h < 1 for h in hidden):
+            raise ConfigurationError(f"hidden widths must be positive, got {hidden}")
+        generator = derive_rng(rng, stream="dense_ae")
+        input_dim = int(image_shape[0]) * int(image_shape[1])
+
+        layers: List[Layer] = []
+        width = input_dim
+        for i, units in enumerate(hidden):
+            # Sigmoid outputs live in [0, 1]; Xavier keeps the pre-sigmoid
+            # logits in the linear regime at init so training starts from
+            # mid-gray reconstructions rather than saturated extremes.
+            layers.append(Dense(width, units, rng=generator, name=f"enc{i}"))
+            layers.append(ReLU())
+            width = units
+        layers.append(Dense(width, input_dim, weight_init="xavier_uniform", rng=generator, name="dec_out"))
+        layers.append(Sigmoid())
+
+        super().__init__(layers)
+        self.image_shape = (int(image_shape[0]), int(image_shape[1]))
+        self.hidden = tuple(hidden)
+        self.input_dim = input_dim
+
+    @property
+    def bottleneck(self) -> int:
+        """Width of the narrowest hidden layer."""
+        return min(self.hidden)
+
+    def _flatten_batch(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        h, w = self.image_shape
+        if images.ndim == 3 and images.shape[1:] == (h, w):
+            return images.reshape(images.shape[0], -1)
+        if images.ndim == 2 and images.shape[1] == self.input_dim:
+            return images
+        raise ShapeError(
+            f"expected (N, {h}, {w}) images or (N, {self.input_dim}) vectors, "
+            f"got {images.shape}"
+        )
+
+    def reconstruct(self, images: np.ndarray) -> np.ndarray:
+        """Reconstruct a batch, returning images shaped like the input batch."""
+        flat = self._flatten_batch(images)
+        out = self.predict(flat)
+        images = np.asarray(images)
+        if images.ndim == 3:
+            return out.reshape(images.shape)
+        return out
+
+    def encode(self, images: np.ndarray) -> np.ndarray:
+        """Bottleneck codes for a batch (output of the narrowest layer)."""
+        flat = self._flatten_batch(images)
+        out = flat
+        narrow_index = 2 * int(np.argmin(self.hidden)) + 1  # after that ReLU
+        for layer in self.layers[: narrow_index + 1]:
+            out = layer.forward(out, training=False)
+        return out
+
+
+class ConvAutoencoder(Sequential):
+    """Convolutional autoencoder (extension for ablation experiments).
+
+    A two-stage strided conv encoder and mirrored transposed-conv decoder
+    with a sigmoid output.  Requires both image dimensions to be divisible
+    by 4 so the decoder exactly restores the input shape.
+    """
+
+    def __init__(
+        self,
+        image_shape: Tuple[int, int],
+        channels: Tuple[int, int] = (8, 16),
+        rng: RngLike = None,
+    ) -> None:
+        h, w = int(image_shape[0]), int(image_shape[1])
+        if h % 4 or w % 4:
+            raise ConfigurationError(
+                f"ConvAutoencoder needs dimensions divisible by 4, got {image_shape}"
+            )
+        if len(channels) != 2 or any(c < 1 for c in channels):
+            raise ConfigurationError(f"channels must be two positive ints, got {channels}")
+        generator = derive_rng(rng, stream="conv_ae")
+        c1, c2 = channels
+        layers: List[Layer] = [
+            Conv2d(1, c1, 4, stride=2, padding=1, rng=generator, name="enc_conv0"),
+            ReLU(),
+            Conv2d(c1, c2, 4, stride=2, padding=1, rng=generator, name="enc_conv1"),
+            ReLU(),
+            ConvTranspose2d(c2, c1, 4, stride=2, padding=1, rng=generator, name="dec_conv0"),
+            ReLU(),
+            ConvTranspose2d(
+                c1, 1, 4, stride=2, padding=1,
+                weight_init="xavier_uniform", rng=generator, name="dec_conv1",
+            ),
+            Sigmoid(),
+        ]
+        super().__init__(layers)
+        self.image_shape = (h, w)
+        self.channels = (c1, c2)
+
+    def reconstruct(self, images: np.ndarray) -> np.ndarray:
+        """Reconstruct ``(N, H, W)`` images (adds/strips the channel axis)."""
+        images = np.asarray(images, dtype=np.float64)
+        h, w = self.image_shape
+        if images.ndim != 3 or images.shape[1:] != (h, w):
+            raise ShapeError(f"expected (N, {h}, {w}) images, got {images.shape}")
+        return self.predict(images[:, None, :, :])[:, 0, :, :]

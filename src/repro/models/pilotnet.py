@@ -1,0 +1,214 @@
+"""PilotNet-style steering-angle CNN.
+
+The paper's prediction model "is modeled off of the steering angle
+prediction convolutional network presented in [Bojarski et al.]": a stack of
+strided convolutions followed by fully-connected layers regressing a single
+steering angle.  The reference network uses five convolutions
+(24/36/48 @ 5x5 stride 2, then 64/64 @ 3x3) and 100-50-10-1 dense heads on
+66x200 inputs.
+
+This implementation keeps that shape but makes the stack configurable so the
+same architecture runs at the reduced geometries of the CI/bench presets
+(where five stride-2 convolutions would collapse the feature map below one
+pixel).  :meth:`PilotNetConfig.for_image` picks a sensible stack for a given
+input size; :meth:`PilotNetConfig.paper` is the full reference stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import BatchNorm2d, Conv2d, Dense, Flatten, Layer, LeakyReLU, ReLU
+from repro.nn.layers.conv import conv_output_size
+from repro.nn.model import Sequential
+from repro.utils.seeding import RngLike, derive_rng
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """One convolution stage: output channels, square kernel, stride."""
+
+    out_channels: int
+    kernel: int
+    stride: int
+
+    def __post_init__(self) -> None:
+        if self.out_channels < 1 or self.kernel < 1 or self.stride < 1:
+            raise ConfigurationError(f"invalid conv spec: {self}")
+
+
+@dataclass(frozen=True)
+class PilotNetConfig:
+    """Architecture description for :class:`PilotNet`.
+
+    Attributes
+    ----------
+    input_shape:
+        ``(H, W)`` of the single-channel input frames.
+    conv_specs:
+        The convolutional stack, applied with ReLU after each stage.
+    dense_units:
+        Fully-connected head widths; a final ``Dense(..., 1)`` regression
+        output is always appended.
+    """
+
+    input_shape: Tuple[int, int]
+    conv_specs: Tuple[ConvSpec, ...] = field(
+        default_factory=lambda: (
+            ConvSpec(24, 5, 2),
+            ConvSpec(36, 5, 2),
+            ConvSpec(48, 5, 2),
+            ConvSpec(64, 3, 1),
+            ConvSpec(64, 3, 1),
+        )
+    )
+    dense_units: Tuple[int, ...] = (100, 50, 10)
+    #: Insert BatchNorm2d between each convolution and its ReLU.  Not part
+    #: of the reference architecture; exposed for normalization ablations.
+    batch_norm: bool = False
+
+    @classmethod
+    def paper(cls, input_shape: Tuple[int, int] = (60, 160)) -> "PilotNetConfig":
+        """The Bojarski et al. reference stack at the paper's 60x160 frames."""
+        return cls(input_shape=tuple(input_shape))
+
+    @classmethod
+    def for_image(cls, input_shape: Tuple[int, int]) -> "PilotNetConfig":
+        """A stack adapted to the input size.
+
+        Greedily keeps the reference stages whose kernels still fit the
+        shrinking feature map, reducing stride when a stride-2 stage would
+        shrink a dimension below 3 pixels.  The paper-scale input reproduces
+        the full reference stack; small CI inputs get a 2-3 stage stack with
+        proportionally narrower dense heads.
+        """
+        h, w = int(input_shape[0]), int(input_shape[1])
+        reference = (
+            ConvSpec(24, 5, 2),
+            ConvSpec(36, 5, 2),
+            ConvSpec(48, 5, 2),
+            ConvSpec(64, 3, 1),
+            ConvSpec(64, 3, 1),
+        )
+        specs: List[ConvSpec] = []
+        cur_h, cur_w = h, w
+        for spec in reference:
+            if spec.kernel > min(cur_h, cur_w):
+                break
+            stride = spec.stride
+            if stride > 1:
+                next_h = conv_output_size(cur_h, spec.kernel, stride, 0)
+                next_w = conv_output_size(cur_w, spec.kernel, stride, 0)
+                if min(next_h, next_w) < 3:
+                    stride = 1
+            specs.append(ConvSpec(spec.out_channels, spec.kernel, stride))
+            cur_h = conv_output_size(cur_h, spec.kernel, stride, 0)
+            cur_w = conv_output_size(cur_w, spec.kernel, stride, 0)
+        if not specs:
+            raise ConfigurationError(f"input {input_shape} too small for any conv stage")
+        flat = specs[-1].out_channels * cur_h * cur_w
+        dense: Tuple[int, ...] = (100, 50, 10) if flat >= 400 else (32, 10)
+        return cls(input_shape=(h, w), conv_specs=tuple(specs), dense_units=dense)
+
+
+class PilotNet(Sequential):
+    """Steering-angle regression CNN over ``(N, 1, H, W)`` frames.
+
+    The network is an ordinary :class:`repro.nn.Sequential`, so the
+    VisualBackProp implementation can walk its layers; :attr:`conv_indices`
+    records where the convolution stages sit.
+    """
+
+    def __init__(self, config: PilotNetConfig, rng: RngLike = None) -> None:
+        generator = derive_rng(rng, stream="pilotnet")
+        layers: List[Layer] = []
+        conv_indices: List[int] = []
+
+        in_channels = 1
+        cur_h, cur_w = config.input_shape
+        for i, spec in enumerate(config.conv_specs):
+            if spec.kernel > min(cur_h, cur_w):
+                raise ConfigurationError(
+                    f"conv stage {i} kernel {spec.kernel} exceeds feature map "
+                    f"{(cur_h, cur_w)} for input {config.input_shape}"
+                )
+            conv_indices.append(len(layers))
+            layers.append(
+                Conv2d(
+                    in_channels,
+                    spec.out_channels,
+                    spec.kernel,
+                    stride=spec.stride,
+                    rng=generator,
+                    name=f"conv{i}",
+                )
+            )
+            if config.batch_norm:
+                layers.append(BatchNorm2d(spec.out_channels, name=f"bn{i}"))
+            layers.append(ReLU())
+            in_channels = spec.out_channels
+            cur_h = conv_output_size(cur_h, spec.kernel, spec.stride, 0)
+            cur_w = conv_output_size(cur_w, spec.kernel, spec.stride, 0)
+
+        layers.append(Flatten())
+        width = in_channels * cur_h * cur_w
+        for j, units in enumerate(config.dense_units):
+            layers.append(Dense(width, units, rng=generator, name=f"fc{j}"))
+            # LeakyReLU in the head: with the narrow 100-50-10 stack and the
+            # small datasets of the reduced-scale presets, plain ReLU units
+            # die en masse and the regressor collapses to a constant.  The
+            # conv stages keep plain ReLU — VisualBackProp consumes their
+            # non-negative feature maps.
+            layers.append(LeakyReLU(0.1))
+            width = units
+        layers.append(Dense(width, 1, rng=generator, name="fc_out"))
+
+        super().__init__(layers)
+        self.config = config
+        self.conv_indices = conv_indices
+        self.feature_shape = (in_channels, cur_h, cur_w)
+
+    def predict_angles(self, frames: np.ndarray) -> np.ndarray:
+        """Steering angles for ``(N, H, W)`` or ``(N, 1, H, W)`` frames."""
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim == 3:
+            frames = frames[:, None, :, :]
+        if frames.ndim != 4 or frames.shape[1] != 1:
+            raise ConfigurationError(
+                f"predict_angles expects (N, H, W) or (N, 1, H, W), got {frames.shape}"
+            )
+        return self.predict(frames)[:, 0]
+
+
+def train_pilotnet(
+    model: PilotNet,
+    frames: np.ndarray,
+    angles: np.ndarray,
+    epochs: int = 5,
+    batch_size: int = 32,
+    lr: float = 1e-3,
+    rng: RngLike = None,
+):
+    """Convenience training loop for the steering task.
+
+    Returns the :class:`repro.nn.TrainingHistory`.  Kept here (rather than
+    in the experiment harness) because every experiment that needs a trained
+    prediction model uses exactly this recipe.
+    """
+    from repro.nn.data import ArrayDataset, DataLoader
+    from repro.nn.losses import MSELoss
+    from repro.nn.optim import Adam
+    from repro.nn.trainer import Trainer
+
+    frames = np.asarray(frames, dtype=np.float64)
+    if frames.ndim == 3:
+        frames = frames[:, None, :, :]
+    angles = np.asarray(angles, dtype=np.float64).reshape(-1, 1)
+    dataset = ArrayDataset(frames, angles)
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=True, rng=rng)
+    trainer = Trainer(model, MSELoss(), Adam(model.parameters(), lr=lr), gradient_clip=5.0)
+    return trainer.fit(loader, epochs=epochs)

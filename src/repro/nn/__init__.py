@@ -1,0 +1,89 @@
+"""``repro.nn`` — a from-scratch numpy deep-learning substrate.
+
+The paper trains two networks (a PilotNet-style steering CNN and a small
+dense autoencoder) with standard backpropagation.  Since the execution
+environment provides no deep-learning framework, this subpackage implements
+one: layers with explicit ``forward``/``backward`` passes, losses (including
+a differentiable SSIM), optimizers, a ``Sequential`` container with
+serialization, data loaders, and a mini-batch trainer.
+
+Data layout conventions
+-----------------------
+* Convolutional layers operate on ``(N, C, H, W)`` float arrays.
+* Dense layers operate on ``(N, D)`` float arrays.
+* All parameters and activations use ``float64`` so numerical gradient
+  checks in the test suite are meaningful.
+"""
+
+from repro.nn import initializers
+from repro.nn.data import ArrayDataset, DataLoader, train_test_split
+from repro.nn.gradcheck import check_layer_gradients, check_loss_gradients, numerical_gradient
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    ConvTranspose2d,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    LeakyReLU,
+    MaxPool2d,
+    Parameter,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import HuberLoss, Loss, MAELoss, MSELoss, MSSSIMLoss, SSIMLoss
+from repro.nn.model import Sequential, load_model, save_model
+from repro.nn.optim import SGD, Adam, ConstantLR, ExponentialDecayLR, Optimizer, RMSProp, StepDecayLR
+from repro.nn.summary import describe, layer_table, parameter_count
+from repro.nn.trainer import EarlyStopping, Trainer, TrainingHistory
+
+__all__ = [
+    "initializers",
+    "ArrayDataset",
+    "DataLoader",
+    "train_test_split",
+    "check_layer_gradients",
+    "check_loss_gradients",
+    "numerical_gradient",
+    "AvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Conv2d",
+    "ConvTranspose2d",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "Layer",
+    "LeakyReLU",
+    "MaxPool2d",
+    "Parameter",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "HuberLoss",
+    "Loss",
+    "MAELoss",
+    "MSELoss",
+    "MSSSIMLoss",
+    "SSIMLoss",
+    "Sequential",
+    "load_model",
+    "save_model",
+    "SGD",
+    "Adam",
+    "ConstantLR",
+    "ExponentialDecayLR",
+    "Optimizer",
+    "RMSProp",
+    "StepDecayLR",
+    "describe",
+    "layer_table",
+    "parameter_count",
+    "EarlyStopping",
+    "Trainer",
+    "TrainingHistory",
+]

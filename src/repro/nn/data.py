@@ -1,0 +1,121 @@
+"""Datasets, loaders, and splits for mini-batch training.
+
+The paper trains with an 80/20 train/test split and mini-batches of 32
+(§III-A); :func:`train_test_split` and :class:`DataLoader` provide exactly
+those mechanics, deterministically under a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.utils.seeding import RngLike, derive_rng
+
+
+class ArrayDataset:
+    """An in-memory dataset of aligned ``(inputs, targets)`` arrays.
+
+    ``targets`` may be omitted for self-supervised tasks — the paper's
+    autoencoder reconstructs its own input, so ``targets`` defaults to
+    ``inputs``.
+    """
+
+    def __init__(self, inputs: np.ndarray, targets: Optional[np.ndarray] = None) -> None:
+        self.inputs = np.asarray(inputs, dtype=np.float64)
+        if self.inputs.ndim < 1 or self.inputs.shape[0] == 0:
+            raise ShapeError(f"inputs must be a non-empty batch, got {self.inputs.shape}")
+        if targets is None:
+            self.targets = self.inputs
+        else:
+            self.targets = np.asarray(targets, dtype=np.float64)
+            if self.targets.shape[0] != self.inputs.shape[0]:
+                raise ShapeError(
+                    f"targets ({self.targets.shape[0]}) and inputs "
+                    f"({self.inputs.shape[0]}) must have the same length"
+                )
+
+    def __len__(self) -> int:
+        return int(self.inputs.shape[0])
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.inputs[index], self.targets[index]
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """A new dataset restricted to the given indices."""
+        indices = np.asarray(indices)
+        return ArrayDataset(self.inputs[indices], self.targets[indices])
+
+
+class DataLoader:
+    """Deterministic mini-batch iterator over an :class:`ArrayDataset`.
+
+    Each full pass (epoch) reshuffles with a stream derived from the root
+    seed and an epoch counter, so the batch sequence is reproducible yet
+    differs between epochs.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: RngLike = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        root = derive_rng(rng, stream="loader")
+        # One draw of seed material at construction keeps every epoch's
+        # shuffle deterministic while remaining independent across epochs.
+        self._seed_material = int(root.integers(0, 2**62))
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        if self.shuffle:
+            epoch_rng = np.random.default_rng(self._seed_material + self._epoch)
+            order = epoch_rng.permutation(n)
+        else:
+            order = np.arange(n)
+        self._epoch += 1
+        limit = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, limit, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.dataset[idx]
+
+
+def train_test_split(
+    inputs: np.ndarray,
+    targets: Optional[np.ndarray] = None,
+    test_fraction: float = 0.2,
+    rng: RngLike = None,
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Shuffle and split arrays into train/test datasets.
+
+    Defaults to the paper's 80/20 split.  Guarantees at least one sample on
+    each side (raising for datasets too small to split).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigurationError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    dataset = ArrayDataset(inputs, targets)
+    n = len(dataset)
+    n_test = int(round(n * test_fraction))
+    n_test = min(max(n_test, 1), n - 1)
+    if n < 2:
+        raise ShapeError(f"need at least 2 samples to split, got {n}")
+    order = derive_rng(rng, stream="split").permutation(n)
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return dataset.subset(train_idx), dataset.subset(test_idx)

@@ -1,0 +1,90 @@
+"""Weight initialization schemes.
+
+Each initializer is a function ``(shape, rng) -> np.ndarray``.  Layers take
+an initializer by name (string) or as a callable, so experiments can swap
+schemes without touching layer code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+Initializer = Callable[[Sequence[int], np.random.Generator], np.ndarray]
+
+
+def _fan_in_out(shape: Sequence[int]) -> tuple:
+    """Compute (fan_in, fan_out) for dense and convolutional weight shapes.
+
+    Dense weights are ``(in, out)``; conv weights are
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = int(np.prod(shape[2:]))
+        return shape[1] * receptive, shape[0] * receptive
+    size = int(np.prod(shape))
+    return size, size
+
+
+def zeros(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """All-zeros initializer (used for biases)."""
+    del rng
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """All-ones initializer (used for scale parameters)."""
+    del rng
+    return np.ones(shape, dtype=np.float64)
+
+
+def uniform(shape: Sequence[int], rng: np.random.Generator, scale: float = 0.05) -> np.ndarray:
+    """Uniform initializer on ``[-scale, scale]``."""
+    return rng.uniform(-scale, scale, size=shape).astype(np.float64)
+
+
+def normal(shape: Sequence[int], rng: np.random.Generator, std: float = 0.05) -> np.ndarray:
+    """Gaussian initializer with the given standard deviation."""
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def xavier_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform — suited to sigmoid/tanh layers."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def he_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal — suited to ReLU layers."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+_REGISTRY: Dict[str, Initializer] = {
+    "zeros": zeros,
+    "ones": ones,
+    "uniform": uniform,
+    "normal": normal,
+    "xavier_uniform": xavier_uniform,
+    "he_normal": he_normal,
+}
+
+
+def get(name_or_fn: Union[str, Initializer]) -> Initializer:
+    """Resolve an initializer by name, passing callables through unchanged."""
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return _REGISTRY[name_or_fn]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown initializer {name_or_fn!r}; known initializers: {known}"
+        ) from None

@@ -1,0 +1,28 @@
+"""Neural-network layers with explicit forward/backward passes."""
+
+from repro.nn.layers.activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers.base import Layer, Parameter
+from repro.nn.layers.conv import Conv2d, ConvTranspose2d
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.norm import BatchNorm1d, BatchNorm2d
+from repro.nn.layers.pooling import AvgPool2d, MaxPool2d
+
+__all__ = [
+    "Layer",
+    "Parameter",
+    "Dense",
+    "Conv2d",
+    "ConvTranspose2d",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "Flatten",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "AvgPool2d",
+    "MaxPool2d",
+]

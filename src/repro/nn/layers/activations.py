@@ -1,0 +1,103 @@
+"""Elementwise activation layers.
+
+All activations work on batches of any dimensionality; they cache what the
+backward pass needs and are parameter-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.layers.base import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit, ``max(x, 0)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError("ReLU.backward() called before forward()")
+        return np.where(self._mask, np.asarray(grad_output, dtype=np.float64), 0.0)
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with configurable negative-side slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        if negative_slope < 0:
+            raise ShapeError(f"negative_slope must be >= 0, got {negative_slope}")
+        self.negative_slope = float(negative_slope)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError("LeakyReLU.backward() called before forward()")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        return np.where(self._mask, grad_output, self.negative_slope * grad_output)
+
+    def __repr__(self) -> str:
+        return f"LeakyReLU(negative_slope={self.negative_slope})"
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid, numerically stable for large |x|.
+
+    The paper's autoencoder uses a sigmoid output layer so reconstructions
+    land in [0, 1] like the normalized input images.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        # Evaluate the two algebraically-equal branches on their stable side
+        # to avoid overflow in exp().
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        expx = np.exp(x[~pos])
+        out[~pos] = expx / (1.0 + expx)
+        self._out = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise ShapeError("Sigmoid.backward() called before forward()")
+        return np.asarray(grad_output, dtype=np.float64) * self._out * (1.0 - self._out)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._out = np.tanh(np.asarray(x, dtype=np.float64))
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise ShapeError("Tanh.backward() called before forward()")
+        return np.asarray(grad_output, dtype=np.float64) * (1.0 - self._out**2)

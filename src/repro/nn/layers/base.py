@@ -1,0 +1,131 @@
+"""Layer and Parameter abstractions.
+
+Every layer implements
+
+* ``forward(x, training)`` — compute outputs, caching whatever the backward
+  pass needs on ``self``;
+* ``backward(grad_output)`` — given dL/d(output), accumulate dL/d(param) into
+  each parameter's ``.grad`` and return dL/d(input);
+* ``parameters()`` — the list of trainable :class:`Parameter` objects.
+
+Layers are single-use per step: ``backward`` consumes the cache left by the
+most recent ``forward``.  The :class:`repro.nn.Sequential` container chains
+them and the :class:`repro.nn.Trainer` drives the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient.
+
+    Attributes
+    ----------
+    value:
+        The parameter tensor, updated in place by optimizers.
+    grad:
+        Gradient of the loss with respect to ``value``; same shape.
+        Reset with :meth:`zero_grad` between steps.
+    name:
+        Human-readable identifier used in checkpoints and error messages.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad.fill(0.0)
+
+    @property
+    def shape(self) -> tuple:
+        """Shape of the underlying value array."""
+        return self.value.shape
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses must implement :meth:`forward` and :meth:`backward` and
+    register their :class:`Parameter` objects in ``self._params``.
+    """
+
+    def __init__(self) -> None:
+        self._params: List[Parameter] = []
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for input ``x``.
+
+        ``training`` toggles train-time behaviour (dropout masks, batch-norm
+        batch statistics); inference-only layers ignore it.
+        """
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output`` (dL/d output) through the layer.
+
+        Accumulates parameter gradients into each ``Parameter.grad`` and
+        returns dL/d input.  Must be called after :meth:`forward`.
+        """
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters of this layer."""
+        return list(self._params)
+
+    def zero_grad(self) -> None:
+        """Reset gradients on all parameters of this layer."""
+        for p in self._params:
+            p.zero_grad()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Parameter values plus persistent buffers, keyed by name."""
+        return {p.name: p.value.copy() for p in self._params}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load values saved by :meth:`state_dict` (shape-checked)."""
+        for p in self._params:
+            if p.name not in state:
+                raise ShapeError(f"missing parameter {p.name!r} in state dict")
+            value = np.asarray(state[p.name], dtype=np.float64)
+            if value.shape != p.value.shape:
+                raise ShapeError(
+                    f"parameter {p.name!r} has shape {p.value.shape}, "
+                    f"state dict provides {value.shape}"
+                )
+            p.value[...] = value
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def as_batch(x: np.ndarray, ndim: int, name: str) -> np.ndarray:
+    """Coerce ``x`` to float64 and validate its dimensionality."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != ndim:
+        raise ShapeError(f"{name} expects a {ndim}-d batch, got shape {x.shape}")
+    return x
+
+
+def _cache_guard(cache: Optional[np.ndarray], layer: Layer) -> np.ndarray:
+    """Raise a clear error when backward() is called before forward()."""
+    if cache is None:
+        raise ShapeError(
+            f"{type(layer).__name__}.backward() called before forward(); "
+            "each backward pass must follow a forward pass"
+        )
+    return cache

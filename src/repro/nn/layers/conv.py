@@ -1,0 +1,373 @@
+"""2-D convolution and transposed convolution via im2col/col2im.
+
+The im2col transformation unrolls every receptive field of a ``(N, C, H, W)``
+batch into the rows of a matrix so convolution becomes a single matrix
+multiplication — the standard CPU-friendly formulation.  ``col2im`` is its
+adjoint (a scatter-add), which gives both the convolution backward pass and
+the transposed-convolution forward pass.
+
+These functions are also used directly by :mod:`repro.saliency.vbp`: the
+VisualBackProp algorithm upscales averaged feature maps with a ones-kernel
+transposed convolution matching each convolution layer's geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn import initializers
+from repro.nn.layers.base import Layer, Parameter, as_batch
+from repro.utils.seeding import RngLike, derive_rng
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair, name: str) -> Tuple[int, int]:
+    """Normalize an int-or-pair argument to a validated (h, w) tuple."""
+    if isinstance(value, int):
+        pair = (value, value)
+    else:
+        pair = (int(value[0]), int(value[1]))
+    if pair[0] < 0 or pair[1] < 0:
+        raise ShapeError(f"{name} must be non-negative, got {pair}")
+    return pair
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution produces non-positive output size "
+            f"(size={size}, kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+def conv_transpose_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a transposed convolution along one axis."""
+    out = (size - 1) * stride + kernel - 2 * padding
+    if out <= 0:
+        raise ShapeError(
+            f"transposed convolution produces non-positive output size "
+            f"(size={size}, kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int]
+) -> np.ndarray:
+    """Unroll receptive fields of ``x`` into a 2-D matrix.
+
+    Parameters
+    ----------
+    x:
+        Input batch of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    Array of shape ``(N * out_h * out_w, C * kh * kw)`` where row
+    ``n * out_h * out_w + i * out_w + j`` holds the receptive field of output
+    position ``(i, j)`` of sample ``n``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+
+    # Gather into (N, C, kh, kw, out_h, out_w) with one strided slice per
+    # kernel offset: O(kh*kw) slice operations instead of O(out_h*out_w).
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + sh * out_h
+        for j in range(kw):
+            j_max = j + sw * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:sh, j:j_max:sw]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, c * kh * kw)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back into image shape.
+
+    Overlapping receptive fields accumulate, which is exactly the gradient of
+    ``im2col`` — and the forward pass of a transposed convolution.
+    """
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+
+    expected_rows = n * out_h * out_w
+    expected_cols = c * kh * kw
+    if cols.shape != (expected_rows, expected_cols):
+        raise ShapeError(
+            f"col2im expects cols of shape ({expected_rows}, {expected_cols}), "
+            f"got {cols.shape}"
+        )
+
+    cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    x_padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + sh * out_h
+        for j in range(kw):
+            j_max = j + sw * out_w
+            x_padded[:, :, i:i_max:sh, j:j_max:sw] += cols6[:, :, i, j, :, :]
+    if ph or pw:
+        return x_padded[:, :, ph : ph + h, pw : pw + w]
+    return x_padded
+
+
+def conv_transpose2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> np.ndarray:
+    """Functional transposed convolution (used by VisualBackProp).
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Kernel of shape ``(C_in, C_out, kh, kw)``.
+    """
+    x = as_batch(x, 4, "conv_transpose2d input")
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 4 or weight.shape[0] != x.shape[1]:
+        raise ShapeError(
+            f"conv_transpose2d weight must be (C_in={x.shape[1]}, C_out, kh, kw), "
+            f"got {weight.shape}"
+        )
+    stride_p = _pair(stride, "stride")
+    padding_p = _pair(padding, "padding")
+    n, c_in, h, w = x.shape
+    _, c_out, kh, kw = weight.shape
+    out_h = conv_transpose_output_size(h, kh, stride_p[0], padding_p[0])
+    out_w = conv_transpose_output_size(w, kw, stride_p[1], padding_p[1])
+
+    # Rows of `cols` correspond to input positions; scatter-add them into the
+    # (larger) output canvas. This mirrors the conv backward-data pass.
+    x_rows = x.transpose(0, 2, 3, 1).reshape(n * h * w, c_in)
+    cols = x_rows @ weight.reshape(c_in, c_out * kh * kw)
+    return col2im(
+        cols, (n, c_out, out_h, out_w), (kh, kw), stride_p, padding_p
+    )
+
+
+class Conv2d(Layer):
+    """2-D convolution on ``(N, C, H, W)`` batches.
+
+    Parameters match the usual framework semantics: ``stride`` and
+    ``padding`` may be ints or (h, w) pairs.  Weights are stored as
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair,
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        weight_init: Union[str, initializers.Initializer] = "he_normal",
+        bias: bool = True,
+        rng: RngLike = None,
+        name: str = "conv",
+    ) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ShapeError(
+                f"Conv2d channels must be positive, got {in_channels}->{out_channels}"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size, "kernel_size")
+        if self.kernel_size[0] == 0 or self.kernel_size[1] == 0:
+            raise ShapeError("kernel_size must be positive")
+        self.stride = _pair(stride, "stride")
+        if self.stride[0] == 0 or self.stride[1] == 0:
+            raise ShapeError("stride must be positive")
+        self.padding = _pair(padding, "padding")
+
+        generator = derive_rng(rng, stream=name)
+        init = initializers.get(weight_init)
+        kh, kw = self.kernel_size
+        self.weight = Parameter(
+            init((out_channels, in_channels, kh, kw), generator), f"{name}.weight"
+        )
+        self._params = [self.weight]
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = Parameter(np.zeros(out_channels), f"{name}.bias")
+            self._params.append(self.bias)
+
+        self._cols: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Map an input ``(C, H, W)`` shape to the output ``(C, H, W)`` shape."""
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ShapeError(f"Conv2d expects {self.in_channels} channels, got {c}")
+        out_h = conv_output_size(h, self.kernel_size[0], self.stride[0], self.padding[0])
+        out_w = conv_output_size(w, self.kernel_size[1], self.stride[1], self.padding[1])
+        return (self.out_channels, out_h, out_w)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = as_batch(x, 4, "Conv2d input")
+        if x.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"Conv2d expects {self.in_channels} input channels, got {x.shape[1]}"
+            )
+        n = x.shape[0]
+        _, out_h, out_w = self.output_shape(x.shape[1:])
+        cols = im2col(x, self.kernel_size, self.stride, self.padding)
+        self._cols = cols
+        self._x_shape = x.shape
+
+        w_mat = self.weight.value.reshape(self.out_channels, -1)
+        out = cols @ w_mat.T
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise ShapeError("Conv2d.backward() called before forward()")
+        grad_output = as_batch(grad_output, 4, "Conv2d grad_output")
+        n, c_out, out_h, out_w = grad_output.shape
+        grad_rows = grad_output.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c_out)
+
+        w_mat = self.weight.value.reshape(self.out_channels, -1)
+        self.weight.grad += (grad_rows.T @ self._cols).reshape(self.weight.value.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_rows.sum(axis=0)
+
+        grad_cols = grad_rows @ w_mat
+        return col2im(grad_cols, self._x_shape, self.kernel_size, self.stride, self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, bias={self.bias is not None})"
+        )
+
+
+class ConvTranspose2d(Layer):
+    """Transposed 2-D convolution (a.k.a. deconvolution).
+
+    Weights are stored as ``(in_channels, out_channels, kh, kw)``.  The
+    forward pass is the adjoint of a :class:`Conv2d` with the same geometry,
+    so conv followed by conv-transpose restores spatial dimensions — the
+    property VisualBackProp relies on to align feature maps across layers.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair,
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        weight_init: Union[str, initializers.Initializer] = "he_normal",
+        bias: bool = True,
+        rng: RngLike = None,
+        name: str = "convT",
+    ) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ShapeError(
+                f"ConvTranspose2d channels must be positive, got {in_channels}->{out_channels}"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size, "kernel_size")
+        self.stride = _pair(stride, "stride")
+        if self.stride[0] == 0 or self.stride[1] == 0:
+            raise ShapeError("stride must be positive")
+        self.padding = _pair(padding, "padding")
+
+        generator = derive_rng(rng, stream=name)
+        init = initializers.get(weight_init)
+        kh, kw = self.kernel_size
+        self.weight = Parameter(
+            init((in_channels, out_channels, kh, kw), generator), f"{name}.weight"
+        )
+        self._params = [self.weight]
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = Parameter(np.zeros(out_channels), f"{name}.bias")
+            self._params.append(self.bias)
+        self._x: Optional[np.ndarray] = None
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Map an input ``(C, H, W)`` shape to the output ``(C, H, W)`` shape."""
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ShapeError(f"ConvTranspose2d expects {self.in_channels} channels, got {c}")
+        out_h = conv_transpose_output_size(
+            h, self.kernel_size[0], self.stride[0], self.padding[0]
+        )
+        out_w = conv_transpose_output_size(
+            w, self.kernel_size[1], self.stride[1], self.padding[1]
+        )
+        return (self.out_channels, out_h, out_w)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = as_batch(x, 4, "ConvTranspose2d input")
+        if x.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"ConvTranspose2d expects {self.in_channels} input channels, "
+                f"got {x.shape[1]}"
+            )
+        self._x = x
+        out = conv_transpose2d(x, self.weight.value, self.stride, self.padding)
+        if self.bias is not None:
+            out = out + self.bias.value[None, :, None, None]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ShapeError("ConvTranspose2d.backward() called before forward()")
+        grad_output = as_batch(grad_output, 4, "ConvTranspose2d grad_output")
+        n = grad_output.shape[0]
+        h, w = self._x.shape[2], self._x.shape[3]
+
+        # dL/dx: a plain convolution of grad_output with the same kernel.
+        cols = im2col(grad_output, self.kernel_size, self.stride, self.padding)
+        w_mat = self.weight.value.reshape(self.in_channels, -1)  # (C_in, C_out*kh*kw)
+        grad_x_rows = cols @ w_mat.T
+        grad_x = grad_x_rows.reshape(n, h, w, self.in_channels).transpose(0, 3, 1, 2)
+
+        # dL/dW: correlate input rows with grad_output receptive fields.
+        x_rows = self._x.transpose(0, 2, 3, 1).reshape(n * h * w, self.in_channels)
+        self.weight.grad += (x_rows.T @ cols).reshape(self.weight.value.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=(0, 2, 3))
+        return grad_x
+
+    def __repr__(self) -> str:
+        return (
+            f"ConvTranspose2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, bias={self.bias is not None})"
+        )

@@ -1,0 +1,272 @@
+"""Optimizers and learning-rate schedules.
+
+Optimizers update :class:`repro.nn.Parameter` values in place from their
+accumulated ``.grad``; the trainer owns the zero-grad / forward / backward /
+step cycle.  Schedules map a step counter to a learning-rate multiplier so
+the same optimizer instance can decay its rate over training.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers.base import Parameter
+
+
+class LRSchedule:
+    """Base learning-rate schedule: returns the LR for a given step."""
+
+    def __call__(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    """A fixed learning rate."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class StepDecayLR(LRSchedule):
+    """Multiply the LR by ``gamma`` every ``step_size`` optimizer steps."""
+
+    def __init__(self, lr: float, step_size: int, gamma: float = 0.5) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        if step_size <= 0:
+            raise ConfigurationError(f"step_size must be positive, got {step_size}")
+        if not 0 < gamma <= 1:
+            raise ConfigurationError(f"gamma must be in (0, 1], got {gamma}")
+        self.lr = float(lr)
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def __call__(self, step: int) -> float:
+        return self.lr * self.gamma ** (step // self.step_size)
+
+
+class ExponentialDecayLR(LRSchedule):
+    """Continuous exponential decay, ``lr * decay**step``."""
+
+    def __init__(self, lr: float, decay: float = 0.999) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        if not 0 < decay <= 1:
+            raise ConfigurationError(f"decay must be in (0, 1], got {decay}")
+        self.lr = float(lr)
+        self.decay = float(decay)
+
+    def __call__(self, step: int) -> float:
+        return self.lr * self.decay**step
+
+
+def _as_schedule(lr) -> LRSchedule:
+    if isinstance(lr, LRSchedule):
+        return lr
+    return ConstantLR(float(lr))
+
+
+class Optimizer:
+    """Base optimizer over a fixed list of parameters."""
+
+    def __init__(self, params: List[Parameter], lr) -> None:
+        if not params:
+            raise ConfigurationError("optimizer requires at least one parameter")
+        self.params = list(params)
+        self.schedule = _as_schedule(lr)
+        self.step_count = 0
+
+    @property
+    def lr(self) -> float:
+        """Learning rate for the *next* step."""
+        return self.schedule(self.step_count)
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        lr = self.schedule(self.step_count)
+        self._update(lr)
+        self.step_count += 1
+
+    def _update(self, lr: float) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients."""
+        for p in self.params:
+            p.zero_grad()
+
+    def _stores(self) -> Dict[str, Dict[int, np.ndarray]]:
+        """Named per-parameter moment stores (subclass hook)."""
+        return {}
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Serializable optimizer state: step counter + moment arrays.
+
+        Together with the model's ``state_dict`` this makes training
+        exactly resumable (see :meth:`repro.nn.Trainer.save_checkpoint`).
+        Keys are positional (parameter order), so the restored optimizer
+        must be built over the same parameter list.
+        """
+        state: Dict[str, np.ndarray] = {"step_count": np.array(self.step_count)}
+        for name, store in self._stores().items():
+            for key, value in _state_arrays(store, self.params).items():
+                state[f"{name}:{key}"] = value
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore state written by :meth:`state_dict` (shape-checked)."""
+        if "step_count" in state:
+            self.step_count = int(state["step_count"])
+        for name, store in self._stores().items():
+            prefix = f"{name}:"
+            subset = {
+                key[len(prefix):]: value
+                for key, value in state.items()
+                if key.startswith(prefix)
+            }
+            _load_state_arrays(store, self.params, subset)
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: List[Parameter],
+        lr=0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ConfigurationError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _update(self, lr: float) -> None:
+        for p in self.params:
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.value
+            if self.momentum:
+                v = self._velocity.setdefault(id(p), np.zeros_like(p.value))
+                v *= self.momentum
+                v -= lr * grad
+                p.value += v
+            else:
+                p.value -= lr * grad
+
+    def _stores(self) -> Dict[str, Dict[int, np.ndarray]]:
+        return {"velocity": self._velocity}
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params: List[Parameter],
+        lr=0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError(f"betas must be in [0, 1), got ({beta1}, {beta2})")
+        if eps <= 0:
+            raise ConfigurationError(f"eps must be positive, got {eps}")
+        if weight_decay < 0:
+            raise ConfigurationError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def _update(self, lr: float) -> None:
+        t = self.step_count + 1
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for p in self.params:
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.value
+            m = self._m.setdefault(id(p), np.zeros_like(p.value))
+            v = self._v.setdefault(id(p), np.zeros_like(p.value))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            p.value -= lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def _stores(self) -> Dict[str, Dict[int, np.ndarray]]:
+        return {"m": self._m, "v": self._v}
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponential moving average of squared gradients."""
+
+    def __init__(
+        self,
+        params: List[Parameter],
+        lr=0.001,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in [0, 1), got {alpha}")
+        if eps <= 0:
+            raise ConfigurationError(f"eps must be positive, got {eps}")
+        self.alpha = float(alpha)
+        self.eps = float(eps)
+        self._sq: Dict[int, np.ndarray] = {}
+
+    def _update(self, lr: float) -> None:
+        for p in self.params:
+            sq = self._sq.setdefault(id(p), np.zeros_like(p.value))
+            sq *= self.alpha
+            sq += (1.0 - self.alpha) * p.grad**2
+            p.value -= lr * p.grad / (np.sqrt(sq) + self.eps)
+
+    def _stores(self) -> Dict[str, Dict[int, np.ndarray]]:
+        return {"sq": self._sq}
+
+
+def _state_arrays(store: Dict[int, np.ndarray], params: List[Parameter]) -> Dict[str, np.ndarray]:
+    """Serialize a per-parameter array store keyed by parameter order."""
+    out: Dict[str, np.ndarray] = {}
+    for index, p in enumerate(params):
+        if id(p) in store:
+            out[str(index)] = store[id(p)].copy()
+    return out
+
+
+def _load_state_arrays(
+    store: Dict[int, np.ndarray], params: List[Parameter], state: Dict[str, np.ndarray]
+) -> None:
+    store.clear()
+    for index, p in enumerate(params):
+        key = str(index)
+        if key in state:
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != p.value.shape:
+                raise ConfigurationError(
+                    f"optimizer state for parameter {index} has shape "
+                    f"{value.shape}, parameter has {p.value.shape}"
+                )
+            store[id(p)] = value.copy()

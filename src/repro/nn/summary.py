@@ -1,0 +1,47 @@
+"""Model inspection: layer tables and parameter counts."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.nn.model import Sequential
+
+
+def parameter_count(model: Layer) -> int:
+    """Total number of trainable scalars in a layer or model."""
+    return int(sum(p.value.size for p in model.parameters()))
+
+
+def layer_table(model: Sequential) -> List[Tuple[str, str, int]]:
+    """Per-layer rows of ``(index, repr, parameter count)``."""
+    rows = []
+    for i, layer in enumerate(model.layers):
+        rows.append((str(i), repr(layer), parameter_count(layer)))
+    return rows
+
+
+def describe(model: Sequential, input_shape: Tuple[int, ...] = None) -> str:
+    """Human-readable model summary.
+
+    With ``input_shape`` (excluding the batch axis) the summary also traces
+    a dummy forward pass and reports each layer's output shape.
+    """
+    shapes: List[str] = []
+    if input_shape is not None:
+        x = np.zeros((1,) + tuple(input_shape), dtype=np.float64)
+        for layer in model.layers:
+            x = layer.forward(x, training=False)
+            shapes.append(str(tuple(x.shape[1:])))
+    else:
+        shapes = [""] * len(model.layers)
+
+    header = f"{'#':>3}  {'layer':<60} {'output':<16} {'params':>10}"
+    lines = [header, "-" * len(header)]
+    for (index, name, params), shape in zip(layer_table(model), shapes):
+        lines.append(f"{index:>3}  {name:<60} {shape:<16} {params:>10,}")
+    lines.append("-" * len(header))
+    lines.append(f"total parameters: {parameter_count(model):,}")
+    return "\n".join(lines)

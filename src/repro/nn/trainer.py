@@ -1,0 +1,209 @@
+"""Mini-batch training loop with history tracking and early stopping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.data import DataLoader
+from repro.nn.losses import Loss
+from repro.nn.model import Sequential
+from repro.nn.optim import Optimizer
+from repro.utils.log import get_logger
+
+_log = get_logger(__name__)
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss records accumulated during training."""
+
+    train_loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+    @property
+    def best_val_loss(self) -> float:
+        """Lowest validation loss seen (inf when no validation ran)."""
+        return min(self.val_loss) if self.val_loss else float("inf")
+
+
+class EarlyStopping:
+    """Stop when validation loss hasn't improved for ``patience`` epochs."""
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        if min_delta < 0:
+            raise ConfigurationError(f"min_delta must be >= 0, got {min_delta}")
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.best = float("inf")
+        self.stale_epochs = 0
+
+    def update(self, val_loss: float) -> bool:
+        """Record an epoch's validation loss; return True to stop training."""
+        if val_loss < self.best - self.min_delta:
+            self.best = val_loss
+            self.stale_epochs = 0
+            return False
+        self.stale_epochs += 1
+        return self.stale_epochs >= self.patience
+
+
+class Trainer:
+    """Drives the zero-grad / forward / loss / backward / step cycle.
+
+    Parameters
+    ----------
+    model, loss, optimizer:
+        The pieces being trained.  The optimizer must have been constructed
+        over ``model.parameters()``.
+    gradient_clip:
+        Optional max L2 norm for the concatenated gradient — useful for the
+        SSIM loss whose gradients can spike early in training.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        loss: Loss,
+        optimizer: Optimizer,
+        gradient_clip: Optional[float] = None,
+    ) -> None:
+        if gradient_clip is not None and gradient_clip <= 0:
+            raise ConfigurationError(f"gradient_clip must be positive, got {gradient_clip}")
+        self.model = model
+        self.loss = loss
+        self.optimizer = optimizer
+        self.gradient_clip = gradient_clip
+
+    def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """One optimization step on a mini-batch; returns the batch loss."""
+        self.optimizer.zero_grad()
+        pred = self.model.forward(inputs, training=True)
+        value = self.loss.forward(pred, targets)
+        self.model.backward(self.loss.backward())
+        if self.gradient_clip is not None:
+            self._clip_gradients()
+        self.optimizer.step()
+        return value
+
+    def _clip_gradients(self) -> None:
+        total = 0.0
+        for p in self.model.parameters():
+            total += float(np.sum(p.grad**2))
+        norm = np.sqrt(total)
+        if norm > self.gradient_clip:
+            scale = self.gradient_clip / norm
+            for p in self.model.parameters():
+                p.grad *= scale
+
+    def evaluate(self, loader: DataLoader) -> float:
+        """Mean loss over a loader in inference mode."""
+        total, batches = 0.0, 0
+        for inputs, targets in loader:
+            pred = self.model.forward(inputs, training=False)
+            total += self.loss.forward(pred, targets)
+            batches += 1
+        if batches == 0:
+            raise ConfigurationError("evaluate() received an empty loader")
+        return total / batches
+
+    def save_checkpoint(self, path) -> None:
+        """Write model + optimizer state to one ``.npz`` checkpoint.
+
+        Restoring with :meth:`load_checkpoint` into an identically built
+        trainer resumes training exactly (modulo data-loader position).
+        """
+        from pathlib import Path
+
+        import numpy as np
+
+        from repro.exceptions import SerializationError
+
+        path = Path(path)
+        state = {f"model/{k}": v for k, v in self.model.state_dict().items()}
+        state.update(
+            {f"optim/{k}": v for k, v in self.optimizer.state_dict().items()}
+        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            np.savez(path, **state)
+        except OSError as exc:
+            raise SerializationError(f"failed to save checkpoint to {path}: {exc}") from exc
+
+    def load_checkpoint(self, path) -> None:
+        """Restore model + optimizer state written by :meth:`save_checkpoint`."""
+        from pathlib import Path
+
+        import numpy as np
+
+        from repro.exceptions import SerializationError
+
+        path = Path(path)
+        if not path.exists():
+            raise SerializationError(f"checkpoint {path} does not exist")
+        with np.load(path) as data:
+            model_state = {
+                key[len("model/"):]: data[key]
+                for key in data.files
+                if key.startswith("model/")
+            }
+            optim_state = {
+                key[len("optim/"):]: data[key]
+                for key in data.files
+                if key.startswith("optim/")
+            }
+        self.model.load_state_dict(model_state)
+        self.optimizer.load_state_dict(optim_state)
+
+    def fit(
+        self,
+        train_loader: DataLoader,
+        epochs: int,
+        val_loader: Optional[DataLoader] = None,
+        early_stopping: Optional[EarlyStopping] = None,
+        on_epoch_end: Optional[Callable[[int, TrainingHistory], None]] = None,
+    ) -> TrainingHistory:
+        """Train for up to ``epochs`` passes over ``train_loader``.
+
+        Returns the accumulated :class:`TrainingHistory`.  ``on_epoch_end``
+        (if given) is invoked with the epoch index and history after each
+        epoch — handy for logging or checkpointing callbacks.
+        """
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        if early_stopping is not None and val_loader is None:
+            raise ConfigurationError("early stopping requires a validation loader")
+        history = TrainingHistory()
+        for epoch in range(epochs):
+            epoch_total, batches = 0.0, 0
+            for inputs, targets in train_loader:
+                epoch_total += self.train_step(inputs, targets)
+                batches += 1
+            if batches == 0:
+                raise ConfigurationError("fit() received an empty training loader")
+            history.train_loss.append(epoch_total / batches)
+
+            if val_loader is not None:
+                history.val_loss.append(self.evaluate(val_loader))
+            _log.debug(
+                "epoch %d/%d train_loss=%.6f%s",
+                epoch + 1,
+                epochs,
+                history.train_loss[-1],
+                f" val_loss={history.val_loss[-1]:.6f}" if val_loader is not None else "",
+            )
+            if on_epoch_end is not None:
+                on_epoch_end(epoch, history)
+            if early_stopping is not None and early_stopping.update(history.val_loss[-1]):
+                break
+        return history

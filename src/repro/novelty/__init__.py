@@ -1,0 +1,59 @@
+"""Novelty detection — the paper's primary contribution.
+
+The two-layer framework of Figure 1: a trained prediction CNN provides
+VisualBackProp saliency masks ("VBP images"); a one-class autoencoder
+learns to reconstruct those masks; reconstruction (dis)similarity under a
+99th-percentile threshold decides novelty.
+
+* :class:`OneClassAutoencoder` — autoencoder + loss + threshold detector.
+* :class:`SaliencyNoveltyPipeline` — the full framework (CNN → VBP → AE
+  with SSIM loss), i.e. the paper's proposed method.
+* :class:`RichterRoyBaseline` — the prior work it compares against: a
+  stand-alone autoencoder with MSE loss on raw images.
+* :class:`VbpMseBaseline` — the ablation in Figure 5's middle panel: VBP
+  preprocessing but MSE loss.
+* :func:`evaluate_detector` — shared evaluation machinery producing the
+  statistics behind the paper's histogram figures.
+"""
+
+from repro.novelty.baselines import RichterRoyBaseline, VbpMseBaseline
+from repro.novelty.calibration import DriveCalibration, calibrate_on_drives
+from repro.novelty.detector import NoveltyDetector
+from repro.novelty.drift import CusumDetector, DriftVerdict, EwmaTracker
+from repro.novelty.ensemble import EnsembleDetector
+from repro.novelty.explain import FrameExplanation, explain_frame
+from repro.novelty.fusion import ScoreFusionDetector
+from repro.novelty.evaluation import EvaluationResult, evaluate_detector, evaluate_scores
+from repro.novelty.framework import (
+    AutoencoderConfig,
+    OneClassAutoencoder,
+    SaliencyNoveltyPipeline,
+    load_pipeline_state,
+    save_pipeline_state,
+)
+from repro.novelty.monitor import FrameVerdict, StreamMonitor
+
+__all__ = [
+    "DriveCalibration",
+    "calibrate_on_drives",
+    "EnsembleDetector",
+    "CusumDetector",
+    "DriftVerdict",
+    "EwmaTracker",
+    "FrameExplanation",
+    "explain_frame",
+    "ScoreFusionDetector",
+    "FrameVerdict",
+    "StreamMonitor",
+    "RichterRoyBaseline",
+    "VbpMseBaseline",
+    "NoveltyDetector",
+    "EvaluationResult",
+    "evaluate_detector",
+    "evaluate_scores",
+    "AutoencoderConfig",
+    "OneClassAutoencoder",
+    "SaliencyNoveltyPipeline",
+    "load_pipeline_state",
+    "save_pipeline_state",
+]

@@ -1,0 +1,112 @@
+"""Threshold calibration for correlated frame streams.
+
+The paper (following Richter & Roy) fits the decision threshold at the
+99th percentile of *i.i.d.* training-frame scores.  Deployed streams are
+not i.i.d.: a drive shows the same scene for many consecutive frames, so a
+single mildly-atypical scene — 1% of frames in the i.i.d. sense — becomes
+a *persistent* condition that trips any persistence alarm.  (The extension
+experiments in this repo hit exactly this: roughly 1 in 7 random scenes
+false-alarmed a monitor whose threshold was i.i.d.-calibrated.)
+
+:func:`calibrate_on_drives` refits the threshold on scores collected from
+simulated *drives* instead: the calibration sample then contains each
+scene's systematic offset, so the chosen percentile bounds the fraction of
+*scene-frames* (not abstract i.i.d. frames) that exceed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import DrivingDataset
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.utils.seeding import RngLike, derive_rng
+
+
+@dataclass(frozen=True)
+class DriveCalibration:
+    """Outcome of a drive-based threshold calibration.
+
+    Attributes
+    ----------
+    old_threshold, new_threshold:
+        Decision thresholds before and after recalibration.
+    n_drives, frames_per_drive:
+        Size of the calibration sample.
+    drive_max_scores:
+        Per-drive maximum score — the statistic that governs whether a
+        persistence alarm can fire on that drive.
+    """
+
+    old_threshold: float
+    new_threshold: float
+    n_drives: int
+    frames_per_drive: int
+    drive_max_scores: np.ndarray
+
+
+def calibrate_on_drives(
+    detector,
+    dataset: DrivingDataset,
+    n_drives: int = 10,
+    frames_per_drive: int = 20,
+    percentile: float = None,
+    rng: RngLike = None,
+) -> DriveCalibration:
+    """Refit a fitted detector's threshold on simulated-drive scores.
+
+    Parameters
+    ----------
+    detector:
+        A fitted pipeline (``score`` + nested ``one_class.detector``).
+        Its threshold is updated *in place*.
+    dataset:
+        The target-domain renderer used to simulate calibration drives.
+    n_drives, frames_per_drive:
+        Calibration sample size.  More drives = more scene diversity in
+        the sample; the frame count mainly smooths per-drive noise.
+    percentile:
+        Threshold percentile over the pooled drive scores; defaults to the
+        detector's configured percentile.
+
+    Returns
+    -------
+    A :class:`DriveCalibration` summary (the detector itself is updated).
+    """
+    if n_drives < 2:
+        raise ConfigurationError(f"n_drives must be >= 2, got {n_drives}")
+    if frames_per_drive < 1:
+        raise ConfigurationError(
+            f"frames_per_drive must be >= 1, got {frames_per_drive}"
+        )
+    inner = detector.one_class.detector
+    if not inner.is_fitted:
+        raise NotFittedError("calibrate_on_drives requires a fitted detector")
+    old_threshold = inner.threshold
+
+    root = derive_rng(rng, stream="drive-calibration")
+    all_scores = []
+    drive_max = np.empty(n_drives)
+    for i in range(n_drives):
+        drive = dataset.render_drive(frames_per_drive, rng=int(root.integers(0, 2**62)))
+        scores = detector.score(drive.frames)
+        all_scores.append(scores)
+        drive_max[i] = scores.max()
+
+    pooled = np.concatenate(all_scores)
+    if percentile is not None:
+        if not 50.0 <= percentile < 100.0:
+            raise ConfigurationError(
+                f"percentile must be in [50, 100), got {percentile}"
+            )
+        inner.percentile = float(percentile)
+    inner.fit(pooled)  # refits the CDF and threshold at the percentile
+    return DriveCalibration(
+        old_threshold=float(old_threshold),
+        new_threshold=float(inner.threshold),
+        n_drives=n_drives,
+        frames_per_drive=frames_per_drive,
+        drive_max_scores=drive_max,
+    )

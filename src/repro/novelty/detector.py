@@ -1,0 +1,90 @@
+"""Percentile-threshold novelty decision rule.
+
+Both the paper and its baseline (Richter & Roy) use the same rule: fit the
+empirical CDF of reconstruction scores on the training set and classify a
+test image as novel when its score falls outside the 99th percentile
+(§III-C).  For loss-like scores (MSE, ``1 - SSIM``) "outside" means above
+the 99th percentile; for similarity scores (SSIM) it means below the 1st.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.metrics.cdf import EmpiricalCDF
+
+
+class NoveltyDetector:
+    """Thresholds scalar novelty scores against a training distribution.
+
+    Parameters
+    ----------
+    percentile:
+        Coverage of the target class, in percent (paper: 99.0).  The
+        threshold sits at this percentile of the training scores.
+    higher_is_novel:
+        ``True`` for loss-oriented scores (higher = worse reconstruction),
+        ``False`` for similarity-oriented scores such as raw SSIM.
+    """
+
+    def __init__(self, percentile: float = 99.0, higher_is_novel: bool = True) -> None:
+        if not 50.0 <= percentile < 100.0:
+            raise ConfigurationError(
+                f"percentile must be in [50, 100), got {percentile}"
+            )
+        self.percentile = float(percentile)
+        self.higher_is_novel = bool(higher_is_novel)
+        self._cdf: Optional[EmpiricalCDF] = None
+        self._threshold: Optional[float] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._threshold is not None
+
+    @property
+    def threshold(self) -> float:
+        """The fitted decision threshold."""
+        if self._threshold is None:
+            raise NotFittedError("NoveltyDetector.threshold read before fit()")
+        return self._threshold
+
+    @property
+    def training_cdf(self) -> EmpiricalCDF:
+        """Empirical CDF of the training scores."""
+        if self._cdf is None:
+            raise NotFittedError("NoveltyDetector.training_cdf read before fit()")
+        return self._cdf
+
+    def fit(self, train_scores: np.ndarray) -> "NoveltyDetector":
+        """Fit the threshold from target-class training scores."""
+        self._cdf = EmpiricalCDF(train_scores)
+        if self.higher_is_novel:
+            self._threshold = self._cdf.quantile(self.percentile / 100.0)
+        else:
+            self._threshold = self._cdf.quantile(1.0 - self.percentile / 100.0)
+        return self
+
+    def predict(self, scores: np.ndarray) -> np.ndarray:
+        """Boolean novelty decisions for an array of scores."""
+        if self._threshold is None:
+            raise NotFittedError("NoveltyDetector.predict() called before fit()")
+        scores = np.asarray(scores, dtype=np.float64)
+        if self.higher_is_novel:
+            return scores > self._threshold
+        return scores < self._threshold
+
+    def novelty_margin(self, scores: np.ndarray) -> np.ndarray:
+        """Signed distance past the threshold (positive = novel side).
+
+        Useful for ranking how anomalous flagged inputs are.
+        """
+        if self._threshold is None:
+            raise NotFittedError("NoveltyDetector.novelty_margin() called before fit()")
+        scores = np.asarray(scores, dtype=np.float64)
+        if self.higher_is_novel:
+            return scores - self._threshold
+        return self._threshold - scores

@@ -1,0 +1,172 @@
+"""Gradual-drift detection on novelty-score streams.
+
+:class:`repro.novelty.StreamMonitor` answers "did the world change *now*?"
+— its per-frame threshold only fires once individual frames are clearly
+novel.  A vehicle driving into dusk degrades *gradually*: each frame scores
+a little worse than the last, none crossing the 99th percentile until the
+scene is already dark.  The classical tool for that regime is sequential
+change detection on the score stream itself:
+
+* :class:`EwmaTracker` — an exponentially weighted moving average of the
+  scores, the smooth trend an operator would plot;
+* :class:`CusumDetector` — a one-sided CUSUM on standardized scores, which
+  accumulates small persistent exceedances and fires when their sum passes
+  a decision threshold.  Detects small mean shifts far sooner than any
+  per-frame rule with the same false-alarm rate.
+
+Both calibrate from the same training scores the threshold detector uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """State of the drift detector after one observation.
+
+    Attributes
+    ----------
+    index:
+        Position in the stream.
+    score:
+        The raw novelty score observed.
+    statistic:
+        Current CUSUM statistic (0 = fully in control).
+    drifted:
+        Whether the decision threshold has been crossed (latches until
+        :meth:`CusumDetector.reset`).
+    """
+
+    index: int
+    score: float
+    statistic: float
+    drifted: bool
+
+
+class EwmaTracker:
+    """Exponentially weighted moving average of a score stream."""
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self._value: Optional[float] = None
+
+    @property
+    def value(self) -> float:
+        """Current smoothed value (raises before the first update)."""
+        if self._value is None:
+            raise NotFittedError("EwmaTracker.value read before any update")
+        return self._value
+
+    def update(self, score: float) -> float:
+        """Fold one observation in; returns the new smoothed value."""
+        score = float(score)
+        if self._value is None:
+            self._value = score
+        else:
+            self._value = self.alpha * score + (1.0 - self.alpha) * self._value
+        return self._value
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._value = None
+
+
+class CusumDetector:
+    """One-sided CUSUM for upward mean shifts in novelty scores.
+
+    On standardized scores :math:`z_t = (s_t - \\mu)/\\sigma` the statistic
+
+    .. math:: g_t = \\max(0,\\; g_{t-1} + z_t - k)
+
+    accumulates exceedances beyond the *allowance* ``k`` (half the smallest
+    mean shift worth detecting, in σ units) and signals drift when
+    :math:`g_t > h` (the *decision threshold*).  Larger ``h`` trades
+    detection delay for fewer false alarms; the classic default (k = 0.5,
+    h = 5) detects a 1σ mean shift in roughly 10 observations.
+
+    Parameters
+    ----------
+    allowance:
+        ``k`` above, in standard deviations.
+    decision_threshold:
+        ``h`` above, in standard deviations.
+    """
+
+    def __init__(self, allowance: float = 0.5, decision_threshold: float = 5.0) -> None:
+        if allowance < 0:
+            raise ConfigurationError(f"allowance must be >= 0, got {allowance}")
+        if decision_threshold <= 0:
+            raise ConfigurationError(
+                f"decision_threshold must be positive, got {decision_threshold}"
+            )
+        self.allowance = float(allowance)
+        self.decision_threshold = float(decision_threshold)
+        self._mean: Optional[float] = None
+        self._std: Optional[float] = None
+        self._statistic = 0.0
+        self._index = 0
+        self._drift_index: Optional[int] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether reference statistics have been set."""
+        return self._mean is not None
+
+    @property
+    def drifted(self) -> bool:
+        """Whether drift has been signalled (latched)."""
+        return self._drift_index is not None
+
+    @property
+    def drift_index(self) -> Optional[int]:
+        """Stream index at which drift was first signalled."""
+        return self._drift_index
+
+    def fit(self, train_scores: np.ndarray) -> "CusumDetector":
+        """Calibrate the in-control mean/std from training scores."""
+        scores = np.asarray(train_scores, dtype=np.float64).ravel()
+        if scores.size < 2:
+            raise ConfigurationError("fit requires at least 2 training scores")
+        self._mean = float(scores.mean())
+        std = float(scores.std())
+        if std <= 0:
+            raise ConfigurationError("training scores have zero variance")
+        self._std = std
+        self.reset()
+        return self
+
+    def reset(self) -> None:
+        """Clear the statistic and the drift latch (keeps calibration)."""
+        self._statistic = 0.0
+        self._index = 0
+        self._drift_index = None
+
+    def update(self, score: float) -> DriftVerdict:
+        """Fold one score in and return the updated drift state."""
+        if self._mean is None or self._std is None:
+            raise NotFittedError("CusumDetector.update() called before fit()")
+        z = (float(score) - self._mean) / self._std
+        self._statistic = max(0.0, self._statistic + z - self.allowance)
+        if self._statistic > self.decision_threshold and self._drift_index is None:
+            self._drift_index = self._index
+        verdict = DriftVerdict(
+            index=self._index,
+            score=float(score),
+            statistic=self._statistic,
+            drifted=self.drifted,
+        )
+        self._index += 1
+        return verdict
+
+    def update_batch(self, scores: np.ndarray) -> List[DriftVerdict]:
+        """Fold a sequence of scores in order."""
+        return [self.update(s) for s in np.asarray(scores, dtype=np.float64).ravel()]

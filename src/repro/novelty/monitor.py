@@ -1,0 +1,131 @@
+"""Online novelty monitoring for frame streams.
+
+The paper motivates VBP's speed with "real-world systems where real-time
+decision making is required" (§III-B).  This module supplies the missing
+runtime piece: a :class:`StreamMonitor` that scores frames as they arrive
+and raises an alarm when novelty persists — single novel frames are often
+transient (a glare spike, one corrupted frame) while a *run* of novel
+frames means the vehicle has genuinely left its training distribution and
+should hand control back to a human or a safety fallback.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+@dataclass(frozen=True)
+class FrameVerdict:
+    """Per-frame monitoring outcome.
+
+    Attributes
+    ----------
+    index:
+        Position of the frame in the stream.
+    score:
+        Loss-oriented novelty score (higher = more novel).
+    is_novel:
+        The detector's single-frame decision.
+    alarm:
+        Whether the persistence alarm was active after this frame —
+        i.e. at least ``min_consecutive`` of the last ``window`` frames
+        were novel.
+    """
+
+    index: int
+    score: float
+    is_novel: bool
+    alarm: bool
+
+
+class StreamMonitor:
+    """Runs a fitted detector over a frame stream with a persistence alarm.
+
+    Parameters
+    ----------
+    detector:
+        Any fitted pipeline object exposing ``score`` and the nested
+        ``one_class.detector`` threshold rule
+        (:class:`~repro.novelty.SaliencyNoveltyPipeline`,
+        :class:`~repro.novelty.RichterRoyBaseline`, ...).
+    window:
+        Length of the sliding decision window, in frames.
+    min_consecutive:
+        Number of novel frames inside the window needed to raise the alarm.
+        With ``window == min_consecutive`` the alarm requires strictly
+        consecutive novel frames.
+    """
+
+    def __init__(self, detector, window: int = 5, min_consecutive: int = 3) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if not 1 <= min_consecutive <= window:
+            raise ConfigurationError(
+                f"min_consecutive must be in [1, window={window}], got {min_consecutive}"
+            )
+        if not getattr(detector, "is_fitted", False):
+            raise NotFittedError("StreamMonitor requires a fitted detector")
+        self.detector = detector
+        self.window = int(window)
+        self.min_consecutive = int(min_consecutive)
+        self._recent: Deque[bool] = deque(maxlen=self.window)
+        self._index = 0
+        self._alarm_frames: List[int] = []
+
+    @property
+    def alarm_active(self) -> bool:
+        """Whether the persistence alarm is currently raised."""
+        return sum(self._recent) >= self.min_consecutive
+
+    @property
+    def alarm_frames(self) -> List[int]:
+        """Stream indices at which the alarm was active."""
+        return list(self._alarm_frames)
+
+    @property
+    def frames_seen(self) -> int:
+        """Number of frames processed so far."""
+        return self._index
+
+    def reset(self) -> None:
+        """Clear the sliding window and alarm history (new drive)."""
+        self._recent.clear()
+        self._index = 0
+        self._alarm_frames = []
+
+    def observe(self, frame: np.ndarray) -> FrameVerdict:
+        """Score one frame and update the alarm state."""
+        return self.observe_batch(frame[None])[0]
+
+    def observe_batch(self, frames: np.ndarray) -> List[FrameVerdict]:
+        """Score a batch of stream frames in order.
+
+        Batching exists for efficiency (the detector vectorizes over
+        frames); verdicts are produced exactly as if frames had been
+        observed one at a time.
+        """
+        frames = np.asarray(frames, dtype=np.float64)
+        scores = self.detector.score(frames)
+        decisions = self.detector.one_class.detector.predict(scores)
+        verdicts = []
+        for score, is_novel in zip(scores, decisions):
+            self._recent.append(bool(is_novel))
+            alarm = self.alarm_active
+            if alarm:
+                self._alarm_frames.append(self._index)
+            verdicts.append(
+                FrameVerdict(
+                    index=self._index,
+                    score=float(score),
+                    is_novel=bool(is_novel),
+                    alarm=alarm,
+                )
+            )
+            self._index += 1
+        return verdicts

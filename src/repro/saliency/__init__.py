@@ -1,0 +1,27 @@
+"""Network-saliency visualization methods.
+
+* :class:`VisualBackProp` — the paper's preprocessing layer (§III-B): the
+  value-based saliency method of Bojarski et al. that combines
+  channel-averaged feature maps across convolution layers via ones-kernel
+  deconvolutions.
+* :class:`LayerwiseRelevancePropagation` — epsilon-rule LRP, the
+  "order of magnitude slower" comparator the paper cites for VBP's speed
+  claim.
+* :class:`GradientSaliency` — vanilla input-gradient saliency, a second
+  baseline.
+
+All methods share the :class:`SaliencyMethod` interface:
+``saliency(frames) -> (N, H, W)`` masks normalized to [0, 1].
+"""
+
+from repro.saliency.base import SaliencyMethod
+from repro.saliency.gradient import GradientSaliency
+from repro.saliency.lrp import LayerwiseRelevancePropagation
+from repro.saliency.vbp import VisualBackProp
+
+__all__ = [
+    "SaliencyMethod",
+    "GradientSaliency",
+    "LayerwiseRelevancePropagation",
+    "VisualBackProp",
+]

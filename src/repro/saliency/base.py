@@ -1,0 +1,65 @@
+"""Common interface for saliency methods."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+class SaliencyMethod:
+    """Maps input frames to per-pixel saliency masks in [0, 1].
+
+    Subclasses implement :meth:`_compute` on ``(N, 1, H, W)`` batches;
+    the public :meth:`saliency` handles shape coercion and normalization.
+    """
+
+    def _compute(self, frames: np.ndarray) -> np.ndarray:
+        """Raw (unnormalized) masks of shape ``(N, H, W)``."""
+        raise NotImplementedError
+
+    def saliency(self, frames: np.ndarray) -> np.ndarray:
+        """Saliency masks for a batch of frames.
+
+        Parameters
+        ----------
+        frames:
+            ``(H, W)`` single frame, ``(N, H, W)`` batch, or ``(N, 1, H, W)``
+            channel-explicit batch.
+
+        Returns
+        -------
+        Masks matching the input's leading shape, min-max normalized to
+        [0, 1] per image (a constant raw mask maps to zeros).
+        """
+        frames = np.asarray(frames, dtype=np.float64)
+        single = frames.ndim == 2
+        if single:
+            frames = frames[None]
+        if frames.ndim == 3:
+            frames = frames[:, None, :, :]
+        if frames.ndim != 4 or frames.shape[1] != 1:
+            raise ShapeError(
+                f"saliency expects (H, W), (N, H, W) or (N, 1, H, W), got {frames.shape}"
+            )
+        masks = self._compute(frames)
+        if masks.shape != (frames.shape[0], frames.shape[2], frames.shape[3]):
+            raise ShapeError(
+                f"saliency backend produced shape {masks.shape}, "
+                f"expected {(frames.shape[0], frames.shape[2], frames.shape[3])}"
+            )
+        masks = _normalize_per_image(masks)
+        return masks[0] if single else masks
+
+    def __call__(self, frames: np.ndarray) -> np.ndarray:
+        return self.saliency(frames)
+
+
+def _normalize_per_image(masks: np.ndarray) -> np.ndarray:
+    """Min-max normalize each ``(H, W)`` mask in a batch into [0, 1]."""
+    lo = masks.min(axis=(1, 2), keepdims=True)
+    hi = masks.max(axis=(1, 2), keepdims=True)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    out = (masks - lo) / span
+    out[np.broadcast_to(hi == lo, out.shape)] = 0.0
+    return out

@@ -1,0 +1,31 @@
+"""Vanilla input-gradient saliency.
+
+The simplest saliency baseline: the absolute gradient of the network output
+with respect to each input pixel, obtained with one ordinary backward pass.
+Included as a second comparator alongside LRP for the saliency-quality and
+timing benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.model import Sequential
+from repro.saliency.base import SaliencyMethod
+
+
+class GradientSaliency(SaliencyMethod):
+    """``|d output / d input|`` saliency via the model's backward pass."""
+
+    def __init__(self, model: Sequential) -> None:
+        self.model = model
+
+    def _compute(self, frames: np.ndarray) -> np.ndarray:
+        out = self.model.forward(frames, training=False)
+        # Seed with ones: for the scalar steering output this is simply
+        # d(output)/d(input) per sample.
+        grad_in = self.model.backward(np.ones_like(out))
+        # Parameter gradients accumulated as a side effect are irrelevant
+        # here; clear them so interleaved training isn't polluted.
+        self.model.zero_grad()
+        return np.abs(grad_in).sum(axis=1)

@@ -1,0 +1,45 @@
+"""Closed-loop driving simulation.
+
+The paper's motivation is *safety*: "machine-learning driven safety-critical
+autonomous systems ... must be able to detect situations where its trained
+model is not able to make a trustworthy prediction."  This package closes
+the loop that motivation implies: the steering CNN actually drives — its
+predictions feed vehicle kinematics, which move the camera, which renders
+the next frame — so the cost of an untrustworthy prediction becomes
+measurable (lane deviation, off-road events), and the benefit of the
+novelty detector becomes measurable too (hand-over to a fallback driver
+when the alarm fires).
+
+* :mod:`repro.simulation.vehicle` — road-relative kinematics.
+* :mod:`repro.simulation.policies` — steering policies: the trained model,
+  the geometric oracle ("a human driver"), and degenerate controls.
+* :mod:`repro.simulation.simulator` — the render → steer → move loop,
+  trajectory recording, and the detector-guarded safe-driving loop.
+"""
+
+from repro.simulation.policies import (
+    ConstantPolicy,
+    DelayedPolicy,
+    ModelPolicy,
+    OraclePolicy,
+    SteeringPolicy,
+)
+from repro.simulation.simulator import (
+    ClosedLoopSimulator,
+    SafeDrivingLoop,
+    TrajectoryResult,
+)
+from repro.simulation.vehicle import VehicleDynamics, VehicleState
+
+__all__ = [
+    "ConstantPolicy",
+    "DelayedPolicy",
+    "ModelPolicy",
+    "OraclePolicy",
+    "SteeringPolicy",
+    "ClosedLoopSimulator",
+    "SafeDrivingLoop",
+    "TrajectoryResult",
+    "VehicleDynamics",
+    "VehicleState",
+]

@@ -1,0 +1,95 @@
+"""Steering policies for the closed-loop simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.road_geometry import RoadGeometry, TrackProfile
+from repro.exceptions import ShapeError
+
+
+class SteeringPolicy:
+    """Maps a camera frame (and, for oracles, the true situation) to a
+    steering command."""
+
+    #: Human-readable name used in trajectory reports.
+    name: str = "policy"
+
+    def steer(self, frame: np.ndarray, profile: TrackProfile) -> float:
+        """Steering command for the current frame.
+
+        ``profile`` is the ground-truth viewing situation; vision policies
+        must ignore it (it is passed so oracle/fallback policies can be
+        plugged into the same loop).
+        """
+        raise NotImplementedError
+
+
+class ModelPolicy(SteeringPolicy):
+    """The trained steering CNN driving from pixels alone."""
+
+    name = "model"
+
+    def __init__(self, model) -> None:
+        self.model = model
+
+    def steer(self, frame: np.ndarray, profile: TrackProfile) -> float:
+        frame = np.asarray(frame, dtype=np.float64)
+        if frame.ndim != 2:
+            raise ShapeError(f"ModelPolicy expects an (H, W) frame, got {frame.shape}")
+        return float(self.model.predict_angles(frame[None])[0])
+
+
+class OraclePolicy(SteeringPolicy):
+    """The geometric lane-keeping law with ground-truth state.
+
+    Stands in for "hand control back to a human driver": it always issues
+    the correct command for the *actual* road, regardless of what domain
+    the camera sees.
+    """
+
+    name = "oracle"
+
+    def __init__(self, geometry: RoadGeometry) -> None:
+        self.geometry = geometry
+
+    def steer(self, frame: np.ndarray, profile: TrackProfile) -> float:
+        return self.geometry.steering_angle(profile)
+
+
+class ConstantPolicy(SteeringPolicy):
+    """A fixed steering command — the degenerate control baseline."""
+
+    name = "constant"
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def steer(self, frame: np.ndarray, profile: TrackProfile) -> float:
+        return self.value
+
+
+class DelayedPolicy(SteeringPolicy):
+    """Wraps a policy with actuation latency.
+
+    Real steering chains (perception → planning → actuation) respond a few
+    frames late; this wrapper delays the wrapped policy's commands by
+    ``delay`` steps (emitting a configurable initial command meanwhile), so
+    closed-loop experiments can measure how much latency control tolerates.
+    """
+
+    def __init__(self, inner: SteeringPolicy, delay: int, initial: float = 0.0) -> None:
+        from collections import deque
+
+        from repro.exceptions import ConfigurationError
+
+        if delay < 1:
+            raise ConfigurationError(f"delay must be >= 1, got {delay}")
+        self.inner = inner
+        self.delay = int(delay)
+        self.name = f"{inner.name}+delay{delay}"
+        self._queue = deque([float(initial)] * self.delay)
+
+    def steer(self, frame: np.ndarray, profile: TrackProfile) -> float:
+        self._queue.append(self.inner.steer(frame, profile))
+        return self._queue.popleft()

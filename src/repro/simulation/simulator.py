@@ -1,0 +1,231 @@
+"""The closed loop: render → steer → move → render.
+
+:class:`ClosedLoopSimulator` drives a :class:`SteeringPolicy` over a
+procedural road: each step renders the camera frame for the current
+road-relative state, asks the policy for a steering command, and integrates
+the vehicle kinematics.  Road curvature evolves as in
+:meth:`repro.datasets.RoadGeometry.simulate_drive`, and the scene
+decoration stays fixed per run (one stretch of world).
+
+:class:`SafeDrivingLoop` composes the simulator with a fitted
+:class:`repro.novelty.StreamMonitor`: the primary (vision) policy drives
+until the novelty alarm fires, after which a fallback policy takes over —
+the intervention story the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datasets.base import DrivingDataset
+from repro.exceptions import ConfigurationError
+from repro.simulation.policies import SteeringPolicy
+from repro.simulation.vehicle import VehicleDynamics, VehicleState
+from repro.utils.seeding import RngLike, derive_rng
+
+
+@dataclass
+class TrajectoryResult:
+    """Recorded closed-loop run.
+
+    All per-step arrays have one entry per simulated frame.
+    """
+
+    policy_name: str
+    lane_offsets: np.ndarray
+    headings: np.ndarray
+    steering: np.ndarray
+    curvatures: np.ndarray
+    off_road: np.ndarray
+    #: Step at which control switched to the fallback policy (None = never).
+    handover_step: Optional[int] = None
+    #: Steps at which the novelty alarm was active (safe loop only).
+    alarm_steps: List[int] = field(default_factory=list)
+
+    @property
+    def steps(self) -> int:
+        """Number of simulated steps."""
+        return int(self.lane_offsets.size)
+
+    @property
+    def mean_abs_offset(self) -> float:
+        """Mean absolute lane deviation over the run."""
+        return float(np.abs(self.lane_offsets).mean())
+
+    @property
+    def max_abs_offset(self) -> float:
+        """Worst lane deviation over the run."""
+        return float(np.abs(self.lane_offsets).max())
+
+    @property
+    def off_road_fraction(self) -> float:
+        """Fraction of steps spent off the drivable width."""
+        return float(self.off_road.mean())
+
+    def summary_row(self) -> str:
+        """One formatted row for experiment tables."""
+        handover = "-" if self.handover_step is None else str(self.handover_step)
+        return (
+            f"{self.policy_name:<22} "
+            f"mean|e|={self.mean_abs_offset:6.3f}  "
+            f"max|e|={self.max_abs_offset:6.3f}  "
+            f"off-road={self.off_road_fraction:6.1%}  "
+            f"handover@{handover}"
+        )
+
+
+class ClosedLoopSimulator:
+    """Simulates a policy driving on a procedurally rendered road.
+
+    Parameters
+    ----------
+    dataset:
+        The renderer providing frames (and the road geometry/dynamics
+        constants).  Switch datasets mid-run via
+        :meth:`run`'s ``switch_to``/``switch_at`` to model entering an
+        unseen environment.
+    speed, dt:
+        Vehicle dynamics constants (see
+        :class:`repro.simulation.VehicleDynamics`).
+    """
+
+    def __init__(self, dataset: DrivingDataset, speed: float = 2.0, dt: float = 0.1) -> None:
+        self.dataset = dataset
+        self.dynamics = VehicleDynamics(dataset.geometry, speed=speed, dt=dt)
+
+    def run(
+        self,
+        policy: SteeringPolicy,
+        steps: int,
+        rng: RngLike = None,
+        monitor=None,
+        fallback: Optional[SteeringPolicy] = None,
+        switch_to: Optional[DrivingDataset] = None,
+        switch_at: Optional[int] = None,
+        disturb=None,
+        disturb_at: Optional[int] = None,
+        initial_state: Optional[VehicleState] = None,
+    ) -> TrajectoryResult:
+        """Run the closed loop for ``steps`` frames.
+
+        Parameters
+        ----------
+        monitor, fallback:
+            When both are given, frames stream through the monitor and
+            control hands over to ``fallback`` permanently once the alarm
+            fires (the safe-driving configuration).
+        switch_to, switch_at:
+            Swap the *rendering* dataset at step ``switch_at`` — the camera
+            suddenly sees a different world while the road geometry keeps
+            evolving (modelling entry into an unseen environment).
+        disturb, disturb_at:
+            From step ``disturb_at`` onward, pass each rendered frame
+            through ``disturb(frame)`` before the monitor and policy see it
+            — modelling sensor corruption (a blocked lens, persistent
+            noise).  The vehicle still moves on the true road; only the
+            *camera* is corrupted.
+        """
+        if steps < 1:
+            raise ConfigurationError(f"steps must be >= 1, got {steps}")
+        if (switch_to is None) != (switch_at is None):
+            raise ConfigurationError("switch_to and switch_at must be given together")
+        if switch_at is not None and not 0 <= switch_at < steps:
+            raise ConfigurationError(f"switch_at must be in [0, {steps}), got {switch_at}")
+        if (disturb is None) != (disturb_at is None):
+            raise ConfigurationError("disturb and disturb_at must be given together")
+        if disturb_at is not None and not 0 <= disturb_at < steps:
+            raise ConfigurationError(f"disturb_at must be in [0, {steps}), got {disturb_at}")
+        if (monitor is None) != (fallback is None):
+            raise ConfigurationError("monitor and fallback must be given together")
+        if monitor is not None:
+            monitor.reset()
+
+        root = derive_rng(rng, stream="closed-loop")
+        scene_seed = int(root.integers(0, 2**62))
+        switch_scene_seed = int(root.integers(0, 2**62))
+        # Road curvature evolves like a drive; the vehicle state is ours.
+        geometry = self.dataset.geometry
+        curvature_profiles = geometry.simulate_drive(steps, rng=root, dt=self.dynamics.dt)
+        curvatures = np.array([p.curvature for p in curvature_profiles])
+
+        state = initial_state or VehicleState(lane_offset=0.0, heading=0.0)
+        active_policy = policy
+        handover_step: Optional[int] = None
+        alarm_steps: List[int] = []
+
+        offsets = np.empty(steps)
+        headings = np.empty(steps)
+        commands = np.empty(steps)
+        off_road = np.empty(steps, dtype=bool)
+
+        for t in range(steps):
+            renderer = self.dataset
+            seed = scene_seed
+            if switch_at is not None and t >= switch_at:
+                renderer = switch_to
+                seed = switch_scene_seed
+            profile = state.to_profile(curvatures[t])
+            sample = renderer._render_scene(profile, np.random.default_rng(seed))
+            frame = sample.frame
+            if disturb_at is not None and t >= disturb_at:
+                frame = disturb(frame)
+
+            if monitor is not None:
+                verdict = monitor.observe(frame)
+                if verdict.alarm:
+                    alarm_steps.append(t)
+                    if handover_step is None:
+                        handover_step = t
+                        active_policy = fallback
+
+            command = active_policy.steer(frame, profile)
+            offsets[t] = state.lane_offset
+            headings[t] = state.heading
+            commands[t] = command
+            off_road[t] = self.dynamics.is_off_road(state)
+            state = self.dynamics.step(state, command, curvatures[t])
+
+        return TrajectoryResult(
+            policy_name=active_policy.name if handover_step is None else f"{policy.name}+{fallback.name}",
+            lane_offsets=offsets,
+            headings=headings,
+            steering=commands,
+            curvatures=curvatures,
+            off_road=off_road,
+            handover_step=handover_step,
+            alarm_steps=alarm_steps,
+        )
+
+
+class SafeDrivingLoop:
+    """Convenience wrapper: vision policy guarded by a novelty monitor.
+
+    Equivalent to calling :meth:`ClosedLoopSimulator.run` with ``monitor``
+    and ``fallback``, packaged for readability at call sites.
+    """
+
+    def __init__(
+        self,
+        simulator: ClosedLoopSimulator,
+        policy: SteeringPolicy,
+        monitor,
+        fallback: SteeringPolicy,
+    ) -> None:
+        self.simulator = simulator
+        self.policy = policy
+        self.monitor = monitor
+        self.fallback = fallback
+
+    def run(self, steps: int, rng: RngLike = None, **kwargs) -> TrajectoryResult:
+        """Run the guarded loop (kwargs forwarded to the simulator)."""
+        return self.simulator.run(
+            self.policy,
+            steps,
+            rng=rng,
+            monitor=self.monitor,
+            fallback=self.fallback,
+            **kwargs,
+        )

@@ -1,0 +1,95 @@
+"""Road-relative vehicle kinematics.
+
+State is expressed relative to the road — lateral offset from the lane
+center and heading error against the road tangent — which is exactly the
+:class:`repro.datasets.TrackProfile` parameterization the renderers
+consume, so simulation states render directly into camera frames.
+
+The update is a small-angle kinematic bicycle model:
+
+.. math::
+
+    \\dot{\\psi} &= a_u\\,u - a_\\kappa\\,\\kappa \\\\
+    \\dot{e} &= v\\,\\psi
+
+where :math:`u` is the commanded steering angle, :math:`\\kappa` the local
+road curvature, :math:`\\psi` the heading error and :math:`e` the lateral
+offset.  The steering gain :math:`a_u` is chosen so that the curvature
+feed-forward term of :class:`repro.datasets.RoadGeometry`'s control law
+(``steering_gain * curvature``) exactly cancels the road's curvature drift
+— i.e. the labels the datasets train on are the correct control inputs for
+these dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.road_geometry import RoadGeometry, TrackProfile
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VehicleState:
+    """Road-relative vehicle state.
+
+    Attributes
+    ----------
+    lane_offset:
+        Lateral displacement from the lane center (m); positive = right.
+    heading:
+        Heading error against the road tangent (rad).
+    """
+
+    lane_offset: float
+    heading: float
+
+    def to_profile(self, curvature: float) -> TrackProfile:
+        """The viewing situation this state produces on a road of the given
+        curvature — directly renderable by the dataset renderers."""
+        return TrackProfile(
+            curvature=float(curvature),
+            lane_offset=self.lane_offset,
+            heading=self.heading,
+        )
+
+
+class VehicleDynamics:
+    """Integrates :class:`VehicleState` under steering commands.
+
+    Parameters
+    ----------
+    geometry:
+        The road geometry whose control-law constants define the steering
+        units (so the dataset's labels are correct inputs).
+    speed:
+        Forward speed coupling heading error into lateral drift.
+    dt:
+        Integration time step (s).
+    """
+
+    def __init__(self, geometry: RoadGeometry, speed: float = 1.0, dt: float = 0.1) -> None:
+        if speed <= 0:
+            raise ConfigurationError(f"speed must be positive, got {speed}")
+        if dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        self.geometry = geometry
+        self.speed = float(speed)
+        self.dt = float(dt)
+        # Curvature drives heading error at rate v*kappa; the steering gain
+        # is set so the label's feed-forward term cancels it exactly.
+        self._curvature_rate = self.speed
+        self._steer_rate = self.speed / geometry.steering_gain
+
+    def step(self, state: VehicleState, steering: float, curvature: float) -> VehicleState:
+        """One integration step under a steering command on a road of the
+        given curvature."""
+        heading = state.heading + self.dt * (
+            self._steer_rate * float(steering) - self._curvature_rate * float(curvature)
+        )
+        lane_offset = state.lane_offset + self.dt * self.speed * state.heading
+        return VehicleState(lane_offset=float(lane_offset), heading=float(heading))
+
+    def is_off_road(self, state: VehicleState) -> bool:
+        """Whether the vehicle's center has left the drivable width."""
+        return abs(state.lane_offset) > self.geometry.road_half_width

@@ -1,0 +1,125 @@
+"""Hyperparameter search over the one-class stage.
+
+The paper fixes its autoencoder hyperparameters by hand; a user adapting
+the pipeline to their own data will want to search them.  This module
+provides a small, dependency-free grid search over
+:class:`repro.novelty.AutoencoderConfig` fields (plus the loss choice),
+evaluating each candidate end-to-end with
+:func:`repro.novelty.evaluate_detector` and returning a sorted leaderboard.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.novelty.evaluation import evaluate_detector
+from repro.novelty.framework import AutoencoderConfig, SaliencyNoveltyPipeline
+from repro.utils.timer import Timer
+
+#: AutoencoderConfig fields the grid may vary (plus the special "loss" key).
+_TUNABLE = {"hidden", "epochs", "batch_size", "learning_rate", "percentile", "ssim_window"}
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One evaluated grid point."""
+
+    params: Dict[str, object]
+    auroc: float
+    detection_rate: float
+    false_positive_rate: float
+    overlap: float
+    seconds: float
+
+    def summary_row(self) -> str:
+        """One leaderboard line."""
+        parts = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return (
+            f"AUROC={self.auroc:6.3f}  detect={self.detection_rate:6.1%}  "
+            f"FPR={self.false_positive_rate:5.1%}  overlap={self.overlap:5.3f}  "
+            f"[{self.seconds:5.1f}s]  {parts}"
+        )
+
+
+def grid_search(
+    prediction_model,
+    image_shape,
+    train_frames: np.ndarray,
+    test_frames: np.ndarray,
+    novel_frames: np.ndarray,
+    grid: Dict[str, Sequence],
+    base_config: AutoencoderConfig = None,
+    rng: int = 0,
+) -> List[TrialResult]:
+    """Evaluate every combination in ``grid`` and rank by AUROC.
+
+    Parameters
+    ----------
+    prediction_model:
+        The trained steering CNN shared by all candidates (so the search
+        varies only the one-class stage).
+    grid:
+        Mapping of parameter name to candidate values.  Keys may be any
+        :class:`AutoencoderConfig` field in {hidden, epochs, batch_size,
+        learning_rate, percentile, ssim_window} plus ``"loss"``
+        ("ssim"/"mse"/"msssim").
+    base_config:
+        Defaults for parameters not in the grid.
+
+    Returns
+    -------
+    Trials sorted best-first by (AUROC, detection rate).
+    """
+    if not grid:
+        raise ConfigurationError("grid must contain at least one parameter")
+    unknown = set(grid) - _TUNABLE - {"loss"}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown grid parameters {sorted(unknown)}; "
+            f"tunable: {sorted(_TUNABLE)} plus 'loss'"
+        )
+    for key, values in grid.items():
+        if not values:
+            raise ConfigurationError(f"grid parameter {key!r} has no candidate values")
+
+    base = base_config or AutoencoderConfig()
+    names = list(grid)
+    trials: List[TrialResult] = []
+    for combo in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        loss = params.pop("loss", "ssim")
+        config = replace(base, **params) if params else base
+
+        timer = Timer()
+        with timer:
+            pipeline = SaliencyNoveltyPipeline(
+                prediction_model, image_shape, loss=loss, config=config, rng=rng
+            )
+            pipeline.fit(train_frames)
+            result = evaluate_detector(pipeline, test_frames, novel_frames)
+        trials.append(
+            TrialResult(
+                params={**dict(zip(names, combo))},
+                auroc=result.auroc,
+                detection_rate=result.detection_rate,
+                false_positive_rate=result.false_positive_rate,
+                overlap=result.overlap,
+                seconds=timer.total,
+            )
+        )
+    trials.sort(key=lambda t: (t.auroc, t.detection_rate), reverse=True)
+    return trials
+
+
+def render_leaderboard(trials: Sequence[TrialResult], top: int = None) -> str:
+    """Format trials (already sorted) as a text leaderboard."""
+    chosen = trials if top is None else trials[:top]
+    lines = [f"{'rank':>4}  result"]
+    for rank, trial in enumerate(chosen, start=1):
+        lines.append(f"{rank:>4}  {trial.summary_row()}")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Shared utilities: deterministic seeding, logging, timing, validation."""
+
+from repro.utils.log import enable_console_logging, get_logger
+from repro.utils.seeding import derive_rng, spawn_rngs
+from repro.utils.timer import Timer, time_call
+from repro.utils.validation import (
+    require_finite,
+    require_in_range,
+    require_ndim,
+    require_positive,
+    require_same_shape,
+    require_shape,
+)
+
+__all__ = [
+    "enable_console_logging",
+    "get_logger",
+    "derive_rng",
+    "spawn_rngs",
+    "Timer",
+    "time_call",
+    "require_finite",
+    "require_in_range",
+    "require_ndim",
+    "require_positive",
+    "require_same_shape",
+    "require_shape",
+]

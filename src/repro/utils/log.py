@@ -1,0 +1,54 @@
+"""Library logging.
+
+Follows the standard library-package convention: every module logs through
+``get_logger(__name__)`` under the ``repro`` namespace, and the root
+``repro`` logger carries a ``NullHandler`` so the library is silent unless
+the *application* configures logging.  :func:`enable_console_logging` is a
+convenience for scripts and notebooks.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``get_logger("repro.nn.trainer")`` and ``get_logger(__name__)`` inside
+    the package are equivalent; names outside the namespace are prefixed.
+    """
+    if name is None or name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if not name.startswith(_ROOT_NAME + "."):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the ``repro`` logger (idempotent).
+
+    Returns the handler so callers can detach or re-level it.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    for handler in root.handlers:
+        if isinstance(handler, logging.StreamHandler) and getattr(
+            handler, "_repro_console", False
+        ):
+            handler.setLevel(level)
+            root.setLevel(level)
+            return handler
+    handler = logging.StreamHandler()
+    handler.setLevel(level)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    handler._repro_console = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

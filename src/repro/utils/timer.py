@@ -1,0 +1,58 @@
+"""Small wall-clock timing helpers used by the saliency timing experiment."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Tuple
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer usable as a context manager.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.total >= 0.0
+    True
+    """
+
+    total: float = 0.0
+    count: int = 0
+    laps: List[float] = field(default_factory=list)
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.total += lap
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per recorded lap (0.0 when nothing recorded)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        """Fastest recorded lap (0.0 when nothing recorded)."""
+        return min(self.laps) if self.laps else 0.0
+
+
+def time_call(fn: Callable[..., Any], *args: Any, repeats: int = 1, **kwargs: Any) -> Tuple[Any, Timer]:
+    """Call ``fn`` ``repeats`` times, returning its last result and the timer."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    timer = Timer()
+    result = None
+    for _ in range(repeats):
+        with timer:
+            result = fn(*args, **kwargs)
+    return result, timer

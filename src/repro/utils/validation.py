@@ -1,0 +1,65 @@
+"""Array validation helpers.
+
+These raise :class:`repro.exceptions.ShapeError` /
+:class:`repro.exceptions.ConfigurationError` with messages naming the
+offending argument, so failures deep in a pipeline point at the call site
+rather than at a numpy broadcasting error three frames later.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+def require_ndim(x: np.ndarray, ndim: int, name: str = "array") -> np.ndarray:
+    """Require ``x`` to have exactly ``ndim`` dimensions."""
+    x = np.asarray(x)
+    if x.ndim != ndim:
+        raise ShapeError(f"{name} must have {ndim} dimensions, got shape {x.shape}")
+    return x
+
+
+def require_shape(x: np.ndarray, shape: Sequence[int], name: str = "array") -> np.ndarray:
+    """Require ``x.shape`` to equal ``shape``; ``-1`` entries match anything."""
+    x = np.asarray(x)
+    if len(x.shape) != len(shape) or any(
+        expected not in (-1, actual) for expected, actual in zip(shape, x.shape)
+    ):
+        raise ShapeError(f"{name} must have shape {tuple(shape)}, got {x.shape}")
+    return x
+
+
+def require_same_shape(a: np.ndarray, b: np.ndarray, names: str = "arrays") -> None:
+    """Require two arrays to have identical shapes."""
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape:
+        raise ShapeError(f"{names} must have the same shape, got {a.shape} vs {b.shape}")
+
+
+def require_finite(x: np.ndarray, name: str = "array") -> np.ndarray:
+    """Require every element of ``x`` to be finite (no NaN/Inf)."""
+    x = np.asarray(x)
+    if not np.all(np.isfinite(x)):
+        bad = int(np.size(x) - np.count_nonzero(np.isfinite(x)))
+        raise ShapeError(f"{name} contains {bad} non-finite values")
+    return x
+
+
+def require_positive(value: float, name: str = "value") -> float:
+    """Require a scalar to be strictly positive."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_in_range(
+    value: float, low: float, high: float, name: str = "value"
+) -> float:
+    """Require ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value}")
+    return value

@@ -1,0 +1,151 @@
+"""Lightweight visualization: ASCII previews and PGM/PPM image export.
+
+The paper's Figures 2, 4 and 6 are *images* (masks, overlays,
+reconstructions).  This module renders the same artifacts without any
+plotting dependency: quick ASCII previews for terminals and logs, and
+binary PGM/PPM files any image viewer opens, so a user can visually compare
+this reproduction's masks against the paper's.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+
+#: Dark-to-bright character ramp for ASCII rendering.
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def _as_image(image: np.ndarray, name: str) -> np.ndarray:
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ShapeError(f"{name} expects an (H, W) image, got {image.shape}")
+    return np.clip(image, 0.0, 1.0)
+
+
+def ascii_image(image: np.ndarray, row_step: int = 1, col_step: int = 1) -> str:
+    """Render a grayscale [0, 1] image as ASCII art.
+
+    ``row_step``/``col_step`` subsample the image (terminal cells are tall,
+    so ``row_step=2`` roughly squares the aspect ratio).
+    """
+    image = _as_image(image, "ascii_image")
+    if row_step < 1 or col_step < 1:
+        raise ConfigurationError("row_step and col_step must be >= 1")
+    ramp_top = len(_ASCII_RAMP) - 1
+    lines = []
+    for row in image[::row_step]:
+        lines.append(
+            "".join(_ASCII_RAMP[int(v * ramp_top + 0.5)] for v in row[::col_step])
+        )
+    return "\n".join(lines)
+
+
+def ascii_side_by_side(left: np.ndarray, right: np.ndarray, gap: str = "  |  ", row_step: int = 2) -> str:
+    """Two images rendered next to each other (e.g. input vs reconstruction)."""
+    a = ascii_image(left, row_step=row_step).splitlines()
+    b = ascii_image(right, row_step=row_step).splitlines()
+    if len(a) != len(b):
+        raise ShapeError("images must have the same height")
+    return "\n".join(line_a + gap + line_b for line_a, line_b in zip(a, b))
+
+
+def save_pgm(image: np.ndarray, path: Union[str, Path]) -> Path:
+    """Write a grayscale [0, 1] image as a binary PGM (P5) file."""
+    image = _as_image(image, "save_pgm")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    h, w = image.shape
+    data = (image * 255.0 + 0.5).astype(np.uint8)
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(data.tobytes())
+    return path
+
+
+def load_pgm(path: Union[str, Path]) -> np.ndarray:
+    """Read back a binary PGM written by :func:`save_pgm` (round-trip aid)."""
+    path = Path(path)
+    with open(path, "rb") as fh:
+        magic = fh.readline().strip()
+        if magic != b"P5":
+            raise ConfigurationError(f"{path} is not a binary PGM (P5) file")
+        dims = fh.readline().split()
+        w, h = int(dims[0]), int(dims[1])
+        maxval = int(fh.readline())
+        data = np.frombuffer(fh.read(w * h), dtype=np.uint8)
+    return data.reshape(h, w).astype(np.float64) / maxval
+
+
+def save_overlay_ppm(
+    image: np.ndarray,
+    mask: np.ndarray,
+    path: Union[str, Path],
+    strength: float = 0.7,
+) -> Path:
+    """Write the paper's Figure 4 artifact: a saliency mask overlaid in red.
+
+    The grayscale ``image`` becomes the base; the mask adds red intensity
+    (``strength`` controls how strongly).  Output is a binary PPM (P6).
+    """
+    image = _as_image(image, "save_overlay_ppm")
+    mask = _as_image(mask, "overlay mask")
+    if image.shape != mask.shape:
+        raise ShapeError(
+            f"image {image.shape} and mask {mask.shape} must have the same shape"
+        )
+    if not 0.0 <= strength <= 1.0:
+        raise ConfigurationError(f"strength must be in [0, 1], got {strength}")
+    red = np.clip(image + strength * mask, 0.0, 1.0)
+    green = image * (1.0 - strength * mask)
+    blue = green
+    rgb = (np.stack([red, green, blue], axis=-1) * 255.0 + 0.5).astype(np.uint8)
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    h, w = image.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(rgb.tobytes())
+    return path
+
+
+def trajectory_strip(
+    lane_offsets: np.ndarray,
+    half_width: float,
+    width: int = 72,
+    row_every: int = 4,
+) -> str:
+    """Render a lane-offset trace as a text strip chart.
+
+    Each line shows the vehicle ('o', or 'X' when off the road) between
+    the lane edges ('|'); the chart spans ±2 half-widths.  Used by the
+    closed-loop example and handy for quick trajectory inspection in
+    terminals and logs.
+    """
+    lane_offsets = np.asarray(lane_offsets, dtype=np.float64).ravel()
+    if lane_offsets.size == 0:
+        raise ShapeError("trajectory_strip requires at least one offset")
+    if half_width <= 0:
+        raise ConfigurationError(f"half_width must be positive, got {half_width}")
+    if width < 8 or row_every < 1:
+        raise ConfigurationError("width must be >= 8 and row_every >= 1")
+
+    left_edge = int(0.25 * (width - 1))
+    right_edge = int(0.75 * (width - 1))
+    lines = []
+    for i in range(0, lane_offsets.size, row_every):
+        offset = lane_offsets[i]
+        position = int(
+            np.clip((offset / (2 * half_width) + 0.5) * (width - 1), 0, width - 1)
+        )
+        lane = [" "] * width
+        lane[0] = lane[-1] = "."
+        lane[left_edge] = lane[right_edge] = "|"
+        lane[position] = "X" if abs(offset) > half_width else "o"
+        lines.append(f"{i:4d} " + "".join(lane))
+    return "\n".join(lines)

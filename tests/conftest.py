@@ -1,0 +1,66 @@
+"""Shared fixtures.
+
+Expensive artifacts (rendered batches, trained networks, fitted pipelines)
+are session-scoped and built at the ``CI`` scale preset so the whole suite
+stays fast while integration tests still exercise real training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CI
+from repro.experiments.harness import Workbench
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def ci_workbench() -> Workbench:
+    """Session-shared workbench at CI scale (lazy: builds on first use)."""
+    return Workbench(CI, seed=0)
+
+
+@pytest.fixture(scope="session")
+def dsu_train(ci_workbench):
+    """CI-scale DSU training batch."""
+    return ci_workbench.batch("dsu", "train")
+
+
+@pytest.fixture(scope="session")
+def dsu_test(ci_workbench):
+    """CI-scale DSU held-out batch."""
+    return ci_workbench.batch("dsu", "test")
+
+
+@pytest.fixture(scope="session")
+def dsi_novel(ci_workbench):
+    """CI-scale DSI novel batch."""
+    return ci_workbench.batch("dsi", "novel")
+
+
+@pytest.fixture(scope="session")
+def trained_pilotnet(ci_workbench):
+    """A PilotNet trained on the CI DSU batch (shared across tests)."""
+    return ci_workbench.steering_model("dsu")
+
+
+@pytest.fixture(scope="session")
+def fitted_pipeline(ci_workbench, trained_pilotnet, dsu_train):
+    """The proposed VBP+SSIM pipeline, fitted on CI-scale DSU frames."""
+    from repro.novelty import SaliencyNoveltyPipeline
+
+    pipeline = SaliencyNoveltyPipeline(
+        trained_pilotnet,
+        CI.image_shape,
+        loss="ssim",
+        config=ci_workbench.autoencoder_config(),
+        rng=0,
+    )
+    pipeline.fit(dsu_train.frames)
+    return pipeline

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment", "fig3"])
+        assert args.exp_id == "fig3"
+        assert args.scale == "bench"
+        assert args.seed == 0
+
+    def test_render_args(self, tmp_path):
+        args = build_parser().parse_args(
+            ["render", "dsi", "--count", "2", "--out", str(tmp_path), "--drive"]
+        )
+        assert args.dataset == "dsi"
+        assert args.count == 2
+        assert args.drive
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig3", "--scale", "huge"])
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["render", "mnist"])
+
+
+class TestCommands:
+    def test_experiment_fig3(self, capsys):
+        exit_code = main(["experiment", "fig3", "--scale", "ci"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "SSIM" in out
+
+    def test_experiment_unknown_id(self, capsys):
+        exit_code = main(["experiment", "fig99", "--scale", "ci"])
+        assert exit_code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_render_writes_pgms(self, tmp_path, capsys):
+        exit_code = main([
+            "render", "dsu", "--count", "2", "--scale", "ci", "--out", str(tmp_path)
+        ])
+        assert exit_code == 0
+        assert len(list(tmp_path.glob("dsu_*.pgm"))) == 2
+
+    def test_render_drive_mode(self, tmp_path):
+        exit_code = main([
+            "render", "dsi", "--count", "3", "--scale", "ci",
+            "--out", str(tmp_path), "--drive",
+        ])
+        assert exit_code == 0
+        assert len(list(tmp_path.glob("dsi_*.pgm"))) == 3
+
+    def test_rendered_pgm_is_loadable(self, tmp_path):
+        from repro import viz
+        from repro.config import CI
+
+        main(["render", "dsu", "--count", "1", "--scale", "ci", "--out", str(tmp_path)])
+        image = viz.load_pgm(next(tmp_path.glob("*.pgm")))
+        assert image.shape == CI.image_shape
+
+
+class TestMarkdownReport:
+    def test_experiment_with_markdown(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        exit_code = main(["experiment", "fig3", "--scale", "ci", "--markdown", str(out)])
+        assert exit_code == 0
+        text = out.read_text()
+        assert "# Reproduction results (ci scale)" in text
+        assert "fig3" in text
+        assert "| ssim_noise |" in text
+
+    def test_markdown_mentions_artifact(self, tmp_path):
+        out = tmp_path / "r.md"
+        main(["experiment", "fig3", "--scale", "ci", "--markdown", str(out)])
+        assert "Figure 3" in out.read_text()
+
+
+class TestExperimentAll:
+    def test_runs_all_registered(self, monkeypatch, capsys, tmp_path):
+        """'experiment all' iterates the registry; shrink it to two cheap
+        entries so the CLI path is covered without bench-scale cost."""
+        import repro.experiments.registry as registry
+
+        small = {
+            "fig3": registry.EXPERIMENTS["fig3"],
+            "timing": registry.EXPERIMENTS["timing"],
+        }
+        monkeypatch.setattr(registry, "EXPERIMENTS", small)
+        out_md = tmp_path / "all.md"
+        exit_code = main([
+            "experiment", "all", "--scale", "ci", "--markdown", str(out_md)
+        ])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "fig3" in captured and "timing" in captured
+        text = out_md.read_text()
+        assert "## fig3" in text and "## timing" in text
+
+
+class TestMasksCommand:
+    def test_exports_mask_triples(self, tmp_path, capsys):
+        exit_code = main([
+            "masks", "dsu", "--count", "2", "--scale", "ci", "--out", str(tmp_path)
+        ])
+        assert exit_code == 0
+        assert len(list(tmp_path.glob("*_input.pgm"))) == 2
+        assert len(list(tmp_path.glob("*_mask.pgm"))) == 2
+        assert len(list(tmp_path.glob("*_overlay.ppm"))) == 2
+
+
+class TestDemoCommand:
+    def test_demo_runs_at_ci_scale(self, capsys):
+        exit_code = main(["demo", "--scale", "ci"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "VBP+SSIM (proposed)" in out
+        assert "AUROC" in out

@@ -1,0 +1,64 @@
+"""Tests for scale presets and configuration validation."""
+
+import pytest
+
+from repro.config import BENCH, CI, PAPER, PRESETS, Scale, get_scale
+from repro.exceptions import ConfigurationError
+
+
+class TestScaleValidation:
+    def test_valid_scale_constructs(self):
+        Scale(image_shape=(24, 64), n_train=10, n_test=5, n_novel=5,
+              cnn_epochs=1, ae_epochs=1)
+
+    def test_tiny_image_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scale(image_shape=(4, 64), n_train=10, n_test=5, n_novel=5,
+                  cnn_epochs=1, ae_epochs=1)
+
+    def test_zero_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scale(image_shape=(24, 64), n_train=0, n_test=5, n_novel=5,
+                  cnn_epochs=1, ae_epochs=1)
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scale(image_shape=(24, 64), n_train=10, n_test=5, n_novel=5,
+                  cnn_epochs=1, ae_epochs=1, ssim_window=8)
+
+    def test_oversized_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scale(image_shape=(24, 64), n_train=10, n_test=5, n_novel=5,
+                  cnn_epochs=1, ae_epochs=1, ssim_window=25)
+
+    def test_with_overrides(self):
+        scaled = CI.with_overrides(n_train=7)
+        assert scaled.n_train == 7
+        assert scaled.image_shape == CI.image_shape
+        assert CI.n_train != 7  # original untouched
+
+
+class TestPresets:
+    def test_paper_preset_matches_paper(self):
+        """60x160 frames, 11x11 SSIM windows, batch 32, 500-image samples."""
+        assert PAPER.image_shape == (60, 160)
+        assert PAPER.ssim_window == 11
+        assert PAPER.batch_size == 32
+        assert PAPER.n_test == 500
+        assert PAPER.n_novel == 500
+
+    def test_presets_ordered_by_size(self):
+        assert CI.n_train <= BENCH.n_train <= PAPER.n_train
+        assert CI.image_shape[0] <= BENCH.image_shape[0] <= PAPER.image_shape[0]
+
+    def test_get_scale(self):
+        assert get_scale("ci") is CI
+        assert get_scale("bench") is BENCH
+        assert get_scale("paper") is PAPER
+
+    def test_get_scale_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="known scales"):
+            get_scale("huge")
+
+    def test_registry_complete(self):
+        assert set(PRESETS) == {"ci", "bench", "paper"}

@@ -1,0 +1,78 @@
+"""Tests for FGSM adversarial example generation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.adversarial import fgsm_attack, prediction_shift
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+class TestFgsmAttack:
+    def test_perturbation_bounded(self, trained_pilotnet, dsu_test):
+        frames = dsu_test.frames[:4]
+        adv = fgsm_attack(trained_pilotnet, frames, dsu_test.angles[:4], epsilon=0.03)
+        assert np.abs(adv - frames).max() <= 0.03 + 1e-12
+
+    def test_output_shape_matches_3d(self, trained_pilotnet, dsu_test):
+        frames = dsu_test.frames[:3]
+        adv = fgsm_attack(trained_pilotnet, frames, dsu_test.angles[:3])
+        assert adv.shape == frames.shape
+
+    def test_output_shape_matches_4d(self, trained_pilotnet, dsu_test):
+        frames = dsu_test.frames[:3][:, None, :, :]
+        adv = fgsm_attack(trained_pilotnet, frames, dsu_test.angles[:3])
+        assert adv.shape == frames.shape
+
+    def test_increases_prediction_error(self, trained_pilotnet, dsu_test):
+        """FGSM maximizes the loss: the attacked frames must predict worse
+        than the clean frames on average."""
+        frames = dsu_test.frames[:16]
+        angles = dsu_test.angles[:16]
+        adv = fgsm_attack(trained_pilotnet, frames, angles, epsilon=0.1)
+        clean_err = np.mean((trained_pilotnet.predict_angles(frames) - angles) ** 2)
+        adv_err = np.mean((trained_pilotnet.predict_angles(adv) - angles) ** 2)
+        assert adv_err > clean_err
+
+    def test_stronger_epsilon_bigger_shift(self, trained_pilotnet, dsu_test):
+        frames = dsu_test.frames[:8]
+        angles = dsu_test.angles[:8]
+        weak = fgsm_attack(trained_pilotnet, frames, angles, epsilon=0.01)
+        strong = fgsm_attack(trained_pilotnet, frames, angles, epsilon=0.2)
+        shift_weak = prediction_shift(trained_pilotnet, frames, weak).mean()
+        shift_strong = prediction_shift(trained_pilotnet, frames, strong).mean()
+        assert shift_strong > shift_weak
+
+    def test_clip_keeps_valid_range(self, trained_pilotnet, dsu_test):
+        adv = fgsm_attack(
+            trained_pilotnet, dsu_test.frames[:2], dsu_test.angles[:2], epsilon=0.5
+        )
+        assert adv.min() >= 0.0 and adv.max() <= 1.0
+
+    def test_leaves_param_grads_clean(self, trained_pilotnet, dsu_test):
+        fgsm_attack(trained_pilotnet, dsu_test.frames[:2], dsu_test.angles[:2])
+        assert all(np.all(p.grad == 0) for p in trained_pilotnet.parameters())
+
+    def test_invalid_epsilon_raises(self, trained_pilotnet, dsu_test):
+        with pytest.raises(ConfigurationError):
+            fgsm_attack(trained_pilotnet, dsu_test.frames[:1], dsu_test.angles[:1], epsilon=0.0)
+
+    def test_bad_shape_raises(self, trained_pilotnet):
+        with pytest.raises(ShapeError):
+            fgsm_attack(trained_pilotnet, np.zeros((2, 2)), np.zeros(2))
+
+
+class TestPredictionShift:
+    def test_zero_for_identical(self, trained_pilotnet, dsu_test):
+        frames = dsu_test.frames[:3]
+        np.testing.assert_array_equal(
+            prediction_shift(trained_pilotnet, frames, frames), 0.0
+        )
+
+    def test_shape(self, trained_pilotnet, dsu_test):
+        frames = dsu_test.frames[:5]
+        other = np.clip(frames + 0.05, 0, 1)
+        assert prediction_shift(trained_pilotnet, frames, other).shape == (5,)
+
+    def test_mismatched_shapes_raise(self, trained_pilotnet, dsu_test):
+        with pytest.raises(ShapeError):
+            prediction_shift(trained_pilotnet, dsu_test.frames[:2], dsu_test.frames[:3])

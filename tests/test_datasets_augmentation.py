@@ -1,0 +1,143 @@
+"""Tests for flip augmentation and the new perturbations."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SyntheticUdacity,
+    adjust_contrast,
+    augment_with_flips,
+    horizontal_flip,
+    random_flip_epoch,
+    salt_and_pepper,
+)
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+@pytest.fixture
+def batch():
+    return SyntheticUdacity((24, 64)).render_batch(6, rng=0)
+
+
+class TestHorizontalFlip:
+    def test_mirrors_pixels(self, batch):
+        flipped, _ = horizontal_flip(batch.frames, batch.angles)
+        np.testing.assert_array_equal(flipped, batch.frames[:, :, ::-1])
+
+    def test_negates_angles(self, batch):
+        _, angles = horizontal_flip(batch.frames, batch.angles)
+        np.testing.assert_array_equal(angles, -batch.angles)
+
+    def test_involution(self, batch):
+        frames, angles = horizontal_flip(*horizontal_flip(batch.frames, batch.angles))
+        np.testing.assert_array_equal(frames, batch.frames)
+        np.testing.assert_array_equal(angles, batch.angles)
+
+    def test_flip_is_geometrically_consistent(self):
+        """A mirrored scene is what the renderer produces for the mirrored
+        profile: verify via the steering label of a mirrored-curvature
+        sample being the negation."""
+        from repro.datasets.road_geometry import TrackProfile
+
+        dataset = SyntheticUdacity((24, 64))
+        geometry = dataset.geometry
+        profile = TrackProfile(curvature=0.03, lane_offset=0.2, heading=0.05)
+        mirrored = TrackProfile(curvature=-0.03, lane_offset=-0.2, heading=-0.05)
+        assert geometry.steering_angle(mirrored) == pytest.approx(
+            -geometry.steering_angle(profile)
+        )
+
+    def test_shape_validation(self, batch):
+        with pytest.raises(ShapeError):
+            horizontal_flip(batch.frames[0], batch.angles[:1])
+        with pytest.raises(ShapeError):
+            horizontal_flip(batch.frames, batch.angles[:-1])
+
+
+class TestAugmentWithFlips:
+    def test_doubles_dataset(self, batch):
+        frames, angles = augment_with_flips(batch.frames, batch.angles)
+        assert frames.shape[0] == 12
+        assert angles.shape == (12,)
+
+    def test_balances_angle_distribution(self, batch):
+        _, angles = augment_with_flips(batch.frames, batch.angles)
+        assert angles.mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_originals_preserved(self, batch):
+        frames, angles = augment_with_flips(batch.frames, batch.angles)
+        np.testing.assert_array_equal(frames[:6], batch.frames)
+        np.testing.assert_array_equal(angles[:6], batch.angles)
+
+
+class TestRandomFlipEpoch:
+    def test_preserves_size(self, batch):
+        frames, angles = random_flip_epoch(batch.frames, batch.angles, rng=0)
+        assert frames.shape == batch.frames.shape
+
+    def test_flipped_entries_consistent(self, batch):
+        frames, angles = random_flip_epoch(batch.frames, batch.angles, rng=0)
+        for i in range(len(angles)):
+            if angles[i] == batch.angles[i]:
+                np.testing.assert_array_equal(frames[i], batch.frames[i])
+            else:
+                np.testing.assert_array_equal(frames[i], batch.frames[i][:, ::-1])
+
+    def test_deterministic(self, batch):
+        a = random_flip_epoch(batch.frames, batch.angles, rng=5)
+        b = random_flip_epoch(batch.frames, batch.angles, rng=5)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_input_untouched(self, batch):
+        original = batch.frames.copy()
+        random_flip_epoch(batch.frames, batch.angles, rng=0)
+        np.testing.assert_array_equal(batch.frames, original)
+
+
+class TestAdjustContrast:
+    def test_identity_factor(self, rng):
+        img = rng.random((8, 8))
+        np.testing.assert_allclose(adjust_contrast(img, 1.0), img)
+
+    def test_zero_factor_flattens(self, rng):
+        img = rng.random((8, 8)) * 0.5 + 0.2
+        out = adjust_contrast(img, 0.0)
+        np.testing.assert_allclose(out, img.mean())
+
+    def test_preserves_mean_when_unclipped(self, rng):
+        img = rng.random((10, 10)) * 0.4 + 0.3
+        out = adjust_contrast(img, 1.3)
+        assert out.mean() == pytest.approx(img.mean(), abs=0.02)
+
+    def test_batch_per_image_mean(self, rng):
+        batch = np.stack([rng.random((6, 6)) * 0.2, rng.random((6, 6)) * 0.2 + 0.7])
+        out = adjust_contrast(batch, 0.0)
+        assert abs(out[0].mean() - out[1].mean()) > 0.3
+
+    def test_negative_factor_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            adjust_contrast(rng.random((4, 4)), -1.0)
+
+
+class TestSaltAndPepper:
+    def test_amount_zero_is_copy(self, rng):
+        img = rng.random((10, 10))
+        out = salt_and_pepper(img, amount=0.0, rng=0)
+        np.testing.assert_array_equal(out, img)
+        assert out is not img
+
+    def test_corrupted_fraction(self, rng):
+        img = np.full((100, 100), 0.5)
+        out = salt_and_pepper(img, amount=0.1, rng=0)
+        corrupted = np.mean(out != 0.5)
+        assert corrupted == pytest.approx(0.1, abs=0.02)
+
+    def test_extreme_values_only(self, rng):
+        img = np.full((50, 50), 0.5)
+        out = salt_and_pepper(img, amount=0.2, rng=0)
+        changed = out[out != 0.5]
+        assert set(np.unique(changed)) <= {0.0, 1.0}
+
+    def test_invalid_amount_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            salt_and_pepper(rng.random((4, 4)), amount=1.5)

@@ -1,0 +1,109 @@
+"""Tests for temporally coherent drive simulation and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticIndoor, SyntheticUdacity
+from repro.datasets.road_geometry import CameraModel, RoadGeometry
+from repro.exceptions import ConfigurationError
+
+SHAPE = (24, 64)
+
+
+@pytest.fixture
+def geometry():
+    return RoadGeometry(CameraModel(image_shape=SHAPE))
+
+
+class TestSimulateDrive:
+    def test_length(self, geometry):
+        assert len(geometry.simulate_drive(25, rng=0)) == 25
+
+    def test_single_frame(self, geometry):
+        assert len(geometry.simulate_drive(1, rng=0)) == 1
+
+    def test_deterministic(self, geometry):
+        a = geometry.simulate_drive(10, rng=3)
+        b = geometry.simulate_drive(10, rng=3)
+        assert a == b
+
+    def test_profiles_within_bounds(self, geometry):
+        for profile in geometry.simulate_drive(100, rng=1):
+            assert abs(profile.curvature) <= geometry.max_curvature
+            assert abs(profile.lane_offset) <= geometry.max_offset
+            assert abs(profile.heading) <= geometry.max_heading
+
+    def test_temporal_correlation(self, geometry):
+        """Consecutive curvatures must be far more similar than i.i.d. draws."""
+        profiles = geometry.simulate_drive(200, rng=2)
+        curvatures = np.array([p.curvature for p in profiles])
+        drive_delta = np.abs(np.diff(curvatures)).mean()
+        iid = np.array(
+            [geometry.sample_profile(rng=i).curvature for i in range(200)]
+        )
+        iid_delta = np.abs(np.diff(iid)).mean()
+        assert drive_delta < iid_delta / 2
+
+    def test_mean_reversion(self, geometry):
+        """Long drives should spend time on both sides of straight ahead."""
+        curvatures = [p.curvature for p in geometry.simulate_drive(400, rng=5)]
+        assert min(curvatures) < 0 < max(curvatures)
+
+    def test_invalid_params_raise(self, geometry):
+        with pytest.raises(ConfigurationError):
+            geometry.simulate_drive(0)
+        with pytest.raises(ConfigurationError):
+            geometry.simulate_drive(10, dt=0.0)
+        with pytest.raises(ConfigurationError):
+            geometry.simulate_drive(10, curvature_tau=-1.0)
+
+
+class TestRenderDrive:
+    @pytest.mark.parametrize("cls", [SyntheticUdacity, SyntheticIndoor])
+    def test_shapes(self, cls):
+        drive = cls(SHAPE).render_drive(8, rng=0)
+        assert drive.frames.shape == (8,) + SHAPE
+        assert drive.angles.shape == (8,)
+
+    @pytest.mark.parametrize("cls", [SyntheticUdacity, SyntheticIndoor])
+    def test_deterministic(self, cls):
+        a = cls(SHAPE).render_drive(5, rng=7)
+        b = cls(SHAPE).render_drive(5, rng=7)
+        np.testing.assert_array_equal(a.frames, b.frames)
+
+    def test_frames_temporally_coherent(self):
+        """Consecutive drive frames differ far less than i.i.d. frames."""
+        dsu = SyntheticUdacity(SHAPE)
+        drive = dsu.render_drive(20, rng=0)
+        iid = dsu.render_batch(20, rng=0)
+        drive_delta = np.abs(np.diff(drive.frames, axis=0)).mean()
+        iid_delta = np.abs(np.diff(iid.frames, axis=0)).mean()
+        assert drive_delta < iid_delta / 3
+
+    def test_angles_temporally_coherent(self):
+        dsu = SyntheticUdacity(SHAPE)
+        drive = dsu.render_drive(30, rng=1)
+        iid = dsu.render_batch(30, rng=1)
+        assert np.abs(np.diff(drive.angles)).mean() < np.abs(np.diff(iid.angles)).mean()
+
+    def test_scene_decoration_is_static(self):
+        """The same stretch of world: sky/background pixels barely change."""
+        drive = SyntheticUdacity(SHAPE).render_drive(10, rng=2)
+        sky = drive.frames[:, :4, :]  # well above the horizon
+        assert np.abs(np.diff(sky, axis=0)).max() < 1e-9
+
+    def test_geometry_actually_varies(self):
+        drive = SyntheticUdacity(SHAPE).render_drive(40, rng=3)
+        assert drive.angles.std() > 0.01
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticUdacity(SHAPE).render_drive(0)
+
+    def test_drive_frames_detectable_as_target(self, fitted_pipeline, ci_workbench):
+        """Drive frames come from the same domain the detector was trained
+        on, so most should not be flagged despite temporal correlation."""
+        from repro.config import CI
+
+        drive = ci_workbench.dsu.render_drive(20, rng=11)
+        assert fitted_pipeline.predict_novel(drive.frames).mean() < 0.3

@@ -1,0 +1,112 @@
+"""Tests for camera projection and road geometry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import CameraModel, RoadGeometry, TrackProfile
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def camera():
+    return CameraModel(image_shape=(24, 64))
+
+
+@pytest.fixture
+def geometry(camera):
+    return RoadGeometry(camera)
+
+
+class TestCameraModel:
+    def test_horizon_row(self, camera):
+        assert camera.horizon_row == pytest.approx(24 * 0.35)
+
+    def test_rows_below_horizon_inside_image(self, camera):
+        rows = camera.rows_below_horizon()
+        assert rows[0] > camera.horizon_row
+        assert rows[-1] == 23
+
+    def test_distance_decreases_down_the_image(self, camera):
+        rows = camera.rows_below_horizon()
+        distances = camera.row_to_distance(rows)
+        assert np.all(np.diff(distances) <= 0)
+
+    def test_distance_clipped_at_minimum(self, camera):
+        d = camera.row_to_distance(np.array([1000.0]))
+        assert d[0] == camera.min_distance
+
+    def test_projection_roundtrip(self, camera):
+        """ground_to_column and column_to_lateral are inverses."""
+        d = np.array([5.0, 10.0])
+        x = np.array([-1.2, 0.7])
+        cols = camera.ground_to_column(x, d)
+        np.testing.assert_allclose(camera.column_to_lateral(cols, d), x)
+
+    def test_center_projects_to_center(self, camera):
+        assert camera.ground_to_column(np.array([0.0]), np.array([5.0]))[0] == camera.center_col
+
+    def test_perspective_narrowing(self, camera):
+        """The same physical width spans fewer pixels farther away."""
+        near = camera.ground_to_column(np.array([1.0]), np.array([2.0]))
+        far = camera.ground_to_column(np.array([1.0]), np.array([20.0]))
+        center = camera.center_col
+        assert (near[0] - center) > (far[0] - center)
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ConfigurationError):
+            CameraModel(image_shape=(2, 2))
+        with pytest.raises(ConfigurationError):
+            CameraModel(image_shape=(24, 64), horizon_frac=0.99)
+        with pytest.raises(ConfigurationError):
+            CameraModel(image_shape=(24, 64), focal_v=-1.0)
+
+
+class TestRoadGeometry:
+    def test_sample_profile_within_ranges(self, geometry):
+        for seed in range(10):
+            p = geometry.sample_profile(rng=seed)
+            assert abs(p.curvature) <= geometry.max_curvature
+            assert abs(p.lane_offset) <= geometry.max_offset
+            assert abs(p.heading) <= geometry.max_heading
+
+    def test_sample_deterministic(self, geometry):
+        assert geometry.sample_profile(rng=3) == geometry.sample_profile(rng=3)
+
+    def test_straight_centered_road_is_zero(self, geometry):
+        profile = TrackProfile(curvature=0.0, lane_offset=0.0, heading=0.0)
+        d = np.array([2.0, 10.0, 30.0])
+        np.testing.assert_allclose(geometry.centerline(profile, d), 0.0)
+        assert geometry.steering_angle(profile) == 0.0
+
+    def test_curvature_bends_centerline_quadratically(self, geometry):
+        profile = TrackProfile(curvature=0.02, lane_offset=0.0, heading=0.0)
+        c = geometry.centerline(profile, np.array([10.0, 20.0]))
+        assert c[1] == pytest.approx(4 * c[0])  # 0.5*k*d^2 scaling
+
+    def test_steering_sign_follows_curvature(self, geometry):
+        left = TrackProfile(curvature=-0.05, lane_offset=0.0, heading=0.0)
+        right = TrackProfile(curvature=0.05, lane_offset=0.0, heading=0.0)
+        assert geometry.steering_angle(left) < 0 < geometry.steering_angle(right)
+
+    def test_offset_steers_back_to_center(self, geometry):
+        offset_right = TrackProfile(curvature=0.0, lane_offset=0.4, heading=0.0)
+        assert geometry.steering_angle(offset_right) < 0.0
+
+    def test_road_extent_orders_edges(self, geometry, camera):
+        profile = geometry.sample_profile(rng=0)
+        rows = camera.rows_below_horizon()
+        _, left, right = geometry.road_extent(profile, rows)
+        assert np.all(left < right)
+
+    def test_road_wider_near_camera(self, geometry, camera):
+        profile = TrackProfile(0.0, 0.0, 0.0)
+        rows = camera.rows_below_horizon()
+        _, left, right = geometry.road_extent(profile, rows)
+        widths = right - left
+        assert widths[-1] > widths[0]  # bottom rows see a wider road
+
+    def test_invalid_config_raises(self, camera):
+        with pytest.raises(ConfigurationError):
+            RoadGeometry(camera, road_half_width=0.0)
+        with pytest.raises(ConfigurationError):
+            RoadGeometry(camera, max_curvature=-0.1)

@@ -1,0 +1,147 @@
+"""Tests for image perturbations and the Figure 3 calibrations."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    add_gaussian_noise,
+    adjust_brightness,
+    apply_blur,
+    calibrate_brightness_to_mse,
+    calibrate_noise_to_mse,
+    occlude,
+    rotate,
+    translate,
+)
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.metrics import mse, ssim
+
+
+@pytest.fixture
+def image(rng):
+    """A *structured* mid-range test image (smooth gradient + stripes).
+
+    Structure matters: on an i.i.d.-noise image, additional noise and a
+    brightness shift degrade SSIM similarly, and the Figure 3 ordering
+    disappears.  Real road frames are structured, so the fixture is too.
+    Mid-range values leave headroom for brightness shifts.
+    """
+    gradient = np.linspace(0.2, 0.6, 30)[None, :] * np.ones((20, 1))
+    stripes = 0.15 * (np.arange(20)[:, None] % 4 < 2)
+    return np.clip(gradient + stripes + 0.03 * rng.random((20, 30)), 0.0, 0.85)
+
+
+class TestGaussianNoise:
+    def test_preserves_input(self, image):
+        original = image.copy()
+        add_gaussian_noise(image, 0.1, rng=0)
+        np.testing.assert_array_equal(image, original)
+
+    def test_sigma_zero_is_identity(self, image):
+        np.testing.assert_array_equal(add_gaussian_noise(image, 0.0, rng=0), image)
+
+    def test_clip_keeps_range(self, image):
+        noisy = add_gaussian_noise(image, 0.5, rng=0)
+        assert noisy.min() >= 0.0 and noisy.max() <= 1.0
+
+    def test_no_clip_can_exceed(self, image):
+        noisy = add_gaussian_noise(image, 1.0, rng=0, clip=False)
+        assert noisy.max() > 1.0 or noisy.min() < 0.0
+
+    def test_deterministic(self, image):
+        a = add_gaussian_noise(image, 0.2, rng=3)
+        b = add_gaussian_noise(image, 0.2, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_sigma_raises(self, image):
+        with pytest.raises(ConfigurationError):
+            add_gaussian_noise(image, -0.1)
+
+    def test_batch(self, rng):
+        batch = rng.random((3, 8, 8))
+        assert add_gaussian_noise(batch, 0.1, rng=0).shape == (3, 8, 8)
+
+
+class TestBrightness:
+    def test_shift_applied(self, image):
+        out = adjust_brightness(image, 0.1)
+        np.testing.assert_allclose(out, np.clip(image + 0.1, 0, 1))
+
+    def test_negative_shift(self, image):
+        out = adjust_brightness(image, -0.5)
+        assert out.min() == 0.0
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ShapeError):
+            adjust_brightness(np.zeros(5), 0.1)
+
+
+class TestFigure3Calibration:
+    TARGET = 91.0 / 255.0**2
+
+    def test_noise_hits_target_mse(self, image):
+        noisy = calibrate_noise_to_mse(image, self.TARGET, rng=0)
+        assert mse(image, noisy) == pytest.approx(self.TARGET, rel=0.03)
+
+    def test_brightness_hits_target_mse(self, image):
+        bright = calibrate_brightness_to_mse(image, self.TARGET)
+        assert mse(image, bright) == pytest.approx(self.TARGET, rel=0.03)
+
+    def test_figure3_ssim_ordering(self, image):
+        """Equal MSE, but SSIM(noise) << SSIM(brightness) — the figure's
+        entire point."""
+        noisy = calibrate_noise_to_mse(image, self.TARGET, rng=0)
+        bright = calibrate_brightness_to_mse(image, self.TARGET)
+        assert ssim(image, noisy, window_size=7) < ssim(image, bright, window_size=7) - 0.03
+
+    def test_invalid_target_raises(self, image):
+        with pytest.raises(ConfigurationError):
+            calibrate_noise_to_mse(image, 0.0)
+
+    def test_saturated_image_brightness_fails_loudly(self):
+        almost_white = np.full((10, 10), 0.999)
+        with pytest.raises(ConfigurationError, match="calibrate"):
+            calibrate_brightness_to_mse(almost_white, 0.05)
+
+
+class TestGeometricPerturbations:
+    def test_rotate_shape(self, image):
+        assert rotate(image, 15.0).shape == image.shape
+
+    def test_rotate_batch(self, rng):
+        assert rotate(rng.random((2, 8, 8)), 10.0).shape == (2, 8, 8)
+
+    def test_rotate_zero_close_to_identity(self, image):
+        np.testing.assert_allclose(rotate(image, 0.0), image, atol=1e-9)
+
+    def test_translate_moves_content(self):
+        img = np.zeros((6, 6))
+        img[2, 2] = 1.0
+        out = translate(img, 1, 2)
+        assert out[3, 4] == 1.0
+
+    def test_translate_batch(self, rng):
+        assert translate(rng.random((2, 6, 6)), 1, 1).shape == (2, 6, 6)
+
+    def test_occlude_patches_area(self, image):
+        out = occlude(image, size_frac=0.5, value=0.0, rng=0)
+        changed = (out != image).mean()
+        assert 0.2 <= changed <= 0.3  # ~0.5^2 of the area
+
+    def test_occlude_preserves_input(self, image):
+        original = image.copy()
+        occlude(image, rng=0)
+        np.testing.assert_array_equal(image, original)
+
+    def test_occlude_batch_randomizes_positions(self, rng):
+        batch = rng.random((4, 16, 16))
+        out = occlude(batch, size_frac=0.25, value=-1.0, rng=0)
+        positions = [tuple(np.argwhere(img == -1.0)[0]) for img in out]
+        assert len(set(positions)) > 1
+
+    def test_occlude_invalid_frac_raises(self, image):
+        with pytest.raises(ConfigurationError):
+            occlude(image, size_frac=0.0)
+
+    def test_blur_smooths(self, image):
+        assert apply_blur(image, 2.0).var() < image.var()

@@ -1,0 +1,78 @@
+"""Hypothesis property tests for the dataset renderers and geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import CameraModel, RoadGeometry, SyntheticIndoor, SyntheticUdacity
+from repro.datasets.road_geometry import TrackProfile
+
+SHAPES = st.tuples(st.integers(10, 40), st.integers(16, 80))
+
+
+class TestRendererProperties:
+    @given(shape=SHAPES, seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_udacity_valid_at_any_shape(self, shape, seed):
+        sample = SyntheticUdacity(shape).sample(rng=seed)
+        assert sample.frame.shape == shape
+        assert 0.0 <= sample.frame.min() and sample.frame.max() <= 1.0
+        assert np.isfinite(sample.steering_angle)
+        assert sample.road_mask.shape == shape
+
+    @given(shape=SHAPES, seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_indoor_valid_at_any_shape(self, shape, seed):
+        sample = SyntheticIndoor(shape).sample(rng=seed)
+        assert sample.frame.shape == shape
+        assert 0.0 <= sample.frame.min() and sample.frame.max() <= 1.0
+        assert sample.marking_mask.shape == shape
+
+    @given(shape=SHAPES, seed=st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_markings_subset_of_lower_image(self, shape, seed):
+        """Lane markings never appear above the horizon region."""
+        sample = SyntheticUdacity(shape).sample(rng=seed)
+        horizon = int(shape[0] * 0.35)
+        assert not sample.marking_mask[: max(horizon - 1, 0)].any()
+
+
+class TestGeometryProperties:
+    @given(
+        curvature=st.floats(-0.05, 0.05),
+        offset=st.floats(-0.5, 0.5),
+        heading=st.floats(-0.08, 0.08),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_steering_is_linear_in_state(self, curvature, offset, heading):
+        """The control law is linear: negating the state negates the label."""
+        geometry = RoadGeometry(CameraModel(image_shape=(24, 64)))
+        profile = TrackProfile(curvature, offset, heading)
+        mirrored = TrackProfile(-curvature, -offset, -heading)
+        assert geometry.steering_angle(mirrored) == pytest.approx(
+            -geometry.steering_angle(profile)
+        )
+
+    @given(
+        curvature=st.floats(-0.05, 0.05),
+        offset=st.floats(-0.5, 0.5),
+        heading=st.floats(-0.08, 0.08),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_road_edges_ordered_for_all_profiles(self, curvature, offset, heading):
+        geometry = RoadGeometry(CameraModel(image_shape=(24, 64)))
+        rows = geometry.camera.rows_below_horizon()
+        _, left, right = geometry.road_extent(
+            TrackProfile(curvature, offset, heading), rows
+        )
+        assert np.all(left < right)
+
+    @given(seed=st.integers(0, 500), n=st.integers(2, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_drives_always_within_bounds(self, seed, n):
+        geometry = RoadGeometry(CameraModel(image_shape=(24, 64)))
+        for profile in geometry.simulate_drive(n, rng=seed):
+            assert abs(profile.curvature) <= geometry.max_curvature
+            assert abs(profile.lane_offset) <= geometry.max_offset
+            assert abs(profile.heading) <= geometry.max_heading

@@ -1,0 +1,126 @@
+"""Tests for the DSU/DSI surrogate renderers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticIndoor, SyntheticUdacity
+from repro.exceptions import ConfigurationError
+
+SHAPE = (24, 64)
+
+
+@pytest.fixture(scope="module")
+def dsu_batch():
+    return SyntheticUdacity(SHAPE).render_batch(12, rng=0)
+
+
+@pytest.fixture(scope="module")
+def dsi_batch():
+    return SyntheticIndoor(SHAPE).render_batch(12, rng=0)
+
+
+class TestRenderContracts:
+    @pytest.mark.parametrize("cls", [SyntheticUdacity, SyntheticIndoor])
+    def test_frame_range(self, cls):
+        batch = cls(SHAPE).render_batch(4, rng=0)
+        assert batch.frames.min() >= 0.0 and batch.frames.max() <= 1.0
+
+    @pytest.mark.parametrize("cls", [SyntheticUdacity, SyntheticIndoor])
+    def test_shapes(self, cls):
+        batch = cls(SHAPE).render_batch(5, rng=0)
+        assert batch.frames.shape == (5,) + SHAPE
+        assert batch.angles.shape == (5,)
+        assert batch.road_masks.shape == (5,) + SHAPE
+        assert batch.marking_masks.shape == (5,) + SHAPE
+        assert batch.road_masks.dtype == bool
+        assert len(batch) == 5
+
+    @pytest.mark.parametrize("cls", [SyntheticUdacity, SyntheticIndoor])
+    def test_deterministic_under_seed(self, cls):
+        a = cls(SHAPE).render_batch(3, rng=7)
+        b = cls(SHAPE).render_batch(3, rng=7)
+        np.testing.assert_array_equal(a.frames, b.frames)
+        np.testing.assert_array_equal(a.angles, b.angles)
+
+    @pytest.mark.parametrize("cls", [SyntheticUdacity, SyntheticIndoor])
+    def test_samples_independent_of_batch_size(self, cls):
+        """Sample i must not depend on how many samples are drawn."""
+        small = cls(SHAPE).render_batch(3, rng=9)
+        large = cls(SHAPE).render_batch(6, rng=9)
+        np.testing.assert_array_equal(small.frames, large.frames[:3])
+
+    @pytest.mark.parametrize("cls", [SyntheticUdacity, SyntheticIndoor])
+    def test_different_seeds_differ(self, cls):
+        a = cls(SHAPE).render_batch(2, rng=1)
+        b = cls(SHAPE).render_batch(2, rng=2)
+        assert not np.array_equal(a.frames, b.frames)
+
+    @pytest.mark.parametrize("cls", [SyntheticUdacity, SyntheticIndoor])
+    def test_sample_returns_single(self, cls):
+        sample = cls(SHAPE).sample(rng=0)
+        assert sample.frame.shape == SHAPE
+        assert isinstance(sample.steering_angle, float)
+
+    def test_rejects_tiny_images(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticUdacity((4, 4))
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticUdacity(SHAPE).render_batch(0)
+
+
+class TestSceneStructure:
+    def test_road_in_lower_half(self, dsu_batch):
+        h = SHAPE[0]
+        lower = dsu_batch.road_masks[:, h // 2 :, :].mean()
+        upper = dsu_batch.road_masks[:, : h // 2, :].mean()
+        assert lower > upper
+
+    def test_markings_inside_or_near_road(self, dsu_batch):
+        """DSU markings are painted on the road surface."""
+        inside = (dsu_batch.marking_masks & dsu_batch.road_masks).sum()
+        total = dsu_batch.marking_masks.sum()
+        assert total > 0
+        assert inside / total > 0.95
+
+    def test_markings_are_bright(self, dsu_batch):
+        marked = dsu_batch.frames[dsu_batch.marking_masks]
+        unmarked_road = dsu_batch.frames[dsu_batch.road_masks & ~dsu_batch.marking_masks]
+        assert marked.mean() > unmarked_road.mean() + 0.2
+
+    def test_indoor_tape_is_bright(self, dsi_batch):
+        taped = dsi_batch.frames[dsi_batch.marking_masks]
+        floor = dsi_batch.frames[dsi_batch.road_masks]
+        assert taped.mean() > floor.mean() + 0.2
+
+    def test_angles_vary(self, dsu_batch):
+        assert dsu_batch.angles.std() > 0.05
+
+    def test_steering_correlates_with_geometry(self):
+        """Frames rendered from mirrored profiles should have mirrored
+        angles: check the angle distribution is roughly symmetric."""
+        batch = SyntheticUdacity(SHAPE).render_batch(300, rng=3)
+        assert abs(batch.angles.mean()) < batch.angles.std()
+
+
+class TestDomainGap:
+    def test_datasets_are_visually_distinct(self, dsu_batch, dsi_batch):
+        """The two domains must differ in simple statistics — that is DSI's
+        entire role in the paper.  The clearest signature is above the
+        horizon: bright sky outdoors vs dark wall indoors."""
+        h = SHAPE[0]
+        sky = dsu_batch.frames[:, : h // 3].mean()
+        wall = dsi_batch.frames[:, : h // 3].mean()
+        assert abs(sky - wall) > 0.1
+
+    def test_dsu_is_more_varied(self, dsu_batch, dsi_batch):
+        """Paper §IV-B.3: 'DSU is a more varied dataset compared to DSI'."""
+        var_dsu = dsu_batch.frames.std(axis=0).mean()
+        var_dsi = dsi_batch.frames.std(axis=0).mean()
+        assert var_dsu > var_dsi
+
+    def test_indoor_lighting_is_stable(self):
+        dsi = SyntheticIndoor(SHAPE).render_batch(30, rng=5)
+        dsu = SyntheticUdacity(SHAPE).render_batch(30, rng=5)
+        assert dsi.frames.mean(axis=(1, 2)).std() < dsu.frames.mean(axis=(1, 2)).std()

@@ -1,0 +1,143 @@
+"""Tests for rendering primitives."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.rendering import (
+    band_mask,
+    cloud_field,
+    draw_rectangle,
+    ground_fill,
+    value_noise,
+    vignette,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestValueNoise:
+    def test_shape_and_range(self):
+        noise = value_noise((20, 30), cells=(4, 4), rng=0)
+        assert noise.shape == (20, 30)
+        assert noise.min() >= 0.0 and noise.max() <= 1.0
+
+    def test_deterministic(self):
+        a = value_noise((10, 10), cells=(3, 3), rng=5)
+        b = value_noise((10, 10), cells=(3, 3), rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_octaves_add_detail(self):
+        """More octaves shift energy toward high frequencies: the gradient
+        magnitude *relative to overall contrast* must grow."""
+        smooth = value_noise((40, 40), cells=(3, 3), rng=0, octaves=1)
+        rough = value_noise((40, 40), cells=(3, 3), rng=0, octaves=4)
+        gy_s = np.abs(np.diff(smooth, axis=0)).mean() / smooth.std()
+        gy_r = np.abs(np.diff(rough, axis=0)).mean() / rough.std()
+        assert gy_r > gy_s
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ConfigurationError):
+            value_noise((10, 10), cells=(1, 4))
+        with pytest.raises(ConfigurationError):
+            value_noise((10, 10), cells=(3, 3), octaves=0)
+
+
+class TestCloudField:
+    def test_coverage_controls_area(self):
+        dense = cloud_field((30, 60), rng=0, coverage=0.8)
+        sparse = cloud_field((30, 60), rng=0, coverage=0.1)
+        assert (dense > 0).mean() > (sparse > 0).mean()
+
+    def test_zero_coverage_is_clear(self):
+        np.testing.assert_array_equal(cloud_field((10, 20), rng=0, coverage=0.0), 0.0)
+
+    def test_range(self):
+        field = cloud_field((15, 15), rng=1, coverage=0.5)
+        assert field.min() >= 0.0 and field.max() <= 1.0
+
+    def test_invalid_coverage_raises(self):
+        with pytest.raises(ConfigurationError):
+            cloud_field((10, 10), coverage=1.5)
+
+
+class TestDrawRectangle:
+    def test_paints_region(self):
+        img = np.zeros((10, 10))
+        draw_rectangle(img, 2, 3, 4, 5, value=1.0)
+        assert img[2:6, 3:8].min() == 1.0
+        assert img.sum() == 20.0
+
+    def test_clips_to_image(self):
+        img = np.zeros((5, 5))
+        draw_rectangle(img, -2, -2, 4, 4, value=1.0)
+        assert img[:2, :2].min() == 1.0
+        assert img.sum() == 4.0
+
+    def test_blend(self):
+        img = np.full((4, 4), 0.5)
+        draw_rectangle(img, 0, 0, 4, 4, value=1.0, blend=0.5)
+        np.testing.assert_allclose(img, 0.75)
+
+    def test_degenerate_rectangle_is_noop(self):
+        img = np.zeros((4, 4))
+        draw_rectangle(img, 0, 0, 0, 3, value=1.0)
+        assert img.sum() == 0.0
+
+    def test_fully_outside_is_noop(self):
+        img = np.zeros((4, 4))
+        draw_rectangle(img, 10, 10, 2, 2, value=1.0)
+        assert img.sum() == 0.0
+
+
+class TestGroundFill:
+    def test_fills_between_edges(self):
+        rows = np.array([2, 3])
+        mask = ground_fill((5, 10), rows, np.array([2.0, 1.0]), np.array([5.0, 7.0]))
+        assert mask[2, 2] and mask[2, 5] and not mask[2, 6]
+        assert mask[3, 1] and mask[3, 7] and not mask[3, 0]
+        assert not mask[0].any()
+
+    def test_edges_offscreen_clip(self):
+        rows = np.array([1])
+        mask = ground_fill((3, 5), rows, np.array([-10.0]), np.array([100.0]))
+        assert mask[1].all()
+
+    def test_rows_out_of_range_ignored(self):
+        rows = np.array([-1, 10])
+        mask = ground_fill((3, 5), rows, np.array([0.0, 0.0]), np.array([4.0, 4.0]))
+        assert not mask.any()
+
+
+class TestBandMask:
+    def test_band_around_center(self):
+        rows = np.array([1])
+        mask = band_mask((3, 9), rows, np.array([4.0]), np.array([1.0]))
+        assert mask[1, 3] and mask[1, 4] and mask[1, 5]
+        assert not mask[1, 2] and not mask[1, 6]
+
+    def test_dash_pattern_skips_off_phase(self):
+        rows = np.arange(4)
+        centers = np.full(4, 2.0)
+        widths = np.full(4, 0.6)
+        distances = np.array([0.5, 1.5, 2.5, 3.5])
+        mask = band_mask((4, 5), rows, centers, widths, dash=(distances, 2.0, 0.5))
+        # duty 0.5 of period 2: distances with (d mod 2) < 1 are "on".
+        assert mask[0, 2] and not mask[1, 2] and mask[2, 2] and not mask[3, 2]
+
+    def test_invalid_dash_raises(self):
+        with pytest.raises(ConfigurationError):
+            band_mask((3, 3), np.array([0]), np.array([1.0]), np.array([1.0]),
+                      dash=(np.array([1.0]), 0.0, 0.5))
+
+
+class TestVignette:
+    def test_center_is_brightest(self):
+        v = vignette((11, 11), strength=0.3)
+        assert v[5, 5] == v.max()
+        assert v[0, 0] == v.min()
+
+    def test_zero_strength_is_ones(self):
+        np.testing.assert_array_equal(vignette((5, 5), strength=0.0), 1.0)
+
+    def test_invalid_strength_raises(self):
+        with pytest.raises(ConfigurationError):
+            vignette((5, 5), strength=1.0)

@@ -1,0 +1,102 @@
+"""Tests for rendered-batch persistence and PR-curve metrics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticUdacity, load_batch, save_batch
+from repro.exceptions import SerializationError
+from repro.metrics import average_precision, pr_curve
+
+
+class TestBatchStore:
+    def test_roundtrip(self, tmp_path):
+        batch = SyntheticUdacity((24, 64)).render_batch(5, rng=0)
+        path = save_batch(batch, tmp_path / "batch.npz")
+        loaded = load_batch(path)
+        np.testing.assert_array_equal(loaded.frames, batch.frames)
+        np.testing.assert_array_equal(loaded.angles, batch.angles)
+        np.testing.assert_array_equal(loaded.road_masks, batch.road_masks)
+        np.testing.assert_array_equal(loaded.marking_masks, batch.marking_masks)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        batch = SyntheticUdacity((24, 64)).render_batch(2, rng=0)
+        path = save_batch(batch, tmp_path / "a" / "b" / "batch.npz")
+        assert path.exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError, match="does not exist"):
+            load_batch(tmp_path / "ghost.npz")
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, frames=np.zeros((2, 4, 4)))
+        with pytest.raises(SerializationError, match="format"):
+            load_batch(path)
+
+    def test_inconsistent_shapes_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            format=np.array("repro.rendered_batch.v1"),
+            frames=np.zeros((2, 4, 4)),
+            angles=np.zeros(3),  # wrong length
+            road_masks=np.zeros((2, 4, 4), bool),
+            marking_masks=np.zeros((2, 4, 4), bool),
+        )
+        with pytest.raises(SerializationError, match="inconsistent"):
+            load_batch(path)
+
+    def test_loaded_batch_usable_downstream(self, tmp_path, trained_pilotnet):
+        from repro.config import CI
+        from repro.saliency import VisualBackProp
+
+        batch = SyntheticUdacity(CI.image_shape).render_batch(3, rng=0)
+        loaded = load_batch(save_batch(batch, tmp_path / "b.npz"))
+        masks = VisualBackProp(trained_pilotnet).saliency(loaded.frames)
+        assert masks.shape == loaded.frames.shape
+
+
+class TestPrCurve:
+    def test_perfect_separation(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([False, False, True, True])
+        curve = pr_curve(scores, labels)
+        assert curve.precision[0] == 1.0
+        assert curve.recall[-1] == 1.0
+        assert average_precision(scores, labels) == 1.0
+
+    def test_recall_monotone(self, rng):
+        scores = rng.normal(size=60)
+        labels = rng.random(60) > 0.5
+        labels[0], labels[1] = True, False
+        curve = pr_curve(scores, labels)
+        assert np.all(np.diff(curve.recall) >= 0)
+
+    def test_precision_bounded(self, rng):
+        scores = rng.normal(size=40)
+        labels = rng.random(40) > 0.4
+        labels[0], labels[1] = True, False
+        curve = pr_curve(scores, labels)
+        # precision is 0 (not excluded) when the top-ranked samples are all
+        # negatives, and never exceeds 1.
+        assert np.all((curve.precision >= 0) & (curve.precision <= 1.0))
+
+    def test_ap_at_chance_equals_prevalence(self, rng):
+        """With uninformative scores AP converges to the positive rate."""
+        n = 4000
+        scores = rng.normal(size=n)
+        labels = rng.random(n) < 0.3
+        ap = average_precision(scores, labels)
+        assert ap == pytest.approx(0.3, abs=0.05)
+
+    def test_ap_bounded(self, rng):
+        scores = rng.normal(size=50)
+        labels = rng.random(50) > 0.5
+        labels[0], labels[1] = True, False
+        assert 0.0 <= average_precision(scores, labels) <= 1.0
+
+    def test_single_class_raises(self):
+        from repro.exceptions import ShapeError
+
+        with pytest.raises(ShapeError):
+            pr_curve(np.array([1.0, 2.0]), np.array([True, True]))

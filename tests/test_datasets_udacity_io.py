@@ -1,0 +1,164 @@
+"""Tests for the real-data driving-log loader."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro import viz
+from repro.datasets.udacity_io import (
+    DrivingLogEntry,
+    load_dataset,
+    load_frame,
+    read_driving_log,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def dataset_dir(tmp_path, rng):
+    """A tiny on-disk dataset: 4 PGM frames + driving log CSV."""
+    frames_dir = tmp_path / "frames"
+    frames_dir.mkdir()
+    angles = [0.1, -0.25, 0.0, 0.5]
+    rows = []
+    for i, angle in enumerate(angles):
+        name = f"frame_{i:04d}.pgm"
+        viz.save_pgm(rng.random((30, 80)), frames_dir / name)
+        rows.append({"filename": name, "steering_angle": str(angle)})
+    log = tmp_path / "driving_log.csv"
+    with open(log, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=["filename", "steering_angle"])
+        writer.writeheader()
+        writer.writerows(rows)
+    return tmp_path, angles
+
+
+class TestReadDrivingLog:
+    def test_parses_entries(self, dataset_dir):
+        root, angles = dataset_dir
+        entries = read_driving_log(root / "driving_log.csv", root / "frames")
+        assert len(entries) == 4
+        assert isinstance(entries[0], DrivingLogEntry)
+        assert [e.steering_angle for e in entries] == angles
+
+    def test_alternate_column_names(self, dataset_dir, tmp_path):
+        root, _ = dataset_dir
+        alt = tmp_path / "alt.csv"
+        with open(alt, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=["center", "angle"])
+            writer.writeheader()
+            writer.writerow({"center": "frames/frame_0000.pgm", "angle": "0.3"})
+        entries = read_driving_log(alt, root)
+        assert entries[0].steering_angle == 0.3
+
+    def test_explicit_columns(self, dataset_dir, tmp_path):
+        root, _ = dataset_dir
+        weird = tmp_path / "weird.csv"
+        with open(weird, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=["img", "steer"])
+            writer.writeheader()
+            writer.writerow({"img": "frames/frame_0000.pgm", "steer": "0.1"})
+        entries = read_driving_log(weird, root, frame_column="img", angle_column="steer")
+        assert len(entries) == 1
+
+    def test_missing_csv_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            read_driving_log(tmp_path / "nope.csv")
+
+    def test_missing_frame_raises_with_line(self, dataset_dir, tmp_path):
+        root, _ = dataset_dir
+        bad = tmp_path / "bad.csv"
+        with open(bad, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=["filename", "steering_angle"])
+            writer.writeheader()
+            writer.writerow({"filename": "ghost.pgm", "steering_angle": "0.0"})
+        with pytest.raises(ConfigurationError, match="bad.csv:2"):
+            read_driving_log(bad, root / "frames")
+
+    def test_invalid_angle_raises(self, dataset_dir, tmp_path):
+        root, _ = dataset_dir
+        bad = tmp_path / "bad.csv"
+        with open(bad, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=["filename", "steering_angle"])
+            writer.writeheader()
+            writer.writerow({"filename": "frames/frame_0000.pgm", "steering_angle": "fast"})
+        with pytest.raises(ConfigurationError, match="invalid steering angle"):
+            read_driving_log(bad, root)
+
+    def test_unknown_columns_raise(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        with open(bad, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=["a", "b"])
+            writer.writeheader()
+            writer.writerow({"a": "x", "b": "y"})
+        with pytest.raises(ConfigurationError, match="frame column"):
+            read_driving_log(bad)
+
+    def test_empty_log_raises(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        with open(empty, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=["filename", "steering_angle"])
+            writer.writeheader()
+        with pytest.raises(ConfigurationError, match="no data rows"):
+            read_driving_log(empty)
+
+
+class TestLoadFrame:
+    def test_pgm(self, tmp_path, rng):
+        image = rng.random((10, 12))
+        path = viz.save_pgm(image, tmp_path / "f.pgm")
+        np.testing.assert_allclose(load_frame(path), image, atol=1 / 255)
+
+    def test_npy_grayscale(self, tmp_path, rng):
+        image = rng.random((10, 12))
+        path = tmp_path / "f.npy"
+        np.save(path, image)
+        np.testing.assert_array_equal(load_frame(path), image)
+
+    def test_npy_rgb(self, tmp_path, rng):
+        image = rng.random((10, 12, 3))
+        path = tmp_path / "f.npy"
+        np.save(path, image)
+        assert load_frame(path).shape == (10, 12, 3)
+
+    def test_unsupported_format_raises(self, tmp_path):
+        path = tmp_path / "f.png"
+        path.write_bytes(b"\x89PNG")
+        with pytest.raises(ConfigurationError, match="unsupported frame format"):
+            load_frame(path)
+
+
+class TestLoadDataset:
+    def test_shapes_and_preprocessing(self, dataset_dir):
+        root, angles = dataset_dir
+        frames, loaded_angles = load_dataset(
+            root / "driving_log.csv", root / "frames", size=(15, 40)
+        )
+        assert frames.shape == (4, 15, 40)
+        assert frames.min() >= 0.0 and frames.max() <= 1.0
+        np.testing.assert_array_equal(loaded_angles, angles)
+
+    def test_limit(self, dataset_dir):
+        root, _ = dataset_dir
+        frames, angles = load_dataset(
+            root / "driving_log.csv", root / "frames", size=(15, 40), limit=2
+        )
+        assert frames.shape[0] == 2
+
+    def test_invalid_limit_raises(self, dataset_dir):
+        root, _ = dataset_dir
+        with pytest.raises(ConfigurationError):
+            load_dataset(root / "driving_log.csv", root / "frames", limit=0)
+
+    def test_output_feeds_pipeline(self, dataset_dir):
+        """Loaded real-format data must plug into the models unchanged."""
+        from repro.models import PilotNet, PilotNetConfig
+
+        root, _ = dataset_dir
+        frames, angles = load_dataset(
+            root / "driving_log.csv", root / "frames", size=(24, 64)
+        )
+        net = PilotNet(PilotNetConfig.for_image((24, 64)), rng=0)
+        predictions = net.predict_angles(frames)
+        assert predictions.shape == angles.shape

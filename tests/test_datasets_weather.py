@@ -1,0 +1,127 @@
+"""Tests for synthetic weather transformations."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticUdacity, add_fog, add_rain, add_shadow
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+@pytest.fixture
+def frame():
+    return SyntheticUdacity((24, 64)).sample(rng=0).frame
+
+
+class TestFog:
+    def test_zero_density_is_identity(self, frame):
+        np.testing.assert_allclose(add_fog(frame, density=0.0), frame)
+
+    def test_reduces_within_row_contrast(self, frame):
+        """Fog flattens detail at each depth; global std can rise because
+        of the vertical airlight gradient, so measure contrast per row."""
+        foggy = add_fog(frame, density=0.8)
+        assert foggy.std(axis=1).mean() < frame.std(axis=1).mean()
+
+    def test_far_rows_foggier_than_near(self, frame):
+        foggy = add_fog(frame, density=0.9, airlight=0.9)
+        top_shift = np.abs(foggy[0] - frame[0]).mean()
+        bottom_shift = np.abs(foggy[-1] - frame[-1]).mean()
+        assert top_shift > bottom_shift
+
+    def test_full_density_top_is_airlight(self, frame):
+        foggy = add_fog(frame, density=1.0, airlight=0.7)
+        np.testing.assert_allclose(foggy[0], 0.7)
+
+    def test_stays_in_range(self, frame):
+        foggy = add_fog(frame, density=0.6)
+        assert foggy.min() >= 0.0 and foggy.max() <= 1.0
+
+    def test_batch(self, frame):
+        batch = np.stack([frame, frame])
+        assert add_fog(batch, density=0.5).shape == (2, 24, 64)
+
+    def test_validation(self, frame):
+        with pytest.raises(ConfigurationError):
+            add_fog(frame, density=1.5)
+        with pytest.raises(ConfigurationError):
+            add_fog(frame, airlight=-0.1)
+        with pytest.raises(ShapeError):
+            add_fog(np.zeros(5))
+
+
+class TestRain:
+    def test_adds_bright_pixels(self, frame):
+        dark = frame * 0.3
+        rainy = add_rain(dark, amount=60, brightness=0.95, rng=0)
+        assert (rainy == 0.95).sum() > 20
+
+    def test_zero_amount_is_copy(self, frame):
+        out = add_rain(frame, amount=0, rng=0)
+        np.testing.assert_array_equal(out, frame)
+        assert out is not frame
+
+    def test_preserves_input(self, frame):
+        original = frame.copy()
+        add_rain(frame, amount=30, rng=0)
+        np.testing.assert_array_equal(frame, original)
+
+    def test_deterministic(self, frame):
+        a = add_rain(frame, amount=30, rng=3)
+        b = add_rain(frame, amount=30, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_batch_different_streaks(self, frame):
+        batch = np.stack([frame * 0.2, frame * 0.2])
+        rainy = add_rain(batch, amount=30, rng=0)
+        assert not np.array_equal(rainy[0], rainy[1])
+
+    def test_validation(self, frame):
+        with pytest.raises(ConfigurationError):
+            add_rain(frame, amount=-1)
+        with pytest.raises(ConfigurationError):
+            add_rain(frame, length=0)
+        with pytest.raises(ConfigurationError):
+            add_rain(frame, brightness=1.5)
+
+
+class TestShadow:
+    def test_darkens_some_pixels(self, frame):
+        shadowed = add_shadow(frame, darkness=0.6, rng=0)
+        assert (shadowed < frame - 1e-9).any()
+
+    def test_never_brightens(self, frame):
+        shadowed = add_shadow(frame, darkness=0.5, rng=0)
+        assert np.all(shadowed <= frame + 1e-12)
+
+    def test_band_spans_all_rows(self, frame):
+        bright = np.ones_like(frame)
+        shadowed = add_shadow(bright, darkness=0.5, rng=1)
+        rows_with_shadow = (shadowed < 1.0).any(axis=1)
+        assert rows_with_shadow.all()
+
+    def test_deterministic(self, frame):
+        a = add_shadow(frame, rng=5)
+        b = add_shadow(frame, rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self, frame):
+        with pytest.raises(ConfigurationError):
+            add_shadow(frame, darkness=0.0)
+        with pytest.raises(ConfigurationError):
+            add_shadow(frame, darkness=1.5)
+
+
+class TestDetectorResponse:
+    """Weather effects probe the saliency stage like the paper's
+    perturbations — heavy fog must measurably change the VBP masks."""
+
+    def test_heavy_fog_changes_vbp_masks(self, trained_pilotnet, dsu_test):
+        from repro.metrics import ssim
+        from repro.saliency import VisualBackProp
+
+        vbp = VisualBackProp(trained_pilotnet)
+        frames = dsu_test.frames[:8]
+        clean_masks = vbp.saliency(frames)
+        foggy_masks = vbp.saliency(add_fog(frames, density=0.95))
+        similarity = ssim(clean_masks, foggy_masks, window_size=7).mean()
+        assert similarity < 0.995

@@ -1,0 +1,216 @@
+"""Tests for the experiment harness, registry, and cheap experiments.
+
+The expensive figure experiments run end-to-end in the benchmark suite;
+here we verify the harness mechanics plus the experiments that are cheap
+enough for CI (fig3 needs no training; the others reuse the session
+workbench).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import CI
+from repro.exceptions import ExperimentError
+from repro.experiments import EXPERIMENTS, ExperimentResult, Workbench, get_experiment, run_experiment
+from repro.experiments.harness import saliency_concentration
+
+
+class TestExperimentResult:
+    def test_render_includes_all_parts(self):
+        result = ExperimentResult(
+            exp_id="x", title="Title", rows=["row1", "row2"],
+            metrics={"a": 1.0}, notes="careful",
+        )
+        text = result.render()
+        assert "x: Title" in text
+        assert "row1" in text and "row2" in text
+        assert "a=1" in text
+        assert "careful" in text
+
+    def test_render_without_optionals(self):
+        text = ExperimentResult(exp_id="y", title="T").render()
+        assert "y: T" in text
+        assert "metrics" not in text
+
+
+class TestWorkbench:
+    def test_batches_cached(self, ci_workbench):
+        a = ci_workbench.batch("dsu", "train")
+        b = ci_workbench.batch("dsu", "train")
+        assert a is b
+
+    def test_batches_sized_by_scale(self, ci_workbench):
+        assert len(ci_workbench.batch("dsu", "train")) == CI.n_train
+        assert len(ci_workbench.batch("dsi", "novel")) == CI.n_novel
+
+    def test_splits_are_distinct(self, ci_workbench):
+        train = ci_workbench.batch("dsu", "train")
+        test = ci_workbench.batch("dsu", "test")
+        assert not np.array_equal(train.frames[0], test.frames[0])
+
+    def test_unknown_batch_raises(self, ci_workbench):
+        with pytest.raises(ExperimentError):
+            ci_workbench.batch("dsu", "validation")
+        with pytest.raises(ExperimentError):
+            ci_workbench.batch("mnist", "train")
+
+    def test_models_cached(self, ci_workbench):
+        a = ci_workbench.steering_model("dsu")
+        b = ci_workbench.steering_model("dsu")
+        assert a is b
+
+    def test_random_label_model_is_distinct(self, ci_workbench):
+        true_model = ci_workbench.steering_model("dsi")
+        random_model = ci_workbench.steering_model("dsi", random_labels=True)
+        assert true_model is not random_model
+
+    def test_autoencoder_config_from_scale(self, ci_workbench):
+        config = ci_workbench.autoencoder_config()
+        assert config.epochs == CI.ae_epochs
+        assert config.ssim_window == CI.ssim_window
+
+    def test_autoencoder_config_overrides(self, ci_workbench):
+        config = ci_workbench.autoencoder_config(epochs=3)
+        assert config.epochs == 3
+
+    def test_workbenches_reproducible(self):
+        a = Workbench(CI, seed=1).batch("dsu", "train")
+        b = Workbench(CI, seed=1).batch("dsu", "train")
+        np.testing.assert_array_equal(a.frames, b.frames)
+
+
+class TestSaliencyConcentration:
+    def test_uniform_mask_scores_one(self):
+        masks = np.ones((2, 8, 8))
+        region = np.zeros((2, 8, 8), bool)
+        region[:, 2:4, 2:4] = True
+        assert saliency_concentration(masks, region) == pytest.approx(1.0)
+
+    def test_concentrated_mask_scores_high(self):
+        masks = np.zeros((1, 8, 8))
+        region = np.zeros((1, 8, 8), bool)
+        region[0, 2:4, 2:4] = True
+        masks[0, 2:4, 2:4] = 1.0
+        # All mass in a region covering 1/16 of the image -> 16x uniform.
+        assert saliency_concentration(masks, region) == pytest.approx(16.0)
+
+    def test_dilation_grows_region(self):
+        masks = np.zeros((1, 10, 10))
+        masks[0, 5, 5] = 1.0
+        region = np.zeros((1, 10, 10), bool)
+        region[0, 3, 5] = True  # 2 pixels away from the mass
+        assert saliency_concentration(masks, region, dilate=0) == 0.0
+        assert saliency_concentration(masks, region, dilate=2) > 0.0
+
+    def test_zero_mask_scores_zero(self):
+        region = np.ones((1, 4, 4), bool)
+        assert saliency_concentration(np.zeros((1, 4, 4)), region) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ExperimentError):
+            saliency_concentration(np.zeros((1, 4, 4)), np.zeros((1, 5, 5), bool))
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        for exp_id in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                       "reverse", "timing", "ablations"):
+            assert exp_id in EXPERIMENTS
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ExperimentError, match="known experiments"):
+            get_experiment("fig99")
+
+    def test_run_fig3_at_ci_scale(self, ci_workbench):
+        """fig3 needs no training — run it fully and check the paper shape."""
+        result = run_experiment("fig3", CI, workbench=ci_workbench)
+        assert result.exp_id == "fig3"
+        # Both perturbations calibrated to the same MSE...
+        assert result.metrics["mse_noise_255"] == pytest.approx(
+            result.metrics["mse_brightness_255"], rel=0.1
+        )
+        # ...but SSIM tells them apart (noise lower).
+        assert result.metrics["ssim_noise"] < result.metrics["ssim_brightness"]
+
+    def test_run_timing_at_ci_scale(self, ci_workbench):
+        result = run_experiment("timing", CI, workbench=ci_workbench)
+        assert result.metrics["vbp_ms"] > 0
+        assert result.metrics["lrp_ms"] > 0
+        # The paper's comparative claim: VBP is faster than LRP.
+        assert result.metrics["lrp_over_vbp"] > 1.0
+
+    def test_run_fig4_at_ci_scale(self, ci_workbench):
+        result = run_experiment("fig4", CI, workbench=ci_workbench)
+        assert result.metrics["concentration_dsi"] > 1.0
+
+    def test_scale_accepts_string(self):
+        """run_experiment resolves preset names."""
+        result = run_experiment("fig3", "ci")
+        assert result.exp_id == "fig3"
+
+
+class TestNewAblationRunners:
+    """CI-scale smoke runs of the individually exposed ablation functions."""
+
+    def test_loss_function_ablation(self, ci_workbench):
+        from repro.experiments.ablations import run_loss_function
+
+        result = run_loss_function(CI, workbench=ci_workbench)
+        for loss in ("mse", "ssim", "msssim"):
+            assert f"auroc_loss_{loss}" in result.metrics
+            assert 0.0 <= result.metrics[f"auroc_loss_{loss}"] <= 1.0
+
+    def test_saliency_ablation_vbp_dominates(self, ci_workbench):
+        from repro.experiments.ablations import run_saliency_method
+
+        result = run_saliency_method(CI, workbench=ci_workbench)
+        assert result.metrics["auroc_vbp"] >= result.metrics["auroc_lrp"] - 0.05
+        assert result.metrics["detect_vbp"] > result.metrics["detect_lrp"]
+
+    def test_architecture_ablation_dense_wins(self, ci_workbench):
+        from repro.experiments.ablations import run_architecture
+
+        result = run_architecture(CI, workbench=ci_workbench)
+        assert result.metrics["auroc_dense"] > result.metrics["auroc_conv"]
+
+    def test_latency_experiment(self, ci_workbench):
+        result = run_experiment("latency", CI, workbench=ci_workbench)
+        assert 0.0 <= result.metrics["alarm_rate"] <= 1.0
+        assert result.metrics["clean_false_alarm_rate"] <= 0.5
+
+
+class TestMarkdownRendering:
+    def test_results_to_markdown(self):
+        from repro.experiments.report import results_to_markdown
+
+        result = ExperimentResult(
+            exp_id="fig3", title="Demo", rows=["a b"], metrics={"x": 1.5},
+            notes="note here",
+        )
+        text = results_to_markdown({"fig3": result}, scale=CI)
+        assert "## fig3: Demo — Figure 3" in text
+        assert "| x | 1.5 |" in text
+        assert "*note here*" in text
+        assert "24x64 frames" in text
+
+    def test_write_markdown_report(self, tmp_path):
+        from repro.experiments.report import write_markdown_report
+
+        result = ExperimentResult(exp_id="custom", title="T", rows=["r"])
+        path = write_markdown_report({"custom": result}, tmp_path / "out.md")
+        assert path.exists()
+        assert "## custom: T" in path.read_text()
+
+
+class TestExtensionExperimentsAtCiScale:
+    def test_drift_experiment(self, ci_workbench):
+        result = run_experiment("drift", CI, workbench=ci_workbench)
+        assert result.exp_id == "drift"
+        # CUSUM never fires during the clean prefix.
+        assert result.metrics["clean_prefix_clear"] == 1.0
+
+    def test_noise_sweep_experiment(self, ci_workbench):
+        result = run_experiment("noise_sweep", CI, workbench=ci_workbench)
+        assert 0.0 <= result.metrics["ssim_win_fraction"] <= 1.0
+        # The curve exists for every swept sigma.
+        assert sum(k.startswith("auroc_ssim_s") for k in result.metrics) == 5

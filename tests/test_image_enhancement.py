@@ -1,0 +1,100 @@
+"""Tests for gamma correction, histogram equalization, and VBP inspection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.image import equalize_histogram, gamma_correct
+
+
+class TestGammaCorrect:
+    def test_identity_gamma(self, rng):
+        img = rng.random((8, 8))
+        np.testing.assert_allclose(gamma_correct(img, 1.0), img)
+
+    def test_low_gamma_brightens(self, rng):
+        img = rng.random((10, 10)) * 0.5 + 0.1
+        assert gamma_correct(img, 0.5).mean() > img.mean()
+
+    def test_high_gamma_darkens(self, rng):
+        img = rng.random((10, 10)) * 0.5 + 0.1
+        assert gamma_correct(img, 2.0).mean() < img.mean()
+
+    def test_preserves_extremes(self):
+        img = np.array([[0.0, 1.0]])
+        np.testing.assert_array_equal(gamma_correct(img, 2.2), img)
+
+    def test_monotone(self, rng):
+        img = np.sort(rng.random(20))[None, :]
+        out = gamma_correct(img, 1.7)
+        assert np.all(np.diff(out[0]) >= 0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            gamma_correct(rng.random((4, 4)), 0.0)
+        with pytest.raises(ShapeError):
+            gamma_correct(np.zeros(5), 1.0)
+
+
+class TestEqualizeHistogram:
+    def test_output_in_range(self, rng):
+        out = equalize_histogram(rng.random((16, 16)) * 0.3)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_flattens_distribution(self, rng):
+        """A compressed-range image spreads out toward uniform."""
+        img = rng.random((40, 40)) * 0.2 + 0.4  # all mass in [0.4, 0.6]
+        out = equalize_histogram(img)
+        assert out.std() > img.std()
+
+    def test_monotone_mapping(self, rng):
+        img = rng.random((12, 12))
+        out = equalize_histogram(img)
+        flat_in, flat_out = img.ravel(), out.ravel()
+        order = np.argsort(flat_in)
+        assert np.all(np.diff(flat_out[order]) >= -1e-12)
+
+    def test_constant_image_stable(self):
+        img = np.full((6, 6), 0.5)
+        out = equalize_histogram(img)
+        assert np.all(np.isfinite(out))
+        assert out.std() == 0.0  # constant stays constant
+
+    def test_batch_per_image(self, rng):
+        batch = rng.random((3, 8, 8))
+        out = equalize_histogram(batch)
+        assert out.shape == (3, 8, 8)
+
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            equalize_histogram(np.zeros(5))
+        with pytest.raises(ShapeError):
+            equalize_histogram(rng.random((4, 4)), bins=1)
+
+
+class TestVbpIntermediateMasks:
+    def test_one_map_per_stage(self, trained_pilotnet, dsu_test):
+        from repro.saliency import VisualBackProp
+
+        vbp = VisualBackProp(trained_pilotnet)
+        maps = vbp.intermediate_masks(dsu_test.frames[:3])
+        assert len(maps) == vbp.num_stages
+
+    def test_resolutions_decrease(self, trained_pilotnet, dsu_test):
+        from repro.saliency import VisualBackProp
+
+        maps = VisualBackProp(trained_pilotnet).intermediate_masks(dsu_test.frames[:2])
+        sizes = [m.shape[1] * m.shape[2] for m in maps]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_maps_nonnegative(self, trained_pilotnet, dsu_test):
+        from repro.saliency import VisualBackProp
+
+        maps = VisualBackProp(trained_pilotnet).intermediate_masks(dsu_test.frames[:2])
+        assert all(m.min() >= 0.0 for m in maps)  # post-ReLU averages
+
+    def test_rejects_wrong_shape(self, trained_pilotnet):
+        from repro.saliency import VisualBackProp
+
+        with pytest.raises(ShapeError):
+            VisualBackProp(trained_pilotnet).intermediate_masks(np.zeros((2, 3, 24, 64)))

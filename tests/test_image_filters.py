@@ -1,0 +1,70 @@
+"""Tests for spatial filters."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.image import gaussian_blur, sobel_magnitude, uniform_blur
+
+
+class TestGaussianBlur:
+    def test_reduces_variance(self, rng):
+        img = rng.random((20, 20))
+        assert gaussian_blur(img, 2.0).var() < img.var()
+
+    def test_sigma_zero_is_copy(self, rng):
+        img = rng.random((5, 5))
+        out = gaussian_blur(img, 0.0)
+        np.testing.assert_array_equal(out, img)
+        assert out is not img
+
+    def test_preserves_constant(self):
+        img = np.full((8, 8), 0.4)
+        np.testing.assert_allclose(gaussian_blur(img, 1.5), 0.4)
+
+    def test_batch_blurs_spatially_only(self, rng):
+        batch = np.stack([np.zeros((8, 8)), np.ones((8, 8))])
+        out = gaussian_blur(batch, 2.0)
+        np.testing.assert_allclose(out[0], 0.0)
+        np.testing.assert_allclose(out[1], 1.0)
+
+    def test_negative_sigma_raises(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_blur(np.zeros((4, 4)), -1.0)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ShapeError):
+            gaussian_blur(np.zeros(5), 1.0)
+
+
+class TestUniformBlur:
+    def test_known_average(self):
+        img = np.zeros((3, 3))
+        img[1, 1] = 9.0
+        out = uniform_blur(img, 3)
+        assert out[1, 1] == pytest.approx(1.0)
+
+    def test_size_one_is_identity(self, rng):
+        img = rng.random((4, 4))
+        np.testing.assert_array_equal(uniform_blur(img, 1), img)
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ConfigurationError):
+            uniform_blur(np.zeros((4, 4)), 0)
+
+
+class TestSobelMagnitude:
+    def test_flat_image_has_no_edges(self):
+        np.testing.assert_allclose(sobel_magnitude(np.full((6, 6), 0.5)), 0.0)
+
+    def test_detects_vertical_edge(self):
+        img = np.zeros((6, 6))
+        img[:, 3:] = 1.0
+        mag = sobel_magnitude(img)
+        assert mag[:, 2:4].max() > mag[:, 0].max()
+
+    def test_nonnegative(self, rng):
+        assert np.all(sobel_magnitude(rng.random((8, 8))) >= 0.0)
+
+    def test_batch_shape(self, rng):
+        assert sobel_magnitude(rng.random((2, 5, 5))).shape == (2, 5, 5)

@@ -1,0 +1,123 @@
+"""Tests for core image operations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.image import (
+    center_crop,
+    normalize01,
+    preprocess_frame,
+    resize_bilinear,
+    to_grayscale,
+)
+
+
+class TestToGrayscale:
+    def test_rgb_weights(self):
+        red = np.zeros((2, 2, 3))
+        red[..., 0] = 1.0
+        np.testing.assert_allclose(to_grayscale(red), 0.299)
+
+    def test_white_maps_to_one(self):
+        white = np.ones((2, 2, 3))
+        np.testing.assert_allclose(to_grayscale(white), 1.0)
+
+    def test_batch_rgb(self, rng):
+        batch = rng.random((4, 3, 5, 3))
+        assert to_grayscale(batch).shape == (4, 3, 5)
+
+    def test_grayscale_passthrough(self, rng):
+        img = rng.random((4, 6))
+        np.testing.assert_array_equal(to_grayscale(img), img)
+
+    def test_invalid_shape_raises(self):
+        with pytest.raises(ShapeError):
+            to_grayscale(np.zeros((2, 2, 2, 2, 2)))
+
+
+class TestNormalize01:
+    def test_range(self, rng):
+        out = normalize01(rng.normal(size=(5, 5)) * 100)
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_constant_maps_to_zero(self):
+        np.testing.assert_array_equal(normalize01(np.full((3, 3), 7.0)), 0.0)
+
+    def test_batch_per_image(self, rng):
+        batch = np.stack([rng.random((4, 4)), rng.random((4, 4)) * 100])
+        out = normalize01(batch)
+        for img in out:
+            assert img.min() == pytest.approx(0.0)
+            assert img.max() == pytest.approx(1.0)
+
+    def test_batch_with_constant_member(self, rng):
+        batch = np.stack([np.full((3, 3), 5.0), rng.random((3, 3))])
+        out = normalize01(batch)
+        np.testing.assert_array_equal(out[0], 0.0)
+        assert out[1].max() == pytest.approx(1.0)
+
+    def test_monotone(self, rng):
+        img = rng.random((4, 4))
+        out = normalize01(img)
+        flat_in, flat_out = img.ravel(), out.ravel()
+        order = np.argsort(flat_in)
+        assert np.all(np.diff(flat_out[order]) >= 0)
+
+
+class TestResizeBilinear:
+    def test_identity_size(self, rng):
+        img = rng.random((6, 8))
+        np.testing.assert_allclose(resize_bilinear(img, (6, 8)), img, atol=1e-12)
+
+    def test_output_shape(self, rng):
+        assert resize_bilinear(rng.random((10, 20)), (5, 8)).shape == (5, 8)
+
+    def test_batch(self, rng):
+        assert resize_bilinear(rng.random((3, 10, 10)), (4, 6)).shape == (3, 4, 6)
+
+    def test_constant_preserved(self):
+        img = np.full((8, 8), 0.3)
+        np.testing.assert_allclose(resize_bilinear(img, (3, 5)), 0.3)
+
+    def test_mean_roughly_preserved(self, rng):
+        img = rng.random((16, 16))
+        out = resize_bilinear(img, (8, 8))
+        assert out.mean() == pytest.approx(img.mean(), abs=0.05)
+
+    def test_upscale(self, rng):
+        assert resize_bilinear(rng.random((4, 4)), (9, 9)).shape == (9, 9)
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ShapeError):
+            resize_bilinear(np.zeros((4, 4)), (0, 3))
+
+
+class TestCenterCrop:
+    def test_shape(self, rng):
+        assert center_crop(rng.random((10, 12)), (4, 6)).shape == (4, 6)
+
+    def test_takes_center(self):
+        img = np.zeros((5, 5))
+        img[2, 2] = 1.0
+        out = center_crop(img, (1, 1))
+        assert out[0, 0] == 1.0
+
+    def test_batch(self, rng):
+        assert center_crop(rng.random((3, 8, 8)), (4, 4)).shape == (3, 4, 4)
+
+    def test_too_large_raises(self):
+        with pytest.raises(ShapeError):
+            center_crop(np.zeros((4, 4)), (5, 5))
+
+
+class TestPreprocessFrame:
+    def test_full_chain(self, rng):
+        frame = rng.random((48, 96, 3)) * 255
+        out = preprocess_frame(frame, size=(12, 24))
+        assert out.shape == (12, 24)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_default_size_is_papers(self, rng):
+        out = preprocess_frame(rng.random((120, 320, 3)))
+        assert out.shape == (60, 160)

@@ -1,0 +1,74 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.metrics import bootstrap_auroc, bootstrap_statistic
+
+
+class TestBootstrapStatistic:
+    def test_mean_interval_contains_estimate(self, rng):
+        values = rng.normal(loc=5.0, size=200)
+        result = bootstrap_statistic(values, np.mean, n_resamples=200, rng=0)
+        assert result.lower <= result.estimate <= result.upper
+        assert result.estimate == pytest.approx(values.mean())
+
+    def test_interval_shrinks_with_sample_size(self, rng):
+        small = bootstrap_statistic(rng.normal(size=20), np.mean, n_resamples=300, rng=0)
+        large = bootstrap_statistic(rng.normal(size=2000), np.mean, n_resamples=300, rng=0)
+        assert large.width < small.width
+
+    def test_confidence_widens_interval(self, rng):
+        values = rng.normal(size=100)
+        narrow = bootstrap_statistic(values, np.mean, n_resamples=400, confidence=0.8, rng=0)
+        wide = bootstrap_statistic(values, np.mean, n_resamples=400, confidence=0.99, rng=0)
+        assert wide.width > narrow.width
+
+    def test_deterministic_under_seed(self, rng):
+        values = rng.normal(size=50)
+        a = bootstrap_statistic(values, np.mean, n_resamples=100, rng=7)
+        b = bootstrap_statistic(values, np.mean, n_resamples=100, rng=7)
+        assert a == b
+
+    def test_str_format(self, rng):
+        result = bootstrap_statistic(rng.normal(size=30), np.mean, n_resamples=50, rng=0)
+        assert "@95%" in str(result)
+
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            bootstrap_statistic(np.array([1.0]), np.mean)
+        with pytest.raises(ConfigurationError):
+            bootstrap_statistic(rng.normal(size=10), np.mean, n_resamples=5)
+        with pytest.raises(ConfigurationError):
+            bootstrap_statistic(rng.normal(size=10), np.mean, confidence=0.3)
+
+
+class TestBootstrapAuroc:
+    def test_separable_classes_tight_high_interval(self, rng):
+        target = rng.normal(0.0, 0.1, 150)
+        novel = rng.normal(3.0, 0.1, 150)
+        result = bootstrap_auroc(target, novel, n_resamples=200, rng=0)
+        assert result.estimate == 1.0
+        assert result.lower > 0.99
+
+    def test_identical_classes_interval_covers_half(self, rng):
+        scores = rng.normal(size=200)
+        result = bootstrap_auroc(scores, scores.copy(), n_resamples=300, rng=0)
+        assert result.lower <= 0.5 <= result.upper
+
+    def test_estimate_matches_auroc(self, rng):
+        from repro.metrics import auroc
+
+        target = rng.normal(0, 1, 80)
+        novel = rng.normal(1, 1, 60)
+        labels = np.concatenate([np.zeros(80, bool), np.ones(60, bool)])
+        expected = auroc(np.concatenate([target, novel]), labels)
+        result = bootstrap_auroc(target, novel, n_resamples=50, rng=0)
+        assert result.estimate == pytest.approx(expected)
+
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            bootstrap_auroc(np.array([1.0]), rng.normal(size=10))
+        with pytest.raises(ConfigurationError):
+            bootstrap_auroc(rng.normal(size=10), rng.normal(size=10), n_resamples=2)

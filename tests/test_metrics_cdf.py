@@ -1,0 +1,88 @@
+"""Tests for empirical CDFs and percentile thresholds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.metrics import EmpiricalCDF, percentile_threshold
+
+SAMPLES = st.lists(
+    st.floats(-100, 100, allow_nan=False), min_size=1, max_size=100
+).map(np.array)
+
+
+class TestEmpiricalCDF:
+    def test_evaluate_known_points(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+        assert cdf(100.0) == 1.0
+
+    def test_vectorized_evaluation(self):
+        cdf = EmpiricalCDF([1.0, 2.0])
+        np.testing.assert_array_equal(cdf(np.array([0.0, 1.5, 3.0])), [0.0, 0.5, 1.0])
+
+    def test_quantile_endpoints(self):
+        cdf = EmpiricalCDF([1.0, 5.0, 9.0])
+        assert cdf.quantile(0.0) == 1.0
+        assert cdf.quantile(1.0) == 9.0
+
+    def test_quantile_interpolates(self):
+        cdf = EmpiricalCDF([0.0, 10.0])
+        assert cdf.quantile(0.5) == pytest.approx(5.0)
+
+    def test_n_and_samples(self):
+        cdf = EmpiricalCDF([3.0, 1.0, 2.0])
+        assert cdf.n == 3
+        np.testing.assert_array_equal(cdf.samples, [1.0, 2.0, 3.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            EmpiricalCDF([])
+
+    def test_nan_raises(self):
+        with pytest.raises(ShapeError):
+            EmpiricalCDF([1.0, np.nan])
+
+    def test_invalid_quantile_raises(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalCDF([1.0]).quantile(1.5)
+
+    @given(SAMPLES)
+    @settings(max_examples=40, deadline=None)
+    def test_cdf_is_monotone_and_bounded(self, samples):
+        cdf = EmpiricalCDF(samples)
+        grid = np.linspace(samples.min() - 1, samples.max() + 1, 50)
+        values = cdf(grid)
+        assert np.all(np.diff(values) >= 0)
+        assert values[0] >= 0.0 and values[-1] == 1.0
+
+    @given(SAMPLES, st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_quantile_within_sample_range(self, samples, q):
+        value = EmpiricalCDF(samples).quantile(q)
+        assert samples.min() <= value <= samples.max()
+
+
+class TestPercentileThreshold:
+    def test_99th_percentile(self):
+        samples = np.arange(1, 101, dtype=np.float64)
+        threshold = percentile_threshold(samples, 99.0)
+        assert np.mean(samples <= threshold) >= 0.99
+
+    def test_50th_is_median(self):
+        assert percentile_threshold(np.array([1.0, 2.0, 3.0]), 50.0) == 2.0
+
+    def test_invalid_percentile_raises(self):
+        with pytest.raises(ConfigurationError):
+            percentile_threshold(np.array([1.0]), 101.0)
+
+    def test_monotone_in_percentile(self, rng):
+        samples = rng.normal(size=200)
+        t90 = percentile_threshold(samples, 90.0)
+        t99 = percentile_threshold(samples, 99.0)
+        assert t90 <= t99

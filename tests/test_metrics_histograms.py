@@ -1,0 +1,94 @@
+"""Tests for histogram separation statistics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.metrics import HistogramComparison, compare_distributions, histogram_overlap
+from repro.metrics.histograms import render_ascii_histogram
+
+
+class TestHistogramOverlap:
+    def test_identical_samples_overlap_fully(self, rng):
+        x = rng.normal(size=500)
+        assert histogram_overlap(x, x) == pytest.approx(1.0)
+
+    def test_disjoint_samples_zero_overlap(self, rng):
+        a = rng.normal(loc=0.0, scale=0.1, size=200)
+        b = rng.normal(loc=100.0, scale=0.1, size=200)
+        assert histogram_overlap(a, b) == 0.0
+
+    def test_partial_overlap_between(self, rng):
+        a = rng.normal(loc=0.0, size=500)
+        b = rng.normal(loc=1.0, size=500)
+        overlap = histogram_overlap(a, b)
+        assert 0.1 < overlap < 0.9
+
+    def test_constant_samples(self):
+        assert histogram_overlap(np.ones(5), np.ones(5)) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            histogram_overlap(np.array([]), np.array([1.0]))
+
+    def test_invalid_bins_raises(self):
+        with pytest.raises(ConfigurationError):
+            histogram_overlap(np.ones(3), np.ones(3), bins=0)
+
+    def test_symmetric(self, rng):
+        a, b = rng.normal(size=300), rng.normal(loc=0.5, size=300)
+        assert histogram_overlap(a, b) == pytest.approx(histogram_overlap(b, a))
+
+
+class TestCompareDistributions:
+    def test_fields_populated(self, rng):
+        target = rng.normal(loc=0, size=100)
+        novel = rng.normal(loc=3, size=100)
+        comp = compare_distributions(target, novel)
+        assert isinstance(comp, HistogramComparison)
+        assert comp.target_mean == pytest.approx(target.mean())
+        assert comp.novel_mean == pytest.approx(novel.mean())
+        assert comp.mean_gap == pytest.approx(abs(target.mean() - novel.mean()))
+
+    def test_histograms_normalized(self, rng):
+        comp = compare_distributions(rng.normal(size=50), rng.normal(size=80))
+        assert comp.target_hist.sum() == pytest.approx(1.0)
+        assert comp.novel_hist.sum() == pytest.approx(1.0)
+
+    def test_auroc_orientation_loss_scores(self, rng):
+        """Higher-is-novel: novel scores above target gives AUROC ~ 1."""
+        target = rng.normal(loc=0, scale=0.1, size=100)
+        novel = rng.normal(loc=5, scale=0.1, size=100)
+        comp = compare_distributions(target, novel, higher_is_novel=True)
+        assert comp.auroc > 0.99
+
+    def test_auroc_orientation_similarity_scores(self, rng):
+        """Lower-is-novel (SSIM): novel scores below target gives AUROC ~ 1."""
+        target = rng.normal(loc=0.9, scale=0.02, size=100)
+        novel = rng.normal(loc=0.1, scale=0.02, size=100)
+        comp = compare_distributions(target, novel, higher_is_novel=False)
+        assert comp.auroc > 0.99
+
+    def test_identical_distributions_chance_auroc(self, rng):
+        x = rng.normal(size=400)
+        comp = compare_distributions(x, x)
+        assert comp.auroc == pytest.approx(0.5, abs=0.01)
+
+    def test_degenerate_constant_scores(self):
+        comp = compare_distributions(np.zeros(10), np.zeros(10))
+        assert comp.overlap == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            compare_distributions(np.array([]), np.array([1.0]))
+
+
+class TestRenderAscii:
+    def test_renders_all_bins(self, rng):
+        comp = compare_distributions(rng.normal(size=50), rng.normal(size=50), bins=10)
+        text = render_ascii_histogram(comp)
+        assert len(text.splitlines()) == 11  # 10 bins + legend
+
+    def test_legend_present(self, rng):
+        comp = compare_distributions(rng.normal(size=20), rng.normal(size=20))
+        assert "legend" in render_ascii_histogram(comp)

@@ -1,0 +1,80 @@
+"""Tests for MSE and PSNR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ShapeError
+from repro.metrics import mse, pairwise_mse, psnr
+
+ARRAYS = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 8), st.integers(2, 8)),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+class TestMse:
+    def test_zero_for_identical(self, rng):
+        x = rng.random((4, 4))
+        assert mse(x, x) == 0.0
+
+    def test_known_value(self):
+        assert mse(np.array([0.0, 2.0]), np.array([1.0, 0.0])) == pytest.approx(2.5)
+
+    def test_paper_definition(self, rng):
+        """MSE = (1/K) sum (x[k]-y[k])^2 over pixels."""
+        x, y = rng.random((6, 8)), rng.random((6, 8))
+        expected = ((x - y) ** 2).sum() / x.size
+        assert mse(x, y) == pytest.approx(expected)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            mse(np.zeros(0), np.zeros(0))
+
+    @given(ARRAYS)
+    @settings(max_examples=30, deadline=None)
+    def test_nonnegative_and_symmetric(self, x):
+        y = np.roll(x, 1, axis=0)
+        assert mse(x, y) >= 0.0
+        assert mse(x, y) == pytest.approx(mse(y, x))
+
+
+class TestPairwiseMse:
+    def test_matches_per_sample_mse(self, rng):
+        x, y = rng.random((5, 3, 4)), rng.random((5, 3, 4))
+        per = pairwise_mse(x, y)
+        for i in range(5):
+            assert per[i] == pytest.approx(mse(x[i], y[i]))
+
+    def test_rejects_non_batch(self):
+        with pytest.raises(ShapeError):
+            pairwise_mse(np.zeros(4), np.zeros(4))
+
+
+class TestPsnr:
+    def test_identical_is_infinite(self, rng):
+        x = rng.random((4, 4))
+        assert psnr(x, x) == float("inf")
+
+    def test_known_value(self):
+        # MSE = 0.01, range 1 -> 10*log10(1/0.01) = 20 dB
+        x = np.zeros((10, 10))
+        y = np.full((10, 10), 0.1)
+        assert psnr(x, y) == pytest.approx(20.0)
+
+    def test_larger_error_lower_psnr(self, rng):
+        x = rng.random((8, 8))
+        a = np.clip(x + 0.01, 0, 1)
+        b = np.clip(x + 0.2, 0, 1)
+        assert psnr(x, a) > psnr(x, b)
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ShapeError):
+            psnr(np.zeros((2, 2)), np.ones((2, 2)), data_range=0.0)

@@ -1,0 +1,118 @@
+"""Tests for ROC/AUROC analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.metrics import auroc, roc_curve, tpr_at_fpr
+
+
+class TestAuroc:
+    def test_perfect_separation(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([False, False, True, True])
+        assert auroc(scores, labels) == 1.0
+
+    def test_perfectly_wrong(self):
+        scores = np.array([0.9, 0.8, 0.1, 0.2])
+        labels = np.array([False, False, True, True])
+        assert auroc(scores, labels) == 0.0
+
+    def test_chance_level_for_identical_scores(self):
+        scores = np.ones(10)
+        labels = np.array([True] * 5 + [False] * 5)
+        assert auroc(scores, labels) == pytest.approx(0.5)
+
+    def test_ties_handled_correctly(self):
+        scores = np.array([0.5, 0.5, 0.9])
+        labels = np.array([False, True, True])
+        # One clean win (0.9 > 0.5), one tie (0.5 = 0.5, counts 0.5): 1.5/2
+        assert auroc(scores, labels) == pytest.approx(0.75)
+
+    def test_matches_pairwise_definition(self, rng):
+        scores = rng.normal(size=30)
+        labels = rng.random(30) > 0.5
+        if labels.all() or not labels.any():
+            labels[0] = not labels[0]
+        pos, neg = scores[labels], scores[~labels]
+        wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+        expected = wins / (len(pos) * len(neg))
+        assert auroc(scores, labels) == pytest.approx(expected)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ShapeError):
+            auroc(np.array([1.0, 2.0]), np.array([True, True]))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ShapeError):
+            auroc(np.array([1.0]), np.array([True, False]))
+
+    @given(st.integers(2, 50), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=n)
+        labels = rng.random(n) > 0.5
+        if labels.all():
+            labels[0] = False
+        if not labels.any():
+            labels[0] = True
+        assert 0.0 <= auroc(scores, labels) <= 1.0
+
+
+class TestRocCurve:
+    def test_endpoints(self, rng):
+        scores = rng.normal(size=20)
+        labels = rng.random(20) > 0.5
+        labels[0], labels[1] = True, False
+        curve = roc_curve(scores, labels)
+        assert curve.fpr[0] == 0.0 and curve.tpr[0] == 0.0
+        assert curve.fpr[-1] == 1.0 and curve.tpr[-1] == 1.0
+
+    def test_monotone(self, rng):
+        scores = rng.normal(size=40)
+        labels = rng.random(40) > 0.3
+        labels[0], labels[1] = True, False
+        curve = roc_curve(scores, labels)
+        assert np.all(np.diff(curve.fpr) >= 0)
+        assert np.all(np.diff(curve.tpr) >= 0)
+
+    def test_auc_matches_auroc_without_ties(self, rng):
+        scores = rng.permutation(np.linspace(0, 1, 30))  # all distinct
+        labels = rng.random(30) > 0.5
+        labels[0], labels[1] = True, False
+        curve = roc_curve(scores, labels)
+        assert curve.auc == pytest.approx(auroc(scores, labels))
+
+    def test_thresholds_descend(self, rng):
+        scores = rng.normal(size=15)
+        labels = rng.random(15) > 0.5
+        labels[0], labels[1] = True, False
+        curve = roc_curve(scores, labels)
+        assert np.all(np.diff(curve.thresholds) <= 0)
+
+
+class TestTprAtFpr:
+    def test_perfect_detector(self):
+        scores = np.array([0.0, 0.1, 0.9, 1.0])
+        labels = np.array([False, False, True, True])
+        assert tpr_at_fpr(scores, labels, max_fpr=0.01) == 1.0
+
+    def test_zero_budget_still_defined(self, rng):
+        scores = rng.normal(size=50)
+        labels = rng.random(50) > 0.5
+        labels[0], labels[1] = True, False
+        value = tpr_at_fpr(scores, labels, max_fpr=0.0)
+        assert 0.0 <= value <= 1.0
+
+    def test_larger_budget_never_worse(self, rng):
+        scores = rng.normal(size=60)
+        labels = rng.random(60) > 0.5
+        labels[0], labels[1] = True, False
+        assert tpr_at_fpr(scores, labels, 0.2) >= tpr_at_fpr(scores, labels, 0.05)
+
+    def test_invalid_budget_raises(self):
+        with pytest.raises(ShapeError):
+            tpr_at_fpr(np.array([1.0, 0.0]), np.array([True, False]), max_fpr=2.0)

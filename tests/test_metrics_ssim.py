@@ -1,0 +1,181 @@
+"""Tests for the SSIM metric — including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.metrics.ssim import (
+    ssim,
+    ssim_and_grad,
+    ssim_components,
+    ssim_map,
+)
+
+IMAGES = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(8, 20), st.integers(8, 20)),
+    elements=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+
+class TestSsimBasics:
+    def test_identity_is_one(self, rng):
+        x = rng.random((16, 20))
+        assert ssim(x, x, window_size=7) == pytest.approx(1.0)
+
+    def test_symmetry(self, rng):
+        x, y = rng.random((14, 14)), rng.random((14, 14))
+        assert ssim(x, y, window_size=5) == pytest.approx(ssim(y, x, window_size=5))
+
+    def test_range(self, rng):
+        for _ in range(5):
+            value = ssim(rng.random((12, 12)), rng.random((12, 12)), window_size=5)
+            assert -1.0 <= value <= 1.0
+
+    def test_negative_correlation(self):
+        x = np.zeros((16, 16))
+        x[::2] = 1.0  # stripes
+        y = 1.0 - x   # inverted stripes
+        assert ssim(x, y, window_size=5) < 0.0
+
+    def test_noise_lowers_ssim(self, rng):
+        x = rng.random((20, 20))
+        noisy = np.clip(x + rng.normal(0, 0.3, x.shape), 0, 1)
+        assert ssim(x, noisy, window_size=7) < 0.9
+
+    def test_brightness_shift_keeps_ssim_high(self, rng):
+        """The paper's Figure 3 insight at the metric level."""
+        x = rng.random((20, 20)) * 0.6
+        bright = x + 0.2
+        noisy = np.clip(x + rng.normal(0, 0.2, x.shape), 0, 1)
+        assert ssim(x, bright, window_size=7) > ssim(x, noisy, window_size=7)
+
+    def test_batch_returns_vector(self, rng):
+        x, y = rng.random((3, 12, 12)), rng.random((3, 12, 12))
+        scores = ssim(x, y, window_size=5)
+        assert scores.shape == (3,)
+
+    def test_batch_matches_singles(self, rng):
+        x, y = rng.random((3, 12, 12)), rng.random((3, 12, 12))
+        batch = ssim(x, y, window_size=5)
+        singles = [ssim(x[i], y[i], window_size=5) for i in range(3)]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_gaussian_window_identity(self, rng):
+        x = rng.random((16, 16))
+        assert ssim(x, x, window_size=7, window="gaussian") == pytest.approx(1.0)
+
+
+class TestSsimValidation:
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            ssim(np.zeros((8, 8)), np.zeros((8, 9)))
+
+    def test_even_window_raises(self):
+        with pytest.raises(ConfigurationError):
+            ssim(np.zeros((8, 8)), np.zeros((8, 8)), window_size=4)
+
+    def test_oversized_window_raises(self):
+        with pytest.raises(ConfigurationError):
+            ssim(np.zeros((8, 8)), np.zeros((8, 8)), window_size=11)
+
+    def test_bad_data_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            ssim(np.zeros((8, 8)), np.zeros((8, 8)), window_size=5, data_range=0.0)
+
+    def test_bad_window_kind_raises(self):
+        with pytest.raises(ConfigurationError):
+            ssim(np.zeros((8, 8)), np.zeros((8, 8)), window_size=5, window="box")
+
+    def test_1d_input_raises(self):
+        with pytest.raises(ShapeError):
+            ssim(np.zeros(10), np.zeros(10))
+
+
+class TestSsimProperties:
+    @given(IMAGES)
+    @settings(max_examples=30, deadline=None)
+    def test_self_similarity_is_one(self, img):
+        assert ssim(img, img, window_size=5) == pytest.approx(1.0)
+
+    @given(IMAGES, st.floats(0.0, 0.3))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded(self, img, sigma):
+        noise = np.random.default_rng(0).normal(0, sigma, img.shape)
+        other = np.clip(img + noise, 0, 1)
+        value = ssim(img, other, window_size=5)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    @given(IMAGES)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetric(self, img):
+        other = np.roll(img, 1, axis=0)
+        a = ssim(img, other, window_size=5)
+        b = ssim(other, img, window_size=5)
+        assert a == pytest.approx(b)
+
+
+class TestSsimMapAndComponents:
+    def test_map_shape(self, rng):
+        x, y = rng.random((12, 16)), rng.random((12, 16))
+        assert ssim_map(x, y, window_size=5).shape == (12, 16)
+
+    def test_map_identity_is_one_in_interior(self, rng):
+        x = rng.random((14, 14))
+        smap = ssim_map(x, x, window_size=5)
+        np.testing.assert_allclose(smap[2:-2, 2:-2], 1.0, atol=1e-9)
+
+    def test_components_multiply_to_ssim(self, rng):
+        """l*c*s == SSIM with unit exponents (within c3 approximation)."""
+        x, y = rng.random((16, 16)), rng.random((16, 16))
+        comps = ssim_components(x, y, window_size=5)
+        smap = ssim_map(x, y, window_size=5)
+        np.testing.assert_allclose(comps.ssim, smap, atol=1e-7)
+
+    def test_luminance_ignores_contrast(self, rng):
+        x = rng.random((16, 16))
+        comps = ssim_components(x, x * 0.5 + 0.25, window_size=5)
+        # Equal means per window where x has mean 0.5 -> high luminance.
+        assert comps.luminance.mean() > 0.9
+
+    def test_components_identity(self, rng):
+        x = rng.random((12, 12))
+        comps = ssim_components(x, x, window_size=5)
+        np.testing.assert_allclose(comps.structure[2:-2, 2:-2], 1.0, atol=1e-6)
+        np.testing.assert_allclose(comps.contrast[2:-2, 2:-2], 1.0, atol=1e-9)
+
+
+class TestSsimGradient:
+    def test_matches_numerical(self, rng):
+        from repro.nn.gradcheck import numerical_gradient, relative_error
+
+        x = rng.random((10, 12))
+        y = rng.random((10, 12))
+        score, grad = ssim_and_grad(x, y, window_size=5)
+
+        numeric = numerical_gradient(
+            lambda v: float(ssim(x, v, window_size=5)), y.copy()
+        )
+        assert relative_error(grad, numeric) < 1e-4
+
+    def test_gradient_zero_at_identity_extremum(self, rng):
+        """SSIM(x, y) is maximized at y = x, so the gradient ~ 0 there."""
+        x = rng.random((12, 12))
+        _, grad = ssim_and_grad(x, x.copy(), window_size=5)
+        assert np.abs(grad).max() < 1e-6
+
+    def test_batch_gradient_shape(self, rng):
+        x, y = rng.random((3, 10, 10)), rng.random((3, 10, 10))
+        scores, grad = ssim_and_grad(x, y, window_size=5)
+        assert scores.shape == (3,)
+        assert grad.shape == (3, 10, 10)
+
+    def test_gradient_ascent_increases_ssim(self, rng):
+        x = rng.random((12, 12))
+        y = rng.random((12, 12))
+        before, grad = ssim_and_grad(x, y, window_size=5)
+        after = ssim(x, y + 0.05 * grad / (np.abs(grad).max() + 1e-12), window_size=5)
+        assert after > before

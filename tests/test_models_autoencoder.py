@@ -1,0 +1,102 @@
+"""Tests for the dense and convolutional autoencoders."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.models import ConvAutoencoder, DenseAutoencoder
+from repro.nn import Dense, ReLU, Sigmoid
+
+
+class TestDenseAutoencoderArchitecture:
+    def test_paper_architecture(self):
+        """§III-A: 3 hidden layers (64, 16, 64), ReLU, sigmoid output,
+        9600-d output for 60x160 images."""
+        ae = DenseAutoencoder((60, 160), rng=0)
+        assert ae.input_dim == 9600
+        assert ae.hidden == (64, 16, 64)
+        assert ae.bottleneck == 16
+        dense_layers = [l for l in ae.layers if isinstance(l, Dense)]
+        assert [l.out_features for l in dense_layers] == [64, 16, 64, 9600]
+        assert isinstance(ae.layers[-1], Sigmoid)
+        assert sum(isinstance(l, ReLU) for l in ae.layers) == 3
+
+    def test_output_in_unit_interval(self, rng):
+        ae = DenseAutoencoder((8, 10), rng=0)
+        out = ae.reconstruct(rng.random((4, 8, 10)))
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_custom_hidden(self):
+        ae = DenseAutoencoder((8, 8), hidden=(32, 8, 32), rng=0)
+        assert ae.bottleneck == 8
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ConfigurationError):
+            DenseAutoencoder((0, 10))
+        with pytest.raises(ConfigurationError):
+            DenseAutoencoder((8, 8), hidden=())
+        with pytest.raises(ConfigurationError):
+            DenseAutoencoder((8, 8), hidden=(16, 0, 16))
+
+
+class TestDenseAutoencoderInterface:
+    def test_reconstruct_preserves_image_shape(self, rng):
+        ae = DenseAutoencoder((6, 9), rng=0)
+        images = rng.random((3, 6, 9))
+        assert ae.reconstruct(images).shape == (3, 6, 9)
+
+    def test_reconstruct_accepts_flat(self, rng):
+        ae = DenseAutoencoder((6, 9), rng=0)
+        flat = rng.random((3, 54))
+        assert ae.reconstruct(flat).shape == (3, 54)
+
+    def test_flat_and_image_agree(self, rng):
+        ae = DenseAutoencoder((6, 9), rng=0)
+        images = rng.random((2, 6, 9))
+        np.testing.assert_array_equal(
+            ae.reconstruct(images).reshape(2, -1),
+            ae.reconstruct(images.reshape(2, -1)),
+        )
+
+    def test_encode_bottleneck_width(self, rng):
+        ae = DenseAutoencoder((6, 9), rng=0)
+        codes = ae.encode(rng.random((4, 6, 9)))
+        assert codes.shape == (4, 16)
+        assert np.all(codes >= 0)  # post-ReLU
+
+    def test_wrong_shape_raises(self, rng):
+        ae = DenseAutoencoder((6, 9), rng=0)
+        with pytest.raises(ShapeError):
+            ae.reconstruct(rng.random((2, 5, 9)))
+
+    def test_can_learn_to_reconstruct(self, rng):
+        """A small AE trained on a few patterns should reduce its loss."""
+        from repro.nn import Adam, ArrayDataset, DataLoader, MSELoss, Trainer
+
+        ae = DenseAutoencoder((6, 8), hidden=(32, 8, 32), rng=0)
+        data = rng.random((32, 48))
+        loader = DataLoader(ArrayDataset(data), batch_size=8, rng=0)
+        trainer = Trainer(ae, MSELoss(), Adam(ae.parameters(), lr=3e-3))
+        history = trainer.fit(loader, epochs=30)
+        assert history.train_loss[-1] < history.train_loss[0] * 0.7
+
+
+class TestConvAutoencoder:
+    def test_shape_roundtrip(self, rng):
+        ae = ConvAutoencoder((16, 24), rng=0)
+        out = ae.reconstruct(rng.random((2, 16, 24)))
+        assert out.shape == (2, 16, 24)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_requires_divisible_by_four(self):
+        with pytest.raises(ConfigurationError):
+            ConvAutoencoder((10, 16))
+
+    def test_invalid_channels_raise(self):
+        with pytest.raises(ConfigurationError):
+            ConvAutoencoder((16, 16), channels=(0, 4))
+
+    def test_rejects_wrong_input_shape(self, rng):
+        ae = ConvAutoencoder((16, 16), rng=0)
+        with pytest.raises(ShapeError):
+            ae.reconstruct(rng.random((2, 8, 16)))

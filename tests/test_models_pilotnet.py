@@ -1,0 +1,156 @@
+"""Tests for the PilotNet steering model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.models import PilotNet, PilotNetConfig
+from repro.models.pilotnet import ConvSpec, train_pilotnet
+from repro.nn import Conv2d, Dense
+
+
+class TestPilotNetConfig:
+    def test_paper_stack_has_five_convs(self):
+        config = PilotNetConfig.paper()
+        assert len(config.conv_specs) == 5
+        assert config.conv_specs[0] == ConvSpec(24, 5, 2)
+        assert config.dense_units == (100, 50, 10)
+
+    def test_for_image_paper_scale_keeps_full_stack(self):
+        config = PilotNetConfig.for_image((60, 160))
+        assert len(config.conv_specs) >= 4
+
+    def test_for_image_small_reduces_stack(self):
+        config = PilotNetConfig.for_image((24, 64))
+        assert 1 <= len(config.conv_specs) < 5
+
+    def test_for_image_tiny_raises(self):
+        with pytest.raises(ConfigurationError):
+            PilotNetConfig.for_image((3, 3))
+
+    def test_invalid_conv_spec_raises(self):
+        with pytest.raises(ConfigurationError):
+            ConvSpec(0, 3, 1)
+
+
+class TestPilotNet:
+    def test_construction_and_shapes(self):
+        net = PilotNet(PilotNetConfig.for_image((24, 64)), rng=0)
+        out = net.forward(np.zeros((2, 1, 24, 64)))
+        assert out.shape == (2, 1)
+        assert len(net.conv_indices) == len(net.config.conv_specs)
+
+    def test_conv_indices_point_at_convs(self):
+        net = PilotNet(PilotNetConfig.for_image((24, 64)), rng=0)
+        for idx in net.conv_indices:
+            assert isinstance(net.layers[idx], Conv2d)
+
+    def test_final_layer_is_scalar_regression(self):
+        net = PilotNet(PilotNetConfig.for_image((24, 64)), rng=0)
+        last_dense = [l for l in net.layers if isinstance(l, Dense)][-1]
+        assert last_dense.out_features == 1
+
+    def test_predict_angles_accepts_3d(self, rng):
+        net = PilotNet(PilotNetConfig.for_image((24, 64)), rng=0)
+        angles = net.predict_angles(rng.random((3, 24, 64)))
+        assert angles.shape == (3,)
+
+    def test_predict_angles_accepts_4d(self, rng):
+        net = PilotNet(PilotNetConfig.for_image((24, 64)), rng=0)
+        angles = net.predict_angles(rng.random((3, 1, 24, 64)))
+        assert angles.shape == (3,)
+
+    def test_predict_angles_rejects_bad_shape(self, rng):
+        net = PilotNet(PilotNetConfig.for_image((24, 64)), rng=0)
+        with pytest.raises(ConfigurationError):
+            net.predict_angles(rng.random((3, 2, 24, 64)))
+
+    def test_deterministic_under_seed(self, rng):
+        x = rng.random((2, 1, 24, 64))
+        a = PilotNet(PilotNetConfig.for_image((24, 64)), rng=7).predict(x)
+        b = PilotNet(PilotNetConfig.for_image((24, 64)), rng=7).predict(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_oversized_kernel_raises(self):
+        config = PilotNetConfig(
+            input_shape=(6, 6), conv_specs=(ConvSpec(8, 7, 1),), dense_units=(4,)
+        )
+        with pytest.raises(ConfigurationError):
+            PilotNet(config, rng=0)
+
+
+class TestTrainPilotnet:
+    def test_loss_decreases_on_learnable_task(self, dsu_train):
+        net = PilotNet(PilotNetConfig.for_image(dsu_train.frames.shape[1:]), rng=0)
+        history = train_pilotnet(
+            net, dsu_train.frames, dsu_train.angles, epochs=3, batch_size=16, rng=0
+        )
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_trained_model_beats_mean_predictor(self, ci_workbench, dsu_test):
+        model = ci_workbench.steering_model("dsu")
+        pred = model.predict_angles(dsu_test.frames)
+        model_mse = float(np.mean((pred - dsu_test.angles) ** 2))
+        mean_mse = float(np.var(dsu_test.angles))
+        assert model_mse < mean_mse
+
+    def test_accepts_4d_frames(self, rng):
+        frames = rng.random((8, 1, 24, 64))
+        angles = rng.random(8)
+        net = PilotNet(PilotNetConfig.for_image((24, 64)), rng=0)
+        history = train_pilotnet(net, frames, angles, epochs=1, batch_size=4, rng=0)
+        assert history.epochs == 1
+
+
+class TestBatchNormVariant:
+    def test_bn_layers_inserted(self):
+        from repro.nn import BatchNorm2d
+
+        config = PilotNetConfig.for_image((24, 64))
+        config = PilotNetConfig(
+            input_shape=config.input_shape,
+            conv_specs=config.conv_specs,
+            dense_units=config.dense_units,
+            batch_norm=True,
+        )
+        net = PilotNet(config, rng=0)
+        bn_count = sum(isinstance(l, BatchNorm2d) for l in net.layers)
+        assert bn_count == len(config.conv_specs)
+
+    def test_bn_model_trains(self, dsu_train):
+        config = PilotNetConfig.for_image((24, 64))
+        config = PilotNetConfig(
+            input_shape=config.input_shape,
+            conv_specs=config.conv_specs,
+            dense_units=config.dense_units,
+            batch_norm=True,
+        )
+        net = PilotNet(config, rng=0)
+        history = train_pilotnet(
+            net, dsu_train.frames[:48], dsu_train.angles[:48],
+            epochs=2, batch_size=16, rng=0,
+        )
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_vbp_works_through_batch_norm(self, rng):
+        """find_conv_stages must pick the post-ReLU map even with an
+        intervening BatchNorm2d."""
+        from repro.saliency import VisualBackProp
+        from repro.saliency.vbp import find_conv_stages
+
+        config = PilotNetConfig.for_image((24, 64))
+        config = PilotNetConfig(
+            input_shape=config.input_shape,
+            conv_specs=config.conv_specs,
+            dense_units=config.dense_units,
+            batch_norm=True,
+        )
+        net = PilotNet(config, rng=0)
+        stages = find_conv_stages(net)
+        from repro.nn import ReLU
+
+        for stage in stages:
+            assert isinstance(net.layers[stage.feature_index], ReLU)
+        masks = VisualBackProp(net).saliency(rng.random((2, 24, 64)))
+        assert masks.shape == (2, 24, 64)
+        assert masks.min() >= 0.0 and masks.max() <= 1.0

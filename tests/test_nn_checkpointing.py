@@ -1,0 +1,133 @@
+"""Tests for optimizer state serialization and training checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SerializationError
+from repro.nn import (
+    SGD,
+    Adam,
+    ArrayDataset,
+    DataLoader,
+    Dense,
+    MSELoss,
+    ReLU,
+    RMSProp,
+    Sequential,
+    Trainer,
+)
+
+
+def toy_problem(seed=0, n=32):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    return x, x @ np.array([[1.0], [-1.0], [2.0]])
+
+
+def make_trainer(seed=0):
+    model = Sequential([Dense(3, 8, rng=seed), ReLU(), Dense(8, 1, rng=seed + 1)])
+    return Trainer(model, MSELoss(), Adam(model.parameters(), lr=0.01))
+
+
+class TestOptimizerState:
+    @pytest.mark.parametrize("make_opt", [
+        lambda p: SGD(p, lr=0.01, momentum=0.9),
+        lambda p: Adam(p, lr=0.01),
+        lambda p: RMSProp(p, lr=0.01),
+    ])
+    def test_roundtrip_resumes_identically(self, make_opt):
+        """Two optimizers: one runs 6 steps straight; the other runs 3,
+        serializes, restores into a fresh instance, runs 3 more.  Final
+        parameters must match exactly."""
+        x, y = toy_problem()
+
+        def run(steps, opt_state=None, start_params=None):
+            model = Sequential([Dense(3, 4, rng=0), ReLU(), Dense(4, 1, rng=1)])
+            if start_params is not None:
+                model.load_state_dict(start_params)
+            opt = make_opt(model.parameters())
+            if opt_state is not None:
+                opt.load_state_dict(opt_state)
+            trainer = Trainer(model, MSELoss(), opt)
+            for _ in range(steps):
+                trainer.train_step(x, y)
+            return model.state_dict(), opt.state_dict()
+
+        straight_params, _ = run(6)
+        half_params, half_opt = run(3)
+        resumed_params, _ = run(3, opt_state=half_opt, start_params=half_params)
+        for key in straight_params:
+            np.testing.assert_allclose(resumed_params[key], straight_params[key])
+
+    def test_step_count_serialized(self):
+        model = Sequential([Dense(2, 1, rng=0)])
+        opt = Adam(model.parameters())
+        model.parameters()[0].grad += 1.0
+        opt.step()
+        opt.step()
+        state = opt.state_dict()
+        assert int(state["step_count"]) == 2
+
+    def test_shape_mismatch_rejected(self):
+        model = Sequential([Dense(2, 1, rng=0)])
+        opt = Adam(model.parameters())
+        model.parameters()[0].grad += 1.0
+        opt.step()
+        state = opt.state_dict()
+        state["m:0"] = np.zeros((5, 5))
+        fresh = Adam(Sequential([Dense(2, 1, rng=1)]).parameters())
+        with pytest.raises(ConfigurationError, match="shape"):
+            fresh.load_state_dict(state)
+
+    def test_fresh_optimizer_state_is_minimal(self):
+        model = Sequential([Dense(2, 1, rng=0)])
+        opt = SGD(model.parameters(), momentum=0.9)
+        assert list(opt.state_dict().keys()) == ["step_count"]
+
+
+class TestTrainerCheckpoint:
+    def test_checkpoint_roundtrip(self, tmp_path):
+        x, y = toy_problem()
+        trainer = make_trainer()
+        loader = DataLoader(ArrayDataset(x, y), batch_size=8, rng=0)
+        trainer.fit(loader, epochs=2)
+        path = tmp_path / "ckpt.npz"
+        trainer.save_checkpoint(path)
+        expected = trainer.model.predict(x)
+
+        fresh = make_trainer(seed=42)
+        fresh.load_checkpoint(path)
+        np.testing.assert_array_equal(fresh.model.predict(x), expected)
+        assert fresh.optimizer.step_count == trainer.optimizer.step_count
+
+    def test_resumed_training_matches_uninterrupted(self, tmp_path):
+        x, y = toy_problem()
+
+        # Uninterrupted: 4 steps.
+        straight = make_trainer()
+        for _ in range(4):
+            straight.train_step(x, y)
+
+        # Interrupted: 2 steps, checkpoint, restore into fresh, 2 more.
+        first = make_trainer()
+        first.train_step(x, y)
+        first.train_step(x, y)
+        path = tmp_path / "mid.npz"
+        first.save_checkpoint(path)
+
+        second = make_trainer(seed=99)
+        second.load_checkpoint(path)
+        second.train_step(x, y)
+        second.train_step(x, y)
+        np.testing.assert_allclose(
+            second.model.predict(x), straight.model.predict(x)
+        )
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            make_trainer().load_checkpoint(tmp_path / "nope.npz")
+
+    def test_creates_parent_dirs(self, tmp_path):
+        trainer = make_trainer()
+        trainer.save_checkpoint(tmp_path / "deep" / "ckpt.npz")
+        assert (tmp_path / "deep" / "ckpt.npz").exists()

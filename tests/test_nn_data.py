@@ -1,0 +1,117 @@
+"""Tests for datasets, loaders, and splits."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn import ArrayDataset, DataLoader, train_test_split
+
+
+class TestArrayDataset:
+    def test_length(self):
+        assert len(ArrayDataset(np.zeros((7, 3)))) == 7
+
+    def test_self_supervised_default(self, rng):
+        x = rng.random((4, 3))
+        ds = ArrayDataset(x)
+        inputs, targets = ds[np.array([0, 1])]
+        np.testing.assert_array_equal(inputs, targets)
+
+    def test_explicit_targets(self, rng):
+        x, y = rng.random((4, 3)), rng.random((4, 1))
+        ds = ArrayDataset(x, y)
+        _, targets = ds[np.array([2])]
+        np.testing.assert_array_equal(targets, y[2:3])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ShapeError):
+            ArrayDataset(np.zeros((4, 2)), np.zeros((5, 1)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            ArrayDataset(np.zeros((0, 3)))
+
+    def test_subset(self, rng):
+        ds = ArrayDataset(rng.random((6, 2)))
+        sub = ds.subset(np.array([1, 3]))
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.inputs[0], ds.inputs[1])
+
+
+class TestDataLoader:
+    def test_batch_count(self):
+        ds = ArrayDataset(np.zeros((10, 2)))
+        assert len(DataLoader(ds, batch_size=3)) == 4
+        assert len(DataLoader(ds, batch_size=3, drop_last=True)) == 3
+
+    def test_batches_cover_dataset_without_shuffle(self, rng):
+        x = rng.random((7, 2))
+        loader = DataLoader(ArrayDataset(x), batch_size=3, shuffle=False)
+        seen = np.concatenate([b for b, _ in loader])
+        np.testing.assert_array_equal(seen, x)
+
+    def test_shuffle_covers_dataset(self, rng):
+        x = np.arange(20, dtype=np.float64).reshape(20, 1)
+        loader = DataLoader(ArrayDataset(x), batch_size=6, shuffle=True, rng=0)
+        seen = np.sort(np.concatenate([b for b, _ in loader]).ravel())
+        np.testing.assert_array_equal(seen, x.ravel())
+
+    def test_shuffle_differs_between_epochs(self):
+        x = np.arange(50, dtype=np.float64).reshape(50, 1)
+        loader = DataLoader(ArrayDataset(x), batch_size=50, shuffle=True, rng=0)
+        first = next(iter(loader))[0].ravel()
+        second = next(iter(loader))[0].ravel()
+        assert not np.array_equal(first, second)
+
+    def test_deterministic_under_seed(self):
+        x = np.arange(30, dtype=np.float64).reshape(30, 1)
+        a = [b[0].ravel() for b in DataLoader(ArrayDataset(x), batch_size=10, rng=5)]
+        b = [b[0].ravel() for b in DataLoader(ArrayDataset(x), batch_size=10, rng=5)]
+        for batch_a, batch_b in zip(a, b):
+            np.testing.assert_array_equal(batch_a, batch_b)
+
+    def test_drop_last_truncates(self):
+        loader = DataLoader(ArrayDataset(np.zeros((10, 1))), batch_size=4, drop_last=True)
+        sizes = [b[0].shape[0] for b in loader]
+        assert sizes == [4, 4]
+
+    def test_rejects_zero_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            DataLoader(ArrayDataset(np.zeros((4, 1))), batch_size=0)
+
+
+class TestTrainTestSplit:
+    def test_default_80_20(self, rng):
+        train, test = train_test_split(rng.random((100, 2)), rng=0)
+        assert len(train) == 80
+        assert len(test) == 20
+
+    def test_partition_is_exact(self, rng):
+        x = np.arange(10, dtype=np.float64).reshape(10, 1)
+        train, test = train_test_split(x, rng=0)
+        merged = np.sort(np.concatenate([train.inputs, test.inputs]).ravel())
+        np.testing.assert_array_equal(merged, x.ravel())
+
+    def test_targets_stay_aligned(self, rng):
+        x = rng.random((20, 2))
+        y = x.sum(axis=1, keepdims=True)
+        train, _ = train_test_split(x, y, rng=0)
+        np.testing.assert_allclose(train.inputs.sum(axis=1, keepdims=True), train.targets)
+
+    def test_minimum_one_each_side(self, rng):
+        train, test = train_test_split(rng.random((3, 1)), test_fraction=0.01, rng=0)
+        assert len(test) >= 1 and len(train) >= 1
+
+    def test_too_small_raises(self):
+        with pytest.raises(ShapeError):
+            train_test_split(np.zeros((1, 2)))
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ConfigurationError):
+            train_test_split(np.zeros((10, 1)), test_fraction=1.0)
+
+    def test_deterministic(self, rng):
+        x = rng.random((50, 2))
+        a_train, _ = train_test_split(x, rng=3)
+        b_train, _ = train_test_split(x, rng=3)
+        np.testing.assert_array_equal(a_train.inputs, b_train.inputs)

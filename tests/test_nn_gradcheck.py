@@ -1,0 +1,70 @@
+"""Tests for the numerical gradient-checking harness itself."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn import Dense, MSELoss
+from repro.nn.gradcheck import (
+    check_layer_gradients,
+    check_loss_gradients,
+    numerical_gradient,
+    relative_error,
+)
+
+
+class TestNumericalGradient:
+    def test_quadratic(self):
+        grad = numerical_gradient(lambda x: float((x**2).sum()), np.array([1.0, -2.0, 3.0]))
+        np.testing.assert_allclose(grad, [2.0, -4.0, 6.0], rtol=1e-6)
+
+    def test_preserves_input(self):
+        x = np.array([1.0, 2.0])
+        original = x.copy()
+        numerical_gradient(lambda v: float(v.sum()), x)
+        np.testing.assert_array_equal(x, original)
+
+    def test_matrix_input(self, rng):
+        a = rng.normal(size=(3, 3))
+        x = rng.normal(size=(3, 3))
+        grad = numerical_gradient(lambda v: float((a * v).sum()), x)
+        np.testing.assert_allclose(grad, a, atol=1e-6)
+
+
+class TestRelativeError:
+    def test_zero_for_identical(self):
+        x = np.array([1.0, 2.0])
+        assert relative_error(x, x) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            relative_error(np.zeros(2), np.zeros(3))
+
+    def test_detects_difference(self):
+        assert relative_error(np.array([1.0]), np.array([1.1])) > 0.01
+
+
+class TestCheckers:
+    def test_passes_for_correct_layer(self, rng):
+        check_layer_gradients(Dense(3, 2, rng=0), rng.normal(size=(2, 3)))
+
+    def test_fails_for_broken_layer(self, rng):
+        layer = Dense(3, 2, rng=0)
+        original_backward = layer.backward
+
+        def broken(grad_output):
+            return original_backward(grad_output) * 1.5  # wrong input grad
+
+        layer.backward = broken
+        with pytest.raises(AssertionError, match="gradient check failed"):
+            check_layer_gradients(layer, rng.normal(size=(2, 3)))
+
+    def test_loss_checker_passes(self, rng):
+        check_loss_gradients(MSELoss(), rng.random((2, 4)), rng.random((2, 4)))
+
+    def test_loss_checker_fails_for_broken_loss(self, rng):
+        loss = MSELoss()
+        original = loss.backward
+        loss.backward = lambda: original() * 2.0
+        with pytest.raises(AssertionError):
+            check_loss_gradients(loss, rng.random((2, 4)), rng.random((2, 4)))

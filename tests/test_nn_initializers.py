@@ -1,0 +1,75 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import initializers
+
+
+@pytest.fixture
+def gen():
+    return np.random.default_rng(0)
+
+
+class TestBasicInitializers:
+    def test_zeros(self, gen):
+        w = initializers.zeros((3, 4), gen)
+        assert w.shape == (3, 4)
+        assert np.all(w == 0.0)
+
+    def test_ones(self, gen):
+        assert np.all(initializers.ones((2, 2), gen) == 1.0)
+
+    def test_uniform_range(self, gen):
+        w = initializers.uniform((1000,), gen, scale=0.1)
+        assert np.all(np.abs(w) <= 0.1)
+
+    def test_normal_std(self, gen):
+        w = initializers.normal((20000,), gen, std=0.5)
+        assert w.std() == pytest.approx(0.5, rel=0.05)
+
+    def test_dtype_is_float64(self, gen):
+        for fn in (initializers.zeros, initializers.uniform, initializers.he_normal):
+            assert fn((4, 4), gen).dtype == np.float64
+
+
+class TestScaledInitializers:
+    def test_xavier_uniform_bound_dense(self, gen):
+        fan_in, fan_out = 100, 50
+        w = initializers.xavier_uniform((fan_in, fan_out), gen)
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        assert np.all(np.abs(w) <= limit)
+
+    def test_he_normal_std_dense(self, gen):
+        fan_in = 400
+        w = initializers.he_normal((fan_in, 300), gen)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / fan_in), rel=0.05)
+
+    def test_he_normal_conv_fan_in(self, gen):
+        # conv weight (out, in, kh, kw): fan_in = in * kh * kw
+        w = initializers.he_normal((64, 16, 3, 3), gen)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / (16 * 9)), rel=0.05)
+
+    def test_fan_computation_fallback(self, gen):
+        # 1-d shapes fall back to total size without crashing
+        w = initializers.xavier_uniform((10,), gen)
+        assert w.shape == (10,)
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert initializers.get("he_normal") is initializers.he_normal
+
+    def test_get_callable_passthrough(self):
+        fn = lambda shape, rng: np.zeros(shape)
+        assert initializers.get(fn) is fn
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(ConfigurationError, match="he_normal"):
+            initializers.get("bogus")
+
+    def test_deterministic_under_seed(self):
+        a = initializers.he_normal((5, 5), np.random.default_rng(3))
+        b = initializers.he_normal((5, 5), np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,90 @@
+"""Tests for activation layers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn import LeakyReLU, ReLU, Sigmoid, Tanh, check_layer_gradients
+
+
+class TestReLU:
+    def test_clamps_negatives(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_gradient(self, rng):
+        check_layer_gradients(ReLU(), rng.normal(size=(3, 5)) + 0.1)
+
+    def test_gradient_blocked_at_negatives(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 1.0]]))
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ShapeError):
+            ReLU().backward(np.zeros((1, 1)))
+
+    def test_works_on_4d(self, rng):
+        x = rng.normal(size=(2, 3, 4, 5))
+        assert ReLU().forward(x).shape == x.shape
+
+
+class TestLeakyReLU:
+    def test_negative_slope(self):
+        out = LeakyReLU(0.1).forward(np.array([[-2.0, 3.0]]))
+        np.testing.assert_allclose(out, [[-0.2, 3.0]])
+
+    def test_gradient(self, rng):
+        check_layer_gradients(LeakyReLU(0.2), rng.normal(size=(3, 4)) + 0.05)
+
+    def test_zero_slope_equals_relu(self, rng):
+        x = rng.normal(size=(2, 6))
+        np.testing.assert_array_equal(
+            LeakyReLU(0.0).forward(x), ReLU().forward(x)
+        )
+
+    def test_rejects_negative_slope_param(self):
+        with pytest.raises(ShapeError):
+            LeakyReLU(-0.1)
+
+
+class TestSigmoid:
+    def test_range(self, rng):
+        out = Sigmoid().forward(rng.normal(size=(4, 4)) * 10)
+        assert np.all(out > 0.0) and np.all(out < 1.0)
+
+    def test_midpoint(self):
+        assert Sigmoid().forward(np.array([[0.0]]))[0, 0] == pytest.approx(0.5)
+
+    def test_stable_at_extremes(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert out[0, 1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_gradient(self, rng):
+        check_layer_gradients(Sigmoid(), rng.normal(size=(3, 4)))
+
+    def test_symmetry(self, rng):
+        x = rng.normal(size=(2, 5))
+        s = Sigmoid()
+        np.testing.assert_allclose(s.forward(x) + s.forward(-x), np.ones_like(x))
+
+
+class TestTanh:
+    def test_range(self, rng):
+        out = Tanh().forward(rng.normal(size=(3, 3)) * 5)
+        assert np.all(np.abs(out) < 1.0)
+
+    def test_odd_function(self, rng):
+        x = rng.normal(size=(2, 4))
+        t = Tanh()
+        np.testing.assert_allclose(t.forward(x), -t.forward(-x))
+
+    def test_gradient(self, rng):
+        check_layer_gradients(Tanh(), rng.normal(size=(3, 4)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ShapeError):
+            Tanh().backward(np.zeros((1, 1)))

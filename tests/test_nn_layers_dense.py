@@ -1,0 +1,94 @@
+"""Tests for the Dense layer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn import Dense, check_layer_gradients
+
+
+class TestDenseForward:
+    def test_output_shape(self):
+        layer = Dense(4, 7, rng=0)
+        out = layer.forward(np.zeros((3, 4)))
+        assert out.shape == (3, 7)
+
+    def test_linear_in_input(self, rng):
+        layer = Dense(5, 2, rng=0)
+        x = rng.normal(size=(4, 5))
+        y1 = layer.forward(x)
+        y2 = layer.forward(2 * x)
+        bias = layer.bias.value
+        np.testing.assert_allclose(y2 - bias, 2 * (y1 - bias), atol=1e-12)
+
+    def test_no_bias(self):
+        layer = Dense(3, 3, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+        np.testing.assert_array_equal(layer.forward(np.zeros((1, 3))), np.zeros((1, 3)))
+
+    def test_wrong_feature_count_raises(self):
+        with pytest.raises(ShapeError, match="input features"):
+            Dense(4, 2, rng=0).forward(np.zeros((1, 5)))
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(ShapeError):
+            Dense(4, 2, rng=0).forward(np.zeros(4))
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ShapeError):
+            Dense(0, 4)
+        with pytest.raises(ShapeError):
+            Dense(4, -1)
+
+
+class TestDenseBackward:
+    def test_gradients_match_numerical(self, rng):
+        layer = Dense(6, 4, rng=1)
+        check_layer_gradients(layer, rng.normal(size=(3, 6)))
+
+    def test_gradients_without_bias(self, rng):
+        layer = Dense(5, 3, bias=False, rng=1)
+        check_layer_gradients(layer, rng.normal(size=(2, 5)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ShapeError, match="before forward"):
+            Dense(3, 3, rng=0).backward(np.zeros((1, 3)))
+
+    def test_gradients_accumulate(self, rng):
+        layer = Dense(3, 2, rng=0)
+        x = rng.normal(size=(2, 3))
+        g = rng.normal(size=(2, 2))
+        layer.forward(x)
+        layer.backward(g)
+        first = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(g)
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+    def test_zero_grad_resets(self, rng):
+        layer = Dense(3, 2, rng=0)
+        layer.forward(rng.normal(size=(2, 3)))
+        layer.backward(rng.normal(size=(2, 2)))
+        layer.zero_grad()
+        assert np.all(layer.weight.grad == 0.0)
+
+
+class TestDenseState:
+    def test_state_dict_roundtrip(self, rng):
+        a = Dense(4, 3, rng=0, name="fc")
+        b = Dense(4, 3, rng=99, name="fc")
+        b.load_state_dict(a.state_dict())
+        x = rng.normal(size=(2, 4))
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+    def test_load_missing_key_raises(self):
+        with pytest.raises(ShapeError, match="missing parameter"):
+            Dense(2, 2, rng=0, name="fc").load_state_dict({})
+
+    def test_load_wrong_shape_raises(self):
+        layer = Dense(2, 2, rng=0, name="fc")
+        state = layer.state_dict()
+        state["fc.weight"] = np.zeros((3, 3))
+        with pytest.raises(ShapeError, match="shape"):
+            layer.load_state_dict(state)

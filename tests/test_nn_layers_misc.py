@@ -1,0 +1,154 @@
+"""Tests for Flatten, Dropout, and BatchNorm layers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn import (
+    BatchNorm1d,
+    BatchNorm2d,
+    Dropout,
+    Flatten,
+    check_layer_gradients,
+)
+
+
+class TestFlatten:
+    def test_forward_shape(self):
+        out = Flatten().forward(np.zeros((2, 3, 4, 5)))
+        assert out.shape == (2, 60)
+
+    def test_backward_restores_shape(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4))
+        layer.forward(x)
+        grad = layer.backward(rng.normal(size=(2, 12)))
+        assert grad.shape == x.shape
+
+    def test_roundtrip_preserves_values(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(3, 2, 5))
+        out = layer.forward(x)
+        np.testing.assert_array_equal(layer.backward(out), x)
+
+    def test_rejects_scalar_batch(self):
+        with pytest.raises(ShapeError):
+            Flatten().forward(np.zeros(5))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ShapeError):
+            Flatten().backward(np.zeros((1, 4)))
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        x = rng.normal(size=(4, 10))
+        np.testing.assert_array_equal(Dropout(0.5, rng=0).forward(x, training=False), x)
+
+    def test_training_zeroes_fraction(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((1, 10000))
+        out = layer.forward(x, training=True)
+        zero_frac = np.mean(out == 0.0)
+        assert zero_frac == pytest.approx(0.5, abs=0.03)
+
+    def test_inverted_scaling_preserves_mean(self):
+        layer = Dropout(0.3, rng=0)
+        x = np.ones((1, 100000))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((2, 50))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+    def test_p_zero_is_identity_in_training(self, rng):
+        x = rng.normal(size=(2, 5))
+        np.testing.assert_array_equal(Dropout(0.0).forward(x, training=True), x)
+
+    def test_deterministic_under_seed(self):
+        x = np.ones((2, 100))
+        a = Dropout(0.5, rng=7).forward(x, training=True)
+        b = Dropout(0.5, rng=7).forward(x, training=True)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0)
+        with pytest.raises(ConfigurationError):
+            Dropout(-0.1)
+
+
+class TestBatchNorm1d:
+    def test_normalizes_batch_statistics(self, rng):
+        layer = BatchNorm1d(5)
+        x = rng.normal(loc=3.0, scale=2.0, size=(64, 5))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_gamma_beta_apply(self, rng):
+        layer = BatchNorm1d(3)
+        layer.gamma.value[...] = 2.0
+        layer.beta.value[...] = 1.0
+        out = layer.forward(rng.normal(size=(32, 3)), training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 1.0, atol=1e-10)
+
+    def test_running_stats_converge(self, rng):
+        layer = BatchNorm1d(2, momentum=0.5)
+        for _ in range(50):
+            layer.forward(rng.normal(loc=4.0, size=(128, 2)), training=True)
+        np.testing.assert_allclose(layer.running_mean, 4.0, atol=0.2)
+
+    def test_inference_uses_running_stats(self, rng):
+        layer = BatchNorm1d(2)
+        x = rng.normal(size=(16, 2))
+        out = layer.forward(x, training=False)
+        # Fresh layer: running mean 0, var 1 -> output ~ input.
+        np.testing.assert_allclose(out, x, atol=1e-4)
+
+    def test_gradients_training(self, rng):
+        check_layer_gradients(BatchNorm1d(4), rng.normal(size=(8, 4)), training=True)
+
+    def test_gradients_inference(self, rng):
+        layer = BatchNorm1d(4)
+        layer.running_mean = rng.normal(size=4)
+        layer.running_var = rng.random(4) + 0.5
+        check_layer_gradients(layer, rng.normal(size=(8, 4)), training=False)
+
+    def test_state_dict_includes_running_stats(self, rng):
+        layer = BatchNorm1d(3, name="bn")
+        layer.forward(rng.normal(size=(16, 3)), training=True)
+        state = layer.state_dict()
+        assert "bn.running_mean" in state
+        fresh = BatchNorm1d(3, name="bn")
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh.running_mean, layer.running_mean)
+
+    def test_wrong_feature_count_raises(self):
+        with pytest.raises(ShapeError):
+            BatchNorm1d(3).forward(np.zeros((4, 5)), training=True)
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ConfigurationError):
+            BatchNorm1d(3, momentum=1.0)
+        with pytest.raises(ConfigurationError):
+            BatchNorm1d(3, eps=0.0)
+
+
+class TestBatchNorm2d:
+    def test_normalizes_per_channel(self, rng):
+        layer = BatchNorm2d(3)
+        x = rng.normal(loc=2.0, size=(8, 3, 6, 6))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+
+    def test_gradients(self, rng):
+        check_layer_gradients(BatchNorm2d(2), rng.normal(size=(3, 2, 4, 4)), training=True)
+
+    def test_output_shape(self, rng):
+        out = BatchNorm2d(4).forward(rng.normal(size=(2, 4, 5, 6)), training=True)
+        assert out.shape == (2, 4, 5, 6)

@@ -1,0 +1,73 @@
+"""Tests for pooling layers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn import AvgPool2d, MaxPool2d, check_layer_gradients
+
+
+class TestMaxPool2d:
+    def test_known_values(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out = MaxPool2d(2).forward(x)
+        assert out.shape == (1, 1, 1, 1)
+        assert out[0, 0, 0, 0] == 4.0
+
+    def test_output_shape_with_stride(self):
+        pool = MaxPool2d(3, stride=2)
+        out = pool.forward(np.zeros((2, 4, 9, 11)))
+        assert out.shape == (2, 4, 4, 5)
+        assert pool.output_shape((4, 9, 11)) == (4, 4, 5)
+
+    def test_default_stride_equals_kernel(self):
+        pool = MaxPool2d(2)
+        assert pool.stride == (2, 2)
+
+    def test_gradient_routes_to_argmax(self):
+        pool = MaxPool2d(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        pool.forward(x)
+        grad = pool.backward(np.array([[[[10.0]]]]))
+        np.testing.assert_array_equal(grad[0, 0], [[0, 0], [0, 10.0]])
+
+    def test_gradients_numerical(self, rng):
+        # Perturbation must not flip the argmax: keep values well separated.
+        x = rng.permutation(np.arange(2 * 2 * 6 * 6, dtype=np.float64)).reshape(2, 2, 6, 6)
+        check_layer_gradients(MaxPool2d(2), x)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ShapeError):
+            MaxPool2d(2).backward(np.zeros((1, 1, 1, 1)))
+
+    def test_channels_pool_independently(self, rng):
+        x = rng.normal(size=(1, 3, 4, 4))
+        out = MaxPool2d(2).forward(x)
+        for c in range(3):
+            expected = MaxPool2d(2).forward(x[:, c : c + 1])
+            np.testing.assert_array_equal(out[:, c : c + 1], expected)
+
+
+class TestAvgPool2d:
+    def test_known_values(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out = AvgPool2d(2).forward(x)
+        assert out[0, 0, 0, 0] == 2.5
+
+    def test_gradient_spreads_uniformly(self):
+        pool = AvgPool2d(2)
+        pool.forward(np.zeros((1, 1, 2, 2)))
+        grad = pool.backward(np.array([[[[8.0]]]]))
+        np.testing.assert_array_equal(grad[0, 0], [[2.0, 2.0], [2.0, 2.0]])
+
+    def test_gradients_numerical(self, rng):
+        check_layer_gradients(AvgPool2d(2, stride=1), rng.normal(size=(2, 2, 5, 5)))
+
+    def test_preserves_mean_when_exact(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        out = AvgPool2d(2).forward(x)
+        assert out.mean() == pytest.approx(x.mean())
+
+    def test_rejects_zero_stride(self):
+        with pytest.raises(ShapeError):
+            AvgPool2d(2, stride=0)

@@ -1,0 +1,121 @@
+"""Tests for the Sequential container and model serialization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SerializationError, ShapeError
+from repro.nn import (
+    Conv2d,
+    Dense,
+    Flatten,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    load_model,
+    save_model,
+)
+
+
+def small_mlp(seed=0):
+    return Sequential([
+        Dense(6, 8, rng=seed, name="fc1"),
+        ReLU(),
+        Dense(8, 2, rng=seed + 1, name="fc2"),
+        Sigmoid(),
+    ])
+
+
+class TestSequentialForward:
+    def test_chains_layers(self, rng):
+        model = small_mlp()
+        out = model.forward(rng.normal(size=(3, 6)))
+        assert out.shape == (3, 2)
+        assert np.all((out > 0) & (out < 1))  # sigmoid output
+
+    def test_forward_with_activations(self, rng):
+        model = small_mlp()
+        out, acts = model.forward_with_activations(rng.normal(size=(2, 6)))
+        assert len(acts) == 4
+        np.testing.assert_array_equal(acts[-1], out)
+        assert acts[0].shape == (2, 8)
+
+    def test_predict_equals_inference_forward(self, rng):
+        model = small_mlp()
+        x = rng.normal(size=(2, 6))
+        np.testing.assert_array_equal(model.predict(x), model.forward(x, training=False))
+
+    def test_indexing_and_iteration(self):
+        model = small_mlp()
+        assert len(model) == 4
+        assert isinstance(model[0], Dense)
+        assert [type(l).__name__ for l in model] == ["Dense", "ReLU", "Dense", "Sigmoid"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            Sequential([])
+
+
+class TestSequentialBackward:
+    def test_full_network_gradients(self, rng):
+        from repro.nn import check_layer_gradients
+
+        model = small_mlp(seed=3)
+        check_layer_gradients(model, rng.normal(size=(2, 6)))
+
+    def test_conv_mlp_gradients(self, rng):
+        from repro.nn import check_layer_gradients
+
+        model = Sequential([
+            Conv2d(1, 2, 3, rng=0, name="c"),
+            ReLU(),
+            Flatten(),
+            Dense(2 * 4 * 4, 1, rng=1, name="f"),
+        ])
+        check_layer_gradients(model, rng.normal(size=(2, 1, 6, 6)))
+
+    def test_parameters_concatenated(self):
+        model = small_mlp()
+        names = [p.name for p in model.parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_zero_grad_clears_all(self, rng):
+        model = small_mlp()
+        x = rng.normal(size=(2, 6))
+        model.backward(np.ones_like(model.forward(x)))
+        model.zero_grad()
+        assert all(np.all(p.grad == 0) for p in model.parameters())
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path, rng):
+        model = small_mlp(seed=5)
+        x = rng.normal(size=(2, 6))
+        expected = model.predict(x)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        fresh = small_mlp(seed=42)
+        load_model(fresh, path)
+        np.testing.assert_array_equal(fresh.predict(x), expected)
+
+    def test_state_dict_keys_are_indexed(self):
+        state = small_mlp().state_dict()
+        assert "0:fc1.weight" in state
+        assert "2:fc2.weight" in state
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError, match="does not exist"):
+            load_model(small_mlp(), tmp_path / "nope.npz")
+
+    def test_load_architecture_mismatch_raises(self, tmp_path):
+        model = small_mlp()
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        wrong = Sequential([Dense(6, 9, rng=0, name="fc1"), ReLU(),
+                            Dense(9, 2, rng=1, name="fc2"), Sigmoid()])
+        with pytest.raises(ShapeError):
+            load_model(wrong, path)
+
+    def test_save_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "m.npz"
+        save_model(small_mlp(), path)
+        assert path.exists()

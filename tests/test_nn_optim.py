@@ -1,0 +1,141 @@
+"""Tests for optimizers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import SGD, Adam, ConstantLR, ExponentialDecayLR, RMSProp, StepDecayLR
+from repro.nn.layers.base import Parameter
+
+
+def quadratic_param(start=5.0):
+    """A single scalar parameter minimizing f(x) = x^2 (grad = 2x)."""
+    return Parameter(np.array([start]))
+
+
+def minimize(optimizer, param, steps=200):
+    for _ in range(steps):
+        param.zero_grad()
+        param.grad += 2.0 * param.value
+        optimizer.step()
+    return float(param.value[0])
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantLR(0.1)
+        assert schedule(0) == schedule(100) == 0.1
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLR(0.0)
+
+    def test_step_decay(self):
+        schedule = StepDecayLR(1.0, step_size=10, gamma=0.5)
+        assert schedule(0) == 1.0
+        assert schedule(9) == 1.0
+        assert schedule(10) == 0.5
+        assert schedule(20) == 0.25
+
+    def test_exponential_decay(self):
+        schedule = ExponentialDecayLR(1.0, decay=0.9)
+        assert schedule(0) == 1.0
+        assert schedule(2) == pytest.approx(0.81)
+
+    def test_invalid_schedule_params(self):
+        with pytest.raises(ConfigurationError):
+            StepDecayLR(1.0, step_size=0)
+        with pytest.raises(ConfigurationError):
+            ExponentialDecayLR(1.0, decay=1.5)
+
+
+class TestSGD:
+    def test_minimizes_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimize(SGD([p], lr=0.1), p)) < 1e-6
+
+    def test_momentum_accelerates(self):
+        plain, fast = quadratic_param(), quadratic_param()
+        x_plain = abs(minimize(SGD([plain], lr=0.01), plain, steps=50))
+        x_momentum = abs(minimize(SGD([fast], lr=0.01, momentum=0.9), fast, steps=50))
+        assert x_momentum < x_plain
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.zero_grad()  # zero task gradient: only decay acts
+        opt.step()
+        assert p.value[0] == pytest.approx(0.95)
+
+    def test_exact_update_rule(self):
+        p = Parameter(np.array([2.0]))
+        opt = SGD([p], lr=0.5)
+        p.grad += np.array([1.0])
+        opt.step()
+        assert p.value[0] == pytest.approx(1.5)
+
+    def test_schedule_applied(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=StepDecayLR(1.0, step_size=1, gamma=0.1))
+        assert opt.lr == 1.0
+        opt.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD([quadratic_param()], lr=0.1, momentum=1.0)
+
+    def test_requires_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimize(Adam([p], lr=0.1), p, steps=400)) < 1e-4
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, Adam's first step is ~lr regardless of grad scale.
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.01)
+        p.grad += np.array([1000.0])
+        opt.step()
+        assert abs(p.value[0]) == pytest.approx(0.01, rel=1e-6)
+
+    def test_zero_grad_resets_all(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        opt = Adam([p1, p2])
+        p1.grad += 1.0
+        p2.grad += 1.0
+        opt.zero_grad()
+        assert np.all(p1.grad == 0) and np.all(p2.grad == 0)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.zero_grad()
+        opt.step()
+        assert p.value[0] < 1.0
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigurationError):
+            Adam([quadratic_param()], beta1=1.0)
+
+
+class TestRMSProp:
+    def test_minimizes_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimize(RMSProp([p], lr=0.05), p, steps=400)) < 1e-3
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            RMSProp([quadratic_param()], alpha=1.0)
+
+    def test_step_counter_increments(self):
+        p = quadratic_param()
+        opt = RMSProp([p])
+        p.grad += 1.0
+        opt.step()
+        opt.step()
+        assert opt.step_count == 2

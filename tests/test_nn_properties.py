@@ -1,0 +1,162 @@
+"""Hypothesis property tests for the nn substrate.
+
+These complement the per-layer unit tests with randomized structural
+invariants: shape algebra, linearity, adjointness, and training-loop
+determinism across arbitrary (small) configurations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Adam,
+    ArrayDataset,
+    Conv2d,
+    ConvTranspose2d,
+    DataLoader,
+    Dense,
+    MSELoss,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Trainer,
+    parameter_count,
+)
+
+
+class TestDenseProperties:
+    @given(
+        n_in=st.integers(1, 12),
+        n_out=st.integers(1, 12),
+        batch=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_forward_shape(self, n_in, n_out, batch, seed):
+        layer = Dense(n_in, n_out, rng=seed)
+        out = layer.forward(np.zeros((batch, n_in)))
+        assert out.shape == (batch, n_out)
+
+    @given(n_in=st.integers(1, 8), n_out=st.integers(1, 8), seed=st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_linearity(self, n_in, n_out, seed):
+        layer = Dense(n_in, n_out, bias=False, rng=seed)
+        rng = np.random.default_rng(seed)
+        x1, x2 = rng.normal(size=(2, n_in)), rng.normal(size=(2, n_in))
+        lhs = layer.forward(x1 + x2)
+        rhs = layer.forward(x1) + layer.forward(x2)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+    @given(n_in=st.integers(1, 8), n_out=st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_parameter_count_formula(self, n_in, n_out):
+        assert parameter_count(Dense(n_in, n_out, rng=0)) == n_in * n_out + n_out
+
+    @given(
+        n_in=st.integers(2, 8),
+        n_out=st.integers(2, 8),
+        batch=st.integers(1, 4),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_backward_is_adjoint(self, n_in, n_out, batch, seed):
+        """<W x, g> == <x, W^T g> for bias-free dense layers."""
+        layer = Dense(n_in, n_out, bias=False, rng=seed)
+        rng = np.random.default_rng(seed + 1)
+        x = rng.normal(size=(batch, n_in))
+        g = rng.normal(size=(batch, n_out))
+        y = layer.forward(x)
+        grad_x = layer.backward(g)
+        assert float((y * g).sum()) == pytest.approx(float((x * grad_x).sum()), rel=1e-9)
+
+
+class TestConvProperties:
+    @given(
+        channels=st.integers(1, 3),
+        filters=st.integers(1, 4),
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        size=st.integers(5, 12),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_shape_consistency(self, channels, filters, kernel, stride, size, seed):
+        """forward() shape always matches output_shape()'s prediction."""
+        conv = Conv2d(channels, filters, kernel, stride=stride, rng=seed)
+        x = np.zeros((2, channels, size, size + 1))
+        predicted = conv.output_shape((channels, size, size + 1))
+        assert conv.forward(x).shape == (2,) + predicted
+
+    @given(
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        size=st.integers(4, 9),
+        seed=st.integers(0, 30),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_conv_then_transpose_restores_or_shrinks(self, kernel, stride, size, seed):
+        """ConvTranspose with matching geometry restores the pre-conv size
+        up to the stride-truncation loss."""
+        conv = Conv2d(1, 2, kernel, stride=stride, rng=seed)
+        deconv = ConvTranspose2d(2, 1, kernel, stride=stride, rng=seed + 1)
+        x = np.zeros((1, 1, size, size))
+        y = conv.forward(x)
+        back = deconv.forward(y)
+        assert size - (stride - 1) <= back.shape[2] <= size
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_conv_translation_covariance(self, seed):
+        """Stride-1, no-padding convolution commutes with translation (up
+        to the crop): shifting the input shifts the output."""
+        conv = Conv2d(1, 1, 3, rng=seed)
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 1, 8, 8))
+        shifted = np.roll(x, 1, axis=3)
+        y = conv.forward(x)
+        y_shifted = conv.forward(shifted)
+        np.testing.assert_allclose(y_shifted[..., :, 1:], y[..., :, :-1], atol=1e-10)
+
+
+class TestTrainingProperties:
+    def _problem(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(32, 3))
+        y = x @ np.array([[1.0], [2.0], [-1.0]])
+        return x, y
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_training_is_deterministic(self, seed):
+        def train_once():
+            model = Sequential([Dense(3, 8, rng=seed), ReLU(), Dense(8, 1, rng=seed + 1)])
+            x, y = self._problem(seed)
+            loader = DataLoader(ArrayDataset(x, y), batch_size=8, rng=seed)
+            trainer = Trainer(model, MSELoss(), Adam(model.parameters(), lr=0.01))
+            trainer.fit(loader, epochs=3)
+            return model.predict(x)
+
+        np.testing.assert_array_equal(train_once(), train_once())
+
+    @given(seed=st.integers(0, 20))
+    @settings(max_examples=8, deadline=None)
+    def test_single_step_reduces_batch_loss(self, seed):
+        """An Adam step on one batch must reduce that same batch's loss
+        (for small lr on a smooth problem)."""
+        model = Sequential([Dense(3, 6, rng=seed), ReLU(), Dense(6, 1, rng=seed + 1)])
+        x, y = self._problem(seed)
+        trainer = Trainer(model, MSELoss(), Adam(model.parameters(), lr=1e-3))
+        before = MSELoss().forward(model.predict(x), y)
+        trainer.train_step(x, y)
+        after = MSELoss().forward(model.predict(x), y)
+        assert after <= before + 1e-9
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_sigmoid_output_always_bounded(self, seed):
+        model = Sequential([Dense(4, 4, rng=seed), Sigmoid()])
+        x = np.random.default_rng(seed).normal(size=(5, 4)) * 100
+        out = model.forward(x)
+        assert np.all((out >= 0.0) & (out <= 1.0))

@@ -1,0 +1,54 @@
+"""Tests for model summaries and parameter counting."""
+
+import pytest
+
+from repro.models import DenseAutoencoder, PilotNet, PilotNetConfig
+from repro.nn import Dense, ReLU, Sequential, describe, layer_table, parameter_count
+
+
+class TestParameterCount:
+    def test_dense_layer(self):
+        # 4*3 weights + 3 biases
+        assert parameter_count(Dense(4, 3, rng=0)) == 15
+
+    def test_dense_no_bias(self):
+        assert parameter_count(Dense(4, 3, bias=False, rng=0)) == 12
+
+    def test_activation_has_none(self):
+        assert parameter_count(ReLU()) == 0
+
+    def test_sequential_sums(self):
+        model = Sequential([Dense(4, 3, rng=0), ReLU(), Dense(3, 2, rng=1)])
+        assert parameter_count(model) == 15 + 8
+
+    def test_paper_autoencoder_size(self):
+        """The paper's 9600-64-16-64-9600 network: a concrete architecture
+        check via total parameter count."""
+        ae = DenseAutoencoder((60, 160), rng=0)
+        expected = (9600 * 64 + 64) + (64 * 16 + 16) + (16 * 64 + 64) + (64 * 9600 + 9600)
+        assert parameter_count(ae) == expected
+
+
+class TestLayerTable:
+    def test_rows_per_layer(self):
+        model = Sequential([Dense(4, 3, rng=0), ReLU()])
+        rows = layer_table(model)
+        assert len(rows) == 2
+        assert rows[0][2] == 15
+        assert rows[1][2] == 0
+
+
+class TestDescribe:
+    def test_contains_total(self):
+        model = Sequential([Dense(4, 3, rng=0)])
+        assert "total parameters: 15" in describe(model)
+
+    def test_traces_shapes(self):
+        model = PilotNet(PilotNetConfig.for_image((24, 64)), rng=0)
+        text = describe(model, input_shape=(1, 24, 64))
+        assert "(1,)" in text  # the final regression output
+
+    def test_without_shapes(self):
+        model = Sequential([Dense(4, 3, rng=0), ReLU()])
+        text = describe(model)
+        assert "Dense" in text and "ReLU" in text

@@ -1,0 +1,138 @@
+"""Tests for the training loop, early stopping, and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import (
+    Adam,
+    ArrayDataset,
+    DataLoader,
+    Dense,
+    EarlyStopping,
+    MSELoss,
+    ReLU,
+    Sequential,
+    Trainer,
+)
+
+
+def regression_problem(n=64, seed=0):
+    """A learnable toy regression: y = x @ w_true."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    w = np.array([[1.0], [-2.0], [0.5], [3.0]])
+    return x, x @ w
+
+
+def make_trainer(seed=0, clip=None):
+    model = Sequential([Dense(4, 16, rng=seed), ReLU(), Dense(16, 1, rng=seed + 1)])
+    return model, Trainer(model, MSELoss(), Adam(model.parameters(), lr=0.01), gradient_clip=clip)
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        x, y = regression_problem()
+        model, trainer = make_trainer()
+        loader = DataLoader(ArrayDataset(x, y), batch_size=16, rng=0)
+        history = trainer.fit(loader, epochs=30)
+        assert history.train_loss[-1] < history.train_loss[0] * 0.1
+
+    def test_history_length(self):
+        x, y = regression_problem()
+        _, trainer = make_trainer()
+        loader = DataLoader(ArrayDataset(x, y), batch_size=32, rng=0)
+        history = trainer.fit(loader, epochs=5)
+        assert history.epochs == 5
+
+    def test_validation_tracked(self):
+        x, y = regression_problem()
+        _, trainer = make_trainer()
+        train_loader = DataLoader(ArrayDataset(x[:48], y[:48]), batch_size=16, rng=0)
+        val_loader = DataLoader(ArrayDataset(x[48:], y[48:]), batch_size=16, shuffle=False)
+        history = trainer.fit(train_loader, epochs=4, val_loader=val_loader)
+        assert len(history.val_loss) == 4
+        assert history.best_val_loss == min(history.val_loss)
+
+    def test_train_step_returns_loss(self):
+        x, y = regression_problem(n=8)
+        _, trainer = make_trainer()
+        loss = trainer.train_step(x, y)
+        assert loss > 0.0
+
+    def test_on_epoch_end_callback(self):
+        x, y = regression_problem(n=16)
+        _, trainer = make_trainer()
+        loader = DataLoader(ArrayDataset(x, y), batch_size=8, rng=0)
+        epochs_seen = []
+        trainer.fit(loader, epochs=3, on_epoch_end=lambda e, h: epochs_seen.append(e))
+        assert epochs_seen == [0, 1, 2]
+
+    def test_invalid_epochs_raises(self):
+        x, y = regression_problem(n=8)
+        _, trainer = make_trainer()
+        loader = DataLoader(ArrayDataset(x, y), batch_size=8)
+        with pytest.raises(ConfigurationError):
+            trainer.fit(loader, epochs=0)
+
+    def test_early_stopping_requires_val_loader(self):
+        x, y = regression_problem(n=8)
+        _, trainer = make_trainer()
+        loader = DataLoader(ArrayDataset(x, y), batch_size=8)
+        with pytest.raises(ConfigurationError):
+            trainer.fit(loader, epochs=3, early_stopping=EarlyStopping())
+
+    def test_gradient_clipping_bounds_norm(self):
+        x, y = regression_problem(n=8)
+        y = y * 1e6  # enormous targets -> enormous gradients
+        model, trainer = make_trainer(clip=1.0)
+        trainer.optimizer.zero_grad()
+        pred = model.forward(x, training=True)
+        trainer.loss.forward(pred, y)
+        model.backward(trainer.loss.backward())
+        trainer._clip_gradients()
+        total = sum(float(np.sum(p.grad**2)) for p in model.parameters())
+        assert np.sqrt(total) <= 1.0 + 1e-9
+
+    def test_invalid_clip_raises(self):
+        model = Sequential([Dense(2, 1, rng=0)])
+        with pytest.raises(ConfigurationError):
+            Trainer(model, MSELoss(), Adam(model.parameters()), gradient_clip=0.0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.update(1.0)
+        assert not stopper.update(1.1)  # stale 1
+        assert stopper.update(1.2)      # stale 2 -> stop
+
+    def test_improvement_resets(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0)
+        stopper.update(1.5)
+        assert not stopper.update(0.5)  # improvement
+        assert stopper.stale_epochs == 0
+
+    def test_min_delta_counts_small_gains_as_stale(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1)
+        stopper.update(1.0)
+        assert stopper.update(0.95)  # gain < min_delta -> stale -> stop
+
+    def test_invalid_patience(self):
+        with pytest.raises(ConfigurationError):
+            EarlyStopping(patience=0)
+
+    def test_stops_training_loop(self):
+        x, y = regression_problem()
+        _, trainer = make_trainer()
+        train_loader = DataLoader(ArrayDataset(x[:48], y[:48]), batch_size=16, rng=0)
+        val_loader = DataLoader(ArrayDataset(x[48:], y[48:]), batch_size=16, shuffle=False)
+        history = trainer.fit(
+            train_loader, epochs=100, val_loader=val_loader,
+            early_stopping=EarlyStopping(patience=2, min_delta=1e9),
+        )
+        # Epoch 1 improves on the infinite initial best; with min_delta this
+        # large every later epoch is stale, so training stops after
+        # 1 + patience epochs.
+        assert history.epochs == 3

@@ -1,0 +1,89 @@
+"""Tests for drive-based threshold calibration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.novelty import DriveCalibration, SaliencyNoveltyPipeline, calibrate_on_drives
+
+
+@pytest.fixture(autouse=True)
+def restore_detector_state(fitted_pipeline):
+    """Calibration mutates the session-shared pipeline's threshold; undo it
+    so later test modules see the original i.i.d.-fitted detector."""
+    inner = fitted_pipeline.one_class.detector
+    saved = (inner.percentile, inner._threshold, inner._cdf)
+    yield
+    inner.percentile, inner._threshold, inner._cdf = saved
+
+
+class TestCalibrateOnDrives:
+    def test_returns_summary(self, fitted_pipeline, ci_workbench):
+        result = calibrate_on_drives(
+            fitted_pipeline, ci_workbench.dsu, n_drives=4, frames_per_drive=6, rng=0
+        )
+        assert isinstance(result, DriveCalibration)
+        assert result.n_drives == 4
+        assert result.drive_max_scores.shape == (4,)
+
+    def test_updates_detector_in_place(self, fitted_pipeline, ci_workbench):
+        inner = fitted_pipeline.one_class.detector
+        before = inner.threshold
+        result = calibrate_on_drives(
+            fitted_pipeline, ci_workbench.dsu, n_drives=4, frames_per_drive=6, rng=1
+        )
+        assert result.old_threshold == before
+        assert inner.threshold == result.new_threshold
+
+    def test_custom_percentile(self, fitted_pipeline, ci_workbench):
+        calibrate_on_drives(
+            fitted_pipeline, ci_workbench.dsu, n_drives=4, frames_per_drive=6,
+            percentile=95.0, rng=2,
+        )
+        assert fitted_pipeline.one_class.detector.percentile == 95.0
+
+    def test_still_detects_novel_after_calibration(self, fitted_pipeline, ci_workbench, dsi_novel):
+        calibrate_on_drives(
+            fitted_pipeline, ci_workbench.dsu, n_drives=5, frames_per_drive=6, rng=3
+        )
+        assert fitted_pipeline.predict_novel(dsi_novel.frames).mean() > 0.5
+
+    def test_reduces_scene_level_false_alarms(self, fitted_pipeline, ci_workbench):
+        """The motivating property: after calibrating on drives, fewer
+        whole scenes sit persistently above the threshold."""
+        inner = fitted_pipeline.one_class.detector
+
+        def scene_alarm_count(threshold: float) -> int:
+            count = 0
+            for seed in range(12):
+                drive = ci_workbench.dsu.render_drive(6, rng=1000 + seed)
+                scores = fitted_pipeline.score(drive.frames)
+                if np.mean(scores > threshold) >= 0.6:  # persistently novel
+                    count += 1
+            return count
+
+        before = scene_alarm_count(inner.threshold)
+        calibrate_on_drives(
+            fitted_pipeline, ci_workbench.dsu, n_drives=8, frames_per_drive=6, rng=4
+        )
+        after = scene_alarm_count(inner.threshold)
+        assert after <= before
+
+    def test_requires_fitted(self, trained_pilotnet, ci_workbench):
+        from repro.config import CI
+
+        pipeline = SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, rng=0)
+        with pytest.raises(NotFittedError):
+            calibrate_on_drives(pipeline, ci_workbench.dsu, n_drives=2)
+
+    def test_validation(self, fitted_pipeline, ci_workbench):
+        with pytest.raises(ConfigurationError):
+            calibrate_on_drives(fitted_pipeline, ci_workbench.dsu, n_drives=1)
+        with pytest.raises(ConfigurationError):
+            calibrate_on_drives(
+                fitted_pipeline, ci_workbench.dsu, n_drives=3, frames_per_drive=0
+            )
+        with pytest.raises(ConfigurationError):
+            calibrate_on_drives(
+                fitted_pipeline, ci_workbench.dsu, n_drives=3, percentile=40.0
+            )

@@ -1,0 +1,102 @@
+"""Tests for the percentile-threshold novelty detector."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.novelty import NoveltyDetector
+
+
+class TestNoveltyDetectorFitting:
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            NoveltyDetector().predict(np.array([1.0]))
+
+    def test_unfitted_threshold_raises(self):
+        with pytest.raises(NotFittedError):
+            _ = NoveltyDetector().threshold
+
+    def test_is_fitted_flag(self):
+        detector = NoveltyDetector()
+        assert not detector.is_fitted
+        detector.fit(np.array([1.0, 2.0, 3.0]))
+        assert detector.is_fitted
+
+    def test_fit_returns_self(self):
+        detector = NoveltyDetector()
+        assert detector.fit(np.ones(3)) is detector
+
+    def test_invalid_percentile_raises(self):
+        with pytest.raises(ConfigurationError):
+            NoveltyDetector(percentile=100.0)
+        with pytest.raises(ConfigurationError):
+            NoveltyDetector(percentile=10.0)
+
+
+class TestLossOrientation:
+    """higher_is_novel=True: the paper's MSE / 1-SSIM convention."""
+
+    def test_threshold_at_percentile(self, rng):
+        scores = rng.random(1000)
+        detector = NoveltyDetector(percentile=99.0).fit(scores)
+        assert np.mean(scores <= detector.threshold) == pytest.approx(0.99, abs=0.01)
+
+    def test_flags_high_scores(self, rng):
+        detector = NoveltyDetector(percentile=99.0).fit(rng.random(500))
+        assert detector.predict(np.array([10.0]))[0]
+        assert not detector.predict(np.array([0.5]))[0]
+
+    def test_training_fpr_close_to_one_percent(self, rng):
+        scores = rng.random(10000)
+        detector = NoveltyDetector(percentile=99.0).fit(scores)
+        assert detector.predict(scores).mean() == pytest.approx(0.01, abs=0.005)
+
+    def test_margin_sign(self, rng):
+        detector = NoveltyDetector().fit(rng.random(100))
+        margins = detector.novelty_margin(np.array([10.0, -10.0]))
+        assert margins[0] > 0 > margins[1]
+
+
+class TestSimilarityOrientation:
+    """higher_is_novel=False: the raw-SSIM convention."""
+
+    def test_flags_low_scores(self, rng):
+        scores = rng.random(500) * 0.2 + 0.8  # similarities near 1
+        detector = NoveltyDetector(percentile=99.0, higher_is_novel=False).fit(scores)
+        assert detector.predict(np.array([0.1]))[0]
+        assert not detector.predict(np.array([0.95]))[0]
+
+    def test_threshold_at_low_percentile(self, rng):
+        scores = rng.random(1000)
+        detector = NoveltyDetector(percentile=99.0, higher_is_novel=False).fit(scores)
+        assert np.mean(scores >= detector.threshold) == pytest.approx(0.99, abs=0.01)
+
+    def test_margin_orientation(self, rng):
+        detector = NoveltyDetector(higher_is_novel=False).fit(rng.random(100) + 1.0)
+        margins = detector.novelty_margin(np.array([0.0, 5.0]))
+        assert margins[0] > 0 > margins[1]
+
+
+class TestTrainingCdf:
+    def test_exposed_after_fit(self, rng):
+        scores = rng.random(50)
+        detector = NoveltyDetector().fit(scores)
+        assert detector.training_cdf.n == 50
+
+    def test_unfitted_cdf_raises(self):
+        with pytest.raises(NotFittedError):
+            _ = NoveltyDetector().training_cdf
+
+    def test_paper_decision_rule(self, rng):
+        """Richter & Roy rule: novel iff score outside the 99th percentile
+        of the training CDF — cross-check predict against the CDF."""
+        scores = rng.normal(size=2000)
+        detector = NoveltyDetector(percentile=99.0).fit(scores)
+        probe = np.linspace(-4, 4, 100)
+        flagged = detector.predict(probe)
+        cdf_values = detector.training_cdf(probe)
+        # The interpolated quantile sits between two order statistics, so
+        # probes inside that gap may disagree with the step-function CDF;
+        # everywhere else the two formulations must coincide.
+        disagreements = int(np.sum(flagged != (cdf_values > 0.99)))
+        assert disagreements <= 1

@@ -1,0 +1,128 @@
+"""Tests for gradual-drift detection (EWMA + CUSUM)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.novelty import CusumDetector, DriftVerdict, EwmaTracker
+
+
+class TestEwmaTracker:
+    def test_first_update_sets_value(self):
+        tracker = EwmaTracker(alpha=0.2)
+        assert tracker.update(3.0) == 3.0
+        assert tracker.value == 3.0
+
+    def test_smoothing_formula(self):
+        tracker = EwmaTracker(alpha=0.5)
+        tracker.update(0.0)
+        assert tracker.update(1.0) == pytest.approx(0.5)
+        assert tracker.update(1.0) == pytest.approx(0.75)
+
+    def test_converges_to_constant(self):
+        tracker = EwmaTracker(alpha=0.3)
+        for _ in range(100):
+            tracker.update(2.0)
+        assert tracker.value == pytest.approx(2.0)
+
+    def test_value_before_update_raises(self):
+        with pytest.raises(NotFittedError):
+            _ = EwmaTracker().value
+
+    def test_reset(self):
+        tracker = EwmaTracker()
+        tracker.update(1.0)
+        tracker.reset()
+        with pytest.raises(NotFittedError):
+            _ = tracker.value
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            EwmaTracker(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EwmaTracker(alpha=1.5)
+
+
+class TestCusumDetector:
+    def _fitted(self, rng, **kwargs):
+        detector = CusumDetector(**kwargs)
+        detector.fit(rng.normal(loc=1.0, scale=0.2, size=500))
+        return detector
+
+    def test_in_control_stream_stays_quiet(self, rng):
+        detector = self._fitted(rng)
+        verdicts = detector.update_batch(rng.normal(1.0, 0.2, 300))
+        assert not detector.drifted
+        assert all(isinstance(v, DriftVerdict) for v in verdicts)
+
+    def test_detects_mean_shift(self, rng):
+        detector = self._fitted(rng)
+        detector.update_batch(rng.normal(1.0, 0.2, 50))
+        assert not detector.drifted
+        detector.update_batch(rng.normal(1.4, 0.2, 50))  # +2 sigma shift
+        assert detector.drifted
+
+    def test_detects_gradual_ramp(self, rng):
+        """The motivating case: no single observation is extreme, but the
+        trend accumulates."""
+        detector = self._fitted(rng)
+        ramp = 1.0 + np.linspace(0.0, 0.6, 120) + rng.normal(0, 0.2, 120)
+        detector.update_batch(ramp)
+        assert detector.drifted
+
+    def test_one_sided_ignores_improvement(self, rng):
+        detector = self._fitted(rng)
+        detector.update_batch(rng.normal(0.2, 0.2, 200))  # scores got better
+        assert not detector.drifted
+
+    def test_drift_index_latches_first_crossing(self, rng):
+        detector = self._fitted(rng)
+        detector.update_batch(np.full(100, 2.0))
+        first = detector.drift_index
+        detector.update_batch(np.full(10, 2.0))
+        assert detector.drift_index == first
+
+    def test_statistic_floor_at_zero(self, rng):
+        detector = self._fitted(rng)
+        verdicts = detector.update_batch(np.full(20, -5.0))
+        assert all(v.statistic == 0.0 for v in verdicts)
+
+    def test_higher_threshold_slower_detection(self, rng):
+        shift = np.full(200, 1.3)
+        fast = self._fitted(rng, decision_threshold=2.0)
+        slow = self._fitted(rng, decision_threshold=10.0)
+        fast.update_batch(shift)
+        slow.update_batch(shift)
+        assert fast.drift_index < slow.drift_index
+
+    def test_reset_keeps_calibration(self, rng):
+        detector = self._fitted(rng)
+        detector.update_batch(np.full(100, 3.0))
+        assert detector.drifted
+        detector.reset()
+        assert not detector.drifted
+        assert detector.is_fitted
+        detector.update(1.0)  # must not raise
+
+    def test_update_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            CusumDetector().update(1.0)
+
+    def test_fit_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            CusumDetector().fit(np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            CusumDetector().fit(np.full(10, 1.0))  # zero variance
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            CusumDetector(allowance=-0.1)
+        with pytest.raises(ConfigurationError):
+            CusumDetector(decision_threshold=0.0)
+
+    def test_on_pipeline_scores(self, fitted_pipeline, ci_workbench, dsi_novel):
+        """End-to-end: calibrate on training scores, feed a domain switch."""
+        train_scores = fitted_pipeline.score(ci_workbench.batch("dsu", "train").frames)
+        detector = CusumDetector().fit(train_scores)
+        detector.update_batch(fitted_pipeline.score(dsi_novel.frames))
+        assert detector.drifted

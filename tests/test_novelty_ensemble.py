@@ -1,0 +1,102 @@
+"""Tests for the detector ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.config import CI
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.novelty import AutoencoderConfig, EnsembleDetector, SaliencyNoveltyPipeline, evaluate_detector
+
+
+@pytest.fixture(scope="module")
+def ensemble(ci_workbench):
+    model = ci_workbench.steering_model("dsu")
+    config = AutoencoderConfig(epochs=8, batch_size=16, ssim_window=CI.ssim_window)
+    members = [
+        SaliencyNoveltyPipeline(model, CI.image_shape, loss="ssim", config=config, rng=seed)
+        for seed in range(3)
+    ]
+    detector = EnsembleDetector(members)
+    detector.fit(ci_workbench.batch("dsu", "train").frames)
+    return detector
+
+
+class TestConstruction:
+    def test_requires_two_members(self, trained_pilotnet):
+        member = SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, rng=0)
+        with pytest.raises(ConfigurationError):
+            EnsembleDetector([member])
+
+    def test_build_factory(self, trained_pilotnet):
+        detector = EnsembleDetector.build(
+            lambda seed: SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, rng=seed),
+            n_members=3,
+        )
+        assert len(detector.members) == 3
+
+    def test_build_rejects_small(self, trained_pilotnet):
+        with pytest.raises(ConfigurationError):
+            EnsembleDetector.build(lambda s: None, n_members=1)
+
+    def test_unfitted_predict_raises(self, trained_pilotnet, dsu_test):
+        detector = EnsembleDetector.build(
+            lambda seed: SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, rng=seed),
+            n_members=2,
+        )
+        with pytest.raises(NotFittedError):
+            detector.predict_novel(dsu_test.frames[:2])
+
+
+class TestScoring:
+    def test_score_is_member_mean(self, ensemble, dsu_test):
+        frames = dsu_test.frames[:5]
+        member_scores = ensemble.member_scores(frames)
+        np.testing.assert_allclose(ensemble.score(frames), member_scores.mean(axis=0))
+
+    def test_member_scores_shape(self, ensemble, dsu_test):
+        assert ensemble.member_scores(dsu_test.frames[:4]).shape == (3, 4)
+
+    def test_score_std_nonnegative(self, ensemble, dsu_test):
+        assert np.all(ensemble.score_std(dsu_test.frames[:4]) >= 0.0)
+
+    def test_members_disagree_somewhat(self, ensemble, dsu_test):
+        """Different seeds must actually produce different autoencoders."""
+        assert ensemble.score_std(dsu_test.frames).max() > 0.0
+
+    def test_similarity_convention(self, ensemble, dsu_test):
+        frames = dsu_test.frames[:4]
+        expected = np.stack([m.similarity(frames) for m in ensemble.members]).mean(axis=0)
+        np.testing.assert_allclose(ensemble.similarity(frames), expected)
+
+
+class TestDetection:
+    def test_detects_novel_domain(self, ensemble, dsu_test, dsi_novel):
+        result = evaluate_detector(ensemble, dsu_test.frames, dsi_novel.frames)
+        assert result.auroc > 0.9
+        assert result.detection_rate > 0.5
+
+    def test_variance_reduction(self, ensemble, dsu_test, dsi_novel):
+        """The ensemble's AUROC should be at least the worst member's."""
+        from repro.metrics import auroc
+
+        labels = np.concatenate(
+            [np.zeros(len(dsu_test), bool), np.ones(len(dsi_novel), bool)]
+        )
+        frames = np.concatenate([dsu_test.frames, dsi_novel.frames])
+        member_aurocs = [
+            auroc(member.score(frames), labels) for member in ensemble.members
+        ]
+        ensemble_auroc = auroc(ensemble.score(frames), labels)
+        assert ensemble_auroc >= min(member_aurocs)
+
+    def test_fit_skips_already_fitted_members(self, ci_workbench, trained_pilotnet):
+        config = AutoencoderConfig(epochs=2, batch_size=16, ssim_window=CI.ssim_window)
+        member_a = SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, config=config, rng=0)
+        member_b = SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, config=config, rng=1)
+        frames = ci_workbench.batch("dsu", "train").frames[:30]
+        member_a.fit(frames)
+        weights_before = member_a.one_class.autoencoder.parameters()[0].value.copy()
+        EnsembleDetector([member_a, member_b]).fit(frames)
+        np.testing.assert_array_equal(
+            member_a.one_class.autoencoder.parameters()[0].value, weights_before
+        )

@@ -1,0 +1,85 @@
+"""Tests for per-frame novelty explanations."""
+
+import numpy as np
+import pytest
+
+from repro.config import CI
+from repro.exceptions import NotFittedError, ShapeError
+from repro.novelty import SaliencyNoveltyPipeline, explain_frame
+from repro.novelty.explain import FrameExplanation, _local_minima_centers
+
+
+class TestLocalMinimaCenters:
+    def test_finds_global_minimum_first(self):
+        smap = np.ones((10, 10))
+        smap[3, 7] = 0.0
+        centers = _local_minima_centers(smap, k=1, suppression=2)
+        assert centers == [(3, 7)]
+
+    def test_suppression_spreads_picks(self):
+        smap = np.ones((10, 10))
+        smap[2, 2] = 0.0
+        smap[2, 3] = 0.01  # adjacent: should be suppressed
+        smap[7, 7] = 0.02
+        centers = _local_minima_centers(smap, k=2, suppression=2)
+        assert centers[0] == (2, 2)
+        assert centers[1] == (7, 7)
+
+    def test_respects_k(self):
+        smap = np.random.default_rng(0).random((8, 8))
+        assert len(_local_minima_centers(smap, k=3, suppression=1)) == 3
+
+
+class TestExplainFrame:
+    def test_explanation_fields(self, fitted_pipeline, dsu_test):
+        explanation = explain_frame(fitted_pipeline, dsu_test.frames[0])
+        assert isinstance(explanation, FrameExplanation)
+        assert explanation.frame.shape == CI.image_shape
+        assert explanation.vbp_image.shape == CI.image_shape
+        assert explanation.reconstruction.shape == CI.image_shape
+        assert explanation.ssim_map.shape == CI.image_shape
+        assert len(explanation.worst_regions) == 3
+
+    def test_score_matches_pipeline(self, fitted_pipeline, dsu_test):
+        frame = dsu_test.frames[0]
+        explanation = explain_frame(fitted_pipeline, frame)
+        assert explanation.score == pytest.approx(
+            float(fitted_pipeline.score(frame[None])[0])
+        )
+
+    def test_decision_matches_pipeline(self, fitted_pipeline, dsu_test, dsi_novel):
+        for frame in (dsu_test.frames[0], dsi_novel.frames[0]):
+            explanation = explain_frame(fitted_pipeline, frame)
+            expected = bool(fitted_pipeline.predict_novel(frame[None])[0])
+            assert explanation.is_novel == expected
+
+    def test_margin_sign(self, fitted_pipeline, dsu_test, dsi_novel):
+        target = explain_frame(fitted_pipeline, dsu_test.frames[0])
+        if not target.is_novel:
+            assert target.margin <= 0
+        novel = explain_frame(fitted_pipeline, dsi_novel.frames[0])
+        if novel.is_novel:
+            assert novel.margin > 0
+
+    def test_novel_frame_has_lower_map_ssim(self, fitted_pipeline, dsu_test, dsi_novel):
+        target = explain_frame(fitted_pipeline, dsu_test.frames[0])
+        novel = explain_frame(fitted_pipeline, dsi_novel.frames[0])
+        assert novel.ssim_map.mean() < target.ssim_map.mean()
+
+    def test_render_contains_verdict(self, fitted_pipeline, dsi_novel):
+        text = explain_frame(fitted_pipeline, dsi_novel.frames[0]).render()
+        assert "verdict" in text
+        assert "regions" in text
+
+    def test_requires_fitted(self, trained_pilotnet, dsu_test):
+        pipeline = SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, rng=0)
+        with pytest.raises(NotFittedError):
+            explain_frame(pipeline, dsu_test.frames[0])
+
+    def test_rejects_batch(self, fitted_pipeline, dsu_test):
+        with pytest.raises(ShapeError):
+            explain_frame(fitted_pipeline, dsu_test.frames[:2])
+
+    def test_top_k_configurable(self, fitted_pipeline, dsu_test):
+        explanation = explain_frame(fitted_pipeline, dsu_test.frames[0], top_k=5)
+        assert len(explanation.worst_regions) == 5

@@ -1,0 +1,186 @@
+"""Tests for the one-class autoencoder and the full saliency pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import CI
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+from repro.novelty import AutoencoderConfig, OneClassAutoencoder, SaliencyNoveltyPipeline
+
+SHAPE = (12, 16)
+
+
+@pytest.fixture
+def small_config():
+    return AutoencoderConfig(hidden=(32, 8, 32), epochs=10, batch_size=8, ssim_window=7)
+
+
+@pytest.fixture
+def target_images(rng):
+    """A structured target class: vertical stripe patterns."""
+    images = np.zeros((40,) + SHAPE)
+    for i in range(40):
+        phase = i % 4
+        images[i, :, phase::4] = 0.9
+    return images + rng.random((40,) + SHAPE) * 0.05
+
+
+@pytest.fixture
+def novel_images(rng):
+    """Novel class: pure noise (no stripe structure)."""
+    return rng.random((10,) + SHAPE)
+
+
+class TestAutoencoderConfig:
+    def test_paper_defaults(self):
+        config = AutoencoderConfig()
+        assert config.hidden == (64, 16, 64)
+        assert config.batch_size == 32
+        assert config.percentile == 99.0
+        assert config.ssim_window == 11
+
+    def test_invalid_epochs_raise(self):
+        with pytest.raises(ConfigurationError):
+            AutoencoderConfig(epochs=0)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ConfigurationError):
+            AutoencoderConfig(learning_rate=0.0)
+
+
+class TestOneClassAutoencoder:
+    def test_invalid_loss_raises(self):
+        with pytest.raises(ConfigurationError):
+            OneClassAutoencoder(SHAPE, loss="l1")
+
+    def test_unfitted_predict_raises(self, rng):
+        ae = OneClassAutoencoder(SHAPE, rng=0)
+        with pytest.raises(NotFittedError):
+            ae.predict_novel(rng.random((2,) + SHAPE))
+
+    def test_fit_sets_flag(self, small_config, target_images):
+        ae = OneClassAutoencoder(SHAPE, config=small_config, rng=0)
+        assert not ae.is_fitted
+        ae.fit(target_images)
+        assert ae.is_fitted
+        assert ae.history is not None
+
+    def test_training_reduces_loss(self, small_config, target_images):
+        ae = OneClassAutoencoder(SHAPE, loss="ssim", config=small_config, rng=0)
+        ae.fit(target_images)
+        assert ae.history.train_loss[-1] < ae.history.train_loss[0]
+
+    def test_scores_shape_and_orientation(self, small_config, target_images, novel_images):
+        ae = OneClassAutoencoder(SHAPE, loss="ssim", config=small_config, rng=0).fit(target_images)
+        target_scores = ae.score(target_images)
+        novel_scores = ae.score(novel_images)
+        assert target_scores.shape == (40,)
+        # loss-oriented: novel should score higher on average
+        assert novel_scores.mean() > target_scores.mean()
+
+    def test_similarity_convention_ssim(self, small_config, target_images):
+        ae = OneClassAutoencoder(SHAPE, loss="ssim", config=small_config, rng=0).fit(target_images)
+        sim = ae.similarity(target_images)
+        np.testing.assert_allclose(sim, 1.0 - ae.score(target_images))
+
+    def test_similarity_convention_mse(self, small_config, target_images):
+        ae = OneClassAutoencoder(SHAPE, loss="mse", config=small_config, rng=0).fit(target_images)
+        np.testing.assert_allclose(ae.similarity(target_images), -ae.score(target_images))
+
+    def test_detects_novel_class(self, small_config, target_images, novel_images):
+        ae = OneClassAutoencoder(SHAPE, loss="ssim", config=small_config, rng=0).fit(target_images)
+        assert ae.predict_novel(novel_images).mean() > 0.5
+        assert ae.predict_novel(target_images).mean() < 0.2
+
+    def test_reconstruct_shape(self, small_config, target_images):
+        ae = OneClassAutoencoder(SHAPE, config=small_config, rng=0).fit(target_images)
+        assert ae.reconstruct(target_images[:3]).shape == (3,) + SHAPE
+
+    def test_rejects_wrong_image_shape(self, small_config, rng):
+        ae = OneClassAutoencoder(SHAPE, config=small_config, rng=0)
+        with pytest.raises(ShapeError):
+            ae.fit(rng.random((10, 5, 5)))
+
+    def test_ssim_window_clamped_to_image(self):
+        """An 11-window config on a small image must not crash."""
+        ae = OneClassAutoencoder((8, 8), loss="ssim",
+                                 config=AutoencoderConfig(ssim_window=11, epochs=1))
+        assert ae._loss.window_size <= 8
+
+    def test_deterministic_under_seed(self, small_config, target_images):
+        a = OneClassAutoencoder(SHAPE, config=small_config, rng=5).fit(target_images)
+        b = OneClassAutoencoder(SHAPE, config=small_config, rng=5).fit(target_images)
+        np.testing.assert_allclose(a.score(target_images), b.score(target_images))
+
+
+class TestSaliencyNoveltyPipeline:
+    def test_preprocess_produces_masks(self, fitted_pipeline, dsu_test):
+        masks = fitted_pipeline.preprocess(dsu_test.frames[:4])
+        assert masks.shape == (4,) + CI.image_shape
+        assert masks.min() >= 0.0 and masks.max() <= 1.0
+
+    def test_unfitted_pipeline_raises(self, trained_pilotnet, dsu_test):
+        pipeline = SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, rng=0)
+        assert not pipeline.is_fitted
+        with pytest.raises(NotFittedError):
+            pipeline.predict_novel(dsu_test.frames[:2])
+
+    def test_scores_orientation(self, fitted_pipeline, dsu_test, dsi_novel):
+        target = fitted_pipeline.score(dsu_test.frames)
+        novel = fitted_pipeline.score(dsi_novel.frames)
+        assert novel.mean() > target.mean()
+
+    def test_similarity_high_for_target(self, fitted_pipeline, dsu_test):
+        """Paper: 'an average SSIM value of about 0.7' on target data —
+        at CI scale we assert clearly-positive similarity."""
+        sim = fitted_pipeline.similarity(dsu_test.frames)
+        assert sim.mean() > 0.5
+
+    def test_detects_cross_dataset_novelty(self, fitted_pipeline, dsu_test, dsi_novel):
+        detect_rate = fitted_pipeline.predict_novel(dsi_novel.frames).mean()
+        false_rate = fitted_pipeline.predict_novel(dsu_test.frames).mean()
+        assert detect_rate > 0.5
+        assert false_rate < 0.2
+
+    def test_reconstruct_returns_pair(self, fitted_pipeline, dsu_test):
+        vbp_images, recon = fitted_pipeline.reconstruct(dsu_test.frames[:3])
+        assert vbp_images.shape == recon.shape == (3,) + CI.image_shape
+
+    def test_rejects_wrong_frame_shape(self, fitted_pipeline, rng):
+        with pytest.raises(ShapeError):
+            fitted_pipeline.score(rng.random((2, 5, 5)))
+
+    def test_does_not_modify_prediction_model(self, ci_workbench, dsu_train):
+        """Fitting the pipeline must leave the steering model untouched."""
+        from repro.novelty import SaliencyNoveltyPipeline
+
+        model = ci_workbench.steering_model("dsu")
+        before = [p.value.copy() for p in model.parameters()]
+        pipeline = SaliencyNoveltyPipeline(
+            model, CI.image_shape,
+            config=AutoencoderConfig(epochs=1, batch_size=16, ssim_window=7), rng=0,
+        )
+        pipeline.fit(dsu_train.frames[:20])
+        for p, old in zip(model.parameters(), before):
+            np.testing.assert_array_equal(p.value, old)
+
+
+class TestFailureInjection:
+    def test_nan_frames_rejected_loudly(self, fitted_pipeline, dsu_test):
+        """A NaN camera frame must raise at the boundary, not silently
+        produce a garbage score."""
+        from repro.exceptions import ShapeError
+
+        frames = dsu_test.frames[:2].copy()
+        frames[0, 3, 4] = np.nan
+        with pytest.raises(ShapeError, match="non-finite"):
+            fitted_pipeline.one_class.score(frames)
+
+    def test_inf_frames_rejected(self, rng):
+        from repro.exceptions import ShapeError
+
+        ae = OneClassAutoencoder(SHAPE, rng=0)
+        frames = rng.random((2,) + SHAPE)
+        frames[1, 0, 0] = np.inf
+        with pytest.raises(ShapeError, match="non-finite"):
+            ae.fit(frames)

@@ -1,0 +1,116 @@
+"""Tests for heterogeneous score fusion."""
+
+import numpy as np
+import pytest
+
+from repro.config import CI
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.novelty import (
+    AutoencoderConfig,
+    RichterRoyBaseline,
+    SaliencyNoveltyPipeline,
+    ScoreFusionDetector,
+    evaluate_detector,
+)
+
+
+@pytest.fixture(scope="module")
+def fused(ci_workbench):
+    """VBP+SSIM (domain shifts) fused with raw+MSE (sensor noise)."""
+    model = ci_workbench.steering_model("dsu")
+    config = AutoencoderConfig(epochs=10, batch_size=16, ssim_window=CI.ssim_window)
+    detector = ScoreFusionDetector([
+        SaliencyNoveltyPipeline(model, CI.image_shape, loss="ssim", config=config, rng=0),
+        RichterRoyBaseline(CI.image_shape, config=config, rng=0),
+    ])
+    detector.fit(ci_workbench.batch("dsu", "train").frames)
+    return detector
+
+
+class TestConstruction:
+    def test_requires_two_members(self, trained_pilotnet):
+        with pytest.raises(ConfigurationError):
+            ScoreFusionDetector([
+                SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, rng=0)
+            ])
+
+    def test_weight_validation(self, trained_pilotnet):
+        members = [
+            SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, rng=s)
+            for s in range(2)
+        ]
+        with pytest.raises(ConfigurationError):
+            ScoreFusionDetector(members, weights=[1.0])
+        with pytest.raises(ConfigurationError):
+            ScoreFusionDetector(members, weights=[-1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            ScoreFusionDetector(members, weights=[0.0, 0.0])
+
+    def test_unfitted_raises(self, trained_pilotnet, dsu_test):
+        members = [
+            SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, rng=s)
+            for s in range(2)
+        ]
+        detector = ScoreFusionDetector(members)
+        with pytest.raises(NotFittedError):
+            detector.score(dsu_test.frames[:2])
+
+
+class TestFusionBehaviour:
+    def test_training_scores_standardized(self, fused, ci_workbench):
+        """Member z-scores over the training set have ~zero mean."""
+        train = ci_workbench.batch("dsu", "train")
+        z = fused.member_zscores(train.frames)
+        np.testing.assert_allclose(z.mean(axis=1), 0.0, atol=1e-10)
+
+    def test_weighted_mean(self, fused, dsu_test):
+        frames = dsu_test.frames[:5]
+        z = fused.member_zscores(frames)
+        np.testing.assert_allclose(
+            fused.score(frames), (fused.weights[:, None] * z).sum(axis=0)
+        )
+
+    def test_detects_domain_shift(self, fused, dsu_test, dsi_novel):
+        result = evaluate_detector(fused, dsu_test.frames, dsi_novel.frames)
+        assert result.auroc > 0.9
+
+    def test_detects_noise_better_than_vbp_alone(self, fused, ci_workbench, dsu_test):
+        """The fused detector inherits the raw member's noise sensitivity —
+        the complementary-strengths motivation."""
+        from repro.datasets import add_gaussian_noise
+        from repro.metrics import auroc
+
+        noisy = add_gaussian_noise(dsu_test.frames, 0.3, rng=7)
+        frames = np.concatenate([dsu_test.frames, noisy])
+        labels = np.concatenate(
+            [np.zeros(len(dsu_test), bool), np.ones(len(dsu_test), bool)]
+        )
+        vbp_member = fused.members[0]
+        fused_auroc = auroc(fused.score(frames), labels)
+        vbp_auroc = auroc(vbp_member.score(frames), labels)
+        assert fused_auroc > vbp_auroc
+
+    def test_similarity_is_negated_score(self, fused, dsu_test):
+        frames = dsu_test.frames[:4]
+        np.testing.assert_allclose(fused.similarity(frames), -fused.score(frames))
+
+    def test_constant_member_handled(self, ci_workbench, trained_pilotnet):
+        """A member with constant training scores must not produce NaNs."""
+
+        class ConstantMember:
+            is_fitted = True
+
+            def score(self, frames):
+                return np.zeros(len(frames))
+
+            def fit(self, frames):
+                return self
+
+        config = AutoencoderConfig(epochs=3, batch_size=16, ssim_window=CI.ssim_window)
+        real = SaliencyNoveltyPipeline(
+            trained_pilotnet, CI.image_shape, config=config, rng=0
+        )
+        detector = ScoreFusionDetector([real, ConstantMember()])
+        detector.fit(ci_workbench.batch("dsu", "train").frames[:40])
+        scores = detector.score(ci_workbench.batch("dsu", "test").frames)
+        assert np.all(np.isfinite(scores))

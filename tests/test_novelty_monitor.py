@@ -1,0 +1,125 @@
+"""Tests for the streaming novelty monitor."""
+
+import numpy as np
+import pytest
+
+from repro.config import CI
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.novelty import SaliencyNoveltyPipeline, StreamMonitor
+from repro.novelty.monitor import FrameVerdict
+
+
+class TestConstruction:
+    def test_requires_fitted_detector(self, trained_pilotnet):
+        pipeline = SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, rng=0)
+        with pytest.raises(NotFittedError):
+            StreamMonitor(pipeline)
+
+    def test_invalid_window_raises(self, fitted_pipeline):
+        with pytest.raises(ConfigurationError):
+            StreamMonitor(fitted_pipeline, window=0)
+
+    def test_invalid_min_consecutive_raises(self, fitted_pipeline):
+        with pytest.raises(ConfigurationError):
+            StreamMonitor(fitted_pipeline, window=3, min_consecutive=4)
+        with pytest.raises(ConfigurationError):
+            StreamMonitor(fitted_pipeline, window=3, min_consecutive=0)
+
+
+class TestObservation:
+    def test_observe_single_frame(self, fitted_pipeline, dsu_test):
+        monitor = StreamMonitor(fitted_pipeline, window=3, min_consecutive=2)
+        verdict = monitor.observe(dsu_test.frames[0])
+        assert isinstance(verdict, FrameVerdict)
+        assert verdict.index == 0
+        assert monitor.frames_seen == 1
+
+    def test_batch_indices_sequential(self, fitted_pipeline, dsu_test):
+        monitor = StreamMonitor(fitted_pipeline)
+        verdicts = monitor.observe_batch(dsu_test.frames[:5])
+        assert [v.index for v in verdicts] == [0, 1, 2, 3, 4]
+
+    def test_batch_equals_singles(self, fitted_pipeline, dsu_test):
+        """Batched observation must produce the same verdicts as one-by-one."""
+        frames = dsu_test.frames[:6]
+        batched = StreamMonitor(fitted_pipeline, window=3, min_consecutive=2)
+        single = StreamMonitor(fitted_pipeline, window=3, min_consecutive=2)
+        batch_verdicts = batched.observe_batch(frames)
+        single_verdicts = [single.observe(f) for f in frames]
+        for b, s in zip(batch_verdicts, single_verdicts):
+            assert b.index == s.index
+            assert b.is_novel == s.is_novel
+            assert b.alarm == s.alarm
+            # BLAS may round matrix-matrix and matrix-vector products
+            # differently, so scores agree only to float precision.
+            assert b.score == pytest.approx(s.score, rel=1e-9)
+
+    def test_clean_stream_raises_no_alarm(self, fitted_pipeline, dsu_test):
+        monitor = StreamMonitor(fitted_pipeline, window=5, min_consecutive=3)
+        monitor.observe_batch(dsu_test.frames)
+        assert monitor.alarm_frames == []
+
+    def test_novel_stream_raises_alarm(self, fitted_pipeline, dsi_novel):
+        monitor = StreamMonitor(fitted_pipeline, window=5, min_consecutive=3)
+        verdicts = monitor.observe_batch(dsi_novel.frames)
+        assert any(v.alarm for v in verdicts)
+        assert monitor.alarm_active
+
+    def test_single_glitch_does_not_alarm(self, fitted_pipeline, dsu_test, dsi_novel):
+        """One novel frame among clean frames warns but must not alarm."""
+        monitor = StreamMonitor(fitted_pipeline, window=5, min_consecutive=3)
+        stream = np.concatenate([
+            dsu_test.frames[:5], dsi_novel.frames[:1], dsu_test.frames[5:10]
+        ])
+        verdicts = monitor.observe_batch(stream)
+        assert not any(v.alarm for v in verdicts)
+
+    def test_alarm_needs_persistence(self, fitted_pipeline, dsu_test, dsi_novel):
+        monitor = StreamMonitor(fitted_pipeline, window=4, min_consecutive=3)
+        stream = np.concatenate([dsu_test.frames[:3], dsi_novel.frames[:4]])
+        verdicts = monitor.observe_batch(stream)
+        alarmed = [v.index for v in verdicts if v.alarm]
+        # The alarm can only fire once >= 3 novel frames are in the window,
+        # i.e. not before stream index 5.
+        assert all(i >= 5 for i in alarmed)
+        assert alarmed  # but it does fire
+
+
+class TestReset:
+    def test_reset_clears_state(self, fitted_pipeline, dsi_novel):
+        monitor = StreamMonitor(fitted_pipeline, window=3, min_consecutive=2)
+        monitor.observe_batch(dsi_novel.frames[:5])
+        assert monitor.frames_seen == 5
+        monitor.reset()
+        assert monitor.frames_seen == 0
+        assert monitor.alarm_frames == []
+        assert not monitor.alarm_active
+
+    def test_alarm_frames_returns_copy(self, fitted_pipeline, dsi_novel):
+        monitor = StreamMonitor(fitted_pipeline, window=3, min_consecutive=1)
+        monitor.observe_batch(dsi_novel.frames[:3])
+        frames = monitor.alarm_frames
+        frames.append(999)
+        assert 999 not in monitor.alarm_frames
+
+
+class TestMonitorWithOtherDetectors:
+    def test_works_with_fusion_detector(self, ci_workbench, trained_pilotnet, dsi_novel):
+        """StreamMonitor only needs the pipeline interface, so fusion and
+        ensemble detectors plug in unchanged."""
+        from repro.novelty import (
+            AutoencoderConfig,
+            RichterRoyBaseline,
+            SaliencyNoveltyPipeline,
+            ScoreFusionDetector,
+        )
+
+        config = AutoencoderConfig(epochs=6, batch_size=16, ssim_window=CI.ssim_window)
+        fused = ScoreFusionDetector([
+            SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, config=config, rng=0),
+            RichterRoyBaseline(CI.image_shape, config=config, rng=0),
+        ])
+        fused.fit(ci_workbench.batch("dsu", "train").frames[:60])
+        monitor = StreamMonitor(fused, window=5, min_consecutive=3)
+        verdicts = monitor.observe_batch(dsi_novel.frames[:10])
+        assert any(v.is_novel for v in verdicts)

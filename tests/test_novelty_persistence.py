@@ -1,0 +1,80 @@
+"""Tests for saving/loading fitted pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.config import CI
+from repro.exceptions import NotFittedError, SerializationError
+from repro.novelty import (
+    AutoencoderConfig,
+    SaliencyNoveltyPipeline,
+    load_pipeline_state,
+    save_pipeline_state,
+)
+
+
+class TestPipelinePersistence:
+    def test_scores_survive_roundtrip(self, fitted_pipeline, trained_pilotnet, dsu_test, tmp_path):
+        path = tmp_path / "pipeline.npz"
+        save_pipeline_state(fitted_pipeline, path)
+        restored = load_pipeline_state(path, trained_pilotnet)
+        np.testing.assert_allclose(
+            restored.score(dsu_test.frames[:8]),
+            fitted_pipeline.score(dsu_test.frames[:8]),
+        )
+
+    def test_threshold_survives_roundtrip(self, fitted_pipeline, trained_pilotnet, tmp_path):
+        path = tmp_path / "pipeline.npz"
+        save_pipeline_state(fitted_pipeline, path)
+        restored = load_pipeline_state(path, trained_pilotnet)
+        assert restored.one_class.detector.threshold == pytest.approx(
+            fitted_pipeline.one_class.detector.threshold
+        )
+        assert restored.is_fitted
+
+    def test_decisions_survive_roundtrip(self, fitted_pipeline, trained_pilotnet, dsi_novel, tmp_path):
+        path = tmp_path / "pipeline.npz"
+        save_pipeline_state(fitted_pipeline, path)
+        restored = load_pipeline_state(path, trained_pilotnet)
+        np.testing.assert_array_equal(
+            restored.predict_novel(dsi_novel.frames),
+            fitted_pipeline.predict_novel(dsi_novel.frames),
+        )
+
+    def test_config_restored(self, fitted_pipeline, trained_pilotnet, tmp_path):
+        path = tmp_path / "p.npz"
+        save_pipeline_state(fitted_pipeline, path)
+        restored = load_pipeline_state(path, trained_pilotnet)
+        assert restored.one_class.loss_name == fitted_pipeline.one_class.loss_name
+        assert restored.one_class.config.hidden == fitted_pipeline.one_class.config.hidden
+        assert restored.image_shape == fitted_pipeline.image_shape
+
+    def test_unfitted_pipeline_rejected(self, trained_pilotnet, tmp_path):
+        pipeline = SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, rng=0)
+        with pytest.raises(NotFittedError):
+            save_pipeline_state(pipeline, tmp_path / "x.npz")
+
+    def test_missing_file_raises(self, trained_pilotnet, tmp_path):
+        with pytest.raises(SerializationError, match="does not exist"):
+            load_pipeline_state(tmp_path / "ghost.npz", trained_pilotnet)
+
+    def test_foreign_npz_rejected(self, trained_pilotnet, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(SerializationError, match="saved pipeline"):
+            load_pipeline_state(path, trained_pilotnet)
+
+    def test_mse_pipeline_roundtrip(self, ci_workbench, trained_pilotnet, tmp_path):
+        config = AutoencoderConfig(epochs=4, batch_size=16, ssim_window=CI.ssim_window)
+        pipeline = SaliencyNoveltyPipeline(
+            trained_pilotnet, CI.image_shape, loss="mse", config=config, rng=0
+        )
+        frames = ci_workbench.batch("dsu", "train").frames[:40]
+        pipeline.fit(frames)
+        path = tmp_path / "mse.npz"
+        save_pipeline_state(pipeline, path)
+        restored = load_pipeline_state(path, trained_pilotnet)
+        assert restored.one_class.loss_name == "mse"
+        np.testing.assert_allclose(
+            restored.score(frames[:5]), pipeline.score(frames[:5])
+        )

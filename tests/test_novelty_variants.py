@@ -1,0 +1,105 @@
+"""Tests for pipeline variants: conv architecture and saliency choices."""
+
+import numpy as np
+import pytest
+
+from repro.config import CI
+from repro.exceptions import ConfigurationError
+from repro.novelty import AutoencoderConfig, OneClassAutoencoder, SaliencyNoveltyPipeline
+from repro.saliency import GradientSaliency, LayerwiseRelevancePropagation, VisualBackProp
+
+SHAPE = (12, 16)
+
+
+@pytest.fixture
+def config():
+    return AutoencoderConfig(hidden=(32, 8, 32), epochs=6, batch_size=8, ssim_window=7)
+
+
+@pytest.fixture
+def images(rng):
+    return rng.random((24,) + SHAPE)
+
+
+class TestConvArchitecture:
+    def test_invalid_architecture_raises(self):
+        with pytest.raises(ConfigurationError):
+            OneClassAutoencoder(SHAPE, architecture="transformer")
+
+    def test_conv_requires_divisible_shape(self, config):
+        with pytest.raises(ConfigurationError):
+            OneClassAutoencoder((10, 16), architecture="conv", config=config)
+
+    def test_conv_fit_and_score(self, config, images):
+        ae = OneClassAutoencoder(SHAPE, loss="ssim", architecture="conv",
+                                 config=config, rng=0)
+        ae.fit(images)
+        scores = ae.score(images)
+        assert scores.shape == (24,)
+        assert np.all(np.isfinite(scores))
+
+    def test_conv_reconstruct_shape(self, config, images):
+        ae = OneClassAutoencoder(SHAPE, architecture="conv", config=config, rng=0)
+        ae.fit(images)
+        assert ae.reconstruct(images[:3]).shape == (3,) + SHAPE
+
+    def test_conv_with_mse_loss(self, config, images):
+        ae = OneClassAutoencoder(SHAPE, loss="mse", architecture="conv",
+                                 config=config, rng=0)
+        ae.fit(images)
+        assert ae.predict_novel(images).mean() < 0.5
+
+    def test_conv_training_reduces_loss(self, config, images):
+        ae = OneClassAutoencoder(SHAPE, loss="mse", architecture="conv",
+                                 config=config, rng=0)
+        ae.fit(images)
+        assert ae.history.train_loss[-1] < ae.history.train_loss[0]
+
+    def test_dense_is_default(self, config):
+        ae = OneClassAutoencoder(SHAPE, config=config)
+        assert ae.architecture == "dense"
+
+
+class TestSaliencyChoice:
+    def test_invalid_saliency_raises(self, trained_pilotnet):
+        with pytest.raises(ConfigurationError, match="saliency"):
+            SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, saliency="gradcam")
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("vbp", VisualBackProp),
+            ("lrp", LayerwiseRelevancePropagation),
+            ("gradient", GradientSaliency),
+        ],
+    )
+    def test_method_resolution(self, trained_pilotnet, name, cls):
+        pipeline = SaliencyNoveltyPipeline(
+            trained_pilotnet, CI.image_shape, saliency=name, rng=0
+        )
+        assert isinstance(pipeline.saliency_method, cls)
+        assert pipeline.saliency_name == name
+
+    def test_vbp_alias_still_works(self, trained_pilotnet):
+        pipeline = SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, rng=0)
+        assert pipeline.vbp is pipeline.saliency_method
+
+    def test_lrp_pipeline_runs_end_to_end(self, trained_pilotnet, dsu_train, dsu_test):
+        pipeline = SaliencyNoveltyPipeline(
+            trained_pilotnet, CI.image_shape, saliency="lrp",
+            config=AutoencoderConfig(epochs=3, batch_size=16, ssim_window=CI.ssim_window),
+            rng=0,
+        )
+        pipeline.fit(dsu_train.frames[:40])
+        scores = pipeline.score(dsu_test.frames[:10])
+        assert scores.shape == (10,)
+        assert np.all(np.isfinite(scores))
+
+    def test_different_saliency_different_masks(self, trained_pilotnet, dsu_test):
+        vbp = SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, rng=0)
+        grad = SaliencyNoveltyPipeline(
+            trained_pilotnet, CI.image_shape, saliency="gradient", rng=0
+        )
+        a = vbp.preprocess(dsu_test.frames[:2])
+        b = grad.preprocess(dsu_test.frames[:2])
+        assert not np.allclose(a, b)

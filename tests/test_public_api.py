@@ -1,0 +1,66 @@
+"""Public API surface checks.
+
+Guards against accidental breakage of the documented import paths: every
+name in each package's ``__all__`` must resolve, and the top-level
+quickstart imports from the README must work.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.nn",
+    "repro.metrics",
+    "repro.datasets",
+    "repro.models",
+    "repro.saliency",
+    "repro.novelty",
+    "repro.simulation",
+    "repro.experiments",
+    "repro.image",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    module = importlib.import_module(package_name)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{package_name} should declare __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{package_name}.__all__ lists missing {name!r}"
+
+
+def test_readme_quickstart_imports():
+    from repro import (  # noqa: F401
+        PilotNet,
+        PilotNetConfig,
+        SaliencyNoveltyPipeline,
+        SyntheticIndoor,
+        SyntheticUdacity,
+        train_pilotnet,
+    )
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_cli_module_importable():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    assert parser.prog == "repro"
+
+
+def test_experiment_registry_complete():
+    """Every registered experiment has a module artifact mapping or is a
+    known extension."""
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.experiments.report import _ARTIFACTS
+
+    assert set(EXPERIMENTS) <= set(_ARTIFACTS)

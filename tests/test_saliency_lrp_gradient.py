@@ -1,0 +1,94 @@
+"""Tests for the LRP and input-gradient saliency baselines."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import Conv2d, Dense, Dropout, Flatten, ReLU, Sequential
+from repro.saliency import GradientSaliency, LayerwiseRelevancePropagation
+
+
+@pytest.fixture
+def tiny_cnn():
+    return Sequential([
+        Conv2d(1, 4, 3, stride=2, rng=0, name="c0"),
+        ReLU(),
+        Conv2d(4, 8, 3, rng=1, name="c1"),
+        ReLU(),
+        Flatten(),
+        Dense(8 * 4 * 8, 1, rng=2, name="f"),
+    ])
+
+
+class TestLRP:
+    def test_mask_shape_and_range(self, tiny_cnn, rng):
+        masks = LayerwiseRelevancePropagation(tiny_cnn).saliency(rng.random((2, 13, 21)))
+        assert masks.shape == (2, 13, 21)
+        assert masks.min() >= 0.0 and masks.max() <= 1.0
+
+    def test_relevance_conservation_dense(self, rng):
+        """For a linear model without bias the epsilon rule conserves
+        relevance up to the epsilon leakage."""
+        model = Sequential([Dense(6, 1, bias=False, rng=0)])
+        lrp = LayerwiseRelevancePropagation(model, epsilon=1e-9)
+        x = rng.random((1, 1, 2, 3))  # will flatten manually below
+        flat = x.reshape(1, 6)
+        out = model.forward(flat)
+        relevance = lrp._relevance_dense(model.layers[0], flat, out)
+        assert relevance.sum() == pytest.approx(float(out.sum()), rel=1e-6)
+
+    def test_relevance_conservation_conv(self, rng):
+        conv = Conv2d(1, 2, 3, bias=False, rng=0)
+        lrp = LayerwiseRelevancePropagation(Sequential([conv]), epsilon=1e-9)
+        x = rng.random((1, 1, 5, 5))
+        out = conv.forward(x)
+        relevance = lrp._relevance_conv(conv, x, out)
+        assert relevance.sum() == pytest.approx(float(out.sum()), rel=1e-6)
+
+    def test_unsupported_layer_raises(self):
+        model = Sequential([Dense(4, 4, rng=0), Dropout(0.5), Dense(4, 1, rng=1)])
+        with pytest.raises(ConfigurationError, match="LRP supports"):
+            LayerwiseRelevancePropagation(model)
+
+    def test_invalid_epsilon_raises(self, tiny_cnn):
+        with pytest.raises(ConfigurationError):
+            LayerwiseRelevancePropagation(tiny_cnn, epsilon=0.0)
+
+    def test_deterministic(self, tiny_cnn, rng):
+        x = rng.random((2, 13, 21))
+        lrp = LayerwiseRelevancePropagation(tiny_cnn)
+        np.testing.assert_array_equal(lrp.saliency(x), lrp.saliency(x))
+
+
+class TestGradientSaliency:
+    def test_mask_shape_and_range(self, tiny_cnn, rng):
+        masks = GradientSaliency(tiny_cnn).saliency(rng.random((2, 13, 21)))
+        assert masks.shape == (2, 13, 21)
+        assert masks.min() >= 0.0 and masks.max() <= 1.0
+
+    def test_matches_manual_gradient_linear_model(self, rng):
+        """For a linear model the saliency is |w| everywhere (after the
+        per-image min-max normalization)."""
+        conv = Conv2d(1, 1, 1, bias=False, rng=0)
+        conv.weight.value[...] = 2.0
+        model = Sequential([conv, Flatten(), Dense(16, 1, bias=False, rng=0)])
+        model.layers[2].weight.value[...] = 1.0
+        masks = GradientSaliency(model).saliency(rng.random((1, 4, 4)))
+        # Gradient is constant 2.0 -> constant mask -> normalized to zeros.
+        np.testing.assert_array_equal(masks, np.zeros((1, 4, 4)))
+
+    def test_leaves_param_grads_clean(self, tiny_cnn, rng):
+        GradientSaliency(tiny_cnn).saliency(rng.random((1, 13, 21)))
+        assert all(np.all(p.grad == 0) for p in tiny_cnn.parameters())
+
+    def test_highlights_influential_pixels(self, rng):
+        """Zeroing out the weight connecting to part of the input must zero
+        its saliency."""
+        dense = Dense(8, 1, bias=False, rng=0)
+        dense.weight.value[:4, 0] = 0.0  # first half of input is ignored
+        dense.weight.value[4:, 0] = 1.0
+        model = Sequential([Conv2d(1, 1, 1, bias=False, rng=0), Flatten(), dense])
+        model.layers[0].weight.value[...] = 1.0
+        masks = GradientSaliency(model).saliency(rng.random((1, 2, 4)))
+        assert masks[0, 0].max() == 0.0  # ignored half
+        assert masks[0, 1].min() == 1.0  # influential half

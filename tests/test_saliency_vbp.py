@@ -1,0 +1,126 @@
+"""Tests for VisualBackProp."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.models import PilotNet, PilotNetConfig
+from repro.nn import Conv2d, Dense, Flatten, ReLU, Sequential
+from repro.saliency import VisualBackProp
+from repro.saliency.vbp import _fit_to, find_conv_stages
+
+
+@pytest.fixture
+def tiny_cnn():
+    return Sequential([
+        Conv2d(1, 4, 3, stride=2, rng=0, name="c0"),
+        ReLU(),
+        Conv2d(4, 8, 3, rng=1, name="c1"),
+        ReLU(),
+        Flatten(),
+        Dense(8 * 4 * 8, 1, rng=2, name="f"),
+    ])
+
+
+class TestFindConvStages:
+    def test_finds_all_convs(self, tiny_cnn):
+        stages = find_conv_stages(tiny_cnn)
+        assert len(stages) == 2
+
+    def test_feature_index_is_post_relu(self, tiny_cnn):
+        stages = find_conv_stages(tiny_cnn)
+        assert stages[0].feature_index == 1  # the ReLU after conv 0
+        assert stages[1].feature_index == 3
+
+    def test_conv_without_relu_uses_conv_output(self):
+        model = Sequential([Conv2d(1, 2, 3, rng=0), Flatten(), Dense(2 * 4 * 4, 1, rng=1)])
+        stages = find_conv_stages(model)
+        assert stages[0].feature_index == 0
+
+    def test_no_convs_raises(self):
+        model = Sequential([Dense(4, 1, rng=0)])
+        with pytest.raises(ConfigurationError):
+            VisualBackProp(model)
+
+
+class TestFitTo:
+    def test_crop(self):
+        mask = np.ones((1, 1, 6, 8))
+        assert _fit_to(mask, (4, 5)).shape == (1, 1, 4, 5)
+
+    def test_pad(self):
+        mask = np.ones((1, 1, 3, 3))
+        out = _fit_to(mask, (5, 6))
+        assert out.shape == (1, 1, 5, 6)
+        assert out[0, 0, 4, 5] == 0.0  # padded region is zero
+
+    def test_noop(self):
+        mask = np.ones((1, 1, 4, 4))
+        np.testing.assert_array_equal(_fit_to(mask, (4, 4)), mask)
+
+
+class TestVisualBackProp:
+    def test_mask_shape_and_range(self, tiny_cnn, rng):
+        vbp = VisualBackProp(tiny_cnn)
+        masks = vbp.saliency(rng.random((3, 13, 21)))
+        assert masks.shape == (3, 13, 21)
+        assert masks.min() >= 0.0 and masks.max() <= 1.0
+
+    def test_single_image_input(self, tiny_cnn, rng):
+        mask = VisualBackProp(tiny_cnn).saliency(rng.random((13, 21)))
+        assert mask.shape == (13, 21)
+
+    def test_channel_explicit_input(self, tiny_cnn, rng):
+        masks = VisualBackProp(tiny_cnn).saliency(rng.random((2, 1, 13, 21)))
+        assert masks.shape == (2, 13, 21)
+
+    def test_num_stages(self, tiny_cnn):
+        assert VisualBackProp(tiny_cnn).num_stages == 2
+
+    def test_deterministic(self, tiny_cnn, rng):
+        x = rng.random((2, 13, 21))
+        vbp = VisualBackProp(tiny_cnn)
+        np.testing.assert_array_equal(vbp.saliency(x), vbp.saliency(x))
+
+    def test_vbp_images_alias(self, tiny_cnn, rng):
+        x = rng.random((2, 13, 21))
+        vbp = VisualBackProp(tiny_cnn)
+        np.testing.assert_array_equal(vbp.vbp_images(x), vbp.saliency(x))
+
+    def test_wrong_channel_count_raises(self, rng):
+        model = Sequential([Conv2d(3, 2, 3, rng=0), ReLU(), Flatten(), Dense(2 * 4 * 4, 1, rng=1)])
+        with pytest.raises(ShapeError):
+            VisualBackProp(model).saliency(rng.random((1, 1, 6, 6)))
+
+    def test_rejects_bad_rank(self, tiny_cnn):
+        with pytest.raises(ShapeError):
+            VisualBackProp(tiny_cnn).saliency(np.zeros((2, 3, 13, 21, 1)))
+
+    def test_dark_input_yields_flat_mask(self, tiny_cnn):
+        """A zero input produces no activations and hence an all-zero mask."""
+        masks = VisualBackProp(tiny_cnn).saliency(np.zeros((1, 13, 21)))
+        assert masks.max() == 0.0
+
+    def test_saliency_follows_bright_features(self, ci_workbench, trained_pilotnet, dsu_test):
+        """On the driving data, saliency mass should prefer the (dilated)
+        lane-marking region over uniform spread — the Figure 4 claim."""
+        from repro.experiments.harness import saliency_concentration
+
+        masks = VisualBackProp(trained_pilotnet).saliency(dsu_test.frames[:10])
+        concentration = saliency_concentration(
+            masks, dsu_test.marking_masks[:10], dilate=2
+        )
+        assert concentration > 1.0
+
+    def test_works_on_pilotnet_paper_config(self, rng):
+        net = PilotNet(PilotNetConfig.for_image((60, 160)), rng=0)
+        masks = VisualBackProp(net).saliency(rng.random((1, 60, 160)))
+        assert masks.shape == (1, 60, 160)
+
+    def test_scale_intermediate_toggle(self, tiny_cnn, rng):
+        x = rng.random((2, 13, 21))
+        a = VisualBackProp(tiny_cnn, scale_intermediate=True).saliency(x)
+        b = VisualBackProp(tiny_cnn, scale_intermediate=False).saliency(x)
+        # Both are valid normalized masks; they need not be identical.
+        assert a.shape == b.shape
+        assert a.max() <= 1.0 and b.max() <= 1.0

@@ -1,0 +1,230 @@
+"""Tests for the closed-loop driving simulation."""
+
+import numpy as np
+import pytest
+
+from repro.config import CI
+from repro.datasets.road_geometry import TrackProfile
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.novelty import StreamMonitor
+from repro.simulation import (
+    ClosedLoopSimulator,
+    ConstantPolicy,
+    ModelPolicy,
+    OraclePolicy,
+    SafeDrivingLoop,
+    TrajectoryResult,
+    VehicleDynamics,
+    VehicleState,
+)
+
+
+@pytest.fixture
+def simulator(ci_workbench):
+    return ClosedLoopSimulator(ci_workbench.dsu, speed=2.0, dt=0.1)
+
+
+@pytest.fixture
+def oracle(ci_workbench):
+    return OraclePolicy(ci_workbench.dsu.geometry)
+
+
+class TestVehicleDynamics:
+    def test_state_to_profile(self):
+        state = VehicleState(lane_offset=0.3, heading=-0.05)
+        profile = state.to_profile(0.02)
+        assert profile == TrackProfile(curvature=0.02, lane_offset=0.3, heading=-0.05)
+
+    def test_heading_drifts_with_curvature(self, ci_workbench):
+        dynamics = VehicleDynamics(ci_workbench.dsu.geometry, speed=1.0, dt=0.1)
+        state = VehicleState(0.0, 0.0)
+        # No steering on a curving road: heading error grows.
+        drifted = dynamics.step(state, steering=0.0, curvature=0.05)
+        assert drifted.heading != 0.0
+
+    def test_label_is_curvature_feedforward(self, ci_workbench):
+        """The dataset's steering label for a centered car must exactly
+        cancel the road's curvature drift — that is how the labels were
+        designed, and what makes them valid control inputs."""
+        geometry = ci_workbench.dsu.geometry
+        dynamics = VehicleDynamics(geometry, speed=1.5, dt=0.1)
+        state = VehicleState(0.0, 0.0)
+        label = geometry.steering_angle(TrackProfile(0.04, 0.0, 0.0))
+        stepped = dynamics.step(state, steering=label, curvature=0.04)
+        assert stepped.heading == pytest.approx(0.0, abs=1e-12)
+        assert stepped.lane_offset == pytest.approx(0.0, abs=1e-12)
+
+    def test_heading_couples_into_offset(self, ci_workbench):
+        dynamics = VehicleDynamics(ci_workbench.dsu.geometry, speed=2.0, dt=0.1)
+        state = VehicleState(0.0, 0.1)
+        stepped = dynamics.step(state, steering=0.0, curvature=0.0)
+        assert stepped.lane_offset == pytest.approx(0.02)
+
+    def test_off_road_threshold(self, ci_workbench):
+        dynamics = VehicleDynamics(ci_workbench.dsu.geometry)
+        half_width = ci_workbench.dsu.geometry.road_half_width
+        assert not dynamics.is_off_road(VehicleState(half_width * 0.9, 0.0))
+        assert dynamics.is_off_road(VehicleState(half_width * 1.1, 0.0))
+
+    def test_invalid_params_raise(self, ci_workbench):
+        with pytest.raises(ConfigurationError):
+            VehicleDynamics(ci_workbench.dsu.geometry, speed=0.0)
+        with pytest.raises(ConfigurationError):
+            VehicleDynamics(ci_workbench.dsu.geometry, dt=-0.1)
+
+
+class TestPolicies:
+    def test_constant(self):
+        policy = ConstantPolicy(0.25)
+        assert policy.steer(np.zeros((4, 4)), TrackProfile(0, 0, 0)) == 0.25
+
+    def test_oracle_matches_control_law(self, ci_workbench, oracle):
+        profile = TrackProfile(0.03, 0.1, -0.02)
+        expected = ci_workbench.dsu.geometry.steering_angle(profile)
+        assert oracle.steer(np.zeros((4, 4)), profile) == expected
+
+    def test_model_policy_uses_frame(self, ci_workbench, dsu_test):
+        # The quick saliency-grade model can collapse to a near-constant
+        # regressor; the driving-grade model actually reads the pixels.
+        policy = ModelPolicy(ci_workbench.driver_model("dsu"))
+        a = policy.steer(dsu_test.frames[0], TrackProfile(0, 0, 0))
+        b = policy.steer(dsu_test.frames[1], TrackProfile(0, 0, 0))
+        assert a != b  # depends on pixels, not the (constant) profile
+
+    def test_model_policy_matches_predict_angles(self, trained_pilotnet, dsu_test):
+        policy = ModelPolicy(trained_pilotnet)
+        frame = dsu_test.frames[0]
+        expected = float(trained_pilotnet.predict_angles(frame[None])[0])
+        assert policy.steer(frame, TrackProfile(0, 0, 0)) == expected
+
+    def test_model_policy_rejects_batch(self, trained_pilotnet, dsu_test):
+        with pytest.raises(ShapeError):
+            ModelPolicy(trained_pilotnet).steer(dsu_test.frames[:2], TrackProfile(0, 0, 0))
+
+
+class TestClosedLoopSimulator:
+    def test_trajectory_shapes(self, simulator, oracle):
+        result = simulator.run(oracle, steps=20, rng=0)
+        assert isinstance(result, TrajectoryResult)
+        assert result.steps == 20
+        for arr in (result.lane_offsets, result.headings, result.steering,
+                    result.curvatures, result.off_road):
+            assert arr.shape == (20,)
+
+    def test_deterministic(self, simulator, oracle):
+        a = simulator.run(oracle, steps=15, rng=3)
+        b = simulator.run(oracle, steps=15, rng=3)
+        np.testing.assert_array_equal(a.lane_offsets, b.lane_offsets)
+
+    def test_oracle_corrects_initial_offset(self, simulator, oracle):
+        start = VehicleState(lane_offset=0.5, heading=0.0)
+        result = simulator.run(oracle, steps=120, rng=0, initial_state=start)
+        assert abs(result.lane_offsets[-1]) < 0.5
+        assert result.off_road_fraction == 0.0
+
+    def test_constant_policy_drifts(self, simulator):
+        start = VehicleState(lane_offset=0.6, heading=0.0)
+        result = simulator.run(ConstantPolicy(0.0), steps=200, rng=1, initial_state=start)
+        # No feedback: the initial offset is never corrected and curvature
+        # drift accumulates.
+        assert result.max_abs_offset > 0.6
+
+    def test_hard_steering_goes_off_road(self, simulator):
+        result = simulator.run(ConstantPolicy(5.0), steps=200, rng=0)
+        assert result.off_road_fraction > 0.0
+
+    def test_invalid_args_raise(self, simulator, oracle, ci_workbench):
+        with pytest.raises(ConfigurationError):
+            simulator.run(oracle, steps=0)
+        with pytest.raises(ConfigurationError):
+            simulator.run(oracle, steps=10, switch_to=ci_workbench.dsi)
+        with pytest.raises(ConfigurationError):
+            simulator.run(oracle, steps=10, switch_to=ci_workbench.dsi, switch_at=10)
+        with pytest.raises(ConfigurationError):
+            simulator.run(oracle, steps=10, disturb=lambda f: f)
+        with pytest.raises(ConfigurationError):
+            simulator.run(oracle, steps=10, monitor=object())
+
+    def test_dataset_switch_changes_frames(self, simulator, oracle, ci_workbench, fitted_pipeline):
+        """After switching renderers, the monitor should start flagging."""
+        monitor = StreamMonitor(fitted_pipeline, window=5, min_consecutive=3)
+        result = simulator.run(
+            oracle, steps=30, rng=0,
+            monitor=monitor, fallback=oracle,
+            switch_to=ci_workbench.dsi, switch_at=10,
+        )
+        assert result.alarm_steps
+        assert min(result.alarm_steps) >= 10
+
+    def test_disturbance_applied_from_step(self, simulator, oracle, fitted_pipeline):
+        def blackout(frame):
+            return np.zeros_like(frame)
+
+        monitor = StreamMonitor(fitted_pipeline, window=5, min_consecutive=3)
+        result = simulator.run(
+            oracle, steps=25, rng=0,
+            monitor=monitor, fallback=oracle,
+            disturb=blackout, disturb_at=8,
+        )
+        assert result.alarm_steps
+        assert min(result.alarm_steps) >= 8
+
+    def test_handover_switches_policy_name(self, simulator, ci_workbench, fitted_pipeline, trained_pilotnet):
+        monitor = StreamMonitor(fitted_pipeline, window=3, min_consecutive=2)
+        oracle = OraclePolicy(ci_workbench.dsu.geometry)
+        result = simulator.run(
+            ModelPolicy(trained_pilotnet), steps=25, rng=0,
+            monitor=monitor, fallback=oracle,
+            switch_to=ci_workbench.dsi, switch_at=5,
+        )
+        assert result.handover_step is not None
+        assert result.policy_name == "model+oracle"
+
+
+class TestSafeDrivingLoop:
+    def test_wraps_simulator(self, simulator, ci_workbench, fitted_pipeline, trained_pilotnet, oracle):
+        loop = SafeDrivingLoop(
+            simulator,
+            ModelPolicy(trained_pilotnet),
+            StreamMonitor(fitted_pipeline, window=3, min_consecutive=2),
+            oracle,
+        )
+        result = loop.run(steps=20, rng=0, switch_to=ci_workbench.dsi, switch_at=5)
+        assert result.handover_step is not None
+
+
+class TestDelayedPolicy:
+    def test_initial_commands(self, oracle):
+        from repro.simulation import DelayedPolicy
+
+        delayed = DelayedPolicy(oracle, delay=3, initial=0.5)
+        frame = np.zeros((4, 4))
+        profile = TrackProfile(0.05, 0.0, 0.0)
+        # The first `delay` commands are the initial value...
+        assert [delayed.steer(frame, profile) for _ in range(3)] == [0.5] * 3
+        # ...then the wrapped policy's (delayed) commands come through.
+        expected = oracle.steer(frame, profile)
+        assert delayed.steer(frame, profile) == expected
+
+    def test_delay_degrades_control(self, simulator, oracle, ci_workbench):
+        from repro.simulation import DelayedPolicy
+
+        start = VehicleState(lane_offset=0.5, heading=0.0)
+        prompt = simulator.run(oracle, steps=120, rng=0, initial_state=start)
+        late = simulator.run(
+            DelayedPolicy(OraclePolicy(ci_workbench.dsu.geometry), delay=8),
+            steps=120, rng=0, initial_state=start,
+        )
+        assert late.mean_abs_offset >= prompt.mean_abs_offset
+
+    def test_invalid_delay_raises(self, oracle):
+        from repro.exceptions import ConfigurationError
+        from repro.simulation import DelayedPolicy
+
+        with pytest.raises(ConfigurationError):
+            DelayedPolicy(oracle, delay=0)
+
+    def test_name_reflects_delay(self, oracle):
+        from repro.simulation import DelayedPolicy
+
+        assert DelayedPolicy(oracle, delay=4).name == "oracle+delay4"

@@ -1,0 +1,77 @@
+"""Tests for the hyperparameter grid search."""
+
+import pytest
+
+from repro.config import CI
+from repro.exceptions import ConfigurationError
+from repro.novelty import AutoencoderConfig
+from repro.tuning import TrialResult, grid_search, render_leaderboard
+
+
+@pytest.fixture(scope="module")
+def search_setup(ci_workbench):
+    return dict(
+        prediction_model=ci_workbench.steering_model("dsu"),
+        image_shape=CI.image_shape,
+        train_frames=ci_workbench.batch("dsu", "train").frames[:60],
+        test_frames=ci_workbench.batch("dsu", "test").frames,
+        novel_frames=ci_workbench.batch("dsi", "novel").frames,
+        base_config=AutoencoderConfig(epochs=5, batch_size=16, ssim_window=CI.ssim_window),
+    )
+
+
+class TestGridSearch:
+    def test_evaluates_every_combination(self, search_setup):
+        trials = grid_search(
+            grid={"learning_rate": [1e-3, 3e-3], "loss": ["ssim", "mse"]},
+            rng=0,
+            **search_setup,
+        )
+        assert len(trials) == 4
+        assert all(isinstance(t, TrialResult) for t in trials)
+
+    def test_sorted_best_first(self, search_setup):
+        trials = grid_search(
+            grid={"epochs": [1, 5]}, rng=0, **search_setup
+        )
+        aurocs = [t.auroc for t in trials]
+        assert aurocs == sorted(aurocs, reverse=True)
+
+    def test_params_recorded(self, search_setup):
+        trials = grid_search(
+            grid={"hidden": [(32, 8, 32), (64, 16, 64)]}, rng=0, **search_setup
+        )
+        recorded = {tuple(t.params["hidden"]) for t in trials}
+        assert recorded == {(32, 8, 32), (64, 16, 64)}
+
+    def test_unknown_param_rejected(self, search_setup):
+        with pytest.raises(ConfigurationError, match="unknown grid parameters"):
+            grid_search(grid={"dropout": [0.1]}, rng=0, **search_setup)
+
+    def test_empty_grid_rejected(self, search_setup):
+        with pytest.raises(ConfigurationError):
+            grid_search(grid={}, rng=0, **search_setup)
+
+    def test_empty_values_rejected(self, search_setup):
+        with pytest.raises(ConfigurationError):
+            grid_search(grid={"epochs": []}, rng=0, **search_setup)
+
+    def test_metrics_in_valid_ranges(self, search_setup):
+        trials = grid_search(grid={"epochs": [2]}, rng=0, **search_setup)
+        trial = trials[0]
+        assert 0.0 <= trial.auroc <= 1.0
+        assert 0.0 <= trial.detection_rate <= 1.0
+        assert trial.seconds > 0.0
+
+
+class TestLeaderboard:
+    def test_renders_rows(self, search_setup):
+        trials = grid_search(grid={"epochs": [1, 3]}, rng=0, **search_setup)
+        text = render_leaderboard(trials)
+        assert "rank" in text
+        assert "AUROC" in text
+        assert len(text.splitlines()) == 3
+
+    def test_top_limits_rows(self, search_setup):
+        trials = grid_search(grid={"epochs": [1, 3]}, rng=0, **search_setup)
+        assert len(render_leaderboard(trials, top=1).splitlines()) == 2

@@ -1,0 +1,45 @@
+"""Tests for library logging."""
+
+import logging
+
+from repro.utils.log import enable_console_logging, get_logger
+
+
+class TestGetLogger:
+    def test_default_is_repro_root(self):
+        assert get_logger().name == "repro"
+
+    def test_namespaced_passthrough(self):
+        assert get_logger("repro.nn.trainer").name == "repro.nn.trainer"
+
+    def test_outside_names_prefixed(self):
+        assert get_logger("custom").name == "repro.custom"
+
+    def test_root_has_null_handler(self):
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestEnableConsoleLogging:
+    def test_idempotent(self):
+        a = enable_console_logging(logging.INFO)
+        b = enable_console_logging(logging.DEBUG)
+        try:
+            assert a is b
+            assert b.level == logging.DEBUG
+        finally:
+            logging.getLogger("repro").removeHandler(a)
+            logging.getLogger("repro").setLevel(logging.NOTSET)
+
+    def test_trainer_logs_epochs(self, caplog):
+        import numpy as np
+
+        from repro.nn import Adam, ArrayDataset, DataLoader, Dense, MSELoss, Sequential, Trainer
+
+        model = Sequential([Dense(2, 1, rng=0)])
+        trainer = Trainer(model, MSELoss(), Adam(model.parameters()))
+        x = np.random.default_rng(0).normal(size=(8, 2))
+        loader = DataLoader(ArrayDataset(x, x[:, :1]), batch_size=4, rng=0)
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            trainer.fit(loader, epochs=2)
+        assert sum("train_loss" in r.message for r in caplog.records) == 2

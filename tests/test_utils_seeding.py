@@ -1,0 +1,69 @@
+"""Tests for deterministic RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.seeding import derive_rng, spawn_rngs
+
+
+class TestDeriveRng:
+    def test_none_returns_generator(self):
+        assert isinstance(derive_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = derive_rng(42).random(5)
+        b = derive_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1).random(5)
+        b = derive_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough_without_stream(self):
+        gen = np.random.default_rng(7)
+        assert derive_rng(gen) is gen
+
+    def test_stream_label_changes_output(self):
+        a = derive_rng(42, stream="alpha").random(5)
+        b = derive_rng(42, stream="beta").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_stream_label_is_deterministic(self):
+        a = derive_rng(42, stream="alpha").random(5)
+        b = derive_rng(42, stream="alpha").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_with_stream_spawns_child(self):
+        gen = np.random.default_rng(7)
+        child = derive_rng(gen, stream="x")
+        assert child is not gen
+
+    def test_generator_with_stream_is_reproducible(self):
+        a = derive_rng(np.random.default_rng(7), stream="x").random(3)
+        b = derive_rng(np.random.default_rng(7), stream="x").random(3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_streams_are_independent(self):
+        rngs = spawn_rngs(0, 3)
+        draws = [g.random(4) for g in rngs]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_across_calls(self):
+        a = [g.random(2) for g in spawn_rngs(9, 3)]
+        b = [g.random(2) for g in spawn_rngs(9, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)

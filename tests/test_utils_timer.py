@@ -1,0 +1,59 @@
+"""Tests for timing helpers."""
+
+import pytest
+
+from repro.utils.timer import Timer, time_call
+
+
+class TestTimer:
+    def test_accumulates_laps(self):
+        t = Timer()
+        for _ in range(3):
+            with t:
+                pass
+        assert t.count == 3
+        assert len(t.laps) == 3
+        assert t.total >= 0.0
+
+    def test_mean_of_empty_timer(self):
+        assert Timer().mean == 0.0
+
+    def test_min_of_empty_timer(self):
+        assert Timer().min == 0.0
+
+    def test_mean_is_total_over_count(self):
+        t = Timer()
+        with t:
+            pass
+        with t:
+            pass
+        assert t.mean == pytest.approx(t.total / 2)
+
+    def test_min_is_smallest_lap(self):
+        t = Timer()
+        with t:
+            sum(range(10000))
+        with t:
+            pass
+        assert t.min == min(t.laps)
+
+
+class TestTimeCall:
+    def test_returns_result(self):
+        result, timer = time_call(lambda x: x + 1, 41)
+        assert result == 42
+        assert timer.count == 1
+
+    def test_repeats(self):
+        calls = []
+        _, timer = time_call(lambda: calls.append(1), repeats=4)
+        assert len(calls) == 4
+        assert timer.count == 4
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)
+
+    def test_forwards_kwargs(self):
+        result, _ = time_call(lambda a, b=0: a + b, 1, b=2)
+        assert result == 3

@@ -1,0 +1,91 @@
+"""Tests for array validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.utils.validation import (
+    require_finite,
+    require_in_range,
+    require_ndim,
+    require_positive,
+    require_same_shape,
+    require_shape,
+)
+
+
+class TestRequireNdim:
+    def test_accepts_matching(self):
+        x = np.zeros((2, 3))
+        assert require_ndim(x, 2) is not None
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ShapeError, match="2 dimensions"):
+            require_ndim(np.zeros(3), 2)
+
+    def test_error_names_argument(self):
+        with pytest.raises(ShapeError, match="frames"):
+            require_ndim(np.zeros(3), 2, name="frames")
+
+
+class TestRequireShape:
+    def test_exact_match(self):
+        require_shape(np.zeros((2, 3)), (2, 3))
+
+    def test_wildcard(self):
+        require_shape(np.zeros((5, 3)), (-1, 3))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ShapeError):
+            require_shape(np.zeros((2, 4)), (2, 3))
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ShapeError):
+            require_shape(np.zeros((2, 3, 1)), (2, 3))
+
+
+class TestRequireSameShape:
+    def test_accepts_equal(self):
+        require_same_shape(np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_rejects_unequal(self):
+        with pytest.raises(ShapeError):
+            require_same_shape(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestRequireFinite:
+    def test_accepts_finite(self):
+        require_finite(np.array([1.0, 2.0]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ShapeError, match="non-finite"):
+            require_finite(np.array([1.0, np.nan]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ShapeError):
+            require_finite(np.array([np.inf]))
+
+    def test_counts_bad_values(self):
+        with pytest.raises(ShapeError, match="2 non-finite"):
+            require_finite(np.array([np.nan, 1.0, np.inf]))
+
+
+class TestScalarChecks:
+    def test_positive_accepts(self):
+        assert require_positive(0.5) == 0.5
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            require_positive(0.0)
+
+    def test_positive_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_positive(-1.0)
+
+    def test_in_range_accepts_bounds(self):
+        assert require_in_range(0.0, 0.0, 1.0) == 0.0
+        assert require_in_range(1.0, 0.0, 1.0) == 1.0
+
+    def test_in_range_rejects_outside(self):
+        with pytest.raises(ConfigurationError):
+            require_in_range(1.5, 0.0, 1.0)

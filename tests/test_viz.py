@@ -1,0 +1,146 @@
+"""Tests for ASCII/PGM visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro import viz
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+class TestAsciiImage:
+    def test_dimensions(self, rng):
+        art = viz.ascii_image(rng.random((6, 10)))
+        lines = art.splitlines()
+        assert len(lines) == 6
+        assert all(len(line) == 10 for line in lines)
+
+    def test_row_step_subsamples(self, rng):
+        art = viz.ascii_image(rng.random((8, 10)), row_step=2)
+        assert len(art.splitlines()) == 4
+
+    def test_black_is_space_white_is_at(self):
+        art = viz.ascii_image(np.array([[0.0, 1.0]]))
+        assert art == " @"
+
+    def test_monotone_ramp(self):
+        values = np.linspace(0, 1, 10)[None, :]
+        art = viz.ascii_image(values)
+        ramp = " .:-=+*#%@"
+        assert all(ramp.index(a) <= ramp.index(b) for a, b in zip(art, art[1:]))
+
+    def test_clips_out_of_range(self):
+        art = viz.ascii_image(np.array([[-1.0, 2.0]]))
+        assert art == " @"
+
+    def test_rejects_batch(self):
+        with pytest.raises(ShapeError):
+            viz.ascii_image(np.zeros((2, 3, 3)))
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ConfigurationError):
+            viz.ascii_image(np.zeros((3, 3)), row_step=0)
+
+
+class TestAsciiSideBySide:
+    def test_combines_rows(self, rng):
+        a, b = rng.random((6, 5)), rng.random((6, 5))
+        combined = viz.ascii_side_by_side(a, b, gap="|", row_step=2)
+        lines = combined.splitlines()
+        assert len(lines) == 3
+        assert all("|" in line for line in lines)
+
+    def test_height_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            viz.ascii_side_by_side(rng.random((6, 5)), rng.random((8, 5)))
+
+
+class TestPgm:
+    def test_roundtrip(self, rng, tmp_path):
+        image = rng.random((12, 20))
+        path = viz.save_pgm(image, tmp_path / "img.pgm")
+        loaded = viz.load_pgm(path)
+        assert loaded.shape == image.shape
+        np.testing.assert_allclose(loaded, image, atol=1.0 / 255.0)
+
+    def test_creates_parent_dirs(self, rng, tmp_path):
+        path = viz.save_pgm(rng.random((4, 4)), tmp_path / "a" / "b" / "img.pgm")
+        assert path.exists()
+
+    def test_header_format(self, rng, tmp_path):
+        path = viz.save_pgm(rng.random((3, 7)), tmp_path / "img.pgm")
+        with open(path, "rb") as fh:
+            assert fh.readline() == b"P5\n"
+            assert fh.readline() == b"7 3\n"
+            assert fh.readline() == b"255\n"
+
+    def test_load_rejects_non_pgm(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"P6\n1 1\n255\n\x00\x00\x00")
+        with pytest.raises(ConfigurationError):
+            viz.load_pgm(path)
+
+    def test_rejects_non_image(self, tmp_path):
+        with pytest.raises(ShapeError):
+            viz.save_pgm(np.zeros(5), tmp_path / "x.pgm")
+
+
+class TestOverlayPpm:
+    def test_writes_valid_ppm(self, rng, tmp_path):
+        image, mask = rng.random((5, 6)), rng.random((5, 6))
+        path = viz.save_overlay_ppm(image, mask, tmp_path / "overlay.ppm")
+        with open(path, "rb") as fh:
+            assert fh.readline() == b"P6\n"
+            assert fh.readline() == b"6 5\n"
+            assert fh.readline() == b"255\n"
+            body = fh.read()
+        assert len(body) == 5 * 6 * 3
+
+    def test_mask_reddens_pixels(self, tmp_path):
+        image = np.full((2, 2), 0.5)
+        mask = np.array([[1.0, 0.0], [0.0, 0.0]])
+        path = viz.save_overlay_ppm(image, mask, tmp_path / "o.ppm")
+        with open(path, "rb") as fh:
+            for _ in range(3):
+                fh.readline()
+            rgb = np.frombuffer(fh.read(), dtype=np.uint8).reshape(2, 2, 3)
+        assert rgb[0, 0, 0] > rgb[0, 0, 1]  # masked pixel: red > green
+        assert rgb[1, 1, 0] == rgb[1, 1, 1]  # unmasked: gray
+
+    def test_shape_mismatch_raises(self, rng, tmp_path):
+        with pytest.raises(ShapeError):
+            viz.save_overlay_ppm(rng.random((4, 4)), rng.random((5, 5)), tmp_path / "o.ppm")
+
+    def test_invalid_strength_raises(self, rng, tmp_path):
+        with pytest.raises(ConfigurationError):
+            viz.save_overlay_ppm(
+                rng.random((4, 4)), rng.random((4, 4)), tmp_path / "o.ppm", strength=1.5
+            )
+
+
+class TestTrajectoryStrip:
+    def test_line_count(self):
+        offsets = np.zeros(20)
+        text = viz.trajectory_strip(offsets, half_width=1.0, row_every=4)
+        assert len(text.splitlines()) == 5
+
+    def test_centered_vehicle(self):
+        text = viz.trajectory_strip(np.zeros(1), half_width=1.0, width=73)
+        line = text.splitlines()[0]
+        payload = line[5:]
+        assert payload[len(payload) // 2] == "o"
+
+    def test_off_road_marked_x(self):
+        text = viz.trajectory_strip(np.array([5.0]), half_width=1.0)
+        assert "X" in text
+
+    def test_lane_edges_drawn(self):
+        text = viz.trajectory_strip(np.zeros(1), half_width=1.0)
+        assert text.count("|") == 2
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            viz.trajectory_strip(np.array([]), half_width=1.0)
+        with pytest.raises(ConfigurationError):
+            viz.trajectory_strip(np.zeros(3), half_width=0.0)
+        with pytest.raises(ConfigurationError):
+            viz.trajectory_strip(np.zeros(3), half_width=1.0, width=4)
