@@ -13,11 +13,15 @@ Commands
     paper's Figure 4 artifact) as PGM/PPM files.
 ``demo``
     The quickstart flow: train everything, print detection statistics.
+``telemetry``
+    Summarize a JSONL telemetry trace written by ``--telemetry PATH``
+    (span latency percentiles, counters, score histograms).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -50,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", type=Path, default=None, metavar="PATH",
         help="also write the results as a markdown report",
     )
+    exp.add_argument(
+        "--telemetry", type=Path, default=None, metavar="PATH",
+        help="record a JSONL telemetry trace (spans, metrics) of the run",
+    )
 
     render = sub.add_parser("render", help="render dataset frames to PGM files")
     render.add_argument("dataset", choices=["dsu", "dsi"], help="which surrogate")
@@ -72,8 +80,24 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="run the end-to-end detection demo")
     demo.add_argument("--scale", choices=sorted(PRESETS), default="bench")
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--telemetry", type=Path, default=None, metavar="PATH",
+        help="record a JSONL telemetry trace (spans, metrics) of the run",
+    )
+
+    tele = sub.add_parser("telemetry", help="summarize a JSONL telemetry trace")
+    tele.add_argument("trace", type=Path, help="trace written via --telemetry PATH")
 
     return parser
+
+
+def _telemetry_scope(path: Optional[Path]):
+    """Active telemetry session writing to ``path``, or a no-op scope."""
+    if path is None:
+        return contextlib.nullcontext()
+    from repro.telemetry import telemetry_session
+
+    return telemetry_session(path)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -81,15 +105,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_markdown_report
 
     if args.exp_id == "all":
-        results = run_all(args.scale, rng=args.seed)
+        with _telemetry_scope(args.telemetry):
+            results = run_all(args.scale, rng=args.seed)
     elif args.exp_id in EXPERIMENTS:
-        results = {
-            args.exp_id: run_experiment(args.exp_id, args.scale, rng=args.seed)
-        }
+        with _telemetry_scope(args.telemetry):
+            results = {
+                args.exp_id: run_experiment(args.exp_id, args.scale, rng=args.seed)
+            }
     else:
         known = ", ".join(sorted(EXPERIMENTS))
         print(f"unknown experiment {args.exp_id!r}; known: {known}, all", file=sys.stderr)
         return 2
+    if args.telemetry is not None:
+        print(f"telemetry trace written to {args.telemetry}")
 
     for result in results.values():
         print(result.render())
@@ -152,23 +180,38 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.novelty import SaliencyNoveltyPipeline, evaluate_detector
 
     scale = get_scale(args.scale)
-    workbench = Workbench(scale, seed=args.seed)
-    print("training the steering CNN...")
-    model = workbench.steering_model("dsu")
-    print("fitting the proposed detector (VBP + SSIM autoencoder)...")
-    pipeline = SaliencyNoveltyPipeline(
-        model, scale.image_shape, loss="ssim",
-        config=workbench.autoencoder_config(), rng=args.seed,
-    )
-    pipeline.fit(workbench.batch("dsu", "train").frames)
-    result = evaluate_detector(
-        pipeline,
-        workbench.batch("dsu", "test").frames,
-        workbench.batch("dsi", "novel").frames,
-        name="VBP+SSIM (proposed)",
-    )
+    with _telemetry_scope(args.telemetry):
+        workbench = Workbench(scale, seed=args.seed)
+        print("training the steering CNN...")
+        model = workbench.steering_model("dsu")
+        print("fitting the proposed detector (VBP + SSIM autoencoder)...")
+        pipeline = SaliencyNoveltyPipeline(
+            model, scale.image_shape, loss="ssim",
+            config=workbench.autoencoder_config(), rng=args.seed,
+        )
+        pipeline.fit(workbench.batch("dsu", "train").frames)
+        result = evaluate_detector(
+            pipeline,
+            workbench.batch("dsu", "test").frames,
+            workbench.batch("dsi", "novel").frames,
+            name="VBP+SSIM (proposed)",
+        )
     print()
     print(result.summary_row())
+    if args.telemetry is not None:
+        print(f"telemetry trace written to {args.telemetry}")
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.exceptions import SerializationError
+    from repro.telemetry import render_jsonl_report
+
+    try:
+        print(render_jsonl_report(args.trace))
+    except SerializationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     return 0
 
 
@@ -177,6 +220,7 @@ _COMMANDS = {
     "render": _cmd_render,
     "masks": _cmd_masks,
     "demo": _cmd_demo,
+    "telemetry": _cmd_telemetry,
 }
 
 

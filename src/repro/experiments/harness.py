@@ -22,6 +22,7 @@ from repro.datasets.synthetic_udacity import SyntheticUdacity
 from repro.exceptions import ExperimentError
 from repro.models.pilotnet import PilotNet, PilotNetConfig, train_pilotnet
 from repro.novelty.framework import AutoencoderConfig
+from repro.telemetry import get_telemetry
 from repro.utils.log import get_logger
 
 _log = get_logger(__name__)
@@ -97,7 +98,12 @@ class Workbench:
             # Distinct seeds per (dataset, split) keep batches independent.
             offsets = {"train": 0, "test": 1, "novel": 2}
             seed = self.seed * 1000 + offsets[split] + (0 if dataset == "dsu" else 500)
-            self._batches[key] = renderers[dataset].render_batch(sizes[split], rng=seed)
+            with get_telemetry().span(
+                "workbench.render_batch", dataset=dataset, split=split, n=sizes[split]
+            ):
+                self._batches[key] = renderers[dataset].render_batch(
+                    sizes[split], rng=seed
+                )
         return self._batches[key]
 
     # -- models ----------------------------------------------------------
@@ -121,14 +127,17 @@ class Workbench:
             model = PilotNet(
                 PilotNetConfig.for_image(self.scale.image_shape), rng=self.seed
             )
-            train_pilotnet(
-                model,
-                batch.frames,
-                angles,
-                epochs=self.scale.cnn_epochs,
-                batch_size=self.scale.batch_size,
-                rng=self.seed,
-            )
+            with get_telemetry().span(
+                "workbench.train_model", model=key, epochs=self.scale.cnn_epochs
+            ):
+                train_pilotnet(
+                    model,
+                    batch.frames,
+                    angles,
+                    epochs=self.scale.cnn_epochs,
+                    batch_size=self.scale.batch_size,
+                    rng=self.seed,
+                )
             self._models[key] = model
         return self._models[key]
 
@@ -147,14 +156,17 @@ class Workbench:
             model = PilotNet(
                 PilotNetConfig.for_image(self.scale.image_shape), rng=self.seed
             )
-            train_pilotnet(
-                model,
-                batch.frames,
-                batch.angles,
-                epochs=self.scale.cnn_epochs * 10,
-                batch_size=self.scale.batch_size,
-                rng=self.seed,
-            )
+            with get_telemetry().span(
+                "workbench.train_model", model=key, epochs=self.scale.cnn_epochs * 10
+            ):
+                train_pilotnet(
+                    model,
+                    batch.frames,
+                    batch.angles,
+                    epochs=self.scale.cnn_epochs * 10,
+                    batch_size=self.scale.batch_size,
+                    rng=self.seed,
+                )
             self._models[key] = model
         return self._models[key]
 

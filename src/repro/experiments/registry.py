@@ -21,6 +21,7 @@ from repro.experiments import (
     timing,
 )
 from repro.experiments.harness import ExperimentResult, Workbench
+from repro.telemetry import get_telemetry
 
 Runner = Callable[..., ExperimentResult]
 
@@ -66,7 +67,12 @@ def run_experiment(
     """
     runner = get_experiment(exp_id)
     scale_obj: Scale = get_scale(scale) if isinstance(scale, str) else scale
-    return runner(scale_obj, rng=rng, workbench=workbench)
+    telem = get_telemetry()
+    with telem.span("experiment.run", exp_id=exp_id):
+        result = runner(scale_obj, rng=rng, workbench=workbench)
+    if telem.enabled:
+        telem.event("experiment.result", exp_id=exp_id, **result.metrics)
+    return result
 
 
 def run_all(scale: str = "bench", rng: int = 0) -> Dict[str, ExperimentResult]:
@@ -74,6 +80,6 @@ def run_all(scale: str = "bench", rng: int = 0) -> Dict[str, ExperimentResult]:
     scale_obj = get_scale(scale) if isinstance(scale, str) else scale
     bench = Workbench(scale_obj, seed=rng)
     return {
-        exp_id: runner(scale_obj, rng=rng, workbench=bench)
-        for exp_id, runner in EXPERIMENTS.items()
+        exp_id: run_experiment(exp_id, scale_obj, rng=rng, workbench=bench)
+        for exp_id in EXPERIMENTS
     }

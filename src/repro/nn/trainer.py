@@ -12,6 +12,7 @@ from repro.nn.data import DataLoader
 from repro.nn.losses import Loss
 from repro.nn.model import Sequential
 from repro.nn.optim import Optimizer
+from repro.telemetry import get_telemetry
 from repro.utils.log import get_logger
 
 _log = get_logger(__name__)
@@ -84,6 +85,9 @@ class Trainer:
         self.loss = loss
         self.optimizer = optimizer
         self.gradient_clip = gradient_clip
+        #: Pre-clip gradient L2 norm of the most recent step (None until a
+        #: step that measured it — clipping enabled or telemetry active).
+        self.last_grad_norm: Optional[float] = None
 
     def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
         """One optimization step on a mini-batch; returns the batch loss."""
@@ -91,16 +95,23 @@ class Trainer:
         pred = self.model.forward(inputs, training=True)
         value = self.loss.forward(pred, targets)
         self.model.backward(self.loss.backward())
-        if self.gradient_clip is not None:
-            self._clip_gradients()
+        if self.gradient_clip is not None or get_telemetry().enabled:
+            self.last_grad_norm = self.grad_norm()
+            if self.gradient_clip is not None:
+                self._clip_gradients(self.last_grad_norm)
         self.optimizer.step()
         return value
 
-    def _clip_gradients(self) -> None:
+    def grad_norm(self) -> float:
+        """L2 norm of the concatenated parameter gradients (as accumulated)."""
         total = 0.0
         for p in self.model.parameters():
             total += float(np.sum(p.grad**2))
-        norm = np.sqrt(total)
+        return float(np.sqrt(total))
+
+    def _clip_gradients(self, norm: Optional[float] = None) -> None:
+        if norm is None:
+            norm = self.grad_norm()
         if norm > self.gradient_clip:
             scale = self.gradient_clip / norm
             for p in self.model.parameters():
@@ -184,17 +195,31 @@ class Trainer:
         if early_stopping is not None and val_loader is None:
             raise ConfigurationError("early stopping requires a validation loader")
         history = TrainingHistory()
+        telem = get_telemetry()
         for epoch in range(epochs):
-            epoch_total, batches = 0.0, 0
-            for inputs, targets in train_loader:
-                epoch_total += self.train_step(inputs, targets)
-                batches += 1
-            if batches == 0:
-                raise ConfigurationError("fit() received an empty training loader")
-            history.train_loss.append(epoch_total / batches)
+            with telem.span("trainer.epoch", epoch=epoch):
+                epoch_total, batches = 0.0, 0
+                grad_norms = []
+                for inputs, targets in train_loader:
+                    epoch_total += self.train_step(inputs, targets)
+                    batches += 1
+                    if self.last_grad_norm is not None:
+                        grad_norms.append(self.last_grad_norm)
+                if batches == 0:
+                    raise ConfigurationError("fit() received an empty training loader")
+                history.train_loss.append(epoch_total / batches)
 
-            if val_loader is not None:
-                history.val_loss.append(self.evaluate(val_loader))
+                if val_loader is not None:
+                    history.val_loss.append(self.evaluate(val_loader))
+            if telem.enabled:
+                telem.event(
+                    "trainer.epoch",
+                    epoch=epoch,
+                    train_loss=history.train_loss[-1],
+                    val_loss=history.val_loss[-1] if val_loader is not None else None,
+                    grad_norm=float(np.mean(grad_norms)) if grad_norms else None,
+                )
+                telem.histogram("trainer.train_loss").observe(history.train_loss[-1])
             _log.debug(
                 "epoch %d/%d train_loss=%.6f%s",
                 epoch + 1,

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.metrics.cdf import EmpiricalCDF
+from repro.telemetry import get_telemetry
 
 
 class NoveltyDetector:
@@ -66,6 +67,14 @@ class NoveltyDetector:
             self._threshold = self._cdf.quantile(self.percentile / 100.0)
         else:
             self._threshold = self._cdf.quantile(1.0 - self.percentile / 100.0)
+        telem = get_telemetry()
+        if telem.enabled:
+            telem.event(
+                "detector.fit",
+                threshold=float(self._threshold),
+                percentile=self.percentile,
+                n_train=int(np.asarray(train_scores).size),
+            )
         return self
 
     def predict(self, scores: np.ndarray) -> np.ndarray:
@@ -73,6 +82,7 @@ class NoveltyDetector:
         if self._threshold is None:
             raise NotFittedError("NoveltyDetector.predict() called before fit()")
         scores = np.asarray(scores, dtype=np.float64)
+        get_telemetry().counter("detector.predictions").inc(scores.size)
         if self.higher_is_novel:
             return scores > self._threshold
         return scores < self._threshold

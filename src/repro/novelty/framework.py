@@ -32,6 +32,7 @@ from repro.saliency.base import SaliencyMethod
 from repro.saliency.gradient import GradientSaliency
 from repro.saliency.lrp import LayerwiseRelevancePropagation
 from repro.saliency.vbp import VisualBackProp
+from repro.telemetry import get_telemetry
 from repro.utils.seeding import RngLike, derive_rng
 from repro.utils.validation import require_finite
 
@@ -195,8 +196,9 @@ class OneClassAutoencoder:
 
     def score(self, images: np.ndarray) -> np.ndarray:
         """Per-image novelty score (reconstruction loss; higher = more novel)."""
-        recon = self.autoencoder.predict(self._model_input(images))
-        return self._loss.per_sample(recon, self._flatten(images))
+        with get_telemetry().span("one_class.score", frames=int(np.asarray(images).shape[0])):
+            recon = self.autoencoder.predict(self._model_input(images))
+            return self._loss.per_sample(recon, self._flatten(images))
 
     def similarity(self, images: np.ndarray) -> np.ndarray:
         """Per-image similarity in the paper's reporting convention.
@@ -292,7 +294,12 @@ class SaliencyNoveltyPipeline:
 
     def score(self, frames: np.ndarray) -> np.ndarray:
         """Novelty scores (reconstruction loss of the VBP image)."""
-        return self.one_class.score(self.preprocess(frames))
+        with get_telemetry().span(
+            "pipeline.score",
+            frames=int(np.asarray(frames).shape[0]),
+            saliency=self.saliency_name,
+        ):
+            return self.one_class.score(self.preprocess(frames))
 
     def similarity(self, frames: np.ndarray) -> np.ndarray:
         """Similarity scores in the paper's convention (see

@@ -13,11 +13,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.telemetry import get_telemetry
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,7 @@ class StreamMonitor:
         self._recent: Deque[bool] = deque(maxlen=self.window)
         self._index = 0
         self._alarm_frames: List[int] = []
+        self._transitions: List[Tuple[int, Optional[int]]] = []
 
     @property
     def alarm_active(self) -> bool:
@@ -93,11 +95,23 @@ class StreamMonitor:
         """Number of frames processed so far."""
         return self._index
 
+    def alarm_transitions(self) -> List[Tuple[int, Optional[int]]]:
+        """``(raised_at, cleared_at)`` index pairs for each alarm episode.
+
+        ``raised_at`` is the frame at which the alarm turned on;
+        ``cleared_at`` is the first subsequent frame at which it was off
+        again, or ``None`` while the episode is still active.  Benchmarks
+        previously reconstructed these runs by hand from
+        :attr:`alarm_frames`; the telemetry alarm counters use them too.
+        """
+        return list(self._transitions)
+
     def reset(self) -> None:
         """Clear the sliding window and alarm history (new drive)."""
         self._recent.clear()
         self._index = 0
         self._alarm_frames = []
+        self._transitions = []
 
     def observe(self, frame: np.ndarray) -> FrameVerdict:
         """Score one frame and update the alarm state."""
@@ -108,17 +122,56 @@ class StreamMonitor:
 
         Batching exists for efficiency (the detector vectorizes over
         frames); verdicts are produced exactly as if frames had been
-        observed one at a time.
+        observed one at a time — every frame gets a verdict, including the
+        first ``window - 1`` frames while the sliding window is still
+        filling (the alarm can already raise there once
+        ``min_consecutive`` novel frames have accumulated).
+
+        When telemetry is enabled, frames are scored one at a time instead
+        so each gets its own ``monitor.frame`` span — the per-frame latency
+        a deployment would see — at the cost of the batch vectorization.
         """
         frames = np.asarray(frames, dtype=np.float64)
-        scores = self.detector.score(frames)
-        decisions = self.detector.one_class.detector.predict(scores)
+        telem = get_telemetry()
+        if telem.enabled and frames.shape[0] > 1:
+            verdicts = []
+            for frame in frames:
+                verdicts.extend(self.observe_batch(frame[None]))
+            return verdicts
+
+        if telem.enabled:
+            with telem.span("monitor.frame", index=self._index):
+                scores = self.detector.score(frames)
+                decisions = self.detector.one_class.detector.predict(scores)
+            margins = self.detector.one_class.detector.novelty_margin(scores)
+        else:
+            scores = self.detector.score(frames)
+            decisions = self.detector.one_class.detector.predict(scores)
+            margins = None
         verdicts = []
-        for score, is_novel in zip(scores, decisions):
+        for position, (score, is_novel) in enumerate(zip(scores, decisions)):
+            was_active = self.alarm_active
             self._recent.append(bool(is_novel))
             alarm = self.alarm_active
             if alarm:
                 self._alarm_frames.append(self._index)
+            if alarm and not was_active:
+                self._transitions.append((self._index, None))
+            elif was_active and not alarm:
+                raised_at, _ = self._transitions[-1]
+                self._transitions[-1] = (raised_at, self._index)
+            if telem.enabled:
+                telem.counter("monitor.frames").inc()
+                telem.histogram("monitor.score").observe(float(score))
+                telem.gauge("monitor.threshold_margin").set(float(margins[position]))
+                if is_novel:
+                    telem.counter("monitor.novel_frames").inc()
+                if alarm and not was_active:
+                    telem.counter("monitor.alarms_raised").inc()
+                    telem.event("monitor.alarm_raised", frame=self._index)
+                elif was_active and not alarm:
+                    telem.counter("monitor.alarms_cleared").inc()
+                    telem.event("monitor.alarm_cleared", frame=self._index)
             verdicts.append(
                 FrameVerdict(
                     index=self._index,

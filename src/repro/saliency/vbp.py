@@ -35,6 +35,7 @@ from repro.nn.layers import Conv2d, ReLU
 from repro.nn.layers.conv import conv_transpose2d
 from repro.nn.model import Sequential
 from repro.saliency.base import SaliencyMethod
+from repro.telemetry import get_telemetry
 
 
 @dataclass(frozen=True)
@@ -134,8 +135,18 @@ class VisualBackProp(SaliencyMethod):
                 f"model expects {self._stages[0].conv.in_channels} input channels, "
                 f"got {frames.shape[1]}"
             )
-        maps = self._averaged_maps(frames)
+        telem = get_telemetry()
+        with telem.span("vbp.forward", frames=int(frames.shape[0])):
+            maps = self._averaged_maps(frames)
+        with telem.span("vbp.backproject", stages=len(self._stages)):
+            return self._backproject(maps, frames.shape[2:])
 
+    def _backproject(self, maps: List[np.ndarray], input_hw: Tuple[int, int]) -> np.ndarray:
+        """The deconvolution cascade over pre-computed averaged maps.
+
+        Split out from :meth:`_compute` (which adds telemetry spans) so the
+        overhead micro-benchmark can time the bare computation.
+        """
         mask: Optional[np.ndarray] = None
         # Walk deep -> shallow, deconvolving through each stage's geometry.
         for level in range(len(self._stages) - 1, -1, -1):
@@ -150,7 +161,7 @@ class VisualBackProp(SaliencyMethod):
             if level > 0:
                 target = maps[level - 1].shape[2:]
             else:
-                target = frames.shape[2:]
+                target = input_hw
             mask = _fit_to(upscaled, target)
 
         return mask[:, 0, :, :]

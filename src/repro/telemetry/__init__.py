@@ -1,0 +1,61 @@
+"""Telemetry: metrics, spans, and event export for the runtime claims.
+
+The paper argues VBP-based novelty detection is fast enough for real-time
+deployment; this subsystem is how the repo *observes* that — per-frame
+scoring spans, score/latency histograms with p50/p95/p99 summaries, and
+alarm counters, exported as JSONL traces that ``repro telemetry`` renders.
+
+Three pieces (see ``docs/observability.md`` for conventions):
+
+* :class:`MetricsRegistry` — process-local counters, gauges, and
+  fixed-bucket histograms;
+* spans — ``get_telemetry().span("vbp.forward")`` context managers that
+  nest, accumulate wall-clock, and attach key/value attributes;
+* sinks — :class:`JsonlSink` event export plus text/dict renderers.
+
+All instrumented code paths run against a shared no-op null backend until
+:func:`enable_telemetry` / :func:`telemetry_session` installs a real one,
+so telemetry costs ~nothing when disabled.
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_snapshot,
+)
+from repro.telemetry.report import render_jsonl_report, render_summary, summarize_events
+from repro.telemetry.runtime import (
+    NullTelemetry,
+    Telemetry,
+    disable_telemetry,
+    enable_telemetry,
+    get_telemetry,
+    telemetry_session,
+)
+from repro.telemetry.sink import EventSink, JsonlSink, MemorySink, read_events
+from repro.telemetry.spans import SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_snapshot",
+    "render_jsonl_report",
+    "render_summary",
+    "summarize_events",
+    "NullTelemetry",
+    "Telemetry",
+    "disable_telemetry",
+    "enable_telemetry",
+    "get_telemetry",
+    "telemetry_session",
+    "EventSink",
+    "JsonlSink",
+    "MemorySink",
+    "read_events",
+    "SpanRecord",
+    "Tracer",
+]

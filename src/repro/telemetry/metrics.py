@@ -1,0 +1,225 @@
+"""Process-local metric instruments: counters, gauges, histograms.
+
+The registry is deliberately tiny — no labels, no exposition formats, no
+background threads.  Instruments are named with dotted lowercase paths
+(``monitor.score``, ``trainer.grad_norm``) and live for the duration of one
+telemetry session; :meth:`MetricsRegistry.snapshot` turns the whole
+registry into a plain dict that serializes straight into the JSONL trace.
+
+Histograms keep both fixed-bucket counts (for cheap distribution rendering)
+and the raw observations, so the p50/p95/p99 summaries are exact — computed
+with the same :func:`repro.utils.timer.percentile` interpolation the
+:class:`~repro.utils.timer.Timer` uses, not bucket-boundary estimates.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.utils.timer import percentile
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+#: Default histogram buckets: log-spaced upper bounds covering microseconds
+#: to tens of seconds when observing latencies, and most score ranges when
+#: observing losses.  Values above the last bound land in an overflow bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    base * 10.0**exp for exp in range(-6, 2) for base in (1.0, 2.5, 5.0)
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ConfigurationError(
+            f"metric names are dotted lowercase identifiers, got {name!r}"
+        )
+    return name
+
+
+class Counter:
+    """Monotonically increasing count (alarms raised, frames seen)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value of a quantity that can move both ways."""
+
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        """Record the current value of the gauge."""
+        self.value = float(value)
+        self.updates += 1
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact percentile summaries.
+
+    Parameters
+    ----------
+    name:
+        Dotted metric name.
+    buckets:
+        Ascending upper bounds; an implicit overflow bucket catches values
+        above the last bound.  Defaults to :data:`DEFAULT_BUCKETS`.
+    """
+
+    __slots__ = ("name", "buckets", "bucket_counts", "samples")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None) -> None:
+        bounds = tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
+        if not bounds or any(nxt <= prev for prev, nxt in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name} needs strictly ascending bucket bounds"
+            )
+        self.name = name
+        self.buckets = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1 overflow
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.samples.append(value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return float(sum(self.samples))
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.total / self.count if self.samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact linear-interpolated percentile of the observations."""
+        return percentile(self.samples, q)
+
+    def summary(self) -> Dict[str, float]:
+        """The rollup recorded in snapshots: count/mean/min/max/p50/p95/p99."""
+        if not self.samples:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": min(self.samples),
+            "max": max(self.samples),
+            "p50": self.quantile(50.0),
+            "p95": self.quantile(95.0),
+            "p99": self.quantile(99.0),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in one telemetry session."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _claim(self, name: str, kind: Dict[str, object]) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not kind and name in family:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first request)."""
+        if name not in self._counters:
+            self._claim(_check_name(name), self._counters)
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first request)."""
+        if name not in self._gauges:
+            self._claim(_check_name(name), self._gauges)
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """The histogram named ``name`` (created on first request).
+
+        ``buckets`` only takes effect at creation; later requests return
+        the existing instrument unchanged.
+        """
+        if name not in self._histograms:
+            self._claim(_check_name(name), self._histograms)
+            self._histograms[name] = Histogram(name, buckets=buckets)
+        return self._histograms[name]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict view of every instrument (JSON-serializable)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line report of the current snapshot."""
+        return render_snapshot(self.snapshot())
+
+
+def render_snapshot(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """Format a :meth:`MetricsRegistry.snapshot` dict as a text block."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        lines.extend(f"  {n:<32} {v:>12g}" for n, v in sorted(counters.items()))
+    if gauges:
+        lines.append("gauges:")
+        lines.extend(
+            f"  {n:<32} {'unset' if v is None else format(v, '>12.6g')}"
+            for n, v in sorted(gauges.items())
+        )
+    if histograms:
+        lines.append("histograms:")
+        for name, summary in sorted(histograms.items()):
+            if not summary.get("count"):
+                lines.append(f"  {name:<32} (empty)")
+                continue
+            lines.append(
+                f"  {name:<32} n={summary['count']:<6} mean={summary['mean']:.6g} "
+                f"p50={summary['p50']:.6g} p95={summary['p95']:.6g} "
+                f"p99={summary['p99']:.6g} max={summary['max']:.6g}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,104 @@
+"""Rendering JSONL telemetry traces into human-readable reports.
+
+``repro telemetry TRACE`` is a thin wrapper over
+:func:`render_jsonl_report`; :func:`summarize_events` is the
+machine-readable middle step tests assert against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.telemetry.sink import read_events
+from repro.utils.timer import percentile
+
+
+def summarize_events(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate a trace's records into one summary dict.
+
+    Returns
+    -------
+    dict with keys:
+
+    ``spans``
+        Per span name: ``count``, ``total``, ``mean``, ``p50``, ``p95``,
+        ``p99``, ``max`` over durations (seconds), recomputed from the raw
+        span records with :func:`repro.utils.timer.percentile`.
+    ``events``
+        Per event name: occurrence count.
+    ``metrics``
+        The final ``snapshot`` record's counters/gauges/histograms
+        (empty dicts when the trace has no snapshot).
+    ``n_records``
+        Total records parsed.
+    """
+    durations: Dict[str, List[float]] = {}
+    event_counts: Dict[str, int] = {}
+    metrics: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            durations.setdefault(record["name"], []).append(
+                float(record["duration"])
+            )
+        elif kind == "event":
+            name = record.get("name", "?")
+            event_counts[name] = event_counts.get(name, 0) + 1
+        elif kind == "snapshot":
+            metrics = record.get("metrics", metrics)
+    spans = {
+        name: {
+            "count": len(laps),
+            "total": sum(laps),
+            "mean": sum(laps) / len(laps),
+            "p50": percentile(laps, 50.0),
+            "p95": percentile(laps, 95.0),
+            "p99": percentile(laps, 99.0),
+            "max": max(laps),
+        }
+        for name, laps in durations.items()
+    }
+    return {
+        "spans": spans,
+        "events": event_counts,
+        "metrics": metrics,
+        "n_records": len(records),
+    }
+
+
+def render_summary(summary: Dict[str, Any]) -> str:
+    """Format a :func:`summarize_events` dict as a text report."""
+    from repro.telemetry.metrics import render_snapshot
+
+    lines = [f"telemetry trace: {summary['n_records']} records"]
+    spans = summary.get("spans", {})
+    if spans:
+        lines.append("")
+        lines.append(
+            f"{'span':<28} {'count':>6} {'total s':>9} {'mean ms':>9} "
+            f"{'p50 ms':>9} {'p95 ms':>9} {'p99 ms':>9} {'max ms':>9}"
+        )
+        for name, s in sorted(spans.items(), key=lambda kv: -kv[1]["total"]):
+            lines.append(
+                f"{name:<28} {s['count']:>6} {s['total']:>9.3f} "
+                f"{s['mean'] * 1e3:>9.3f} {s['p50'] * 1e3:>9.3f} "
+                f"{s['p95'] * 1e3:>9.3f} {s['p99'] * 1e3:>9.3f} "
+                f"{s['max'] * 1e3:>9.3f}"
+            )
+    events = summary.get("events", {})
+    if events:
+        lines.append("")
+        lines.append("events:")
+        lines.extend(
+            f"  {name:<32} {count:>6}" for name, count in sorted(events.items())
+        )
+    metrics = summary.get("metrics") or {}
+    if any(metrics.get(k) for k in ("counters", "gauges", "histograms")):
+        lines.append("")
+        lines.append(render_snapshot(metrics))
+    return "\n".join(lines)
+
+
+def render_jsonl_report(path) -> str:
+    """Read a JSONL trace and render its full report."""
+    return render_summary(summarize_events(read_events(path)))

@@ -1,0 +1,89 @@
+"""Event sinks: where telemetry records go.
+
+Every record is one flat JSON-serializable dict with a ``type`` field
+(``span``, ``event``, or ``snapshot``).  :class:`JsonlSink` appends one
+JSON line per record — the trace format ``repro telemetry`` reads back —
+and :class:`MemorySink` keeps records in a list for tests and notebooks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import SerializationError
+
+
+class EventSink:
+    """Interface: receives record dicts, may buffer, must close cleanly."""
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class MemorySink(EventSink):
+    """Keeps every record in memory (``sink.records``)."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+        self.closed = False
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class JsonlSink(EventSink):
+    """Appends records as JSON lines to ``path`` (parent dirs created)."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("w", encoding="utf-8")
+            except OSError as exc:
+                raise SerializationError(
+                    f"failed to open telemetry trace {self.path}: {exc}"
+                ) from exc
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_events(path) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace written by :class:`JsonlSink` back into dicts."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"telemetry trace {path} does not exist")
+    try:
+        handle = path.open("r", encoding="utf-8")
+    except OSError as exc:
+        raise SerializationError(
+            f"failed to read telemetry trace {path}: {exc}"
+        ) from exc
+    records = []
+    with handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise SerializationError(
+                    f"{path}:{lineno} is not valid JSON: {exc}"
+                ) from exc
+    return records

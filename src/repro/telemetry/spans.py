@@ -1,0 +1,142 @@
+"""Span-based tracing for nested wall-clock measurement.
+
+A span measures one named region of work (``vbp.forward``,
+``trainer.epoch``).  Spans nest lexically — entering a span inside another
+records the parent name and depth — so a trace of one monitored frame reads
+as a tree: ``monitor.frame`` containing ``pipeline.score`` containing
+``vbp.forward`` and ``one_class.score``.
+
+The tracer is process-local and single-threaded, like everything else in
+this library; it keeps an explicit stack rather than thread-locals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One finished span.
+
+    Attributes
+    ----------
+    name:
+        Dotted span name.
+    index:
+        Monotone per-tracer sequence number (finish order).
+    start:
+        Start time in seconds relative to the tracer's epoch.
+    duration:
+        Wall-clock seconds spent inside the span (includes children).
+    parent:
+        Name of the enclosing span, or ``None`` at top level.
+    depth:
+        Nesting depth (0 = top level).
+    attributes:
+        Key/value pairs attached at entry (plus ``error=True`` when the
+        span exited via an exception).
+    """
+
+    name: str
+    index: int
+    start: float
+    duration: float
+    parent: Optional[str]
+    depth: int
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+
+class _ActiveSpan:
+    """Context manager for one live span (returned by :meth:`Tracer.span`)."""
+
+    __slots__ = ("_tracer", "name", "attributes", "_start", "parent", "depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self._start = 0.0
+        self.parent: Optional[str] = None
+        self.depth = 0
+
+    def __enter__(self) -> "_ActiveSpan":
+        stack = self._tracer._stack
+        self.parent = stack[-1].name if stack else None
+        self.depth = len(stack)
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        stack = self._tracer._stack
+        # Tolerate out-of-order exits (generators, test teardown): pop back
+        # to this span instead of corrupting the stack.
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if exc_type is not None:
+            self.attributes["error"] = True
+        self._tracer._finish(self, duration)
+        return False
+
+
+class Tracer:
+    """Creates nested spans and hands finished records to a callback.
+
+    Parameters
+    ----------
+    on_finish:
+        Called with each :class:`SpanRecord` as the span exits (the
+        telemetry runtime uses this to feed sinks and latency histograms).
+    keep_records:
+        Also retain finished records on :attr:`records` for in-process
+        inspection.  Tests use this; long-lived sessions that only export
+        to a sink can turn it off.
+    """
+
+    def __init__(
+        self,
+        on_finish: Optional[Callable[[SpanRecord], None]] = None,
+        keep_records: bool = True,
+    ) -> None:
+        self._stack: List[_ActiveSpan] = []
+        self._on_finish = on_finish
+        self._keep_records = bool(keep_records)
+        self._epoch = time.perf_counter()
+        self._count = 0
+        self.records: List[SpanRecord] = []
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 when no span is open)."""
+        return len(self._stack)
+
+    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
+        """A context manager timing the named region.
+
+        Key/value ``attributes`` are attached to the finished record; more
+        can be added inside the block via the yielded span's
+        ``attributes`` dict.
+        """
+        return _ActiveSpan(self, name, dict(attributes))
+
+    def _finish(self, span: _ActiveSpan, duration: float) -> None:
+        record = SpanRecord(
+            name=span.name,
+            index=self._count,
+            start=span._start - self._epoch,
+            duration=duration,
+            parent=span.parent,
+            depth=span.depth,
+            attributes=span.attributes,
+        )
+        self._count += 1
+        if self._keep_records:
+            self.records.append(record)
+        if self._on_finish is not None:
+            self._on_finish(record)

@@ -1,8 +1,8 @@
 """Shared utilities: deterministic seeding, logging, timing, validation."""
 
-from repro.utils.log import enable_console_logging, get_logger
+from repro.utils.log import disable_console_logging, enable_console_logging, get_logger
 from repro.utils.seeding import derive_rng, spawn_rngs
-from repro.utils.timer import Timer, time_call
+from repro.utils.timer import Timer, percentile, time_call
 from repro.utils.validation import (
     require_finite,
     require_in_range,
@@ -13,11 +13,13 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "disable_console_logging",
     "enable_console_logging",
     "get_logger",
     "derive_rng",
     "spawn_rngs",
     "Timer",
+    "percentile",
     "time_call",
     "require_finite",
     "require_in_range",

@@ -30,10 +30,15 @@ def get_logger(name: Optional[str] = None) -> logging.Logger:
     return logging.getLogger(name)
 
 
-def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
-    """Attach a stderr handler to the ``repro`` logger (idempotent).
+def enable_console_logging(level: int = logging.INFO, stream=None) -> logging.Handler:
+    """Attach a console handler to the ``repro`` logger (idempotent).
 
-    Returns the handler so callers can detach or re-level it.
+    ``stream`` defaults to stderr (the :class:`logging.StreamHandler`
+    default); passing a file-like object redirects the handler there —
+    handy for tests capturing output or scripts teeing to a file.  When a
+    console handler already exists it is re-leveled, and re-pointed if a
+    different ``stream`` is given.  Returns the handler so callers can
+    detach or re-level it (or use :func:`disable_console_logging`).
     """
     root = logging.getLogger(_ROOT_NAME)
     for handler in root.handlers:
@@ -41,9 +46,11 @@ def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
             handler, "_repro_console", False
         ):
             handler.setLevel(level)
+            if stream is not None and handler.stream is not stream:
+                handler.setStream(stream)
             root.setLevel(level)
             return handler
-    handler = logging.StreamHandler()
+    handler = logging.StreamHandler(stream)
     handler.setLevel(level)
     handler.setFormatter(
         logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
@@ -52,3 +59,24 @@ def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
     root.addHandler(handler)
     root.setLevel(level)
     return handler
+
+
+def disable_console_logging() -> bool:
+    """Detach the handler installed by :func:`enable_console_logging`.
+
+    Returns whether a console handler was actually attached.  The root
+    ``repro`` logger's level is reset to ``NOTSET`` so the library goes
+    back to being silent-by-default.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    removed = False
+    for handler in list(root.handlers):
+        if isinstance(handler, logging.StreamHandler) and getattr(
+            handler, "_repro_console", False
+        ):
+            root.removeHandler(handler)
+            handler.close()
+            removed = True
+    if removed:
+        root.setLevel(logging.NOTSET)
+    return removed

@@ -2,9 +2,30 @@
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Tuple
+from typing import Any, Callable, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of a sequence (0.0 when empty).
+
+    Matches ``numpy.percentile``'s default (linear) method; shared by
+    :class:`Timer` and the telemetry histogram summaries so every latency
+    report in the repo quotes the same statistic.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        return 0.0
+    pos = (len(ordered) - 1) * (q / 100.0)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return ordered[lo]
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
 
 
 @dataclass
@@ -44,6 +65,26 @@ class Timer:
     def min(self) -> float:
         """Fastest recorded lap (0.0 when nothing recorded)."""
         return min(self.laps) if self.laps else 0.0
+
+    @property
+    def max(self) -> float:
+        """Slowest recorded lap (0.0 when nothing recorded)."""
+        return max(self.laps) if self.laps else 0.0
+
+    @property
+    def p50(self) -> float:
+        """Median lap time (0.0 when nothing recorded)."""
+        return percentile(self.laps, 50.0)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile lap time (0.0 when nothing recorded)."""
+        return percentile(self.laps, 95.0)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile lap time (0.0 when nothing recorded)."""
+        return percentile(self.laps, 99.0)
 
 
 def time_call(fn: Callable[..., Any], *args: Any, repeats: int = 1, **kwargs: Any) -> Tuple[Any, Timer]:

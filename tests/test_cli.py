@@ -126,3 +126,40 @@ class TestDemoCommand:
         out = capsys.readouterr().out
         assert "VBP+SSIM (proposed)" in out
         assert "AUROC" in out
+
+
+class TestTelemetryCommand:
+    def test_parser_accepts_telemetry_flag(self, tmp_path):
+        args = build_parser().parse_args(
+            ["experiment", "latency", "--telemetry", str(tmp_path / "t.jsonl")]
+        )
+        assert args.telemetry == tmp_path / "t.jsonl"
+
+    def test_experiment_writes_trace_and_report_renders(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        exit_code = main(
+            ["experiment", "latency", "--scale", "ci", "--telemetry", str(trace)]
+        )
+        assert exit_code == 0
+        assert trace.exists()
+        assert "telemetry trace written" in capsys.readouterr().out
+
+        # The backend is restored after the run...
+        from repro.telemetry import get_telemetry
+
+        assert get_telemetry().enabled is False
+
+        # ...and the trace contains per-frame scoring spans plus the score
+        # histogram with percentile summaries.
+        exit_code = main(["telemetry", str(trace)])
+        assert exit_code == 0
+        report = capsys.readouterr().out
+        assert "monitor.frame" in report
+        assert "pipeline.score" in report
+        assert "monitor.score" in report
+        assert "p50" in report and "p95" in report and "p99" in report
+
+    def test_telemetry_command_on_missing_trace(self, tmp_path, capsys):
+        exit_code = main(["telemetry", str(tmp_path / "absent.jsonl")])
+        assert exit_code == 2
+        assert "does not exist" in capsys.readouterr().err

@@ -103,6 +103,114 @@ class TestReset:
         assert 999 not in monitor.alarm_frames
 
 
+class TestAlarmTransitions:
+    def test_every_early_frame_gets_a_verdict(self, fitted_pipeline, dsu_test):
+        """The first window-1 frames are monitored too, not swallowed."""
+        monitor = StreamMonitor(fitted_pipeline, window=5, min_consecutive=3)
+        verdicts = monitor.observe_batch(dsu_test.frames[:4])
+        assert len(verdicts) == 4
+        assert [v.index for v in verdicts] == [0, 1, 2, 3]
+        assert all(isinstance(v, FrameVerdict) for v in verdicts)
+
+    def test_alarm_can_raise_before_window_fills(self, fitted_pipeline, dsi_novel):
+        """min_consecutive novel frames suffice even while the window fills."""
+        monitor = StreamMonitor(fitted_pipeline, window=5, min_consecutive=1)
+        verdicts = monitor.observe_batch(dsi_novel.frames[:2])
+        novel_at = [v.index for v in verdicts if v.is_novel]
+        if novel_at:  # with min_consecutive=1 the first novel frame alarms
+            assert verdicts[novel_at[0]].alarm
+
+    def test_transitions_pair_raise_and_clear(self, fitted_pipeline, dsu_test, dsi_novel):
+        frames = np.concatenate([
+            dsu_test.frames[:5], dsi_novel.frames[:6], dsu_test.frames[5:10],
+        ])
+        monitor = StreamMonitor(fitted_pipeline, window=3, min_consecutive=2)
+        verdicts = monitor.observe_batch(frames)
+        transitions = monitor.alarm_transitions()
+        # Reconstruct episodes by hand from the verdicts (what the
+        # benchmarks used to do) and require exact agreement.
+        expected = []
+        active = False
+        for v in verdicts:
+            if v.alarm and not active:
+                expected.append([v.index, None])
+                active = True
+            elif active and not v.alarm:
+                expected[-1][1] = v.index
+                active = False
+        assert transitions == [tuple(pair) for pair in expected]
+        assert transitions, "the novel burst should raise at least one episode"
+        raised_at, cleared_at = transitions[0]
+        assert raised_at >= 5  # not before the novel segment starts
+        assert cleared_at is None or cleared_at > raised_at
+
+    def test_open_episode_has_none_clear(self, fitted_pipeline, dsi_novel):
+        monitor = StreamMonitor(fitted_pipeline, window=3, min_consecutive=1)
+        monitor.observe_batch(dsi_novel.frames[:6])
+        transitions = monitor.alarm_transitions()
+        assert transitions
+        assert transitions[-1][1] is None  # still alarming at stream end
+
+    def test_reset_clears_transitions(self, fitted_pipeline, dsi_novel):
+        monitor = StreamMonitor(fitted_pipeline, window=3, min_consecutive=1)
+        monitor.observe_batch(dsi_novel.frames[:3])
+        monitor.reset()
+        assert monitor.alarm_transitions() == []
+
+    def test_transitions_returns_copy(self, fitted_pipeline, dsi_novel):
+        monitor = StreamMonitor(fitted_pipeline, window=3, min_consecutive=1)
+        monitor.observe_batch(dsi_novel.frames[:3])
+        copy = monitor.alarm_transitions()
+        copy.append((123, 456))
+        assert (123, 456) not in monitor.alarm_transitions()
+
+
+class TestMonitorTelemetry:
+    def test_counters_histogram_and_margin(self, fitted_pipeline, dsu_test, dsi_novel):
+        from repro.telemetry import telemetry_session
+
+        frames = np.concatenate([dsu_test.frames[:4], dsi_novel.frames[:5]])
+        with telemetry_session() as telem:
+            monitor = StreamMonitor(fitted_pipeline, window=3, min_consecutive=2)
+            verdicts = monitor.observe_batch(frames)
+            snap = telem.snapshot()
+        assert snap["counters"]["monitor.frames"] == len(frames)
+        assert snap["counters"]["monitor.novel_frames"] == sum(
+            v.is_novel for v in verdicts
+        )
+        assert snap["counters"]["monitor.alarms_raised"] == len(
+            monitor.alarm_transitions()
+        )
+        score_hist = snap["histograms"]["monitor.score"]
+        assert score_hist["count"] == len(frames)
+        assert snap["gauges"]["monitor.threshold_margin"] is not None
+
+    def test_per_frame_spans_match_verdicts(self, fitted_pipeline, dsu_test):
+        from repro.telemetry import telemetry_session
+
+        with telemetry_session() as telem:
+            monitor = StreamMonitor(fitted_pipeline)
+            monitor.observe_batch(dsu_test.frames[:4])
+            spans = telem.histogram("span.monitor.frame").count
+        assert spans == 4  # batch decomposed into per-frame scoring spans
+
+    def test_telemetry_path_preserves_verdicts(self, fitted_pipeline, dsu_test, dsi_novel):
+        """Instrumented per-frame scoring must not change decisions."""
+        from repro.telemetry import telemetry_session
+
+        frames = np.concatenate([dsu_test.frames[:3], dsi_novel.frames[:4]])
+        plain = StreamMonitor(fitted_pipeline, window=3, min_consecutive=2)
+        plain_verdicts = plain.observe_batch(frames)
+        with telemetry_session():
+            traced = StreamMonitor(fitted_pipeline, window=3, min_consecutive=2)
+            traced_verdicts = traced.observe_batch(frames)
+        for p, t in zip(plain_verdicts, traced_verdicts):
+            assert p.index == t.index
+            assert p.is_novel == t.is_novel
+            assert p.alarm == t.alarm
+            assert p.score == pytest.approx(t.score, rel=1e-9)
+
+
 class TestMonitorWithOtherDetectors:
     def test_works_with_fusion_detector(self, ci_workbench, trained_pilotnet, dsi_novel):
         """StreamMonitor only needs the pipeline interface, so fusion and

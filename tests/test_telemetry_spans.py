@@ -1,0 +1,213 @@
+"""Tests for span tracing, sinks, JSONL round-trips, and reports."""
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.telemetry import (
+    MemorySink,
+    Tracer,
+    disable_telemetry,
+    get_telemetry,
+    read_events,
+    render_jsonl_report,
+    render_summary,
+    summarize_events,
+    telemetry_session,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_null_backend():
+    yield
+    disable_telemetry()
+
+
+class TestTracer:
+    def test_records_name_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        (rec,) = tracer.records
+        assert rec.name == "work"
+        assert rec.duration >= 0.0
+        assert rec.parent is None
+        assert rec.depth == 0
+
+    def test_nesting_tracks_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["inner"].parent == "middle" and by_name["inner"].depth == 2
+        assert by_name["middle"].parent == "outer" and by_name["middle"].depth == 1
+        assert by_name["outer"].parent is None and by_name["outer"].depth == 0
+        assert tracer.depth == 0
+
+    def test_children_finish_before_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [r.name for r in tracer.records] == ["inner", "outer"]
+        outer = tracer.records[1]
+        inner = tracer.records[0]
+        assert outer.duration >= inner.duration
+
+    def test_attributes_attach_at_entry_and_inside(self):
+        tracer = Tracer()
+        with tracer.span("work", frames=4) as span:
+            span.attributes["extra"] = "yes"
+        (rec,) = tracer.records
+        assert rec.attributes == {"frames": 4, "extra": "yes"}
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        (rec,) = tracer.records
+        assert rec.attributes["error"] is True
+        assert tracer.depth == 0
+
+    def test_sequential_spans_share_no_parent(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.parent for r in tracer.records] == [None, None]
+
+
+class TestTelemetrySpans:
+    def test_spans_feed_duration_histograms(self):
+        with telemetry_session() as telem:
+            for _ in range(3):
+                with telem.span("step"):
+                    pass
+            hist = telem.histogram("span.step")
+            assert hist.count == 3
+            assert all(v >= 0.0 for v in hist.samples)
+
+    def test_memory_sink_sees_span_and_event_records(self):
+        with telemetry_session() as telem:
+            sink = MemorySink()
+            telem.add_sink(sink)
+            with telem.span("outer", n=2):
+                with telem.span("inner"):
+                    pass
+            telem.event("milestone", status="ok")
+        kinds = [r["type"] for r in sink.records]
+        # inner finishes first, then outer, then the event, then the
+        # close-time snapshot.
+        assert kinds == ["span", "span", "event", "snapshot"]
+        inner, outer = sink.records[0], sink.records[1]
+        assert inner["name"] == "inner" and inner["parent"] == "outer"
+        assert outer["attrs"] == {"n": 2}
+        assert sink.records[2]["fields"] == {"status": "ok"}
+        assert sink.closed
+
+
+class TestJsonlRoundTrip:
+    def test_trace_round_trips_through_disk(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with telemetry_session(path) as telem:
+            with telem.span("work", frames=2):
+                pass
+            telem.counter("frames").inc(2)
+            telem.histogram("score").observe(0.5)
+            telem.event("done")
+        records = read_events(path)
+        types = [r["type"] for r in records]
+        assert types == ["span", "event", "snapshot"]
+        span = records[0]
+        assert span["name"] == "work" and span["attrs"] == {"frames": 2}
+        snapshot = records[-1]["metrics"]
+        assert snapshot["counters"]["frames"] == 2.0
+        assert snapshot["histograms"]["score"]["count"] == 1
+
+    def test_missing_trace_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            read_events(tmp_path / "absent.jsonl")
+
+    def test_corrupt_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "event"}\nnot json\n')
+        with pytest.raises(SerializationError, match="bad.jsonl:2"):
+            read_events(path)
+
+
+class TestReports:
+    def _trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with telemetry_session(path) as telem:
+            for i in range(10):
+                with telem.span("frame", index=i):
+                    pass
+                telem.histogram("monitor.score").observe(i / 10.0)
+            telem.event("alarm", frame=7)
+        return path
+
+    def test_summary_aggregates_spans(self, tmp_path):
+        summary = summarize_events(read_events(self._trace(tmp_path)))
+        frame = summary["spans"]["frame"]
+        assert frame["count"] == 10
+        assert frame["p50"] <= frame["p95"] <= frame["p99"] <= frame["max"]
+        assert summary["events"] == {"alarm": 1}
+        score = summary["metrics"]["histograms"]["monitor.score"]
+        assert score["count"] == 10
+        assert score["p50"] == pytest.approx(0.45)
+
+    def test_rendered_report_quotes_percentiles(self, tmp_path):
+        text = render_jsonl_report(self._trace(tmp_path))
+        assert "frame" in text
+        assert "p50" in text and "p95" in text and "p99" in text
+        assert "monitor.score" in text
+
+    def test_summary_of_empty_trace(self):
+        summary = summarize_events([])
+        assert summary["spans"] == {} and summary["n_records"] == 0
+        assert "0 records" in render_summary(summary)
+
+
+class TestInstrumentedTrainer:
+    def test_per_epoch_events_recorded(self):
+        import numpy as np
+
+        from repro.nn import Adam, ArrayDataset, DataLoader, Dense, MSELoss, Sequential, Trainer
+
+        model = Sequential([Dense(3, 1, rng=0)])
+        trainer = Trainer(model, MSELoss(), Adam(model.parameters()))
+        x = np.random.default_rng(0).normal(size=(16, 3))
+        train = DataLoader(ArrayDataset(x, x[:, :1]), batch_size=8, rng=0)
+        val = DataLoader(ArrayDataset(x, x[:, :1]), batch_size=8)
+        with telemetry_session() as telem:
+            sink = MemorySink()
+            telem.add_sink(sink)
+            history = trainer.fit(train, epochs=3, val_loader=val)
+            epoch_spans = telem.histogram("span.trainer.epoch").count
+        events = [
+            r for r in sink.records
+            if r["type"] == "event" and r["name"] == "trainer.epoch"
+        ]
+        assert len(events) == 3
+        assert epoch_spans == 3
+        for i, event in enumerate(events):
+            fields = event["fields"]
+            assert fields["epoch"] == i
+            assert fields["train_loss"] == pytest.approx(history.train_loss[i])
+            assert fields["val_loss"] == pytest.approx(history.val_loss[i])
+            assert fields["grad_norm"] > 0.0
+
+    def test_grad_norm_none_without_clip_or_telemetry(self):
+        import numpy as np
+
+        from repro.nn import Adam, ArrayDataset, DataLoader, Dense, MSELoss, Sequential, Trainer
+
+        model = Sequential([Dense(3, 1, rng=0)])
+        trainer = Trainer(model, MSELoss(), Adam(model.parameters()))
+        x = np.random.default_rng(0).normal(size=(8, 3))
+        loader = DataLoader(ArrayDataset(x, x[:, :1]), batch_size=8, rng=0)
+        trainer.fit(loader, epochs=1)
+        assert trainer.last_grad_norm is None

@@ -43,3 +43,49 @@ class TestEnableConsoleLogging:
         with caplog.at_level(logging.DEBUG, logger="repro"):
             trainer.fit(loader, epochs=2)
         assert sum("train_loss" in r.message for r in caplog.records) == 2
+
+
+class TestStreamAndDisable:
+    def test_custom_stream_receives_records(self):
+        import io
+
+        from repro.utils.log import disable_console_logging
+
+        buffer = io.StringIO()
+        try:
+            enable_console_logging(logging.INFO, stream=buffer)
+            get_logger("test.stream").info("hello buffer")
+            assert "hello buffer" in buffer.getvalue()
+        finally:
+            disable_console_logging()
+
+    def test_repointing_existing_handler(self):
+        import io
+
+        from repro.utils.log import disable_console_logging
+
+        first, second = io.StringIO(), io.StringIO()
+        try:
+            a = enable_console_logging(logging.INFO, stream=first)
+            b = enable_console_logging(logging.INFO, stream=second)
+            assert a is b  # still idempotent...
+            get_logger("test.repoint").info("where am i")
+            assert "where am i" in second.getvalue()  # ...but repointed
+            assert "where am i" not in first.getvalue()
+        finally:
+            disable_console_logging()
+
+    def test_disable_detaches_handler(self):
+        from repro.utils.log import disable_console_logging
+
+        handler = enable_console_logging(logging.INFO)
+        root = logging.getLogger("repro")
+        assert handler in root.handlers
+        assert disable_console_logging() is True
+        assert handler not in root.handlers
+        assert root.level == logging.NOTSET
+
+    def test_disable_without_enable_is_harmless(self):
+        from repro.utils.log import disable_console_logging
+
+        assert disable_console_logging() is False

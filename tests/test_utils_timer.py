@@ -57,3 +57,56 @@ class TestTimeCall:
     def test_forwards_kwargs(self):
         result, _ = time_call(lambda a, b=0: a + b, 1, b=2)
         assert result == 3
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        import numpy as np
+
+        from repro.utils.timer import percentile
+
+        values = list(np.random.default_rng(7).exponential(size=101))
+        for q in (0.0, 25.0, 50.0, 95.0, 99.0, 100.0):
+            assert percentile(values, q) == pytest.approx(np.percentile(values, q))
+
+    def test_empty_is_zero(self):
+        from repro.utils.timer import percentile
+
+        assert percentile([], 50.0) == 0.0
+
+    def test_rejects_out_of_range_q(self):
+        from repro.utils.timer import percentile
+
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+    def test_single_value(self):
+        from repro.utils.timer import percentile
+
+        assert percentile([3.5], 99.0) == 3.5
+
+
+class TestTimerPercentiles:
+    def test_properties_on_empty_timer(self):
+        t = Timer()
+        assert t.p50 == 0.0
+        assert t.p95 == 0.0
+        assert t.p99 == 0.0
+        assert t.max == 0.0
+
+    def test_ordering_and_bounds(self):
+        t = Timer()
+        for _ in range(20):
+            with t:
+                sum(range(500))
+        assert t.min <= t.p50 <= t.p95 <= t.p99 <= t.max
+        assert t.max == max(t.laps)
+
+    def test_p50_is_median(self):
+        import numpy as np
+
+        t = Timer()
+        t.laps = [0.1, 0.2, 0.3, 0.4, 0.5]
+        assert t.p50 == pytest.approx(np.percentile(t.laps, 50))
