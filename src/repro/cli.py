@@ -16,6 +16,16 @@ Commands
 ``telemetry``
     Summarize a JSONL telemetry trace written by ``--telemetry PATH``
     (span latency percentiles, counters, score histograms).
+``bundle``
+    Train the proposed pipeline and save it as a deployable artifact
+    bundle (see ``docs/serving.md``).
+``serve``
+    Run the micro-batched inference engine — either as a localhost socket
+    service over an artifact bundle, or ``--once`` in-process to score a
+    batch of rendered frames and exit.
+``bench-serve``
+    Load-test the serving engine and print throughput plus p50/p95/p99
+    latency.
 """
 
 from __future__ import annotations
@@ -88,7 +98,79 @@ def build_parser() -> argparse.ArgumentParser:
     tele = sub.add_parser("telemetry", help="summarize a JSONL telemetry trace")
     tele.add_argument("trace", type=Path, help="trace written via --telemetry PATH")
 
+    bundle = sub.add_parser(
+        "bundle", help="train a pipeline and save a deployable artifact bundle"
+    )
+    bundle.add_argument("--out", type=Path, required=True, help="bundle directory")
+    bundle.add_argument("--scale", choices=sorted(PRESETS), default="ci")
+    bundle.add_argument("--seed", type=int, default=0)
+    bundle.add_argument(
+        "--loss", choices=["ssim", "mse", "msssim"], default="ssim",
+        help="one-class reconstruction loss (default: the paper's ssim)",
+    )
+    bundle.add_argument(
+        "--overwrite", action="store_true", help="replace an existing bundle"
+    )
+
+    serve = sub.add_parser("serve", help="run the micro-batched inference engine")
+    _add_engine_args(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8473, help="TCP port (0 = ephemeral)")
+    serve.add_argument(
+        "--once", action="store_true",
+        help="in-process mode: score --frames rendered frames and exit (no socket)",
+    )
+    serve.add_argument(
+        "--frames", type=int, default=16, help="frames to score with --once"
+    )
+    serve.add_argument(
+        "--telemetry", type=Path, default=None, metavar="PATH",
+        help="record a JSONL telemetry trace of the serving run",
+    )
+
+    bench = sub.add_parser(
+        "bench-serve", help="load-test the engine; print throughput and latency"
+    )
+    _add_engine_args(bench)
+    bench.add_argument("--frames", type=int, default=200, help="total requests to send")
+    bench.add_argument("--clients", type=int, default=4, help="concurrent closed-loop clients")
+    bench.add_argument(
+        "--socket", action="store_true",
+        help="drive the engine through the TCP frontend instead of in-process",
+    )
+    bench.add_argument(
+        "--telemetry", type=Path, default=None, metavar="PATH",
+        help="record a JSONL telemetry trace of the load run",
+    )
+
     return parser
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``serve`` and ``bench-serve``."""
+    parser.add_argument(
+        "--bundle", type=Path, default=None,
+        help="artifact bundle to load (omit to train a fresh pipeline at --scale)",
+    )
+    parser.add_argument("--scale", choices=sorted(PRESETS), default="ci")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker-pool replicas (0 = score in-process; requires --bundle)",
+    )
+    parser.add_argument("--max-batch", type=int, default=8, help="micro-batch size cap")
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="how long an under-full batch waits for more frames",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=None,
+        help="bounded request queue (default: 64, or the burst size for bench-serve)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline; queued requests past it are dropped",
+    )
 
 
 def _telemetry_scope(path: Optional[Path]):
@@ -215,12 +297,195 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _train_pipeline(scale_name: str, seed: int, loss: str = "ssim"):
+    """Train the proposed pipeline at a preset scale (serve/bundle helper)."""
+    from repro.experiments.harness import Workbench
+    from repro.novelty import SaliencyNoveltyPipeline
+
+    scale = get_scale(scale_name)
+    workbench = Workbench(scale, seed=seed)
+    print(f"training the steering CNN ({scale_name} scale)...")
+    model = workbench.steering_model("dsu")
+    print(f"fitting the detector (VBP + {loss.upper()} autoencoder)...")
+    pipeline = SaliencyNoveltyPipeline(
+        model, scale.image_shape, loss=loss,
+        config=workbench.autoencoder_config(), rng=seed,
+    )
+    pipeline.fit(workbench.batch("dsu", "train").frames)
+    return pipeline
+
+
+def _build_engine(args: argparse.Namespace, default_capacity: int = 64):
+    """Engine (+ its pipeline's image shape) from serve/bench-serve flags."""
+    from repro.serving import EngineConfig, PipelineScorer, ServingEngine, WorkerPool, load_bundle
+
+    if args.workers > 0 and args.bundle is None:
+        raise SystemExit("--workers requires --bundle (replicas load it from disk)")
+    if args.bundle is not None:
+        bundle = load_bundle(args.bundle)
+        image_shape = bundle.image_shape
+        print(f"loaded bundle {args.bundle} (threshold {bundle.threshold:.4g})")
+        if args.workers > 0:
+            scorer = WorkerPool(args.bundle, workers=args.workers)
+            print(f"started {args.workers} worker replicas")
+        else:
+            scorer = PipelineScorer(bundle.pipeline)
+    else:
+        pipeline = _train_pipeline(args.scale, args.seed)
+        image_shape = pipeline.image_shape
+        scorer = PipelineScorer(pipeline)
+    config = EngineConfig(
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_capacity=args.queue_capacity or default_capacity,
+        default_deadline_ms=args.deadline_ms,
+    )
+    return ServingEngine(scorer, config), image_shape
+
+
+def _render_stream(image_shape, n_frames: int, seed: int):
+    """A temporally coherent drive to feed the engine (dsu surrogate)."""
+    from repro.datasets import SyntheticUdacity
+
+    return SyntheticUdacity(image_shape).render_drive(n_frames, rng=seed).frames
+
+
+def _cmd_bundle(args: argparse.Namespace) -> int:
+    from repro.exceptions import ArtifactError
+    from repro.serving import save_bundle
+
+    pipeline = _train_pipeline(args.scale, args.seed, loss=args.loss)
+    try:
+        path = save_bundle(pipeline, args.out, overwrite=args.overwrite)
+    except ArtifactError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    threshold = pipeline.one_class.detector.threshold
+    print(f"bundle written to {path}")
+    print(
+        f"  image_shape={pipeline.image_shape}  loss={args.loss}  "
+        f"threshold={threshold:.4g}"
+    )
+    return 0
+
+
+def _print_engine_latency(engine) -> None:
+    stats = engine.stats()
+    latency = stats["latency_ms"]
+    print(
+        f"latency (ms): p50={latency['p50']:.2f} p95={latency['p95']:.2f} "
+        f"p99={latency['p99']:.2f} max={latency['max']:.2f}"
+    )
+    print(
+        f"batches={stats['batches']}  mean_batch_size="
+        f"{stats.get('mean_batch_size', 0):.2f}  rejected={stats['rejected']}"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.exceptions import ArtifactError
+
+    with _telemetry_scope(args.telemetry):
+        try:
+            engine, image_shape = _build_engine(
+                args, default_capacity=max(64, args.frames if args.once else 64)
+            )
+        except ArtifactError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        try:
+            if args.once:
+                frames = _render_stream(image_shape, args.frames, args.seed)
+                outcomes = engine.infer_many(frames)
+                novel = sum(o.status == "ok" and o.is_novel for o in outcomes)
+                ok = sum(o.status == "ok" for o in outcomes)
+                print(f"scored {ok}/{len(outcomes)} frames ({novel} flagged novel)")
+                _print_engine_latency(engine)
+            else:
+                from repro.serving import ServingServer
+
+                with ServingServer(engine, host=args.host, port=args.port) as server:
+                    host, port = server.address
+                    print(f"serving on {host}:{port} (ctrl-c to stop)")
+                    try:
+                        while True:
+                            time.sleep(1.0)
+                    except KeyboardInterrupt:
+                        print("\nshutting down")
+        finally:
+            engine.close()
+    if args.telemetry is not None:
+        print(f"telemetry trace written to {args.telemetry}")
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.exceptions import ArtifactError
+    from repro.serving import run_load
+
+    with _telemetry_scope(args.telemetry):
+        try:
+            engine, image_shape = _build_engine(
+                args, default_capacity=max(64, args.frames)
+            )
+        except ArtifactError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        try:
+            frames = _render_stream(image_shape, min(args.frames, 512), args.seed)
+            workload = [frames[i % len(frames)] for i in range(args.frames)]
+            # Warm caches so the report measures steady state, not first-call
+            # allocation.
+            engine.infer(workload[0])
+            if args.socket:
+                from repro.serving import ServingClient, ServingServer
+
+                with ServingServer(engine) as server:
+                    host, port = server.address
+                    print(f"load-testing over the socket frontend at {host}:{port}")
+                    clients = [
+                        ServingClient(host, port) for _ in range(max(1, args.clients))
+                    ]
+                    try:
+                        cursor = {"next": 0}
+                        import threading as _threading
+
+                        lock = _threading.Lock()
+
+                        def _score(frame, _clients=clients, _lock=lock, _cursor=cursor):
+                            with _lock:
+                                client = _clients[_cursor["next"] % len(_clients)]
+                                _cursor["next"] += 1
+                            return client.score(frame)
+
+                        report = run_load(_score, workload, clients=args.clients)
+                    finally:
+                        for client in clients:
+                            client.close()
+            else:
+                report = run_load(
+                    lambda frame: engine.infer(frame), workload, clients=args.clients
+                )
+            print(report.render())
+            _print_engine_latency(engine)
+        finally:
+            engine.close()
+    if args.telemetry is not None:
+        print(f"telemetry trace written to {args.telemetry}")
+    return 0
+
+
 _COMMANDS = {
     "experiment": _cmd_experiment,
     "render": _cmd_render,
     "masks": _cmd_masks,
     "demo": _cmd_demo,
     "telemetry": _cmd_telemetry,
+    "bundle": _cmd_bundle,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
 }
 
 

@@ -37,5 +37,26 @@ class SerializationError(ReproError):
     """A model checkpoint could not be written or read back consistently."""
 
 
+class ArtifactError(SerializationError):
+    """A serving artifact bundle is missing, corrupted, or incompatible.
+
+    Raised by :mod:`repro.serving.artifacts` when a bundle directory fails
+    manifest validation (schema/version mismatch, config-hash mismatch,
+    missing files) — always with a message naming the exact problem.
+    """
+
+
+class ServingError(ReproError):
+    """The serving runtime was misused or failed at request time."""
+
+
+class WorkerCrashError(ServingError):
+    """A worker-pool replica died (or hung) while handling a request.
+
+    The pool restarts crashed workers automatically; this surfaces only
+    when a request could not be completed even after a restart-and-retry.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment harness was misused (unknown id, missing artifact...)."""

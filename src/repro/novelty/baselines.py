@@ -61,6 +61,17 @@ class RichterRoyBaseline:
         """Per-frame MSE reconstruction loss (higher = more novel)."""
         return self.one_class.score(self.preprocess(frames))
 
+    def score_batch(self, frames: np.ndarray) -> np.ndarray:
+        """Vectorized stack scoring, mirroring
+        :meth:`SaliencyNoveltyPipeline.score_batch` so the stream monitor
+        and serving engine treat all detector systems uniformly."""
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 3:
+            raise ShapeError(
+                f"score_batch expects an (N, H, W) stack, got {frames.shape}"
+            )
+        return self.one_class.score(self.preprocess(frames))
+
     def similarity(self, frames: np.ndarray) -> np.ndarray:
         """Negated MSE, for orientation-uniform reporting."""
         return self.one_class.similarity(self.preprocess(frames))

@@ -13,9 +13,23 @@ from typing import Optional
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, NotFittedError
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
 from repro.metrics.cdf import EmpiricalCDF
 from repro.telemetry import get_telemetry
+
+
+def _as_scores(values: np.ndarray, caller: str) -> np.ndarray:
+    """Coerce to a float array, rejecting empty inputs loudly.
+
+    An empty score array almost always means an upstream bug (a batch that
+    rendered zero frames, a filter that dropped everything); comparing it
+    against the threshold would silently return an empty verdict array and
+    let the mistake propagate.
+    """
+    scores = np.asarray(values, dtype=np.float64)
+    if scores.size == 0:
+        raise ShapeError(f"{caller} received an empty scores array")
+    return scores
 
 
 class NoveltyDetector:
@@ -81,7 +95,7 @@ class NoveltyDetector:
         """Boolean novelty decisions for an array of scores."""
         if self._threshold is None:
             raise NotFittedError("NoveltyDetector.predict() called before fit()")
-        scores = np.asarray(scores, dtype=np.float64)
+        scores = _as_scores(scores, "NoveltyDetector.predict()")
         get_telemetry().counter("detector.predictions").inc(scores.size)
         if self.higher_is_novel:
             return scores > self._threshold
@@ -94,7 +108,7 @@ class NoveltyDetector:
         """
         if self._threshold is None:
             raise NotFittedError("NoveltyDetector.novelty_margin() called before fit()")
-        scores = np.asarray(scores, dtype=np.float64)
+        scores = _as_scores(scores, "NoveltyDetector.novelty_margin()")
         if self.higher_is_novel:
             return scores - self._threshold
         return self._threshold - scores

@@ -301,6 +301,29 @@ class SaliencyNoveltyPipeline:
         ):
             return self.one_class.score(self.preprocess(frames))
 
+    def score_batch(self, frames: np.ndarray) -> np.ndarray:
+        """Vectorized scoring fast path over a whole ``(N, H, W)`` stack.
+
+        Scores are bit-identical to :meth:`score`; the difference is the
+        contract: one VBP forward pass and one autoencoder pass for the
+        entire stack, under a single ``pipeline.score_batch`` telemetry
+        span with no per-frame instrumentation.  This is the substrate the
+        serving micro-batcher and :meth:`StreamMonitor.observe_batch
+        <repro.novelty.StreamMonitor.observe_batch>` build on — batched
+        numpy matmuls are where the throughput is.
+        """
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 3:
+            raise ShapeError(
+                f"score_batch expects an (N, H, W) stack, got {frames.shape}"
+            )
+        with get_telemetry().span(
+            "pipeline.score_batch",
+            frames=int(frames.shape[0]),
+            saliency=self.saliency_name,
+        ):
+            return self.one_class.score(self.preprocess(frames))
+
     def similarity(self, frames: np.ndarray) -> np.ndarray:
         """Similarity scores in the paper's convention (see
         :meth:`OneClassAutoencoder.similarity`)."""

@@ -132,6 +132,8 @@ class StreamMonitor:
         a deployment would see — at the cost of the batch vectorization.
         """
         frames = np.asarray(frames, dtype=np.float64)
+        if frames.shape[0] == 0:
+            return []
         telem = get_telemetry()
         if telem.enabled and frames.shape[0] > 1:
             verdicts = []
@@ -145,7 +147,11 @@ class StreamMonitor:
                 decisions = self.detector.one_class.detector.predict(scores)
             margins = self.detector.one_class.detector.novelty_margin(scores)
         else:
-            scores = self.detector.score(frames)
+            # The vectorized fast path: one VBP + autoencoder pass for the
+            # whole stack (falls back to score() for detectors that predate
+            # the batch entry point).
+            score_stack = getattr(self.detector, "score_batch", self.detector.score)
+            scores = score_stack(frames)
             decisions = self.detector.one_class.detector.predict(scores)
             margins = None
         verdicts = []

@@ -1,0 +1,76 @@
+"""Serving: deploy a fitted pipeline as a micro-batched inference service.
+
+The paper frames its detector as an *online safety monitor* for deployed
+driving systems; this subsystem is the deployment story.  Four pieces:
+
+* **Artifact bundles** (:mod:`repro.serving.artifacts`) — a fitted
+  pipeline saved as a versioned, hash-validated directory that loads
+  identically in a fresh process (``save_bundle`` / ``load_bundle``).
+* **Micro-batching** (:mod:`repro.serving.batcher`) — single-frame
+  requests coalesced into batched VBP + autoencoder passes under a
+  ``max_batch_size`` / ``max_wait_ms`` policy.
+* **Worker pool** (:mod:`repro.serving.pool`) — multiprocess engine
+  replicas, each loading the bundle itself, with round-robin dispatch,
+  health checks, and restart-on-crash.
+* **Admission control** (:mod:`repro.serving.engine`) — bounded queues
+  with typed backpressure (:class:`Overloaded`) and per-request
+  deadlines, behind :class:`ServingEngine`.
+
+:mod:`repro.serving.service` adds a localhost socket frontend (length-
+prefixed JSON), :mod:`repro.serving.loadgen` a load generator; the CLI
+exposes them as ``repro serve`` and ``repro bench-serve``.  See
+``docs/serving.md``.
+"""
+
+from repro.serving.artifacts import (
+    BUNDLE_SCHEMA,
+    BUNDLE_SCHEMA_VERSION,
+    LoadedBundle,
+    config_hash,
+    load_bundle,
+    read_manifest,
+    save_bundle,
+)
+from repro.serving.batcher import MicroBatcher, QueuedRequest
+from repro.serving.engine import EngineConfig, PipelineScorer, ServingEngine
+from repro.serving.loadgen import LoadReport, run_load
+from repro.serving.pool import WorkerPool
+from repro.serving.results import (
+    BatchVerdicts,
+    DeadlineExceeded,
+    Failed,
+    Overloaded,
+    PendingResult,
+    RequestOutcome,
+    Scored,
+)
+from repro.serving.service import ServingClient, ServingServer, recv_message, send_message
+
+__all__ = [
+    "BUNDLE_SCHEMA",
+    "BUNDLE_SCHEMA_VERSION",
+    "LoadedBundle",
+    "config_hash",
+    "load_bundle",
+    "read_manifest",
+    "save_bundle",
+    "MicroBatcher",
+    "QueuedRequest",
+    "EngineConfig",
+    "PipelineScorer",
+    "ServingEngine",
+    "LoadReport",
+    "run_load",
+    "WorkerPool",
+    "BatchVerdicts",
+    "DeadlineExceeded",
+    "Failed",
+    "Overloaded",
+    "PendingResult",
+    "RequestOutcome",
+    "Scored",
+    "ServingClient",
+    "ServingServer",
+    "recv_message",
+    "send_message",
+]

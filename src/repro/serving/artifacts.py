@@ -1,0 +1,256 @@
+"""Deployable artifact bundles for fitted pipelines.
+
+A *bundle* is a self-contained versioned directory holding everything a
+serving replica needs to load a fitted
+:class:`~repro.novelty.SaliencyNoveltyPipeline` in a fresh process:
+
+.. code-block:: text
+
+    bundle/
+      manifest.json           # schema version, shapes, config, hash
+      prediction_model.npz    # steering CNN weights (repro.nn checkpoint)
+      pipeline_state.npz      # autoencoder weights + detector train scores
+
+The manifest records the prediction model's architecture (so the network
+can be rebuilt before its weights are loaded), the pipeline configuration,
+the fitted detector threshold, and a SHA-256 ``config_hash`` over the rest
+of the manifest.  :func:`load_bundle` validates all of it and raises
+:class:`~repro.exceptions.ArtifactError` with a specific message on any
+mismatch — a bundle that loads at all is guaranteed to score exactly like
+the pipeline that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+from repro.exceptions import ArtifactError, ConfigurationError, NotFittedError, ReproError
+from repro.models.pilotnet import ConvSpec, PilotNet, PilotNetConfig
+from repro.nn.model import load_model, save_model
+from repro.novelty.framework import (
+    SaliencyNoveltyPipeline,
+    load_pipeline_state,
+    save_pipeline_state,
+)
+
+#: Manifest discriminator and the schema revision this build reads/writes.
+BUNDLE_SCHEMA = "repro.serving.bundle"
+BUNDLE_SCHEMA_VERSION = 1
+
+MANIFEST_FILE = "manifest.json"
+MODEL_FILE = "prediction_model.npz"
+PIPELINE_FILE = "pipeline_state.npz"
+
+
+def config_hash(manifest: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of a manifest (hash field excluded).
+
+    Canonical means sorted keys and compact separators, so semantically
+    identical manifests hash identically regardless of formatting.
+    """
+    payload = {k: v for k, v in manifest.items() if k != "config_hash"}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class LoadedBundle:
+    """A validated bundle: the reconstructed pipeline plus its manifest."""
+
+    pipeline: SaliencyNoveltyPipeline
+    manifest: Dict[str, Any]
+    path: Path
+
+    @property
+    def image_shape(self) -> Tuple[int, int]:
+        """``(H, W)`` the pipeline scores."""
+        return self.pipeline.image_shape
+
+    @property
+    def threshold(self) -> float:
+        """The fitted detector threshold recorded at save time."""
+        return float(self.manifest["threshold"])
+
+
+def save_bundle(
+    pipeline: SaliencyNoveltyPipeline,
+    path: Union[str, Path],
+    overwrite: bool = False,
+) -> Path:
+    """Write a fitted pipeline as a versioned bundle directory.
+
+    The pipeline's prediction model must be a :class:`repro.models.PilotNet`
+    (its architecture config is what the manifest records; an arbitrary
+    ``Sequential`` cannot be rebuilt from state alone).
+
+    Parameters
+    ----------
+    pipeline:
+        A *fitted* :class:`~repro.novelty.SaliencyNoveltyPipeline`.
+    path:
+        Bundle directory to create (parents included).
+    overwrite:
+        Allow replacing an existing bundle at ``path``.
+    """
+    if not pipeline.is_fitted:
+        raise NotFittedError("save_bundle requires a fitted pipeline")
+    model = pipeline.saliency_method.model
+    if not isinstance(model, PilotNet):
+        raise ConfigurationError(
+            "bundles require a PilotNet prediction model (its architecture "
+            f"config is stored in the manifest); got {type(model).__name__}"
+        )
+
+    path = Path(path)
+    if (path / MANIFEST_FILE).exists() and not overwrite:
+        raise ArtifactError(
+            f"bundle already exists at {path} (pass overwrite=True to replace)"
+        )
+    path.mkdir(parents=True, exist_ok=True)
+
+    one_class = pipeline.one_class
+    manifest: Dict[str, Any] = {
+        "schema": BUNDLE_SCHEMA,
+        "schema_version": BUNDLE_SCHEMA_VERSION,
+        "created_unix": round(time.time(), 3),
+        "image_shape": list(pipeline.image_shape),
+        "saliency": pipeline.saliency_name,
+        "loss": one_class.loss_name,
+        "architecture": one_class.architecture,
+        "autoencoder": {
+            "hidden": list(one_class.config.hidden),
+            "percentile": one_class.config.percentile,
+            "ssim_window": one_class.config.ssim_window,
+        },
+        "threshold": float(one_class.detector.threshold),
+        "prediction_model": {
+            "family": "pilotnet",
+            "input_shape": list(model.config.input_shape),
+            "conv_specs": [
+                [s.out_channels, s.kernel, s.stride] for s in model.config.conv_specs
+            ],
+            "dense_units": list(model.config.dense_units),
+            "batch_norm": bool(model.config.batch_norm),
+        },
+        "files": {"prediction_model": MODEL_FILE, "pipeline_state": PIPELINE_FILE},
+    }
+    manifest["config_hash"] = config_hash(manifest)
+
+    save_model(model, path / MODEL_FILE)
+    save_pipeline_state(pipeline, path / PIPELINE_FILE)
+    (path / MANIFEST_FILE).write_text(json.dumps(manifest, indent=2) + "\n")
+    return path
+
+
+def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate a bundle's manifest (without loading weights).
+
+    Performs every check that does not require the ``.npz`` payloads:
+    presence, JSON syntax, schema identity and version, required keys, and
+    the config hash.  :func:`load_bundle` calls this first; the worker pool
+    uses it to fail fast on a bad bundle path before forking replicas.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_FILE
+    if not path.is_dir():
+        raise ArtifactError(f"bundle path {path} is not a directory")
+    if not manifest_path.exists():
+        raise ArtifactError(f"{path} is not a bundle: missing {MANIFEST_FILE}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"unreadable bundle manifest {manifest_path}: {exc}") from exc
+
+    if not isinstance(manifest, dict) or manifest.get("schema") != BUNDLE_SCHEMA:
+        raise ArtifactError(
+            f"{manifest_path} is not a {BUNDLE_SCHEMA} manifest "
+            f"(schema={manifest.get('schema')!r})"
+            if isinstance(manifest, dict)
+            else f"{manifest_path} is not a JSON object"
+        )
+    version = manifest.get("schema_version")
+    if version != BUNDLE_SCHEMA_VERSION:
+        raise ArtifactError(
+            f"bundle schema version {version!r} is not supported "
+            f"(this build reads version {BUNDLE_SCHEMA_VERSION})"
+        )
+    required = {
+        "image_shape", "saliency", "loss", "architecture", "autoencoder",
+        "threshold", "prediction_model", "files", "config_hash",
+    }
+    missing = sorted(required - manifest.keys())
+    if missing:
+        raise ArtifactError(f"bundle manifest missing keys: {', '.join(missing)}")
+    expected = config_hash(manifest)
+    if manifest["config_hash"] != expected:
+        raise ArtifactError(
+            f"bundle manifest config hash mismatch (manifest says "
+            f"{manifest['config_hash']}, contents hash to {expected}) — "
+            "the manifest was edited or corrupted"
+        )
+    return manifest
+
+
+def load_bundle(path: Union[str, Path]) -> LoadedBundle:
+    """Load and validate a bundle written by :func:`save_bundle`.
+
+    Rebuilds the prediction model from the manifest's architecture record,
+    loads its checkpoint, restores the pipeline state, and cross-checks the
+    reconstructed pipeline against the manifest (image shape, loss, and the
+    fitted threshold).  Any inconsistency raises
+    :class:`~repro.exceptions.ArtifactError`.
+    """
+    path = Path(path)
+    manifest = read_manifest(path)
+
+    spec = manifest["prediction_model"]
+    if spec.get("family") != "pilotnet":
+        raise ArtifactError(
+            f"unsupported prediction model family {spec.get('family')!r}"
+        )
+    for name in ("prediction_model", "pipeline_state"):
+        if not (path / manifest["files"][name]).exists():
+            raise ArtifactError(
+                f"bundle at {path} is missing its {name} file "
+                f"({manifest['files'][name]})"
+            )
+
+    try:
+        model_config = PilotNetConfig(
+            input_shape=tuple(int(v) for v in spec["input_shape"]),
+            conv_specs=tuple(ConvSpec(int(c), int(k), int(s)) for c, k, s in spec["conv_specs"]),
+            dense_units=tuple(int(u) for u in spec["dense_units"]),
+            batch_norm=bool(spec.get("batch_norm", False)),
+        )
+        model = PilotNet(model_config, rng=0)
+        load_model(model, path / manifest["files"]["prediction_model"])
+        pipeline = load_pipeline_state(path / manifest["files"]["pipeline_state"], model)
+    except ArtifactError:
+        raise
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(f"failed to load bundle at {path}: {exc}") from exc
+
+    if list(pipeline.image_shape) != list(manifest["image_shape"]):
+        raise ArtifactError(
+            f"bundle inconsistency: manifest image_shape {manifest['image_shape']} "
+            f"vs pipeline state {list(pipeline.image_shape)}"
+        )
+    if pipeline.one_class.loss_name != manifest["loss"]:
+        raise ArtifactError(
+            f"bundle inconsistency: manifest loss {manifest['loss']!r} "
+            f"vs pipeline state {pipeline.one_class.loss_name!r}"
+        )
+    fitted = float(pipeline.one_class.detector.threshold)
+    recorded = float(manifest["threshold"])
+    scale = max(abs(recorded), 1e-12)
+    if abs(fitted - recorded) > 1e-9 * scale + 1e-12:
+        raise ArtifactError(
+            f"bundle inconsistency: refitted threshold {fitted!r} does not "
+            f"match the manifest's {recorded!r}"
+        )
+    return LoadedBundle(pipeline=pipeline, manifest=manifest, path=path)

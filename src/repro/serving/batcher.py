@@ -1,0 +1,127 @@
+"""Micro-batching request queue with bounded admission.
+
+Single-frame requests arrive one at a time (a camera feed, socket
+clients); batched numpy matmuls are where the throughput is.  The
+:class:`MicroBatcher` bridges the two: producers :meth:`~MicroBatcher.offer`
+individual requests into a bounded FIFO, consumers (the engine's dispatch
+threads) pull *micro-batches* assembled under a ``max_batch_size`` /
+``max_wait_ms`` policy — a batch closes as soon as it is full, or when
+``max_wait_ms`` has elapsed since its first frame was dequeued, whichever
+comes first.  A full queue rejects at admission (the caller turns that
+into a typed :class:`~repro.serving.results.Overloaded` outcome) instead
+of queueing unboundedly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.serving.results import PendingResult
+
+
+@dataclass
+class QueuedRequest:
+    """One admitted request waiting to be scored."""
+
+    frame: np.ndarray
+    pending: PendingResult
+    enqueued_at: float
+    #: Absolute ``time.monotonic()`` deadline, or ``None`` for no deadline.
+    deadline_at: Optional[float]
+
+
+class MicroBatcher:
+    """Bounded FIFO that hands out micro-batches to consumer threads.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Largest batch a single :meth:`next_batch` call returns.
+    max_wait_ms:
+        How long an open batch waits for more frames before closing
+        under-full.  ``0`` means "whatever is queued right now".
+    capacity:
+        Admission bound: :meth:`offer` refuses once this many requests
+        are queued (explicit backpressure).
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int = 8,
+        max_wait_ms: float = 2.0,
+        capacity: int = 64,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ConfigurationError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ConfigurationError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.capacity = int(capacity)
+        self._queue: Deque[QueuedRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        """Current queue depth."""
+        with self._cond:
+            return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def offer(self, request: QueuedRequest) -> bool:
+        """Admit a request; ``False`` when full or closed (backpressure)."""
+        with self._cond:
+            if self._closed or len(self._queue) >= self.capacity:
+                return False
+            self._queue.append(request)
+            self._cond.notify()
+            return True
+
+    def next_batch(self) -> Optional[List[QueuedRequest]]:
+        """Block until a micro-batch is ready; ``None`` once closed and drained.
+
+        Safe for multiple consumer threads: each call assembles its batch
+        under the queue lock, releasing it while waiting for stragglers.
+        """
+        with self._cond:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            batch = [self._queue.popleft()]
+            window_ends = time.monotonic() + self.max_wait_s
+            while len(batch) < self.max_batch_size:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = window_ends - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    break
+                self._cond.wait(remaining)
+            return batch
+
+    def close(self) -> List[QueuedRequest]:
+        """Refuse further admissions, wake consumers, return the leftovers.
+
+        The caller owns the returned requests and must resolve their
+        futures (the engine fails them as "engine closed").
+        """
+        with self._cond:
+            self._closed = True
+            leftovers = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+            return leftovers

@@ -1,0 +1,312 @@
+"""The inference engine: admission control + micro-batching + dispatch.
+
+:class:`ServingEngine` accepts single-frame requests, admits them into a
+bounded :class:`~repro.serving.batcher.MicroBatcher`, and runs one or more
+dispatch threads that pull micro-batches and hand them to a *scorer* — an
+object with ``score_batch(frames) -> BatchVerdicts``.  Two scorers exist:
+
+* :class:`PipelineScorer` — in-process, wraps a fitted pipeline;
+* :class:`repro.serving.pool.WorkerPool` — multiprocess replicas, one
+  dispatch thread per worker so replicas score concurrently.
+
+Backpressure is explicit: a full queue resolves the request to a typed
+:class:`~repro.serving.results.Overloaded` outcome at submit time; an
+admitted request whose deadline lapses while queued resolves to
+:class:`~repro.serving.results.DeadlineExceeded` without being scored.
+The engine never queues unboundedly and never blocks a producer.
+
+Telemetry (when a session is active): ``serving.queue_depth`` gauge,
+``serving.batch_size`` and ``serving.request_latency`` histograms,
+``serving.batch`` spans, and ``serving.requests`` / ``serving.rejected`` /
+``serving.deadline_exceeded`` / ``serving.errors`` counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+from repro.novelty.framework import SaliencyNoveltyPipeline
+from repro.serving.batcher import MicroBatcher, QueuedRequest
+from repro.serving.results import (
+    BatchVerdicts,
+    DeadlineExceeded,
+    Failed,
+    Overloaded,
+    PendingResult,
+    RequestOutcome,
+    Scored,
+)
+from repro.telemetry import get_telemetry
+from repro.utils.timer import percentile
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Micro-batching and admission policy for one engine.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Upper bound on frames per batched VBP + autoencoder pass.
+    max_wait_ms:
+        How long an under-full batch waits for more frames (the
+        latency/throughput trade: 0 favors latency, larger favors batches).
+    queue_capacity:
+        Bounded request queue; submissions beyond it are rejected with a
+        typed ``Overloaded`` outcome rather than queued.
+    default_deadline_ms:
+        Per-request deadline applied when ``submit`` does not pass one;
+        ``None`` disables deadlines by default.
+    """
+
+    max_batch_size: int = 8
+    max_wait_ms: float = 2.0
+    queue_capacity: int = 64
+    default_deadline_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1 or self.queue_capacity < 1:
+            raise ConfigurationError(
+                "max_batch_size and queue_capacity must be >= 1"
+            )
+        if self.max_wait_ms < 0:
+            raise ConfigurationError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ConfigurationError(
+                f"default_deadline_ms must be positive, got {self.default_deadline_ms}"
+            )
+
+
+class PipelineScorer:
+    """In-process scorer: one fitted pipeline, scored on the caller thread."""
+
+    #: Number of engine dispatch threads this scorer can keep busy.
+    replicas = 1
+
+    def __init__(self, pipeline: SaliencyNoveltyPipeline) -> None:
+        if not pipeline.is_fitted:
+            raise NotFittedError("PipelineScorer requires a fitted pipeline")
+        self.pipeline = pipeline
+        self.image_shape = pipeline.image_shape
+        # One batched pass at a time: the numpy substrate is single-threaded
+        # anyway, and serializing keeps layer caches coherent.
+        self._lock = threading.Lock()
+
+    def score_batch(self, frames: np.ndarray) -> BatchVerdicts:
+        """Vectorized verdicts for an ``(N, H, W)`` stack."""
+        with self._lock:
+            scores = self.pipeline.score_batch(frames)
+            detector = self.pipeline.one_class.detector
+            return BatchVerdicts(
+                scores=scores,
+                is_novel=detector.predict(scores),
+                margins=detector.novelty_margin(scores),
+            )
+
+    def close(self) -> None:
+        """Nothing to release for the in-process scorer."""
+
+
+class ServingEngine:
+    """Micro-batched inference front door over a scorer backend.
+
+    Parameters
+    ----------
+    scorer:
+        Backend with ``score_batch(frames) -> BatchVerdicts`` plus optional
+        ``replicas`` (dispatch-thread count), ``image_shape`` (enables
+        shape validation at submit), and ``close()``.
+    config:
+        Batching/admission policy (defaults: batch 8, wait 2 ms, queue 64).
+
+    The engine starts its dispatch threads immediately and is usable as a
+    context manager; :meth:`close` drains and fails whatever is in flight.
+    """
+
+    def __init__(self, scorer, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+        self.scorer = scorer
+        self._batcher = MicroBatcher(
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+            capacity=self.config.queue_capacity,
+        )
+        self._stats_lock = threading.Lock()
+        self._counts = {
+            "submitted": 0,
+            "scored": 0,
+            "rejected": 0,
+            "deadline_exceeded": 0,
+            "failed": 0,
+            "batches": 0,
+        }
+        self._latencies: List[float] = []
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                name=f"serving-dispatch-{i}",
+                daemon=True,
+            )
+            for i in range(max(1, int(getattr(scorer, "replicas", 1))))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ------------------------------------------------------
+    def submit(self, frame: np.ndarray, deadline_ms: Any = _UNSET) -> PendingResult:
+        """Admit one frame; returns a future resolving to a typed outcome.
+
+        Never blocks: when the bounded queue is full the future is already
+        resolved to :class:`Overloaded` on return.  ``deadline_ms``
+        overrides the config default (``None`` = no deadline).
+        """
+        frame = np.asarray(frame, dtype=np.float64)
+        expected = getattr(self.scorer, "image_shape", None)
+        if frame.ndim != 2 or (expected is not None and frame.shape != tuple(expected)):
+            raise ShapeError(
+                f"submit expects one ({expected or 'H, W'}) frame, got {frame.shape}"
+            )
+        if deadline_ms is _UNSET:
+            deadline_ms = self.config.default_deadline_ms
+        now = time.monotonic()
+        pending = PendingResult()
+        request = QueuedRequest(
+            frame=frame,
+            pending=pending,
+            enqueued_at=now,
+            deadline_at=None if deadline_ms is None else now + deadline_ms / 1000.0,
+        )
+        telem = get_telemetry()
+        telem.counter("serving.requests").inc()
+        with self._stats_lock:
+            self._counts["submitted"] += 1
+        if not self._batcher.offer(request):
+            depth = len(self._batcher)
+            pending.resolve(Overloaded(queue_depth=depth, capacity=self._batcher.capacity))
+            telem.counter("serving.rejected").inc()
+            with self._stats_lock:
+                self._counts["rejected"] += 1
+        telem.gauge("serving.queue_depth").set(len(self._batcher))
+        return pending
+
+    def infer(self, frame: np.ndarray, timeout_s: float = 60.0) -> RequestOutcome:
+        """Synchronous single-frame scoring (submit + wait)."""
+        return self.submit(frame).result(timeout_s)
+
+    def infer_many(self, frames: np.ndarray, timeout_s: float = 120.0) -> List[RequestOutcome]:
+        """Submit a stack of frames and wait for every outcome.
+
+        Frames beyond ``queue_capacity`` naturally resolve to
+        ``Overloaded`` — size the engine's queue for the burst you send.
+        """
+        pendings = [self.submit(frame) for frame in np.asarray(frames, dtype=np.float64)]
+        return [p.result(timeout_s) for p in pendings]
+
+    # -- dispatch --------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        telem = get_telemetry()
+        while True:
+            batch = self._batcher.next_batch()
+            if batch is None:
+                return
+            now = time.monotonic()
+            live: List[QueuedRequest] = []
+            for request in batch:
+                if request.deadline_at is not None and now > request.deadline_at:
+                    waited = now - request.enqueued_at
+                    allowed = request.deadline_at - request.enqueued_at
+                    request.pending.resolve(
+                        DeadlineExceeded(waited_s=waited, deadline_s=allowed)
+                    )
+                    telem.counter("serving.deadline_exceeded").inc()
+                    with self._stats_lock:
+                        self._counts["deadline_exceeded"] += 1
+                else:
+                    live.append(request)
+            telem.gauge("serving.queue_depth").set(len(self._batcher))
+            if not live:
+                continue
+            stack = np.stack([r.frame for r in live])
+            try:
+                with telem.span("serving.batch", frames=len(live)):
+                    verdicts = self.scorer.score_batch(stack)
+            except Exception as exc:  # noqa: BLE001 — worker crashes land here
+                message = f"{type(exc).__name__}: {exc}"
+                for request in live:
+                    request.pending.resolve(Failed(error=message))
+                telem.counter("serving.errors").inc()
+                with self._stats_lock:
+                    self._counts["failed"] += len(live)
+                continue
+            done = time.monotonic()
+            latency_histogram = telem.histogram("serving.request_latency")
+            # The stats lock also serializes metric updates across dispatch
+            # threads — the telemetry instruments are not thread-safe.
+            with self._stats_lock:
+                telem.counter("serving.batches").inc()
+                telem.histogram("serving.batch_size").observe(len(live))
+                self._counts["batches"] += 1
+                self._counts["scored"] += len(live)
+                for i, request in enumerate(live):
+                    latency = done - request.enqueued_at
+                    self._latencies.append(latency)
+                    latency_histogram.observe(latency)
+                    request.pending.resolve(
+                        Scored(
+                            score=float(verdicts.scores[i]),
+                            is_novel=bool(verdicts.is_novel[i]),
+                            margin=float(verdicts.margins[i]),
+                            batch_size=len(live),
+                            latency_s=latency,
+                        )
+                    )
+
+    # -- introspection ---------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Counts plus end-to-end latency percentiles (milliseconds)."""
+        with self._stats_lock:
+            counts = dict(self._counts)
+            latencies = list(self._latencies)
+        summary: Dict[str, Any] = dict(counts)
+        summary["queue_depth"] = len(self._batcher)
+        summary["latency_ms"] = {
+            "count": len(latencies),
+            "mean": float(np.mean(latencies) * 1e3) if latencies else 0.0,
+            "p50": percentile(latencies, 50.0) * 1e3,
+            "p95": percentile(latencies, 95.0) * 1e3,
+            "p99": percentile(latencies, 99.0) * 1e3,
+            "max": max(latencies) * 1e3 if latencies else 0.0,
+        }
+        if counts["batches"]:
+            summary["mean_batch_size"] = counts["scored"] / counts["batches"]
+        return summary
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Stop dispatch, fail queued requests, release the scorer."""
+        if self._closed:
+            return
+        self._closed = True
+        leftovers = self._batcher.close()
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        for request in leftovers:
+            request.pending.resolve(Failed(error="engine closed"))
+        close = getattr(self.scorer, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,136 @@
+"""Closed-loop load generator for the serving engine.
+
+Drives a scoring endpoint with ``clients`` concurrent synchronous
+callers — the standard closed-loop load model: each client sends its next
+frame as soon as the previous answer arrives, so offered load scales with
+the measured latency.  Works against anything that maps a frame to a
+response carrying a ``status`` (an in-process
+:meth:`ServingEngine.infer <repro.serving.engine.ServingEngine.infer>`,
+or a :meth:`ServingClient.score <repro.serving.service.ServingClient.score>`
+over the socket protocol); ``repro bench-serve`` and the throughput
+benchmark are both thin wrappers around :func:`run_load`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.timer import percentile
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome counts and client-observed latency of one load run."""
+
+    requests: int
+    ok: int
+    overloaded: int
+    deadline_exceeded: int
+    failed: int
+    elapsed_s: float
+    throughput_fps: float
+    latency_ms_mean: float
+    latency_ms_p50: float
+    latency_ms_p95: float
+    latency_ms_p99: float
+
+    def render(self) -> str:
+        """Human-readable block printed by ``repro bench-serve``."""
+        lines = [
+            f"{'requests':<22} {self.requests:>10}",
+            f"{'scored ok':<22} {self.ok:>10}",
+            f"{'rejected (overloaded)':<22} {self.overloaded:>10}",
+            f"{'deadline exceeded':<22} {self.deadline_exceeded:>10}",
+            f"{'failed':<22} {self.failed:>10}",
+            f"{'elapsed':<22} {self.elapsed_s:>10.3f} s",
+            f"{'throughput':<22} {self.throughput_fps:>10.1f} frames/s",
+            (
+                f"{'latency (ms)':<22} "
+                f"mean={self.latency_ms_mean:.2f} p50={self.latency_ms_p50:.2f} "
+                f"p95={self.latency_ms_p95:.2f} p99={self.latency_ms_p99:.2f}"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def _status_of(response) -> str:
+    """Extract a status string from a typed outcome or a wire response."""
+    status = getattr(response, "status", None)
+    if status is None and isinstance(response, dict):
+        status = response.get("status")
+    return status or "failed"
+
+
+def run_load(
+    score_fn: Callable[[np.ndarray], object],
+    frames: Sequence[np.ndarray],
+    clients: int = 4,
+) -> LoadReport:
+    """Send every frame through ``score_fn`` from ``clients`` threads.
+
+    Each call is timed on the client side (so queue wait, batching delay
+    and transport all count); frames are claimed from a shared cursor, so
+    the workload partitions dynamically across clients.
+    """
+    frames = list(frames)
+    if not frames:
+        raise ConfigurationError("run_load needs at least one frame")
+    if clients < 1:
+        raise ConfigurationError(f"clients must be >= 1, got {clients}")
+    clients = min(clients, len(frames))
+
+    cursor_lock = threading.Lock()
+    cursor = {"next": 0}
+    counts_lock = threading.Lock()
+    counts: Dict[str, int] = {}
+    latencies: List[float] = []
+
+    def _client() -> None:
+        while True:
+            with cursor_lock:
+                index = cursor["next"]
+                if index >= len(frames):
+                    return
+                cursor["next"] = index + 1
+            started = time.perf_counter()
+            try:
+                response = score_fn(frames[index])
+                status = _status_of(response)
+            except Exception as exc:  # noqa: BLE001 — a load test must finish
+                response, status = exc, "failed"
+            lap = time.perf_counter() - started
+            with counts_lock:
+                counts[status] = counts.get(status, 0) + 1
+                latencies.append(lap)
+
+    threads = [
+        threading.Thread(target=_client, name=f"loadgen-{i}", daemon=True)
+        for i in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    total = len(frames)
+    return LoadReport(
+        requests=total,
+        ok=counts.get("ok", 0),
+        overloaded=counts.get("overloaded", 0),
+        deadline_exceeded=counts.get("deadline_exceeded", 0),
+        failed=counts.get("failed", 0) + counts.get("error", 0),
+        elapsed_s=elapsed,
+        throughput_fps=total / elapsed if elapsed > 0 else 0.0,
+        latency_ms_mean=float(np.mean(latencies) * 1e3) if latencies else 0.0,
+        latency_ms_p50=percentile(latencies, 50.0) * 1e3,
+        latency_ms_p95=percentile(latencies, 95.0) * 1e3,
+        latency_ms_p99=percentile(latencies, 99.0) * 1e3,
+    )

@@ -1,0 +1,302 @@
+"""Multiprocess worker pool: engine replicas with restart-on-crash.
+
+Each worker is a separate OS process that loads the artifact bundle
+itself (:func:`repro.serving.artifacts.load_bundle`) — replicas share no
+memory with the parent, so a crashed or wedged worker cannot corrupt the
+others.  The parent dispatches micro-batches round-robin over duplex
+pipes, health-checks replicas with pings, and transparently respawns a
+worker that died — retrying the in-flight batch once on the fresh replica
+before giving up with :class:`~repro.exceptions.WorkerCrashError`.
+
+The pool exposes the same ``score_batch``/``image_shape``/``replicas``
+surface as :class:`~repro.serving.engine.PipelineScorer`, so a
+:class:`~repro.serving.engine.ServingEngine` runs one dispatch thread per
+worker and keeps every replica busy.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ServingError, WorkerCrashError
+from repro.serving.artifacts import read_manifest
+from repro.serving.results import BatchVerdicts
+from repro.telemetry import get_telemetry
+from repro.utils.log import get_logger
+
+_log = get_logger(__name__)
+
+
+def _worker_main(bundle_dir: str, conn) -> None:
+    """Worker-process loop: load the bundle, answer score/ping requests.
+
+    Runs until a ``("stop",)`` message or EOF on the pipe.  Scoring errors
+    are reported per-request (``("err", id, message)``) rather than
+    crashing the replica; an actual crash is detected by the parent via a
+    broken pipe / timeout and answered with a restart.
+    """
+    from repro.serving.artifacts import load_bundle
+
+    bundle = load_bundle(bundle_dir)
+    pipeline = bundle.pipeline
+    detector = pipeline.one_class.detector
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        op = message[0]
+        if op == "stop":
+            return
+        if op == "ping":
+            conn.send(("pong", message[1]))
+        elif op == "score":
+            _, request_id, frames = message
+            try:
+                scores = pipeline.score_batch(frames)
+                conn.send(
+                    (
+                        "ok",
+                        request_id,
+                        scores,
+                        detector.predict(scores),
+                        detector.novelty_margin(scores),
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 — report, don't die
+                conn.send(("err", request_id, f"{type(exc).__name__}: {exc}"))
+        else:
+            conn.send(("err", message[1] if len(message) > 1 else -1, f"unknown op {op!r}"))
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle for one replica."""
+
+    index: int
+    process: multiprocessing.Process
+    conn: Any
+    #: Serializes pipe traffic for this replica across dispatch threads.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class WorkerPool:
+    """Round-robin pool of bundle-loaded engine replicas.
+
+    Parameters
+    ----------
+    bundle_dir:
+        Artifact bundle every worker loads (validated up front, so a bad
+        path fails fast in the parent instead of in N children).
+    workers:
+        Number of replica processes.
+    request_timeout_s:
+        How long to wait for a replica's answer before declaring it hung
+        (it is then killed and respawned).
+    """
+
+    def __init__(
+        self,
+        bundle_dir: Union[str, Path],
+        workers: int = 2,
+        request_timeout_s: float = 60.0,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if request_timeout_s <= 0:
+            raise ConfigurationError(
+                f"request_timeout_s must be positive, got {request_timeout_s}"
+            )
+        self.bundle_dir = Path(bundle_dir)
+        manifest = read_manifest(self.bundle_dir)
+        self.image_shape: Tuple[int, int] = tuple(manifest["image_shape"])
+        self.replicas = int(workers)
+        self.request_timeout_s = float(request_timeout_s)
+        self._context = multiprocessing.get_context()
+        self._rr_lock = threading.Lock()
+        self._rr_index = 0
+        self._request_id = 0
+        self._restarts = 0
+        self._closed = False
+        self._workers: List[_Worker] = [self._spawn(i) for i in range(self.replicas)]
+
+    # -- replica lifecycle ----------------------------------------------
+    def _spawn(self, index: int) -> _Worker:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(str(self.bundle_dir), child_conn),
+            name=f"repro-serve-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(index=index, process=process, conn=parent_conn)
+
+    def _restart(self, worker: _Worker, reason: str) -> None:
+        """Kill (if needed) and respawn one replica.  Caller holds its lock."""
+        _log.warning("restarting worker %d: %s", worker.index, reason)
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5.0)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        fresh = self._spawn(worker.index)
+        worker.process = fresh.process
+        worker.conn = fresh.conn
+        with self._rr_lock:
+            self._restarts += 1
+        get_telemetry().counter("serving.worker_restarts").inc()
+
+    @property
+    def restarts(self) -> int:
+        """Total replica restarts since the pool started."""
+        with self._rr_lock:
+            return self._restarts
+
+    # -- request plumbing ------------------------------------------------
+    def _next_worker(self) -> _Worker:
+        with self._rr_lock:
+            worker = self._workers[self._rr_index % len(self._workers)]
+            self._rr_index += 1
+            return worker
+
+    def _next_request_id(self) -> int:
+        with self._rr_lock:
+            self._request_id += 1
+            return self._request_id
+
+    def _request(self, worker: _Worker, message: tuple, request_id: int) -> tuple:
+        """One send/recv on a replica; raises ``WorkerCrashError`` on death.
+
+        Caller holds ``worker.lock``.
+        """
+        if not worker.process.is_alive():
+            raise WorkerCrashError(f"worker {worker.index} is not running")
+        try:
+            worker.conn.send(message)
+            deadline = time.monotonic() + self.request_timeout_s
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not worker.conn.poll(min(remaining, 0.5)):
+                    if remaining <= 0:
+                        raise WorkerCrashError(
+                            f"worker {worker.index} did not answer within "
+                            f"{self.request_timeout_s}s"
+                        )
+                    if not worker.process.is_alive():
+                        raise WorkerCrashError(f"worker {worker.index} died mid-request")
+                    continue
+                reply = worker.conn.recv()
+                # Stale replies (from a request that timed out earlier on
+                # this replica) are discarded by id.
+                if len(reply) > 1 and reply[1] == request_id:
+                    return reply
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise WorkerCrashError(f"worker {worker.index} pipe failed: {exc}") from exc
+
+    def score_batch(self, frames: np.ndarray) -> BatchVerdicts:
+        """Score a stack on the next replica, restarting it on crash.
+
+        A replica found dead (or that dies mid-request) is respawned and
+        the batch retried once on the fresh process; only a second failure
+        propagates as :class:`~repro.exceptions.WorkerCrashError`.
+        """
+        if self._closed:
+            raise ServingError("WorkerPool.score_batch called after close()")
+        frames = np.asarray(frames, dtype=np.float64)
+        worker = self._next_worker()
+        with worker.lock:
+            for attempt in (1, 2):
+                request_id = self._next_request_id()
+                try:
+                    reply = self._request(worker, ("score", request_id, frames), request_id)
+                    break
+                except WorkerCrashError as exc:
+                    self._restart(worker, str(exc))
+                    if attempt == 2:
+                        raise
+        if reply[0] == "err":
+            raise ServingError(f"worker {worker.index} scoring error: {reply[2]}")
+        _, _, scores, is_novel, margins = reply
+        return BatchVerdicts(scores=scores, is_novel=is_novel, margins=margins)
+
+    # -- health ----------------------------------------------------------
+    def ping(self) -> List[bool]:
+        """Liveness probe per replica (``True`` = answered a ping)."""
+        health: List[bool] = []
+        for worker in self._workers:
+            with worker.lock:
+                try:
+                    request_id = self._next_request_id()
+                    reply = self._request(worker, ("ping", request_id), request_id)
+                    health.append(reply[0] == "pong")
+                except WorkerCrashError:
+                    health.append(False)
+        return health
+
+    def ensure_healthy(self) -> int:
+        """Respawn every replica that fails its health check.
+
+        Returns the number of restarts performed.  Deployments run this
+        periodically; the scoring path additionally self-heals on demand.
+        """
+        restarted = 0
+        for worker in self._workers:
+            with worker.lock:
+                alive = worker.process.is_alive()
+                if alive:
+                    try:
+                        request_id = self._next_request_id()
+                        self._request(worker, ("ping", request_id), request_id)
+                        continue
+                    except WorkerCrashError:
+                        pass
+                self._restart(worker, "failed health check")
+                restarted += 1
+        return restarted
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Stop every replica (graceful stop message, then terminate)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            with worker.lock:
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, Any]:
+        """Replica liveness and restart counts (no pipe traffic)."""
+        return {
+            "workers": self.replicas,
+            "alive": sum(w.process.is_alive() for w in self._workers),
+            "restarts": self.restarts,
+        }

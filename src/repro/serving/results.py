@@ -1,0 +1,135 @@
+"""Typed request outcomes for the serving engine.
+
+Every request submitted to :class:`repro.serving.ServingEngine` resolves
+to exactly one of four outcome types — admission control and failures are
+*values*, not exceptions, so a frontend can serialize them onto the wire
+without a try/except ladder:
+
+* :class:`Scored` — the frame was scored; carries the verdict and latency.
+* :class:`Overloaded` — rejected at admission because the bounded request
+  queue was full (backpressure; the engine never queues unboundedly).
+* :class:`DeadlineExceeded` — admitted, but its deadline passed while it
+  waited in the queue; dropped without scoring.
+* :class:`Failed` — the scoring backend raised (or the engine shut down).
+
+:class:`PendingResult` is the future handed back by ``submit``; callers
+block on :meth:`PendingResult.result`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import ClassVar, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ServingError
+
+
+@dataclass(frozen=True)
+class Scored:
+    """Successful outcome: one frame's novelty verdict.
+
+    Attributes
+    ----------
+    score:
+        Loss-oriented novelty score (higher = more novel).
+    is_novel:
+        The detector's threshold decision.
+    margin:
+        Signed distance past the threshold (positive = novel side).
+    batch_size:
+        Size of the micro-batch this frame was scored in.
+    latency_s:
+        End-to-end seconds from admission to verdict (queue wait included).
+    """
+
+    status: ClassVar[str] = "ok"
+
+    score: float
+    is_novel: bool
+    margin: float
+    batch_size: int
+    latency_s: float
+
+
+@dataclass(frozen=True)
+class Overloaded:
+    """Rejected at admission: the bounded request queue was full."""
+
+    status: ClassVar[str] = "overloaded"
+
+    queue_depth: int
+    capacity: int
+
+
+@dataclass(frozen=True)
+class DeadlineExceeded:
+    """Dropped unscored: the request's deadline passed while queued."""
+
+    status: ClassVar[str] = "deadline_exceeded"
+
+    waited_s: float
+    deadline_s: float
+
+
+@dataclass(frozen=True)
+class Failed:
+    """The scoring backend raised, or the engine closed mid-flight."""
+
+    status: ClassVar[str] = "failed"
+
+    error: str
+
+
+RequestOutcome = Union[Scored, Overloaded, DeadlineExceeded, Failed]
+
+
+class PendingResult:
+    """A one-shot future resolving to a :data:`RequestOutcome`."""
+
+    __slots__ = ("_event", "_outcome")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._outcome: Optional[RequestOutcome] = None
+
+    def resolve(self, outcome: RequestOutcome) -> None:
+        """Deliver the outcome (first resolution wins; later ones ignored)."""
+        if self._outcome is None:
+            self._outcome = outcome
+        self._event.set()
+
+    def done(self) -> bool:
+        """Whether an outcome has been delivered."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> RequestOutcome:
+        """Block until the outcome arrives (``ServingError`` on timeout)."""
+        if not self._event.wait(timeout):
+            raise ServingError(
+                f"request did not resolve within {timeout} seconds"
+            )
+        assert self._outcome is not None
+        return self._outcome
+
+
+@dataclass(frozen=True)
+class BatchVerdicts:
+    """Vectorized verdicts for one scored micro-batch (scorer output)."""
+
+    scores: np.ndarray
+    is_novel: np.ndarray
+    margins: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.scores)
+        if len(self.is_novel) != n or len(self.margins) != n:
+            raise ServingError(
+                f"inconsistent batch verdict lengths: {n}, "
+                f"{len(self.is_novel)}, {len(self.margins)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.scores)

@@ -1,0 +1,264 @@
+"""Localhost socket frontend: length-prefixed JSON over TCP.
+
+The wire protocol is deliberately simple (stdlib-only on both ends): each
+message is a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON.  Requests carry an ``op``:
+
+.. code-block:: json
+
+    {"op": "score", "id": 7, "frame": [[0.1, 0.2], [0.3, 0.4]]}
+    {"op": "ping",  "id": 8}
+    {"op": "stats", "id": 9}
+
+Score responses mirror the engine's typed outcomes via a ``status``
+field: ``"ok"`` (with ``score`` / ``is_novel`` / ``margin`` /
+``batch_size`` / ``latency_ms``), ``"overloaded"`` (with ``queue_depth``
+/ ``capacity``), ``"deadline_exceeded"``, ``"failed"``, or ``"error"``
+for malformed requests.  The request's ``id`` is echoed back verbatim.
+
+:class:`ServingServer` accepts connections on a thread per client and
+feeds frames into a :class:`~repro.serving.engine.ServingEngine`;
+:class:`ServingClient` is the matching blocking client used by the load
+generator, the tests, and as a reference for third-party clients.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ServingError, ShapeError
+from repro.serving.engine import ServingEngine
+from repro.serving.results import DeadlineExceeded, Failed, Overloaded, Scored
+from repro.utils.log import get_logger
+
+_log = get_logger(__name__)
+
+_LENGTH = struct.Struct(">I")
+
+#: Upper bound on one message; a 60x160 float frame is ~300 kB as JSON.
+MAX_MESSAGE_BYTES = 16 * 1024 * 1024
+
+
+def send_message(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Write one length-prefixed JSON message."""
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_MESSAGE_BYTES:
+        raise ServingError(f"message of {len(data)} bytes exceeds protocol maximum")
+    sock.sendall(_LENGTH.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one message; ``None`` on a clean EOF between messages."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ServingError(f"peer announced a {length}-byte message; refusing")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ServingError("connection closed mid-message")
+    payload = json.loads(body.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ServingError("protocol messages must be JSON objects")
+    return payload
+
+
+class ServingServer:
+    """TCP frontend over a :class:`~repro.serving.engine.ServingEngine`.
+
+    Binds immediately (``port=0`` picks an ephemeral port, exposed via
+    :attr:`address`); :meth:`start` launches the accept loop.  The server
+    does not own the engine — closing the server leaves the engine usable.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout_s: float = 60.0,
+    ) -> None:
+        self.engine = engine
+        self.request_timeout_s = float(request_timeout_s)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    def start(self) -> "ServingServer":
+        """Begin accepting connections (idempotent)."""
+        if self._accept_thread is None:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="serving-accept", daemon=True
+            )
+            self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn, peer),
+                name=f"serving-conn-{peer[1]}",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket, peer) -> None:
+        with conn:
+            while True:
+                try:
+                    request = recv_message(conn)
+                except (ServingError, json.JSONDecodeError, OSError) as exc:
+                    _log.info("dropping connection from %s: %s", peer, exc)
+                    return
+                if request is None:
+                    return
+                try:
+                    send_message(conn, self._respond(request))
+                except OSError:
+                    return
+
+    def _respond(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        request_id = request.get("id")
+        op = request.get("op")
+        if op == "ping":
+            return {"id": request_id, "status": "ok", "op": "pong"}
+        if op == "stats":
+            return {"id": request_id, "status": "ok", "stats": self.engine.stats()}
+        if op != "score":
+            return {"id": request_id, "status": "error", "error": f"unknown op {op!r}"}
+        try:
+            frame = np.asarray(request["frame"], dtype=np.float64)
+            if "deadline_ms" in request:
+                pending = self.engine.submit(frame, deadline_ms=request["deadline_ms"])
+            else:
+                pending = self.engine.submit(frame)
+        except KeyError:
+            return {"id": request_id, "status": "error", "error": "score requires 'frame'"}
+        except (ShapeError, TypeError, ValueError) as exc:
+            return {"id": request_id, "status": "error", "error": str(exc)}
+        outcome = pending.result(self.request_timeout_s)
+        return _serialize_outcome(request_id, outcome)
+
+    def close(self) -> None:
+        """Stop accepting; established connections close as clients leave."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ServingServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def _serialize_outcome(request_id, outcome) -> Dict[str, Any]:
+    if isinstance(outcome, Scored):
+        return {
+            "id": request_id,
+            "status": outcome.status,
+            "score": outcome.score,
+            "is_novel": outcome.is_novel,
+            "margin": outcome.margin,
+            "batch_size": outcome.batch_size,
+            "latency_ms": outcome.latency_s * 1e3,
+        }
+    if isinstance(outcome, Overloaded):
+        return {
+            "id": request_id,
+            "status": outcome.status,
+            "queue_depth": outcome.queue_depth,
+            "capacity": outcome.capacity,
+        }
+    if isinstance(outcome, DeadlineExceeded):
+        return {
+            "id": request_id,
+            "status": outcome.status,
+            "waited_ms": outcome.waited_s * 1e3,
+        }
+    if isinstance(outcome, Failed):
+        return {"id": request_id, "status": outcome.status, "error": outcome.error}
+    return {"id": request_id, "status": "error", "error": f"unknown outcome {outcome!r}"}
+
+
+class ServingClient:
+    """Blocking client for the length-prefixed JSON protocol."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    def _call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            self._next_id += 1
+            payload = dict(payload, id=self._next_id)
+            send_message(self._sock, payload)
+            reply = recv_message(self._sock)
+        if reply is None:
+            raise ServingError("server closed the connection")
+        if reply.get("id") != payload["id"]:
+            raise ServingError(
+                f"response id {reply.get('id')!r} does not match request {payload['id']}"
+            )
+        return reply
+
+    def score(self, frame: np.ndarray, deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+        """Score one ``(H, W)`` frame; returns the decoded response dict."""
+        payload: Dict[str, Any] = {"op": "score", "frame": np.asarray(frame).tolist()}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self._call(payload)
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return self._call({"op": "ping"}).get("op") == "pong"
+
+    def stats(self) -> Dict[str, Any]:
+        """The engine's counters and latency percentiles."""
+        return self._call({"op": "stats"})["stats"]
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -64,3 +64,11 @@ def fitted_pipeline(ci_workbench, trained_pilotnet, dsu_train):
     )
     pipeline.fit(dsu_train.frames)
     return pipeline
+
+
+@pytest.fixture(scope="session")
+def bundle_dir(fitted_pipeline, tmp_path_factory):
+    """The fitted pipeline saved as a serving artifact bundle."""
+    from repro.serving import save_bundle
+
+    return save_bundle(fitted_pipeline, tmp_path_factory.mktemp("bundles") / "ci")

@@ -128,6 +128,74 @@ class TestDemoCommand:
         assert "AUROC" in out
 
 
+class TestServingParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.bundle is None
+        assert args.workers == 0
+        assert args.max_batch == 8
+        assert args.max_wait_ms == 2.0
+        assert not args.once
+
+    def test_bench_serve_defaults(self):
+        args = build_parser().parse_args(["bench-serve"])
+        assert args.frames == 200
+        assert args.clients == 4
+        assert not args.socket
+
+    def test_bundle_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bundle"])
+
+
+class TestServeCommand:
+    def test_serve_once_in_process(self, capsys):
+        """The no-socket smoke path: train at CI scale, score a small
+        rendered stream, print latency percentiles."""
+        exit_code = main(["serve", "--once", "--frames", "4", "--scale", "ci"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "scored 4/4 frames" in out
+        assert "p50=" in out and "p99=" in out
+
+    def test_serve_workers_without_bundle_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--once", "--workers", "2", "--scale", "ci"])
+
+    def test_missing_bundle_exits_cleanly(self, tmp_path, capsys):
+        exit_code = main([
+            "bench-serve", "--bundle", str(tmp_path / "absent"), "--frames", "4"
+        ])
+        assert exit_code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+
+class TestBundleAndBenchServe:
+    def test_bundle_then_bench_serve(self, bundle_dir, capsys):
+        """Acceptance path: bench-serve against a repro-trained bundle
+        reports throughput and latency percentiles."""
+        exit_code = main([
+            "bench-serve", "--bundle", str(bundle_dir),
+            "--frames", "24", "--clients", "2",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "loaded bundle" in out
+        assert "throughput" in out
+        assert "p99" in out
+
+    def test_bundle_command_writes_bundle(self, tmp_path, capsys):
+        out_dir = tmp_path / "bundle"
+        exit_code = main(["bundle", "--out", str(out_dir), "--scale", "ci"])
+        assert exit_code == 0
+        assert (out_dir / "manifest.json").exists()
+        assert "bundle written" in capsys.readouterr().out
+
+        from repro.serving import load_bundle
+
+        assert load_bundle(out_dir).image_shape == (24, 64)
+
+
 class TestTelemetryCommand:
     def test_parser_accepts_telemetry_flag(self, tmp_path):
         args = build_parser().parse_args(

@@ -100,3 +100,22 @@ class TestTrainingCdf:
         # everywhere else the two formulations must coincide.
         disagreements = int(np.sum(flagged != (cdf_values > 0.99)))
         assert disagreements <= 1
+
+
+class TestEmptyScores:
+    """Regression: empty score arrays must fail loudly, not return empty
+    verdicts that silently drop frames downstream."""
+
+    def test_predict_empty_raises(self, rng):
+        from repro.exceptions import ShapeError
+
+        detector = NoveltyDetector().fit(rng.random(100))
+        with pytest.raises(ShapeError, match="empty"):
+            detector.predict(np.array([]))
+
+    def test_novelty_margin_empty_raises(self, rng):
+        from repro.exceptions import ShapeError
+
+        detector = NoveltyDetector().fit(rng.random(100))
+        with pytest.raises(ShapeError, match="empty"):
+            detector.novelty_margin(np.array([]))

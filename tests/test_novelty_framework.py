@@ -184,3 +184,26 @@ class TestFailureInjection:
         frames[1, 0, 0] = np.inf
         with pytest.raises(ShapeError, match="non-finite"):
             ae.fit(frames)
+
+
+class TestScoreBatch:
+    """The serving fast path must agree with the documented score()."""
+
+    def test_matches_score(self, fitted_pipeline, dsu_test):
+        frames = dsu_test.frames[:6]
+        np.testing.assert_array_equal(
+            fitted_pipeline.score_batch(frames), fitted_pipeline.score(frames)
+        )
+
+    def test_rejects_single_frame_without_batch_axis(self, fitted_pipeline, dsu_test):
+        with pytest.raises(ShapeError, match="stack"):
+            fitted_pipeline.score_batch(dsu_test.frames[0])
+
+    def test_same_unfitted_semantics_as_score(self, trained_pilotnet, dsu_test):
+        """score_batch mirrors score(): raw scores need no fitted detector
+        (only predict_novel does)."""
+        pipeline = SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, rng=0)
+        scores = pipeline.score_batch(dsu_test.frames[:2])
+        assert scores.shape == (2,)
+        with pytest.raises(NotFittedError):
+            pipeline.predict_novel(dsu_test.frames[:2])

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.simulation",
     "repro.experiments",
     "repro.image",
+    "repro.serving",
     "repro.utils",
 ]
 

@@ -1,0 +1,179 @@
+"""Tests for serving artifact bundles (save/load roundtrip + validation)."""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import CI
+from repro.exceptions import ArtifactError, ConfigurationError, NotFittedError
+from repro.serving import (
+    BUNDLE_SCHEMA_VERSION,
+    config_hash,
+    load_bundle,
+    read_manifest,
+    save_bundle,
+)
+from repro.serving.artifacts import MANIFEST_FILE, PIPELINE_FILE
+
+
+def _copy_bundle(bundle_dir, tmp_path) -> Path:
+    """A throwaway copy so corruption tests never touch the shared fixture."""
+    target = tmp_path / "bundle"
+    shutil.copytree(bundle_dir, target)
+    return target
+
+
+def _rewrite_manifest(bundle, mutate, rehash=False):
+    manifest = json.loads((bundle / MANIFEST_FILE).read_text())
+    mutate(manifest)
+    if rehash:
+        manifest["config_hash"] = config_hash(manifest)
+    (bundle / MANIFEST_FILE).write_text(json.dumps(manifest, indent=2))
+
+
+class TestRoundtrip:
+    def test_loaded_bundle_scores_identically(self, bundle_dir, fitted_pipeline, dsu_test):
+        loaded = load_bundle(bundle_dir)
+        frames = dsu_test.frames[:8]
+        np.testing.assert_array_equal(
+            loaded.pipeline.score_batch(frames), fitted_pipeline.score_batch(frames)
+        )
+
+    def test_loaded_bundle_verdicts_identical(self, bundle_dir, fitted_pipeline, dsi_novel):
+        loaded = load_bundle(bundle_dir)
+        frames = dsi_novel.frames[:8]
+        np.testing.assert_array_equal(
+            loaded.pipeline.predict_novel(frames), fitted_pipeline.predict_novel(frames)
+        )
+
+    def test_manifest_records_shape_and_threshold(self, bundle_dir, fitted_pipeline):
+        loaded = load_bundle(bundle_dir)
+        assert loaded.image_shape == CI.image_shape
+        assert loaded.threshold == pytest.approx(
+            fitted_pipeline.one_class.detector.threshold
+        )
+
+    def test_loads_in_fresh_process(self, bundle_dir, fitted_pipeline, dsu_test, tmp_path):
+        """The bundle is self-contained: a brand-new interpreter must load
+        it and produce bit-identical scores."""
+        frames_path = tmp_path / "frames.npy"
+        scores_path = tmp_path / "scores.npy"
+        frames = dsu_test.frames[:4]
+        np.save(frames_path, frames)
+        script = (
+            "import numpy as np\n"
+            "from repro.serving import load_bundle\n"
+            f"bundle = load_bundle({str(bundle_dir)!r})\n"
+            f"frames = np.load({str(frames_path)!r})\n"
+            f"np.save({str(scores_path)!r}, bundle.pipeline.score_batch(frames))\n"
+        )
+        src = Path(__file__).resolve().parents[1] / "src"
+        subprocess.run(
+            [sys.executable, "-c", script],
+            check=True,
+            env={"PYTHONPATH": str(src)},
+            timeout=120,
+        )
+        np.testing.assert_array_equal(
+            np.load(scores_path), fitted_pipeline.score_batch(frames)
+        )
+
+
+class TestSaveGuards:
+    def test_unfitted_pipeline_rejected(self, trained_pilotnet, tmp_path):
+        from repro.novelty import SaliencyNoveltyPipeline
+
+        pipeline = SaliencyNoveltyPipeline(trained_pilotnet, CI.image_shape, rng=0)
+        with pytest.raises(NotFittedError):
+            save_bundle(pipeline, tmp_path / "b")
+
+    def test_existing_bundle_not_clobbered(self, bundle_dir):
+        with pytest.raises(ArtifactError, match="already exists"):
+            save_bundle_target = bundle_dir  # the session fixture's bundle
+            save_bundle(load_bundle(save_bundle_target).pipeline, save_bundle_target)
+
+    def test_overwrite_flag_allows_replacement(self, bundle_dir, tmp_path):
+        copy = _copy_bundle(bundle_dir, tmp_path)
+        pipeline = load_bundle(copy).pipeline
+        save_bundle(pipeline, copy, overwrite=True)
+        assert read_manifest(copy)["schema_version"] == BUNDLE_SCHEMA_VERSION
+
+    def test_non_pilotnet_model_rejected(self, fitted_pipeline, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            fitted_pipeline.saliency_method, "model", object(), raising=False
+        )
+        with pytest.raises(ConfigurationError, match="PilotNet"):
+            save_bundle(fitted_pipeline, tmp_path / "b")
+
+
+class TestLoadValidation:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ArtifactError, match="not a directory"):
+            load_bundle(tmp_path / "absent")
+
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ArtifactError, match="missing manifest.json"):
+            load_bundle(tmp_path / "empty")
+
+    def test_corrupted_manifest_json(self, bundle_dir, tmp_path):
+        copy = _copy_bundle(bundle_dir, tmp_path)
+        (copy / MANIFEST_FILE).write_text("{not json")
+        with pytest.raises(ArtifactError, match="unreadable"):
+            load_bundle(copy)
+
+    def test_edited_manifest_fails_hash_check(self, bundle_dir, tmp_path):
+        """Tampering with any manifest field without rehashing is caught."""
+        copy = _copy_bundle(bundle_dir, tmp_path)
+        _rewrite_manifest(copy, lambda m: m.update(threshold=m["threshold"] * 2))
+        with pytest.raises(ArtifactError, match="hash mismatch"):
+            load_bundle(copy)
+
+    def test_unsupported_schema_version(self, bundle_dir, tmp_path):
+        copy = _copy_bundle(bundle_dir, tmp_path)
+        _rewrite_manifest(copy, lambda m: m.update(schema_version=99), rehash=True)
+        with pytest.raises(ArtifactError, match="version 99"):
+            load_bundle(copy)
+
+    def test_wrong_schema_identity(self, bundle_dir, tmp_path):
+        copy = _copy_bundle(bundle_dir, tmp_path)
+        _rewrite_manifest(copy, lambda m: m.update(schema="other.format"), rehash=True)
+        with pytest.raises(ArtifactError, match="not a repro.serving.bundle"):
+            load_bundle(copy)
+
+    def test_missing_payload_file(self, bundle_dir, tmp_path):
+        copy = _copy_bundle(bundle_dir, tmp_path)
+        (copy / PIPELINE_FILE).unlink()
+        with pytest.raises(ArtifactError, match="missing its pipeline_state"):
+            load_bundle(copy)
+
+    def test_threshold_mismatch_detected(self, bundle_dir, tmp_path):
+        """A manifest rehashed after editing still fails the cross-check
+        against the fitted state it ships."""
+        copy = _copy_bundle(bundle_dir, tmp_path)
+        _rewrite_manifest(
+            copy, lambda m: m.update(threshold=m["threshold"] * 2), rehash=True
+        )
+        with pytest.raises(ArtifactError, match="threshold"):
+            load_bundle(copy)
+
+    def test_missing_required_key(self, bundle_dir, tmp_path):
+        copy = _copy_bundle(bundle_dir, tmp_path)
+        _rewrite_manifest(copy, lambda m: m.pop("autoencoder"), rehash=True)
+        with pytest.raises(ArtifactError, match="missing keys: autoencoder"):
+            load_bundle(copy)
+
+
+class TestConfigHash:
+    def test_formatting_invariant(self):
+        a = {"x": 1, "y": [1, 2], "config_hash": "ignored"}
+        b = {"y": [1, 2], "x": 1}
+        assert config_hash(a) == config_hash(b)
+
+    def test_content_sensitive(self):
+        assert config_hash({"x": 1}) != config_hash({"x": 2})

@@ -1,0 +1,134 @@
+"""Tests for the micro-batching request queue."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serving import MicroBatcher, PendingResult, QueuedRequest
+
+
+def _request(tag: int) -> QueuedRequest:
+    return QueuedRequest(
+        frame=np.full((2, 2), float(tag)),
+        pending=PendingResult(),
+        enqueued_at=time.monotonic(),
+        deadline_at=None,
+    )
+
+
+class TestAdmission:
+    def test_offer_within_capacity(self):
+        batcher = MicroBatcher(capacity=2)
+        assert batcher.offer(_request(0))
+        assert batcher.offer(_request(1))
+        assert len(batcher) == 2
+
+    def test_full_queue_rejects(self):
+        batcher = MicroBatcher(capacity=2)
+        batcher.offer(_request(0))
+        batcher.offer(_request(1))
+        assert not batcher.offer(_request(2))
+        assert len(batcher) == 2
+
+    def test_closed_queue_rejects(self):
+        batcher = MicroBatcher()
+        batcher.close()
+        assert not batcher.offer(_request(0))
+        assert batcher.closed
+
+
+class TestBatchAssembly:
+    def test_coalesces_queued_requests(self):
+        batcher = MicroBatcher(max_batch_size=8, max_wait_ms=0.0)
+        for i in range(5):
+            batcher.offer(_request(i))
+        batch = batcher.next_batch()
+        assert len(batch) == 5
+        assert len(batcher) == 0
+
+    def test_full_batch_closes_at_cap(self):
+        batcher = MicroBatcher(max_batch_size=3, max_wait_ms=0.0)
+        for i in range(7):
+            batcher.offer(_request(i))
+        assert len(batcher.next_batch()) == 3
+        assert len(batcher.next_batch()) == 3
+        assert len(batcher.next_batch()) == 1
+
+    def test_fifo_order(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_ms=0.0)
+        for i in range(4):
+            batcher.offer(_request(i))
+        batch = batcher.next_batch()
+        assert [int(r.frame[0, 0]) for r in batch] == [0, 1, 2, 3]
+
+    def test_underfull_batch_closes_after_wait(self):
+        batcher = MicroBatcher(max_batch_size=8, max_wait_ms=30.0)
+        batcher.offer(_request(0))
+        started = time.monotonic()
+        batch = batcher.next_batch()
+        elapsed = time.monotonic() - started
+        assert len(batch) == 1
+        # Waited roughly the window, not forever (generous upper bound on a
+        # busy CI box).
+        assert elapsed < 5.0
+
+    def test_straggler_joins_open_batch(self):
+        batcher = MicroBatcher(max_batch_size=2, max_wait_ms=2000.0)
+        batcher.offer(_request(0))
+        got = {}
+
+        def _consume():
+            got["batch"] = batcher.next_batch()
+
+        consumer = threading.Thread(target=_consume, daemon=True)
+        consumer.start()
+        time.sleep(0.05)  # consumer now holds an open, under-full batch
+        batcher.offer(_request(1))
+        consumer.join(timeout=10.0)
+        assert len(got["batch"]) == 2  # straggler arrived inside the window
+
+
+class TestClose:
+    def test_close_returns_leftovers(self):
+        batcher = MicroBatcher()
+        batcher.offer(_request(0))
+        batcher.offer(_request(1))
+        leftovers = batcher.close()
+        assert len(leftovers) == 2
+        assert len(batcher) == 0
+
+    def test_next_batch_none_after_close(self):
+        batcher = MicroBatcher()
+        batcher.close()
+        assert batcher.next_batch() is None
+
+    def test_close_wakes_blocked_consumer(self):
+        batcher = MicroBatcher()
+        got = {}
+
+        def _consume():
+            got["batch"] = batcher.next_batch()
+
+        consumer = threading.Thread(target=_consume, daemon=True)
+        consumer.start()
+        time.sleep(0.05)
+        batcher.close()
+        consumer.join(timeout=10.0)
+        assert got["batch"] is None
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch_size": 0},
+            {"max_wait_ms": -1.0},
+            {"capacity": 0},
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(**kwargs)

@@ -1,0 +1,87 @@
+"""Tests for the multiprocess worker pool (replicas, health, restart)."""
+
+import numpy as np
+import pytest
+
+from repro.config import CI
+from repro.exceptions import ArtifactError, ConfigurationError, ServingError
+from repro.serving import WorkerPool
+
+
+@pytest.fixture(scope="module")
+def pool(bundle_dir):
+    """One two-replica pool shared across this module (spawn cost)."""
+    with WorkerPool(bundle_dir, workers=2, request_timeout_s=120.0) as pool:
+        yield pool
+
+
+class TestScoring:
+    def test_matches_in_process_pipeline(self, pool, fitted_pipeline, dsu_test):
+        frames = dsu_test.frames[:6]
+        verdicts = pool.score_batch(frames)
+        np.testing.assert_allclose(
+            verdicts.scores, fitted_pipeline.score_batch(frames)
+        )
+        detector = fitted_pipeline.one_class.detector
+        np.testing.assert_array_equal(
+            verdicts.is_novel, detector.predict(verdicts.scores)
+        )
+
+    def test_image_shape_from_manifest(self, pool):
+        assert pool.image_shape == CI.image_shape
+
+    def test_round_robin_spreads_requests(self, pool, dsu_test):
+        # Several sequential batches all succeed regardless of which
+        # replica serves them.
+        for _ in range(4):
+            assert len(pool.score_batch(dsu_test.frames[:2])) == 2
+
+
+class TestHealth:
+    def test_ping_all_replicas(self, pool):
+        assert pool.ping() == [True, True]
+
+    def test_killed_worker_is_restarted(self, pool, dsu_test):
+        """The acceptance scenario: kill a replica, the next batch routed to
+        it is retried on a fresh process and succeeds."""
+        before = pool.restarts
+        pool._workers[0].process.kill()
+        pool._workers[0].process.join(timeout=10.0)
+        results = [pool.score_batch(dsu_test.frames[:2]) for _ in range(4)]
+        assert all(len(v) == 2 for v in results)
+        assert pool.restarts == before + 1
+        assert pool.ping() == [True, True]
+
+    def test_ensure_healthy_respawns_dead_replica(self, pool):
+        pool._workers[1].process.kill()
+        pool._workers[1].process.join(timeout=10.0)
+        assert pool.ensure_healthy() == 1
+        assert pool.ping() == [True, True]
+
+    def test_stats_reports_liveness(self, pool):
+        stats = pool.stats()
+        assert stats["workers"] == 2
+        assert stats["alive"] == 2
+        assert stats["restarts"] == pool.restarts
+
+
+class TestLifecycleAndValidation:
+    def test_bad_bundle_path_fails_fast(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            WorkerPool(tmp_path / "nope", workers=1)
+
+    def test_invalid_worker_count(self, bundle_dir):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(bundle_dir, workers=0)
+
+    def test_score_after_close_raises(self, bundle_dir, dsu_test):
+        pool = WorkerPool(bundle_dir, workers=1, request_timeout_s=120.0)
+        pool.close()
+        with pytest.raises(ServingError):
+            pool.score_batch(dsu_test.frames[:1])
+
+    def test_close_is_idempotent(self, bundle_dir):
+        pool = WorkerPool(bundle_dir, workers=1, request_timeout_s=120.0)
+        pool.close()
+        pool.close()
+        assert pool.stats()["alive"] == 0

@@ -1,0 +1,133 @@
+"""Tests for the socket frontend: wire protocol, server, client."""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving import (
+    EngineConfig,
+    PipelineScorer,
+    ServingClient,
+    ServingEngine,
+    ServingServer,
+    recv_message,
+    send_message,
+)
+
+
+class TestWireProtocol:
+    def test_roundtrip(self):
+        a, b = socket.socketpair()
+        with a, b:
+            send_message(a, {"op": "ping", "id": 1, "nested": {"x": [1, 2]}})
+            assert recv_message(b) == {"op": "ping", "id": 1, "nested": {"x": [1, 2]}}
+
+    def test_multiple_messages_frame_correctly(self):
+        a, b = socket.socketpair()
+        with a, b:
+            send_message(a, {"id": 1})
+            send_message(a, {"id": 2})
+            assert recv_message(b)["id"] == 1
+            assert recv_message(b)["id"] == 2
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        with b:
+            a.close()
+            assert recv_message(b) is None
+
+    def test_non_object_payload_rejected(self):
+        a, b = socket.socketpair()
+        with a, b:
+            import json
+            import struct
+
+            data = json.dumps([1, 2, 3]).encode()
+            a.sendall(struct.pack(">I", len(data)) + data)
+            with pytest.raises(ServingError, match="JSON objects"):
+                recv_message(b)
+
+    def test_oversized_announcement_refused(self):
+        a, b = socket.socketpair()
+        with a, b:
+            import struct
+
+            a.sendall(struct.pack(">I", 1 << 30))
+            with pytest.raises(ServingError, match="refusing"):
+                recv_message(b)
+
+
+@pytest.fixture(scope="module")
+def served(fitted_pipeline):
+    """A running server + connected client over the fitted pipeline."""
+    engine = ServingEngine(
+        PipelineScorer(fitted_pipeline),
+        EngineConfig(max_batch_size=8, max_wait_ms=1.0, queue_capacity=64),
+    )
+    with ServingServer(engine) as server:
+        with ServingClient(*server.address) as client:
+            yield client, fitted_pipeline
+    engine.close()
+
+
+class TestServer:
+    def test_score_matches_pipeline(self, served, dsu_test):
+        client, pipeline = served
+        frame = dsu_test.frames[0]
+        reply = client.score(frame)
+        assert reply["status"] == "ok"
+        expected = float(pipeline.score_batch(frame[None])[0])
+        assert reply["score"] == pytest.approx(expected, rel=1e-9)
+        assert isinstance(reply["is_novel"], bool)
+        assert reply["latency_ms"] > 0.0
+
+    def test_ping(self, served):
+        client, _ = served
+        assert client.ping() is True
+
+    def test_stats_over_the_wire(self, served, dsu_test):
+        client, _ = served
+        client.score(dsu_test.frames[1])
+        stats = client.stats()
+        assert stats["scored"] >= 1
+        assert "latency_ms" in stats
+
+    def test_unknown_op_is_an_error(self, served):
+        client, _ = served
+        reply = client._call({"op": "explode"})
+        assert reply["status"] == "error"
+        assert "unknown op" in reply["error"]
+
+    def test_score_without_frame_is_an_error(self, served):
+        client, _ = served
+        reply = client._call({"op": "score"})
+        assert reply["status"] == "error"
+        assert "frame" in reply["error"]
+
+    def test_bad_shape_is_an_error_not_a_crash(self, served):
+        client, _ = served
+        reply = client.score(np.zeros((3, 3)))
+        assert reply["status"] == "error"
+        # The connection survives a bad request.
+        assert client.ping() is True
+
+    def test_concurrent_clients(self, served, dsu_test):
+        client, pipeline = served
+        host, port = client._sock.getpeername()
+        with ServingClient(host, port) as second:
+            a = client.score(dsu_test.frames[2])
+            b = second.score(dsu_test.frames[2])
+        assert a["status"] == b["status"] == "ok"
+        assert a["score"] == pytest.approx(b["score"], rel=1e-9)
+
+    def test_server_close_leaves_engine_usable(self, fitted_pipeline, dsu_test):
+        engine = ServingEngine(PipelineScorer(fitted_pipeline))
+        try:
+            server = ServingServer(engine).start()
+            server.close()
+            outcome = engine.infer(dsu_test.frames[0])
+            assert outcome.status == "ok"
+        finally:
+            engine.close()
