@@ -1,0 +1,94 @@
+"""Benchmark: float32 inference throughput vs the float64 reference.
+
+The precision policy exists for exactly one reason: the monitor's score
+path (VBP deconvolution cascade + autoencoder reconstruction + SSIM) is
+pure numpy arithmetic, and halving every operand pays for itself in
+memory bandwidth.  This benchmark gates that claim — a fitted pipeline
+cast to float32 must score the same frames at >= 1.3x the float64
+throughput while reaching the same verdicts.
+"""
+
+import copy
+import time
+
+import numpy as np
+
+from repro.config import BENCH
+from repro.experiments.harness import ExperimentResult
+from repro.novelty import SaliencyNoveltyPipeline
+
+N_FRAMES = 96
+REPEATS = 3
+SPEEDUP_GATE = 1.3
+
+
+def _fitted_pipeline(bench_workbench):
+    pipeline = SaliencyNoveltyPipeline(
+        bench_workbench.steering_model("dsu"),
+        BENCH.image_shape,
+        loss="ssim",
+        config=bench_workbench.autoencoder_config(),
+        rng=0,
+    )
+    pipeline.fit(bench_workbench.batch("dsu", "train").frames)
+    return pipeline
+
+
+def _throughput(pipeline, frames) -> float:
+    """Best-of-REPEATS frames/s for full batched score passes."""
+    best = 0.0
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        pipeline.score_batch(frames)
+        best = max(best, len(frames) / (time.perf_counter() - started))
+    return best
+
+
+def test_float32_score_path_speedup(benchmark, bench_workbench, report):
+    reference = _fitted_pipeline(bench_workbench)
+    fast = copy.deepcopy(reference).set_inference_dtype("float32")
+    test = bench_workbench.batch("dsu", "test").frames
+    frames = np.stack([test[i % len(test)] for i in range(N_FRAMES)])
+
+    # Warm layer caches and allocator pools on both paths before timing.
+    reference.score_batch(frames[:8])
+    fast.score_batch(frames[:8])
+
+    def _measure():
+        fps_float64 = _throughput(reference, frames)
+        fps_float32 = _throughput(fast, frames)
+        return fps_float64, fps_float32
+
+    fps_float64, fps_float32 = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    speedup = fps_float32 / fps_float64
+
+    # The speed must not come from different answers.
+    verdicts64 = reference.predict_novel(frames)
+    verdicts32 = fast.predict_novel(frames)
+    np.testing.assert_array_equal(verdicts64, verdicts32)
+    max_delta = float(
+        np.max(np.abs(reference.score_batch(frames) - fast.score_batch(frames)))
+    )
+
+    result = ExperimentResult(
+        exp_id="precision",
+        title="Precision policy: float32 vs float64 score-path throughput",
+        rows=[
+            f"float64 reference      {fps_float64:8.1f} frames/s",
+            f"float32 inference      {fps_float32:8.1f} frames/s",
+            f"speedup                {speedup:8.2f}x  (gate: >= {SPEEDUP_GATE:.1f}x)",
+            f"max |score delta|      {max_delta:8.2e}  (identical verdicts)",
+        ],
+        metrics={
+            "fps_float64": fps_float64,
+            "fps_float32": fps_float32,
+            "speedup": speedup,
+            "max_score_delta": max_delta,
+        },
+        notes=(
+            f"{N_FRAMES} bench-scale frames through VBP + autoencoder + SSIM; "
+            f"best of {REPEATS} full-batch passes per policy"
+        ),
+    )
+    report(result)
+    assert speedup >= SPEEDUP_GATE

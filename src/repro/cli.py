@@ -60,6 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="scale preset (default: bench)",
     )
     exp.add_argument("--seed", type=int, default=0, help="root random seed")
+    _add_dtype_arg(exp)
     exp.add_argument(
         "--markdown", type=Path, default=None, metavar="PATH",
         help="also write the results as a markdown report",
@@ -90,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="run the end-to-end detection demo")
     demo.add_argument("--scale", choices=sorted(PRESETS), default="bench")
     demo.add_argument("--seed", type=int, default=0)
+    _add_dtype_arg(demo)
     demo.add_argument(
         "--telemetry", type=Path, default=None, metavar="PATH",
         help="record a JSONL telemetry trace (spans, metrics) of the run",
@@ -111,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     bundle.add_argument(
         "--overwrite", action="store_true", help="replace an existing bundle"
     )
+    _add_dtype_arg(bundle)
 
     serve = sub.add_parser("serve", help="run the micro-batched inference engine")
     _add_engine_args(serve)
@@ -146,8 +149,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_dtype_arg(parser: argparse.ArgumentParser) -> None:
+    """The shared inference precision flag (training stays float64)."""
+    parser.add_argument(
+        "--dtype", choices=["float32", "float64"], default=None,
+        help=(
+            "inference precision policy; float32 trades a little accuracy "
+            "for throughput (default: float64, or the bundle's recorded dtype)"
+        ),
+    )
+
+
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     """Flags shared by ``serve`` and ``bench-serve``."""
+    _add_dtype_arg(parser)
     parser.add_argument(
         "--bundle", type=Path, default=None,
         help="artifact bundle to load (omit to train a fresh pipeline at --scale)",
@@ -188,11 +203,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     if args.exp_id == "all":
         with _telemetry_scope(args.telemetry):
-            results = run_all(args.scale, rng=args.seed)
+            results = run_all(args.scale, rng=args.seed, dtype=args.dtype)
     elif args.exp_id in EXPERIMENTS:
         with _telemetry_scope(args.telemetry):
             results = {
-                args.exp_id: run_experiment(args.exp_id, args.scale, rng=args.seed)
+                args.exp_id: run_experiment(
+                    args.exp_id, args.scale, rng=args.seed, dtype=args.dtype
+                )
             }
     else:
         known = ", ".join(sorted(EXPERIMENTS))
@@ -272,6 +289,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             config=workbench.autoencoder_config(), rng=args.seed,
         )
         pipeline.fit(workbench.batch("dsu", "train").frames)
+        if args.dtype is not None:
+            print(f"scoring with the {args.dtype} inference policy")
+            pipeline.set_inference_dtype(args.dtype)
         result = evaluate_detector(
             pipeline,
             workbench.batch("dsu", "test").frames,
@@ -326,12 +346,16 @@ def _build_engine(args: argparse.Namespace, default_capacity: int = 64):
         image_shape = bundle.image_shape
         print(f"loaded bundle {args.bundle} (threshold {bundle.threshold:.4g})")
         if args.workers > 0:
-            scorer = WorkerPool(args.bundle, workers=args.workers)
-            print(f"started {args.workers} worker replicas")
+            scorer = WorkerPool(args.bundle, workers=args.workers, dtype=args.dtype)
+            print(f"started {args.workers} worker replicas ({scorer.dtype.name})")
         else:
+            if args.dtype is not None:
+                bundle.pipeline.set_inference_dtype(args.dtype)
             scorer = PipelineScorer(bundle.pipeline)
     else:
         pipeline = _train_pipeline(args.scale, args.seed)
+        if args.dtype is not None:
+            pipeline.set_inference_dtype(args.dtype)
         image_shape = pipeline.image_shape
         scorer = PipelineScorer(pipeline)
     config = EngineConfig(
@@ -355,6 +379,8 @@ def _cmd_bundle(args: argparse.Namespace) -> int:
     from repro.serving import save_bundle
 
     pipeline = _train_pipeline(args.scale, args.seed, loss=args.loss)
+    if args.dtype is not None:
+        pipeline.set_inference_dtype(args.dtype)
     try:
         path = save_bundle(pipeline, args.out, overwrite=args.overwrite)
     except ArtifactError as exc:
@@ -364,7 +390,7 @@ def _cmd_bundle(args: argparse.Namespace) -> int:
     print(f"bundle written to {path}")
     print(
         f"  image_shape={pipeline.image_shape}  loss={args.loss}  "
-        f"threshold={threshold:.4g}"
+        f"threshold={threshold:.4g}  dtype={pipeline.dtype.name}"
     )
     return 0
 

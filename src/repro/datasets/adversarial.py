@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.nn.losses import MSELoss
 from repro.nn.model import Sequential
 
@@ -46,12 +47,12 @@ def fgsm_attack(
     """
     if epsilon <= 0:
         raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
-    frames = np.asarray(frames, dtype=np.float64)
+    frames = as_tensor(frames)
     squeeze = frames.ndim == 3
     batch = frames[:, None, :, :] if squeeze else frames
     if batch.ndim != 4:
         raise ShapeError(f"frames must be (N, H, W) or (N, 1, H, W), got {frames.shape}")
-    targets = np.asarray(targets, dtype=np.float64).reshape(batch.shape[0], 1)
+    targets = as_tensor(targets).reshape(batch.shape[0], 1)
 
     loss = MSELoss()
     pred = model.forward(batch, training=False)
@@ -71,8 +72,8 @@ def prediction_shift(model: Sequential, clean: np.ndarray, perturbed: np.ndarray
     A quick measure of attack effectiveness used in the adversarial
     example script.
     """
-    clean = np.asarray(clean, dtype=np.float64)
-    perturbed = np.asarray(perturbed, dtype=np.float64)
+    clean = as_tensor(clean)
+    perturbed = as_tensor(perturbed)
     if clean.shape != perturbed.shape:
         raise ShapeError(
             f"clean and perturbed must align, got {clean.shape} vs {perturbed.shape}"

@@ -17,13 +17,14 @@ from typing import Tuple
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.utils.seeding import RngLike, derive_rng
 
 
 def horizontal_flip(frames: np.ndarray, angles: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Mirror frames left-right and negate the steering labels."""
-    frames = np.asarray(frames, dtype=np.float64)
-    angles = np.asarray(angles, dtype=np.float64)
+    frames = as_tensor(frames)
+    angles = as_tensor(angles)
     if frames.ndim != 3:
         raise ShapeError(f"horizontal_flip expects (N, H, W) frames, got {frames.shape}")
     if angles.shape != (frames.shape[0],):
@@ -40,7 +41,7 @@ def augment_with_flips(
     flipped_frames, flipped_angles = horizontal_flip(frames, angles)
     return (
         np.concatenate([frames, flipped_frames]),
-        np.concatenate([np.asarray(angles, dtype=np.float64), flipped_angles]),
+        np.concatenate([as_tensor(angles), flipped_angles]),
     )
 
 
@@ -53,8 +54,8 @@ def random_flip_epoch(
     the constraint) while still balancing the left/right statistics in
     expectation.
     """
-    frames = np.asarray(frames, dtype=np.float64)
-    angles = np.asarray(angles, dtype=np.float64)
+    frames = as_tensor(frames)
+    angles = as_tensor(angles)
     if frames.ndim != 3:
         raise ShapeError(f"random_flip_epoch expects (N, H, W) frames, got {frames.shape}")
     generator = derive_rng(rng, stream="flip")

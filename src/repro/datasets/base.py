@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.datasets.road_geometry import CameraModel, RoadGeometry
 from repro.exceptions import ConfigurationError
+from repro.nn.backend.policy import FLOAT64
 from repro.utils.seeding import RngLike, derive_rng
 
 
@@ -104,8 +105,8 @@ class DrivingDataset:
         scene_seed = int(root.integers(0, 2**62))
         profiles = self.geometry.simulate_drive(n_frames, rng=root, dt=dt)
 
-        frames = np.empty((n_frames,) + self.image_shape, dtype=np.float64)
-        angles = np.empty(n_frames, dtype=np.float64)
+        frames = np.empty((n_frames,) + self.image_shape, dtype=FLOAT64)
+        angles = np.empty(n_frames, dtype=FLOAT64)
         masks = np.empty((n_frames,) + self.image_shape, dtype=bool)
         markings = np.empty((n_frames,) + self.image_shape, dtype=bool)
         for i, profile in enumerate(profiles):
@@ -126,8 +127,8 @@ class DrivingDataset:
             raise ConfigurationError(f"n must be >= 1, got {n}")
         root = derive_rng(rng, stream=self.name)
         seeds = root.integers(0, 2**62, size=n)
-        frames = np.empty((n,) + self.image_shape, dtype=np.float64)
-        angles = np.empty(n, dtype=np.float64)
+        frames = np.empty((n,) + self.image_shape, dtype=FLOAT64)
+        angles = np.empty(n, dtype=FLOAT64)
         masks = np.empty((n,) + self.image_shape, dtype=bool)
         markings = np.empty((n,) + self.image_shape, dtype=bool)
         for i, seed in enumerate(seeds):

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.image.ops import resize_bilinear
+from repro.nn.backend.policy import FLOAT64
 from repro.utils.seeding import RngLike, derive_rng
 
 
@@ -35,7 +36,7 @@ def value_noise(
     if octaves < 1:
         raise ConfigurationError(f"octaves must be >= 1, got {octaves}")
     generator = derive_rng(rng)
-    out = np.zeros((h, w), dtype=np.float64)
+    out = np.zeros((h, w), dtype=FLOAT64)
     amplitude, total = 1.0, 0.0
     for octave in range(octaves):
         grid_h = min(ch * 2**octave, h)

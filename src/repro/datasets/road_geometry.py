@@ -26,6 +26,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.nn.backend.policy import as_tensor
 from repro.utils.seeding import RngLike, derive_rng
 
 
@@ -84,7 +85,7 @@ class CameraModel:
         Distances are clipped below at ``min_distance`` so the bottom rows
         stay finite and well-conditioned.
         """
-        rows = np.asarray(rows, dtype=np.float64)
+        rows = as_tensor(rows)
         delta = np.maximum(rows - self.horizon_row, 1e-6)
         return np.maximum(self.focal_v / delta, self.min_distance)
 
@@ -94,7 +95,7 @@ class CameraModel:
 
     def column_to_lateral(self, cols: np.ndarray, d: np.ndarray) -> np.ndarray:
         """Lateral ground offset imaged at column ``cols``, distance ``d``."""
-        return (np.asarray(cols, dtype=np.float64) - self.center_col) * np.asarray(d) / self.focal_u
+        return (as_tensor(cols) - self.center_col) * np.asarray(d) / self.focal_u
 
 
 @dataclass(frozen=True)
@@ -166,7 +167,7 @@ class RoadGeometry:
 
     def centerline(self, profile: TrackProfile, distances: np.ndarray) -> np.ndarray:
         """Lateral centerline offset (camera frame) at each forward distance."""
-        d = np.asarray(distances, dtype=np.float64)
+        d = as_tensor(distances)
         return (
             -profile.lane_offset
             + np.tan(-profile.heading) * d

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.datasets.base import RenderedBatch
 from repro.exceptions import SerializationError
+from repro.nn.backend.policy import as_tensor
 
 #: Format marker written into every batch file.
 _FORMAT = "repro.rendered_batch.v1"
@@ -51,8 +52,8 @@ def load_batch(path: Union[str, Path]) -> RenderedBatch:
                     f"{path} is not a rendered-batch file (missing format marker)"
                 )
             batch = RenderedBatch(
-                frames=np.asarray(data["frames"], dtype=np.float64),
-                angles=np.asarray(data["angles"], dtype=np.float64),
+                frames=as_tensor(data["frames"]),
+                angles=as_tensor(data["angles"]),
                 road_masks=np.asarray(data["road_masks"], dtype=bool),
                 marking_masks=np.asarray(data["marking_masks"], dtype=bool),
             )

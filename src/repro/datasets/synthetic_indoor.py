@@ -16,6 +16,7 @@ import numpy as np
 from repro.datasets.base import DrivingDataset, DrivingSample
 from repro.datasets.rendering import band_mask, draw_rectangle, ground_fill, value_noise
 from repro.datasets.road_geometry import CameraModel, RoadGeometry
+from repro.nn.backend.policy import FLOAT64
 
 
 class SyntheticIndoor(DrivingDataset):
@@ -38,7 +39,7 @@ class SyntheticIndoor(DrivingDataset):
         h, w = self.image_shape
         camera = self.camera
 
-        frame = np.zeros((h, w), dtype=np.float64)
+        frame = np.zeros((h, w), dtype=FLOAT64)
         horizon = int(np.floor(camera.horizon_row))
 
         # --- wall above the horizon with a baseboard stripe --------------

@@ -23,6 +23,7 @@ from repro.datasets.rendering import (
     vignette,
 )
 from repro.datasets.road_geometry import CameraModel, RoadGeometry
+from repro.nn.backend.policy import FLOAT64
 
 
 class SyntheticUdacity(DrivingDataset):
@@ -51,7 +52,7 @@ class SyntheticUdacity(DrivingDataset):
         h, w = self.image_shape
         camera = self.camera
 
-        frame = np.zeros((h, w), dtype=np.float64)
+        frame = np.zeros((h, w), dtype=FLOAT64)
         horizon = int(np.floor(camera.horizon_row))
 
         # --- sky: vertical gradient plus clouds -------------------------

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, ShapeError
 from repro.image.ops import preprocess_frame
+from repro.nn.backend.policy import FLOAT64, as_tensor
 from repro.viz import load_pgm
 
 #: Column-name candidates accepted without explicit configuration.
@@ -122,7 +123,7 @@ def load_frame(path: Union[str, Path]) -> np.ndarray:
         data = np.load(path)
         if data.ndim not in (2, 3):
             raise ShapeError(f"{path}: expected (H, W) or (H, W, 3) data, got {data.shape}")
-        return np.asarray(data, dtype=np.float64)
+        return as_tensor(data)
     raise ConfigurationError(
         f"unsupported frame format {suffix!r} for {path}; supported: .pgm, .npy"
     )
@@ -157,8 +158,8 @@ def load_dataset(
             raise ConfigurationError(f"limit must be >= 1, got {limit}")
         entries = entries[:limit]
 
-    frames = np.empty((len(entries),) + tuple(size), dtype=np.float64)
-    angles = np.empty(len(entries), dtype=np.float64)
+    frames = np.empty((len(entries),) + tuple(size), dtype=FLOAT64)
+    angles = np.empty(len(entries), dtype=FLOAT64)
     for i, entry in enumerate(entries):
         frames[i] = preprocess_frame(load_frame(entry.frame_path), size=size)
         angles[i] = entry.steering_angle

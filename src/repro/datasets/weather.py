@@ -19,11 +19,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.utils.seeding import RngLike, derive_rng
 
 
 def _check(image: np.ndarray, name: str) -> np.ndarray:
-    image = np.asarray(image, dtype=np.float64)
+    image = as_tensor(image)
     if image.ndim not in (2, 3):
         raise ShapeError(f"{name} expects (H, W) or (N, H, W), got {image.shape}")
     return image

@@ -21,6 +21,7 @@ from repro.datasets.synthetic_indoor import SyntheticIndoor
 from repro.datasets.synthetic_udacity import SyntheticUdacity
 from repro.exceptions import ExperimentError
 from repro.models.pilotnet import PilotNet, PilotNetConfig, train_pilotnet
+from repro.nn.backend.policy import as_tensor, resolve_dtype
 from repro.novelty.framework import AutoencoderConfig
 from repro.telemetry import get_telemetry
 from repro.utils.log import get_logger
@@ -71,11 +72,17 @@ class Workbench:
     All artifacts are derived deterministically from ``(scale, seed)``:
     asking twice returns the same object, and two workbenches with equal
     arguments produce bit-identical data.
+
+    ``dtype`` selects the *inference* precision policy: models are always
+    trained in float64 (identical weights regardless of policy) and then
+    cast, so ``dtype="float32"`` reproduces the deploy story — train in
+    double precision, score in single.
     """
 
-    def __init__(self, scale: Scale, seed: int = 0) -> None:
+    def __init__(self, scale: Scale, seed: int = 0, dtype=None) -> None:
         self.scale = scale
         self.seed = int(seed)
+        self.dtype = None if dtype is None else resolve_dtype(dtype)
         self.dsu = SyntheticUdacity(scale.image_shape)
         self.dsi = SyntheticIndoor(scale.image_shape)
         self._batches: Dict[str, RenderedBatch] = {}
@@ -138,6 +145,8 @@ class Workbench:
                     batch_size=self.scale.batch_size,
                     rng=self.seed,
                 )
+            if self.dtype is not None:
+                model.set_policy(self.dtype)
             self._models[key] = model
         return self._models[key]
 
@@ -167,6 +176,8 @@ class Workbench:
                     batch_size=self.scale.batch_size,
                     rng=self.seed,
                 )
+            if self.dtype is not None:
+                model.set_policy(self.dtype)
             self._models[key] = model
         return self._models[key]
 
@@ -198,7 +209,7 @@ def saliency_concentration(
     """
     from scipy import ndimage
 
-    masks = np.asarray(masks, dtype=np.float64)
+    masks = as_tensor(masks)
     region = np.asarray(region_masks, dtype=bool)
     if masks.shape != region.shape:
         raise ExperimentError(

@@ -59,14 +59,25 @@ def run_experiment(
     scale: str = "bench",
     rng: int = 0,
     workbench: Workbench = None,
+    dtype: str = None,
 ) -> ExperimentResult:
     """Run one experiment at a named scale preset.
 
     Passing a shared ``workbench`` lets callers regenerate several figures
     without re-rendering data or retraining the steering networks.
+    ``dtype`` selects the inference precision policy for the workbench's
+    trained models (training always runs in float64); it cannot be combined
+    with an explicit ``workbench``, which carries its own policy.
     """
     runner = get_experiment(exp_id)
     scale_obj: Scale = get_scale(scale) if isinstance(scale, str) else scale
+    if dtype is not None:
+        if workbench is not None:
+            raise ExperimentError(
+                "pass dtype when the workbench is built here, or build the "
+                "workbench with its own dtype — not both"
+            )
+        workbench = Workbench(scale_obj, seed=rng, dtype=dtype)
     telem = get_telemetry()
     with telem.span("experiment.run", exp_id=exp_id):
         result = runner(scale_obj, rng=rng, workbench=workbench)
@@ -75,10 +86,12 @@ def run_experiment(
     return result
 
 
-def run_all(scale: str = "bench", rng: int = 0) -> Dict[str, ExperimentResult]:
+def run_all(
+    scale: str = "bench", rng: int = 0, dtype: str = None
+) -> Dict[str, ExperimentResult]:
     """Run every registered experiment with one shared workbench."""
     scale_obj = get_scale(scale) if isinstance(scale, str) else scale
-    bench = Workbench(scale_obj, seed=rng)
+    bench = Workbench(scale_obj, seed=rng, dtype=dtype)
     return {
         exp_id: run_experiment(exp_id, scale_obj, rng=rng, workbench=bench)
         for exp_id in EXPERIMENTS

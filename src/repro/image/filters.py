@@ -6,10 +6,11 @@ import numpy as np
 from scipy import ndimage
 
 from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.backend.policy import as_tensor
 
 
 def _check_image(image: np.ndarray, name: str) -> np.ndarray:
-    image = np.asarray(image, dtype=np.float64)
+    image = as_tensor(image)
     if image.ndim not in (2, 3):
         raise ShapeError(f"{name} expects (H, W) or (N, H, W), got {image.shape}")
     return image

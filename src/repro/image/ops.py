@@ -12,6 +12,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.nn.backend.policy import FLOAT64, as_tensor
 
 #: ITU-R BT.601 luma coefficients, the standard RGB-to-gray projection.
 _LUMA = np.array([0.299, 0.587, 0.114])
@@ -23,7 +24,7 @@ def to_grayscale(image: np.ndarray) -> np.ndarray:
     Grayscale inputs (no trailing channel axis of size 3) pass through
     unchanged, so pipelines can be written channel-agnostically.
     """
-    image = np.asarray(image, dtype=np.float64)
+    image = as_tensor(image)
     if image.ndim >= 3 and image.shape[-1] == 3:
         return image @ _LUMA
     if image.ndim in (2, 3):
@@ -37,7 +38,7 @@ def normalize01(image: np.ndarray) -> np.ndarray:
     A constant image maps to all-zeros.  Batches are normalized *per image*
     so one bright frame cannot compress another's dynamic range.
     """
-    image = np.asarray(image, dtype=np.float64)
+    image = as_tensor(image)
     if image.ndim == 2:
         lo, hi = image.min(), image.max()
         if hi == lo:
@@ -59,7 +60,7 @@ def resize_bilinear(image: np.ndarray, size: Tuple[int, int]) -> np.ndarray:
     Uses align-corners=False pixel-center semantics (the common default in
     imaging libraries).
     """
-    image = np.asarray(image, dtype=np.float64)
+    image = as_tensor(image)
     out_h, out_w = int(size[0]), int(size[1])
     if out_h < 1 or out_w < 1:
         raise ShapeError(f"target size must be positive, got {size}")
@@ -90,7 +91,7 @@ def resize_bilinear(image: np.ndarray, size: Tuple[int, int]) -> np.ndarray:
 
 def center_crop(image: np.ndarray, size: Tuple[int, int]) -> np.ndarray:
     """Crop the central ``(h, w)`` region of ``(H, W)`` / ``(N, H, W)`` images."""
-    image = np.asarray(image, dtype=np.float64)
+    image = as_tensor(image)
     crop_h, crop_w = int(size[0]), int(size[1])
     h, w = image.shape[-2], image.shape[-1]
     if crop_h < 1 or crop_w < 1 or crop_h > h or crop_w > w:
@@ -116,7 +117,7 @@ def gamma_correct(image: np.ndarray, gamma: float) -> np.ndarray:
     ``gamma < 1`` brightens mid-tones, ``gamma > 1`` darkens them — the
     standard camera-response adjustment.
     """
-    image = np.asarray(image, dtype=np.float64)
+    image = as_tensor(image)
     if image.ndim not in (2, 3):
         raise ShapeError(f"gamma_correct expects (H, W) or (N, H, W), got {image.shape}")
     if gamma <= 0:
@@ -131,7 +132,7 @@ def equalize_histogram(image: np.ndarray, bins: int = 256) -> np.ndarray:
     contrast-enhancement preprocessing for low-contrast camera frames.
     Batches are equalized per image.
     """
-    image = np.asarray(image, dtype=np.float64)
+    image = as_tensor(image)
     if image.ndim == 3:
         return np.stack([equalize_histogram(img, bins=bins) for img in image])
     if image.ndim != 2:
@@ -140,7 +141,7 @@ def equalize_histogram(image: np.ndarray, bins: int = 256) -> np.ndarray:
         raise ShapeError(f"bins must be >= 2, got {bins}")
     clipped = np.clip(image, 0.0, 1.0)
     hist, edges = np.histogram(clipped, bins=bins, range=(0.0, 1.0))
-    cdf = np.cumsum(hist).astype(np.float64)
+    cdf = np.cumsum(hist).astype(FLOAT64)
     if cdf[-1] == 0:
         return clipped.copy()
     cdf /= cdf[-1]

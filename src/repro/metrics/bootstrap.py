@@ -16,6 +16,7 @@ from typing import Callable
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.metrics.roc import auroc
 from repro.utils.seeding import RngLike, derive_rng
 
@@ -48,7 +49,7 @@ def bootstrap_statistic(
     rng: RngLike = None,
 ) -> BootstrapResult:
     """Percentile-bootstrap CI for a statistic of one sample."""
-    values = np.asarray(values, dtype=np.float64).ravel()
+    values = as_tensor(values).ravel()
     if values.size < 2:
         raise ShapeError("bootstrap requires at least 2 samples")
     if n_resamples < 10:
@@ -82,8 +83,8 @@ def bootstrap_auroc(
     Resamples the two classes independently (stratified bootstrap), which
     preserves the class balance of the original evaluation.
     """
-    target_scores = np.asarray(target_scores, dtype=np.float64).ravel()
-    novel_scores = np.asarray(novel_scores, dtype=np.float64).ravel()
+    target_scores = as_tensor(target_scores).ravel()
+    novel_scores = as_tensor(novel_scores).ravel()
     if target_scores.size < 2 or novel_scores.size < 2:
         raise ShapeError("bootstrap_auroc requires >= 2 samples per class")
     if n_resamples < 10:

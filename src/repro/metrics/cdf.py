@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.utils.validation import require_finite
 
 
@@ -25,7 +26,7 @@ class EmpiricalCDF:
     """
 
     def __init__(self, samples: np.ndarray) -> None:
-        samples = np.asarray(samples, dtype=np.float64).ravel()
+        samples = as_tensor(samples).ravel()
         if samples.size == 0:
             raise ShapeError("EmpiricalCDF requires at least one sample")
         require_finite(samples, "EmpiricalCDF samples")
@@ -43,7 +44,7 @@ class EmpiricalCDF:
 
     def evaluate(self, t) -> np.ndarray:
         """``F(t)``, the fraction of samples ``<= t`` (vectorized)."""
-        t = np.asarray(t, dtype=np.float64)
+        t = as_tensor(t)
         ranks = np.searchsorted(self._sorted, t, side="right")
         result = ranks / self.n
         return float(result) if result.ndim == 0 else result

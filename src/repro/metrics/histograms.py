@@ -15,6 +15,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.metrics.roc import auroc
 
 
@@ -60,8 +61,8 @@ def histogram_overlap(
     Computes ``sum(min(p_i, q_i))`` over normalized bin masses; 0 means the
     samples occupy disjoint bins, 1 means identical histograms.
     """
-    a = np.asarray(a, dtype=np.float64).ravel()
-    b = np.asarray(b, dtype=np.float64).ravel()
+    a = as_tensor(a).ravel()
+    b = as_tensor(b).ravel()
     if a.size == 0 or b.size == 0:
         raise ShapeError("histogram_overlap requires non-empty samples")
     if bins < 1:
@@ -95,8 +96,8 @@ def compare_distributions(
         are *less* similar).  AUROC is reported in the oriented sense so
         that 1.0 always means perfect separation.
     """
-    target_scores = np.asarray(target_scores, dtype=np.float64).ravel()
-    novel_scores = np.asarray(novel_scores, dtype=np.float64).ravel()
+    target_scores = as_tensor(target_scores).ravel()
+    novel_scores = as_tensor(novel_scores).ravel()
     if target_scores.size == 0 or novel_scores.size == 0:
         raise ShapeError("compare_distributions requires non-empty samples")
 

@@ -14,13 +14,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.nn.backend.policy import as_tensor, result_dtype
 from repro.utils.validation import require_same_shape
 
 
 def mse(x: np.ndarray, y: np.ndarray) -> float:
     """Mean squared error between two equal-shaped arrays."""
-    x = np.asarray(x, dtype=np.float64)
-    y = np.asarray(y, dtype=np.float64)
+    dtype = result_dtype(np.asarray(x), np.asarray(y))
+    x = as_tensor(x, dtype)
+    y = as_tensor(y, dtype)
     require_same_shape(x, y, "mse inputs")
     if x.size == 0:
         raise ShapeError("mse inputs must be non-empty")
@@ -33,8 +35,9 @@ def pairwise_mse(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     Returns an ``(N,)`` vector where entry ``i`` is the MSE between
     ``x[i]`` and ``y[i]``.
     """
-    x = np.asarray(x, dtype=np.float64)
-    y = np.asarray(y, dtype=np.float64)
+    dtype = result_dtype(np.asarray(x), np.asarray(y))
+    x = as_tensor(x, dtype)
+    y = as_tensor(y, dtype)
     require_same_shape(x, y, "pairwise_mse inputs")
     if x.ndim < 2:
         raise ShapeError(f"pairwise_mse expects batches (N, ...), got shape {x.shape}")

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, ShapeError
 from repro.metrics.ssim import DEFAULT_WINDOW_SIZE, ssim, ssim_and_grad
+from repro.nn.backend.policy import as_tensor, result_dtype
 
 
 def downsample2x(images: np.ndarray) -> np.ndarray:
@@ -36,7 +37,7 @@ def downsample2x(images: np.ndarray) -> np.ndarray:
 
     Works on ``(H, W)`` images or ``(N, H, W)`` batches.
     """
-    images = np.asarray(images, dtype=np.float64)
+    images = as_tensor(images, result_dtype(np.asarray(images)))
     if images.ndim not in (2, 3):
         raise ShapeError(f"downsample2x expects (H, W) or (N, H, W), got {images.shape}")
     h, w = images.shape[-2] // 2 * 2, images.shape[-1] // 2 * 2
@@ -54,8 +55,8 @@ def downsample2x(images: np.ndarray) -> np.ndarray:
 def upsample2x_adjoint(grad: np.ndarray, target_shape: Tuple[int, ...]) -> np.ndarray:
     """Adjoint of :func:`downsample2x`: spread each gradient over its 2x2
     block (weight 1/4 each), zero-padding any cropped odd edge."""
-    grad = np.asarray(grad, dtype=np.float64)
-    out = np.zeros(target_shape, dtype=np.float64)
+    grad = as_tensor(grad, result_dtype(np.asarray(grad)))
+    out = np.zeros(target_shape, dtype=grad.dtype)
     h, w = grad.shape[-2] * 2, grad.shape[-1] * 2
     quarter = 0.25 * grad
     out[..., 0:h:2, 0:w:2] = quarter
@@ -91,8 +92,9 @@ def ms_ssim(
     """
     if scales < 1:
         raise ConfigurationError(f"scales must be >= 1, got {scales}")
-    x = np.asarray(x, dtype=np.float64)
-    y = np.asarray(y, dtype=np.float64)
+    dtype = result_dtype(np.asarray(x), np.asarray(y))
+    x = as_tensor(x, dtype)
+    y = as_tensor(y, dtype)
     _validate_scales(x.shape[-2:], scales, window_size)
 
     total = None
@@ -121,8 +123,9 @@ def ms_ssim_and_grad(
     """
     if scales < 1:
         raise ConfigurationError(f"scales must be >= 1, got {scales}")
-    x = np.asarray(x, dtype=np.float64)
-    y = np.asarray(y, dtype=np.float64)
+    dtype = result_dtype(np.asarray(x), np.asarray(y))
+    x = as_tensor(x, dtype)
+    y = as_tensor(y, dtype)
     _validate_scales(x.shape[-2:], scales, window_size)
 
     # Forward: remember each pyramid level's shape for the backward pass.

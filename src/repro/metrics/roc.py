@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.nn.backend.policy import as_tensor
 
 
 @dataclass(frozen=True)
@@ -42,7 +43,7 @@ class RocCurve:
 
 
 def _validate_scores(scores: np.ndarray, labels: np.ndarray):
-    scores = np.asarray(scores, dtype=np.float64).ravel()
+    scores = as_tensor(scores).ravel()
     labels = np.asarray(labels).ravel().astype(bool)
     if scores.shape != labels.shape:
         raise ShapeError(
@@ -94,7 +95,7 @@ def auroc(scores: np.ndarray, labels: np.ndarray) -> float:
     # Average ranks so tied scores contribute 0.5.
     order = np.argsort(scores, kind="stable")
     ranks = np.empty_like(scores)
-    ranks[order] = np.arange(1, scores.size + 1, dtype=np.float64)
+    ranks[order] = as_tensor(np.arange(1, scores.size + 1))
     unique, inverse, counts = np.unique(scores, return_inverse=True, return_counts=True)
     if unique.size != scores.size:
         rank_sums = np.bincount(inverse, weights=ranks)

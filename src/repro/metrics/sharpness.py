@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.nn.backend.policy import as_tensor
 
 
 def gradient_energy(image: np.ndarray) -> float:
@@ -21,7 +22,7 @@ def gradient_energy(image: np.ndarray) -> float:
     Accepts a single ``(H, W)`` image; larger values indicate sharper
     content.
     """
-    image = np.asarray(image, dtype=np.float64)
+    image = as_tensor(image)
     if image.ndim != 2:
         raise ShapeError(f"gradient_energy expects an (H, W) image, got {image.shape}")
     if image.shape[0] < 2 or image.shape[1] < 2:

@@ -38,6 +38,7 @@ import numpy as np
 from scipy import ndimage
 
 from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.backend.policy import as_tensor, result_dtype
 from repro.utils.validation import require_same_shape
 
 #: Wang & Bovik's standard stabilisation coefficients.
@@ -67,14 +68,18 @@ class SsimComponents:
 def _gaussian_kernel(size: int, sigma: float) -> np.ndarray:
     """Normalized 1-D Gaussian kernel of odd length ``size``."""
     half = size // 2
-    coords = np.arange(-half, half + 1, dtype=np.float64)
+    coords = as_tensor(np.arange(-half, half + 1))
     kernel = np.exp(-(coords**2) / (2.0 * sigma**2))
     return kernel / kernel.sum()
 
 
 def _validate(x: np.ndarray, y: np.ndarray, window_size: int) -> Tuple[np.ndarray, np.ndarray]:
-    x = np.asarray(x, dtype=np.float64)
-    y = np.asarray(y, dtype=np.float64)
+    # SSIM follows its inputs: two float32 images are scored in float32
+    # (the scipy windowing below preserves dtype), everything else in
+    # float64 as before.
+    dtype = result_dtype(np.asarray(x), np.asarray(y))
+    x = as_tensor(x, dtype)
+    y = as_tensor(y, dtype)
     require_same_shape(x, y, "ssim inputs")
     if x.ndim not in (2, 3):
         raise ShapeError(
@@ -273,7 +278,7 @@ def ssim_and_grad(
     smap = (a1 * a2) / (b1 * b2)
 
     rows, cols = win.valid_slices(x.shape)
-    valid_mask = np.zeros(x.shape[-2:], dtype=np.float64)
+    valid_mask = np.zeros(x.shape[-2:], dtype=x.dtype)
     valid_mask[rows, cols] = 1.0
     n_valid = valid_mask.sum()
     if n_valid == 0:

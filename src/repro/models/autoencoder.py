@@ -18,6 +18,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.nn.layers import (
     Conv2d,
     ConvTranspose2d,
@@ -82,7 +83,7 @@ class DenseAutoencoder(Sequential):
         return min(self.hidden)
 
     def _flatten_batch(self, images: np.ndarray) -> np.ndarray:
-        images = np.asarray(images, dtype=np.float64)
+        images = as_tensor(images, self.dtype)
         h, w = self.image_shape
         if images.ndim == 3 and images.shape[1:] == (h, w):
             return images.reshape(images.shape[0], -1)
@@ -154,7 +155,7 @@ class ConvAutoencoder(Sequential):
 
     def reconstruct(self, images: np.ndarray) -> np.ndarray:
         """Reconstruct ``(N, H, W)`` images (adds/strips the channel axis)."""
-        images = np.asarray(images, dtype=np.float64)
+        images = as_tensor(images, self.dtype)
         h, w = self.image_shape
         if images.ndim != 3 or images.shape[1:] != (h, w):
             raise ShapeError(f"expected (N, {h}, {w}) images, got {images.shape}")

@@ -22,6 +22,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.nn.backend.policy import as_tensor
 from repro.nn.layers import BatchNorm2d, Conv2d, Dense, Flatten, Layer, LeakyReLU, ReLU
 from repro.nn.layers.conv import conv_output_size
 from repro.nn.model import Sequential
@@ -174,7 +175,7 @@ class PilotNet(Sequential):
 
     def predict_angles(self, frames: np.ndarray) -> np.ndarray:
         """Steering angles for ``(N, H, W)`` or ``(N, 1, H, W)`` frames."""
-        frames = np.asarray(frames, dtype=np.float64)
+        frames = as_tensor(frames, self.dtype)
         if frames.ndim == 3:
             frames = frames[:, None, :, :]
         if frames.ndim != 4 or frames.shape[1] != 1:
@@ -204,10 +205,10 @@ def train_pilotnet(
     from repro.nn.optim import Adam
     from repro.nn.trainer import Trainer
 
-    frames = np.asarray(frames, dtype=np.float64)
+    frames = as_tensor(frames, model.dtype)
     if frames.ndim == 3:
         frames = frames[:, None, :, :]
-    angles = np.asarray(angles, dtype=np.float64).reshape(-1, 1)
+    angles = as_tensor(angles, model.dtype).reshape(-1, 1)
     dataset = ArrayDataset(frames, angles)
     loader = DataLoader(dataset, batch_size=batch_size, shuffle=True, rng=rng)
     trainer = Trainer(model, MSELoss(), Adam(model.parameters(), lr=lr), gradient_clip=5.0)

@@ -11,11 +11,14 @@ Data layout conventions
 -----------------------
 * Convolutional layers operate on ``(N, C, H, W)`` float arrays.
 * Dense layers operate on ``(N, D)`` float arrays.
-* All parameters and activations use ``float64`` so numerical gradient
-  checks in the test suite are meaningful.
+* Precision follows the policy in :mod:`repro.nn.backend`: training (and
+  the numerical gradient checks in the test suite) defaults to ``float64``;
+  fitted models can be switched to a ``float32`` inference policy with
+  ``Sequential.set_policy("float32")``.
 """
 
 from repro.nn import initializers
+from repro.nn.backend import DTypePolicy, as_tensor, default_policy, resolve_dtype
 from repro.nn.data import ArrayDataset, DataLoader, train_test_split
 from repro.nn.gradcheck import check_layer_gradients, check_loss_gradients, numerical_gradient
 from repro.nn.layers import (

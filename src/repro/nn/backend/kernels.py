@@ -1,0 +1,462 @@
+"""Pure functional kernels: the stateless half of every layer.
+
+Each kernel takes pre-coerced arrays, performs one forward or backward
+computation, and returns whatever the matching pass needs — no parameters,
+no caches, no policy lookups.  Kernels *preserve the dtype of their inputs*
+(all intermediate allocations derive from ``x.dtype``/``grad.dtype``), so
+the same code path serves float64 training and float32 inference; the
+stateful ``Layer`` wrappers in :mod:`repro.nn.layers` decide the dtype once
+at their boundary and dispatch here.
+
+The im2col transformation unrolls every receptive field of a ``(N, C, H,
+W)`` batch into the rows of a matrix so convolution becomes a single matrix
+multiplication — the standard CPU-friendly formulation.  ``col2im`` is its
+adjoint (a scatter-add), which gives both the convolution backward pass and
+the transposed-convolution forward pass.  :func:`conv_transpose2d` is also
+used directly by :mod:`repro.saliency.vbp`: VisualBackProp upscales
+averaged feature maps with a ones-kernel transposed convolution matching
+each convolution layer's geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.backend.policy import FLOAT32, as_tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair, name: str) -> Tuple[int, int]:
+    """Normalize an int-or-pair argument to a validated (h, w) tuple."""
+    if isinstance(value, int):
+        pair = (value, value)
+    else:
+        pair = (int(value[0]), int(value[1]))
+    if pair[0] < 0 or pair[1] < 0:
+        raise ShapeError(f"{name} must be non-negative, got {pair}")
+    return pair
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution produces non-positive output size "
+            f"(size={size}, kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+def conv_transpose_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a transposed convolution along one axis."""
+    out = (size - 1) * stride + kernel - 2 * padding
+    if out <= 0:
+        raise ShapeError(
+            f"transposed convolution produces non-positive output size "
+            f"(size={size}, kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int]
+) -> np.ndarray:
+    """Unroll receptive fields of ``x`` into a 2-D matrix.
+
+    Parameters
+    ----------
+    x:
+        Input batch of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    Array of shape ``(N * out_h * out_w, C * kh * kw)`` where row
+    ``n * out_h * out_w + i * out_w + j`` holds the receptive field of output
+    position ``(i, j)`` of sample ``n``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+
+    # Gather into (N, C, kh, kw, out_h, out_w) with one strided slice per
+    # kernel offset: O(kh*kw) slice operations instead of O(out_h*out_w).
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + sh * out_h
+        for j in range(kw):
+            j_max = j + sw * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:sh, j:j_max:sw]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, c * kh * kw)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back into image shape.
+
+    Overlapping receptive fields accumulate, which is exactly the gradient of
+    ``im2col`` — and the forward pass of a transposed convolution.
+    """
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+
+    expected_rows = n * out_h * out_w
+    expected_cols = c * kh * kw
+    if cols.shape != (expected_rows, expected_cols):
+        raise ShapeError(
+            f"col2im expects cols of shape ({expected_rows}, {expected_cols}), "
+            f"got {cols.shape}"
+        )
+
+    cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    x_padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + sh * out_h
+        for j in range(kw):
+            j_max = j + sw * out_w
+            x_padded[:, :, i:i_max:sh, j:j_max:sw] += cols6[:, :, i, j, :, :]
+    if ph or pw:
+        return x_padded[:, :, ph : ph + h, pw : pw + w]
+    return x_padded
+
+
+# -- convolution ---------------------------------------------------------
+
+
+def conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Convolution forward pass.
+
+    Parameters
+    ----------
+    x:
+        Input batch ``(N, C_in, H, W)``.
+    weight:
+        Kernel ``(C_out, C_in, kh, kw)``.
+
+    Returns
+    -------
+    ``(out, cols)`` — the ``(N, C_out, out_h, out_w)`` output and the im2col
+    matrix the backward pass reuses.
+    """
+    n = x.shape[0]
+    c_out, _, kh, kw = weight.shape
+    out_h = conv_output_size(x.shape[2], kh, stride[0], padding[0])
+    out_w = conv_output_size(x.shape[3], kw, stride[1], padding[1])
+    cols = im2col(x, (kh, kw), stride, padding)
+    out = cols @ weight.reshape(c_out, -1).T
+    if bias is not None:
+        out = out + bias
+    return out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2), cols
+
+
+def conv2d_backward(
+    grad_output: np.ndarray,
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    weight: np.ndarray,
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    with_bias: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Convolution backward pass.
+
+    Returns ``(grad_x, grad_weight, grad_bias)`` given the upstream gradient,
+    the im2col matrix cached by :func:`conv2d_forward`, and the layer
+    geometry.  ``grad_bias`` is ``None`` when ``with_bias`` is false.
+    """
+    n, c_out, out_h, out_w = grad_output.shape
+    kh, kw = weight.shape[2], weight.shape[3]
+    grad_rows = grad_output.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c_out)
+
+    grad_weight = (grad_rows.T @ cols).reshape(weight.shape)
+    grad_bias = grad_rows.sum(axis=0) if with_bias else None
+
+    grad_cols = grad_rows @ weight.reshape(c_out, -1)
+    grad_x = col2im(grad_cols, x_shape, (kh, kw), stride, padding)
+    return grad_x, grad_weight, grad_bias
+
+
+# -- transposed convolution ----------------------------------------------
+
+
+def conv_transpose2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> np.ndarray:
+    """Functional transposed convolution (used by VisualBackProp).
+
+    Computes in the dtype of ``x`` (the kernel is cast to match), so a
+    float32 saliency cascade stays float32 end to end.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Kernel of shape ``(C_in, C_out, kh, kw)``.
+    """
+    x = np.asarray(x)
+    if x.dtype != FLOAT32:
+        x = as_tensor(x)  # lists / int arrays keep the float64 default
+    if x.ndim != 4:
+        raise ShapeError(
+            f"conv_transpose2d input expects a 4-d batch, got shape {x.shape}"
+        )
+    weight = np.asarray(weight, dtype=x.dtype)
+    if weight.ndim != 4 or weight.shape[0] != x.shape[1]:
+        raise ShapeError(
+            f"conv_transpose2d weight must be (C_in={x.shape[1]}, C_out, kh, kw), "
+            f"got {weight.shape}"
+        )
+    stride_p = _pair(stride, "stride")
+    padding_p = _pair(padding, "padding")
+    n, c_in, h, w = x.shape
+    _, c_out, kh, kw = weight.shape
+    out_h = conv_transpose_output_size(h, kh, stride_p[0], padding_p[0])
+    out_w = conv_transpose_output_size(w, kw, stride_p[1], padding_p[1])
+
+    # Rows of `cols` correspond to input positions; scatter-add them into the
+    # (larger) output canvas. This mirrors the conv backward-data pass.
+    x_rows = x.transpose(0, 2, 3, 1).reshape(n * h * w, c_in)
+    cols = x_rows @ weight.reshape(c_in, c_out * kh * kw)
+    return col2im(
+        cols, (n, c_out, out_h, out_w), (kh, kw), stride_p, padding_p
+    )
+
+
+def conv_transpose2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Transposed-convolution forward pass (weight ``(C_in, C_out, kh, kw)``)."""
+    out = conv_transpose2d(x, weight, stride, padding)
+    if bias is not None:
+        out = out + bias[None, :, None, None]
+    return out
+
+
+def conv_transpose2d_backward(
+    grad_output: np.ndarray,
+    x: np.ndarray,
+    weight: np.ndarray,
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    with_bias: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Transposed-convolution backward pass.
+
+    Returns ``(grad_x, grad_weight, grad_bias)``; ``grad_bias`` is ``None``
+    when ``with_bias`` is false.
+    """
+    n, _, h, w = x.shape
+    c_in = weight.shape[0]
+    kh, kw = weight.shape[2], weight.shape[3]
+
+    # dL/dx: a plain convolution of grad_output with the same kernel.
+    cols = im2col(grad_output, (kh, kw), stride, padding)
+    w_mat = weight.reshape(c_in, -1)  # (C_in, C_out*kh*kw)
+    grad_x_rows = cols @ w_mat.T
+    grad_x = grad_x_rows.reshape(n, h, w, c_in).transpose(0, 3, 1, 2)
+
+    # dL/dW: correlate input rows with grad_output receptive fields.
+    x_rows = x.transpose(0, 2, 3, 1).reshape(n * h * w, c_in)
+    grad_weight = (x_rows.T @ cols).reshape(weight.shape)
+    grad_bias = grad_output.sum(axis=(0, 2, 3)) if with_bias else None
+    return grad_x, grad_weight, grad_bias
+
+
+# -- dense ----------------------------------------------------------------
+
+
+def dense_forward(
+    x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]
+) -> np.ndarray:
+    """Affine map ``x @ W (+ b)`` on ``(N, in_features)`` batches."""
+    out = x @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def dense_backward(
+    grad_output: np.ndarray,
+    x: np.ndarray,
+    weight: np.ndarray,
+    with_bias: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Dense backward pass: ``(grad_x, grad_weight, grad_bias)``."""
+    grad_weight = x.T @ grad_output
+    grad_bias = grad_output.sum(axis=0) if with_bias else None
+    return grad_output @ weight.T, grad_weight, grad_bias
+
+
+# -- pooling --------------------------------------------------------------
+
+
+def _pool_patches(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Pooling windows as ``(N, C, out_h, out_w, kh*kw)`` plus out sizes."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride[0], padding[0])
+    out_w = conv_output_size(w, kw, stride[1], padding[1])
+    # Treat channels as independent single-channel images so each row of
+    # the unrolled matrix is exactly one pooling window.
+    cols = im2col(x.reshape(n * c, 1, h, w), kernel, stride, padding)
+    return cols.reshape(n, c, out_h, out_w, kh * kw), (out_h, out_w)
+
+
+def maxpool2d_forward(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Max pooling; returns ``(out, argmax)`` for the backward scatter."""
+    patches, (out_h, out_w) = _pool_patches(x, kernel, stride, padding)
+    n, c = x.shape[:2]
+    argmax = patches.argmax(axis=-1)
+    return patches.max(axis=-1).reshape(n, c, out_h, out_w), argmax
+
+
+def maxpool2d_backward(
+    grad_output: np.ndarray,
+    argmax: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Route each upstream gradient to the argmax position of its window."""
+    n, c, h, w = x_shape
+    out_h, out_w = grad_output.shape[2], grad_output.shape[3]
+    kh, kw = kernel
+
+    grad_patches = np.zeros((n, c, out_h, out_w, kh * kw), dtype=grad_output.dtype)
+    np.put_along_axis(grad_patches, argmax[..., None], grad_output[..., None], axis=-1)
+    cols = grad_patches.reshape(n * c * out_h * out_w, kh * kw)
+    grad_x = col2im(cols, (n * c, 1, h, w), kernel, stride, padding)
+    return grad_x.reshape(n, c, h, w)
+
+
+def avgpool2d_forward(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Average pooling over spatial windows."""
+    patches, (out_h, out_w) = _pool_patches(x, kernel, stride, padding)
+    n, c = x.shape[:2]
+    return patches.mean(axis=-1).reshape(n, c, out_h, out_w)
+
+
+def avgpool2d_backward(
+    grad_output: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Spread each upstream gradient uniformly over its window."""
+    n, c, h, w = x_shape
+    out_h, out_w = grad_output.shape[2], grad_output.shape[3]
+    kh, kw = kernel
+
+    window = float(kh * kw)
+    grad_patches = np.broadcast_to(
+        (grad_output / window)[..., None], (n, c, out_h, out_w, kh * kw)
+    )
+    cols = np.ascontiguousarray(grad_patches).reshape(n * c * out_h * out_w, kh * kw)
+    grad_x = col2im(cols, (n * c, 1, h, w), kernel, stride, padding)
+    return grad_x.reshape(n, c, h, w)
+
+
+# -- activations ----------------------------------------------------------
+
+
+def relu_forward(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``max(x, 0)``; returns ``(out, mask)`` with ``mask = x > 0``."""
+    mask = x > 0
+    return np.where(mask, x, 0.0), mask
+
+
+def relu_backward(grad_output: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Gate the upstream gradient by the forward mask."""
+    return np.where(mask, grad_output, 0.0)
+
+
+def leaky_relu_forward(
+    x: np.ndarray, negative_slope: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Leaky ReLU; returns ``(out, mask)``."""
+    mask = x > 0
+    return np.where(mask, x, negative_slope * x), mask
+
+
+def leaky_relu_backward(
+    grad_output: np.ndarray, mask: np.ndarray, negative_slope: float
+) -> np.ndarray:
+    """Leaky-ReLU gradient: slope 1 where positive, ``negative_slope`` else."""
+    return np.where(mask, grad_output, negative_slope * grad_output)
+
+
+def sigmoid_forward(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid (returns the output, its cache)."""
+    # Evaluate the two algebraically-equal branches on their stable side
+    # to avoid overflow in exp().
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    expx = np.exp(x[~pos])
+    out[~pos] = expx / (1.0 + expx)
+    return out
+
+
+def sigmoid_backward(grad_output: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Sigmoid gradient from the cached forward output."""
+    return grad_output * out * (1.0 - out)
+
+
+def tanh_forward(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent (the output doubles as the backward cache)."""
+    return np.tanh(x)
+
+
+def tanh_backward(grad_output: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Tanh gradient from the cached forward output."""
+    return grad_output * (1.0 - out**2)

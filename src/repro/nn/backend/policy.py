@@ -1,0 +1,119 @@
+"""Precision policy: the substrate's single dtype decision point.
+
+Training wants ``float64`` (central-difference gradient checks need ~1e-10
+headroom); inference wants ``float32`` (half the memory bandwidth for the
+same verdicts).  Rather than sprinkle ``np.asarray(..., dtype=...)`` calls
+through every layer, the stack routes every coercion through this module:
+
+* :func:`resolve_dtype` maps a spec (``None``, ``"float32"``, a dtype, or a
+  :class:`DTypePolicy`) to one of the two supported dtypes.
+* :func:`as_tensor` is the one ``np.asarray`` call with an explicit dtype.
+* :func:`result_dtype` implements the metrics convention: follow the inputs
+  — float32 in, float32 out; anything else computes in float64.
+
+A lint test (``tests/test_lint_dtype_literals.py``) enforces that no module
+outside ``repro/nn/backend/`` names ``np.float32``/``np.float64`` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: The two dtypes the policy supports.  float64 is the training default;
+#: float32 is the inference mode threaded through saliency, novelty and
+#: serving.
+FLOAT32 = np.dtype(np.float32)
+FLOAT64 = np.dtype(np.float64)
+
+SUPPORTED_DTYPES: Dict[str, np.dtype] = {
+    FLOAT32.name: FLOAT32,
+    FLOAT64.name: FLOAT64,
+}
+
+
+def resolve_dtype(spec: Any = None) -> np.dtype:
+    """Map a dtype spec to one of the supported dtypes.
+
+    Accepts ``None`` (→ float64, the historical default), a dtype name
+    (``"float32"``/``"float64"``), anything ``np.dtype`` accepts, or a
+    :class:`DTypePolicy`.  Raises :class:`ConfigurationError` for anything
+    outside the supported pair, so unsupported precisions fail loudly at
+    configuration time instead of silently upcasting mid-pipeline.
+    """
+    if spec is None:
+        return FLOAT64
+    if isinstance(spec, DTypePolicy):
+        return spec.dtype
+    try:
+        dtype = np.dtype(spec)
+    except TypeError as exc:
+        raise ConfigurationError(f"not a dtype spec: {spec!r}") from exc
+    if dtype.name not in SUPPORTED_DTYPES:
+        supported = ", ".join(sorted(SUPPORTED_DTYPES))
+        raise ConfigurationError(
+            f"unsupported dtype {dtype.name!r}; supported dtypes: {supported}"
+        )
+    return dtype
+
+
+def as_tensor(x: Any, dtype: Any = None) -> np.ndarray:
+    """Coerce ``x`` to an ndarray of the resolved policy dtype.
+
+    This is the single ``np.asarray(..., dtype=...)`` the stack funnels
+    through; ``dtype=None`` keeps the float64 default every call site had
+    before the policy existed.
+    """
+    return np.asarray(x, dtype=resolve_dtype(dtype))
+
+
+def result_dtype(*arrays: np.ndarray) -> np.dtype:
+    """Dtype a metric should compute in for the given inputs.
+
+    float32 only when *every* input is already float32 — mixed or integer
+    inputs fall back to float64, preserving the historical accuracy of
+    callers that never opted into single precision.
+    """
+    if arrays and all(np.asarray(a).dtype == FLOAT32 for a in arrays):
+        return FLOAT32
+    return FLOAT64
+
+
+@dataclass(frozen=True)
+class DTypePolicy:
+    """Value object naming the precision a model (or pipeline) runs at."""
+
+    name: str = "float64"
+
+    def __post_init__(self) -> None:
+        if self.name not in SUPPORTED_DTYPES:
+            supported = ", ".join(sorted(SUPPORTED_DTYPES))
+            raise ConfigurationError(
+                f"unsupported dtype policy {self.name!r}; supported: {supported}"
+            )
+
+    @classmethod
+    def from_spec(cls, spec: Any = None) -> "DTypePolicy":
+        """Build a policy from anything :func:`resolve_dtype` accepts."""
+        return cls(resolve_dtype(spec).name)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The concrete numpy dtype this policy names."""
+        return SUPPORTED_DTYPES[self.name]
+
+    def as_tensor(self, x: Any) -> np.ndarray:
+        """Coerce ``x`` under this policy."""
+        return as_tensor(x, self.dtype)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def default_policy() -> DTypePolicy:
+    """The training-grade default: full double precision."""
+    return DTypePolicy(FLOAT64.name)

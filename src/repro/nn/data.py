@@ -12,6 +12,7 @@ from typing import Iterator, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.utils.seeding import RngLike, derive_rng
 
 
@@ -24,13 +25,13 @@ class ArrayDataset:
     """
 
     def __init__(self, inputs: np.ndarray, targets: Optional[np.ndarray] = None) -> None:
-        self.inputs = np.asarray(inputs, dtype=np.float64)
+        self.inputs = as_tensor(inputs)
         if self.inputs.ndim < 1 or self.inputs.shape[0] == 0:
             raise ShapeError(f"inputs must be a non-empty batch, got {self.inputs.shape}")
         if targets is None:
             self.targets = self.inputs
         else:
-            self.targets = np.asarray(targets, dtype=np.float64)
+            self.targets = as_tensor(targets)
             if self.targets.shape[0] != self.inputs.shape[0]:
                 raise ShapeError(
                     f"targets ({self.targets.shape[0]}) and inputs "

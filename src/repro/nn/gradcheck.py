@@ -11,16 +11,38 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.exceptions import ShapeError
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.backend.policy import FLOAT64, as_tensor
 from repro.nn.layers.base import Layer
 from repro.nn.losses import Loss
+
+
+def _require_float64(layer: Layer) -> None:
+    """Refuse to gradcheck a layer running a reduced-precision policy.
+
+    Central differences with ``eps ~ 1e-6`` need ~1e-10 of headroom that
+    float32 simply does not have; checking a float32 layer would "fail" for
+    numerical reasons unrelated to the analytic gradient.  Callers must
+    gradcheck at float64 and only then switch the model's policy.
+    """
+    dtypes = {layer.dtype} | {p.dtype for p in layer.parameters()}
+    if dtypes != {FLOAT64}:
+        found = ", ".join(sorted(d.name for d in dtypes - {FLOAT64}))
+        raise ConfigurationError(
+            f"gradient checking requires the float64 policy, but "
+            f"{type(layer).__name__} is pinned to {found}; run set_policy"
+            f"('{FLOAT64.name}') before gradcheck"
+        )
 
 
 def numerical_gradient(
     fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6
 ) -> np.ndarray:
-    """Central-difference gradient of a scalar function at ``x``."""
-    x = np.asarray(x, dtype=np.float64)
+    """Central-difference gradient of a scalar function at ``x``.
+
+    Always computed in float64 regardless of the caller's policy.
+    """
+    x = as_tensor(x, FLOAT64)
     grad = np.zeros_like(x)
     flat_x = x.ravel()
     flat_g = grad.ravel()
@@ -37,8 +59,8 @@ def numerical_gradient(
 
 def relative_error(analytic: np.ndarray, numeric: np.ndarray) -> float:
     """Max elementwise relative error with an absolute floor."""
-    analytic = np.asarray(analytic, dtype=np.float64)
-    numeric = np.asarray(numeric, dtype=np.float64)
+    analytic = as_tensor(analytic, FLOAT64)
+    numeric = as_tensor(numeric, FLOAT64)
     if analytic.shape != numeric.shape:
         raise ShapeError(
             f"gradient shapes disagree: {analytic.shape} vs {numeric.shape}"
@@ -63,8 +85,9 @@ def check_layer_gradients(
     across the input and every parameter, raising ``AssertionError`` above
     ``tolerance``.
     """
+    _require_float64(layer)
     rng = rng or np.random.default_rng(0)
-    x = np.asarray(x, dtype=np.float64)
+    x = as_tensor(x, FLOAT64)
     out = layer.forward(x, training=training)
     v = rng.normal(size=out.shape)
 
@@ -104,7 +127,8 @@ def check_loss_gradients(
     tolerance: float = 1e-5,
 ) -> float:
     """Verify a loss's dL/dpred against central differences."""
-    pred = np.asarray(pred, dtype=np.float64)
+    pred = as_tensor(pred, FLOAT64)
+    target = as_tensor(target, FLOAT64)
     loss.forward(pred, target)
     analytic = loss.backward()
 

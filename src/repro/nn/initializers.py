@@ -34,37 +34,37 @@ def _fan_in_out(shape: Sequence[int]) -> tuple:
 def zeros(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
     """All-zeros initializer (used for biases)."""
     del rng
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape)
 
 
 def ones(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
     """All-ones initializer (used for scale parameters)."""
     del rng
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape)
 
 
 def uniform(shape: Sequence[int], rng: np.random.Generator, scale: float = 0.05) -> np.ndarray:
     """Uniform initializer on ``[-scale, scale]``."""
-    return rng.uniform(-scale, scale, size=shape).astype(np.float64)
+    return rng.uniform(-scale, scale, size=shape)
 
 
 def normal(shape: Sequence[int], rng: np.random.Generator, std: float = 0.05) -> np.ndarray:
     """Gaussian initializer with the given standard deviation."""
-    return rng.normal(0.0, std, size=shape).astype(np.float64)
+    return rng.normal(0.0, std, size=shape)
 
 
 def xavier_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
     """Glorot/Xavier uniform — suited to sigmoid/tanh layers."""
     fan_in, fan_out = _fan_in_out(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+    return rng.uniform(-limit, limit, size=shape)
 
 
 def he_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
     """He/Kaiming normal — suited to ReLU layers."""
     fan_in, _ = _fan_in_out(shape)
     std = np.sqrt(2.0 / max(fan_in, 1))
-    return rng.normal(0.0, std, size=shape).astype(np.float64)
+    return rng.normal(0.0, std, size=shape)
 
 
 _REGISTRY: Dict[str, Initializer] = {

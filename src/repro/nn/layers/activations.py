@@ -1,7 +1,9 @@
 """Elementwise activation layers.
 
 All activations work on batches of any dimensionality; they cache what the
-backward pass needs and are parameter-free.
+backward pass needs and are parameter-free.  The math lives in
+:mod:`repro.nn.backend.kernels`; each class just coerces to its policy
+dtype and holds the cache between forward and backward.
 """
 
 from __future__ import annotations
@@ -11,6 +13,8 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.nn.backend import kernels
+from repro.nn.backend.policy import as_tensor
 from repro.nn.layers.base import Layer
 
 
@@ -22,14 +26,14 @@ class ReLU(Layer):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        x = as_tensor(x, self.dtype)
+        out, self._mask = kernels.relu_forward(x)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise ShapeError("ReLU.backward() called before forward()")
-        return np.where(self._mask, np.asarray(grad_output, dtype=np.float64), 0.0)
+        return kernels.relu_backward(as_tensor(grad_output, self.dtype), self._mask)
 
 
 class LeakyReLU(Layer):
@@ -43,15 +47,16 @@ class LeakyReLU(Layer):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        self._mask = x > 0
-        return np.where(self._mask, x, self.negative_slope * x)
+        x = as_tensor(x, self.dtype)
+        out, self._mask = kernels.leaky_relu_forward(x, self.negative_slope)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise ShapeError("LeakyReLU.backward() called before forward()")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
-        return np.where(self._mask, grad_output, self.negative_slope * grad_output)
+        return kernels.leaky_relu_backward(
+            as_tensor(grad_output, self.dtype), self._mask, self.negative_slope
+        )
 
     def __repr__(self) -> str:
         return f"LeakyReLU(negative_slope={self.negative_slope})"
@@ -69,21 +74,13 @@ class Sigmoid(Layer):
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        # Evaluate the two algebraically-equal branches on their stable side
-        # to avoid overflow in exp().
-        out = np.empty_like(x)
-        pos = x >= 0
-        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-        expx = np.exp(x[~pos])
-        out[~pos] = expx / (1.0 + expx)
-        self._out = out
-        return out
+        self._out = kernels.sigmoid_forward(as_tensor(x, self.dtype))
+        return self._out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._out is None:
             raise ShapeError("Sigmoid.backward() called before forward()")
-        return np.asarray(grad_output, dtype=np.float64) * self._out * (1.0 - self._out)
+        return kernels.sigmoid_backward(as_tensor(grad_output, self.dtype), self._out)
 
 
 class Tanh(Layer):
@@ -94,10 +91,10 @@ class Tanh(Layer):
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._out = np.tanh(np.asarray(x, dtype=np.float64))
+        self._out = kernels.tanh_forward(as_tensor(x, self.dtype))
         return self._out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._out is None:
             raise ShapeError("Tanh.backward() called before forward()")
-        return np.asarray(grad_output, dtype=np.float64) * (1.0 - self._out**2)
+        return kernels.tanh_backward(as_tensor(grad_output, self.dtype), self._out)

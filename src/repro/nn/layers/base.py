@@ -11,15 +11,21 @@ Every layer implements
 Layers are single-use per step: ``backward`` consumes the cache left by the
 most recent ``forward``.  The :class:`repro.nn.Sequential` container chains
 them and the :class:`repro.nn.Trainer` drives the loop.
+
+Every layer carries a dtype from the precision policy
+(:mod:`repro.nn.backend.policy`), defaulting to float64 for training;
+:meth:`Layer.set_policy` recasts parameters and buffers, which is how the
+float32 inference path is switched on after a model is fitted.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.nn.backend.policy import as_tensor, default_policy, resolve_dtype
 
 
 class Parameter:
@@ -36,14 +42,27 @@ class Parameter:
         Human-readable identifier used in checkpoints and error messages.
     """
 
-    def __init__(self, value: np.ndarray, name: str = "param") -> None:
-        self.value = np.asarray(value, dtype=np.float64)
+    def __init__(self, value: np.ndarray, name: str = "param", dtype: Any = None) -> None:
+        self.value = as_tensor(value, dtype)
         self.grad = np.zeros_like(self.value)
         self.name = name
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient to zero."""
         self.grad.fill(0.0)
+
+    def astype(self, dtype: Any) -> "Parameter":
+        """Recast value and gradient to a policy dtype, in place."""
+        target = resolve_dtype(dtype)
+        if self.value.dtype != target:
+            self.value = self.value.astype(target)
+            self.grad = self.grad.astype(target)
+        return self
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the underlying value array."""
+        return self.value.dtype
 
     @property
     def shape(self) -> tuple:
@@ -63,6 +82,27 @@ class Layer:
 
     def __init__(self) -> None:
         self._params: List[Parameter] = []
+        self._dtype: np.dtype = default_policy().dtype
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The dtype this layer computes in (float64 unless re-policied)."""
+        return self._dtype
+
+    def set_policy(self, dtype: Any) -> "Layer":
+        """Switch the layer to a policy dtype, recasting params and buffers.
+
+        Containers override this to propagate to their children; layers with
+        non-parameter state override :meth:`_cast_buffers`.
+        """
+        self._dtype = resolve_dtype(dtype)
+        for p in self._params:
+            p.astype(self._dtype)
+        self._cast_buffers(self._dtype)
+        return self
+
+    def _cast_buffers(self, dtype: np.dtype) -> None:
+        """Hook for layers with persistent non-parameter arrays."""
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         """Compute the layer output for input ``x``.
@@ -94,11 +134,16 @@ class Layer:
         return {p.name: p.value.copy() for p in self._params}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load values saved by :meth:`state_dict` (shape-checked)."""
+        """Load values saved by :meth:`state_dict` (shape-checked).
+
+        Arrays are restored in the owning parameter's dtype, so a model
+        already switched to float32 inference stays float32 after loading a
+        float64 checkpoint (and vice versa).
+        """
         for p in self._params:
             if p.name not in state:
                 raise ShapeError(f"missing parameter {p.name!r} in state dict")
-            value = np.asarray(state[p.name], dtype=np.float64)
+            value = np.asarray(state[p.name], dtype=p.value.dtype)
             if value.shape != p.value.shape:
                 raise ShapeError(
                     f"parameter {p.name!r} has shape {p.value.shape}, "
@@ -113,9 +158,9 @@ class Layer:
         return f"{type(self).__name__}()"
 
 
-def as_batch(x: np.ndarray, ndim: int, name: str) -> np.ndarray:
-    """Coerce ``x`` to float64 and validate its dimensionality."""
-    x = np.asarray(x, dtype=np.float64)
+def as_batch(x: np.ndarray, ndim: int, name: str, dtype: Any = None) -> np.ndarray:
+    """Coerce ``x`` to a policy dtype (default float64) and validate rank."""
+    x = as_tensor(x, dtype)
     if x.ndim != ndim:
         raise ShapeError(f"{name} expects a {ndim}-d batch, got shape {x.shape}")
     return x

@@ -1,14 +1,13 @@
-"""2-D convolution and transposed convolution via im2col/col2im.
+"""2-D convolution and transposed convolution layers.
 
-The im2col transformation unrolls every receptive field of a ``(N, C, H, W)``
-batch into the rows of a matrix so convolution becomes a single matrix
-multiplication — the standard CPU-friendly formulation.  ``col2im`` is its
-adjoint (a scatter-add), which gives both the convolution backward pass and
-the transposed-convolution forward pass.
+The heavy lifting — im2col/col2im and the matrix-multiply kernels — lives in
+:mod:`repro.nn.backend.kernels`; these classes are the thin stateful
+wrappers: they own the weights, validate shapes, cache what the backward
+pass needs, and dispatch to the kernels in the layer's policy dtype.
 
-These functions are also used directly by :mod:`repro.saliency.vbp`: the
-VisualBackProp algorithm upscales averaged feature maps with a ones-kernel
-transposed convolution matching each convolution layer's geometry.
+``im2col``/``col2im``/``conv_transpose2d`` are re-exported here for
+backwards compatibility — :mod:`repro.saliency.vbp` and the pooling layers
+historically imported them from this module.
 """
 
 from __future__ import annotations
@@ -19,157 +18,18 @@ import numpy as np
 
 from repro.exceptions import ShapeError
 from repro.nn import initializers
+from repro.nn.backend.kernels import (  # noqa: F401 — re-exported API
+    IntPair,
+    _pair,
+    col2im,
+    conv_output_size,
+    conv_transpose2d,
+    conv_transpose_output_size,
+    im2col,
+)
+from repro.nn.backend import kernels
 from repro.nn.layers.base import Layer, Parameter, as_batch
 from repro.utils.seeding import RngLike, derive_rng
-
-IntPair = Union[int, Tuple[int, int]]
-
-
-def _pair(value: IntPair, name: str) -> Tuple[int, int]:
-    """Normalize an int-or-pair argument to a validated (h, w) tuple."""
-    if isinstance(value, int):
-        pair = (value, value)
-    else:
-        pair = (int(value[0]), int(value[1]))
-    if pair[0] < 0 or pair[1] < 0:
-        raise ShapeError(f"{name} must be non-negative, got {pair}")
-    return pair
-
-
-def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
-    """Spatial output size of a convolution along one axis."""
-    out = (size + 2 * padding - kernel) // stride + 1
-    if out <= 0:
-        raise ShapeError(
-            f"convolution produces non-positive output size "
-            f"(size={size}, kernel={kernel}, stride={stride}, padding={padding})"
-        )
-    return out
-
-
-def conv_transpose_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
-    """Spatial output size of a transposed convolution along one axis."""
-    out = (size - 1) * stride + kernel - 2 * padding
-    if out <= 0:
-        raise ShapeError(
-            f"transposed convolution produces non-positive output size "
-            f"(size={size}, kernel={kernel}, stride={stride}, padding={padding})"
-        )
-    return out
-
-
-def im2col(
-    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int]
-) -> np.ndarray:
-    """Unroll receptive fields of ``x`` into a 2-D matrix.
-
-    Parameters
-    ----------
-    x:
-        Input batch of shape ``(N, C, H, W)``.
-
-    Returns
-    -------
-    Array of shape ``(N * out_h * out_w, C * kh * kw)`` where row
-    ``n * out_h * out_w + i * out_w + j`` holds the receptive field of output
-    position ``(i, j)`` of sample ``n``.
-    """
-    n, c, h, w = x.shape
-    kh, kw = kernel
-    sh, sw = stride
-    ph, pw = padding
-    out_h = conv_output_size(h, kh, sh, ph)
-    out_w = conv_output_size(w, kw, sw, pw)
-
-    if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
-
-    # Gather into (N, C, kh, kw, out_h, out_w) with one strided slice per
-    # kernel offset: O(kh*kw) slice operations instead of O(out_h*out_w).
-    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
-    for i in range(kh):
-        i_max = i + sh * out_h
-        for j in range(kw):
-            j_max = j + sw * out_w
-            cols[:, :, i, j, :, :] = x[:, :, i:i_max:sh, j:j_max:sw]
-    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, c * kh * kw)
-
-
-def col2im(
-    cols: np.ndarray,
-    x_shape: Tuple[int, int, int, int],
-    kernel: Tuple[int, int],
-    stride: Tuple[int, int],
-    padding: Tuple[int, int],
-) -> np.ndarray:
-    """Adjoint of :func:`im2col`: scatter-add columns back into image shape.
-
-    Overlapping receptive fields accumulate, which is exactly the gradient of
-    ``im2col`` — and the forward pass of a transposed convolution.
-    """
-    n, c, h, w = x_shape
-    kh, kw = kernel
-    sh, sw = stride
-    ph, pw = padding
-    out_h = conv_output_size(h, kh, sh, ph)
-    out_w = conv_output_size(w, kw, sw, pw)
-
-    expected_rows = n * out_h * out_w
-    expected_cols = c * kh * kw
-    if cols.shape != (expected_rows, expected_cols):
-        raise ShapeError(
-            f"col2im expects cols of shape ({expected_rows}, {expected_cols}), "
-            f"got {cols.shape}"
-        )
-
-    cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
-    x_padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
-    for i in range(kh):
-        i_max = i + sh * out_h
-        for j in range(kw):
-            j_max = j + sw * out_w
-            x_padded[:, :, i:i_max:sh, j:j_max:sw] += cols6[:, :, i, j, :, :]
-    if ph or pw:
-        return x_padded[:, :, ph : ph + h, pw : pw + w]
-    return x_padded
-
-
-def conv_transpose2d(
-    x: np.ndarray,
-    weight: np.ndarray,
-    stride: IntPair = 1,
-    padding: IntPair = 0,
-) -> np.ndarray:
-    """Functional transposed convolution (used by VisualBackProp).
-
-    Parameters
-    ----------
-    x:
-        Input of shape ``(N, C_in, H, W)``.
-    weight:
-        Kernel of shape ``(C_in, C_out, kh, kw)``.
-    """
-    x = as_batch(x, 4, "conv_transpose2d input")
-    weight = np.asarray(weight, dtype=np.float64)
-    if weight.ndim != 4 or weight.shape[0] != x.shape[1]:
-        raise ShapeError(
-            f"conv_transpose2d weight must be (C_in={x.shape[1]}, C_out, kh, kw), "
-            f"got {weight.shape}"
-        )
-    stride_p = _pair(stride, "stride")
-    padding_p = _pair(padding, "padding")
-    n, c_in, h, w = x.shape
-    _, c_out, kh, kw = weight.shape
-    out_h = conv_transpose_output_size(h, kh, stride_p[0], padding_p[0])
-    out_w = conv_transpose_output_size(w, kw, stride_p[1], padding_p[1])
-
-    # Rows of `cols` correspond to input positions; scatter-add them into the
-    # (larger) output canvas. This mirrors the conv backward-data pass.
-    x_rows = x.transpose(0, 2, 3, 1).reshape(n * h * w, c_in)
-    cols = x_rows @ weight.reshape(c_in, c_out * kh * kw)
-    return col2im(
-        cols, (n, c_out, out_h, out_w), (kh, kw), stride_p, padding_p
-    )
 
 
 class Conv2d(Layer):
@@ -232,37 +92,38 @@ class Conv2d(Layer):
         return (self.out_channels, out_h, out_w)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = as_batch(x, 4, "Conv2d input")
+        x = as_batch(x, 4, "Conv2d input", self.dtype)
         if x.shape[1] != self.in_channels:
             raise ShapeError(
                 f"Conv2d expects {self.in_channels} input channels, got {x.shape[1]}"
             )
-        n = x.shape[0]
-        _, out_h, out_w = self.output_shape(x.shape[1:])
-        cols = im2col(x, self.kernel_size, self.stride, self.padding)
-        self._cols = cols
         self._x_shape = x.shape
-
-        w_mat = self.weight.value.reshape(self.out_channels, -1)
-        out = cols @ w_mat.T
-        if self.bias is not None:
-            out = out + self.bias.value
-        return out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        out, self._cols = kernels.conv2d_forward(
+            x,
+            self.weight.value,
+            None if self.bias is None else self.bias.value,
+            self.stride,
+            self.padding,
+        )
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cols is None or self._x_shape is None:
             raise ShapeError("Conv2d.backward() called before forward()")
-        grad_output = as_batch(grad_output, 4, "Conv2d grad_output")
-        n, c_out, out_h, out_w = grad_output.shape
-        grad_rows = grad_output.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c_out)
-
-        w_mat = self.weight.value.reshape(self.out_channels, -1)
-        self.weight.grad += (grad_rows.T @ self._cols).reshape(self.weight.value.shape)
+        grad_output = as_batch(grad_output, 4, "Conv2d grad_output", self.dtype)
+        grad_x, grad_w, grad_b = kernels.conv2d_backward(
+            grad_output,
+            self._cols,
+            self._x_shape,
+            self.weight.value,
+            self.stride,
+            self.padding,
+            with_bias=self.bias is not None,
+        )
+        self.weight.grad += grad_w
         if self.bias is not None:
-            self.bias.grad += grad_rows.sum(axis=0)
-
-        grad_cols = grad_rows @ w_mat
-        return col2im(grad_cols, self._x_shape, self.kernel_size, self.stride, self.padding)
+            self.bias.grad += grad_b
+        return grad_x
 
     def __repr__(self) -> str:
         return (
@@ -333,36 +194,36 @@ class ConvTranspose2d(Layer):
         return (self.out_channels, out_h, out_w)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = as_batch(x, 4, "ConvTranspose2d input")
+        x = as_batch(x, 4, "ConvTranspose2d input", self.dtype)
         if x.shape[1] != self.in_channels:
             raise ShapeError(
                 f"ConvTranspose2d expects {self.in_channels} input channels, "
                 f"got {x.shape[1]}"
             )
         self._x = x
-        out = conv_transpose2d(x, self.weight.value, self.stride, self.padding)
-        if self.bias is not None:
-            out = out + self.bias.value[None, :, None, None]
-        return out
+        return kernels.conv_transpose2d_forward(
+            x,
+            self.weight.value,
+            None if self.bias is None else self.bias.value,
+            self.stride,
+            self.padding,
+        )
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise ShapeError("ConvTranspose2d.backward() called before forward()")
-        grad_output = as_batch(grad_output, 4, "ConvTranspose2d grad_output")
-        n = grad_output.shape[0]
-        h, w = self._x.shape[2], self._x.shape[3]
-
-        # dL/dx: a plain convolution of grad_output with the same kernel.
-        cols = im2col(grad_output, self.kernel_size, self.stride, self.padding)
-        w_mat = self.weight.value.reshape(self.in_channels, -1)  # (C_in, C_out*kh*kw)
-        grad_x_rows = cols @ w_mat.T
-        grad_x = grad_x_rows.reshape(n, h, w, self.in_channels).transpose(0, 3, 1, 2)
-
-        # dL/dW: correlate input rows with grad_output receptive fields.
-        x_rows = self._x.transpose(0, 2, 3, 1).reshape(n * h * w, self.in_channels)
-        self.weight.grad += (x_rows.T @ cols).reshape(self.weight.value.shape)
+        grad_output = as_batch(grad_output, 4, "ConvTranspose2d grad_output", self.dtype)
+        grad_x, grad_w, grad_b = kernels.conv_transpose2d_backward(
+            grad_output,
+            self._x,
+            self.weight.value,
+            self.stride,
+            self.padding,
+            with_bias=self.bias is not None,
+        )
+        self.weight.grad += grad_w
         if self.bias is not None:
-            self.bias.grad += grad_output.sum(axis=(0, 2, 3))
+            self.bias.grad += grad_b
         return grad_x
 
     def __repr__(self) -> str:

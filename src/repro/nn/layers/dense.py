@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.exceptions import ShapeError
 from repro.nn import initializers
+from repro.nn.backend import kernels
 from repro.nn.layers.base import Layer, Parameter, as_batch
 from repro.utils.seeding import RngLike, derive_rng
 
@@ -56,25 +57,27 @@ class Dense(Layer):
         self._x: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = as_batch(x, 2, "Dense input")
+        x = as_batch(x, 2, "Dense input", self.dtype)
         if x.shape[1] != self.in_features:
             raise ShapeError(
                 f"Dense expects {self.in_features} input features, got {x.shape[1]}"
             )
         self._x = x
-        out = x @ self.weight.value
-        if self.bias is not None:
-            out = out + self.bias.value
-        return out
+        return kernels.dense_forward(
+            x, self.weight.value, None if self.bias is None else self.bias.value
+        )
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise ShapeError("Dense.backward() called before forward()")
-        grad_output = as_batch(grad_output, 2, "Dense grad_output")
-        self.weight.grad += self._x.T @ grad_output
+        grad_output = as_batch(grad_output, 2, "Dense grad_output", self.dtype)
+        grad_x, grad_w, grad_b = kernels.dense_backward(
+            grad_output, self._x, self.weight.value, with_bias=self.bias is not None
+        )
+        self.weight.grad += grad_w
         if self.bias is not None:
-            self.bias.grad += grad_output.sum(axis=0)
-        return grad_output @ self.weight.value.T
+            self.bias.grad += grad_b
+        return grad_x
 
     def __repr__(self) -> str:
         return f"Dense({self.in_features}, {self.out_features}, bias={self.bias is not None})"

@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.nn.layers.base import Layer
 from repro.utils.seeding import RngLike, derive_rng
 
@@ -28,18 +29,22 @@ class Dropout(Layer):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_tensor(x, self.dtype)
         if not training or self.p == 0.0:
             self._mask = np.ones_like(x)
             return x
         keep = 1.0 - self.p
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        # Draw in the generator's native float64 (keeping the stream identical
+        # across policies), then cast the mask to the compute dtype.
+        self._mask = ((self._rng.random(x.shape) < keep) / keep).astype(
+            x.dtype, copy=False
+        )
         return x * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise ShapeError("Dropout.backward() called before forward()")
-        return np.asarray(grad_output, dtype=np.float64) * self._mask
+        return as_tensor(grad_output, self.dtype) * self._mask
 
     def __repr__(self) -> str:
         return f"Dropout(p={self.p})"

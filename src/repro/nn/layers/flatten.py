@@ -7,6 +7,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.nn.layers.base import Layer
 
 
@@ -18,7 +19,7 @@ class Flatten(Layer):
         self._shape: Optional[Tuple[int, ...]] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_tensor(x, self.dtype)
         if x.ndim < 2:
             raise ShapeError(f"Flatten expects a batch with ndim >= 2, got {x.shape}")
         self._shape = x.shape
@@ -27,5 +28,4 @@ class Flatten(Layer):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._shape is None:
             raise ShapeError("Flatten.backward() called before forward()")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
-        return grad_output.reshape(self._shape)
+        return as_tensor(grad_output, self.dtype).reshape(self._shape)

@@ -53,8 +53,12 @@ class _BatchNorm(Layer):
             return arr
         return arr[None, :, None, None]
 
+    def _cast_buffers(self, dtype: np.dtype) -> None:
+        self.running_mean = self.running_mean.astype(dtype, copy=False)
+        self.running_var = self.running_var.astype(dtype, copy=False)
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = as_batch(x, self._ndim, f"{type(self).__name__} input")
+        x = as_batch(x, self._ndim, f"{type(self).__name__} input", self.dtype)
         if x.shape[1] != self.num_features:
             raise ShapeError(
                 f"{type(self).__name__} expects {self.num_features} features, "
@@ -83,7 +87,7 @@ class _BatchNorm(Layer):
         if self._cache is None:
             raise ShapeError(f"{type(self).__name__}.backward() called before forward()")
         x_hat, inv_std, training = self._cache
-        grad_output = as_batch(grad_output, self._ndim, "grad_output")
+        grad_output = as_batch(grad_output, self._ndim, "grad_output", self.dtype)
 
         self.gamma.grad += (grad_output * x_hat).sum(axis=self._axes)
         self.beta.grad += grad_output.sum(axis=self._axes)
@@ -115,7 +119,7 @@ class _BatchNorm(Layer):
         for attr in ("running_mean", "running_var"):
             key = f"{self._name}.{attr}"
             if key in state:
-                value = np.asarray(state[key], dtype=np.float64)
+                value = np.asarray(state[key], dtype=self.dtype)
                 if value.shape != (self.num_features,):
                     raise ShapeError(
                         f"{key} has shape {value.shape}, expected ({self.num_features},)"

@@ -1,4 +1,4 @@
-"""Spatial pooling layers built on the im2col machinery."""
+"""Spatial pooling layers dispatching to the backend pooling kernels."""
 
 from __future__ import annotations
 
@@ -7,8 +7,9 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.nn.backend import kernels
+from repro.nn.backend.kernels import IntPair, _pair, conv_output_size
 from repro.nn.layers.base import Layer, as_batch
-from repro.nn.layers.conv import IntPair, _pair, col2im, conv_output_size, im2col
 
 
 class _Pool2d(Layer):
@@ -30,18 +31,6 @@ class _Pool2d(Layer):
         out_w = conv_output_size(w, self.kernel_size[1], self.stride[1], self.padding[1])
         return (c, out_h, out_w)
 
-    def _patches(self, x: np.ndarray) -> Tuple[np.ndarray, Tuple[int, int]]:
-        """Return pooling windows as ``(N*out_h*out_w*C, kh*kw)`` rows."""
-        n, c, h, w = x.shape
-        _, out_h, out_w = self.output_shape((c, h, w))
-        kh, kw = self.kernel_size
-        # Treat channels as independent single-channel images so each row of
-        # the unrolled matrix is exactly one pooling window.
-        cols = im2col(
-            x.reshape(n * c, 1, h, w), self.kernel_size, self.stride, self.padding
-        )
-        return cols.reshape(n, c, out_h, out_w, kh * kw), (out_h, out_w)
-
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(kernel_size={self.kernel_size}, "
@@ -57,62 +46,39 @@ class MaxPool2d(_Pool2d):
         self._argmax: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = as_batch(x, 4, "MaxPool2d input")
+        x = as_batch(x, 4, "MaxPool2d input", self.dtype)
         self._x_shape = x.shape
-        patches, (out_h, out_w) = self._patches(x)
-        self._argmax = patches.argmax(axis=-1)
-        n, c = x.shape[:2]
-        return patches.max(axis=-1).reshape(n, c, out_h, out_w)
+        out, self._argmax = kernels.maxpool2d_forward(
+            x, self.kernel_size, self.stride, self.padding
+        )
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._x_shape is None or self._argmax is None:
             raise ShapeError("MaxPool2d.backward() called before forward()")
-        grad_output = as_batch(grad_output, 4, "MaxPool2d grad_output")
-        n, c, h, w = self._x_shape
-        out_h, out_w = grad_output.shape[2], grad_output.shape[3]
-        kh, kw = self.kernel_size
-
-        grad_patches = np.zeros((n, c, out_h, out_w, kh * kw), dtype=np.float64)
-        np.put_along_axis(
-            grad_patches, self._argmax[..., None], grad_output[..., None], axis=-1
-        )
-        cols = grad_patches.reshape(n * c * out_h * out_w, kh * kw)
-        grad_x = col2im(
-            cols.reshape(n * c * out_h * out_w, 1 * kh * kw),
-            (n * c, 1, h, w),
+        grad_output = as_batch(grad_output, 4, "MaxPool2d grad_output", self.dtype)
+        return kernels.maxpool2d_backward(
+            grad_output,
+            self._argmax,
+            self._x_shape,
             self.kernel_size,
             self.stride,
             self.padding,
         )
-        return grad_x.reshape(n, c, h, w)
 
 
 class AvgPool2d(_Pool2d):
     """Average pooling over spatial windows."""
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = as_batch(x, 4, "AvgPool2d input")
+        x = as_batch(x, 4, "AvgPool2d input", self.dtype)
         self._x_shape = x.shape
-        patches, (out_h, out_w) = self._patches(x)
-        n, c = x.shape[:2]
-        return patches.mean(axis=-1).reshape(n, c, out_h, out_w)
+        return kernels.avgpool2d_forward(x, self.kernel_size, self.stride, self.padding)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._x_shape is None:
             raise ShapeError("AvgPool2d.backward() called before forward()")
-        grad_output = as_batch(grad_output, 4, "AvgPool2d grad_output")
-        n, c, h, w = self._x_shape
-        out_h, out_w = grad_output.shape[2], grad_output.shape[3]
-        kh, kw = self.kernel_size
-
-        window = float(kh * kw)
-        grad_patches = np.broadcast_to(
-            (grad_output / window)[..., None], (n, c, out_h, out_w, kh * kw)
+        grad_output = as_batch(grad_output, 4, "AvgPool2d grad_output", self.dtype)
+        return kernels.avgpool2d_backward(
+            grad_output, self._x_shape, self.kernel_size, self.stride, self.padding
         )
-        cols = np.ascontiguousarray(grad_patches).reshape(
-            n * c * out_h * out_w, kh * kw
-        )
-        grad_x = col2im(
-            cols, (n * c, 1, h, w), self.kernel_size, self.stride, self.padding
-        )
-        return grad_x.reshape(n, c, h, w)

@@ -17,6 +17,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError, ShapeError
 from repro.metrics.msssim import ms_ssim_and_grad
 from repro.metrics.ssim import DEFAULT_WINDOW_SIZE, ssim_and_grad
+from repro.nn.backend.policy import as_tensor, result_dtype
 from repro.utils.validation import require_same_shape
 
 
@@ -39,8 +40,11 @@ class Loss:
 
 
 def _as_float_pair(pred: np.ndarray, target: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    pred = np.asarray(pred, dtype=np.float64)
-    target = np.asarray(target, dtype=np.float64)
+    # Follow the inputs: a float32 inference pipeline keeps its scoring
+    # losses in float32; any other combination computes in float64.
+    dtype = result_dtype(np.asarray(pred), np.asarray(target))
+    pred = as_tensor(pred, dtype)
+    target = as_tensor(target, dtype)
     require_same_shape(pred, target, "loss inputs")
     if pred.size == 0:
         raise ShapeError("loss inputs must be non-empty")

@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence, Tuple, Union
 import numpy as np
 
 from repro.exceptions import SerializationError, ShapeError
+from repro.nn.backend.policy import as_tensor, resolve_dtype
 from repro.nn.layers.base import Layer, Parameter
 
 
@@ -31,8 +32,15 @@ class Sequential(Layer):
         self.layers: List[Layer] = list(layers)
         self._last_input: np.ndarray = None
 
+    def set_policy(self, dtype) -> "Sequential":
+        """Switch the whole chain (and this container) to a policy dtype."""
+        self._dtype = resolve_dtype(dtype)
+        for layer in self.layers:
+            layer.set_policy(self._dtype)
+        return self
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        out = np.asarray(x, dtype=np.float64)
+        out = as_tensor(x, self.dtype)
         for layer in self.layers:
             out = layer.forward(out, training=training)
         return out
@@ -46,14 +54,14 @@ class Sequential(Layer):
         reads the post-ReLU feature maps from this list.
         """
         activations: List[np.ndarray] = []
-        out = np.asarray(x, dtype=np.float64)
+        out = as_tensor(x, self.dtype)
         for layer in self.layers:
             out = layer.forward(out, training=training)
             activations.append(out)
         return out, activations
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        grad = np.asarray(grad_output, dtype=np.float64)
+        grad = as_tensor(grad_output, self.dtype)
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
         return grad

@@ -263,7 +263,9 @@ def _load_state_arrays(
     for index, p in enumerate(params):
         key = str(index)
         if key in state:
-            value = np.asarray(state[key], dtype=np.float64)
+            # Restore in the owning parameter's dtype: optimizer moments must
+            # match the params they update, whatever policy the model runs.
+            value = np.asarray(state[key], dtype=p.value.dtype)
             if value.shape != p.value.shape:
                 raise ConfigurationError(
                     f"optimizer state for parameter {index} has shape "

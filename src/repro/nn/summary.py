@@ -31,7 +31,7 @@ def describe(model: Sequential, input_shape: Tuple[int, ...] = None) -> str:
     """
     shapes: List[str] = []
     if input_shape is not None:
-        x = np.zeros((1,) + tuple(input_shape), dtype=np.float64)
+        x = np.zeros((1,) + tuple(input_shape), dtype=model.dtype)
         for layer in model.layers:
             x = layer.forward(x, training=False)
             shapes.append(str(tuple(x.shape[1:])))

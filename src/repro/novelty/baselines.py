@@ -20,6 +20,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.nn.model import Sequential
 from repro.novelty.framework import AutoencoderConfig, OneClassAutoencoder, SaliencyNoveltyPipeline
 from repro.utils.seeding import RngLike
@@ -46,7 +47,7 @@ class RichterRoyBaseline:
 
     def preprocess(self, frames: np.ndarray) -> np.ndarray:
         """Identity — the baseline consumes raw frames."""
-        frames = np.asarray(frames, dtype=np.float64)
+        frames = as_tensor(frames)
         h, w = self.image_shape
         if frames.ndim != 3 or frames.shape[1:] != (h, w):
             raise ShapeError(f"expected (N, {h}, {w}) frames, got {frames.shape}")
@@ -65,7 +66,7 @@ class RichterRoyBaseline:
         """Vectorized stack scoring, mirroring
         :meth:`SaliencyNoveltyPipeline.score_batch` so the stream monitor
         and serving engine treat all detector systems uniformly."""
-        frames = np.asarray(frames, dtype=np.float64)
+        frames = as_tensor(frames)
         if frames.ndim != 3:
             raise ShapeError(
                 f"score_batch expects an (N, H, W) stack, got {frames.shape}"

@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.metrics.cdf import EmpiricalCDF
 from repro.telemetry import get_telemetry
 
@@ -26,7 +27,7 @@ def _as_scores(values: np.ndarray, caller: str) -> np.ndarray:
     against the threshold would silently return an empty verdict array and
     let the mistake propagate.
     """
-    scores = np.asarray(values, dtype=np.float64)
+    scores = as_tensor(values)
     if scores.size == 0:
         raise ShapeError(f"{caller} received an empty scores array")
     return scores

@@ -25,6 +25,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.nn.backend.policy import as_tensor
 
 
 @dataclass(frozen=True)
@@ -133,7 +134,7 @@ class CusumDetector:
 
     def fit(self, train_scores: np.ndarray) -> "CusumDetector":
         """Calibrate the in-control mean/std from training scores."""
-        scores = np.asarray(train_scores, dtype=np.float64).ravel()
+        scores = as_tensor(train_scores).ravel()
         if scores.size < 2:
             raise ConfigurationError("fit requires at least 2 training scores")
         self._mean = float(scores.mean())
@@ -169,4 +170,4 @@ class CusumDetector:
 
     def update_batch(self, scores: np.ndarray) -> List[DriftVerdict]:
         """Fold a sequence of scores in order."""
-        return [self.update(s) for s in np.asarray(scores, dtype=np.float64).ravel()]
+        return [self.update(s) for s in as_tensor(scores).ravel()]

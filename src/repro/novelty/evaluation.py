@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import NotFittedError, ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.metrics.histograms import HistogramComparison, compare_distributions
 
 
@@ -73,8 +74,8 @@ def evaluate_scores(
     ``similarity_transform`` maps loss scores to the reporting convention
     (defaults to negation).
     """
-    target_scores = np.asarray(target_scores, dtype=np.float64)
-    novel_scores = np.asarray(novel_scores, dtype=np.float64)
+    target_scores = as_tensor(target_scores)
+    novel_scores = as_tensor(novel_scores)
     if target_scores.size == 0 or novel_scores.size == 0:
         raise ShapeError("evaluation requires non-empty score arrays")
     transform = similarity_transform or (lambda s: -s)

@@ -17,6 +17,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.exceptions import NotFittedError, ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.metrics.ssim import ssim_map
 
 
@@ -106,7 +107,7 @@ def explain_frame(
     """
     if not getattr(pipeline, "is_fitted", False):
         raise NotFittedError("explain_frame requires a fitted pipeline")
-    frame = np.asarray(frame, dtype=np.float64)
+    frame = as_tensor(frame)
     if frame.ndim != 2:
         raise ShapeError(f"explain_frame expects one (H, W) frame, got {frame.shape}")
 

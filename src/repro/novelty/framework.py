@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
 from repro.models.autoencoder import ConvAutoencoder, DenseAutoencoder
+from repro.nn.backend.policy import as_tensor, resolve_dtype
 from repro.nn.data import ArrayDataset, DataLoader
 from repro.nn.layers import Flatten
 from repro.nn.losses import Loss, MSELoss, MSSSIMLoss, SSIMLoss
@@ -141,8 +142,24 @@ class OneClassAutoencoder:
             scales += 1
         return MSSSIMLoss(self.image_shape, scales=scales, window_size=window)
 
+    @property
+    def dtype(self) -> np.dtype:
+        """The autoencoder's policy dtype (float64 unless re-policied)."""
+        return self.autoencoder.dtype
+
+    def set_inference_dtype(self, dtype) -> "OneClassAutoencoder":
+        """Recast the fitted autoencoder for inference at a policy dtype.
+
+        Intended for a *fitted* model: training always runs at float64 (the
+        gradcheck-grade default); switching to float32 halves the scoring
+        path's memory traffic while the detector keeps its float64
+        threshold.
+        """
+        self.autoencoder.set_policy(dtype)
+        return self
+
     def _flatten(self, images: np.ndarray) -> np.ndarray:
-        images = np.asarray(images, dtype=np.float64)
+        images = as_tensor(images, self.dtype)
         h, w = self.image_shape
         if images.ndim != 3 or images.shape[1:] != (h, w):
             raise ShapeError(f"expected (N, {h}, {w}) images, got {images.shape}")
@@ -275,13 +292,36 @@ class SaliencyNoveltyPipeline:
         return self.saliency_method
 
     @property
+    def dtype(self) -> np.dtype:
+        """The dtype the scoring path runs at (the one-class stage's)."""
+        return self.one_class.dtype
+
+    def set_inference_dtype(self, dtype) -> "SaliencyNoveltyPipeline":
+        """Switch the whole scoring path to a policy dtype.
+
+        Recasts the prediction model (and with it the saliency cascade) and
+        the one-class autoencoder; frames are then coerced once at the
+        pipeline boundary and stay in that dtype through VBP, the
+        autoencoder and the SSIM scoring loss.  The novelty threshold is
+        untouched — scores are upcast exactly for the verdict comparison.
+        Use on a *fitted* pipeline; refitting at float32 is refused by the
+        gradcheck guard rather than silently training at low precision.
+        """
+        resolved = resolve_dtype(dtype)
+        model = getattr(self.saliency_method, "model", None)
+        if model is not None and hasattr(model, "set_policy"):
+            model.set_policy(resolved)
+        self.one_class.set_inference_dtype(resolved)
+        return self
+
+    @property
     def is_fitted(self) -> bool:
         """Whether the one-class stage has been fitted."""
         return self.one_class.is_fitted
 
     def preprocess(self, frames: np.ndarray) -> np.ndarray:
         """VBP masks ("VBP images") for a batch of frames."""
-        frames = np.asarray(frames, dtype=np.float64)
+        frames = as_tensor(frames, self.dtype)
         h, w = self.image_shape
         if frames.ndim != 3 or frames.shape[1:] != (h, w):
             raise ShapeError(f"expected (N, {h}, {w}) frames, got {frames.shape}")
@@ -312,7 +352,7 @@ class SaliencyNoveltyPipeline:
         <repro.novelty.StreamMonitor.observe_batch>` build on — batched
         numpy matmuls are where the throughput is.
         """
-        frames = np.asarray(frames, dtype=np.float64)
+        frames = as_tensor(frames, self.dtype)
         if frames.ndim != 3:
             raise ShapeError(
                 f"score_batch expects an (N, H, W) stack, got {frames.shape}"

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.nn.backend.policy import as_tensor
 from repro.novelty.detector import NoveltyDetector
 from repro.novelty.ensemble import _OneClassView
 
@@ -53,7 +54,7 @@ class ScoreFusionDetector:
             )
         if weights is None:
             weights = [1.0] * len(members)
-        weights = np.asarray(list(weights), dtype=np.float64)
+        weights = as_tensor(list(weights))
         if weights.shape != (len(members),):
             raise ConfigurationError(
                 f"need one weight per member ({len(members)}), got {weights.shape}"

@@ -18,6 +18,7 @@ from typing import Deque, List, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.nn.backend.policy import as_tensor
 from repro.telemetry import get_telemetry
 
 
@@ -131,7 +132,7 @@ class StreamMonitor:
         so each gets its own ``monitor.frame`` span — the per-frame latency
         a deployment would see — at the cost of the batch vectorization.
         """
-        frames = np.asarray(frames, dtype=np.float64)
+        frames = as_tensor(frames, getattr(self.detector, "dtype", None))
         if frames.shape[0] == 0:
             return []
         telem = get_telemetry()

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.nn.backend.policy import as_tensor, resolve_dtype
 
 
 class SaliencyMethod:
@@ -12,7 +13,21 @@ class SaliencyMethod:
 
     Subclasses implement :meth:`_compute` on ``(N, 1, H, W)`` batches;
     the public :meth:`saliency` handles shape coercion and normalization.
+    Frames are coerced to :attr:`dtype` — float64 unless the subclass ties
+    itself to a model running a different policy.
     """
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The dtype this method computes masks in.
+
+        Methods wrapping a model follow its policy; standalone methods use
+        the float64 default.
+        """
+        model = getattr(self, "model", None)
+        if model is not None and hasattr(model, "dtype"):
+            return model.dtype
+        return resolve_dtype(None)
 
     def _compute(self, frames: np.ndarray) -> np.ndarray:
         """Raw (unnormalized) masks of shape ``(N, H, W)``."""
@@ -32,7 +47,7 @@ class SaliencyMethod:
         Masks matching the input's leading shape, min-max normalized to
         [0, 1] per image (a constant raw mask maps to zeros).
         """
-        frames = np.asarray(frames, dtype=np.float64)
+        frames = as_tensor(frames, self.dtype)
         single = frames.ndim == 2
         if single:
             frames = frames[None]

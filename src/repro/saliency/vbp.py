@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.nn.layers import Conv2d, ReLU
 from repro.nn.layers.conv import conv_transpose2d
 from repro.nn.model import Sequential
@@ -117,6 +118,11 @@ class VisualBackProp(SaliencyMethod):
         self._stages = find_conv_stages(model)
 
     @property
+    def dtype(self) -> np.dtype:
+        """VBP computes in the model's policy dtype end to end."""
+        return self.model.dtype
+
+    @property
     def num_stages(self) -> int:
         """Number of convolution stages VBP combines."""
         return len(self._stages)
@@ -156,7 +162,7 @@ class VisualBackProp(SaliencyMethod):
                 current = current / np.where(peak > 0, peak, 1.0)
             conv = self._stages[level].conv
             kh, kw = conv.kernel_size
-            ones = np.ones((1, 1, kh, kw), dtype=np.float64)
+            ones = np.ones((1, 1, kh, kw), dtype=self.dtype)
             upscaled = conv_transpose2d(current, ones, conv.stride, conv.padding)
             if level > 0:
                 target = maps[level - 1].shape[2:]
@@ -182,7 +188,7 @@ class VisualBackProp(SaliencyMethod):
         Useful for debugging a model whose final mask looks wrong: the
         stage whose map first loses the road structure is the culprit.
         """
-        frames = np.asarray(frames, dtype=np.float64)
+        frames = as_tensor(frames, self.dtype)
         if frames.ndim == 3:
             frames = frames[:, None, :, :]
         if frames.ndim != 4 or frames.shape[1] != self._stages[0].conv.in_channels:

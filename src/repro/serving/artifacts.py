@@ -13,7 +13,8 @@ serving replica needs to load a fitted
 
 The manifest records the prediction model's architecture (so the network
 can be rebuilt before its weights are loaded), the pipeline configuration,
-the fitted detector threshold, and a SHA-256 ``config_hash`` over the rest
+the fitted detector threshold, the precision policy (``dtype``) the
+pipeline scores in, and a SHA-256 ``config_hash`` over the rest
 of the manifest.  :func:`load_bundle` validates all of it and raises
 :class:`~repro.exceptions.ArtifactError` with a specific message on any
 mismatch — a bundle that loads at all is guaranteed to score exactly like
@@ -29,8 +30,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Tuple, Union
 
+import numpy as np
+
 from repro.exceptions import ArtifactError, ConfigurationError, NotFittedError, ReproError
 from repro.models.pilotnet import ConvSpec, PilotNet, PilotNetConfig
+from repro.nn.backend.policy import SUPPORTED_DTYPES, resolve_dtype
 from repro.nn.model import load_model, save_model
 from repro.novelty.framework import (
     SaliencyNoveltyPipeline,
@@ -75,6 +79,11 @@ class LoadedBundle:
     def threshold(self) -> float:
         """The fitted detector threshold recorded at save time."""
         return float(self.manifest["threshold"])
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The precision policy the bundle scores in (manifest ``dtype``)."""
+        return resolve_dtype(self.manifest.get("dtype", "float64"))
 
 
 def save_bundle(
@@ -128,6 +137,7 @@ def save_bundle(
             "ssim_window": one_class.config.ssim_window,
         },
         "threshold": float(one_class.detector.threshold),
+        "dtype": pipeline.dtype.name,
         "prediction_model": {
             "family": "pilotnet",
             "input_shape": list(model.config.input_shape),
@@ -186,6 +196,12 @@ def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
     missing = sorted(required - manifest.keys())
     if missing:
         raise ArtifactError(f"bundle manifest missing keys: {', '.join(missing)}")
+    dtype_name = manifest.get("dtype", "float64")
+    if dtype_name not in SUPPORTED_DTYPES:
+        raise ArtifactError(
+            f"bundle manifest dtype {dtype_name!r} is not supported "
+            f"(expected one of: {', '.join(sorted(SUPPORTED_DTYPES))})"
+        )
     expected = config_hash(manifest)
     if manifest["config_hash"] != expected:
         raise ArtifactError(
@@ -253,4 +269,8 @@ def load_bundle(path: Union[str, Path]) -> LoadedBundle:
             f"bundle inconsistency: refitted threshold {fitted!r} does not "
             f"match the manifest's {recorded!r}"
         )
+    # State is restored in each parameter's own (float64) dtype, then the
+    # whole pipeline is cast to the precision policy the bundle was saved
+    # under — a float32 bundle scores in float32 in the fresh process too.
+    pipeline.set_inference_dtype(manifest.get("dtype", "float64"))
     return LoadedBundle(pipeline=pipeline, manifest=manifest, path=path)

@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.novelty.framework import SaliencyNoveltyPipeline
 from repro.serving.batcher import MicroBatcher, QueuedRequest
 from repro.serving.results import (
@@ -99,6 +100,12 @@ class PipelineScorer:
         # One batched pass at a time: the numpy substrate is single-threaded
         # anyway, and serializing keeps layer caches coherent.
         self._lock = threading.Lock()
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Precision policy of the wrapped pipeline (frames are coerced
+        to this before scoring)."""
+        return self.pipeline.dtype
 
     def score_batch(self, frames: np.ndarray) -> BatchVerdicts:
         """Vectorized verdicts for an ``(N, H, W)`` stack."""
@@ -169,7 +176,7 @@ class ServingEngine:
         resolved to :class:`Overloaded` on return.  ``deadline_ms``
         overrides the config default (``None`` = no deadline).
         """
-        frame = np.asarray(frame, dtype=np.float64)
+        frame = as_tensor(frame, getattr(self.scorer, "dtype", None))
         expected = getattr(self.scorer, "image_shape", None)
         if frame.ndim != 2 or (expected is not None and frame.shape != tuple(expected)):
             raise ShapeError(
@@ -208,7 +215,10 @@ class ServingEngine:
         Frames beyond ``queue_capacity`` naturally resolve to
         ``Overloaded`` — size the engine's queue for the burst you send.
         """
-        pendings = [self.submit(frame) for frame in np.asarray(frames, dtype=np.float64)]
+        pendings = [
+            self.submit(frame)
+            for frame in as_tensor(frames, getattr(self.scorer, "dtype", None))
+        ]
         return [p.result(timeout_s) for p in pendings]
 
     # -- dispatch --------------------------------------------------------

@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ServingError, WorkerCrashError
+from repro.nn.backend.policy import as_tensor, resolve_dtype
 from repro.serving.artifacts import read_manifest
 from repro.serving.results import BatchVerdicts
 from repro.telemetry import get_telemetry
@@ -34,18 +35,21 @@ from repro.utils.log import get_logger
 _log = get_logger(__name__)
 
 
-def _worker_main(bundle_dir: str, conn) -> None:
+def _worker_main(bundle_dir: str, conn, dtype: Optional[str] = None) -> None:
     """Worker-process loop: load the bundle, answer score/ping requests.
 
     Runs until a ``("stop",)`` message or EOF on the pipe.  Scoring errors
     are reported per-request (``("err", id, message)``) rather than
     crashing the replica; an actual crash is detected by the parent via a
-    broken pipe / timeout and answered with a restart.
+    broken pipe / timeout and answered with a restart.  ``dtype`` overrides
+    the bundle's recorded precision policy for this replica.
     """
     from repro.serving.artifacts import load_bundle
 
     bundle = load_bundle(bundle_dir)
     pipeline = bundle.pipeline
+    if dtype is not None:
+        pipeline.set_inference_dtype(dtype)
     detector = pipeline.one_class.detector
     while True:
         try:
@@ -100,6 +104,9 @@ class WorkerPool:
     request_timeout_s:
         How long to wait for a replica's answer before declaring it hung
         (it is then killed and respawned).
+    dtype:
+        Precision policy replicas score in (``"float32"`` or ``"float64"``).
+        ``None`` uses the dtype recorded in the bundle manifest.
     """
 
     def __init__(
@@ -107,6 +114,7 @@ class WorkerPool:
         bundle_dir: Union[str, Path],
         workers: int = 2,
         request_timeout_s: float = 60.0,
+        dtype: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -117,6 +125,10 @@ class WorkerPool:
         self.bundle_dir = Path(bundle_dir)
         manifest = read_manifest(self.bundle_dir)
         self.image_shape: Tuple[int, int] = tuple(manifest["image_shape"])
+        self.dtype = resolve_dtype(
+            manifest.get("dtype", "float64") if dtype is None else dtype
+        )
+        self._dtype_override = None if dtype is None else self.dtype.name
         self.replicas = int(workers)
         self.request_timeout_s = float(request_timeout_s)
         self._context = multiprocessing.get_context()
@@ -132,7 +144,7 @@ class WorkerPool:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_worker_main,
-            args=(str(self.bundle_dir), child_conn),
+            args=(str(self.bundle_dir), child_conn, self._dtype_override),
             name=f"repro-serve-worker-{index}",
             daemon=True,
         )
@@ -213,7 +225,7 @@ class WorkerPool:
         """
         if self._closed:
             raise ServingError("WorkerPool.score_batch called after close()")
-        frames = np.asarray(frames, dtype=np.float64)
+        frames = as_tensor(frames, self.dtype)
         worker = self._next_worker()
         with worker.lock:
             for attempt in (1, 2):

@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import ServingError, ShapeError
+from repro.nn.backend.policy import as_tensor
 from repro.serving.engine import ServingEngine
 from repro.serving.results import DeadlineExceeded, Failed, Overloaded, Scored
 from repro.utils.log import get_logger
@@ -154,7 +155,9 @@ class ServingServer:
         if op != "score":
             return {"id": request_id, "status": "error", "error": f"unknown op {op!r}"}
         try:
-            frame = np.asarray(request["frame"], dtype=np.float64)
+            frame = as_tensor(
+                request["frame"], getattr(self.engine.scorer, "dtype", None)
+            )
             if "deadline_ms" in request:
                 pending = self.engine.submit(frame, deadline_ms=request["deadline_ms"])
             else:

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.datasets.road_geometry import RoadGeometry, TrackProfile
 from repro.exceptions import ShapeError
+from repro.nn.backend.policy import as_tensor
 
 
 class SteeringPolicy:
@@ -34,7 +35,7 @@ class ModelPolicy(SteeringPolicy):
         self.model = model
 
     def steer(self, frame: np.ndarray, profile: TrackProfile) -> float:
-        frame = np.asarray(frame, dtype=np.float64)
+        frame = as_tensor(frame)
         if frame.ndim != 2:
             raise ShapeError(f"ModelPolicy expects an (H, W) frame, got {frame.shape}")
         return float(self.model.predict_angles(frame[None])[0])

@@ -15,13 +15,14 @@ from typing import Union
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.backend.policy import FLOAT64, as_tensor
 
 #: Dark-to-bright character ramp for ASCII rendering.
 _ASCII_RAMP = " .:-=+*#%@"
 
 
 def _as_image(image: np.ndarray, name: str) -> np.ndarray:
-    image = np.asarray(image, dtype=np.float64)
+    image = as_tensor(image)
     if image.ndim != 2:
         raise ShapeError(f"{name} expects an (H, W) image, got {image.shape}")
     return np.clip(image, 0.0, 1.0)
@@ -78,7 +79,7 @@ def load_pgm(path: Union[str, Path]) -> np.ndarray:
         w, h = int(dims[0]), int(dims[1])
         maxval = int(fh.readline())
         data = np.frombuffer(fh.read(w * h), dtype=np.uint8)
-    return data.reshape(h, w).astype(np.float64) / maxval
+    return data.reshape(h, w).astype(FLOAT64) / maxval
 
 
 def save_overlay_ppm(
@@ -127,7 +128,7 @@ def trajectory_strip(
     closed-loop example and handy for quick trajectory inspection in
     terminals and logs.
     """
-    lane_offsets = np.asarray(lane_offsets, dtype=np.float64).ravel()
+    lane_offsets = as_tensor(lane_offsets).ravel()
     if lane_offsets.size == 0:
         raise ShapeError("trajectory_strip requires at least one offset")
     if half_width <= 0:

@@ -231,3 +231,36 @@ class TestTelemetryCommand:
         exit_code = main(["telemetry", str(tmp_path / "absent.jsonl")])
         assert exit_code == 2
         assert "does not exist" in capsys.readouterr().err
+
+
+class TestDtypeFlag:
+    @pytest.mark.parametrize(
+        "command",
+        [
+            ["experiment", "fig3"],
+            ["demo"],
+            ["bundle", "--out", "b"],
+            ["serve"],
+            ["bench-serve"],
+        ],
+        ids=lambda c: c[0],
+    )
+    def test_dtype_accepted_and_defaults_to_none(self, command):
+        assert build_parser().parse_args(command).dtype is None
+        args = build_parser().parse_args(command + ["--dtype", "float32"])
+        assert args.dtype == "float32"
+
+    @pytest.mark.parametrize("command", ["experiment", "demo", "bundle", "serve"])
+    def test_bad_dtype_exits_2(self, command, capsys):
+        argv = {"experiment": ["experiment", "fig3"], "bundle": ["bundle", "--out", "b"]}
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv.get(command, [command]) + ["--dtype", "float16"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_demo_float32_runs(self, capsys):
+        exit_code = main(["demo", "--scale", "ci", "--dtype", "float32"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "float32 inference policy" in out
+        assert "AUROC" in out

@@ -1,0 +1,36 @@
+"""Style gate: dtype literals live in ``repro/nn/backend/`` only.
+
+Every other module must go through the policy helpers (``as_tensor``,
+``resolve_dtype``, ``FLOAT32``/``FLOAT64``) so that precision is decided in
+exactly one place.  A stray ``np.float64`` elsewhere silently re-pins an
+array to double precision and breaks the float32 inference path — this
+test turns that mistake into a named failure instead of a perf regression.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+ALLOWED = SRC / "nn" / "backend"
+
+LITERAL = re.compile(r"np\.float(32|64)\b")
+
+
+def test_no_dtype_literals_outside_backend():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if ALLOWED in path.parents:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if LITERAL.search(line):
+                offenders.append(f"{path.relative_to(SRC.parent)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "dtype literals outside repro/nn/backend/ (use as_tensor/resolve_dtype "
+        "or the FLOAT32/FLOAT64 constants):\n" + "\n".join(offenders)
+    )
+
+
+def test_backend_defines_the_literals():
+    """The allowed zone actually carries the canonical definitions."""
+    policy = (ALLOWED / "policy.py").read_text()
+    assert "np.float32" in policy and "np.float64" in policy

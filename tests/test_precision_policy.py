@@ -1,0 +1,207 @@
+"""Float32/float64 parity: the float32 inference path must reach the same
+novelty verdicts as the float64 reference, end to end.
+
+The policy contract is "train in float64, score in either": these tests
+cast *fitted* models (never retrain) and compare the two paths on the same
+frames — identical verdicts, near-identical scores, and a bundle that
+remembers which precision it was saved under.
+"""
+
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticUdacity
+from repro.metrics.ssim import ssim
+from repro.nn.backend import FLOAT32, FLOAT64
+from repro.serving import load_bundle, read_manifest, save_bundle
+from repro.serving.engine import PipelineScorer
+
+
+@pytest.fixture(scope="module")
+def float32_pipeline(fitted_pipeline):
+    """The shared fitted pipeline, deep-copied and cast to float32.
+
+    A copy so the session-scoped float64 fixture stays pristine for every
+    other test file.
+    """
+    pipeline = copy.deepcopy(fitted_pipeline)
+    assert pipeline.set_inference_dtype("float32") is pipeline
+    return pipeline
+
+
+class TestVerdictParity:
+    def test_pipeline_dtype_reports_policy(self, fitted_pipeline, float32_pipeline):
+        assert fitted_pipeline.dtype == FLOAT64
+        assert float32_pipeline.dtype == FLOAT32
+
+    def test_scores_are_float32(self, float32_pipeline, dsu_test):
+        scores = float32_pipeline.score_batch(dsu_test.frames[:8])
+        assert scores.dtype == FLOAT32
+
+    def test_identical_verdicts_on_nominal_frames(
+        self, fitted_pipeline, float32_pipeline, dsu_test
+    ):
+        frames = dsu_test.frames
+        np.testing.assert_array_equal(
+            fitted_pipeline.predict_novel(frames),
+            float32_pipeline.predict_novel(frames),
+        )
+
+    def test_identical_verdicts_on_novel_frames(
+        self, fitted_pipeline, float32_pipeline, dsi_novel
+    ):
+        frames = dsi_novel.frames
+        np.testing.assert_array_equal(
+            fitted_pipeline.predict_novel(frames),
+            float32_pipeline.predict_novel(frames),
+        )
+
+    def test_scores_match_within_tolerance(
+        self, fitted_pipeline, float32_pipeline, dsu_test, dsi_novel
+    ):
+        for frames in (dsu_test.frames[:16], dsi_novel.frames[:16]):
+            ref = fitted_pipeline.score_batch(frames)
+            fast = float32_pipeline.score_batch(frames)
+            assert np.max(np.abs(ref - fast)) <= 1e-3
+
+    def test_round_trip_back_to_float64(self, fitted_pipeline, dsu_test):
+        """float64 → float32 truncates the weights, so coming back is
+        *close*, not bit-identical — but the path must land in float64."""
+        frames = dsu_test.frames[:8]
+        reference = fitted_pipeline.score_batch(frames)
+        round_tripped = copy.deepcopy(fitted_pipeline)
+        round_tripped.set_inference_dtype("float32")
+        round_tripped.set_inference_dtype("float64")
+        scores = round_tripped.score_batch(frames)
+        assert round_tripped.dtype == FLOAT64
+        assert scores.dtype == FLOAT64
+        assert np.max(np.abs(scores - reference)) <= 1e-3
+
+
+class TestSSIMParity:
+    """|ΔSSIM| ≤ 1e-3 between precisions at the paper's 60x160 geometry."""
+
+    @pytest.fixture(scope="class")
+    def paper_scale_frames(self):
+        return SyntheticUdacity((60, 160)).render_batch(6, rng=3).frames
+
+    def test_ssim_parity_on_paper_scale_frames(self, paper_scale_frames, rng):
+        x = paper_scale_frames
+        y = np.clip(x + rng.normal(scale=0.05, size=x.shape), 0.0, 1.0)
+        ref = ssim(x, y, window_size=11)
+        fast = ssim(x.astype(FLOAT32), y.astype(FLOAT32), window_size=11)
+        assert fast.dtype == FLOAT32
+        assert np.max(np.abs(ref - fast.astype(FLOAT64))) <= 1e-3
+
+    def test_ssim_self_similarity_both_precisions(self, paper_scale_frames):
+        x = paper_scale_frames
+        assert np.allclose(ssim(x, x, window_size=11), 1.0)
+        assert np.allclose(ssim(x.astype(FLOAT32), x.astype(FLOAT32), window_size=11), 1.0)
+
+
+class TestBundleDtypeRoundtrip:
+    def test_manifest_records_float64_by_default(self, bundle_dir):
+        assert read_manifest(bundle_dir)["dtype"] == "float64"
+        assert load_bundle(bundle_dir).dtype == FLOAT64
+
+    def test_float32_bundle_roundtrip(self, float32_pipeline, dsu_test, tmp_path):
+        bundle = save_bundle(float32_pipeline, tmp_path / "f32")
+        assert read_manifest(bundle)["dtype"] == "float32"
+        loaded = load_bundle(bundle)
+        assert loaded.dtype == FLOAT32
+        assert loaded.pipeline.dtype == FLOAT32
+        frames = dsu_test.frames[:8]
+        np.testing.assert_array_equal(
+            loaded.pipeline.score_batch(frames),
+            float32_pipeline.score_batch(frames),
+        )
+
+    def test_float32_bundle_loads_in_fresh_process(
+        self, float32_pipeline, dsu_test, tmp_path
+    ):
+        """A brand-new interpreter must come back up in float32 and score
+        bit-identically to the saving process."""
+        bundle = save_bundle(float32_pipeline, tmp_path / "f32")
+        frames_path = tmp_path / "frames.npy"
+        out_path = tmp_path / "out.npz"
+        frames = dsu_test.frames[:4]
+        np.save(frames_path, frames)
+        script = (
+            "import numpy as np\n"
+            "from repro.serving import load_bundle\n"
+            f"bundle = load_bundle({str(bundle)!r})\n"
+            f"frames = np.load({str(frames_path)!r})\n"
+            "scores = bundle.pipeline.score_batch(frames)\n"
+            f"np.savez({str(out_path)!r}, scores=scores, "
+            "dtype=np.array(bundle.pipeline.dtype.name))\n"
+        )
+        src = Path(__file__).resolve().parents[1] / "src"
+        subprocess.run(
+            [sys.executable, "-c", script],
+            check=True,
+            env={"PYTHONPATH": str(src)},
+            timeout=120,
+        )
+        out = np.load(out_path)
+        assert str(out["dtype"]) == "float32"
+        np.testing.assert_array_equal(
+            out["scores"], float32_pipeline.score_batch(frames)
+        )
+
+    def test_unsupported_manifest_dtype_rejected(self, float32_pipeline, tmp_path):
+        from repro.exceptions import ArtifactError
+        from repro.serving.artifacts import MANIFEST_FILE, config_hash
+
+        bundle = save_bundle(float32_pipeline, tmp_path / "f32")
+        manifest = json.loads((bundle / MANIFEST_FILE).read_text())
+        manifest["dtype"] = "float16"
+        manifest["config_hash"] = config_hash(manifest)
+        (bundle / MANIFEST_FILE).write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="float16"):
+            read_manifest(bundle)
+
+
+class TestServingDtype:
+    def test_scorer_exposes_pipeline_dtype(self, fitted_pipeline, float32_pipeline):
+        assert PipelineScorer(fitted_pipeline).dtype == FLOAT64
+        assert PipelineScorer(float32_pipeline).dtype == FLOAT32
+
+    def test_engine_verdicts_match_across_policies(
+        self, fitted_pipeline, float32_pipeline, dsu_test, dsi_novel
+    ):
+        from repro.serving import EngineConfig, ServingEngine
+
+        frames = np.concatenate([dsu_test.frames[:4], dsi_novel.frames[:4]])
+        config = EngineConfig(max_batch_size=4, queue_capacity=32)
+        with ServingEngine(PipelineScorer(fitted_pipeline), config) as ref_engine:
+            ref = [o.is_novel for o in ref_engine.infer_many(frames)]
+        with ServingEngine(PipelineScorer(float32_pipeline), config) as fast_engine:
+            fast = [o.is_novel for o in fast_engine.infer_many(frames)]
+        assert ref == fast
+
+    def test_worker_pool_dtype_override(self, float32_pipeline, dsu_test, tmp_path):
+        from repro.serving import WorkerPool
+
+        bundle = save_bundle(float32_pipeline, tmp_path / "f32")
+        with WorkerPool(bundle, workers=1, dtype="float64") as pool:
+            assert pool.dtype == FLOAT64
+            verdicts = pool.score_batch(dsu_test.frames[:4])
+        expected = copy.deepcopy(float32_pipeline)
+        expected.set_inference_dtype("float64")
+        np.testing.assert_array_equal(
+            verdicts.scores, expected.score_batch(dsu_test.frames[:4])
+        )
+
+    def test_worker_pool_defaults_to_manifest_dtype(self, float32_pipeline, tmp_path):
+        from repro.serving import WorkerPool
+
+        bundle = save_bundle(float32_pipeline, tmp_path / "f32")
+        with WorkerPool(bundle, workers=1) as pool:
+            assert pool.dtype == FLOAT32
+            assert pool.ping() == [True]
