@@ -145,6 +145,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", type=Path, default=None, metavar="PATH",
         help="record a JSONL telemetry trace of the load run",
     )
+    bench.add_argument(
+        "--chaos", action="store_true",
+        help=(
+            "inject seeded faults (latency spikes, exceptions, NaN scores, "
+            "worker kills) and enable the circuit breaker + retries + "
+            "fail-safe degraded verdicts (see docs/reliability.md)"
+        ),
+    )
 
     return parser
 
@@ -358,11 +366,37 @@ def _build_engine(args: argparse.Namespace, default_capacity: int = 64):
             pipeline.set_inference_dtype(args.dtype)
         image_shape = pipeline.image_shape
         scorer = PipelineScorer(pipeline)
+    reliability = {}
+    if getattr(args, "chaos", False):
+        from repro.reliability import (
+            BreakerConfig,
+            FaultInjector,
+            FaultSchedule,
+            RetryPolicy,
+        )
+
+        rates = {"latency": 0.05, "exception": 0.05, "nan_scores": 0.05}
+        if args.workers > 0:
+            rates["kill_worker"] = 0.02
+        schedule = FaultSchedule.random(
+            length=max(64, args.frames), rates=rates, seed=args.seed
+        )
+        scorer = FaultInjector(scorer, schedule, latency_ms=25.0)
+        print(f"chaos: scheduled faults {schedule.counts()} (seed {args.seed})")
+        reliability = {
+            "retry": RetryPolicy(max_attempts=3, base_delay_s=0.005, seed=args.seed),
+            "breaker": BreakerConfig(
+                window=16, min_calls=4, failure_threshold=0.5,
+                reset_timeout_s=0.5, half_open_probes=2,
+            ),
+            "fail_safe": "novel",
+        }
     config = EngineConfig(
         max_batch_size=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         queue_capacity=args.queue_capacity or default_capacity,
         default_deadline_ms=args.deadline_ms,
+        **reliability,
     )
     return ServingEngine(scorer, config), image_shape
 
@@ -496,6 +530,16 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
                 )
             print(report.render())
             _print_engine_latency(engine)
+            if getattr(args, "chaos", False):
+                stats = engine.stats()
+                print(
+                    f"chaos: injected faults {engine.scorer.injected()} over "
+                    f"{engine.scorer.calls} scorer calls"
+                )
+                print(
+                    f"chaos: degraded={stats['degraded']} retries={stats['retries']} "
+                    f"breaker={stats.get('breaker', {}).get('state', 'off')}"
+                )
         finally:
             engine.close()
     if args.telemetry is not None:

@@ -58,5 +58,27 @@ class WorkerCrashError(ServingError):
     """
 
 
+class ReliabilityError(ReproError):
+    """A fault-tolerance component was misused or tripped at runtime."""
+
+
+class CircuitOpenError(ReliabilityError):
+    """A call was refused because the circuit breaker is open.
+
+    The serving engine normally converts this into a typed ``Degraded``
+    outcome; it escapes only when a caller drives a
+    :class:`~repro.reliability.CircuitBreaker` directly.
+    """
+
+
+class InjectedFaultError(ReliabilityError):
+    """A deliberate failure raised by the chaos fault injector.
+
+    Never raised in production paths — only by
+    :class:`~repro.reliability.FaultInjector` under an ``"exception"``
+    fault, so tests can distinguish injected failures from real ones.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment harness was misused (unknown id, missing artifact...)."""

@@ -117,12 +117,16 @@ def save_model(model: Sequential, path: Union[str, Path]) -> None:
 
     Only state (not architecture) is saved; loading requires constructing an
     identically-shaped model first, which keeps checkpoints forward
-    compatible with code changes that don't alter shapes.
+    compatible with code changes that don't alter shapes.  The write is
+    atomic (temp file + fsync + rename), so a crash mid-save leaves any
+    previous checkpoint at ``path`` intact.
     """
-    path = Path(path)
+    from repro.utils.fileio import atomic_write, npz_path
+
+    path = npz_path(path)
     try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez(path, **model.state_dict())
+        with atomic_write(path) as handle:
+            np.savez(handle, **model.state_dict())
     except OSError as exc:
         raise SerializationError(f"failed to save model to {path}: {exc}") from exc
 

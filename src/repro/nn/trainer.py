@@ -131,23 +131,27 @@ class Trainer:
     def save_checkpoint(self, path) -> None:
         """Write model + optimizer state to one ``.npz`` checkpoint.
 
+        The write is crash-safe: bytes go to a same-directory temp file
+        (flushed and fsync-ed) that atomically replaces ``path``, so a
+        crash mid-write — even mid-epoch on a checkpoint callback — leaves
+        the previous checkpoint intact and readable.
+
         Restoring with :meth:`load_checkpoint` into an identically built
         trainer resumes training exactly (modulo data-loader position).
         """
-        from pathlib import Path
-
         import numpy as np
 
         from repro.exceptions import SerializationError
+        from repro.utils.fileio import atomic_write, npz_path
 
-        path = Path(path)
+        path = npz_path(path)
         state = {f"model/{k}": v for k, v in self.model.state_dict().items()}
         state.update(
             {f"optim/{k}": v for k, v in self.optimizer.state_dict().items()}
         )
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            np.savez(path, **state)
+            with atomic_write(path) as handle:
+                np.savez(handle, **state)
         except OSError as exc:
             raise SerializationError(f"failed to save checkpoint to {path}: {exc}") from exc
 

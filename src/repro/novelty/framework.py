@@ -405,10 +405,14 @@ def save_pipeline_state(pipeline: "SaliencyNoveltyPipeline", path) -> None:
     state["meta/ssim_window"] = np.array(one_class.config.ssim_window)
     state["detector/train_scores"] = one_class.detector.training_cdf.samples
 
-    path = Path(path)
+    from repro.utils.fileio import atomic_write, npz_path
+
+    path = npz_path(path)
     try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez(path, **state)
+        # Atomic (temp + fsync + rename): a crash mid-save cannot truncate
+        # an existing pipeline state file.
+        with atomic_write(path) as handle:
+            np.savez(handle, **state)
     except OSError as exc:
         raise SerializationError(f"failed to save pipeline to {path}: {exc}") from exc
 

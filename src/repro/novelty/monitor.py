@@ -7,19 +7,33 @@ and raises an alarm when novelty persists — single novel frames are often
 transient (a glare spike, one corrupted frame) while a *run* of novel
 frames means the vehicle has genuinely left its training distribution and
 should hand control back to a human or a safety fallback.
+
+The monitor is itself a safety component, so it degrades instead of
+breaking: frames are sanitized before scoring
+(:class:`~repro.reliability.FrameSanitizer` — NaN/Inf pixels, wrong
+shape/dtype, stuck-camera detection) and scores are validated before the
+threshold comparison (a NaN score would otherwise read as "not novel",
+since NaN comparisons are ``False``).  An unscorable frame still gets a
+:class:`FrameVerdict`, with ``state`` naming the fault and ``is_novel``
+substituted by the ``fail_safe`` policy, so the persistence alarm stays
+sound under sensor faults.  See ``docs/reliability.md``.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.nn.backend.policy import as_tensor
+from repro.reliability.sanitize import FrameSanitizer
 from repro.telemetry import get_telemetry
+
+#: Fail-safe policies for unscorable frames.
+FAIL_SAFE_POLICIES = ("novel", "hold")
 
 
 @dataclass(frozen=True)
@@ -31,19 +45,32 @@ class FrameVerdict:
     index:
         Position of the frame in the stream.
     score:
-        Loss-oriented novelty score (higher = more novel).
+        Loss-oriented novelty score (higher = more novel); NaN when the
+        frame could not be scored.
     is_novel:
-        The detector's single-frame decision.
+        The detector's single-frame decision — or, for a degraded frame,
+        the fail-safe policy's substituted verdict.
     alarm:
         Whether the persistence alarm was active after this frame —
         i.e. at least ``min_consecutive`` of the last ``window`` frames
         were novel.
+    state:
+        ``"ok"`` for a cleanly scored frame, otherwise the degraded
+        state (one of :data:`repro.reliability.DEGRADED_STATES`:
+        ``bad_dtype`` / ``bad_shape`` / ``non_finite_frame`` /
+        ``stuck_camera`` / ``non_finite_score``).
     """
 
     index: int
     score: float
     is_novel: bool
     alarm: bool
+    state: str = "ok"
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this verdict came from the degraded path."""
+        return self.state != "ok"
 
 
 class StreamMonitor:
@@ -62,24 +89,60 @@ class StreamMonitor:
         Number of novel frames inside the window needed to raise the alarm.
         With ``window == min_consecutive`` the alarm requires strictly
         consecutive novel frames.
+    fail_safe:
+        Verdict substituted for an unscorable frame: ``"novel"`` (treat it
+        as novel — conservative, the default: a sensor fault is itself a
+        reason to distrust the perception stack) or ``"hold"`` (repeat the
+        last cleanly scored verdict — optimistic, avoids alarming on brief
+        sensor glitches; holds "not novel" until a first clean frame).
+    stuck_threshold:
+        Consecutive byte-identical frames at which the feed is declared
+        stuck (``None`` disables stuck-camera detection).
+    sanitizer:
+        A pre-built :class:`~repro.reliability.FrameSanitizer` to use
+        instead of the default one (which checks against the detector's
+        ``image_shape`` when it exposes one).
     """
 
-    def __init__(self, detector, window: int = 5, min_consecutive: int = 3) -> None:
+    def __init__(
+        self,
+        detector,
+        window: int = 5,
+        min_consecutive: int = 3,
+        fail_safe: str = "novel",
+        stuck_threshold: Optional[int] = None,
+        sanitizer: Optional[FrameSanitizer] = None,
+    ) -> None:
         if window < 1:
             raise ConfigurationError(f"window must be >= 1, got {window}")
         if not 1 <= min_consecutive <= window:
             raise ConfigurationError(
                 f"min_consecutive must be in [1, window={window}], got {min_consecutive}"
             )
+        if fail_safe not in FAIL_SAFE_POLICIES:
+            raise ConfigurationError(
+                f"fail_safe must be one of {', '.join(FAIL_SAFE_POLICIES)}, "
+                f"got {fail_safe!r}"
+            )
         if not getattr(detector, "is_fitted", False):
             raise NotFittedError("StreamMonitor requires a fitted detector")
         self.detector = detector
         self.window = int(window)
         self.min_consecutive = int(min_consecutive)
+        self.fail_safe = fail_safe
+        if sanitizer is None:
+            expected = getattr(detector, "image_shape", None)
+            sanitizer = FrameSanitizer(
+                image_shape=expected, stuck_threshold=stuck_threshold
+            )
+        self.sanitizer = sanitizer
         self._recent: Deque[bool] = deque(maxlen=self.window)
         self._index = 0
         self._alarm_frames: List[int] = []
         self._transitions: List[Tuple[int, Optional[int]]] = []
+        self._degraded_frames: List[int] = []
+        self._degraded_counts: Dict[str, int] = {}
+        self._last_good_novel = False
 
     @property
     def alarm_active(self) -> bool:
@@ -96,6 +159,15 @@ class StreamMonitor:
         """Number of frames processed so far."""
         return self._index
 
+    @property
+    def degraded_frames(self) -> List[int]:
+        """Stream indices that took the degraded (unscorable) path."""
+        return list(self._degraded_frames)
+
+    def degraded_counts(self) -> Dict[str, int]:
+        """Degraded-frame tallies by state (empty when the stream is clean)."""
+        return dict(self._degraded_counts)
+
     def alarm_transitions(self) -> List[Tuple[int, Optional[int]]]:
         """``(raised_at, cleared_at)`` index pairs for each alarm episode.
 
@@ -108,15 +180,49 @@ class StreamMonitor:
         return list(self._transitions)
 
     def reset(self) -> None:
-        """Clear the sliding window and alarm history (new drive)."""
+        """Clear the sliding window, alarm and fault history (new drive)."""
         self._recent.clear()
         self._index = 0
         self._alarm_frames = []
         self._transitions = []
+        self._degraded_frames = []
+        self._degraded_counts = {}
+        self._last_good_novel = False
+        self.sanitizer.reset()
 
     def observe(self, frame: np.ndarray) -> FrameVerdict:
-        """Score one frame and update the alarm state."""
-        return self.observe_batch(frame[None])[0]
+        """Score one frame and update the alarm state.
+
+        Malformed frames and non-finite scores do not raise — they produce
+        a degraded :class:`FrameVerdict` under the fail-safe policy.
+        """
+        return self.observe_batch(np.asarray(frame)[None])[0]
+
+    def _score_valid(
+        self, stack: np.ndarray, base_index: int, positions: List[int], telem
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scores and margins for the sanitized sub-stack.
+
+        When telemetry is enabled, frames are scored one at a time so each
+        gets its own ``monitor.frame`` span — the per-frame latency a
+        deployment would see — at the cost of the batch vectorization.
+        """
+        if telem.enabled and len(positions) > 1:
+            scores = np.empty(len(positions))
+            for k, position in enumerate(positions):
+                with telem.span("monitor.frame", index=base_index + position):
+                    scores[k] = self.detector.score(stack[k : k + 1])[0]
+        elif telem.enabled:
+            with telem.span("monitor.frame", index=base_index + positions[0]):
+                scores = np.asarray(self.detector.score(stack), dtype=float)
+        else:
+            # The vectorized fast path: one VBP + autoencoder pass for the
+            # whole stack (falls back to score() for detectors that predate
+            # the batch entry point).
+            score_stack = getattr(self.detector, "score_batch", self.detector.score)
+            scores = np.asarray(score_stack(stack), dtype=float)
+        margins = self.detector.one_class.detector.novelty_margin(scores)
+        return scores, np.asarray(margins, dtype=float)
 
     def observe_batch(self, frames: np.ndarray) -> List[FrameVerdict]:
         """Score a batch of stream frames in order.
@@ -128,37 +234,61 @@ class StreamMonitor:
         filling (the alarm can already raise there once
         ``min_consecutive`` novel frames have accumulated).
 
-        When telemetry is enabled, frames are scored one at a time instead
-        so each gets its own ``monitor.frame`` span — the per-frame latency
-        a deployment would see — at the cost of the batch vectorization.
+        Each frame is sanitized first; frames the detector cannot score
+        (and frames whose score comes back non-finite) take the degraded
+        path instead of raising — their ``is_novel`` is the fail-safe
+        policy's verdict and their ``state`` names the fault.
         """
-        frames = as_tensor(frames, getattr(self.detector, "dtype", None))
-        if frames.shape[0] == 0:
+        arr = np.asarray(frames)
+        if arr.ndim >= 1 and arr.shape[0] == 0:
             return []
+        n = arr.shape[0] if arr.ndim >= 1 else 1
+        if arr.ndim < 1:
+            arr = arr.reshape(1)
         telem = get_telemetry()
-        if telem.enabled and frames.shape[0] > 1:
-            verdicts = []
-            for frame in frames:
-                verdicts.extend(self.observe_batch(frame[None]))
-            return verdicts
 
-        if telem.enabled:
-            with telem.span("monitor.frame", index=self._index):
-                scores = self.detector.score(frames)
-                decisions = self.detector.one_class.detector.predict(scores)
-            margins = self.detector.one_class.detector.novelty_margin(scores)
-        else:
-            # The vectorized fast path: one VBP + autoencoder pass for the
-            # whole stack (falls back to score() for detectors that predate
-            # the batch entry point).
-            score_stack = getattr(self.detector, "score_batch", self.detector.score)
-            scores = score_stack(frames)
-            decisions = self.detector.one_class.detector.predict(scores)
-            margins = None
+        # Sanitize in stream order (the stuck-camera check is stateful).
+        states: List[Optional[str]] = [self.sanitizer.check(arr[i]) for i in range(n)]
+        positions = [i for i in range(n) if states[i] is None]
+
+        scores_full = np.full(n, np.nan)
+        margins_full = np.full(n, np.nan)
+        decisions_full = np.zeros(n, dtype=bool)
+        if positions:
+            stack = as_tensor(
+                np.stack([arr[i] for i in positions]),
+                getattr(self.detector, "dtype", None),
+            )
+            scores, margins = self._score_valid(stack, self._index, positions, telem)
+            threshold_rule = self.detector.one_class.detector
+            finite = np.isfinite(scores)
+            if np.any(finite):
+                decisions = np.zeros(len(positions), dtype=bool)
+                decisions[finite] = threshold_rule.predict(scores[finite])
+            else:
+                decisions = np.zeros(len(positions), dtype=bool)
+            for k, position in enumerate(positions):
+                if not finite[k]:
+                    # A NaN score would compare False against any threshold
+                    # and silently read as "not novel" — route it to the
+                    # degraded path instead.
+                    states[position] = "non_finite_score"
+                scores_full[position] = scores[k]
+                margins_full[position] = margins[k]
+                decisions_full[position] = decisions[k]
+
         verdicts = []
-        for position, (score, is_novel) in enumerate(zip(scores, decisions)):
+        for i in range(n):
+            state = states[i] or "ok"
+            if state == "ok":
+                is_novel = bool(decisions_full[i])
+                self._last_good_novel = is_novel
+            elif self.fail_safe == "novel":
+                is_novel = True
+            else:  # "hold": repeat the last cleanly scored verdict
+                is_novel = self._last_good_novel
             was_active = self.alarm_active
-            self._recent.append(bool(is_novel))
+            self._recent.append(is_novel)
             alarm = self.alarm_active
             if alarm:
                 self._alarm_frames.append(self._index)
@@ -167,10 +297,20 @@ class StreamMonitor:
             elif was_active and not alarm:
                 raised_at, _ = self._transitions[-1]
                 self._transitions[-1] = (raised_at, self._index)
+            if state != "ok":
+                self._degraded_frames.append(self._index)
+                self._degraded_counts[state] = self._degraded_counts.get(state, 0) + 1
             if telem.enabled:
                 telem.counter("monitor.frames").inc()
-                telem.histogram("monitor.score").observe(float(score))
-                telem.gauge("monitor.threshold_margin").set(float(margins[position]))
+                if state == "ok":
+                    telem.histogram("monitor.score").observe(float(scores_full[i]))
+                    telem.gauge("monitor.threshold_margin").set(float(margins_full[i]))
+                else:
+                    telem.counter("monitor.degraded_frames").inc()
+                    telem.event(
+                        "monitor.degraded", frame=self._index, state=state,
+                        fail_safe=self.fail_safe,
+                    )
                 if is_novel:
                     telem.counter("monitor.novel_frames").inc()
                 if alarm and not was_active:
@@ -182,9 +322,10 @@ class StreamMonitor:
             verdicts.append(
                 FrameVerdict(
                     index=self._index,
-                    score=float(score),
-                    is_novel=bool(is_novel),
+                    score=float(scores_full[i]),
+                    is_novel=is_novel,
                     alarm=alarm,
+                    state=state,
                 )
             )
             self._index += 1

@@ -1,0 +1,59 @@
+"""Fault tolerance for the serving path and the online monitor.
+
+The paper's detector is pitched as a *runtime safety monitor* for a
+vehicle control loop — a component whose whole value is delivering a
+verdict precisely when something else has gone wrong.  This package is
+the machinery that keeps it answering under failure:
+
+* **Retries** (:mod:`repro.reliability.retry`) —
+  :class:`RetryPolicy` / :func:`call_with_retry`, exponential backoff with
+  seeded jitter, wired into the serving engine's dispatch and the worker
+  pool's restart path.
+* **Circuit breaking** (:mod:`repro.reliability.breaker`) —
+  :class:`CircuitBreaker` with the classic closed/open/half-open machine
+  over a failure-rate window, so a dead backend degrades requests fast
+  instead of timing each one out.
+* **Fault injection** (:mod:`repro.reliability.faults`) —
+  :class:`FaultInjector` + :class:`FaultSchedule`, deterministic seeded
+  chaos (latency spikes, exceptions, NaN scores, corrupted frames, worker
+  kills) for the chaos test suite and ``repro bench-serve --chaos``.
+* **Frame sanitization** (:mod:`repro.reliability.sanitize`) —
+  :class:`FrameSanitizer`, the degraded-mode front end of
+  :class:`~repro.novelty.StreamMonitor` (NaN/Inf frames, wrong
+  shape/dtype, stuck-camera detection).
+
+Fault model, state machines, and policies: ``docs/reliability.md``.
+"""
+
+from repro.reliability.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    STATE_CODES,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.reliability.faults import FAULT_KINDS, FaultInjector, FaultSchedule
+from repro.reliability.retry import RetryPolicy, call_with_retry
+from repro.reliability.sanitize import (
+    DEGRADED_STATES,
+    FrameSanitizer,
+    finite_scores_mask,
+)
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "STATE_CODES",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSchedule",
+    "RetryPolicy",
+    "call_with_retry",
+    "DEGRADED_STATES",
+    "FrameSanitizer",
+    "finite_scores_mask",
+]

@@ -1,0 +1,210 @@
+"""Circuit breaker: stop hammering a failing backend, probe for recovery.
+
+The classic three-state machine:
+
+* **closed** — calls flow; outcomes are recorded into a sliding window.
+  When the window holds at least ``min_calls`` outcomes and the failure
+  fraction reaches ``failure_threshold``, the breaker opens.
+* **open** — calls are refused immediately (:meth:`CircuitBreaker.allow`
+  returns ``False``; the serving engine turns that into a typed
+  ``Degraded`` outcome instead of queueing work a dead backend will never
+  score).  After ``reset_timeout_s`` the breaker moves to half-open.
+* **half-open** — up to ``half_open_probes`` trial calls are admitted.
+  If every probe succeeds the breaker closes (window cleared); any probe
+  failure re-opens it and restarts the timeout.
+
+All transitions happen inside :meth:`allow` / :meth:`record_success` /
+:meth:`record_failure` under one lock, so the breaker can be shared by
+every dispatch thread of an engine.  The clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict
+
+from repro.exceptions import CircuitOpenError, ConfigurationError
+
+#: State names (also the values of :attr:`CircuitBreaker.state`).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding for the ``serving.breaker_state`` gauge.
+STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/recovery policy for one :class:`CircuitBreaker`.
+
+    Attributes
+    ----------
+    window:
+        Number of most-recent call outcomes the failure rate is computed
+        over.
+    failure_threshold:
+        Failure fraction in the window at which the breaker opens.
+    min_calls:
+        Minimum outcomes in the window before the breaker may trip —
+        avoids opening on the very first failure of a cold window.
+    reset_timeout_s:
+        Seconds an open breaker waits before letting probes through.
+    half_open_probes:
+        Trial calls admitted in half-open; all must succeed to close.
+    """
+
+    window: int = 20
+    failure_threshold: float = 0.5
+    min_calls: int = 5
+    reset_timeout_s: float = 30.0
+    half_open_probes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {self.window}")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ConfigurationError(
+                f"failure_threshold must be in (0, 1], got {self.failure_threshold}"
+            )
+        if not 1 <= self.min_calls <= self.window:
+            raise ConfigurationError(
+                f"min_calls must be in [1, window={self.window}], got {self.min_calls}"
+            )
+        if self.reset_timeout_s <= 0:
+            raise ConfigurationError(
+                f"reset_timeout_s must be positive, got {self.reset_timeout_s}"
+            )
+        if self.half_open_probes < 1:
+            raise ConfigurationError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+
+
+class CircuitBreaker:
+    """Thread-safe closed/open/half-open breaker over a failure-rate window."""
+
+    def __init__(
+        self,
+        config: BreakerConfig = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._outcomes: Deque[bool] = deque(maxlen=self.config.window)
+        self._opened_at = 0.0
+        self._probes_allowed = 0
+        self._probe_successes = 0
+        self._transitions = 0
+
+    # -- state ------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state name (``closed`` / ``open`` / ``half_open``).
+
+        Reading the state advances an expired open timeout to half-open,
+        so pollers see the same machine callers do.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def state_code(self) -> int:
+        """Numeric state for the ``serving.breaker_state`` gauge."""
+        return STATE_CODES[self.state]
+
+    @property
+    def transitions(self) -> int:
+        """Total state transitions since construction."""
+        with self._lock:
+            return self._transitions
+
+    def _set_state(self, state: str) -> None:
+        if state != self._state:
+            self._state = state
+            self._transitions += 1
+
+    def _maybe_half_open(self) -> None:
+        """Open → half-open once the reset timeout lapses.  Lock held."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.config.reset_timeout_s
+        ):
+            self._set_state(HALF_OPEN)
+            self._probes_allowed = 0
+            self._probe_successes = 0
+
+    def _trip(self) -> None:
+        """Enter the open state.  Lock held."""
+        self._set_state(OPEN)
+        self._opened_at = self._clock()
+        self._outcomes.clear()
+
+    # -- call protocol ----------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        Closed always allows; open refuses (flipping to half-open once the
+        timeout lapses); half-open admits at most ``half_open_probes``
+        calls whose outcomes decide the next state.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                return False
+            if self._probes_allowed >= self.config.half_open_probes:
+                return False
+            self._probes_allowed += 1
+            return True
+
+    def check(self) -> None:
+        """Like :meth:`allow` but raises :class:`CircuitOpenError` on refusal."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit breaker is {self.state} — backend calls are refused"
+            )
+
+    def record_success(self) -> None:
+        """Record a successful call (closes a fully-probed half-open breaker)."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.config.half_open_probes:
+                    self._set_state(CLOSED)
+                    self._outcomes.clear()
+                return
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        """Record a failed call (may trip the breaker; re-opens half-open)."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._trip()
+                return
+            if self._state == OPEN:
+                return
+            self._outcomes.append(False)
+            if len(self._outcomes) >= self.config.min_calls:
+                failures = self._outcomes.count(False)
+                if failures / len(self._outcomes) >= self.config.failure_threshold:
+                    self._trip()
+
+    # -- introspection ----------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """State, window occupancy, and failure rate (no side effects)."""
+        with self._lock:
+            window = len(self._outcomes)
+            failures = self._outcomes.count(False)
+            return {
+                "state": self._state,
+                "transitions": self._transitions,
+                "window": window,
+                "failure_rate": failures / window if window else 0.0,
+            }

@@ -1,0 +1,118 @@
+"""Frame sanitization for the online monitor's degraded mode.
+
+A safety monitor that crashes (or silently mis-scores) on a malformed
+frame fails exactly when it is needed most — a dying camera is itself a
+novelty event.  :class:`FrameSanitizer` classifies each incoming frame
+*before* it reaches the detector:
+
+* ``"bad_dtype"`` — not a numeric array (scoring would be meaningless);
+* ``"bad_shape"`` — wrong dimensionality, or a mismatch against the
+  detector's expected ``(H, W)``;
+* ``"non_finite_frame"`` — NaN/Inf pixels (sensor dropout, DMA
+  corruption);
+* ``"stuck_camera"`` — ``stuck_threshold`` *consecutive byte-identical*
+  frames (a frozen feed; real sensors always carry noise, so exact
+  repetition at that length is a fault, not a still scene).
+
+``None`` means the frame is scorable.  Stuck detection hashes frame bytes
+(BLAKE2, cheap at monitor frame sizes) and counts consecutive repeats, so
+it needs :meth:`reset` between independent streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Degraded-state labels a sanitizer (or score validation) can produce.
+DEGRADED_STATES = (
+    "bad_dtype",
+    "bad_shape",
+    "non_finite_frame",
+    "stuck_camera",
+    "non_finite_score",
+)
+
+
+def finite_scores_mask(scores: np.ndarray) -> np.ndarray:
+    """Boolean mask of scores that are safe to compare to a threshold.
+
+    NaN compares ``False`` against any threshold, so an unvalidated NaN
+    score silently reads as "not novel" — the exact failure mode this
+    module exists to catch.
+    """
+    return np.isfinite(np.asarray(scores, dtype=float))
+
+
+class FrameSanitizer:
+    """Stateful per-stream frame validator (see module docstring).
+
+    Parameters
+    ----------
+    image_shape:
+        Expected ``(H, W)``; ``None`` skips the exact-shape check (frames
+        must still be 2-D).
+    stuck_threshold:
+        Consecutive identical frames at which the feed is declared stuck.
+        ``None`` disables stuck-camera detection.
+    """
+
+    def __init__(
+        self,
+        image_shape: Optional[Tuple[int, int]] = None,
+        stuck_threshold: Optional[int] = None,
+    ) -> None:
+        if stuck_threshold is not None and stuck_threshold < 2:
+            raise ConfigurationError(
+                f"stuck_threshold must be >= 2 (or None), got {stuck_threshold}"
+            )
+        self.image_shape = None if image_shape is None else tuple(image_shape)
+        self.stuck_threshold = stuck_threshold
+        self._last_digest: Optional[bytes] = None
+        self._repeats = 0
+
+    def reset(self) -> None:
+        """Forget stuck-camera history (new stream / new drive)."""
+        self._last_digest = None
+        self._repeats = 0
+
+    @property
+    def consecutive_identical(self) -> int:
+        """Length of the current run of byte-identical frames."""
+        return self._repeats
+
+    def check(self, frame: np.ndarray) -> Optional[str]:
+        """Classify one frame; ``None`` when scorable, else a degraded state.
+
+        Frames must arrive in stream order — stuck-camera detection is a
+        running count over consecutive calls.
+        """
+        frame = np.asarray(frame)
+        if frame.dtype == object or not np.issubdtype(frame.dtype, np.number):
+            return "bad_dtype"
+        if frame.ndim != 2 or (
+            self.image_shape is not None and frame.shape != self.image_shape
+        ):
+            return "bad_shape"
+        if not np.all(np.isfinite(frame)):
+            # A non-finite frame also breaks the identical-run (its bytes
+            # are not a camera still).
+            self._last_digest = None
+            self._repeats = 0
+            return "non_finite_frame"
+        if self.stuck_threshold is not None:
+            digest = hashlib.blake2b(
+                np.ascontiguousarray(frame).tobytes(), digest_size=16
+            ).digest()
+            if digest == self._last_digest:
+                self._repeats += 1
+            else:
+                self._last_digest = digest
+                self._repeats = 1
+            if self._repeats >= self.stuck_threshold:
+                return "stuck_camera"
+        return None

@@ -38,6 +38,7 @@ from repro.serving.pool import WorkerPool
 from repro.serving.results import (
     BatchVerdicts,
     DeadlineExceeded,
+    Degraded,
     Failed,
     Overloaded,
     PendingResult,
@@ -64,6 +65,7 @@ __all__ = [
     "WorkerPool",
     "BatchVerdicts",
     "DeadlineExceeded",
+    "Degraded",
     "Failed",
     "Overloaded",
     "PendingResult",

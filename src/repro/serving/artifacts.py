@@ -41,6 +41,7 @@ from repro.novelty.framework import (
     load_pipeline_state,
     save_pipeline_state,
 )
+from repro.utils.fileio import atomic_write_text
 
 #: Manifest discriminator and the schema revision this build reads/writes.
 BUNDLE_SCHEMA = "repro.serving.bundle"
@@ -151,9 +152,15 @@ def save_bundle(
     }
     manifest["config_hash"] = config_hash(manifest)
 
+    # Each payload write is atomic (temp + fsync + rename), and the
+    # manifest — the file that makes the directory *be* a bundle — lands
+    # last.  A crash mid-save therefore leaves either no bundle (fresh
+    # path: read_manifest fails fast on the missing manifest) or the
+    # previous, still-consistent bundle (overwrite: old files only ever
+    # replaced whole).
     save_model(model, path / MODEL_FILE)
     save_pipeline_state(pipeline, path / PIPELINE_FILE)
-    (path / MANIFEST_FILE).write_text(json.dumps(manifest, indent=2) + "\n")
+    atomic_write_text(path / MANIFEST_FILE, json.dumps(manifest, indent=2) + "\n")
     return path
 
 

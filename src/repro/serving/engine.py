@@ -15,10 +15,22 @@ admitted request whose deadline lapses while queued resolves to
 :class:`~repro.serving.results.DeadlineExceeded` without being scored.
 The engine never queues unboundedly and never blocks a producer.
 
-Telemetry (when a session is active): ``serving.queue_depth`` gauge,
-``serving.batch_size`` and ``serving.request_latency`` histograms,
-``serving.batch`` spans, and ``serving.requests`` / ``serving.rejected`` /
-``serving.deadline_exceeded`` / ``serving.errors`` counters.
+Fault tolerance is opt-in via :class:`EngineConfig`: a
+:class:`~repro.reliability.RetryPolicy` retries a raising backend with
+exponential backoff, a :class:`~repro.reliability.BreakerConfig` puts a
+circuit breaker in front of it (an open breaker resolves batches
+immediately instead of hammering a dead backend), and ``fail_safe``
+decides whether unscorable requests resolve to
+:class:`~repro.serving.results.Failed` or to a conservative
+:class:`~repro.serving.results.Degraded` verdict.  With reliability
+configured the engine also refuses to deliver non-finite scores as
+``Scored`` — NaN verdicts are a backend failure, not an answer.
+
+Telemetry (when a session is active): ``serving.queue_depth`` and
+``serving.breaker_state`` gauges, ``serving.batch_size`` and
+``serving.request_latency`` histograms, ``serving.batch`` spans, and
+``serving.requests`` / ``serving.rejected`` / ``serving.deadline_exceeded``
+/ ``serving.errors`` / ``serving.retries`` / ``serving.degraded`` counters.
 """
 
 from __future__ import annotations
@@ -26,17 +38,20 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+from repro.exceptions import ConfigurationError, NotFittedError, ServingError, ShapeError
 from repro.nn.backend.policy import as_tensor
 from repro.novelty.framework import SaliencyNoveltyPipeline
+from repro.reliability.breaker import BreakerConfig, CircuitBreaker
+from repro.reliability.retry import RetryPolicy, call_with_retry
 from repro.serving.batcher import MicroBatcher, QueuedRequest
 from repro.serving.results import (
     BatchVerdicts,
     DeadlineExceeded,
+    Degraded,
     Failed,
     Overloaded,
     PendingResult,
@@ -47,6 +62,12 @@ from repro.telemetry import get_telemetry
 from repro.utils.timer import percentile
 
 _UNSET = object()
+
+#: Fail-safe policies for unscorable requests (see :class:`EngineConfig`).
+FAIL_SAFE_POLICIES = ("fail", "novel")
+
+#: Stand-in policy when only a breaker (no retry) is configured.
+_ONE_ATTEMPT = RetryPolicy(max_attempts=1)
 
 
 @dataclass(frozen=True)
@@ -66,12 +87,28 @@ class EngineConfig:
     default_deadline_ms:
         Per-request deadline applied when ``submit`` does not pass one;
         ``None`` disables deadlines by default.
+    retry:
+        Retry-with-backoff policy for a raising backend; ``None`` keeps
+        the historical single-attempt behavior.
+    breaker:
+        Circuit-breaker policy guarding the backend; ``None`` disables
+        breaking.
+    fail_safe:
+        What an unscorable request resolves to: ``"fail"`` (a
+        :class:`~repro.serving.results.Failed` outcome, the historical
+        behavior) or ``"novel"`` (a :class:`~repro.serving.results.Degraded`
+        outcome carrying the conservative ``is_novel=True`` verdict — the
+        right default for a safety monitor, where "I cannot score this"
+        must read as "assume novel").
     """
 
     max_batch_size: int = 8
     max_wait_ms: float = 2.0
     queue_capacity: int = 64
     default_deadline_ms: Optional[float] = None
+    retry: Optional[RetryPolicy] = None
+    breaker: Optional[BreakerConfig] = None
+    fail_safe: str = "fail"
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1 or self.queue_capacity < 1:
@@ -83,6 +120,11 @@ class EngineConfig:
         if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
             raise ConfigurationError(
                 f"default_deadline_ms must be positive, got {self.default_deadline_ms}"
+            )
+        if self.fail_safe not in FAIL_SAFE_POLICIES:
+            raise ConfigurationError(
+                f"fail_safe must be one of {', '.join(FAIL_SAFE_POLICIES)}, "
+                f"got {self.fail_safe!r}"
             )
 
 
@@ -132,15 +174,38 @@ class ServingEngine:
         ``replicas`` (dispatch-thread count), ``image_shape`` (enables
         shape validation at submit), and ``close()``.
     config:
-        Batching/admission policy (defaults: batch 8, wait 2 ms, queue 64).
+        Batching/admission policy (defaults: batch 8, wait 2 ms, queue 64)
+        plus the optional reliability knobs (``retry``/``breaker``/
+        ``fail_safe``).
+    breaker:
+        A pre-built :class:`~repro.reliability.CircuitBreaker` to use
+        instead of constructing one from ``config.breaker`` — chaos tests
+        inject one with a controllable clock.
 
     The engine starts its dispatch threads immediately and is usable as a
     context manager; :meth:`close` drains and fails whatever is in flight.
     """
 
-    def __init__(self, scorer, config: Optional[EngineConfig] = None) -> None:
+    def __init__(
+        self,
+        scorer,
+        config: Optional[EngineConfig] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
         self.config = config or EngineConfig()
         self.scorer = scorer
+        if breaker is not None:
+            self.breaker: Optional[CircuitBreaker] = breaker
+        else:
+            self.breaker = (
+                CircuitBreaker(self.config.breaker)
+                if self.config.breaker is not None
+                else None
+            )
+        self._retry = self.config.retry
+        # One jitter stream shared by every dispatch thread; exact
+        # interleaving does not matter, determinism per-policy-seed does.
+        self._retry_rng = (self._retry or _ONE_ATTEMPT).make_rng()
         self._batcher = MicroBatcher(
             max_batch_size=self.config.max_batch_size,
             max_wait_ms=self.config.max_wait_ms,
@@ -153,6 +218,8 @@ class ServingEngine:
             "rejected": 0,
             "deadline_exceeded": 0,
             "failed": 0,
+            "degraded": 0,
+            "retries": 0,
             "batches": 0,
         }
         self._latencies: List[float] = []
@@ -221,6 +288,63 @@ class ServingEngine:
         ]
         return [p.result(timeout_s) for p in pendings]
 
+    # -- reliability -----------------------------------------------------
+    def _score_guarded(self, stack: np.ndarray) -> Tuple[BatchVerdicts, int]:
+        """One micro-batch through the retry + breaker wrappers.
+
+        Returns ``(verdicts, retries_used)``.  With no reliability
+        configured this is exactly the historical single call.  Otherwise
+        every attempt outcome feeds the breaker, non-finite scores count
+        as a backend failure, and the final failure (after retries) is
+        re-raised for the dispatch loop to resolve.
+        """
+        if self._retry is None and self.breaker is None:
+            return self.scorer.score_batch(stack), 0
+
+        def attempt() -> BatchVerdicts:
+            verdicts = self.scorer.score_batch(stack)
+            scores = np.asarray(verdicts.scores, dtype=float)
+            if not np.all(np.isfinite(scores)):
+                bad = int(np.sum(~np.isfinite(scores)))
+                raise ServingError(f"backend returned {bad} non-finite scores")
+            return verdicts
+
+        def on_failure(exc: BaseException, attempt_no: int) -> None:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+
+        verdicts, retries = call_with_retry(
+            attempt,
+            self._retry if self._retry is not None else _ONE_ATTEMPT,
+            retryable=Exception,
+            on_failure=on_failure,
+            rng=self._retry_rng,
+        )
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return verdicts, retries
+
+    def _resolve_unscorable(self, live: List[QueuedRequest], reason: str, telem) -> None:
+        """Resolve a batch the backend could not score, per the fail-safe
+        policy: a conservative ``Degraded`` verdict or a plain ``Failed``."""
+        if self.config.fail_safe == "novel":
+            outcome: RequestOutcome = Degraded(
+                reason=reason, is_novel=True, policy="novel"
+            )
+            key = "degraded"
+            telem.counter("serving.degraded").inc(len(live))
+        else:
+            outcome = Failed(error=reason)
+            key = "failed"
+        for request in live:
+            request.pending.resolve(outcome)
+        with self._stats_lock:
+            self._counts[key] += len(live)
+
+    def _publish_breaker_state(self, telem) -> None:
+        if self.breaker is not None:
+            telem.gauge("serving.breaker_state").set(self.breaker.state_code())
+
     # -- dispatch --------------------------------------------------------
     def _dispatch_loop(self) -> None:
         telem = get_telemetry()
@@ -246,17 +370,24 @@ class ServingEngine:
             if not live:
                 continue
             stack = np.stack([r.frame for r in live])
+            if self.breaker is not None and not self.breaker.allow():
+                self._resolve_unscorable(live, "circuit breaker open", telem)
+                self._publish_breaker_state(telem)
+                continue
             try:
                 with telem.span("serving.batch", frames=len(live)):
-                    verdicts = self.scorer.score_batch(stack)
+                    verdicts, retries = self._score_guarded(stack)
             except Exception as exc:  # noqa: BLE001 — worker crashes land here
                 message = f"{type(exc).__name__}: {exc}"
-                for request in live:
-                    request.pending.resolve(Failed(error=message))
                 telem.counter("serving.errors").inc()
-                with self._stats_lock:
-                    self._counts["failed"] += len(live)
+                self._resolve_unscorable(live, message, telem)
+                self._publish_breaker_state(telem)
                 continue
+            self._publish_breaker_state(telem)
+            if retries:
+                telem.counter("serving.retries").inc(retries)
+                with self._stats_lock:
+                    self._counts["retries"] += retries
             done = time.monotonic()
             latency_histogram = telem.histogram("serving.request_latency")
             # The stats lock also serializes metric updates across dispatch
@@ -277,6 +408,7 @@ class ServingEngine:
                             margin=float(verdicts.margins[i]),
                             batch_size=len(live),
                             latency_s=latency,
+                            retries=retries,
                         )
                     )
 
@@ -288,6 +420,8 @@ class ServingEngine:
             latencies = list(self._latencies)
         summary: Dict[str, Any] = dict(counts)
         summary["queue_depth"] = len(self._batcher)
+        if self.breaker is not None:
+            summary["breaker"] = self.breaker.stats()
         summary["latency_ms"] = {
             "count": len(latencies),
             "mean": float(np.mean(latencies) * 1e3) if latencies else 0.0,

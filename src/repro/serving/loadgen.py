@@ -33,6 +33,7 @@ class LoadReport:
     overloaded: int
     deadline_exceeded: int
     failed: int
+    degraded: int
     elapsed_s: float
     throughput_fps: float
     latency_ms_mean: float
@@ -47,6 +48,7 @@ class LoadReport:
             f"{'scored ok':<22} {self.ok:>10}",
             f"{'rejected (overloaded)':<22} {self.overloaded:>10}",
             f"{'deadline exceeded':<22} {self.deadline_exceeded:>10}",
+            f"{'degraded (fail-safe)':<22} {self.degraded:>10}",
             f"{'failed':<22} {self.failed:>10}",
             f"{'elapsed':<22} {self.elapsed_s:>10.3f} s",
             f"{'throughput':<22} {self.throughput_fps:>10.1f} frames/s",
@@ -127,6 +129,7 @@ def run_load(
         overloaded=counts.get("overloaded", 0),
         deadline_exceeded=counts.get("deadline_exceeded", 0),
         failed=counts.get("failed", 0) + counts.get("error", 0),
+        degraded=counts.get("degraded", 0),
         elapsed_s=elapsed,
         throughput_fps=total / elapsed if elapsed > 0 else 0.0,
         latency_ms_mean=float(np.mean(latencies) * 1e3) if latencies else 0.0,

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, ServingError, WorkerCrashError
 from repro.nn.backend.policy import as_tensor, resolve_dtype
+from repro.reliability.retry import RetryPolicy, call_with_retry
 from repro.serving.artifacts import read_manifest
 from repro.serving.results import BatchVerdicts
 from repro.telemetry import get_telemetry
@@ -107,6 +108,12 @@ class WorkerPool:
     dtype:
         Precision policy replicas score in (``"float32"`` or ``"float64"``).
         ``None`` uses the dtype recorded in the bundle manifest.
+    retry:
+        Restart-and-retry policy for a crashed/hung replica:
+        ``max_attempts`` bounds how many fresh processes one batch may be
+        tried on, with exponential backoff (plus seeded jitter) between
+        attempts so a crash-looping replica is not respawn-hammered.
+        ``None`` keeps the historical try-twice-no-backoff behavior.
     """
 
     def __init__(
@@ -115,6 +122,7 @@ class WorkerPool:
         workers: int = 2,
         request_timeout_s: float = 60.0,
         dtype: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -131,6 +139,10 @@ class WorkerPool:
         self._dtype_override = None if dtype is None else self.dtype.name
         self.replicas = int(workers)
         self.request_timeout_s = float(request_timeout_s)
+        self._retry = retry if retry is not None else RetryPolicy(
+            max_attempts=2, base_delay_s=0.0, jitter=0.0
+        )
+        self._retry_rng = self._retry.make_rng()
         self._context = multiprocessing.get_context()
         self._rr_lock = threading.Lock()
         self._rr_index = 0
@@ -220,23 +232,32 @@ class WorkerPool:
         """Score a stack on the next replica, restarting it on crash.
 
         A replica found dead (or that dies mid-request) is respawned and
-        the batch retried once on the fresh process; only a second failure
-        propagates as :class:`~repro.exceptions.WorkerCrashError`.
+        the batch retried on the fresh process under the pool's
+        :class:`~repro.reliability.RetryPolicy` (default: one retry, no
+        backoff), with exponential backoff between attempts when a policy
+        is configured; only the final failure propagates as
+        :class:`~repro.exceptions.WorkerCrashError`.
         """
         if self._closed:
             raise ServingError("WorkerPool.score_batch called after close()")
         frames = as_tensor(frames, self.dtype)
         worker = self._next_worker()
+
+        def attempt() -> tuple:
+            request_id = self._next_request_id()
+            return self._request(worker, ("score", request_id, frames), request_id)
+
+        def on_failure(exc: BaseException, attempt_no: int) -> None:
+            self._restart(worker, str(exc))
+
         with worker.lock:
-            for attempt in (1, 2):
-                request_id = self._next_request_id()
-                try:
-                    reply = self._request(worker, ("score", request_id, frames), request_id)
-                    break
-                except WorkerCrashError as exc:
-                    self._restart(worker, str(exc))
-                    if attempt == 2:
-                        raise
+            reply, _ = call_with_retry(
+                attempt,
+                self._retry,
+                retryable=WorkerCrashError,
+                on_failure=on_failure,
+                rng=self._retry_rng,
+            )
         if reply[0] == "err":
             raise ServingError(f"worker {worker.index} scoring error: {reply[2]}")
         _, _, scores, is_novel, margins = reply

@@ -1,7 +1,7 @@
 """Typed request outcomes for the serving engine.
 
 Every request submitted to :class:`repro.serving.ServingEngine` resolves
-to exactly one of four outcome types — admission control and failures are
+to exactly one of five outcome types — admission control and failures are
 *values*, not exceptions, so a frontend can serialize them onto the wire
 without a try/except ladder:
 
@@ -10,6 +10,9 @@ without a try/except ladder:
   queue was full (backpressure; the engine never queues unboundedly).
 * :class:`DeadlineExceeded` — admitted, but its deadline passed while it
   waited in the queue; dropped without scoring.
+* :class:`Degraded` — the backend was unavailable (circuit breaker open,
+  or retries exhausted) and the engine's fail-safe policy substituted a
+  conservative verdict instead of failing the request.
 * :class:`Failed` — the scoring backend raised (or the engine shut down).
 
 :class:`PendingResult` is the future handed back by ``submit``; callers
@@ -43,6 +46,8 @@ class Scored:
         Size of the micro-batch this frame was scored in.
     latency_s:
         End-to-end seconds from admission to verdict (queue wait included).
+    retries:
+        Backend retries spent before this verdict (0 on a clean first try).
     """
 
     status: ClassVar[str] = "ok"
@@ -52,6 +57,7 @@ class Scored:
     margin: float
     batch_size: int
     latency_s: float
+    retries: int = 0
 
 
 @dataclass(frozen=True)
@@ -75,6 +81,33 @@ class DeadlineExceeded:
 
 
 @dataclass(frozen=True)
+class Degraded:
+    """Unscorable, but answered: the engine's fail-safe verdict.
+
+    Produced when the circuit breaker is open or retries are exhausted and
+    the engine was configured with a fail-safe policy (``fail_safe !=
+    "fail"``).  ``is_novel`` is the *policy's* conservative verdict, not a
+    measurement — a downstream safety loop should treat it as "assume the
+    worst", which for a novelty monitor means hand control back.
+
+    Attributes
+    ----------
+    reason:
+        Why the frame could not be scored.
+    is_novel:
+        The substituted verdict (``True`` under the ``"novel"`` policy).
+    policy:
+        Name of the fail-safe policy that produced the verdict.
+    """
+
+    status: ClassVar[str] = "degraded"
+
+    reason: str
+    is_novel: bool
+    policy: str
+
+
+@dataclass(frozen=True)
 class Failed:
     """The scoring backend raised, or the engine closed mid-flight."""
 
@@ -83,7 +116,7 @@ class Failed:
     error: str
 
 
-RequestOutcome = Union[Scored, Overloaded, DeadlineExceeded, Failed]
+RequestOutcome = Union[Scored, Overloaded, DeadlineExceeded, Degraded, Failed]
 
 
 class PendingResult:

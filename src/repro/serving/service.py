@@ -35,7 +35,7 @@ import numpy as np
 from repro.exceptions import ServingError, ShapeError
 from repro.nn.backend.policy import as_tensor
 from repro.serving.engine import ServingEngine
-from repro.serving.results import DeadlineExceeded, Failed, Overloaded, Scored
+from repro.serving.results import DeadlineExceeded, Degraded, Failed, Overloaded, Scored
 from repro.utils.log import get_logger
 
 _log = get_logger(__name__)
@@ -198,6 +198,7 @@ def _serialize_outcome(request_id, outcome) -> Dict[str, Any]:
             "margin": outcome.margin,
             "batch_size": outcome.batch_size,
             "latency_ms": outcome.latency_s * 1e3,
+            "retries": outcome.retries,
         }
     if isinstance(outcome, Overloaded):
         return {
@@ -211,6 +212,14 @@ def _serialize_outcome(request_id, outcome) -> Dict[str, Any]:
             "id": request_id,
             "status": outcome.status,
             "waited_ms": outcome.waited_s * 1e3,
+        }
+    if isinstance(outcome, Degraded):
+        return {
+            "id": request_id,
+            "status": outcome.status,
+            "reason": outcome.reason,
+            "is_novel": outcome.is_novel,
+            "policy": outcome.policy,
         }
     if isinstance(outcome, Failed):
         return {"id": request_id, "status": outcome.status, "error": outcome.error}

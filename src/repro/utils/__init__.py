@@ -1,5 +1,6 @@
-"""Shared utilities: deterministic seeding, logging, timing, validation."""
+"""Shared utilities: seeding, logging, timing, validation, crash-safe IO."""
 
+from repro.utils.fileio import atomic_write, atomic_write_text, fsync_dir, npz_path
 from repro.utils.log import disable_console_logging, enable_console_logging, get_logger
 from repro.utils.seeding import derive_rng, spawn_rngs
 from repro.utils.timer import Timer, percentile, time_call
@@ -13,6 +14,10 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "atomic_write",
+    "atomic_write_text",
+    "fsync_dir",
+    "npz_path",
     "disable_console_logging",
     "enable_console_logging",
     "get_logger",

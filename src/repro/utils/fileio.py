@@ -1,0 +1,81 @@
+"""Crash-safe file writes.
+
+Every persistent artifact this library writes (training checkpoints,
+serving bundle payloads, bundle manifests) goes through
+:func:`atomic_write`: the bytes land in a temporary file *in the target's
+own directory*, are flushed and ``fsync``-ed, and only then atomically
+``os.replace`` the destination (followed by a directory fsync so the
+rename itself is durable).  A crash — power loss, OOM kill, a raising
+serializer — at any point leaves either the complete old file or the
+complete new file, never a truncated hybrid; the stale temp file is
+removed on the error path (and is dot-prefixed, so a leaked one from a
+hard kill never shadows a real artifact).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator, Union
+
+
+def npz_path(path: Union[str, Path]) -> Path:
+    """``path`` with the ``.npz`` suffix numpy would have appended.
+
+    ``np.savez(filename)`` appends ``.npz`` to suffix-less names, but
+    writing through a file object (as :func:`atomic_write` does) skips
+    that convention — apply it explicitly so checkpoint paths stay
+    byte-compatible with the pre-atomic writers.
+    """
+    path = Path(path)
+    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+
+
+def fsync_dir(directory: Path) -> None:
+    """Flush a directory's entries to disk (makes a rename durable).
+
+    Best-effort: platforms/filesystems that refuse ``open(O_RDONLY)`` on
+    directories simply skip the sync.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_write(path: Union[str, Path], mode: str = "wb") -> Iterator[IO]:
+    """Write-then-rename: yield a temp file that atomically becomes ``path``.
+
+    On a clean exit the temp file is flushed, fsync-ed, and renamed over
+    ``path`` (parents created as needed).  On an exception the temp file
+    is deleted and the previous ``path`` contents — if any — are left
+    untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, mode) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        fsync_dir(path.parent)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Crash-safe replacement for ``Path.write_text``."""
+    with atomic_write(path, mode="w") as handle:
+        handle.write(text)

@@ -7,6 +7,8 @@ stays fast while integration tests still exercise real training.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -18,6 +20,36 @@ from repro.experiments.harness import Workbench
 def rng() -> np.random.Generator:
     """A fresh deterministic generator per test."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def run_bounded():
+    """Wall-clock guard for chaos tests: run ``fn`` on a worker thread and
+    fail the test if it hasn't finished within ``timeout_s`` — the
+    no-deadlock assertion.  Exceptions from ``fn`` re-raise in the test."""
+
+    def _run(fn, timeout_s: float = 60.0):
+        box = {}
+
+        def target():
+            try:
+                box["result"] = fn()
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                box["error"] = exc
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        thread.join(timeout_s)
+        if thread.is_alive():
+            pytest.fail(
+                f"bounded call still running after {timeout_s}s — "
+                "deadlock or unbounded retry loop"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    return _run
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,82 @@
+"""Lint-style test: serving and reliability raise only ReproError subclasses.
+
+Callers of the serving stack are promised a single root exception type to
+catch (``except ReproError``).  This test walks the AST of every module in
+``src/repro/serving/`` and ``src/repro/reliability/``, resolves each
+``raise`` statement's exception name, and asserts it subclasses
+:class:`~repro.exceptions.ReproError` — so a stray ``raise ValueError``
+can never slip into the serving path unnoticed.
+"""
+
+import ast
+import builtins
+from pathlib import Path
+
+import pytest
+
+import repro.exceptions as repro_exceptions
+from repro.exceptions import ReproError
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+LINTED_PACKAGES = ("serving", "reliability")
+
+#: Exceptions allowed despite not subclassing ReproError.  AssertionError
+#: marks unreachable-code guards (programming errors, not API surface).
+ALLOWED_NON_REPRO = {"AssertionError"}
+
+
+def _exception_name(node: ast.Raise):
+    """The raised exception's name, or None for bare ``raise`` re-raises
+    and dynamic raises (``raise exc``) this lint cannot resolve."""
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise inside an except block
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+def _linted_files():
+    files = []
+    for package in LINTED_PACKAGES:
+        files.extend(sorted((SRC / package).rglob("*.py")))
+    assert files, "linted packages not found — did the layout move?"
+    return files
+
+
+@pytest.mark.parametrize("path", _linted_files(), ids=lambda p: f"{p.parent.name}/{p.name}")
+def test_raises_only_repro_errors(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offenders = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Raise):
+            continue
+        name = _exception_name(node)
+        if name is None or name in ALLOWED_NON_REPRO:
+            continue
+        exc_type = getattr(repro_exceptions, name, None) or getattr(
+            builtins, name, None
+        )
+        if exc_type is None:
+            offenders.append(f"line {node.lineno}: unresolvable exception {name!r}")
+        elif not (isinstance(exc_type, type) and issubclass(exc_type, ReproError)):
+            offenders.append(
+                f"line {node.lineno}: {name} does not subclass ReproError"
+            )
+    assert not offenders, (
+        f"{path.relative_to(SRC.parent.parent)} raises non-ReproError "
+        f"exceptions:\n  " + "\n  ".join(offenders)
+    )
+
+
+def test_reliability_errors_are_repro_errors():
+    """The new exception types slot into the existing hierarchy."""
+    from repro.exceptions import CircuitOpenError, InjectedFaultError, ReliabilityError
+
+    assert issubclass(ReliabilityError, ReproError)
+    assert issubclass(CircuitOpenError, ReliabilityError)
+    assert issubclass(InjectedFaultError, ReliabilityError)

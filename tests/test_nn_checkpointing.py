@@ -131,3 +131,66 @@ class TestTrainerCheckpoint:
         trainer = make_trainer()
         trainer.save_checkpoint(tmp_path / "deep" / "ckpt.npz")
         assert (tmp_path / "deep" / "ckpt.npz").exists()
+
+
+class TestCrashSafety:
+    def test_crash_mid_write_preserves_previous_checkpoint(self, tmp_path, monkeypatch):
+        """Simulated power loss halfway through a checkpoint write: the
+        previous checkpoint stays byte-identical and loadable, and no temp
+        file is left behind."""
+        import numpy
+
+        x, y = toy_problem()
+        trainer = make_trainer()
+        trainer.train_step(x, y)
+        path = tmp_path / "ckpt.npz"
+        trainer.save_checkpoint(path)
+        before = path.read_bytes()
+
+        def exploding_savez(handle, **state):
+            handle.write(b"partial garbage, then the plug is pulled")
+            raise OSError("disk died mid-write")
+
+        monkeypatch.setattr(numpy, "savez", exploding_savez)
+        trainer.train_step(x, y)
+        with pytest.raises(SerializationError):
+            trainer.save_checkpoint(path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before
+        assert list(tmp_path.iterdir()) == [path]  # no temp leftovers
+        fresh = make_trainer(seed=9)
+        fresh.load_checkpoint(path)  # still a valid npz
+
+    def test_crash_on_first_write_leaves_no_file(self, tmp_path, monkeypatch):
+        import numpy
+
+        def exploding_savez(handle, **state):
+            raise OSError("no space left on device")
+
+        monkeypatch.setattr(numpy, "savez", exploding_savez)
+        with pytest.raises(SerializationError):
+            make_trainer().save_checkpoint(tmp_path / "never.npz")
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_model_save_is_crash_safe_too(self, tmp_path, monkeypatch):
+        import numpy
+
+        from repro.nn.model import load_model, save_model
+
+        model = make_trainer().model
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        before = path.read_bytes()
+
+        def exploding_savez(handle, **state):
+            handle.write(b"torn write")
+            raise OSError("crash")
+
+        monkeypatch.setattr(numpy, "savez", exploding_savez)
+        with pytest.raises(SerializationError):
+            save_model(model, path)
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        load_model(make_trainer(seed=3).model, path)

@@ -211,6 +211,170 @@ class TestMonitorTelemetry:
             assert p.score == pytest.approx(t.score, rel=1e-9)
 
 
+class _ThresholdRule:
+    """Score-above-0.5 rule matching the detector interface the monitor uses."""
+
+    threshold = 0.5
+
+    def predict(self, scores):
+        return np.asarray(scores) > self.threshold
+
+    def novelty_margin(self, scores):
+        return np.asarray(scores) - self.threshold
+
+
+class _ScriptedDetector:
+    """Fitted-detector stub that replays a scripted score sequence —
+    degraded-path tests stay deterministic and cheap."""
+
+    is_fitted = True
+    image_shape = (4, 4)
+
+    def __init__(self, scores):
+        self._scores = [float(s) for s in scores]
+        self._cursor = 0
+        self.one_class = type("OneClass", (), {})()
+        self.one_class.detector = _ThresholdRule()
+
+    def score_batch(self, frames):
+        n = len(frames)
+        out = self._scores[self._cursor:self._cursor + n]
+        self._cursor += n
+        return np.asarray(out, dtype=float)
+
+    score = score_batch
+
+
+def _ok_frame(value=0.5):
+    return np.full((4, 4), value)
+
+
+NAN_FRAME = np.full((4, 4), np.nan)
+
+
+class TestDegradedMode:
+    def test_nan_frame_degrades_instead_of_raising(self):
+        monitor = StreamMonitor(_ScriptedDetector([]), window=3, min_consecutive=2)
+        verdict = monitor.observe(NAN_FRAME)
+        assert verdict.state == "non_finite_frame"
+        assert verdict.degraded
+        assert np.isnan(verdict.score)
+        assert verdict.is_novel is True  # default fail_safe="novel"
+        assert monitor.degraded_frames == [0]
+        assert monitor.degraded_counts() == {"non_finite_frame": 1}
+
+    def test_wrong_shape_and_dtype_degrade(self):
+        monitor = StreamMonitor(_ScriptedDetector([]), window=3, min_consecutive=2)
+        assert monitor.observe(np.zeros((3, 7))).state == "bad_shape"
+        assert monitor.observe(np.zeros((4, 4, 3))).state == "bad_shape"
+        # Dtype is checked before shape, so any string array is bad_dtype.
+        assert monitor.observe(
+            np.array([["a"] * 4] * 4)
+        ).state == "bad_dtype"
+
+    def test_nan_score_routed_to_degraded_path(self):
+        """The silent-failure fix: a NaN *score* must not read as 'not
+        novel' — it takes the degraded path with the fail-safe verdict."""
+        detector = _ScriptedDetector([0.1, np.nan, 0.2])
+        monitor = StreamMonitor(detector, window=3, min_consecutive=3)
+        verdicts = monitor.observe_batch(np.stack([_ok_frame(v) for v in (1, 2, 3)]))
+        assert [v.state for v in verdicts] == ["ok", "non_finite_score", "ok"]
+        assert verdicts[1].is_novel is True
+        assert np.isnan(verdicts[1].score)
+        assert monitor.degraded_counts() == {"non_finite_score": 1}
+
+    def test_stuck_camera_detected(self):
+        detector = _ScriptedDetector([0.1, 0.1, 0.1, 0.1])
+        monitor = StreamMonitor(
+            detector, window=4, min_consecutive=4, stuck_threshold=3
+        )
+        frame = _ok_frame()
+        verdicts = [monitor.observe(frame) for _ in range(4)]
+        assert [v.state for v in verdicts] == [
+            "ok", "ok", "stuck_camera", "stuck_camera"
+        ]
+
+    def test_fail_safe_novel_alone_can_raise_alarm(self):
+        """A dying sensor is itself an anomaly: consecutive degraded frames
+        raise the persistence alarm under the conservative policy."""
+        monitor = StreamMonitor(
+            _ScriptedDetector([]), window=3, min_consecutive=2, fail_safe="novel"
+        )
+        verdicts = [monitor.observe(NAN_FRAME) for _ in range(3)]
+        assert verdicts[-1].alarm
+        assert monitor.alarm_active
+
+    def test_fail_safe_hold_repeats_last_clean_verdict(self):
+        detector = _ScriptedDetector([0.9, 0.1])  # novel, then clean
+        monitor = StreamMonitor(
+            detector, window=5, min_consecutive=5, fail_safe="hold"
+        )
+        assert monitor.observe(_ok_frame(1)).is_novel is True
+        assert monitor.observe(NAN_FRAME).is_novel is True  # holds "novel"
+        assert monitor.observe(_ok_frame(2)).is_novel is False
+        assert monitor.observe(NAN_FRAME).is_novel is False  # holds "not novel"
+
+    def test_fail_safe_hold_defaults_to_not_novel(self):
+        monitor = StreamMonitor(
+            _ScriptedDetector([]), window=3, min_consecutive=2, fail_safe="hold"
+        )
+        assert monitor.observe(NAN_FRAME).is_novel is False
+
+    def test_invalid_fail_safe_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamMonitor(_ScriptedDetector([]), fail_safe="panic")
+
+    def test_batch_equals_singles_with_faults_interleaved(self):
+        frames = [
+            _ok_frame(1), NAN_FRAME, _ok_frame(2), np.zeros((2, 2)), _ok_frame(3)
+        ]
+        scores = [0.1, 0.9, 0.2]
+        batched = StreamMonitor(_ScriptedDetector(scores), window=3, min_consecutive=2)
+        single = StreamMonitor(_ScriptedDetector(scores), window=3, min_consecutive=2)
+        # Ragged shapes can't stack into one array, so feed the batch
+        # monitor runs of equal-shape chunks instead.
+        batch_verdicts = (
+            batched.observe_batch(np.stack(frames[:3]))
+            + [batched.observe(frames[3])]
+            + [batched.observe(frames[4])]
+        )
+        single_verdicts = [single.observe(f) for f in frames]
+        for b, s in zip(batch_verdicts, single_verdicts):
+            assert b.state == s.state
+            assert b.is_novel == s.is_novel
+            assert b.alarm == s.alarm
+
+    def test_reset_clears_degraded_history(self):
+        monitor = StreamMonitor(
+            _ScriptedDetector([]), window=3, min_consecutive=2, stuck_threshold=2
+        )
+        monitor.observe(NAN_FRAME)
+        monitor.reset()
+        assert monitor.degraded_frames == []
+        assert monitor.degraded_counts() == {}
+        assert monitor.sanitizer.consecutive_identical == 0
+
+    def test_degraded_telemetry_recorded(self):
+        from repro.telemetry import telemetry_session
+
+        with telemetry_session() as telem:
+            monitor = StreamMonitor(_ScriptedDetector([0.1]), window=3, min_consecutive=2)
+            monitor.observe(_ok_frame())
+            monitor.observe(NAN_FRAME)
+            snap = telem.snapshot()
+        assert snap["counters"]["monitor.degraded_frames"] == 1
+        assert snap["counters"]["monitor.frames"] == 2
+
+    def test_real_pipeline_degrades_on_nan_frame(self, fitted_pipeline):
+        """End to end against the real detector: NaN frames degrade instead
+        of poisoning the VBP + autoencoder pass."""
+        monitor = StreamMonitor(fitted_pipeline, window=3, min_consecutive=2)
+        nan_frame = np.full(fitted_pipeline.image_shape, np.nan)
+        verdict = monitor.observe(nan_frame)
+        assert verdict.state == "non_finite_frame"
+        assert verdict.is_novel is True
+
+
 class TestMonitorWithOtherDetectors:
     def test_works_with_fusion_detector(self, ci_workbench, trained_pilotnet, dsi_novel):
         """StreamMonitor only needs the pipeline interface, so fusion and

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.image",
     "repro.serving",
+    "repro.reliability",
     "repro.utils",
 ]
 

@@ -9,6 +9,7 @@ from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
 from repro.serving import (
     BatchVerdicts,
     DeadlineExceeded,
+    Degraded,
     EngineConfig,
     Failed,
     Overloaded,
@@ -253,8 +254,119 @@ class TestEngineConfig:
             {"queue_capacity": 0},
             {"max_wait_ms": -0.1},
             {"default_deadline_ms": 0.0},
+            {"fail_safe": "explode"},
         ],
     )
     def test_invalid_config_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
             EngineConfig(**kwargs)
+
+
+class _FlakyScorer:
+    """Fails its first ``failures`` batches, then scores normally."""
+
+    replicas = 1
+    image_shape = FRAME_SHAPE
+
+    def __init__(self, failures=1):
+        self.failures = failures
+        self.calls = 0
+
+    def score_batch(self, frames):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError(f"transient failure {self.calls}")
+        n = len(frames)
+        return BatchVerdicts(
+            scores=np.full(n, 0.4),
+            is_novel=np.zeros(n, dtype=bool),
+            margins=np.full(n, -0.1),
+        )
+
+
+class _NaNScorer:
+    replicas = 1
+    image_shape = FRAME_SHAPE
+
+    def score_batch(self, frames):
+        n = len(frames)
+        return BatchVerdicts(
+            scores=np.full(n, np.nan),
+            is_novel=np.zeros(n, dtype=bool),
+            margins=np.full(n, np.nan),
+        )
+
+
+class TestReliability:
+    """Retry / breaker / fail-safe wiring (full storms live in test_chaos)."""
+
+    def _retry_config(self, **kwargs):
+        from repro.reliability import RetryPolicy
+
+        return EngineConfig(
+            max_batch_size=4,
+            queue_capacity=16,
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0),
+            **kwargs,
+        )
+
+    def test_transient_failure_retried_to_success(self):
+        scorer = _FlakyScorer(failures=1)
+        with ServingEngine(scorer, self._retry_config()) as engine:
+            outcome = engine.infer(_frame())
+        assert isinstance(outcome, Scored)
+        assert outcome.retries == 1
+        assert scorer.calls == 2
+
+    def test_exhausted_retries_fail_safe_novel(self):
+        scorer = _FlakyScorer(failures=10)
+        with ServingEngine(scorer, self._retry_config(fail_safe="novel")) as engine:
+            outcome = engine.infer(_frame())
+        assert isinstance(outcome, Degraded)
+        assert outcome.status == "degraded"
+        assert outcome.is_novel is True
+        assert "transient failure" in outcome.reason
+        assert scorer.calls == 3  # max_attempts, then gave up
+
+    def test_exhausted_retries_fail_safe_fail(self):
+        with ServingEngine(_FlakyScorer(failures=10), self._retry_config()) as engine:
+            outcome = engine.infer(_frame())
+        assert isinstance(outcome, Failed)
+
+    def test_nan_scores_are_a_backend_failure_with_reliability_on(self):
+        with ServingEngine(_NaNScorer(), self._retry_config(fail_safe="novel")) as engine:
+            outcome = engine.infer(_frame())
+        assert isinstance(outcome, Degraded)
+        assert "non-finite" in outcome.reason
+
+    def test_nan_scores_pass_through_without_reliability(self):
+        """Documents the legacy contract: an unconfigured engine delivers
+        whatever the backend produced."""
+        with ServingEngine(_NaNScorer(), EngineConfig(max_batch_size=4)) as engine:
+            outcome = engine.infer(_frame())
+        assert isinstance(outcome, Scored)
+        assert np.isnan(outcome.score)
+
+    def test_breaker_stats_surface_in_engine_stats(self):
+        from repro.reliability import BreakerConfig
+
+        config = EngineConfig(
+            max_batch_size=4,
+            queue_capacity=16,
+            breaker=BreakerConfig(window=8, min_calls=2, failure_threshold=0.5),
+        )
+        with ServingEngine(_FlakyScorer(failures=0), config) as engine:
+            assert isinstance(engine.infer(_frame()), Scored)
+            stats = engine.stats()
+        assert stats["breaker"]["state"] == "closed"
+        assert "degraded" in stats and "retries" in stats
+
+    def test_degraded_serializes_over_the_wire(self):
+        from repro.serving.service import _serialize_outcome
+
+        payload = _serialize_outcome(
+            7, Degraded(reason="circuit breaker open", is_novel=True, policy="novel")
+        )
+        assert payload["status"] == "degraded"
+        assert payload["is_novel"] is True
+        assert payload["id"] == 7

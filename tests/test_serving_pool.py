@@ -65,6 +65,47 @@ class TestHealth:
         assert stats["restarts"] == pool.restarts
 
 
+class TestRepeatedCrashes:
+    def test_ensure_healthy_survives_consecutive_crashes_of_same_replica(self, pool):
+        """A crash-looping replica: kill worker 0 three times in a row;
+        every ``ensure_healthy`` pass restarts exactly that one replica and
+        the restart counter advances by exactly one each time."""
+        for round_number in range(3):
+            before = pool.restarts
+            pool._workers[0].process.kill()
+            pool._workers[0].process.join(timeout=10.0)
+            assert pool.ensure_healthy() == 1
+            assert pool.restarts == before + 1
+            assert pool.ping() == [True, True]
+
+    def test_ensure_healthy_is_noop_on_healthy_pool(self, pool):
+        before = pool.restarts
+        assert pool.ensure_healthy() == 0
+        assert pool.restarts == before
+
+    def test_scoring_heals_without_ensure_healthy(self, pool, dsu_test):
+        """Back-to-back kills absorbed by the scoring path alone: each batch
+        routed to the dead replica restarts it and retries transparently."""
+        before = pool.restarts
+        for _ in range(2):
+            pool._workers[1].process.kill()
+            pool._workers[1].process.join(timeout=10.0)
+            results = [pool.score_batch(dsu_test.frames[:2]) for _ in range(2)]
+            assert all(len(v) == 2 for v in results)
+        assert pool.restarts == before + 2
+        assert pool.ping() == [True, True]
+
+    def test_round_robin_keeps_spreading_after_restarts(self, pool, dsu_test):
+        """Mid-restart round-robin: with one replica freshly killed, four
+        consecutive batches (which round-robin across both replicas) all
+        succeed."""
+        pool._workers[0].process.kill()
+        pool._workers[0].process.join(timeout=10.0)
+        for _ in range(4):
+            assert len(pool.score_batch(dsu_test.frames[:3])) == 3
+        assert pool.stats()["alive"] == 2
+
+
 class TestLifecycleAndValidation:
     def test_bad_bundle_path_fails_fast(self, tmp_path):
         with pytest.raises(ArtifactError):

@@ -1,0 +1,66 @@
+"""Tests for the crash-safe write utilities."""
+
+import pytest
+
+from repro.utils.fileio import atomic_write, atomic_write_text, fsync_dir, npz_path
+
+
+class TestNpzPath:
+    def test_appends_suffix(self, tmp_path):
+        assert npz_path(tmp_path / "ckpt").name == "ckpt.npz"
+
+    def test_keeps_existing_suffix(self, tmp_path):
+        assert npz_path(tmp_path / "ckpt.npz").name == "ckpt.npz"
+
+    def test_other_suffix_gets_npz_appended(self, tmp_path):
+        # Matches np.savez("model.bin") -> "model.bin.npz".
+        assert npz_path(tmp_path / "model.bin").name == "model.bin.npz"
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.bin"
+        with atomic_write(path) as handle:
+            handle.write(b"payload")
+        assert path.read_bytes() == b"payload"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_replaces_existing_file_whole(self, tmp_path):
+        path = tmp_path / "out.bin"
+        path.write_bytes(b"old")
+        with atomic_write(path) as handle:
+            handle.write(b"new contents")
+        assert path.read_bytes() == b"new contents"
+
+    def test_exception_preserves_previous_and_cleans_temp(self, tmp_path):
+        path = tmp_path / "out.bin"
+        path.write_bytes(b"precious")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as handle:
+                handle.write(b"torn")
+                raise RuntimeError("crash mid-write")
+        assert path.read_bytes() == b"precious"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_exception_with_no_previous_leaves_nothing(self, tmp_path):
+        path = tmp_path / "fresh.bin"
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as handle:
+                handle.write(b"torn")
+                raise RuntimeError("crash")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "out.bin"
+        with atomic_write(path) as handle:
+            handle.write(b"x")
+        assert path.exists()
+
+    def test_text_mode(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        atomic_write_text(path, '{"ok": true}\n')
+        assert path.read_text() == '{"ok": true}\n'
+
+    def test_fsync_dir_is_best_effort(self, tmp_path):
+        fsync_dir(tmp_path)  # must not raise
+        fsync_dir(tmp_path / "does-not-exist")
