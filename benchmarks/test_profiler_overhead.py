@@ -1,0 +1,120 @@
+"""Micro-benchmark: the kernel profiler hook must be ~free when disabled.
+
+Every kernel in the nn backend is wrapped by ``profiled``; the contract is
+that the wrapper costs two loads and a branch when no profiler is
+installed.  This compares pipeline scoring (the serving hot path) against
+the same scoring with the raw undecorated kernels temporarily restored
+(each wrapper keeps its baseline on ``__wrapped__``), and gates:
+
+* disabled-profiler overhead under 2%,
+* enabled-profiler overhead under 15% (timing + FLOP estimation + registry
+  updates on every kernel call).
+"""
+
+import numpy as np
+
+from repro.config import BENCH
+from repro.experiments.harness import ExperimentResult
+from repro.nn.backend import kernel_profile
+from repro.nn.backend import kernels as kernels_module
+from repro.novelty import SaliencyNoveltyPipeline
+from repro.telemetry import get_telemetry
+from repro.utils.timer import time_call
+
+REPEATS = 30
+DISABLED_GATE = 0.02
+ENABLED_GATE = 0.15
+
+
+def _fitted_pipeline(bench_workbench):
+    pipeline = SaliencyNoveltyPipeline(
+        bench_workbench.steering_model("dsu"),
+        BENCH.image_shape,
+        loss="ssim",
+        config=bench_workbench.autoencoder_config(),
+        rng=0,
+    )
+    pipeline.fit(bench_workbench.batch("dsu", "train").frames)
+    return pipeline
+
+
+class _raw_kernels:
+    """Temporarily restore the undecorated kernels on the module."""
+
+    def __enter__(self):
+        self._saved = {}
+        for name, value in vars(kernels_module).items():
+            wrapped = getattr(value, "__wrapped__", None)
+            if callable(value) and wrapped is not None:
+                self._saved[name] = value
+                setattr(kernels_module, name, wrapped)
+        assert self._saved, "no profiled kernels found on the module"
+        return self
+
+    def __exit__(self, *exc):
+        for name, value in self._saved.items():
+            setattr(kernels_module, name, value)
+        return False
+
+
+def test_profiler_overhead_on_the_serving_path(benchmark, bench_workbench, report):
+    assert get_telemetry().enabled is False, "benchmark requires the null backend"
+
+    pipeline = _fitted_pipeline(bench_workbench)
+    test = bench_workbench.batch("dsu", "test").frames
+    frames = np.stack([test[i % len(test)] for i in range(8)])
+    pipeline.score_batch(frames)  # warm caches outside the timed region
+
+    with _raw_kernels():
+        baseline_scores, baseline = time_call(
+            pipeline.score_batch, frames, repeats=REPEATS
+        )
+    disabled_scores, disabled = time_call(
+        pipeline.score_batch, frames, repeats=REPEATS
+    )
+    with kernel_profile() as profiler:
+        enabled_scores, enabled = time_call(
+            pipeline.score_batch, frames, repeats=REPEATS
+        )
+    np.testing.assert_allclose(disabled_scores, baseline_scores)
+    np.testing.assert_allclose(enabled_scores, baseline_scores)
+    assert profiler.snapshot(), "enabled profiler recorded nothing"
+
+    # min-of-repeats filters scheduler noise (see test_telemetry_overhead).
+    disabled_overhead = disabled.min / baseline.min - 1.0
+    enabled_overhead = enabled.min / baseline.min - 1.0
+
+    result = ExperimentResult(
+        exp_id="profiler_overhead",
+        title="Kernel-profiler overhead on pipeline scoring (extension)",
+        rows=[
+            f"{'raw kernels ms/batch (min)':<30} {baseline.min * 1e3:>8.3f}",
+            f"{'disabled hook ms/batch (min)':<30} {disabled.min * 1e3:>8.3f}",
+            f"{'enabled hook ms/batch (min)':<30} {enabled.min * 1e3:>8.3f}",
+            f"{'disabled overhead':<30} {disabled_overhead:>8.2%}"
+            f"  (gate: < {DISABLED_GATE:.0%})",
+            f"{'enabled overhead':<30} {enabled_overhead:>8.2%}"
+            f"  (gate: < {ENABLED_GATE:.0%})",
+        ],
+        metrics={
+            "baseline_ms": baseline.min * 1e3,
+            "disabled_ms": disabled.min * 1e3,
+            "enabled_ms": enabled.min * 1e3,
+            "disabled_overhead_fraction": disabled_overhead,
+            "enabled_overhead_fraction": enabled_overhead,
+        },
+        notes=(
+            f"min over {REPEATS} repeats of an 8-frame score_batch; baseline "
+            "runs each kernel's __wrapped__ original with the hook removed"
+        ),
+    )
+    report(result)
+    benchmark.pedantic(pipeline.score_batch, args=(frames,), rounds=3, iterations=1)
+    assert disabled_overhead < DISABLED_GATE, (
+        f"disabled profiler hook adds {disabled_overhead:.1%} to scoring "
+        f"(gate {DISABLED_GATE:.0%})"
+    )
+    assert enabled_overhead < ENABLED_GATE, (
+        f"enabled profiler adds {enabled_overhead:.1%} to scoring "
+        f"(gate {ENABLED_GATE:.0%})"
+    )

@@ -26,6 +26,12 @@ Commands
 ``bench-serve``
     Load-test the serving engine and print throughput plus p50/p95/p99
     latency.
+``trace``
+    Render one request's full span tree (frontend → queue → batch →
+    worker → kernels) from a serving telemetry file by trace id.
+``profile``
+    Aggregate per-kernel timings (``kernel.*`` spans) from a serving
+    telemetry file into a profile table.
 """
 
 from __future__ import annotations
@@ -37,6 +43,10 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.config import PRESETS, get_scale
+
+#: Where ``serve`` / ``bench-serve`` write span records by default, and
+#: where ``repro trace`` / ``repro profile`` read them back from.
+DEFAULT_SERVING_TELEMETRY = Path("out/telemetry/serving.jsonl")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,15 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument("--port", type=int, default=8473, help="TCP port (0 = ephemeral)")
     serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="also expose /metrics + /healthz on this HTTP port (0 = ephemeral)",
+    )
+    serve.add_argument(
         "--once", action="store_true",
         help="in-process mode: score --frames rendered frames and exit (no socket)",
     )
     serve.add_argument(
         "--frames", type=int, default=16, help="frames to score with --once"
-    )
-    serve.add_argument(
-        "--telemetry", type=Path, default=None, metavar="PATH",
-        help="record a JSONL telemetry trace of the serving run",
     )
 
     bench = sub.add_parser(
@@ -142,16 +152,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive the engine through the TCP frontend instead of in-process",
     )
     bench.add_argument(
-        "--telemetry", type=Path, default=None, metavar="PATH",
-        help="record a JSONL telemetry trace of the load run",
-    )
-    bench.add_argument(
         "--chaos", action="store_true",
         help=(
             "inject seeded faults (latency spikes, exceptions, NaN scores, "
             "worker kills) and enable the circuit breaker + retries + "
             "fail-safe degraded verdicts (see docs/reliability.md)"
         ),
+    )
+
+    trace = sub.add_parser(
+        "trace", help="render one request's span tree from a telemetry file"
+    )
+    trace.add_argument("trace_id", help="trace id (printed by bench-serve / in score responses)")
+    trace.add_argument(
+        "--file", type=Path, default=DEFAULT_SERVING_TELEMETRY, metavar="PATH",
+        help="JSONL telemetry file to read (default: the serving default)",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="aggregate per-kernel timings from a telemetry file"
+    )
+    profile.add_argument(
+        "--file", type=Path, default=DEFAULT_SERVING_TELEMETRY, metavar="PATH",
+        help="JSONL telemetry file to read (default: the serving default)",
     )
 
     return parser
@@ -193,6 +216,21 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--deadline-ms", type=float, default=None,
         help="per-request deadline; queued requests past it are dropped",
+    )
+    parser.add_argument(
+        "--telemetry", type=Path, default=DEFAULT_SERVING_TELEMETRY, metavar="PATH",
+        help=(
+            "record a JSONL telemetry trace of the run "
+            f"(default: {DEFAULT_SERVING_TELEMETRY}; --no-telemetry to disable)"
+        ),
+    )
+    parser.add_argument(
+        "--no-telemetry", dest="telemetry", action="store_const", const=None,
+        help="disable the telemetry trace",
+    )
+    parser.add_argument(
+        "--profile-kernels", action=argparse.BooleanOptionalAction, default=True,
+        help="record per-kernel timings/FLOPs on the serving path (default: on)",
     )
 
 
@@ -354,7 +392,10 @@ def _build_engine(args: argparse.Namespace, default_capacity: int = 64):
         image_shape = bundle.image_shape
         print(f"loaded bundle {args.bundle} (threshold {bundle.threshold:.4g})")
         if args.workers > 0:
-            scorer = WorkerPool(args.bundle, workers=args.workers, dtype=args.dtype)
+            scorer = WorkerPool(
+                args.bundle, workers=args.workers, dtype=args.dtype,
+                profile_kernels=getattr(args, "profile_kernels", False),
+            )
             print(f"started {args.workers} worker replicas ({scorer.dtype.name})")
         else:
             if args.dtype is not None:
@@ -429,6 +470,24 @@ def _cmd_bundle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _kernel_profiler_scope(args: argparse.Namespace):
+    """Enable the kernel profiler for the serving phase (not training)."""
+    if not getattr(args, "profile_kernels", False):
+        return contextlib.nullcontext()
+    from repro.nn.backend import kernel_profile
+
+    return kernel_profile()
+
+
+def _print_trace_hint(engine, telemetry: Optional[Path]) -> None:
+    """Point at one captured request tree, if tracing recorded any."""
+    if telemetry is None:
+        return
+    trace_id = engine.stats().get("last_trace_id")
+    if trace_id:
+        print(f"inspect one request: repro trace {trace_id} --file {telemetry}")
+
+
 def _print_engine_latency(engine) -> None:
     stats = engine.stats()
     latency = stats["latency_ms"]
@@ -455,25 +514,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except ArtifactError as exc:
             print(str(exc), file=sys.stderr)
             return 2
-        try:
-            if args.once:
-                frames = _render_stream(image_shape, args.frames, args.seed)
-                outcomes = engine.infer_many(frames)
-                novel = sum(o.status == "ok" and o.is_novel for o in outcomes)
-                ok = sum(o.status == "ok" for o in outcomes)
-                print(f"scored {ok}/{len(outcomes)} frames ({novel} flagged novel)")
-                _print_engine_latency(engine)
-            else:
-                from repro.serving import ServingServer
+        metrics_server = contextlib.nullcontext()
+        if args.metrics_port is not None:
+            from repro.telemetry import MetricsRegistry, MetricsServer, get_telemetry
 
-                with ServingServer(engine, host=args.host, port=args.port) as server:
-                    host, port = server.address
-                    print(f"serving on {host}:{port} (ctrl-c to stop)")
-                    try:
-                        while True:
-                            time.sleep(1.0)
-                    except KeyboardInterrupt:
-                        print("\nshutting down")
+            telem = get_telemetry()
+            registry = telem.registry if telem.enabled else MetricsRegistry()
+
+            def _health():
+                stats = engine.stats()
+                return {
+                    "healthy": True,
+                    "submitted": stats.get("submitted", 0),
+                    "rejected": stats.get("rejected", 0),
+                }
+
+            metrics_server = MetricsServer(
+                registry, health=_health, host=args.host, port=args.metrics_port
+            )
+        try:
+            # The profiler scope starts here so training kernels (when no
+            # --bundle was given) stay out of the serving profile.
+            with metrics_server, _kernel_profiler_scope(args):
+                url = getattr(metrics_server, "url", None)
+                if url:
+                    print(f"metrics at {url}/metrics (health at {url}/healthz)")
+                if args.once:
+                    frames = _render_stream(image_shape, args.frames, args.seed)
+                    outcomes = engine.infer_many(frames)
+                    novel = sum(o.status == "ok" and o.is_novel for o in outcomes)
+                    ok = sum(o.status == "ok" for o in outcomes)
+                    print(f"scored {ok}/{len(outcomes)} frames ({novel} flagged novel)")
+                    _print_engine_latency(engine)
+                    _print_trace_hint(engine, args.telemetry)
+                else:
+                    from repro.serving import ServingServer
+
+                    with ServingServer(engine, host=args.host, port=args.port) as server:
+                        host, port = server.address
+                        print(f"serving on {host}:{port} (ctrl-c to stop)")
+                        try:
+                            while True:
+                                time.sleep(1.0)
+                        except KeyboardInterrupt:
+                            print("\nshutting down")
         finally:
             engine.close()
     if args.telemetry is not None:
@@ -494,56 +578,104 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             print(str(exc), file=sys.stderr)
             return 2
         try:
-            frames = _render_stream(image_shape, min(args.frames, 512), args.seed)
-            workload = [frames[i % len(frames)] for i in range(args.frames)]
-            # Warm caches so the report measures steady state, not first-call
-            # allocation.
-            engine.infer(workload[0])
-            if args.socket:
-                from repro.serving import ServingClient, ServingServer
+            # Profiling starts after the engine is built so a freshly
+            # trained pipeline's training kernels stay out of the profile.
+            with _kernel_profiler_scope(args):
+                frames = _render_stream(image_shape, min(args.frames, 512), args.seed)
+                workload = [frames[i % len(frames)] for i in range(args.frames)]
+                # Warm caches so the report measures steady state, not
+                # first-call allocation.
+                engine.infer(workload[0])
+                if args.socket:
+                    from repro.serving import ServingClient, ServingServer
 
-                with ServingServer(engine) as server:
-                    host, port = server.address
-                    print(f"load-testing over the socket frontend at {host}:{port}")
-                    clients = [
-                        ServingClient(host, port) for _ in range(max(1, args.clients))
-                    ]
-                    try:
-                        cursor = {"next": 0}
-                        import threading as _threading
+                    with ServingServer(engine) as server:
+                        host, port = server.address
+                        print(f"load-testing over the socket frontend at {host}:{port}")
+                        clients = [
+                            ServingClient(host, port) for _ in range(max(1, args.clients))
+                        ]
+                        try:
+                            cursor = {"next": 0}
+                            import threading as _threading
 
-                        lock = _threading.Lock()
+                            lock = _threading.Lock()
 
-                        def _score(frame, _clients=clients, _lock=lock, _cursor=cursor):
-                            with _lock:
-                                client = _clients[_cursor["next"] % len(_clients)]
-                                _cursor["next"] += 1
-                            return client.score(frame)
+                            def _score(frame, _clients=clients, _lock=lock, _cursor=cursor):
+                                with _lock:
+                                    client = _clients[_cursor["next"] % len(_clients)]
+                                    _cursor["next"] += 1
+                                return client.score(frame)
 
-                        report = run_load(_score, workload, clients=args.clients)
-                    finally:
-                        for client in clients:
-                            client.close()
-            else:
-                report = run_load(
-                    lambda frame: engine.infer(frame), workload, clients=args.clients
-                )
-            print(report.render())
-            _print_engine_latency(engine)
-            if getattr(args, "chaos", False):
-                stats = engine.stats()
-                print(
-                    f"chaos: injected faults {engine.scorer.injected()} over "
-                    f"{engine.scorer.calls} scorer calls"
-                )
-                print(
-                    f"chaos: degraded={stats['degraded']} retries={stats['retries']} "
-                    f"breaker={stats.get('breaker', {}).get('state', 'off')}"
-                )
+                            report = run_load(_score, workload, clients=args.clients)
+                        finally:
+                            for client in clients:
+                                client.close()
+                else:
+                    report = run_load(
+                        lambda frame: engine.infer(frame), workload, clients=args.clients
+                    )
+                print(report.render())
+                _print_engine_latency(engine)
+                _print_trace_hint(engine, args.telemetry)
+                if getattr(args, "chaos", False):
+                    stats = engine.stats()
+                    print(
+                        f"chaos: injected faults {engine.scorer.injected()} over "
+                        f"{engine.scorer.calls} scorer calls"
+                    )
+                    print(
+                        f"chaos: degraded={stats['degraded']} retries={stats['retries']} "
+                        f"breaker={stats.get('breaker', {}).get('state', 'off')}"
+                    )
         finally:
             engine.close()
     if args.telemetry is not None:
         print(f"telemetry trace written to {args.telemetry}")
+    return 0
+
+
+def _read_span_file(path: Path):
+    """Load one telemetry JSONL file, with a friendly error on absence."""
+    from repro.exceptions import SerializationError
+    from repro.telemetry import read_events
+
+    if not path.exists():
+        raise SerializationError(
+            f"no telemetry file at {path}; run `repro bench-serve` or "
+            "`repro serve` first (they record there by default)"
+        )
+    return read_events(path)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.exceptions import ConfigurationError, SerializationError
+    from repro.telemetry import render_trace_tree
+
+    try:
+        records = _read_span_file(args.file)
+        print(render_trace_tree(records, args.trace_id))
+    except (ConfigurationError, SerializationError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.exceptions import SerializationError
+    from repro.nn.backend import render_profile_table
+    from repro.telemetry import summarize_kernel_spans
+
+    try:
+        records = _read_span_file(args.file)
+    except SerializationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    rows = summarize_kernel_spans(records)
+    if not rows:
+        print(f"no kernel.* spans in {args.file} (was --profile-kernels off?)")
+        return 0
+    print(render_profile_table(rows))
     return 0
 
 
@@ -556,6 +688,8 @@ _COMMANDS = {
     "bundle": _cmd_bundle,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
 }
 
 

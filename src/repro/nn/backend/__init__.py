@@ -51,8 +51,26 @@ from repro.nn.backend.policy import (
     resolve_dtype,
     result_dtype,
 )
+from repro.nn.backend.profiler import (
+    KernelProfiler,
+    KernelStat,
+    disable_kernel_profiler,
+    enable_kernel_profiler,
+    get_kernel_profiler,
+    kernel_profile,
+    profiled,
+    render_profile_table,
+)
 
 __all__ = [
+    "KernelProfiler",
+    "KernelStat",
+    "disable_kernel_profiler",
+    "enable_kernel_profiler",
+    "get_kernel_profiler",
+    "kernel_profile",
+    "profiled",
+    "render_profile_table",
     "FLOAT32",
     "FLOAT64",
     "SUPPORTED_DTYPES",

@@ -16,6 +16,12 @@ the transposed-convolution forward pass.  :func:`conv_transpose2d` is also
 used directly by :mod:`repro.saliency.vbp`: VisualBackProp upscales
 averaged feature maps with a ones-kernel transposed convolution matching
 each convolution layer's geometry.
+
+Every public kernel is wrapped by :func:`repro.nn.backend.profiler.profiled`
+— a no-op unless a kernel profiler is installed (``repro profile``, the
+serving worker's ``profile_kernels`` flag), in which case calls are timed
+and attributed per kernel.  ``im2col``/``col2im`` are not wrapped: they run
+nested inside the convolution kernels and would double-count.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import numpy as np
 
 from repro.exceptions import ShapeError
 from repro.nn.backend.policy import FLOAT32, as_tensor
+from repro.nn.backend.profiler import profiled
 
 IntPair = Union[int, Tuple[int, int]]
 
@@ -142,6 +149,7 @@ def col2im(
 # -- convolution ---------------------------------------------------------
 
 
+@profiled
 def conv2d_forward(
     x: np.ndarray,
     weight: np.ndarray,
@@ -174,6 +182,7 @@ def conv2d_forward(
     return out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2), cols
 
 
+@profiled
 def conv2d_backward(
     grad_output: np.ndarray,
     cols: np.ndarray,
@@ -204,6 +213,7 @@ def conv2d_backward(
 # -- transposed convolution ----------------------------------------------
 
 
+@profiled
 def conv_transpose2d(
     x: np.ndarray,
     weight: np.ndarray,
@@ -265,6 +275,7 @@ def conv_transpose2d_forward(
     return out
 
 
+@profiled
 def conv_transpose2d_backward(
     grad_output: np.ndarray,
     x: np.ndarray,
@@ -298,6 +309,7 @@ def conv_transpose2d_backward(
 # -- dense ----------------------------------------------------------------
 
 
+@profiled
 def dense_forward(
     x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]
 ) -> np.ndarray:
@@ -308,6 +320,7 @@ def dense_forward(
     return out
 
 
+@profiled
 def dense_backward(
     grad_output: np.ndarray,
     x: np.ndarray,
@@ -340,6 +353,7 @@ def _pool_patches(
     return cols.reshape(n, c, out_h, out_w, kh * kw), (out_h, out_w)
 
 
+@profiled
 def maxpool2d_forward(
     x: np.ndarray,
     kernel: Tuple[int, int],
@@ -353,6 +367,7 @@ def maxpool2d_forward(
     return patches.max(axis=-1).reshape(n, c, out_h, out_w), argmax
 
 
+@profiled
 def maxpool2d_backward(
     grad_output: np.ndarray,
     argmax: np.ndarray,
@@ -373,6 +388,7 @@ def maxpool2d_backward(
     return grad_x.reshape(n, c, h, w)
 
 
+@profiled
 def avgpool2d_forward(
     x: np.ndarray,
     kernel: Tuple[int, int],
@@ -385,6 +401,7 @@ def avgpool2d_forward(
     return patches.mean(axis=-1).reshape(n, c, out_h, out_w)
 
 
+@profiled
 def avgpool2d_backward(
     grad_output: np.ndarray,
     x_shape: Tuple[int, int, int, int],
@@ -409,17 +426,20 @@ def avgpool2d_backward(
 # -- activations ----------------------------------------------------------
 
 
+@profiled
 def relu_forward(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """``max(x, 0)``; returns ``(out, mask)`` with ``mask = x > 0``."""
     mask = x > 0
     return np.where(mask, x, 0.0), mask
 
 
+@profiled
 def relu_backward(grad_output: np.ndarray, mask: np.ndarray) -> np.ndarray:
     """Gate the upstream gradient by the forward mask."""
     return np.where(mask, grad_output, 0.0)
 
 
+@profiled
 def leaky_relu_forward(
     x: np.ndarray, negative_slope: float
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -428,6 +448,7 @@ def leaky_relu_forward(
     return np.where(mask, x, negative_slope * x), mask
 
 
+@profiled
 def leaky_relu_backward(
     grad_output: np.ndarray, mask: np.ndarray, negative_slope: float
 ) -> np.ndarray:
@@ -435,6 +456,7 @@ def leaky_relu_backward(
     return np.where(mask, grad_output, negative_slope * grad_output)
 
 
+@profiled
 def sigmoid_forward(x: np.ndarray) -> np.ndarray:
     """Numerically stable logistic sigmoid (returns the output, its cache)."""
     # Evaluate the two algebraically-equal branches on their stable side
@@ -447,16 +469,19 @@ def sigmoid_forward(x: np.ndarray) -> np.ndarray:
     return out
 
 
+@profiled
 def sigmoid_backward(grad_output: np.ndarray, out: np.ndarray) -> np.ndarray:
     """Sigmoid gradient from the cached forward output."""
     return grad_output * out * (1.0 - out)
 
 
+@profiled
 def tanh_forward(x: np.ndarray) -> np.ndarray:
     """Hyperbolic tangent (the output doubles as the backward cache)."""
     return np.tanh(x)
 
 
+@profiled
 def tanh_backward(grad_output: np.ndarray, out: np.ndarray) -> np.ndarray:
     """Tanh gradient from the cached forward output."""
     return grad_output * (1.0 - out**2)

@@ -179,6 +179,21 @@ class StreamMonitor:
         """
         return list(self._transitions)
 
+    def health(self) -> Dict[str, object]:
+        """Liveness/health document for the ``/healthz`` endpoint.
+
+        ``healthy`` is ``False`` while the persistence alarm is active —
+        a scraper watching the monitor should see the alarm as the
+        component's health, not just a counter.
+        """
+        return {
+            "healthy": not self.alarm_active,
+            "alarm_active": self.alarm_active,
+            "frames_seen": self.frames_seen,
+            "degraded_frames": len(self._degraded_frames),
+            "alarms_raised": len(self._transitions),
+        }
+
     def reset(self) -> None:
         """Clear the sliding window, alarm and fault history (new drive)."""
         self._recent.clear()
@@ -304,6 +319,12 @@ class StreamMonitor:
                 telem.counter("monitor.frames").inc()
                 if state == "ok":
                     telem.histogram("monitor.score").observe(float(scores_full[i]))
+                    # The live score distribution a /metrics scraper watches
+                    # for threshold drift (same series the serving engine
+                    # feeds when scoring goes through it).
+                    telem.window_histogram("monitor.score_window").observe(
+                        float(scores_full[i])
+                    )
                     telem.gauge("monitor.threshold_margin").set(float(margins_full[i]))
                 else:
                     telem.counter("monitor.degraded_frames").inc()

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.serving.results import PendingResult
+from repro.telemetry.trace import TraceContext
 
 
 @dataclass
@@ -35,6 +36,9 @@ class QueuedRequest:
     enqueued_at: float
     #: Absolute ``time.monotonic()`` deadline, or ``None`` for no deadline.
     deadline_at: Optional[float]
+    #: Root trace context of this request (``None`` when telemetry is off);
+    #: the value that carries the request's identity across the queue.
+    trace: Optional[TraceContext] = None
 
 
 class MicroBatcher:

@@ -31,6 +31,20 @@ Telemetry (when a session is active): ``serving.queue_depth`` and
 ``serving.request_latency`` histograms, ``serving.batch`` spans, and
 ``serving.requests`` / ``serving.rejected`` / ``serving.deadline_exceeded``
 / ``serving.errors`` / ``serving.retries`` / ``serving.degraded`` counters.
+
+Tracing: :meth:`ServingEngine.submit` roots a
+:class:`~repro.telemetry.TraceContext` per admitted request (or adopts one
+the TCP frontend already rooted) and carries it on the
+:class:`QueuedRequest` through the batcher.  The dispatch loop emits the
+request's ``serving.queue`` wait and its ``serving.request`` root as
+synthetic spans, and runs the scoring pass under a ``serving.batch`` span
+parented to the *first* live request's trace (the batch owner); the other
+requests of the batch link to it via a ``batch_trace`` attribute.  Spans
+the backend opens during scoring (pipeline, worker, kernels) inherit the
+batch span's context ambiently, so ``repro trace <id>`` reconstructs the
+whole path.  Scores additionally feed the ``monitor.score_window`` sliding
+histogram, the live score-distribution series the ``/metrics`` endpoint
+exposes.
 """
 
 from __future__ import annotations
@@ -58,7 +72,7 @@ from repro.serving.results import (
     RequestOutcome,
     Scored,
 )
-from repro.telemetry import get_telemetry
+from repro.telemetry import TraceContext, get_telemetry
 from repro.utils.timer import percentile
 
 _UNSET = object()
@@ -223,6 +237,7 @@ class ServingEngine:
             "batches": 0,
         }
         self._latencies: List[float] = []
+        self._last_trace_id: Optional[str] = None
         self._closed = False
         self._threads = [
             threading.Thread(
@@ -236,12 +251,20 @@ class ServingEngine:
             thread.start()
 
     # -- submission ------------------------------------------------------
-    def submit(self, frame: np.ndarray, deadline_ms: Any = _UNSET) -> PendingResult:
+    def submit(
+        self,
+        frame: np.ndarray,
+        deadline_ms: Any = _UNSET,
+        trace: Optional[TraceContext] = None,
+    ) -> PendingResult:
         """Admit one frame; returns a future resolving to a typed outcome.
 
         Never blocks: when the bounded queue is full the future is already
         resolved to :class:`Overloaded` on return.  ``deadline_ms``
-        overrides the config default (``None`` = no deadline).
+        overrides the config default (``None`` = no deadline).  ``trace``
+        adopts a context the caller already rooted (the TCP frontend's
+        ``serving.frontend`` span); with telemetry active and no ``trace``
+        a fresh root is generated for the request.
         """
         frame = as_tensor(frame, getattr(self.scorer, "dtype", None))
         expected = getattr(self.scorer, "image_shape", None)
@@ -251,6 +274,9 @@ class ServingEngine:
             )
         if deadline_ms is _UNSET:
             deadline_ms = self.config.default_deadline_ms
+        telem = get_telemetry()
+        if trace is None and telem.enabled:
+            trace = TraceContext.new_root()
         now = time.monotonic()
         pending = PendingResult()
         request = QueuedRequest(
@@ -258,15 +284,21 @@ class ServingEngine:
             pending=pending,
             enqueued_at=now,
             deadline_at=None if deadline_ms is None else now + deadline_ms / 1000.0,
+            trace=trace,
         )
-        telem = get_telemetry()
         telem.counter("serving.requests").inc()
         with self._stats_lock:
             self._counts["submitted"] += 1
+            if trace is not None:
+                self._last_trace_id = trace.trace_id
         if not self._batcher.offer(request):
             depth = len(self._batcher)
             pending.resolve(Overloaded(queue_depth=depth, capacity=self._batcher.capacity))
             telem.counter("serving.rejected").inc()
+            if trace is not None:
+                telem.add_span(
+                    "serving.request", 0.0, context=trace, outcome="overloaded"
+                )
             with self._stats_lock:
                 self._counts["rejected"] += 1
         telem.gauge("serving.queue_depth").set(len(self._batcher))
@@ -362,6 +394,13 @@ class ServingEngine:
                         DeadlineExceeded(waited_s=waited, deadline_s=allowed)
                     )
                     telem.counter("serving.deadline_exceeded").inc()
+                    if request.trace is not None:
+                        telem.add_span(
+                            "serving.request",
+                            waited,
+                            context=request.trace,
+                            outcome="deadline_exceeded",
+                        )
                     with self._stats_lock:
                         self._counts["deadline_exceeded"] += 1
                 else:
@@ -369,13 +408,24 @@ class ServingEngine:
             telem.gauge("serving.queue_depth").set(len(self._batcher))
             if not live:
                 continue
+            # The batch's spans join the first live request's trace (the
+            # batch owner); the other requests link to it via a
+            # ``batch_trace`` attribute on their own root spans.
+            owner = live[0].trace
+            for request in live:
+                if request.trace is not None:
+                    telem.add_span(
+                        "serving.queue",
+                        now - request.enqueued_at,
+                        context=request.trace.child(),
+                    )
             stack = np.stack([r.frame for r in live])
             if self.breaker is not None and not self.breaker.allow():
                 self._resolve_unscorable(live, "circuit breaker open", telem)
                 self._publish_breaker_state(telem)
                 continue
             try:
-                with telem.span("serving.batch", frames=len(live)):
+                with telem.span("serving.batch", trace=owner, frames=len(live)):
                     verdicts, retries = self._score_guarded(stack)
             except Exception as exc:  # noqa: BLE001 — worker crashes land here
                 message = f"{type(exc).__name__}: {exc}"
@@ -390,6 +440,7 @@ class ServingEngine:
                     self._counts["retries"] += retries
             done = time.monotonic()
             latency_histogram = telem.histogram("serving.request_latency")
+            score_window = telem.window_histogram("monitor.score_window")
             # The stats lock also serializes metric updates across dispatch
             # threads — the telemetry instruments are not thread-safe.
             with self._stats_lock:
@@ -401,10 +452,25 @@ class ServingEngine:
                     latency = done - request.enqueued_at
                     self._latencies.append(latency)
                     latency_histogram.observe(latency)
+                    score = float(verdicts.scores[i])
+                    is_novel = bool(verdicts.is_novel[i])
+                    score_window.observe(score)
+                    if is_novel:
+                        telem.counter("monitor.novel_verdicts").inc()
+                    if request.trace is not None:
+                        attrs = {"outcome": "scored", "batch_size": len(live)}
+                        if owner is not None and request.trace is not owner:
+                            attrs["batch_trace"] = owner.trace_id
+                        telem.add_span(
+                            "serving.request",
+                            latency,
+                            context=request.trace,
+                            **attrs,
+                        )
                     request.pending.resolve(
                         Scored(
-                            score=float(verdicts.scores[i]),
-                            is_novel=bool(verdicts.is_novel[i]),
+                            score=score,
+                            is_novel=is_novel,
                             margin=float(verdicts.margins[i]),
                             batch_size=len(live),
                             latency_s=latency,
@@ -418,16 +484,21 @@ class ServingEngine:
         with self._stats_lock:
             counts = dict(self._counts)
             latencies = list(self._latencies)
+            last_trace_id = self._last_trace_id
         summary: Dict[str, Any] = dict(counts)
         summary["queue_depth"] = len(self._batcher)
+        if last_trace_id is not None:
+            summary["last_trace_id"] = last_trace_id
         if self.breaker is not None:
             summary["breaker"] = self.breaker.stats()
+        # percentile() is NaN on empty input; stats() feeds wire JSON, so
+        # quote 0.0 for "no data" instead.
         summary["latency_ms"] = {
             "count": len(latencies),
             "mean": float(np.mean(latencies) * 1e3) if latencies else 0.0,
-            "p50": percentile(latencies, 50.0) * 1e3,
-            "p95": percentile(latencies, 95.0) * 1e3,
-            "p99": percentile(latencies, 99.0) * 1e3,
+            "p50": percentile(latencies, 50.0) * 1e3 if latencies else 0.0,
+            "p95": percentile(latencies, 95.0) * 1e3 if latencies else 0.0,
+            "p99": percentile(latencies, 99.0) * 1e3 if latencies else 0.0,
             "max": max(latencies) * 1e3 if latencies else 0.0,
         }
         if counts["batches"]:

@@ -30,13 +30,18 @@ from repro.nn.backend.policy import as_tensor, resolve_dtype
 from repro.reliability.retry import RetryPolicy, call_with_retry
 from repro.serving.artifacts import read_manifest
 from repro.serving.results import BatchVerdicts
-from repro.telemetry import get_telemetry
+from repro.telemetry import current_trace, get_telemetry
 from repro.utils.log import get_logger
 
 _log = get_logger(__name__)
 
 
-def _worker_main(bundle_dir: str, conn, dtype: Optional[str] = None) -> None:
+def _worker_main(
+    bundle_dir: str,
+    conn,
+    dtype: Optional[str] = None,
+    profile_kernels: bool = False,
+) -> None:
     """Worker-process loop: load the bundle, answer score/ping requests.
 
     Runs until a ``("stop",)`` message or EOF on the pipe.  Scoring errors
@@ -44,14 +49,28 @@ def _worker_main(bundle_dir: str, conn, dtype: Optional[str] = None) -> None:
     crashing the replica; an actual crash is detected by the parent via a
     broken pipe / timeout and answered with a restart.  ``dtype`` overrides
     the bundle's recorded precision policy for this replica.
+
+    Tracing: a score message may carry a serialized trace context as its
+    4th element.  The worker then scores under a ``worker.score_batch``
+    span parented to it (with per-kernel spans nested inside when
+    ``profile_kernels`` is set) and returns the finished span records in
+    the reply, so the parent can replay them into its own sink — one JSONL
+    file ends up holding the whole cross-process request tree.
     """
     from repro.serving.artifacts import load_bundle
+    from repro.telemetry import MemorySink, TraceContext, enable_telemetry
 
+    if profile_kernels:
+        from repro.nn.backend import enable_kernel_profiler
+
+        enable_kernel_profiler()
     bundle = load_bundle(bundle_dir)
     pipeline = bundle.pipeline
     if dtype is not None:
         pipeline.set_inference_dtype(dtype)
     detector = pipeline.one_class.detector
+    telem = None
+    sink = None
     while True:
         try:
             message = conn.recv()
@@ -63,9 +82,28 @@ def _worker_main(bundle_dir: str, conn, dtype: Optional[str] = None) -> None:
         if op == "ping":
             conn.send(("pong", message[1]))
         elif op == "score":
-            _, request_id, frames = message
+            request_id, frames = message[1], message[2]
+            trace_payload = message[3] if len(message) > 3 else None
             try:
-                scores = pipeline.score_batch(frames)
+                spans: List[Dict[str, Any]] = []
+                if trace_payload is not None:
+                    if telem is None:
+                        # Lazy: workers only pay for telemetry once the
+                        # parent actually sends traced requests.
+                        telem = enable_telemetry()
+                        sink = MemorySink()
+                        telem.add_sink(sink)
+                    sink.records.clear()
+                    context = TraceContext.from_dict(trace_payload)
+                    with telem.span(
+                        "worker.score_batch", trace=context, frames=len(frames)
+                    ):
+                        scores = pipeline.score_batch(frames)
+                    spans = [
+                        dict(r) for r in sink.records if r.get("type") == "span"
+                    ]
+                else:
+                    scores = pipeline.score_batch(frames)
                 conn.send(
                     (
                         "ok",
@@ -73,6 +111,7 @@ def _worker_main(bundle_dir: str, conn, dtype: Optional[str] = None) -> None:
                         scores,
                         detector.predict(scores),
                         detector.novelty_margin(scores),
+                        spans,
                     )
                 )
             except Exception as exc:  # noqa: BLE001 — report, don't die
@@ -114,6 +153,9 @@ class WorkerPool:
         tried on, with exponential backoff (plus seeded jitter) between
         attempts so a crash-looping replica is not respawn-hammered.
         ``None`` keeps the historical try-twice-no-backoff behavior.
+    profile_kernels:
+        Install the kernel profiler in every replica, so traced requests
+        come back with per-kernel spans (``repro profile``).
     """
 
     def __init__(
@@ -123,6 +165,7 @@ class WorkerPool:
         request_timeout_s: float = 60.0,
         dtype: Optional[str] = None,
         retry: Optional[RetryPolicy] = None,
+        profile_kernels: bool = False,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -143,6 +186,7 @@ class WorkerPool:
             max_attempts=2, base_delay_s=0.0, jitter=0.0
         )
         self._retry_rng = self._retry.make_rng()
+        self.profile_kernels = bool(profile_kernels)
         self._context = multiprocessing.get_context()
         self._rr_lock = threading.Lock()
         self._rr_index = 0
@@ -156,7 +200,12 @@ class WorkerPool:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_worker_main,
-            args=(str(self.bundle_dir), child_conn, self._dtype_override),
+            args=(
+                str(self.bundle_dir),
+                child_conn,
+                self._dtype_override,
+                self.profile_kernels,
+            ),
             name=f"repro-serve-worker-{index}",
             daemon=True,
         )
@@ -242,10 +291,17 @@ class WorkerPool:
             raise ServingError("WorkerPool.score_batch called after close()")
         frames = as_tensor(frames, self.dtype)
         worker = self._next_worker()
+        # Propagate the ambient trace (the engine's serving.batch span)
+        # across the pipe as a plain dict; the worker parents its own
+        # spans under it and ships them back in the reply.
+        context = current_trace()
+        trace_payload = None if context is None else context.to_dict()
 
         def attempt() -> tuple:
             request_id = self._next_request_id()
-            return self._request(worker, ("score", request_id, frames), request_id)
+            return self._request(
+                worker, ("score", request_id, frames, trace_payload), request_id
+            )
 
         def on_failure(exc: BaseException, attempt_no: int) -> None:
             self._restart(worker, str(exc))
@@ -260,7 +316,13 @@ class WorkerPool:
             )
         if reply[0] == "err":
             raise ServingError(f"worker {worker.index} scoring error: {reply[2]}")
-        _, _, scores, is_novel, margins = reply
+        scores, is_novel, margins = reply[2], reply[3], reply[4]
+        worker_spans = reply[5] if len(reply) > 5 else []
+        if worker_spans:
+            telem = get_telemetry()
+            if telem.enabled:
+                for record in worker_spans:
+                    telem.replay_span(record)
         return BatchVerdicts(scores=scores, is_novel=is_novel, margins=margins)
 
     # -- health ----------------------------------------------------------

@@ -16,6 +16,12 @@ field: ``"ok"`` (with ``score`` / ``is_novel`` / ``margin`` /
 / ``capacity``), ``"deadline_exceeded"``, ``"failed"``, or ``"error"``
 for malformed requests.  The request's ``id`` is echoed back verbatim.
 
+Tracing: a score request may carry a ``"trace"`` object (the
+``to_dict()`` form of a :class:`~repro.telemetry.TraceContext`) to parent
+the server's spans under the client's trace; with server telemetry active
+every score response carries the request's ``trace_id``, the handle
+``repro trace`` renders.
+
 :class:`ServingServer` accepts connections on a thread per client and
 feeds frames into a :class:`~repro.serving.engine.ServingEngine`;
 :class:`ServingClient` is the matching blocking client used by the load
@@ -32,10 +38,11 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ServingError, ShapeError
+from repro.exceptions import SerializationError, ServingError, ShapeError
 from repro.nn.backend.policy import as_tensor
 from repro.serving.engine import ServingEngine
 from repro.serving.results import DeadlineExceeded, Degraded, Failed, Overloaded, Scored
+from repro.telemetry import TraceContext, get_telemetry
 from repro.utils.log import get_logger
 
 _log = get_logger(__name__)
@@ -154,14 +161,33 @@ class ServingServer:
             return {"id": request_id, "status": "ok", "stats": self.engine.stats()}
         if op != "score":
             return {"id": request_id, "status": "error", "error": f"unknown op {op!r}"}
+        telem = get_telemetry()
+        # Adopt a trace context the client propagated over the wire, or
+        # root a fresh trace at this frontend hop.
+        trace_arg: Any = "new"
+        if "trace" in request:
+            try:
+                trace_arg = TraceContext.from_dict(request["trace"])
+            except SerializationError as exc:
+                return {"id": request_id, "status": "error", "error": str(exc)}
         try:
             frame = as_tensor(
                 request["frame"], getattr(self.engine.scorer, "dtype", None)
             )
+            deadline_kwargs: Dict[str, Any] = {}
             if "deadline_ms" in request:
-                pending = self.engine.submit(frame, deadline_ms=request["deadline_ms"])
-            else:
-                pending = self.engine.submit(frame)
+                deadline_kwargs["deadline_ms"] = request["deadline_ms"]
+            if telem.enabled:
+                with telem.span("serving.frontend", trace=trace_arg) as span:
+                    request_trace = span.context.child()
+                    pending = self.engine.submit(
+                        frame, trace=request_trace, **deadline_kwargs
+                    )
+                    outcome = pending.result(self.request_timeout_s)
+                response = _serialize_outcome(request_id, outcome)
+                response["trace_id"] = request_trace.trace_id
+                return response
+            pending = self.engine.submit(frame, **deadline_kwargs)
         except KeyError:
             return {"id": request_id, "status": "error", "error": "score requires 'frame'"}
         except (ShapeError, TypeError, ValueError) as exc:
@@ -248,11 +274,24 @@ class ServingClient:
             )
         return reply
 
-    def score(self, frame: np.ndarray, deadline_ms: Optional[float] = None) -> Dict[str, Any]:
-        """Score one ``(H, W)`` frame; returns the decoded response dict."""
+    def score(
+        self,
+        frame: np.ndarray,
+        deadline_ms: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
+    ) -> Dict[str, Any]:
+        """Score one ``(H, W)`` frame; returns the decoded response dict.
+
+        ``trace`` propagates a caller-side trace context over the wire, so
+        the server's spans parent under the client's; either way a scored
+        response carries the request's ``trace_id`` when the server has
+        telemetry active.
+        """
         payload: Dict[str, Any] = {"op": "score", "frame": np.asarray(frame).tolist()}
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
+        if trace is not None:
+            payload["trace"] = trace.to_dict()
         return self._call(payload)
 
     def ping(self) -> bool:

@@ -1,17 +1,21 @@
-"""Telemetry: metrics, spans, and event export for the runtime claims.
+"""Telemetry: metrics, spans, traces, and event export for runtime claims.
 
 The paper argues VBP-based novelty detection is fast enough for real-time
 deployment; this subsystem is how the repo *observes* that — per-frame
 scoring spans, score/latency histograms with p50/p95/p99 summaries, and
 alarm counters, exported as JSONL traces that ``repro telemetry`` renders.
 
-Three pieces (see ``docs/observability.md`` for conventions):
+Five pieces (see ``docs/observability.md`` for conventions):
 
-* :class:`MetricsRegistry` — process-local counters, gauges, and
-  fixed-bucket histograms;
+* :class:`MetricsRegistry` — process-local counters, gauges, fixed-bucket
+  histograms, and sliding-window histograms (live score distributions);
 * spans — ``get_telemetry().span("vbp.forward")`` context managers that
   nest, accumulate wall-clock, and attach key/value attributes;
-* sinks — :class:`JsonlSink` event export plus text/dict renderers.
+* trace contexts — :class:`TraceContext` triples that correlate spans
+  across threads and processes into per-request trees (``repro trace``);
+* sinks — :class:`JsonlSink` event export plus text/dict renderers;
+* exposition — :func:`render_prometheus` and :class:`MetricsServer`, the
+  scrape-able ``/metrics`` + ``/healthz`` endpoint.
 
 All instrumented code paths run against a shared no-op null backend until
 :func:`enable_telemetry` / :func:`telemetry_session` installs a real one,
@@ -23,9 +27,18 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    WindowHistogram,
     render_snapshot,
 )
-from repro.telemetry.report import render_jsonl_report, render_summary, summarize_events
+from repro.telemetry.prometheus import MetricsServer, render_prometheus
+from repro.telemetry.report import (
+    collect_traces,
+    render_jsonl_report,
+    render_summary,
+    render_trace_tree,
+    summarize_events,
+    summarize_kernel_spans,
+)
 from repro.telemetry.runtime import (
     NullTelemetry,
     Telemetry,
@@ -36,16 +49,23 @@ from repro.telemetry.runtime import (
 )
 from repro.telemetry.sink import EventSink, JsonlSink, MemorySink, read_events
 from repro.telemetry.spans import SpanRecord, Tracer
+from repro.telemetry.trace import TraceContext, current_trace, use_trace
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "WindowHistogram",
     "render_snapshot",
+    "MetricsServer",
+    "render_prometheus",
+    "collect_traces",
     "render_jsonl_report",
     "render_summary",
+    "render_trace_tree",
     "summarize_events",
+    "summarize_kernel_spans",
     "NullTelemetry",
     "Telemetry",
     "disable_telemetry",
@@ -58,4 +78,7 @@ __all__ = [
     "read_events",
     "SpanRecord",
     "Tracer",
+    "TraceContext",
+    "current_trace",
+    "use_trace",
 ]

@@ -15,7 +15,8 @@ with the same :func:`repro.utils.timer.percentile` interpolation the
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.utils.timer import percentile
@@ -123,7 +124,11 @@ class Histogram:
         return self.total / self.count if self.samples else 0.0
 
     def quantile(self, q: float) -> float:
-        """Exact linear-interpolated percentile of the observations."""
+        """Exact linear-interpolated percentile of the observations.
+
+        ``nan`` when the histogram is empty; the lone value when there is
+        exactly one observation.  Never raises on an empty series.
+        """
         return percentile(self.samples, q)
 
     def summary(self) -> Dict[str, float]:
@@ -141,6 +146,59 @@ class Histogram:
         }
 
 
+class WindowHistogram:
+    """Sliding-window distribution over the last ``maxlen`` observations.
+
+    Where :class:`Histogram` accumulates for a whole session, a window
+    histogram answers "what does the score distribution look like *right
+    now*" — the live view a scraper needs to see threshold drift (Shekar
+    et al. 2022) rather than a session-lifetime average.  Exposed on
+    ``/metrics`` as a summary with quantile labels.
+    """
+
+    __slots__ = ("name", "maxlen", "window", "observed")
+
+    def __init__(self, name: str, maxlen: int = 1024) -> None:
+        if maxlen < 1:
+            raise ConfigurationError(
+                f"window histogram {name} needs maxlen >= 1, got {maxlen}"
+            )
+        self.name = name
+        self.maxlen = int(maxlen)
+        self.window: Deque[float] = deque(maxlen=self.maxlen)
+        self.observed = 0  # lifetime count, including evicted observations
+
+    def observe(self, value: float) -> None:
+        """Record one observation (evicting the oldest once full)."""
+        self.window.append(float(value))
+        self.observed += 1
+
+    @property
+    def count(self) -> int:
+        """Observations currently in the window."""
+        return len(self.window)
+
+    def quantile(self, q: float) -> float:
+        """Percentile over the current window (``nan`` when empty)."""
+        return percentile(self.window, q)
+
+    def summary(self) -> Dict[str, float]:
+        """Rollup of the current window plus the lifetime ``observed``."""
+        if not self.window:
+            return {"count": 0, "observed": self.observed}
+        values = list(self.window)
+        return {
+            "count": len(values),
+            "observed": self.observed,
+            "mean": float(sum(values)) / len(values),
+            "min": min(values),
+            "max": max(values),
+            "p50": percentile(values, 50.0),
+            "p95": percentile(values, 95.0),
+            "p99": percentile(values, 99.0),
+        }
+
+
 class MetricsRegistry:
     """Get-or-create home for every instrument in one telemetry session."""
 
@@ -148,9 +206,10 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._windows: Dict[str, WindowHistogram] = {}
 
     def _claim(self, name: str, kind: Dict[str, object]) -> None:
-        for family in (self._counters, self._gauges, self._histograms):
+        for family in (self._counters, self._gauges, self._histograms, self._windows):
             if family is not kind and name in family:
                 raise ConfigurationError(
                     f"metric {name!r} already registered as a different kind"
@@ -181,15 +240,28 @@ class MetricsRegistry:
             self._histograms[name] = Histogram(name, buckets=buckets)
         return self._histograms[name]
 
+    def window_histogram(self, name: str, maxlen: int = 1024) -> WindowHistogram:
+        """The sliding-window histogram named ``name`` (created on first
+        request; ``maxlen`` only takes effect at creation)."""
+        if name not in self._windows:
+            self._claim(_check_name(name), self._windows)
+            self._windows[name] = WindowHistogram(name, maxlen=maxlen)
+        return self._windows[name]
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Plain-dict view of every instrument (JSON-serializable)."""
-        return {
+        snap = {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
             "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
             "histograms": {
                 n: h.summary() for n, h in sorted(self._histograms.items())
             },
         }
+        if self._windows:
+            snap["windows"] = {
+                n: w.summary() for n, w in sorted(self._windows.items())
+            }
+        return snap
 
     def render(self) -> str:
         """Human-readable multi-line report of the current snapshot."""
@@ -221,5 +293,18 @@ def render_snapshot(snapshot: Dict[str, Dict[str, object]]) -> str:
                 f"  {name:<32} n={summary['count']:<6} mean={summary['mean']:.6g} "
                 f"p50={summary['p50']:.6g} p95={summary['p95']:.6g} "
                 f"p99={summary['p99']:.6g} max={summary['max']:.6g}"
+            )
+    windows = snapshot.get("windows", {})
+    if windows:
+        lines.append("windows:")
+        for name, summary in sorted(windows.items()):
+            if not summary.get("count"):
+                lines.append(f"  {name:<32} (empty)")
+                continue
+            lines.append(
+                f"  {name:<32} n={summary['count']:<6} "
+                f"observed={summary['observed']:<8} mean={summary['mean']:.6g} "
+                f"p50={summary['p50']:.6g} p95={summary['p95']:.6g} "
+                f"p99={summary['p99']:.6g}"
             )
     return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -3,12 +3,18 @@
 ``repro telemetry TRACE`` is a thin wrapper over
 :func:`render_jsonl_report`; :func:`summarize_events` is the
 machine-readable middle step tests assert against.
+
+Trace-aware additions: :func:`collect_traces` groups span records by
+``trace_id``, :func:`render_trace_tree` prints one request's span tree
+(what ``repro trace <id>`` shows), and :func:`summarize_kernel_spans`
+aggregates ``kernel.*`` spans into the ``repro profile`` table rows.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
+from repro.exceptions import ConfigurationError
 from repro.telemetry.sink import read_events
 from repro.utils.timer import percentile
 
@@ -23,24 +29,36 @@ def summarize_events(records: List[Dict[str, Any]]) -> Dict[str, Any]:
     ``spans``
         Per span name: ``count``, ``total``, ``mean``, ``p50``, ``p95``,
         ``p99``, ``max`` over durations (seconds), recomputed from the raw
-        span records with :func:`repro.utils.timer.percentile`.
+        span records with :func:`repro.utils.timer.percentile`, plus
+        ``attr_keys`` — every attribute key seen on spans of this name.
     ``events``
         Per event name: occurrence count.
     ``metrics``
         The final ``snapshot`` record's counters/gauges/histograms
         (empty dicts when the trace has no snapshot).
+    ``traces``
+        Per ``trace_id`` (insertion order = first appearance): number of
+        linked span records.
     ``n_records``
         Total records parsed.
     """
     durations: Dict[str, List[float]] = {}
+    attr_keys: Dict[str, List[str]] = {}
+    trace_counts: Dict[str, int] = {}
     event_counts: Dict[str, int] = {}
     metrics: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
     for record in records:
         kind = record.get("type")
         if kind == "span":
-            durations.setdefault(record["name"], []).append(
-                float(record["duration"])
-            )
+            name = record["name"]
+            durations.setdefault(name, []).append(float(record["duration"]))
+            keys = attr_keys.setdefault(name, [])
+            for key in record.get("attrs") or {}:
+                if key not in keys:
+                    keys.append(key)
+            trace_id = record.get("trace_id")
+            if trace_id:
+                trace_counts[trace_id] = trace_counts.get(trace_id, 0) + 1
         elif kind == "event":
             name = record.get("name", "?")
             event_counts[name] = event_counts.get(name, 0) + 1
@@ -55,6 +73,7 @@ def summarize_events(records: List[Dict[str, Any]]) -> Dict[str, Any]:
             "p95": percentile(laps, 95.0),
             "p99": percentile(laps, 99.0),
             "max": max(laps),
+            "attr_keys": sorted(attr_keys.get(name, [])),
         }
         for name, laps in durations.items()
     }
@@ -62,6 +81,7 @@ def summarize_events(records: List[Dict[str, Any]]) -> Dict[str, Any]:
         "spans": spans,
         "events": event_counts,
         "metrics": metrics,
+        "traces": trace_counts,
         "n_records": len(records),
     }
 
@@ -76,15 +96,24 @@ def render_summary(summary: Dict[str, Any]) -> str:
         lines.append("")
         lines.append(
             f"{'span':<28} {'count':>6} {'total s':>9} {'mean ms':>9} "
-            f"{'p50 ms':>9} {'p95 ms':>9} {'p99 ms':>9} {'max ms':>9}"
+            f"{'p50 ms':>9} {'p95 ms':>9} {'p99 ms':>9} {'max ms':>9}  attrs"
         )
         for name, s in sorted(spans.items(), key=lambda kv: -kv[1]["total"]):
+            attrs = ",".join(s.get("attr_keys", [])) or "-"
             lines.append(
                 f"{name:<28} {s['count']:>6} {s['total']:>9.3f} "
                 f"{s['mean'] * 1e3:>9.3f} {s['p50'] * 1e3:>9.3f} "
                 f"{s['p95'] * 1e3:>9.3f} {s['p99'] * 1e3:>9.3f} "
-                f"{s['max'] * 1e3:>9.3f}"
+                f"{s['max'] * 1e3:>9.3f}  {attrs}"
             )
+    traces = summary.get("traces", {})
+    if traces:
+        lines.append("")
+        lines.append(f"traces: {len(traces)} (render one with `repro trace <id>`)")
+        for trace_id, n_spans in list(traces.items())[:8]:
+            lines.append(f"  {trace_id:<20} {n_spans:>4} spans")
+        if len(traces) > 8:
+            lines.append(f"  ... and {len(traces) - 8} more")
     events = summary.get("events", {})
     if events:
         lines.append("")
@@ -102,3 +131,116 @@ def render_summary(summary: Dict[str, Any]) -> str:
 def render_jsonl_report(path) -> str:
     """Read a JSONL trace and render its full report."""
     return render_summary(summarize_events(read_events(path)))
+
+
+# -- per-request trace trees -----------------------------------------------
+
+
+def collect_traces(records: List[Dict[str, Any]]) -> Dict[str, List[Dict[str, Any]]]:
+    """Group span records by ``trace_id`` (insertion = first appearance)."""
+    traces: Dict[str, List[Dict[str, Any]]] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        trace_id = record.get("trace_id")
+        if trace_id:
+            traces.setdefault(trace_id, []).append(record)
+    return traces
+
+
+def _format_attrs(attrs: Dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for key, value in sorted(attrs.items()):
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.6g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " {" + " ".join(parts) + "}"
+
+
+def render_trace_tree(records: List[Dict[str, Any]], trace_id: str) -> str:
+    """Render one request's span tree from its linked span records.
+
+    Spans are nested by ``parent_span_id``; spans whose parent never made
+    it into the sink (a dropped record, a root emitted elsewhere) are
+    promoted to top level rather than lost.  Each line carries the span's
+    duration, short span id, and attributes — the full story of one
+    request: frontend → queue → batch → worker → kernels.
+    """
+    traces = collect_traces(records)
+    if trace_id not in traces:
+        known = ", ".join(list(traces)[:5]) or "none"
+        raise ConfigurationError(
+            f"trace {trace_id!r} not found in this telemetry file "
+            f"(known trace ids: {known})"
+        )
+    spans = traces[trace_id]
+    by_id: Dict[str, Dict[str, Any]] = {
+        s["span_id"]: s for s in spans if s.get("span_id")
+    }
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent_span_id")
+        if parent not in by_id:
+            parent = None  # orphan or true root: promote to top level
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: float(s.get("t", 0.0)))
+
+    total = sum(float(s.get("duration", 0.0)) for s in children.get(None, []))
+    lines = [f"trace {trace_id} — {len(spans)} spans, {total * 1e3:.3f} ms at roots"]
+
+    def walk(span: Dict[str, Any], prefix: str, is_last: bool) -> None:
+        connector = "`-" if is_last else "|-"
+        duration_ms = float(span.get("duration", 0.0)) * 1e3
+        span_id = span.get("span_id") or "?"
+        lines.append(
+            f"{prefix}{connector} {span['name']}  {duration_ms:.3f} ms"
+            f"  [{span_id}]{_format_attrs(span.get('attrs') or {})}"
+        )
+        child_prefix = prefix + ("   " if is_last else "|  ")
+        kids = children.get(span.get("span_id"), [])
+        for i, kid in enumerate(kids):
+            walk(kid, child_prefix, i == len(kids) - 1)
+
+    roots = children.get(None, [])
+    for i, root in enumerate(roots):
+        walk(root, "", i == len(roots) - 1)
+    return "\n".join(lines)
+
+
+# -- kernel-span aggregation (`repro profile`) -----------------------------
+
+
+def summarize_kernel_spans(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Aggregate ``kernel.*`` spans into profile-table rows.
+
+    Returns the same row shape as
+    :meth:`repro.nn.backend.profiler.KernelProfiler.snapshot` — name,
+    calls, seconds, flops, bytes, shapes — sorted by total seconds, so
+    ``repro profile`` renders JSONL-derived and live aggregates through
+    one table formatter.
+    """
+    rows: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        name = record.get("name", "")
+        if not name.startswith("kernel."):
+            continue
+        kernel = name[len("kernel."):]
+        row = rows.setdefault(
+            kernel,
+            {"name": kernel, "calls": 0, "seconds": 0.0, "flops": 0.0,
+             "bytes": 0.0, "shapes": {}},
+        )
+        attrs = record.get("attrs") or {}
+        row["calls"] += 1
+        row["seconds"] += float(record.get("duration", 0.0))
+        row["flops"] += float(attrs.get("flops", 0.0))
+        row["bytes"] += float(attrs.get("bytes", 0.0))
+        shape = str(attrs.get("shape", "-"))
+        row["shapes"][shape] = row["shapes"].get(shape, 0) + 1
+    return sorted(rows.values(), key=lambda r: r["seconds"], reverse=True)

@@ -22,13 +22,15 @@ computing a gradient norm only to discard it) can branch on
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
-from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry, WindowHistogram
 from repro.telemetry.sink import EventSink, JsonlSink
 from repro.telemetry.spans import SpanRecord, Tracer
+from repro.telemetry.trace import TraceContext
 
 #: Bucket bounds used for span-duration histograms (seconds, 1µs..50s).
 SPAN_BUCKETS = tuple(
@@ -89,8 +91,17 @@ class NullTelemetry:
     def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> _NullHistogram:
         return _NULL_HISTOGRAM
 
-    def span(self, name: str, **attributes: Any) -> _NullSpan:
+    def window_histogram(self, name: str, maxlen: int = 1024) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def span(self, name: str, trace: Any = None, **attributes: Any) -> _NullSpan:
         return _NULL_SPAN
+
+    def add_span(self, name: str, duration: float, **kwargs: Any) -> None:
+        pass
+
+    def replay_span(self, record: Dict[str, Any]) -> None:
+        pass
 
     def event(self, name: str, **fields: Any) -> None:
         pass
@@ -121,6 +132,9 @@ class Telemetry:
             self.sinks.append(JsonlSink(jsonl_path))
         self._wall_start = time.time()
         self._closed = False
+        # Serving emits from several threads at once (socket handlers, the
+        # dispatch loop); one lock keeps sink writes whole-record atomic.
+        self._emit_lock = threading.Lock()
 
     # -- instruments (delegate to the registry) -------------------------
     def counter(self, name: str) -> Counter:
@@ -132,10 +146,44 @@ class Telemetry:
     def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
         return self.registry.histogram(name, buckets=buckets)
 
+    def window_histogram(self, name: str, maxlen: int = 1024) -> WindowHistogram:
+        return self.registry.window_histogram(name, maxlen=maxlen)
+
     # -- spans and events ------------------------------------------------
-    def span(self, name: str, **attributes: Any):
-        """Context manager timing a named region (see :class:`Tracer`)."""
-        return self.tracer.span(name, **attributes)
+    def span(self, name: str, trace: Any = None, **attributes: Any):
+        """Context manager timing a named region (see :class:`Tracer`).
+
+        ``trace`` accepts a :class:`~repro.telemetry.trace.TraceContext`
+        to parent under, or ``"new"`` to root a fresh trace at this span.
+        """
+        return self.tracer.span(name, trace=trace, **attributes)
+
+    def add_span(
+        self,
+        name: str,
+        duration: float,
+        context: Optional[TraceContext] = None,
+        end: Optional[float] = None,
+        **attributes: Any,
+    ) -> None:
+        """Record a synthetic (non-lexical) span; see :meth:`Tracer.add_span`."""
+        self.tracer.add_span(name, duration, context=context, end=end, **attributes)
+
+    def replay_span(self, record: Dict[str, Any]) -> None:
+        """Re-emit a span record dict produced in another process.
+
+        The worker pool collects span records inside worker processes and
+        ships them back in the scoring reply; the parent replays them here
+        so one JSONL sink holds the whole request tree.  Feeds the same
+        ``span.<name>`` duration histogram as a locally finished span.
+        """
+        name = record.get("name", "unknown")
+        duration = float(record.get("duration", 0.0))
+        self.histogram(f"span.{name}", buckets=SPAN_BUCKETS).observe(duration)
+        payload = dict(record)
+        payload["type"] = "span"
+        payload.setdefault("t", time.time() - self._wall_start)
+        self._emit(payload)
 
     def event(self, name: str, **fields: Any) -> None:
         """Record one discrete occurrence with key/value payload."""
@@ -152,21 +200,25 @@ class Telemetry:
         self.histogram(f"span.{record.name}", buckets=SPAN_BUCKETS).observe(
             record.duration
         )
-        self._emit(
-            {
-                "type": "span",
-                "name": record.name,
-                "t": record.start,
-                "duration": record.duration,
-                "parent": record.parent,
-                "depth": record.depth,
-                "attrs": _jsonable(record.attributes),
-            }
-        )
+        payload = {
+            "type": "span",
+            "name": record.name,
+            "t": record.start,
+            "duration": record.duration,
+            "parent": record.parent,
+            "depth": record.depth,
+            "attrs": _jsonable(record.attributes),
+        }
+        if record.trace_id is not None:
+            payload["trace_id"] = record.trace_id
+            payload["span_id"] = record.span_id
+            payload["parent_span_id"] = record.parent_span_id
+        self._emit(payload)
 
     def _emit(self, record: Dict[str, Any]) -> None:
-        for sink in self.sinks:
-            sink.emit(record)
+        with self._emit_lock:
+            for sink in self.sinks:
+                sink.emit(record)
 
     def add_sink(self, sink: EventSink) -> None:
         """Attach another sink (tests use :class:`MemorySink`)."""

@@ -40,11 +40,21 @@ class MemorySink(EventSink):
 
 
 class JsonlSink(EventSink):
-    """Appends records as JSON lines to ``path`` (parent dirs created)."""
+    """Appends records as JSON lines to ``path`` (parent dirs created).
 
-    def __init__(self, path) -> None:
+    ``flush_every`` bounds how many records a crashed process can lose:
+    the handle is flushed after every N emits (default 1 — flush each
+    record, so a live tail of the file is always current).  ``close``
+    always flushes whatever remains buffered.
+    """
+
+    def __init__(self, path, flush_every: int = 1) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self.path = Path(path)
+        self.flush_every = int(flush_every)
         self._handle = None
+        self._pending = 0
 
     def emit(self, record: Dict[str, Any]) -> None:
         if self._handle is None:
@@ -56,9 +66,16 @@ class JsonlSink(EventSink):
                     f"failed to open telemetry trace {self.path}: {exc}"
                 ) from exc
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._pending += 1
+        if self._pending >= self.flush_every:
+            self._handle.flush()
+            self._pending = 0
 
     def close(self) -> None:
         if self._handle is not None:
+            if self._pending:
+                self._handle.flush()
+                self._pending = 0
             self._handle.close()
             self._handle = None
 

@@ -1,0 +1,148 @@
+"""Distributed trace contexts: correlate spans across threads and processes.
+
+A :class:`TraceContext` is the (trace_id, span_id, parent_id) triple that
+turns isolated span records into one per-request tree.  The serving engine
+creates a root context per admitted request, carries it through the
+micro-batcher queue, serializes it across the worker-pool pipe protocol and
+the TCP frontend (``to_dict`` / ``from_dict``), and every span emitted
+under it — queue wait, batch scoring, per-kernel timings — links back via
+``parent_id``, so ``repro trace <trace_id>`` can reconstruct the request's
+full path from the JSONL sink.
+
+Propagation is explicit where it must be (anything crossing a queue, pipe,
+or socket carries the context as a value — the serving lint enforces it)
+and ambient where it can be: :func:`use_trace` installs a context in
+thread-local state, and spans opened without an explicit ``trace=`` inherit
+it, so the existing instrumentation (``pipeline.score_batch``,
+``vbp.forward``, kernel hooks) joins a request's trace automatically when
+it runs under a traced region.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.exceptions import SerializationError
+
+#: Bytes of entropy per generated id (hex-encoded, so ids are twice this).
+_TRACE_ID_BYTES = 8
+_SPAN_ID_BYTES = 8
+
+
+def _new_id(n_bytes: int) -> str:
+    return os.urandom(n_bytes).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One position in a request's span tree.
+
+    Attributes
+    ----------
+    trace_id:
+        Identifier shared by every span of one request.
+    span_id:
+        Identifier of the span this context represents.
+    parent_id:
+        ``span_id`` of the enclosing span, or ``None`` at the root.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    @classmethod
+    def new_root(cls) -> "TraceContext":
+        """A fresh root context (new trace_id, no parent)."""
+        return cls(trace_id=_new_id(_TRACE_ID_BYTES), span_id=_new_id(_SPAN_ID_BYTES))
+
+    def child(self) -> "TraceContext":
+        """A child context: same trace, new span id, parented here."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_new_id(_SPAN_ID_BYTES),
+            parent_id=self.span_id,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form for queues, pipes, and wire protocols."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TraceContext":
+        """Rebuild a context received over a process boundary."""
+        if not isinstance(payload, dict):
+            raise SerializationError(
+                f"trace context must be a dict, got {type(payload).__name__}"
+            )
+        try:
+            trace_id = payload["trace_id"]
+            span_id = payload["span_id"]
+        except KeyError as exc:
+            raise SerializationError(
+                f"trace context is missing required key {exc}"
+            ) from exc
+        parent_id = payload.get("parent_id")
+        for name, value in (("trace_id", trace_id), ("span_id", span_id)):
+            if not isinstance(value, str) or not value:
+                raise SerializationError(
+                    f"trace context {name} must be a non-empty string, got {value!r}"
+                )
+        if parent_id is not None and not isinstance(parent_id, str):
+            raise SerializationError(
+                f"trace context parent_id must be a string or None, got {parent_id!r}"
+            )
+        return cls(trace_id=trace_id, span_id=span_id, parent_id=parent_id)
+
+
+_STATE = threading.local()
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The context ambient on this thread, or ``None`` outside any trace."""
+    return getattr(_STATE, "context", None)
+
+
+def _set_current(context: Optional[TraceContext]) -> None:
+    _STATE.context = context
+
+
+class _TraceScope:
+    """Context manager installing (and restoring) the ambient trace."""
+
+    __slots__ = ("context", "_previous")
+
+    def __init__(self, context: Optional[TraceContext]) -> None:
+        self.context = context
+        self._previous: Optional[TraceContext] = None
+
+    def __enter__(self) -> Optional[TraceContext]:
+        self._previous = current_trace()
+        _set_current(self.context)
+        return self.context
+
+    def __exit__(self, *exc: Any) -> bool:
+        _set_current(self._previous)
+        return False
+
+
+def use_trace(context: Optional[TraceContext]) -> _TraceScope:
+    """Scope ``context`` as the ambient trace for the current thread.
+
+    Spans opened inside the scope without an explicit ``trace=`` parent
+    themselves under it; ``use_trace(None)`` masks any outer trace.
+
+    >>> ctx = TraceContext.new_root()
+    >>> with use_trace(ctx):
+    ...     assert current_trace() is ctx
+    >>> current_trace() is None
+    True
+    """
+    return _TraceScope(context)

@@ -9,17 +9,19 @@ from typing import Any, Callable, List, Sequence, Tuple
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile of a sequence (0.0 when empty).
+    """Linear-interpolated percentile of a sequence (NaN when empty).
 
     Matches ``numpy.percentile``'s default (linear) method; shared by
     :class:`Timer` and the telemetry histogram summaries so every latency
-    report in the repo quotes the same statistic.
+    report in the repo quotes the same statistic.  An empty series has no
+    percentile — the result is ``nan``, never an exception — and a single
+    observation is its own percentile at every ``q``.
     """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile q must be in [0, 100], got {q}")
     ordered = sorted(float(v) for v in values)
     if not ordered:
-        return 0.0
+        return math.nan
     pos = (len(ordered) - 1) * (q / 100.0)
     lo = math.floor(pos)
     hi = math.ceil(pos)
@@ -74,17 +76,17 @@ class Timer:
     @property
     def p50(self) -> float:
         """Median lap time (0.0 when nothing recorded)."""
-        return percentile(self.laps, 50.0)
+        return percentile(self.laps, 50.0) if self.laps else 0.0
 
     @property
     def p95(self) -> float:
         """95th-percentile lap time (0.0 when nothing recorded)."""
-        return percentile(self.laps, 95.0)
+        return percentile(self.laps, 95.0) if self.laps else 0.0
 
     @property
     def p99(self) -> float:
         """99th-percentile lap time (0.0 when nothing recorded)."""
-        return percentile(self.laps, 99.0)
+        return percentile(self.laps, 99.0) if self.laps else 0.0
 
 
 def time_call(fn: Callable[..., Any], *args: Any, repeats: int = 1, **kwargs: Any) -> Tuple[Any, Timer]:

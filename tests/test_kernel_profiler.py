@@ -1,0 +1,159 @@
+"""Tests for the opt-in kernel profiler in the nn backend."""
+
+import numpy as np
+import pytest
+
+from repro.nn.backend import (
+    KernelProfiler,
+    disable_kernel_profiler,
+    enable_kernel_profiler,
+    get_kernel_profiler,
+    kernel_profile,
+    profiled,
+    render_profile_table,
+)
+from repro.nn.backend.kernels import conv2d_forward, dense_forward, relu_forward
+from repro.telemetry import (
+    MemorySink,
+    TraceContext,
+    disable_telemetry,
+    telemetry_session,
+    use_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_profiler():
+    disable_kernel_profiler()
+    yield
+    disable_kernel_profiler()
+    disable_telemetry()
+
+
+def _run_dense(n=4):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(n, 3))
+    weight = rng.normal(size=(3, 5))
+    bias = np.zeros(5)
+    return dense_forward(x, weight, bias)
+
+
+class TestInstallation:
+    def test_disabled_by_default(self):
+        assert get_kernel_profiler() is None
+        _run_dense()  # fast path: no profiler, no error
+        assert get_kernel_profiler() is None
+
+    def test_enable_returns_the_installed_profiler(self):
+        profiler = enable_kernel_profiler()
+        assert get_kernel_profiler() is profiler
+        disable_kernel_profiler()
+        assert get_kernel_profiler() is None
+
+    def test_context_manager_restores_previous(self):
+        outer = enable_kernel_profiler()
+        with kernel_profile() as inner:
+            assert get_kernel_profiler() is inner
+        assert get_kernel_profiler() is outer
+
+    def test_kernels_keep_the_undecorated_baseline(self):
+        for fn in (conv2d_forward, dense_forward, relu_forward):
+            assert hasattr(fn, "__wrapped__")
+            assert fn.__wrapped__.__name__ == fn.__name__
+
+
+class TestAggregates:
+    def test_records_calls_and_shapes(self):
+        with kernel_profile() as profiler:
+            _run_dense(n=4)
+            _run_dense(n=4)
+            _run_dense(n=2)
+        (row,) = profiler.snapshot()
+        assert row["name"] == "dense_forward"
+        assert row["calls"] == 3
+        assert row["seconds"] > 0.0
+        assert row["bytes"] > 0.0
+        assert row["shapes"] == {"(4, 3) f8": 2, "(2, 3) f8": 1}
+
+    def test_dense_flop_estimate_is_2mnk(self):
+        with kernel_profile() as profiler:
+            _run_dense(n=4)
+        (row,) = profiler.snapshot()
+        assert row["flops"] == pytest.approx(2.0 * 4 * 5 * 3)
+
+    def test_conv_flop_estimate_counts_macs(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 8, 8))
+        weight = rng.normal(size=(4, 3, 3, 3))
+        with kernel_profile() as profiler:
+            conv2d_forward(x, weight, None, (1, 1), (0, 0))
+        (row,) = profiler.snapshot()
+        # out 6x6, 2 FLOPs per MAC: 2 * N*oh*ow*Cout*Cin*kh*kw
+        assert row["flops"] == pytest.approx(2.0 * 2 * 6 * 6 * 4 * 3 * 3 * 3)
+
+    def test_elementwise_fallback_counts_output_size(self):
+        with kernel_profile() as profiler:
+            relu_forward(np.ones((3, 7)))
+        (row,) = profiler.snapshot()
+        assert row["name"] == "relu_forward"
+        assert row["flops"] == pytest.approx(21.0)
+
+    def test_snapshot_sorted_by_seconds_desc(self):
+        profiler = KernelProfiler()
+        profiler.record("fast", 0.001, 0.0, 0.0, "-")
+        profiler.record("slow", 0.5, 0.0, 0.0, "-")
+        assert [r["name"] for r in profiler.snapshot()] == ["slow", "fast"]
+
+    def test_table_renders_rows_and_empty_placeholder(self):
+        assert render_profile_table([]) == "(no kernel calls profiled)"
+        with kernel_profile() as profiler:
+            _run_dense()
+        table = profiler.table()
+        assert "dense_forward" in table
+        assert "(4, 3) f8" in table
+
+
+class TestTelemetryIntegration:
+    def test_counters_flow_into_the_registry(self):
+        with telemetry_session() as telem:
+            with kernel_profile():
+                _run_dense()
+                _run_dense()
+            assert telem.counter("kernel.dense_forward.calls").value == 2
+            assert telem.counter("kernel.dense_forward.flops").value > 0
+            assert telem.histogram("kernel.dense_forward.seconds").count == 2
+
+    def test_spans_only_under_an_ambient_trace(self):
+        with telemetry_session() as telem:
+            sink = MemorySink()
+            telem.add_sink(sink)
+            with kernel_profile():
+                _run_dense()  # no ambient trace: metrics only, no span
+                ctx = TraceContext.new_root()
+                with use_trace(ctx):
+                    _run_dense()
+        spans = [r for r in sink.records if r["type"] == "span"]
+        (span,) = spans
+        assert span["name"] == "kernel.dense_forward"
+        assert span["trace_id"] == ctx.trace_id
+        assert span["parent_span_id"] == ctx.span_id
+        assert span["attrs"]["shape"] == "(4, 3) f8"
+        assert span["attrs"]["flops"] > 0
+
+    def test_profiler_without_telemetry_records_aggregates_only(self):
+        with kernel_profile() as profiler:
+            _run_dense()
+        assert profiler.snapshot()[0]["calls"] == 1
+
+
+class TestEstimatorRobustness:
+    def test_estimation_failure_degrades_to_zero_flops(self):
+        @profiled
+        def dense_forward(not_an_array):  # name collides with the estimator
+            return not_an_array
+
+        with kernel_profile() as profiler:
+            assert dense_forward("opaque") == "opaque"
+        (row,) = profiler.snapshot()
+        assert row["flops"] == 0.0
+        assert row["shapes"] == {"-": 1}

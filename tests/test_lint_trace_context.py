@@ -1,0 +1,57 @@
+"""Lint-style test: serving spans always carry an explicit trace context.
+
+A ``telem.span(...)`` call without a ``trace`` keyword silently inherits
+whatever ambient context the current thread happens to hold — on the
+serving path (dispatch thread, worker processes, socket handler threads)
+that is usually the *wrong* request, which corrupts the per-request trees
+``repro trace`` renders.  This test walks the AST of every module in
+``src/repro/serving/`` and asserts each ``.span(...)`` call passes the
+``trace`` keyword explicitly (a context object, ``"new"``, or a variable
+resolved at runtime — anything but the ambient default).
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+LINTED_PACKAGE = "serving"
+
+
+def _linted_files():
+    files = sorted((SRC / LINTED_PACKAGE).rglob("*.py"))
+    assert files, "serving package not found — did the layout move?"
+    return files
+
+
+def _span_calls(tree: ast.AST):
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "span"
+        ):
+            yield node
+
+
+@pytest.mark.parametrize("path", _linted_files(), ids=lambda p: p.name)
+def test_serving_spans_pass_trace_explicitly(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offenders = []
+    for call in _span_calls(tree):
+        keywords = {kw.arg for kw in call.keywords}
+        if "trace" not in keywords and None not in keywords:  # None = **kwargs
+            offenders.append(f"line {call.lineno}: .span(...) without trace=")
+    assert not offenders, (
+        f"{path.relative_to(SRC.parent.parent)} opens spans without an "
+        f"explicit trace context:\n  " + "\n  ".join(offenders)
+    )
+
+
+def test_lint_catches_a_missing_trace_keyword():
+    """The lint itself fires on an ambient-context span call."""
+    tree = ast.parse("telem.span('serving.request', frames=3)")
+    calls = list(_span_calls(tree))
+    assert len(calls) == 1
+    assert "trace" not in {kw.arg for kw in calls[0].keywords}

@@ -1,0 +1,163 @@
+"""Tests for the Prometheus text renderer and the /metrics scrape server."""
+
+import json
+import math
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry import MetricsRegistry, MetricsServer, render_prometheus
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.headers, response.read().decode("utf-8")
+
+
+class TestRenderRegistry:
+    def test_counters_become_total_series(self):
+        registry = MetricsRegistry()
+        registry.counter("serving.scored").inc(3)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_serving_scored_total counter" in text
+        assert "repro_serving_scored_total 3.0" in text
+
+    def test_unset_gauges_are_omitted(self):
+        registry = MetricsRegistry()
+        registry.gauge("queue.depth")  # never set
+        registry.gauge("monitor.threshold").set(0.25)
+        text = render_prometheus(registry)
+        assert "repro_queue_depth" not in text
+        assert "repro_monitor_threshold 0.25" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = render_prometheus(registry)
+        assert 'repro_latency_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_bucket{le="1.0"} 2' in text
+        assert 'repro_latency_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_sum 5.55" in text
+        assert "repro_latency_count 3" in text
+
+    def test_window_histogram_becomes_summary(self):
+        registry = MetricsRegistry()
+        window = registry.window_histogram("monitor.score_window", maxlen=4)
+        for value in (0.1, 0.2, 0.3, 0.4, 0.5, 0.6):  # 2 evicted
+            window.observe(value)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_monitor_score_window summary" in text
+        assert 'repro_monitor_score_window{quantile="0.5"}' in text
+        assert "repro_monitor_score_window_count 6" in text  # lifetime count
+        assert "repro_monitor_score_window_window_size 4" in text
+
+    def test_empty_window_renders_nan_quantiles(self):
+        registry = MetricsRegistry()
+        registry.window_histogram("empty.window")
+        text = render_prometheus(registry)
+        assert 'repro_empty_window{quantile="0.5"} NaN' in text
+        assert "repro_empty_window_count 0" in text
+
+    def test_nonfinite_values_are_spelled_out(self):
+        registry = MetricsRegistry()
+        registry.gauge("weird.nan").set(math.nan)
+        registry.gauge("weird.inf").set(math.inf)
+        text = render_prometheus(registry)
+        assert "repro_weird_nan NaN" in text
+        assert "repro_weird_inf +Inf" in text
+
+    def test_empty_registry_renders_empty_string(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_rejects_other_sources(self):
+        with pytest.raises(ConfigurationError):
+            render_prometheus([("serving.scored", 3)])
+
+
+class TestRenderSnapshot:
+    def test_snapshot_histograms_degrade_to_summaries(self):
+        registry = MetricsRegistry()
+        registry.counter("frames").inc(2)
+        hist = registry.histogram("latency")
+        for value in (0.1, 0.2, 0.3):
+            hist.observe(value)
+        window = registry.window_histogram("scores", maxlen=8)
+        window.observe(0.5)
+        text = render_prometheus(registry.snapshot())
+        assert "repro_frames_total 2.0" in text
+        assert "# TYPE repro_latency summary" in text
+        assert 'repro_latency{quantile="0.5"}' in text
+        assert "repro_latency_count 3" in text
+        assert "repro_scores_count 1" in text
+
+    def test_empty_summary_keeps_count_zero(self):
+        text = render_prometheus({"histograms": {"quiet": {"count": 0}}})
+        assert text == "# TYPE repro_quiet summary\nrepro_quiet_count 0\n"
+
+
+class TestMetricsServer:
+    def test_scrape_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("serving.scored").inc(7)
+        with MetricsServer(registry) as server:
+            assert server.port != 0
+            status, headers, body = _get(f"{server.url}/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        assert "repro_serving_scored_total 7.0" in body
+
+    def test_scrapes_see_live_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("live")
+        with MetricsServer(registry) as server:
+            counter.inc()
+            _, _, first = _get(f"{server.url}/metrics")
+            counter.inc()
+            _, _, second = _get(f"{server.url}/metrics")
+        assert "repro_live_total 1.0" in first
+        assert "repro_live_total 2.0" in second
+
+    def test_healthz_reports_healthy(self):
+        with MetricsServer(MetricsRegistry()) as server:
+            status, _, body = _get(f"{server.url}/healthz")
+        assert status == 200
+        assert json.loads(body) == {"healthy": True}
+
+    def test_healthz_unhealthy_is_503(self):
+        probe = lambda: {"healthy": False, "alarm_active": True}  # noqa: E731
+        with MetricsServer(MetricsRegistry(), health=probe) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/healthz")
+            assert excinfo.value.code == 503
+            assert json.loads(excinfo.value.read()) == {
+                "alarm_active": True,
+                "healthy": False,
+            }
+
+    def test_failing_probe_is_unhealthy_not_a_crash(self):
+        def probe():
+            raise RuntimeError("stats unavailable")
+
+        with MetricsServer(MetricsRegistry(), health=probe) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/healthz")
+            assert excinfo.value.code == 503
+            assert "stats unavailable" in excinfo.value.read().decode()
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/favicon.ico")
+            assert excinfo.value.code == 404
+
+    def test_start_is_idempotent_and_stop_releases(self):
+        server = MetricsServer(MetricsRegistry())
+        try:
+            assert server.start() is server.start()
+        finally:
+            server.stop()
+        server.stop()  # second stop is a no-op

@@ -109,6 +109,56 @@ class TestTelemetrySpans:
         assert sink.closed
 
 
+class TestJsonlSinkFlushing:
+    def test_default_flushes_every_record(self, tmp_path):
+        from repro.telemetry import JsonlSink
+
+        path = tmp_path / "live.jsonl"
+        sink = JsonlSink(path)
+        try:
+            sink.emit({"type": "event", "name": "first"})
+            # Flushed immediately: a live tail of the file sees the record
+            # before the sink closes.
+            assert len(read_events(path)) == 1
+        finally:
+            sink.close()
+
+    def test_flush_cadence_buffers_until_the_threshold(self, tmp_path):
+        from repro.telemetry import JsonlSink
+
+        path = tmp_path / "buffered.jsonl"
+        sink = JsonlSink(path, flush_every=3)
+        try:
+            sink.emit({"type": "event", "name": "a"})
+            sink.emit({"type": "event", "name": "b"})
+            assert read_events(path) == []  # still buffered
+            sink.emit({"type": "event", "name": "c"})
+            assert len(read_events(path)) == 3  # cadence reached
+        finally:
+            sink.close()
+
+    def test_close_flushes_the_remainder(self, tmp_path):
+        from repro.telemetry import JsonlSink
+
+        path = tmp_path / "tail.jsonl"
+        sink = JsonlSink(path, flush_every=100)
+        sink.emit({"type": "event", "name": "only"})
+        sink.close()
+        assert len(read_events(path)) == 1
+
+    def test_close_before_any_emit_is_a_noop(self, tmp_path):
+        from repro.telemetry import JsonlSink
+
+        JsonlSink(tmp_path / "never.jsonl").close()
+        assert not (tmp_path / "never.jsonl").exists()
+
+    def test_rejects_nonpositive_cadence(self, tmp_path):
+        from repro.telemetry import JsonlSink
+
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "bad.jsonl", flush_every=0)
+
+
 class TestJsonlRoundTrip:
     def test_trace_round_trips_through_disk(self, tmp_path):
         path = tmp_path / "trace.jsonl"

@@ -69,10 +69,18 @@ class TestPercentile:
         for q in (0.0, 25.0, 50.0, 95.0, 99.0, 100.0):
             assert percentile(values, q) == pytest.approx(np.percentile(values, q))
 
-    def test_empty_is_zero(self):
+    def test_empty_is_nan(self):
+        import math
+
         from repro.utils.timer import percentile
 
-        assert percentile([], 50.0) == 0.0
+        assert math.isnan(percentile([], 50.0))
+
+    def test_single_value_is_its_own_percentile(self):
+        from repro.utils.timer import percentile
+
+        for q in (0.0, 50.0, 100.0):
+            assert percentile([3.5], q) == 3.5
 
     def test_rejects_out_of_range_q(self):
         from repro.utils.timer import percentile
