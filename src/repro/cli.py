@@ -26,6 +26,10 @@ Commands
 ``bench-serve``
     Load-test the serving engine and print throughput plus p50/p95/p99
     latency.
+``deploy``
+    Drive a model registry from the shell: ``register`` / ``list`` /
+    ``status`` / ``promote`` / ``rollback`` / ``retire`` versioned
+    bundles (see ``docs/deployment.md``).
 ``trace``
     Render one request's full span tree (frontend → queue → batch →
     worker → kernels) from a serving telemetry file by trace id.
@@ -159,6 +163,31 @@ def build_parser() -> argparse.ArgumentParser:
             "fail-safe degraded verdicts (see docs/reliability.md)"
         ),
     )
+
+    deploy = sub.add_parser(
+        "deploy", help="manage a versioned model registry (see docs/deployment.md)"
+    )
+    deploy.add_argument(
+        "--registry", type=Path, default=Path("out/registry"), metavar="DIR",
+        help="registry directory (default: out/registry)",
+    )
+    deploy_sub = deploy.add_subparsers(dest="deploy_command", required=True)
+    dreg = deploy_sub.add_parser("register", help="catalog a bundle as a new version")
+    dreg.add_argument("bundle", type=Path, help="bundle directory to register")
+    dreg.add_argument("--version", default=None, help="version name (default: auto v000N)")
+    dreg.add_argument("--note", default="", help="operator annotation")
+    deploy_sub.add_parser("list", help="list registered versions")
+    deploy_sub.add_parser("status", help="show the serving version and history")
+    dprom = deploy_sub.add_parser("promote", help="mark a version as serving")
+    dprom.add_argument("version", help="version to promote")
+    dprom.add_argument("--note", default="", help="operator annotation")
+    droll = deploy_sub.add_parser(
+        "rollback", help="revert the serving pointer to the previous version"
+    )
+    droll.add_argument("--reason", default="", help="why (recorded in history)")
+    dret = deploy_sub.add_parser("retire", help="take a version out of rotation")
+    dret.add_argument("version", help="version to retire")
+    dret.add_argument("--note", default="", help="operator annotation")
 
     trace = sub.add_parser(
         "trace", help="render one request's span tree from a telemetry file"
@@ -451,7 +480,7 @@ def _render_stream(image_shape, n_frames: int, seed: int):
 
 def _cmd_bundle(args: argparse.Namespace) -> int:
     from repro.exceptions import ArtifactError
-    from repro.serving import save_bundle
+    from repro.serving import manifest_sha256, read_manifest, save_bundle
 
     pipeline = _train_pipeline(args.scale, args.seed, loss=args.loss)
     if args.dtype is not None:
@@ -462,11 +491,16 @@ def _cmd_bundle(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     threshold = pipeline.one_class.detector.threshold
+    manifest = read_manifest(path)
     print(f"bundle written to {path}")
     print(
         f"  image_shape={pipeline.image_shape}  loss={args.loss}  "
         f"threshold={threshold:.4g}  dtype={pipeline.dtype.name}"
     )
+    # Both identity hashes, so registrations can be scripted and diffed:
+    # config_hash names the configuration, manifest_sha256 this artifact.
+    print(f"  config_hash={manifest['config_hash']}")
+    print(f"  manifest_sha256={manifest_sha256(path)}")
     return 0
 
 
@@ -635,6 +669,57 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    from repro.deploy import ModelRegistry
+    from repro.exceptions import ArtifactError, DeploymentError
+
+    registry = ModelRegistry(args.registry)
+    try:
+        if args.deploy_command == "register":
+            entry = registry.register(args.bundle, version=args.version, note=args.note)
+            print(f"registered {entry.version} -> {entry.path}")
+            print(f"  config_hash={entry.config_hash}")
+            print(f"  manifest_sha256={entry.manifest_sha256}")
+        elif args.deploy_command == "list":
+            entries = registry.list()
+            if not entries:
+                print(f"no versions registered in {args.registry}")
+                return 0
+            for entry in entries:
+                note = f"  # {entry.note}" if entry.note else ""
+                print(
+                    f"{entry.version:<12} {entry.status:<12} "
+                    f"{entry.config_hash[:12]}  {entry.path}{note}"
+                )
+        elif args.deploy_command == "status":
+            serving = registry.serving()
+            if serving is None:
+                print("serving: none")
+            else:
+                print(f"serving: {serving.version} (config {serving.config_hash[:12]})")
+            history = registry.history()
+            for event in history[-10:]:
+                fields = {
+                    k: v for k, v in event.items()
+                    if k not in ("unix", "action", "version") and v not in (None, "")
+                }
+                extra = "  " + " ".join(f"{k}={v}" for k, v in fields.items()) if fields else ""
+                print(f"  {event['action']:<10} {event.get('version')}{extra}")
+        elif args.deploy_command == "promote":
+            entry = registry.promote(args.version, note=args.note)
+            print(f"promoted {entry.version} to serving")
+        elif args.deploy_command == "rollback":
+            entry = registry.rollback(reason=args.reason)
+            print(f"rolled back; serving is now {entry.version}")
+        else:  # retire
+            entry = registry.retire(args.version, note=args.note)
+            print(f"retired {entry.version}")
+    except (ArtifactError, DeploymentError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
 def _read_span_file(path: Path):
     """Load one telemetry JSONL file, with a friendly error on absence."""
     from repro.exceptions import SerializationError
@@ -688,6 +773,7 @@ _COMMANDS = {
     "bundle": _cmd_bundle,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
+    "deploy": _cmd_deploy,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
 }

@@ -1,0 +1,47 @@
+"""Model lifecycle: versioned registry, shadow scoring, canary rollout.
+
+The serving stack scores frames; this package decides *which model* gets
+to.  A :class:`ModelRegistry` catalogs saved bundles by content hash and
+tracks which version is serving; :class:`ShadowRunner` mirrors live
+traffic onto a candidate without touching responses;
+:class:`CanarySplitScorer` routes a seeded fraction of real batches to
+it; :class:`CanaryController` walks the shadow → canary → promoted |
+rolled-back state machine, gated by :class:`RolloutGates` over the
+signals the system already emits (stream-monitor health, score drift,
+breaker state, shadow agreement, canary errors).  The actual traffic
+moves are :meth:`repro.serving.ServingEngine.reload` (zero-downtime
+hot-swap) and :meth:`~repro.serving.ServingEngine.set_scorer` /
+:meth:`~repro.serving.ServingEngine.attach_shadow` (rollout hooks).
+
+See ``docs/deployment.md`` for the registry layout, the rollout state
+machine, and the rollback runbook; ``repro deploy`` drives the registry
+from the shell.
+"""
+
+from repro.deploy.canary import (
+    CanaryConfig,
+    CanaryController,
+    CanarySplitScorer,
+    ROLLOUT_STATES,
+    RolloutDecision,
+    RolloutGates,
+)
+from repro.deploy.registry import (
+    ENTRY_STATUSES,
+    ModelRegistry,
+    RegistryEntry,
+)
+from repro.deploy.shadow import ShadowRunner
+
+__all__ = [
+    "CanaryConfig",
+    "CanaryController",
+    "CanarySplitScorer",
+    "ENTRY_STATUSES",
+    "ModelRegistry",
+    "RegistryEntry",
+    "ROLLOUT_STATES",
+    "RolloutDecision",
+    "RolloutGates",
+    "ShadowRunner",
+]

@@ -1,0 +1,407 @@
+"""Versioned on-disk catalog of serving bundles.
+
+A :class:`ModelRegistry` turns a directory into the source of truth for
+*which* models exist and which one is serving:
+
+.. code-block:: text
+
+    registry/
+      registry.json        # the index: entries, serving pointer, history
+      bundles/
+        v0001/             # bundle directories copied in at register time
+        v0002/
+
+Every entry is indexed by two hashes from the bundle itself — the
+manifest's ``config_hash`` (names the configuration) and the
+``manifest_sha256`` over the manifest file bytes (names the exact saved
+artifact; ``repro bundle`` prints both so registrations can be scripted
+and diffed from the shell).  The index is rewritten through
+:func:`~repro.utils.fileio.atomic_write_text` and re-read on every
+operation, so a crash mid-update leaves the previous consistent index and
+concurrent CLI invocations observe each other's writes.
+
+The registry records *state*, not mechanism: :meth:`promote` /
+:meth:`rollback` move the ``serving`` pointer and append to the history
+ledger; actually moving traffic is the job of
+:meth:`repro.serving.ServingEngine.reload` and
+:class:`~repro.deploy.CanaryController`, which call back into the
+registry to keep the ledger truthful.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.exceptions import ArtifactError, RegistryError
+from repro.serving.artifacts import LoadedBundle, load_bundle, manifest_sha256, read_manifest
+from repro.utils.fileio import atomic_write_text
+
+#: Index discriminator and the schema revision this build reads/writes.
+REGISTRY_SCHEMA = "repro.deploy.registry"
+REGISTRY_SCHEMA_VERSION = 1
+
+INDEX_FILE = "registry.json"
+BUNDLES_DIR = "bundles"
+
+#: Every status an entry may hold.
+ENTRY_STATUSES = ("registered", "canary", "serving", "retired", "rolled_back")
+
+_VERSION_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One cataloged bundle.
+
+    Attributes
+    ----------
+    version:
+        Registry-unique name (auto-assigned ``v0001``, ``v0002``, ... or
+        caller-chosen).
+    path:
+        Bundle directory this entry points at.
+    config_hash:
+        The bundle manifest's recorded configuration hash.
+    manifest_sha256:
+        SHA-256 over the manifest file bytes — the artifact's identity;
+        re-checked on :meth:`ModelRegistry.load` to catch tampering.
+    status:
+        One of :data:`ENTRY_STATUSES`.
+    registered_unix:
+        Wall-clock registration time.
+    note:
+        Free-form operator annotation.
+    """
+
+    version: str
+    path: Path
+    config_hash: str
+    manifest_sha256: str
+    status: str
+    registered_unix: float
+    note: str = ""
+
+    def to_json(self) -> Dict[str, Any]:
+        payload = {
+            "version": self.version,
+            "path": str(self.path),
+            "config_hash": self.config_hash,
+            "manifest_sha256": self.manifest_sha256,
+            "status": self.status,
+            "registered_unix": self.registered_unix,
+        }
+        if self.note:
+            payload["note"] = self.note
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "RegistryEntry":
+        try:
+            return cls(
+                version=str(payload["version"]),
+                path=Path(payload["path"]),
+                config_hash=str(payload["config_hash"]),
+                manifest_sha256=str(payload["manifest_sha256"]),
+                status=str(payload["status"]),
+                registered_unix=float(payload["registered_unix"]),
+                note=str(payload.get("note", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RegistryError(f"corrupt registry entry {payload!r}: {exc}") from exc
+
+
+class ModelRegistry:
+    """Crash-safe versioned bundle catalog rooted at one directory.
+
+    Parameters
+    ----------
+    root:
+        Registry directory (created on first write).
+    copy_bundles:
+        Whether :meth:`register` copies the bundle into
+        ``root/bundles/<version>/`` (the default — the registry then owns
+        a stable snapshot) or records the caller's path in place.
+    """
+
+    def __init__(self, root: Union[str, Path], copy_bundles: bool = True) -> None:
+        self.root = Path(root)
+        self.copy_bundles = bool(copy_bundles)
+        self._lock = threading.Lock()
+
+    # -- index I/O -------------------------------------------------------
+    @property
+    def index_path(self) -> Path:
+        return self.root / INDEX_FILE
+
+    def _empty_index(self) -> Dict[str, Any]:
+        return {
+            "schema": REGISTRY_SCHEMA,
+            "schema_version": REGISTRY_SCHEMA_VERSION,
+            "entries": {},
+            "order": [],
+            "serving": None,
+            "previous_serving": None,
+            "history": [],
+        }
+
+    def _read_index(self) -> Dict[str, Any]:
+        if not self.index_path.exists():
+            return self._empty_index()
+        try:
+            index = json.loads(self.index_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryError(f"unreadable registry index {self.index_path}: {exc}") from exc
+        if not isinstance(index, dict) or index.get("schema") != REGISTRY_SCHEMA:
+            raise RegistryError(f"{self.index_path} is not a {REGISTRY_SCHEMA} index")
+        if index.get("schema_version") != REGISTRY_SCHEMA_VERSION:
+            raise RegistryError(
+                f"registry schema version {index.get('schema_version')!r} is not "
+                f"supported (this build reads version {REGISTRY_SCHEMA_VERSION})"
+            )
+        return index
+
+    def _write_index(self, index: Dict[str, Any]) -> None:
+        atomic_write_text(self.index_path, json.dumps(index, indent=2) + "\n")
+
+    @staticmethod
+    def _append_history(index: Dict[str, Any], action: str, version: Optional[str], **fields: Any) -> None:
+        event = {"unix": round(time.time(), 3), "action": action, "version": version}
+        event.update(fields)
+        index["history"].append(event)
+
+    # -- registration ----------------------------------------------------
+    def register(
+        self,
+        bundle_path: Union[str, Path],
+        version: Optional[str] = None,
+        note: str = "",
+    ) -> RegistryEntry:
+        """Catalog a bundle under a new version.
+
+        The bundle's manifest is fully validated first (schema, keys,
+        config hash); a bundle whose ``manifest_sha256`` is already
+        cataloged is rejected — re-registering the identical artifact is
+        an operator error, not a new version.
+        """
+        bundle_path = Path(bundle_path)
+        manifest = read_manifest(bundle_path)  # raises ArtifactError on a bad bundle
+        sha = manifest_sha256(bundle_path)
+        with self._lock:
+            index = self._read_index()
+            entries = index["entries"]
+            for payload in entries.values():
+                if payload.get("manifest_sha256") == sha:
+                    raise RegistryError(
+                        f"bundle {bundle_path} is already registered as "
+                        f"{payload['version']} (manifest {sha})"
+                    )
+            if version is None:
+                n = len(index["order"])
+                while True:
+                    n += 1
+                    version = f"v{n:04d}"
+                    if version not in entries:
+                        break
+            elif not _VERSION_RE.match(version):
+                raise RegistryError(
+                    f"invalid version {version!r} (want letters/digits/._- , "
+                    "starting alphanumeric, at most 64 chars)"
+                )
+            if version in entries:
+                raise RegistryError(f"version {version!r} is already registered")
+
+            stored_path = bundle_path
+            if self.copy_bundles:
+                stored_path = self.root / BUNDLES_DIR / version
+                self._copy_bundle(bundle_path, stored_path)
+            entry = RegistryEntry(
+                version=version,
+                path=stored_path,
+                config_hash=str(manifest["config_hash"]),
+                manifest_sha256=sha,
+                status="registered",
+                registered_unix=round(time.time(), 3),
+                note=note,
+            )
+            entries[version] = entry.to_json()
+            index["order"].append(version)
+            self._append_history(index, "register", version, manifest_sha256=sha)
+            self._write_index(index)
+            return entry
+
+    def _copy_bundle(self, src: Path, dst: Path) -> None:
+        """Snapshot a bundle directory crash-safely (copy-then-rename)."""
+        if dst.exists():
+            raise RegistryError(f"registry bundle directory {dst} already exists")
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        tmp = dst.with_name(f".{dst.name}.tmp-{os.getpid()}")
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        try:
+            shutil.copytree(src, tmp)
+            os.replace(tmp, dst)
+        except OSError as exc:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise RegistryError(f"failed to snapshot bundle into {dst}: {exc}") from exc
+
+    # -- lookup ----------------------------------------------------------
+    def list(self) -> List[RegistryEntry]:
+        """Every entry, in registration order."""
+        index = self._read_index()
+        return [
+            RegistryEntry.from_json(index["entries"][version])
+            for version in index["order"]
+        ]
+
+    def get(self, version: str) -> RegistryEntry:
+        """One entry by version (``RegistryError`` if unknown)."""
+        index = self._read_index()
+        payload = index["entries"].get(version)
+        if payload is None:
+            known = ", ".join(index["order"]) or "none"
+            raise RegistryError(f"unknown version {version!r} (registered: {known})")
+        return RegistryEntry.from_json(payload)
+
+    def load(self, version: str) -> LoadedBundle:
+        """Load a cataloged bundle, re-verifying its recorded identity.
+
+        On top of :func:`~repro.serving.artifacts.load_bundle`'s own
+        validation, the manifest file's hash must still match what was
+        recorded at registration — an edited or swapped bundle fails here
+        instead of silently serving different weights.
+        """
+        entry = self.get(version)
+        try:
+            current_sha = manifest_sha256(entry.path)
+        except ArtifactError as exc:
+            raise RegistryError(
+                f"registered bundle for {version} is gone or broken: {exc}"
+            ) from exc
+        if current_sha != entry.manifest_sha256:
+            raise RegistryError(
+                f"bundle for {version} changed on disk since registration "
+                f"(recorded {entry.manifest_sha256}, found {current_sha})"
+            )
+        return load_bundle(entry.path)
+
+    def serving(self) -> Optional[RegistryEntry]:
+        """The entry currently marked serving, if any."""
+        index = self._read_index()
+        version = index.get("serving")
+        if version is None:
+            return None
+        return RegistryEntry.from_json(index["entries"][version])
+
+    def latest(self) -> Optional[RegistryEntry]:
+        """The most recently registered entry, if any."""
+        index = self._read_index()
+        if not index["order"]:
+            return None
+        return RegistryEntry.from_json(index["entries"][index["order"][-1]])
+
+    def history(self) -> List[Dict[str, Any]]:
+        """The append-only event ledger (register/status/promote/rollback)."""
+        return list(self._read_index()["history"])
+
+    # -- lifecycle transitions ------------------------------------------
+    def _set_status_locked(self, index: Dict[str, Any], version: str, status: str) -> None:
+        payload = index["entries"].get(version)
+        if payload is None:
+            raise RegistryError(f"unknown version {version!r}")
+        payload["status"] = status
+
+    def set_status(self, version: str, status: str, note: str = "") -> RegistryEntry:
+        """Move one entry to a new status (with a history record).
+
+        The serving pointer is not touched — use :meth:`promote` /
+        :meth:`rollback` for that.  A version cannot leave ``serving``
+        this way either.
+        """
+        if status not in ENTRY_STATUSES:
+            raise RegistryError(
+                f"unknown status {status!r} (expected one of {', '.join(ENTRY_STATUSES)})"
+            )
+        with self._lock:
+            index = self._read_index()
+            if index.get("serving") == version:
+                raise RegistryError(
+                    f"{version} is the serving version; promote another version "
+                    "or roll back instead of editing its status"
+                )
+            self._set_status_locked(index, version, status)
+            self._append_history(index, "status", version, status=status, note=note)
+            self._write_index(index)
+            return RegistryEntry.from_json(index["entries"][version])
+
+    def promote(self, version: str, note: str = "") -> RegistryEntry:
+        """Mark ``version`` as the serving model.
+
+        The previously serving entry (if any) drops back to
+        ``registered`` and is remembered as the rollback target.  Retired
+        and rolled-back entries cannot be promoted.
+        """
+        with self._lock:
+            index = self._read_index()
+            payload = index["entries"].get(version)
+            if payload is None:
+                raise RegistryError(f"unknown version {version!r}")
+            if payload["status"] in ("retired", "rolled_back"):
+                raise RegistryError(
+                    f"cannot promote {version}: status is {payload['status']!r}"
+                )
+            previous = index.get("serving")
+            if previous == version:
+                raise RegistryError(f"{version} is already serving")
+            if previous is not None:
+                self._set_status_locked(index, previous, "registered")
+            index["previous_serving"] = previous
+            index["serving"] = version
+            payload["status"] = "serving"
+            self._append_history(index, "promote", version, previous=previous, note=note)
+            self._write_index(index)
+            return RegistryEntry.from_json(payload)
+
+    def rollback(self, reason: str = "") -> RegistryEntry:
+        """Revert the serving pointer to the previously promoted version.
+
+        The failed version is marked ``rolled_back`` (it cannot be
+        promoted again); returns the entry now serving.
+        """
+        with self._lock:
+            index = self._read_index()
+            failed = index.get("serving")
+            previous = index.get("previous_serving")
+            if failed is None:
+                raise RegistryError("nothing is serving; cannot roll back")
+            if previous is None:
+                raise RegistryError(
+                    f"{failed} has no predecessor recorded; cannot roll back"
+                )
+            self._set_status_locked(index, failed, "rolled_back")
+            self._set_status_locked(index, previous, "serving")
+            index["serving"] = previous
+            index["previous_serving"] = None
+            self._append_history(index, "rollback", failed, restored=previous, reason=reason)
+            self._write_index(index)
+            return RegistryEntry.from_json(index["entries"][previous])
+
+    def retire(self, version: str, note: str = "") -> RegistryEntry:
+        """Mark a version permanently out of rotation (keeps its files)."""
+        with self._lock:
+            index = self._read_index()
+            if index.get("serving") == version:
+                raise RegistryError(f"cannot retire the serving version {version}")
+            self._set_status_locked(index, version, "retired")
+            if index.get("previous_serving") == version:
+                index["previous_serving"] = None
+            self._append_history(index, "retire", version, note=note)
+            self._write_index(index)
+            return RegistryEntry.from_json(index["entries"][version])

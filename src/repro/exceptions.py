@@ -80,5 +80,32 @@ class InjectedFaultError(ReliabilityError):
     """
 
 
+class DeploymentError(ReproError):
+    """A model-lifecycle operation (registry, hot-swap, rollout) failed.
+
+    Base class for everything :mod:`repro.deploy` raises, so a deployment
+    driver can catch the whole lifecycle surface with one clause.
+    """
+
+
+class RegistryError(DeploymentError):
+    """The model registry was misused or its on-disk state is inconsistent.
+
+    Raised by :class:`~repro.deploy.ModelRegistry` for unknown versions,
+    duplicate registrations, tampered bundles (manifest hash drift), and
+    invalid status transitions.
+    """
+
+
+class RolloutError(DeploymentError):
+    """A rollout state machine transition or canary scoring pass failed.
+
+    Raised by :class:`~repro.deploy.CanaryController` on invalid state
+    transitions and by :class:`~repro.deploy.CanarySplitScorer` when the
+    canary model returns non-finite scores (so the engine's retry/breaker
+    machinery treats a sick canary exactly like a failing backend).
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment harness was misused (unknown id, missing artifact...)."""

@@ -156,6 +156,10 @@ class FaultInjector:
         return getattr(self.scorer, "dtype", None)
 
     @property
+    def model_version(self):
+        return getattr(self.scorer, "model_version", None)
+
+    @property
     def calls(self) -> int:
         """Number of ``score_batch`` calls seen so far."""
         with self._lock:

@@ -28,6 +28,7 @@ from repro.serving.artifacts import (
     LoadedBundle,
     config_hash,
     load_bundle,
+    manifest_sha256,
     read_manifest,
     save_bundle,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "LoadedBundle",
     "config_hash",
     "load_bundle",
+    "manifest_sha256",
     "read_manifest",
     "save_bundle",
     "MicroBatcher",

@@ -63,6 +63,22 @@ def config_hash(manifest: Dict[str, Any]) -> str:
     return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def manifest_sha256(path: Union[str, Path]) -> str:
+    """SHA-256 over a bundle's ``manifest.json`` *bytes*.
+
+    Unlike :func:`config_hash` (which canonicalizes and excludes the hash
+    field itself, so it names the *configuration*), this digests the file
+    exactly as written — including ``created_unix`` and the embedded
+    config hash — so it names one concrete saved artifact.  The model
+    registry indexes entries by it, and ``repro bundle`` prints it so
+    registrations can be scripted and diffed from the shell.
+    """
+    manifest_path = Path(path) / MANIFEST_FILE
+    if not manifest_path.exists():
+        raise ArtifactError(f"{path} is not a bundle: missing {MANIFEST_FILE}")
+    return "sha256:" + hashlib.sha256(manifest_path.read_bytes()).hexdigest()
+
+
 @dataclass(frozen=True)
 class LoadedBundle:
     """A validated bundle: the reconstructed pipeline plus its manifest."""
@@ -85,6 +101,11 @@ class LoadedBundle:
     def dtype(self) -> np.dtype:
         """The precision policy the bundle scores in (manifest ``dtype``)."""
         return resolve_dtype(self.manifest.get("dtype", "float64"))
+
+    @property
+    def config_hash(self) -> str:
+        """The manifest's recorded configuration hash."""
+        return str(self.manifest["config_hash"])
 
 
 def save_bundle(

@@ -143,18 +143,29 @@ class EngineConfig:
 
 
 class PipelineScorer:
-    """In-process scorer: one fitted pipeline, scored on the caller thread."""
+    """In-process scorer: one fitted pipeline, scored on the caller thread.
+
+    ``model_version`` optionally names the model (a registry version or a
+    bundle config hash); every :class:`BatchVerdicts` it produces carries
+    it, so outcomes stay attributable across hot-swaps.
+    """
 
     #: Number of engine dispatch threads this scorer can keep busy.
     replicas = 1
 
-    def __init__(self, pipeline: SaliencyNoveltyPipeline) -> None:
+    def __init__(
+        self,
+        pipeline: SaliencyNoveltyPipeline,
+        model_version: Optional[str] = None,
+    ) -> None:
         if not pipeline.is_fitted:
             raise NotFittedError("PipelineScorer requires a fitted pipeline")
         self.pipeline = pipeline
         self.image_shape = pipeline.image_shape
+        self.model_version = model_version
         # One batched pass at a time: the numpy substrate is single-threaded
-        # anyway, and serializing keeps layer caches coherent.
+        # anyway, and serializing keeps layer caches coherent.  reload()
+        # takes the same lock, so a swap waits for the in-flight batch.
         self._lock = threading.Lock()
 
     @property
@@ -172,7 +183,36 @@ class PipelineScorer:
                 scores=scores,
                 is_novel=detector.predict(scores),
                 margins=detector.novelty_margin(scores),
+                model_version=self.model_version,
             )
+
+    def reload(self, target: Any, model_version: Optional[str] = None) -> None:
+        """Hot-swap the pipeline without dropping the in-flight batch.
+
+        ``target`` is a fitted :class:`SaliencyNoveltyPipeline` or a
+        :class:`~repro.serving.artifacts.LoadedBundle` (whose pipeline and
+        config hash are used).  Taking the scoring lock *drains* the batch
+        currently being scored; the swap is then a plain attribute write,
+        so the next batch scores on the new model.  The new pipeline must
+        score the same ``(H, W)`` the engine validates submissions against.
+        """
+        from repro.exceptions import DeploymentError
+
+        pipeline = getattr(target, "pipeline", target)
+        if model_version is None:
+            manifest = getattr(target, "manifest", None)
+            if manifest is not None:
+                model_version = manifest.get("config_hash")
+        if not getattr(pipeline, "is_fitted", False):
+            raise NotFittedError("reload requires a fitted pipeline")
+        if tuple(pipeline.image_shape) != tuple(self.image_shape):
+            raise DeploymentError(
+                f"hot-swap shape mismatch: serving {tuple(self.image_shape)}, "
+                f"candidate scores {tuple(pipeline.image_shape)}"
+            )
+        with self._lock:
+            self.pipeline = pipeline
+            self.model_version = model_version
 
     def close(self) -> None:
         """Nothing to release for the in-process scorer."""
@@ -235,9 +275,11 @@ class ServingEngine:
             "degraded": 0,
             "retries": 0,
             "batches": 0,
+            "reloads": 0,
         }
         self._latencies: List[float] = []
         self._last_trace_id: Optional[str] = None
+        self._shadow: Optional[Any] = None
         self._closed = False
         self._threads = [
             threading.Thread(
@@ -439,6 +481,10 @@ class ServingEngine:
                 with self._stats_lock:
                     self._counts["retries"] += retries
             done = time.monotonic()
+            model_version = getattr(verdicts, "model_version", None)
+            if model_version is None:
+                model_version = getattr(self.scorer, "model_version", None)
+            resolved: List[Tuple[np.ndarray, Scored]] = []
             latency_histogram = telem.histogram("serving.request_latency")
             score_window = telem.window_histogram("monitor.score_window")
             # The stats lock also serializes metric updates across dispatch
@@ -467,26 +513,106 @@ class ServingEngine:
                             context=request.trace,
                             **attrs,
                         )
-                    request.pending.resolve(
-                        Scored(
-                            score=score,
-                            is_novel=is_novel,
-                            margin=float(verdicts.margins[i]),
-                            batch_size=len(live),
-                            latency_s=latency,
-                            retries=retries,
-                        )
+                    outcome = Scored(
+                        score=score,
+                        is_novel=is_novel,
+                        margin=float(verdicts.margins[i]),
+                        batch_size=len(live),
+                        latency_s=latency,
+                        retries=retries,
+                        model_version=model_version,
                     )
+                    request.pending.resolve(outcome)
+                    resolved.append((request.frame, outcome))
+            # Shadow mirroring happens outside the stats lock: offer() is a
+            # sampled non-blocking enqueue that never raises and never
+            # affects the already-resolved responses.
+            shadow = self._shadow
+            if shadow is not None:
+                for frame, outcome in resolved:
+                    shadow.offer(frame, outcome)
+
+    # -- lifecycle: hot-swap and rollout hooks ---------------------------
+    def reload(self, target: Any, model_version: Optional[str] = None) -> None:
+        """Zero-downtime hot-swap: replace the served model under load.
+
+        Delegates to the scorer's own ``reload`` —
+        :meth:`PipelineScorer.reload` drains the in-flight batch and swaps
+        the pipeline; :meth:`~repro.serving.pool.WorkerPool.reload`
+        replaces replicas one at a time (round-robin), so capacity never
+        drops to zero.  ``target`` is whatever the scorer accepts (a
+        :class:`~repro.serving.artifacts.LoadedBundle`, a fitted pipeline,
+        or a bundle path for the pool).  Emits a ``deploy.swap`` span/
+        event and bumps the ``deploy.swaps`` counter.
+        """
+        from repro.exceptions import DeploymentError
+
+        reload_fn = getattr(self.scorer, "reload", None)
+        if reload_fn is None:
+            raise DeploymentError(
+                f"scorer {type(self.scorer).__name__} does not support hot-swap "
+                "(no reload method)"
+            )
+        telem = get_telemetry()
+        with telem.span("deploy.swap", trace="new"):
+            reload_fn(target, model_version=model_version)
+        swapped_to = getattr(self.scorer, "model_version", model_version)
+        telem.counter("deploy.swaps").inc()
+        telem.event("deploy.swap", model_version=swapped_to)
+        with self._stats_lock:
+            self._counts["reloads"] += 1
+
+    def set_scorer(self, scorer: Any) -> None:
+        """Swap the scorer object itself (the canary split install path).
+
+        The replacement must score the same ``(H, W)`` frames; dispatch
+        threads pick it up on their next batch.  Used by
+        :class:`~repro.deploy.CanaryController` to install and remove a
+        :class:`~repro.deploy.CanarySplitScorer`; for a plain model
+        upgrade prefer :meth:`reload`, which drains per replica.
+        """
+        from repro.exceptions import DeploymentError
+
+        expected = getattr(self.scorer, "image_shape", None)
+        offered = getattr(scorer, "image_shape", None)
+        if expected is not None and offered is not None and tuple(expected) != tuple(offered):
+            raise DeploymentError(
+                f"scorer swap shape mismatch: serving {tuple(expected)}, "
+                f"candidate scores {tuple(offered)}"
+            )
+        self.scorer = scorer
+
+    def attach_shadow(self, shadow: Optional[Any]) -> None:
+        """Attach (or with ``None`` detach) a shadow-scoring observer.
+
+        The observer's ``offer(frame, scored)`` is called for every
+        ``Scored`` outcome after it resolves — mirroring can therefore
+        never delay or change a response.  See
+        :class:`~repro.deploy.ShadowRunner`.
+        """
+        self._shadow = shadow
 
     # -- introspection ---------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        """Counts plus end-to-end latency percentiles (milliseconds)."""
+        """Counts plus end-to-end latency percentiles (milliseconds).
+
+        Includes the loaded model's identity — ``model_version`` (registry
+        version or bundle hash, when the scorer advertises one) and
+        ``dtype`` — so operators can tell *what* is serving, not just the
+        ``last_trace_id`` of whatever it served.
+        """
         with self._stats_lock:
             counts = dict(self._counts)
             latencies = list(self._latencies)
             last_trace_id = self._last_trace_id
         summary: Dict[str, Any] = dict(counts)
         summary["queue_depth"] = len(self._batcher)
+        model_version = getattr(self.scorer, "model_version", None)
+        if model_version is not None:
+            summary["model_version"] = model_version
+        dtype = getattr(self.scorer, "dtype", None)
+        if dtype is not None:
+            summary["dtype"] = np.dtype(dtype).name
         if last_trace_id is not None:
             summary["last_trace_id"] = last_trace_id
         if self.breaker is not None:

@@ -156,6 +156,9 @@ class WorkerPool:
     profile_kernels:
         Install the kernel profiler in every replica, so traced requests
         come back with per-kernel spans (``repro profile``).
+    model_version:
+        Registry version (or any identifier) stamped onto every batch this
+        pool scores; :meth:`reload` updates it along with the bundle.
     """
 
     def __init__(
@@ -166,6 +169,7 @@ class WorkerPool:
         dtype: Optional[str] = None,
         retry: Optional[RetryPolicy] = None,
         profile_kernels: bool = False,
+        model_version: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -187,21 +191,23 @@ class WorkerPool:
         )
         self._retry_rng = self._retry.make_rng()
         self.profile_kernels = bool(profile_kernels)
+        self.model_version = model_version
         self._context = multiprocessing.get_context()
         self._rr_lock = threading.Lock()
         self._rr_index = 0
         self._request_id = 0
         self._restarts = 0
+        self._swaps = 0
         self._closed = False
         self._workers: List[_Worker] = [self._spawn(i) for i in range(self.replicas)]
 
     # -- replica lifecycle ----------------------------------------------
-    def _spawn(self, index: int) -> _Worker:
+    def _spawn(self, index: int, bundle_dir: Optional[Path] = None) -> _Worker:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_worker_main,
             args=(
-                str(self.bundle_dir),
+                str(bundle_dir if bundle_dir is not None else self.bundle_dir),
                 child_conn,
                 self._dtype_override,
                 self.profile_kernels,
@@ -323,7 +329,90 @@ class WorkerPool:
             if telem.enabled:
                 for record in worker_spans:
                     telem.replay_span(record)
-        return BatchVerdicts(scores=scores, is_novel=is_novel, margins=margins)
+        return BatchVerdicts(
+            scores=scores,
+            is_novel=is_novel,
+            margins=margins,
+            model_version=self.model_version,
+        )
+
+    # -- hot-swap --------------------------------------------------------
+    def reload(self, target: Union[str, Path, Any], model_version: Optional[str] = None) -> None:
+        """Zero-downtime rolling swap: move every replica to a new bundle.
+
+        ``target`` is a bundle directory (or a
+        :class:`~repro.serving.artifacts.LoadedBundle`, whose path and
+        config hash are used).  The new manifest is validated up front and
+        must score the same ``(H, W)``.  Replicas are then replaced *one at
+        a time*: a fresh process loads the new bundle, proves readiness by
+        answering a ping, and only then — under the replica's request lock,
+        i.e. after its in-flight batch drains — takes over the slot; the
+        old process is stopped.  N-1 replicas keep serving throughout, so
+        capacity never drops to zero, and a candidate that fails to come up
+        aborts the swap with the remaining replicas untouched (already
+        swapped replicas stay on the new bundle; re-run ``reload`` either
+        way to converge).
+        """
+        from repro.exceptions import DeploymentError
+
+        if self._closed:
+            raise ServingError("WorkerPool.reload called after close()")
+        if model_version is None:
+            manifest_attr = getattr(target, "manifest", None)
+            if manifest_attr is not None:
+                model_version = manifest_attr.get("config_hash")
+        bundle_dir = Path(getattr(target, "path", target))
+        manifest = read_manifest(bundle_dir)
+        new_shape = tuple(manifest["image_shape"])
+        if new_shape != tuple(self.image_shape):
+            raise DeploymentError(
+                f"hot-swap shape mismatch: serving {tuple(self.image_shape)}, "
+                f"candidate scores {new_shape}"
+            )
+        telem = get_telemetry()
+        for worker in self._workers:
+            fresh = self._spawn(worker.index, bundle_dir=bundle_dir)
+            try:
+                request_id = self._next_request_id()
+                self._request(fresh, ("ping", request_id), request_id)
+            except WorkerCrashError as exc:
+                if fresh.process.is_alive():
+                    fresh.process.terminate()
+                fresh.process.join(timeout=5.0)
+                try:
+                    fresh.conn.close()
+                except OSError:
+                    pass
+                raise DeploymentError(
+                    f"hot-swap aborted: replacement for worker {worker.index} "
+                    f"never became ready ({exc})"
+                ) from exc
+            # The replica's lock serializes with score_batch: taking it
+            # here *is* the drain of that worker's in-flight request.
+            with worker.lock:
+                old_process, old_conn = worker.process, worker.conn
+                worker.process = fresh.process
+                worker.conn = fresh.conn
+            try:
+                old_conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            old_process.join(timeout=5.0)
+            if old_process.is_alive():
+                old_process.terminate()
+                old_process.join(timeout=5.0)
+            try:
+                old_conn.close()
+            except OSError:
+                pass
+            telem.counter("deploy.worker_swapped").inc()
+            _log.info("worker %d swapped to %s", worker.index, bundle_dir)
+        with self._rr_lock:
+            self._swaps += 1
+        self.bundle_dir = bundle_dir
+        if self._dtype_override is None:
+            self.dtype = resolve_dtype(manifest.get("dtype", "float64"))
+        self.model_version = model_version
 
     # -- health ----------------------------------------------------------
     def ping(self) -> List[bool]:
@@ -389,9 +478,15 @@ class WorkerPool:
         self.close()
 
     def stats(self) -> Dict[str, Any]:
-        """Replica liveness and restart counts (no pipe traffic)."""
-        return {
+        """Replica liveness, restart and swap counts (no pipe traffic)."""
+        with self._rr_lock:
+            swaps = self._swaps
+        stats: Dict[str, Any] = {
             "workers": self.replicas,
             "alive": sum(w.process.is_alive() for w in self._workers),
             "restarts": self.restarts,
+            "swaps": swaps,
         }
+        if self.model_version is not None:
+            stats["model_version"] = self.model_version
+        return stats

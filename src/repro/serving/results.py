@@ -48,6 +48,10 @@ class Scored:
         End-to-end seconds from admission to verdict (queue wait included).
     retries:
         Backend retries spent before this verdict (0 on a clean first try).
+    model_version:
+        Registry version (or bundle config hash) of the model that scored
+        this frame, when the scorer advertises one — under a hot-swap or a
+        canary split this is the only record of *which* model answered.
     """
 
     status: ClassVar[str] = "ok"
@@ -58,6 +62,7 @@ class Scored:
     batch_size: int
     latency_s: float
     retries: int = 0
+    model_version: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -150,11 +155,18 @@ class PendingResult:
 
 @dataclass(frozen=True)
 class BatchVerdicts:
-    """Vectorized verdicts for one scored micro-batch (scorer output)."""
+    """Vectorized verdicts for one scored micro-batch (scorer output).
+
+    ``model_version`` names the model that produced the batch (a registry
+    version or bundle hash); scorers that predate versioning leave it
+    ``None`` and the engine falls back to the scorer's own advertised
+    version when stamping outcomes.
+    """
 
     scores: np.ndarray
     is_novel: np.ndarray
     margins: np.ndarray
+    model_version: Optional[str] = None
 
     def __post_init__(self) -> None:
         n = len(self.scores)

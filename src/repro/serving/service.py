@@ -216,7 +216,7 @@ class ServingServer:
 
 def _serialize_outcome(request_id, outcome) -> Dict[str, Any]:
     if isinstance(outcome, Scored):
-        return {
+        response = {
             "id": request_id,
             "status": outcome.status,
             "score": outcome.score,
@@ -226,6 +226,9 @@ def _serialize_outcome(request_id, outcome) -> Dict[str, Any]:
             "latency_ms": outcome.latency_s * 1e3,
             "retries": outcome.retries,
         }
+        if outcome.model_version is not None:
+            response["model_version"] = outcome.model_version
+        return response
     if isinstance(outcome, Overloaded):
         return {
             "id": request_id,

@@ -196,6 +196,79 @@ class TestBundleAndBenchServe:
         assert load_bundle(out_dir).image_shape == (24, 64)
 
 
+class TestDeployCommand:
+    def test_parser_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deploy"])
+
+    def test_register_list_promote_rollback(self, bundle_dir, tmp_path, capsys):
+        """The operator loop from docs/deployment.md, end to end."""
+        import time
+
+        from repro.serving import save_bundle
+
+        registry = str(tmp_path / "registry")
+        assert main(["deploy", "--registry", registry, "register", str(bundle_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "registered v0001" in out
+        assert "config_hash=sha256:" in out
+        assert "manifest_sha256=sha256:" in out
+
+        # A second distinct artifact of the same pipeline.
+        from repro.serving import load_bundle
+
+        time.sleep(0.01)
+        second = save_bundle(load_bundle(bundle_dir).pipeline, tmp_path / "b2")
+        assert main(["deploy", "--registry", registry, "register", str(second)]) == 0
+        capsys.readouterr()
+
+        assert main(["deploy", "--registry", registry, "list"]) == 0
+        out = capsys.readouterr().out
+        assert "v0001" in out and "v0002" in out
+
+        assert main(["deploy", "--registry", registry, "promote", "v0001"]) == 0
+        assert main(["deploy", "--registry", registry, "promote", "v0002"]) == 0
+        capsys.readouterr()
+        assert main(["deploy", "--registry", registry, "status"]) == 0
+        out = capsys.readouterr().out
+        assert "serving: v0002" in out
+        assert "promote" in out
+
+        assert main([
+            "deploy", "--registry", registry, "rollback", "--reason", "bad canary"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serving is now v0001" in out
+
+    def test_errors_exit_2_with_a_message(self, tmp_path, capsys):
+        registry = str(tmp_path / "registry")
+        assert main([
+            "deploy", "--registry", registry, "register", str(tmp_path / "absent")
+        ]) == 2
+        assert "not a directory" in capsys.readouterr().err
+        assert main(["deploy", "--registry", registry, "promote", "v0001"]) == 2
+        assert "unknown version" in capsys.readouterr().err
+        assert main(["deploy", "--registry", registry, "rollback"]) == 2
+        assert "nothing is serving" in capsys.readouterr().err
+
+    def test_empty_registry_lists_cleanly(self, tmp_path, capsys):
+        assert main(["deploy", "--registry", str(tmp_path / "r"), "list"]) == 0
+        assert "no versions registered" in capsys.readouterr().out
+
+    def test_bundle_prints_both_hashes(self, tmp_path, capsys):
+        """`repro bundle` prints the identity hashes registrations key on."""
+        out_dir = tmp_path / "bundle"
+        assert main(["bundle", "--out", str(out_dir), "--scale", "ci"]) == 0
+        out = capsys.readouterr().out
+        assert "config_hash=sha256:" in out
+        assert "manifest_sha256=sha256:" in out
+
+        from repro.serving import manifest_sha256, read_manifest
+
+        assert read_manifest(out_dir)["config_hash"] in out
+        assert manifest_sha256(out_dir) in out
+
+
 class TestTelemetryCommand:
     def test_parser_accepts_telemetry_flag(self, tmp_path):
         args = build_parser().parse_args(

@@ -1,0 +1,129 @@
+"""Rollout gates over the real monitoring signals.
+
+The canary decision is specified over signals the system already
+produces; these tests wire :class:`~repro.deploy.RolloutGates` to the
+*real* ones — :class:`~repro.novelty.StreamMonitor` health over a fitted
+pipeline and a :class:`~repro.novelty.drift.CusumDetector` calibrated
+from its training scores — and check the gates fire exactly when the
+underlying detectors do.  This doubles as the drift → health coverage
+the monitoring stack itself relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.deploy import RolloutGates
+from repro.novelty import StreamMonitor
+from repro.novelty.drift import CusumDetector, EwmaTracker
+
+
+@pytest.fixture(scope="module")
+def train_scores(fitted_pipeline):
+    """The training-score sample the threshold detector calibrated on."""
+    return np.asarray(fitted_pipeline.one_class.detector.training_cdf.samples)
+
+
+class TestCusumFeedingGates:
+    def test_in_distribution_scores_keep_the_gate_open(
+        self, fitted_pipeline, dsu_test, train_scores
+    ):
+        cusum = CusumDetector().fit(train_scores)
+        cusum.update_batch(fitted_pipeline.score_batch(dsu_test.frames))
+        gates = RolloutGates().add_drift(cusum)
+        assert not cusum.drifted
+        assert gates.evaluate() == []
+
+    def test_novel_scores_trip_the_drift_gate(
+        self, fitted_pipeline, dsi_novel, train_scores
+    ):
+        cusum = CusumDetector().fit(train_scores)
+        cusum.update_batch(fitted_pipeline.score_batch(dsi_novel.frames))
+        gates = RolloutGates().add_drift(cusum)
+        assert cusum.drifted
+        failures = gates.evaluate()
+        assert len(failures) == 1
+        assert failures[0].startswith("drift:")
+        assert str(cusum.drift_index) in failures[0]
+
+    def test_drift_latch_holds_until_reset(self, train_scores):
+        cusum = CusumDetector(decision_threshold=2.0).fit(train_scores)
+        # A sustained shift two sigma above the training mean.
+        shifted = train_scores.mean() + 2.0 * train_scores.std()
+        for _ in range(20):
+            cusum.update(shifted)
+        assert cusum.drifted
+        # Back in distribution: the latch (and the gate) must hold.
+        gates = RolloutGates().add_drift(cusum)
+        cusum.update(float(train_scores.mean()))
+        assert cusum.drifted
+        assert gates.evaluate() != []
+        cusum.reset()
+        assert not cusum.drifted
+        assert gates.evaluate() == []
+
+    def test_ewma_tracks_the_shift_the_cusum_fires_on(self, train_scores):
+        ewma = EwmaTracker(alpha=0.2)
+        for score in train_scores:
+            ewma.update(float(score))
+        baseline = ewma.value
+        shifted = baseline + 2.0 * train_scores.std()
+        for _ in range(20):
+            ewma.update(shifted)
+        assert ewma.value > baseline
+        assert ewma.value == pytest.approx(shifted, rel=0.05)
+
+
+class TestMonitorHealthFeedingGates:
+    def test_clean_stream_reports_healthy(self, fitted_pipeline, dsu_test):
+        monitor = StreamMonitor(fitted_pipeline, window=5, min_consecutive=3)
+        monitor.observe_batch(dsu_test.frames)
+        health = monitor.health()
+        assert health["frames_seen"] == len(dsu_test.frames)
+        assert health["healthy"]
+        assert not health["alarm_active"]
+        gates = RolloutGates().add_monitor(monitor)
+        assert gates.evaluate() == []
+
+    def test_novel_stream_raises_the_alarm_and_fails_the_gate(
+        self, fitted_pipeline, dsi_novel
+    ):
+        monitor = StreamMonitor(fitted_pipeline, window=5, min_consecutive=3)
+        monitor.observe_batch(dsi_novel.frames)
+        health = monitor.health()
+        assert not health["healthy"]
+        assert health["alarm_active"]
+        assert health["alarms_raised"] >= 1
+        gates = RolloutGates().add_monitor(monitor)
+        failures = gates.evaluate()
+        assert len(failures) == 1
+        assert failures[0].startswith("monitor:")
+
+    def test_degraded_frames_surface_in_health(self, fitted_pipeline, dsu_test):
+        monitor = StreamMonitor(fitted_pipeline, window=5, min_consecutive=3)
+        frames = np.array(dsu_test.frames[:4], copy=True)
+        frames[1] = np.nan  # one unscorable frame
+        monitor.observe_batch(frames)
+        assert monitor.health()["degraded_frames"] == 1
+        assert monitor.degraded_counts() == {"non_finite_frame": 1}
+
+    def test_reset_restores_health(self, fitted_pipeline, dsi_novel):
+        monitor = StreamMonitor(fitted_pipeline, window=5, min_consecutive=3)
+        monitor.observe_batch(dsi_novel.frames)
+        assert not monitor.health()["healthy"]
+        monitor.reset()
+        health = monitor.health()
+        assert health["healthy"]
+        assert health["frames_seen"] == 0
+
+    def test_combined_gate_panel_reports_every_failure(
+        self, fitted_pipeline, dsi_novel, train_scores
+    ):
+        """Monitor and drift gates fail independently and both report."""
+        monitor = StreamMonitor(fitted_pipeline, window=5, min_consecutive=3)
+        cusum = CusumDetector().fit(train_scores)
+        monitor.observe_batch(dsi_novel.frames)
+        cusum.update_batch(fitted_pipeline.score_batch(dsi_novel.frames))
+        gates = RolloutGates().add_monitor(monitor).add_drift(cusum)
+        failures = gates.evaluate()
+        assert len(failures) == 2
+        assert {f.split(":")[0] for f in failures} == {"monitor", "drift"}

@@ -1,0 +1,188 @@
+"""ModelRegistry: cataloging, identity verification, lifecycle transitions."""
+
+import json
+import time
+
+import pytest
+
+from repro.deploy import ModelRegistry
+from repro.exceptions import RegistryError
+from repro.serving import manifest_sha256, save_bundle
+
+
+@pytest.fixture(scope="module")
+def second_bundle_dir(fitted_pipeline, tmp_path_factory):
+    """A second saved bundle of the same pipeline (distinct artifact:
+    ``created_unix`` differs, so its manifest hash does too)."""
+    time.sleep(0.01)
+    return save_bundle(fitted_pipeline, tmp_path_factory.mktemp("bundles2") / "ci2")
+
+
+class TestRegistration:
+    def test_register_assigns_versions_in_order(self, tmp_path, bundle_dir, second_bundle_dir):
+        registry = ModelRegistry(tmp_path / "reg")
+        first = registry.register(bundle_dir)
+        second = registry.register(second_bundle_dir)
+        assert first.version == "v0001"
+        assert second.version == "v0002"
+        assert [e.version for e in registry.list()] == ["v0001", "v0002"]
+        assert all(e.status == "registered" for e in registry.list())
+
+    def test_register_records_both_identity_hashes(self, tmp_path, bundle_dir):
+        registry = ModelRegistry(tmp_path / "reg")
+        entry = registry.register(bundle_dir)
+        assert entry.manifest_sha256 == manifest_sha256(bundle_dir)
+        assert entry.config_hash.startswith("sha256:")
+
+    def test_register_snapshots_the_bundle(self, tmp_path, bundle_dir):
+        registry = ModelRegistry(tmp_path / "reg")
+        entry = registry.register(bundle_dir)
+        assert entry.path != bundle_dir
+        assert entry.path.is_dir()
+        assert (entry.path / "manifest.json").exists()
+        # The snapshot is byte-identical where it matters.
+        assert manifest_sha256(entry.path) == entry.manifest_sha256
+
+    def test_register_in_place_keeps_caller_path(self, tmp_path, bundle_dir):
+        registry = ModelRegistry(tmp_path / "reg", copy_bundles=False)
+        entry = registry.register(bundle_dir)
+        assert entry.path == bundle_dir
+
+    def test_duplicate_artifact_is_rejected(self, tmp_path, bundle_dir):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.register(bundle_dir)
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register(bundle_dir)
+
+    def test_duplicate_version_name_is_rejected(
+        self, tmp_path, bundle_dir, second_bundle_dir
+    ):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.register(bundle_dir, version="prod")
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register(second_bundle_dir, version="prod")
+
+    def test_invalid_version_name_is_rejected(self, tmp_path, bundle_dir):
+        registry = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(RegistryError, match="invalid version"):
+            registry.register(bundle_dir, version="../evil")
+
+    def test_register_non_bundle_fails_cleanly(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        from repro.exceptions import ArtifactError
+
+        with pytest.raises(ArtifactError):
+            registry.register(tmp_path / "nowhere")
+        assert registry.list() == []
+
+
+class TestLookup:
+    def test_get_unknown_version(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(RegistryError, match="unknown version"):
+            registry.get("v9999")
+
+    def test_load_roundtrips_a_scoring_pipeline(self, tmp_path, bundle_dir, rng):
+        registry = ModelRegistry(tmp_path / "reg")
+        entry = registry.register(bundle_dir)
+        loaded = registry.load(entry.version)
+        frame = rng.random(loaded.image_shape)
+        assert float(loaded.pipeline.score_batch(frame[None])[0]) > 0
+
+    def test_load_detects_tampered_bundle(self, tmp_path, bundle_dir):
+        registry = ModelRegistry(tmp_path / "reg")
+        entry = registry.register(bundle_dir)
+        manifest_path = entry.path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["created_unix"] = 0.0
+        manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+        with pytest.raises(RegistryError, match="changed on disk"):
+            registry.load(entry.version)
+
+    def test_load_detects_deleted_bundle(self, tmp_path, bundle_dir):
+        import shutil
+
+        registry = ModelRegistry(tmp_path / "reg")
+        entry = registry.register(bundle_dir)
+        shutil.rmtree(entry.path)
+        with pytest.raises(RegistryError, match="gone or broken"):
+            registry.load(entry.version)
+
+    def test_index_survives_process_boundaries(self, tmp_path, bundle_dir):
+        """A second registry object over the same root sees the entries."""
+        root = tmp_path / "reg"
+        ModelRegistry(root).register(bundle_dir, note="from elsewhere")
+        entry = ModelRegistry(root).get("v0001")
+        assert entry.note == "from elsewhere"
+
+    def test_corrupt_index_fails_loudly(self, tmp_path, bundle_dir):
+        root = tmp_path / "reg"
+        registry = ModelRegistry(root)
+        registry.register(bundle_dir)
+        registry.index_path.write_text("{not json")
+        with pytest.raises(RegistryError, match="unreadable"):
+            registry.list()
+
+
+class TestLifecycle:
+    @pytest.fixture
+    def registry(self, tmp_path, bundle_dir, second_bundle_dir):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.register(bundle_dir)
+        registry.register(second_bundle_dir)
+        return registry
+
+    def test_promote_moves_the_serving_pointer(self, registry):
+        registry.promote("v0001")
+        assert registry.serving().version == "v0001"
+        assert registry.get("v0001").status == "serving"
+
+    def test_promote_demotes_the_previous_serving(self, registry):
+        registry.promote("v0001")
+        registry.promote("v0002")
+        assert registry.serving().version == "v0002"
+        assert registry.get("v0001").status == "registered"
+
+    def test_rollback_restores_the_predecessor(self, registry):
+        registry.promote("v0001")
+        registry.promote("v0002")
+        restored = registry.rollback(reason="canary gates failed")
+        assert restored.version == "v0001"
+        assert registry.serving().version == "v0001"
+        assert registry.get("v0002").status == "rolled_back"
+        # A rolled-back version cannot come back.
+        with pytest.raises(RegistryError, match="cannot promote"):
+            registry.promote("v0002")
+
+    def test_rollback_without_predecessor_fails(self, registry):
+        registry.promote("v0001")
+        with pytest.raises(RegistryError, match="no predecessor"):
+            registry.rollback()
+
+    def test_retire_and_serving_guards(self, registry):
+        registry.promote("v0001")
+        with pytest.raises(RegistryError, match="cannot retire the serving"):
+            registry.retire("v0001")
+        registry.retire("v0002")
+        assert registry.get("v0002").status == "retired"
+        with pytest.raises(RegistryError, match="cannot promote"):
+            registry.promote("v0002")
+
+    def test_set_status_refuses_the_serving_version(self, registry):
+        registry.promote("v0001")
+        with pytest.raises(RegistryError, match="serving version"):
+            registry.set_status("v0001", "retired")
+
+    def test_history_ledger_records_the_story(self, registry):
+        registry.promote("v0001")
+        registry.promote("v0002")
+        registry.rollback(reason="bad canary")
+        actions = [event["action"] for event in registry.history()]
+        assert actions == ["register", "register", "promote", "promote", "rollback"]
+        rollback = registry.history()[-1]
+        assert rollback["version"] == "v0002"
+        assert rollback["restored"] == "v0001"
+        assert rollback["reason"] == "bad canary"
+
+    def test_latest_tracks_registration_order(self, registry):
+        assert registry.latest().version == "v0002"

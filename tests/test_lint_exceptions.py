@@ -1,11 +1,12 @@
-"""Lint-style test: serving and reliability raise only ReproError subclasses.
+"""Lint-style test: serving, reliability, and deploy raise only ReproError
+subclasses.
 
 Callers of the serving stack are promised a single root exception type to
 catch (``except ReproError``).  This test walks the AST of every module in
-``src/repro/serving/`` and ``src/repro/reliability/``, resolves each
-``raise`` statement's exception name, and asserts it subclasses
-:class:`~repro.exceptions.ReproError` — so a stray ``raise ValueError``
-can never slip into the serving path unnoticed.
+``src/repro/serving/``, ``src/repro/reliability/``, and
+``src/repro/deploy/``, resolves each ``raise`` statement's exception name,
+and asserts it subclasses :class:`~repro.exceptions.ReproError` — so a
+stray ``raise ValueError`` can never slip into the serving path unnoticed.
 """
 
 import ast
@@ -18,7 +19,7 @@ import repro.exceptions as repro_exceptions
 from repro.exceptions import ReproError
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-LINTED_PACKAGES = ("serving", "reliability")
+LINTED_PACKAGES = ("serving", "reliability", "deploy")
 
 #: Exceptions allowed despite not subclassing ReproError.  AssertionError
 #: marks unreachable-code guards (programming errors, not API surface).
@@ -80,3 +81,12 @@ def test_reliability_errors_are_repro_errors():
     assert issubclass(ReliabilityError, ReproError)
     assert issubclass(CircuitOpenError, ReliabilityError)
     assert issubclass(InjectedFaultError, ReliabilityError)
+
+
+def test_deployment_errors_are_repro_errors():
+    """The deploy exception types slot into the existing hierarchy."""
+    from repro.exceptions import DeploymentError, RegistryError, RolloutError
+
+    assert issubclass(DeploymentError, ReproError)
+    assert issubclass(RegistryError, DeploymentError)
+    assert issubclass(RolloutError, DeploymentError)

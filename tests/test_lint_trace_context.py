@@ -5,9 +5,11 @@ whatever ambient context the current thread happens to hold — on the
 serving path (dispatch thread, worker processes, socket handler threads)
 that is usually the *wrong* request, which corrupts the per-request trees
 ``repro trace`` renders.  This test walks the AST of every module in
-``src/repro/serving/`` and asserts each ``.span(...)`` call passes the
-``trace`` keyword explicitly (a context object, ``"new"``, or a variable
-resolved at runtime — anything but the ambient default).
+``src/repro/serving/`` and ``src/repro/deploy/`` (whose hot-swap and
+rollout spans interleave with serving traffic) and asserts each
+``.span(...)`` call passes the ``trace`` keyword explicitly (a context
+object, ``"new"``, or a variable resolved at runtime — anything but the
+ambient default).
 """
 
 import ast
@@ -16,12 +18,14 @@ from pathlib import Path
 import pytest
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-LINTED_PACKAGE = "serving"
+LINTED_PACKAGES = ("serving", "deploy")
 
 
 def _linted_files():
-    files = sorted((SRC / LINTED_PACKAGE).rglob("*.py"))
-    assert files, "serving package not found — did the layout move?"
+    files = []
+    for package in LINTED_PACKAGES:
+        files.extend(sorted((SRC / package).rglob("*.py")))
+    assert files, "linted packages not found — did the layout move?"
     return files
 
 
@@ -35,7 +39,9 @@ def _span_calls(tree: ast.AST):
             yield node
 
 
-@pytest.mark.parametrize("path", _linted_files(), ids=lambda p: p.name)
+@pytest.mark.parametrize(
+    "path", _linted_files(), ids=lambda p: f"{p.parent.name}/{p.name}"
+)
 def test_serving_spans_pass_trace_explicitly(path):
     tree = ast.parse(path.read_text(), filename=str(path))
     offenders = []

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.image",
     "repro.serving",
     "repro.reliability",
+    "repro.deploy",
     "repro.utils",
 ]
 
