@@ -36,6 +36,9 @@ Commands
 ``profile``
     Aggregate per-kernel timings (``kernel.*`` spans) from a serving
     telemetry file into a profile table.
+``plan``
+    Print a pipeline's compiled stage graph (stage order, per-stage
+    detail, dtypes, call/error tallies, workspace buffer stats).
 """
 
 from __future__ import annotations
@@ -206,6 +209,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL telemetry file to read (default: the serving default)",
     )
 
+    plan = sub.add_parser(
+        "plan", help="print a pipeline's compiled stage graph with dtypes"
+    )
+    plan.add_argument(
+        "--bundle", type=Path, default=None,
+        help="artifact bundle to inspect (omit to train a fresh pipeline at --scale)",
+    )
+    plan.add_argument("--scale", choices=sorted(PRESETS), default="ci")
+    plan.add_argument("--seed", type=int, default=0)
+    _add_dtype_arg(plan)
+
     return parser
 
 
@@ -330,6 +344,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
 def _cmd_masks(args: argparse.Namespace) -> int:
     from repro import viz
     from repro.experiments.harness import Workbench
+    from repro.pipeline import compute_saliency
     from repro.saliency import VisualBackProp
 
     scale = get_scale(args.scale)
@@ -338,7 +353,7 @@ def _cmd_masks(args: argparse.Namespace) -> int:
     model = workbench.steering_model(args.dataset)
     batch = workbench.batch(args.dataset, "test")
     frames = batch.frames[: args.count]
-    masks = VisualBackProp(model).saliency(frames)
+    masks = compute_saliency(VisualBackProp(model), frames)
     for i, (frame, mask) in enumerate(zip(frames, masks)):
         frame_path = viz.save_pgm(frame, args.out / f"{args.dataset}_{i:03d}_input.pgm")
         mask_path = viz.save_pgm(mask, args.out / f"{args.dataset}_{i:03d}_mask.pgm")
@@ -764,6 +779,21 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    if args.bundle is not None:
+        from repro.serving import load_bundle
+
+        bundle = load_bundle(args.bundle)
+        pipeline = bundle.pipeline
+        print(f"loaded bundle {args.bundle}")
+    else:
+        pipeline = _train_pipeline(args.scale, args.seed)
+    if args.dtype is not None:
+        pipeline.set_inference_dtype(args.dtype)
+    print(pipeline.plan.describe())
+    return 0
+
+
 _COMMANDS = {
     "experiment": _cmd_experiment,
     "render": _cmd_render,
@@ -776,6 +806,7 @@ _COMMANDS = {
     "deploy": _cmd_deploy,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
+    "plan": _cmd_plan,
 }
 
 

@@ -380,6 +380,10 @@ class CanaryController:
 
     def _candidate_scorer(self) -> Any:
         bundle = self.registry.load(self.candidate_version)
+        # Compile the candidate's scoring plan before it sees any traffic
+        # (shadowed or split) — stage-graph construction belongs to the
+        # rollout transition, not to the first mirrored request.
+        getattr(bundle.pipeline, "plan", None)
         return self._scorer_factory(bundle, self.candidate_version)
 
     def _require_state(self, *allowed: str) -> None:

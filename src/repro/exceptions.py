@@ -107,5 +107,20 @@ class RolloutError(DeploymentError):
     """
 
 
+class StageError(ReproError):
+    """A stage of a compiled :class:`~repro.pipeline.ScoringPlan` failed.
+
+    Raised by the plan's per-stage fault guard, wrapping whatever the stage
+    actually raised; :attr:`stage` names the failing stage so callers (the
+    stream monitor's degraded path, serving outcomes) can attribute the
+    fault without parsing messages.
+    """
+
+    def __init__(self, message: str, stage: str = "") -> None:
+        super().__init__(message)
+        #: Name of the stage that failed (``""`` when unknown).
+        self.stage = stage
+
+
 class ExperimentError(ReproError):
     """An experiment harness was misused (unknown id, missing artifact...)."""

@@ -26,6 +26,7 @@ from __future__ import annotations
 from repro.config import Scale
 from repro.experiments.harness import ExperimentResult, Workbench, saliency_concentration
 from repro.models.pilotnet import PilotNet, PilotNetConfig
+from repro.pipeline import compute_saliency
 from repro.saliency.vbp import VisualBackProp
 
 #: Dilation applied to the thin marking masks before measuring overlap.
@@ -48,7 +49,7 @@ def run(scale: Scale, rng: int = 0, workbench: Workbench = None) -> ExperimentRe
     }
     concentrations = {}
     for name, network in networks.items():
-        masks = VisualBackProp(network).saliency(test.frames)
+        masks = compute_saliency(VisualBackProp(network), test.frames)
         concentrations[name] = saliency_concentration(
             masks, test.marking_masks, dilate=MARKING_DILATION
         )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.config import Scale
 from repro.experiments.harness import ExperimentResult, Workbench, saliency_concentration
+from repro.pipeline import compute_saliency
 from repro.saliency.vbp import VisualBackProp
 
 
@@ -25,7 +26,7 @@ def run(scale: Scale, rng: int = 0, workbench: Workbench = None) -> ExperimentRe
     for dataset in ("dsu", "dsi"):
         model = bench.steering_model(dataset)
         test = bench.batch(dataset, "test")
-        masks = VisualBackProp(model).saliency(test.frames)
+        masks = compute_saliency(VisualBackProp(model), test.frames)
         concentration = saliency_concentration(masks, test.marking_masks, dilate=2)
         rows.append(
             f"{dataset.upper():<8} {concentration:>22.3f} "

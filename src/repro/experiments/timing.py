@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.config import Scale
 from repro.experiments.harness import ExperimentResult, Workbench
+from repro.pipeline import compute_saliency
 from repro.saliency.gradient import GradientSaliency
 from repro.saliency.lrp import LayerwiseRelevancePropagation
 from repro.saliency.vbp import VisualBackProp
@@ -36,8 +37,8 @@ def run(scale: Scale, rng: int = 0, workbench: Workbench = None, repeats: int = 
     per_frame = {}
     rows = [f"{'method':<10} {'ms/frame':>10}"]
     for name, method in methods.items():
-        method.saliency(frames[:2])  # warm-up outside the timed region
-        _, timer = time_call(method.saliency, frames, repeats=repeats)
+        compute_saliency(method, frames[:2])  # warm-up outside the timed region
+        _, timer = time_call(compute_saliency, method, frames, repeats=repeats)
         per_frame[name] = timer.min / frames.shape[0]
         rows.append(f"{name:<10} {per_frame[name] * 1000:>10.2f}")
 

@@ -173,6 +173,16 @@ class PilotNet(Sequential):
         self.conv_indices = conv_indices
         self.feature_shape = (in_channels, cur_h, cur_w)
 
+    @staticmethod
+    def angles_from_output(output: np.ndarray) -> np.ndarray:
+        """Steering angles from a raw ``(N, 1)`` network output.
+
+        The stage runtime's ``steering_head`` reads angles off the cached
+        ``cnn_forward`` output through this, so the monitor/closed-loop
+        path shares one forward between steering and saliency.
+        """
+        return output[:, 0]
+
     def predict_angles(self, frames: np.ndarray) -> np.ndarray:
         """Steering angles for ``(N, H, W)`` or ``(N, 1, H, W)`` frames."""
         frames = as_tensor(frames, self.dtype)
@@ -182,7 +192,7 @@ class PilotNet(Sequential):
             raise ConfigurationError(
                 f"predict_angles expects (N, H, W) or (N, 1, H, W), got {frames.shape}"
             )
-        return self.predict(frames)[:, 0]
+        return self.angles_from_output(self.predict(frames))
 
 
 def train_pilotnet(

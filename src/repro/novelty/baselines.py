@@ -39,6 +39,17 @@ class RichterRoyBaseline:
             image_shape, loss="mse", config=config, rng=rng
         )
         self.image_shape = self.one_class.image_shape
+        self._plan = None
+
+    @property
+    def plan(self):
+        """Compiled scoring plan (``reconstruct → similarity → verdict``
+        over raw frames — no saliency stage, by design)."""
+        if self._plan is None:
+            from repro.pipeline import compile_plan
+
+            self._plan = compile_plan(self)
+        return self._plan
 
     @property
     def is_fitted(self) -> bool:
@@ -60,7 +71,9 @@ class RichterRoyBaseline:
 
     def score(self, frames: np.ndarray) -> np.ndarray:
         """Per-frame MSE reconstruction loss (higher = more novel)."""
-        return self.one_class.score(self.preprocess(frames))
+        return self.plan.run(
+            self.preprocess(frames), stages=("reconstruct", "similarity")
+        ).scores
 
     def score_batch(self, frames: np.ndarray) -> np.ndarray:
         """Vectorized stack scoring, mirroring
@@ -71,20 +84,30 @@ class RichterRoyBaseline:
             raise ShapeError(
                 f"score_batch expects an (N, H, W) stack, got {frames.shape}"
             )
-        return self.one_class.score(self.preprocess(frames))
+        return self.score(frames)
 
     def similarity(self, frames: np.ndarray) -> np.ndarray:
         """Negated MSE, for orientation-uniform reporting."""
-        return self.one_class.similarity(self.preprocess(frames))
+        return self.plan.run(
+            self.preprocess(frames), stages=("reconstruct", "similarity")
+        ).similarity
 
     def predict_novel(self, frames: np.ndarray) -> np.ndarray:
         """Boolean novelty decisions under the 99th-percentile rule."""
-        return self.one_class.predict_novel(self.preprocess(frames))
+        from repro.exceptions import NotFittedError
+
+        if not self.one_class.detector.is_fitted:
+            raise NotFittedError("OneClassAutoencoder used before fit()")
+        return self.plan.run(
+            self.preprocess(frames),
+            stages=("reconstruct", "similarity", "verdict"),
+        ).is_novel
 
     def reconstruct(self, frames: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """``(inputs, reconstructions)`` for Figure 6 comparisons."""
         inputs = self.preprocess(frames)
-        return inputs, self.one_class.reconstruct(inputs)
+        ctx = self.plan.run(inputs, stages=("reconstruct",))
+        return inputs, ctx.recon
 
 
 class VbpMseBaseline(SaliencyNoveltyPipeline):

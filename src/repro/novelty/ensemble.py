@@ -51,6 +51,17 @@ class EnsembleDetector:
         self.members = members
         self.detector = NoveltyDetector(percentile=percentile, higher_is_novel=True)
         self.one_class = _OneClassView(detector=self.detector)
+        self._plan = None
+
+    @property
+    def plan(self):
+        """Compiled scoring plan (``member_scores → aggregate → verdict``)
+        — the ensemble runs on the same stage runtime as the pipelines."""
+        if self._plan is None:
+            from repro.pipeline import compile_plan
+
+            self._plan = compile_plan(self)
+        return self._plan
 
     @classmethod
     def build(
@@ -79,11 +90,11 @@ class EnsembleDetector:
 
     def member_scores(self, frames: np.ndarray) -> np.ndarray:
         """Per-member score matrix of shape ``(n_members, n_frames)``."""
-        return np.stack([member.score(frames) for member in self.members])
+        return self.plan.run(frames, stages=("member_scores",)).member_scores
 
     def score(self, frames: np.ndarray) -> np.ndarray:
         """Mean member score (higher = more novel)."""
-        return self.member_scores(frames).mean(axis=0)
+        return self.plan.run(frames, stages=("member_scores", "aggregate")).scores
 
     def score_std(self, frames: np.ndarray) -> np.ndarray:
         """Member disagreement per frame — itself a useful uncertainty cue."""
@@ -99,4 +110,6 @@ class EnsembleDetector:
         """Boolean decisions under the ensemble's fitted threshold."""
         if not self.detector.is_fitted:
             raise NotFittedError("EnsembleDetector used before fit()")
-        return self.detector.predict(self.score(frames))
+        return self.plan.run(
+            frames, stages=("member_scores", "aggregate", "verdict")
+        ).is_novel

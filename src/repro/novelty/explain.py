@@ -111,16 +111,24 @@ def explain_frame(
     if frame.ndim != 2:
         raise ShapeError(f"explain_frame expects one (H, W) frame, got {frame.shape}")
 
-    vbp_image = pipeline.preprocess(frame[None])[0]
-    reconstruction = pipeline.one_class.reconstruct(vbp_image[None])[0]
+    if hasattr(pipeline, "run_plan"):
+        # One plan run caches mask, reconstruction, and score together —
+        # one CNN forward, one saliency cascade, one autoencoder pass —
+        # where the explain path previously recomputed each from scratch.
+        ctx = pipeline.run_plan(frame[None])
+        vbp_image = ctx.masks[0]
+        reconstruction = ctx.recon[0]
+        score = float(ctx.scores[0])
+    else:  # duck-typed pipelines without a compiled plan
+        vbp_image = pipeline.preprocess(frame[None])[0]
+        reconstruction = pipeline.one_class.reconstruct(vbp_image[None])[0]
+        score = float(pipeline.one_class.score(vbp_image[None])[0])
     loss = pipeline.one_class._loss
     window = getattr(loss, "window_size", 7)
     window = min(window, min(frame.shape))
     if window % 2 == 0:
         window -= 1
     smap = ssim_map(vbp_image, reconstruction, window_size=max(window, 3))
-
-    score = float(pipeline.one_class.score(vbp_image[None])[0])
     detector = pipeline.one_class.detector
     return FrameExplanation(
         frame=frame,

@@ -238,6 +238,14 @@ class OneClassAutoencoder:
 class SaliencyNoveltyPipeline:
     """The paper's full framework: prediction CNN → VBP → one-class AE.
 
+    A thin facade over a compiled :class:`~repro.pipeline.ScoringPlan`:
+    every scoring entry point (``score`` / ``score_batch`` / ``similarity``
+    / ``predict_novel`` / ``reconstruct`` / ``score_with_steering``)
+    executes a named stage subsequence of one shared plan, so the CNN
+    forward, saliency cascade, autoencoder pass, and verdict each run at
+    most once per call and intermediates are cached in the run's
+    :class:`~repro.pipeline.StageContext`.
+
     Parameters
     ----------
     prediction_model:
@@ -285,11 +293,35 @@ class SaliencyNoveltyPipeline:
             image_shape, loss=loss, config=config, architecture=architecture, rng=rng
         )
         self.image_shape = self.one_class.image_shape
+        self._plan = None
+
+    @property
+    def plan(self):
+        """The compiled :class:`~repro.pipeline.ScoringPlan` (lazy).
+
+        Compiled once per pipeline and reused for every call; the plan's
+        stages hold references to the live model/autoencoder objects, so
+        :meth:`set_inference_dtype` needs no recompile (workspace buffers
+        are dtype-keyed).
+        """
+        if self._plan is None:
+            from repro.pipeline import compile_plan
+
+            self._plan = compile_plan(self)
+        return self._plan
 
     @property
     def vbp(self) -> SaliencyMethod:
         """The preprocessing saliency method (named for the default choice)."""
         return self.saliency_method
+
+    def shares_model_with(self, model) -> bool:
+        """Whether this pipeline's saliency stage runs on ``model``.
+
+        When true, the fused ``score_with_steering`` path can serve a
+        steering policy and the novelty monitor from one CNN forward.
+        """
+        return getattr(self.saliency_method, "model", None) is model
 
     @property
     def dtype(self) -> np.dtype:
@@ -319,13 +351,42 @@ class SaliencyNoveltyPipeline:
         """Whether the one-class stage has been fitted."""
         return self.one_class.is_fitted
 
-    def preprocess(self, frames: np.ndarray) -> np.ndarray:
-        """VBP masks ("VBP images") for a batch of frames."""
+    def _coerce_frames(self, frames: np.ndarray) -> np.ndarray:
+        """Coerce and validate a frame batch to the plan's ``(N, H, W)``.
+
+        Accepts ``(N, H, W, 1)`` channel-last batches (common for camera
+        feeds exported from image pipelines) by squeezing the trailing
+        channel dimension.
+        """
         frames = as_tensor(frames, self.dtype)
         h, w = self.image_shape
+        if frames.ndim == 4 and frames.shape[1:] == (h, w, 1):
+            frames = frames[:, :, :, 0]
         if frames.ndim != 3 or frames.shape[1:] != (h, w):
             raise ShapeError(f"expected (N, {h}, {w}) frames, got {frames.shape}")
-        return self.saliency_method.saliency(frames)
+        return frames
+
+    def run_plan(self, frames: np.ndarray, stages=None):
+        """Execute plan stages over coerced frames; returns the
+        :class:`~repro.pipeline.StageContext` with every intermediate.
+
+        ``stages=None`` runs the scoring prefix plus the verdict when the
+        detector is fitted — one forward, one saliency cascade, one
+        autoencoder pass, with masks/reconstruction/scores all cached in
+        the returned context (what :func:`repro.novelty.explain_frame`
+        consumes).
+        """
+        from repro.pipeline import SCORE_STAGES
+
+        if stages is None:
+            stages = SCORE_STAGES + (("verdict",) if self.is_fitted else ())
+        return self.plan.run(self._coerce_frames(frames), stages=stages)
+
+    def preprocess(self, frames: np.ndarray) -> np.ndarray:
+        """VBP masks ("VBP images") for a batch of frames."""
+        from repro.pipeline import PREPROCESS_STAGES
+
+        return self.run_plan(frames, stages=PREPROCESS_STAGES).masks
 
     def fit(self, frames: np.ndarray) -> "SaliencyNoveltyPipeline":
         """Fit the one-class stage on the VBP images of training frames."""
@@ -334,24 +395,30 @@ class SaliencyNoveltyPipeline:
 
     def score(self, frames: np.ndarray) -> np.ndarray:
         """Novelty scores (reconstruction loss of the VBP image)."""
+        from repro.pipeline import SCORE_STAGES
+
         with get_telemetry().span(
             "pipeline.score",
             frames=int(np.asarray(frames).shape[0]),
             saliency=self.saliency_name,
         ):
-            return self.one_class.score(self.preprocess(frames))
+            return self.run_plan(frames, stages=SCORE_STAGES).scores
 
     def score_batch(self, frames: np.ndarray) -> np.ndarray:
         """Vectorized scoring fast path over a whole ``(N, H, W)`` stack.
 
         Scores are bit-identical to :meth:`score`; the difference is the
-        contract: one VBP forward pass and one autoencoder pass for the
-        entire stack, under a single ``pipeline.score_batch`` telemetry
-        span with no per-frame instrumentation.  This is the substrate the
-        serving micro-batcher and :meth:`StreamMonitor.observe_batch
+        contract: one plan invocation — one CNN forward, one saliency
+        cascade, one autoencoder pass — for the entire stack, under a
+        single ``pipeline.score_batch`` telemetry span (containing the
+        per-stage spans) with no per-frame instrumentation.  This is the
+        substrate the serving micro-batcher and
+        :meth:`StreamMonitor.observe_batch
         <repro.novelty.StreamMonitor.observe_batch>` build on — batched
         numpy matmuls are where the throughput is.
         """
+        from repro.pipeline import SCORE_STAGES
+
         frames = as_tensor(frames, self.dtype)
         if frames.ndim != 3:
             raise ShapeError(
@@ -362,21 +429,65 @@ class SaliencyNoveltyPipeline:
             frames=int(frames.shape[0]),
             saliency=self.saliency_name,
         ):
-            return self.one_class.score(self.preprocess(frames))
+            return self.run_plan(frames, stages=SCORE_STAGES).scores
+
+    def score_with_steering(
+        self, frames: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(scores, steering_angles)`` from one shared CNN forward.
+
+        The fused monitor/closed-loop path: the plan's ``steering_head``
+        and ``saliency_cascade`` stages both consume the cached
+        ``cnn_forward`` activations, so guarding a steering model costs
+        one forward per frame instead of two.  Scores are identical to
+        :meth:`score_batch`; angles to
+        :meth:`~repro.models.PilotNet.predict_angles`.
+        """
+        from repro.pipeline import FUSED_STAGES
+
+        with get_telemetry().span(
+            "pipeline.score_with_steering",
+            frames=int(np.asarray(frames).shape[0]),
+            saliency=self.saliency_name,
+        ):
+            ctx = self.run_plan(frames, stages=FUSED_STAGES)
+            return ctx.scores, ctx.angles
 
     def similarity(self, frames: np.ndarray) -> np.ndarray:
         """Similarity scores in the paper's convention (see
         :meth:`OneClassAutoencoder.similarity`)."""
-        return self.one_class.similarity(self.preprocess(frames))
+        from repro.pipeline import SCORE_STAGES
+
+        return self.run_plan(frames, stages=SCORE_STAGES).similarity
 
     def predict_novel(self, frames: np.ndarray) -> np.ndarray:
         """Boolean novelty decisions for a batch of frames."""
-        return self.one_class.predict_novel(self.preprocess(frames))
+        from repro.pipeline import SCORE_STAGES
 
-    def reconstruct(self, frames: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """``(vbp_images, reconstructions)`` for inspection (Figure 6)."""
-        vbp_images = self.preprocess(frames)
-        return vbp_images, self.one_class.reconstruct(vbp_images)
+        if not self.one_class.detector.is_fitted:
+            raise NotFittedError("OneClassAutoencoder used before fit()")
+        return self.run_plan(frames, stages=SCORE_STAGES + ("verdict",)).is_novel
+
+    def reconstruct(
+        self, frames: np.ndarray, masks: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(vbp_images, reconstructions)`` for inspection (Figure 6).
+
+        ``masks`` accepts saliency masks already computed by a plan run
+        (e.g. the stage cache of a frame just scored), skipping the CNN
+        forward and saliency cascade entirely — the explain/demo path
+        previously recomputed both on frames it had just scored.
+        """
+        from repro.pipeline import PREPROCESS_STAGES
+
+        if masks is None:
+            ctx = self.run_plan(
+                frames, stages=PREPROCESS_STAGES + ("reconstruct",)
+            )
+            return ctx.masks, ctx.recon
+        masks = as_tensor(masks, self.dtype)
+        ctx = self.plan.run(masks, stages=("reconstruct",))
+        return masks, ctx.recon
 
 
 def save_pipeline_state(pipeline: "SaliencyNoveltyPipeline", path) -> None:

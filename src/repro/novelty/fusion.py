@@ -67,6 +67,18 @@ class ScoreFusionDetector:
         self.one_class = _OneClassView(detector=self.detector)
         self._means: Optional[np.ndarray] = None
         self._stds: Optional[np.ndarray] = None
+        self._plan = None
+
+    @property
+    def plan(self):
+        """Compiled scoring plan (``member_scores → standardize →
+        verdict``) — fusion runs on the same stage runtime as the
+        pipelines and ensembles."""
+        if self._plan is None:
+            from repro.pipeline import compile_plan
+
+            self._plan = compile_plan(self)
+        return self._plan
 
     @property
     def is_fitted(self) -> bool:
@@ -87,29 +99,31 @@ class ScoreFusionDetector:
         self.detector.fit(self.score(frames))
         return self
 
-    def _standardized(self, frames: np.ndarray) -> np.ndarray:
+    def _fused(self, frames: np.ndarray):
+        """One plan run through ``member_scores → standardize``."""
         if self._means is None:
             raise NotFittedError("ScoreFusionDetector used before fit()")
-        raw = np.stack([member.score(frames) for member in self.members])
-        return (raw - self._means[:, None]) / self._stds[:, None]
+        return self.plan.run(frames, stages=("member_scores", "standardize"))
 
     def score(self, frames: np.ndarray) -> np.ndarray:
         """Weighted mean of member z-scores (higher = more novel)."""
-        return np.einsum("m,mn->n", self.weights, self._standardized(frames))
+        return self._fused(frames).scores
 
     def similarity(self, frames: np.ndarray) -> np.ndarray:
         """Negated fused score (for orientation-uniform reporting)."""
-        return -self.score(frames)
+        return self._fused(frames).similarity
 
     def member_zscores(self, frames: np.ndarray) -> np.ndarray:
         """Per-member standardized scores, shape ``(n_members, n_frames)``.
 
         Useful for attributing an alarm to the member that raised it.
         """
-        return self._standardized(frames)
+        return self._fused(frames).extras["member_zscores"]
 
     def predict_novel(self, frames: np.ndarray) -> np.ndarray:
         """Boolean decisions under the fused threshold."""
         if not self.detector.is_fitted:
             raise NotFittedError("ScoreFusionDetector used before fit()")
-        return self.detector.predict(self.score(frames))
+        return self.plan.run(
+            frames, stages=("member_scores", "standardize", "verdict")
+        ).is_novel

@@ -27,7 +27,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, NotFittedError
+from repro.exceptions import ConfigurationError, NotFittedError, StageError
 from repro.nn.backend.policy import as_tensor
 from repro.reliability.sanitize import FrameSanitizer
 from repro.telemetry import get_telemetry
@@ -58,7 +58,10 @@ class FrameVerdict:
         ``"ok"`` for a cleanly scored frame, otherwise the degraded
         state (one of :data:`repro.reliability.DEGRADED_STATES`:
         ``bad_dtype`` / ``bad_shape`` / ``non_finite_frame`` /
-        ``stuck_camera`` / ``non_finite_score``).
+        ``stuck_camera`` / ``non_finite_score``), or ``"stage:<name>"``
+        when a specific stage of the detector's compiled scoring plan
+        failed (the stage runtime names the faulting stage, so a VBP
+        numerical blow-up is distinguishable from an autoencoder one).
     """
 
     index: int
@@ -274,80 +277,145 @@ class StreamMonitor:
                 np.stack([arr[i] for i in positions]),
                 getattr(self.detector, "dtype", None),
             )
-            scores, margins = self._score_valid(stack, self._index, positions, telem)
-            threshold_rule = self.detector.one_class.detector
-            finite = np.isfinite(scores)
-            if np.any(finite):
-                decisions = np.zeros(len(positions), dtype=bool)
-                decisions[finite] = threshold_rule.predict(scores[finite])
-            else:
-                decisions = np.zeros(len(positions), dtype=bool)
-            for k, position in enumerate(positions):
-                if not finite[k]:
-                    # A NaN score would compare False against any threshold
-                    # and silently read as "not novel" — route it to the
-                    # degraded path instead.
-                    states[position] = "non_finite_score"
-                scores_full[position] = scores[k]
-                margins_full[position] = margins[k]
-                decisions_full[position] = decisions[k]
-
-        verdicts = []
-        for i in range(n):
-            state = states[i] or "ok"
-            if state == "ok":
-                is_novel = bool(decisions_full[i])
-                self._last_good_novel = is_novel
-            elif self.fail_safe == "novel":
-                is_novel = True
-            else:  # "hold": repeat the last cleanly scored verdict
-                is_novel = self._last_good_novel
-            was_active = self.alarm_active
-            self._recent.append(is_novel)
-            alarm = self.alarm_active
-            if alarm:
-                self._alarm_frames.append(self._index)
-            if alarm and not was_active:
-                self._transitions.append((self._index, None))
-            elif was_active and not alarm:
-                raised_at, _ = self._transitions[-1]
-                self._transitions[-1] = (raised_at, self._index)
-            if state != "ok":
-                self._degraded_frames.append(self._index)
-                self._degraded_counts[state] = self._degraded_counts.get(state, 0) + 1
-            if telem.enabled:
-                telem.counter("monitor.frames").inc()
-                if state == "ok":
-                    telem.histogram("monitor.score").observe(float(scores_full[i]))
-                    # The live score distribution a /metrics scraper watches
-                    # for threshold drift (same series the serving engine
-                    # feeds when scoring goes through it).
-                    telem.window_histogram("monitor.score_window").observe(
-                        float(scores_full[i])
-                    )
-                    telem.gauge("monitor.threshold_margin").set(float(margins_full[i]))
-                else:
-                    telem.counter("monitor.degraded_frames").inc()
-                    telem.event(
-                        "monitor.degraded", frame=self._index, state=state,
-                        fail_safe=self.fail_safe,
-                    )
-                if is_novel:
-                    telem.counter("monitor.novel_frames").inc()
-                if alarm and not was_active:
-                    telem.counter("monitor.alarms_raised").inc()
-                    telem.event("monitor.alarm_raised", frame=self._index)
-                elif was_active and not alarm:
-                    telem.counter("monitor.alarms_cleared").inc()
-                    telem.event("monitor.alarm_cleared", frame=self._index)
-            verdicts.append(
-                FrameVerdict(
-                    index=self._index,
-                    score=float(scores_full[i]),
-                    is_novel=is_novel,
-                    alarm=alarm,
-                    state=state,
+            try:
+                scores, margins = self._score_valid(
+                    stack, self._index, positions, telem
                 )
+            except StageError as exc:
+                # A single stage of the compiled plan blew up.  The monitor
+                # is a safety component: degrade the affected frames under
+                # the fail-safe policy, naming the faulting stage, instead
+                # of letting the exception take the whole stream down.
+                stage_state = f"stage:{exc.stage or 'unknown'}"
+                for position in positions:
+                    states[position] = stage_state
+            else:
+                threshold_rule = self.detector.one_class.detector
+                finite = np.isfinite(scores)
+                decisions = np.zeros(len(positions), dtype=bool)
+                if np.any(finite):
+                    decisions[finite] = threshold_rule.predict(scores[finite])
+                for k, position in enumerate(positions):
+                    if not finite[k]:
+                        # A NaN score would compare False against any
+                        # threshold and silently read as "not novel" —
+                        # route it to the degraded path instead.
+                        states[position] = "non_finite_score"
+                    scores_full[position] = scores[k]
+                    margins_full[position] = margins[k]
+                    decisions_full[position] = decisions[k]
+
+        return [
+            self._ingest_verdict(
+                states[i] or "ok",
+                scores_full[i],
+                margins_full[i],
+                decisions_full[i],
+                telem,
             )
-            self._index += 1
-        return verdicts
+            for i in range(n)
+        ]
+
+    def _ingest_verdict(
+        self, state: str, score: float, margin: float, decision: bool, telem
+    ) -> FrameVerdict:
+        """Fold one frame's outcome into the window/alarm/fault state."""
+        if state == "ok":
+            is_novel = bool(decision)
+            self._last_good_novel = is_novel
+        elif self.fail_safe == "novel":
+            is_novel = True
+        else:  # "hold": repeat the last cleanly scored verdict
+            is_novel = self._last_good_novel
+        was_active = self.alarm_active
+        self._recent.append(is_novel)
+        alarm = self.alarm_active
+        if alarm:
+            self._alarm_frames.append(self._index)
+        if alarm and not was_active:
+            self._transitions.append((self._index, None))
+        elif was_active and not alarm:
+            raised_at, _ = self._transitions[-1]
+            self._transitions[-1] = (raised_at, self._index)
+        if state != "ok":
+            self._degraded_frames.append(self._index)
+            self._degraded_counts[state] = self._degraded_counts.get(state, 0) + 1
+        if telem.enabled:
+            telem.counter("monitor.frames").inc()
+            if state == "ok":
+                telem.histogram("monitor.score").observe(float(score))
+                # The live score distribution a /metrics scraper watches
+                # for threshold drift (same series the serving engine
+                # feeds when scoring goes through it).
+                telem.window_histogram("monitor.score_window").observe(float(score))
+                telem.gauge("monitor.threshold_margin").set(float(margin))
+            else:
+                telem.counter("monitor.degraded_frames").inc()
+                telem.event(
+                    "monitor.degraded", frame=self._index, state=state,
+                    fail_safe=self.fail_safe,
+                )
+            if is_novel:
+                telem.counter("monitor.novel_frames").inc()
+            if alarm and not was_active:
+                telem.counter("monitor.alarms_raised").inc()
+                telem.event("monitor.alarm_raised", frame=self._index)
+            elif was_active and not alarm:
+                telem.counter("monitor.alarms_cleared").inc()
+                telem.event("monitor.alarm_cleared", frame=self._index)
+        verdict = FrameVerdict(
+            index=self._index,
+            score=float(score),
+            is_novel=is_novel,
+            alarm=alarm,
+            state=state,
+        )
+        self._index += 1
+        return verdict
+
+    def observe_with_steering(
+        self, frame: np.ndarray
+    ) -> Tuple[FrameVerdict, Optional[float]]:
+        """Score one frame and predict its steering angle in one pass.
+
+        When the detector exposes the fused ``score_with_steering`` entry
+        point (its compiled plan shares one CNN forward between the
+        steering head and the saliency cascade), the closed-loop simulator
+        gets both the novelty verdict and the steering command for the
+        price of a single forward.  Detectors without the fused path fall
+        back to :meth:`observe` with ``None`` for the angle, as do frames
+        that take any degraded path (the caller must then steer via its
+        own policy — commanding an angle computed from a faulty frame
+        would defeat the sanitizer).
+        """
+        fused = getattr(self.detector, "score_with_steering", None)
+        if fused is None:
+            return self.observe(frame), None
+        arr = np.asarray(frame)
+        telem = get_telemetry()
+        state = self.sanitizer.check(arr)
+        score = float("nan")
+        margin = float("nan")
+        decision = False
+        angle: Optional[float] = None
+        if state is None:
+            stack = as_tensor(arr[None], getattr(self.detector, "dtype", None))
+            try:
+                if telem.enabled:
+                    with telem.span("monitor.frame", index=self._index):
+                        scores, angles = fused(stack)
+                else:
+                    scores, angles = fused(stack)
+            except StageError as exc:
+                state = f"stage:{exc.stage or 'unknown'}"
+            else:
+                score = float(scores[0])
+                if np.isfinite(score):
+                    state = "ok"
+                    angle = float(angles[0])
+                    rule = self.detector.one_class.detector
+                    decision = bool(rule.predict(scores)[0])
+                    margin = float(rule.novelty_margin(scores)[0])
+                else:
+                    state = "non_finite_score"
+        return self._ingest_verdict(state or "ok", score, margin, decision, telem), angle

@@ -33,6 +33,44 @@ class SaliencyMethod:
         """Raw (unnormalized) masks of shape ``(N, H, W)``."""
         raise NotImplementedError
 
+    def _compute_from_forward(
+        self, frames: np.ndarray, output: np.ndarray, activations
+    ) -> np.ndarray:
+        """Raw masks, given a forward pass already done on ``frames``.
+
+        ``output``/``activations`` are the return of
+        ``model.forward_with_activations(frames, training=False)``.
+        Subclasses override this to skip their own forward; the default
+        recomputes via :meth:`_compute` so any method stays usable from
+        the stage runtime.
+        """
+        return self._compute(frames)
+
+    def saliency_from_forward(
+        self, frames: np.ndarray, output: np.ndarray, activations
+    ) -> np.ndarray:
+        """Masks for ``(N, 1, H, W)`` frames reusing a cached forward pass.
+
+        The stage runtime's entry point: the plan's ``cnn_forward`` stage
+        has already run the network on exactly these frames, so methods
+        that can consume the cached ``output``/``activations`` (all three
+        in this library) skip the duplicate forward.  Shape validation and
+        per-image normalization match :meth:`saliency` exactly, so masks
+        are bit-identical to the standalone path.
+        """
+        frames = as_tensor(frames, self.dtype)
+        if frames.ndim != 4 or frames.shape[1] != 1:
+            raise ShapeError(
+                f"saliency_from_forward expects (N, 1, H, W) frames, got {frames.shape}"
+            )
+        masks = self._compute_from_forward(frames, output, activations)
+        if masks.shape != (frames.shape[0], frames.shape[2], frames.shape[3]):
+            raise ShapeError(
+                f"saliency backend produced shape {masks.shape}, "
+                f"expected {(frames.shape[0], frames.shape[2], frames.shape[3])}"
+            )
+        return _normalize_per_image(masks)
+
     def saliency(self, frames: np.ndarray) -> np.ndarray:
         """Saliency masks for a batch of frames.
 

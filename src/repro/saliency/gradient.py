@@ -22,6 +22,21 @@ class GradientSaliency(SaliencyMethod):
 
     def _compute(self, frames: np.ndarray) -> np.ndarray:
         out = self.model.forward(frames, training=False)
+        return self._backward_saliency(out)
+
+    def _compute_from_forward(
+        self, frames: np.ndarray, output: np.ndarray, activations
+    ) -> np.ndarray:
+        """Backward pass over a forward the stage runtime just ran.
+
+        The layers' backward caches are populated by the most recent
+        forward; the stage runtime guarantees no other forward has run on
+        this model since its ``cnn_forward`` stage, so the backward seeds
+        directly off the cached ``output``.
+        """
+        return self._backward_saliency(output)
+
+    def _backward_saliency(self, out: np.ndarray) -> np.ndarray:
         # Seed with ones: for the scalar steering output this is simply
         # d(output)/d(input) per sample.
         grad_in = self.model.backward(np.ones_like(out))

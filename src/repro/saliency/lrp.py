@@ -88,9 +88,20 @@ class LayerwiseRelevancePropagation(SaliencyMethod):
         for layer in self.model.layers:
             inputs.append(out)
             out = layer.forward(out, training=False)
+        return self._relevance_from(inputs, out)
 
+    def _compute_from_forward(
+        self, frames: np.ndarray, output: np.ndarray, activations
+    ) -> np.ndarray:
+        """LRP over a cached forward: each layer's input is the previous
+        layer's activation (the frames for the first layer), so the stage
+        runtime's single ``cnn_forward`` pass replaces the one above."""
+        inputs = [frames] + list(activations[:-1])
+        return self._relevance_from(inputs, output)
+
+    def _relevance_from(self, inputs: List[np.ndarray], output: np.ndarray) -> np.ndarray:
         # Seed relevance with the network output (a steering angle).
-        relevance = out
+        relevance = output
         for layer, layer_input in zip(reversed(self.model.layers), reversed(inputs)):
             relevance = self._propagate(layer, layer_input, relevance)
 

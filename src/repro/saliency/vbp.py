@@ -116,6 +116,12 @@ class VisualBackProp(SaliencyMethod):
         self.model = model
         self.scale_intermediate = bool(scale_intermediate)
         self._stages = find_conv_stages(model)
+        # Ones-kernel cache for the deconvolution cascade, keyed by
+        # (kernel geometry, dtype) so a precision switch just adds new
+        # entries.  A compiled ScoringPlan adopts this cache into its
+        # workspace (adopt_kernel_cache) so the buffers swap atomically
+        # with the plan on hot-swap.
+        self._kernel_cache = {}
 
     @property
     def dtype(self) -> np.dtype:
@@ -127,23 +133,65 @@ class VisualBackProp(SaliencyMethod):
         """Number of convolution stages VBP combines."""
         return len(self._stages)
 
-    def _averaged_maps(self, frames: np.ndarray) -> List[np.ndarray]:
-        """Channel-averaged feature map per conv stage, shallow to deep."""
-        _, activations = self.model.forward_with_activations(frames, training=False)
+    def adopt_kernel_cache(self, workspace) -> None:
+        """Hand ones-kernel ownership to a plan's :class:`Workspace`.
+
+        After adoption the cascade draws its kernels from
+        ``workspace.kernels`` (sharing hit/miss accounting), so the
+        buffers live and die with the compiled plan.
+        """
+        workspace.kernels.update(self._kernel_cache)
+        self._workspace = workspace
+
+    def _ones_kernel(self, kh: int, kw: int) -> np.ndarray:
+        workspace = getattr(self, "_workspace", None)
+        if workspace is not None:
+            return workspace.ones_kernel((1, 1, kh, kw), self.dtype)
+        key = ((1, 1, kh, kw), np.dtype(self.dtype).str)
+        kernel = self._kernel_cache.get(key)
+        if kernel is None:
+            kernel = np.ones((1, 1, kh, kw), dtype=self.dtype)
+            self._kernel_cache[key] = kernel
+        return kernel
+
+    def _averaged_maps_from(self, activations) -> List[np.ndarray]:
+        """Channel-averaged per-stage maps from cached activations."""
         return [
             activations[stage.feature_index].mean(axis=1, keepdims=True)
             for stage in self._stages
         ]
 
-    def _compute(self, frames: np.ndarray) -> np.ndarray:
+    def _averaged_maps(self, frames: np.ndarray) -> List[np.ndarray]:
+        """Channel-averaged feature map per conv stage, shallow to deep."""
+        _, activations = self.model.forward_with_activations(frames, training=False)
+        return self._averaged_maps_from(activations)
+
+    def _check_channels(self, frames: np.ndarray) -> None:
         if frames.shape[1] != self._stages[0].conv.in_channels:
             raise ShapeError(
                 f"model expects {self._stages[0].conv.in_channels} input channels, "
                 f"got {frames.shape[1]}"
             )
+
+    def _compute(self, frames: np.ndarray) -> np.ndarray:
+        self._check_channels(frames)
         telem = get_telemetry()
         with telem.span("vbp.forward", frames=int(frames.shape[0])):
             maps = self._averaged_maps(frames)
+        with telem.span("vbp.backproject", stages=len(self._stages)):
+            return self._backproject(maps, frames.shape[2:])
+
+    def _compute_from_forward(
+        self, frames: np.ndarray, output: np.ndarray, activations
+    ) -> np.ndarray:
+        """The cascade over a forward pass the stage runtime already ran.
+
+        Skips ``vbp.forward`` entirely — the averaged maps come from the
+        cached activations — leaving only the ones-kernel deconvolutions.
+        """
+        self._check_channels(frames)
+        telem = get_telemetry()
+        maps = self._averaged_maps_from(activations)
         with telem.span("vbp.backproject", stages=len(self._stages)):
             return self._backproject(maps, frames.shape[2:])
 
@@ -162,7 +210,7 @@ class VisualBackProp(SaliencyMethod):
                 current = current / np.where(peak > 0, peak, 1.0)
             conv = self._stages[level].conv
             kh, kw = conv.kernel_size
-            ones = np.ones((1, 1, kh, kw), dtype=self.dtype)
+            ones = self._ones_kernel(kh, kw)
             upscaled = conv_transpose2d(current, ones, conv.stride, conv.padding)
             if level > 0:
                 target = maps[level - 1].shape[2:]

@@ -163,6 +163,10 @@ class PipelineScorer:
         self.pipeline = pipeline
         self.image_shape = pipeline.image_shape
         self.model_version = model_version
+        # Compile the scoring plan eagerly so the first request doesn't pay
+        # stage-graph construction; plan-less (duck-typed) pipelines serve
+        # through their plain score_batch path.
+        self.plan = getattr(pipeline, "plan", None)
         # One batched pass at a time: the numpy substrate is single-threaded
         # anyway, and serializing keeps layer caches coherent.  reload()
         # takes the same lock, so a swap waits for the in-flight batch.
@@ -177,6 +181,17 @@ class PipelineScorer:
     def score_batch(self, frames: np.ndarray) -> BatchVerdicts:
         """Vectorized verdicts for an ``(N, H, W)`` stack."""
         with self._lock:
+            if self.plan is not None and hasattr(self.pipeline, "run_plan"):
+                # One compiled-plan invocation yields scores, decisions and
+                # margins together — the verdict stage reads the cached
+                # scores — and every stage emits its own telemetry span.
+                ctx = self.pipeline.run_plan(frames)
+                return BatchVerdicts(
+                    scores=ctx.scores,
+                    is_novel=ctx.is_novel,
+                    margins=ctx.margins,
+                    model_version=self.model_version,
+                )
             scores = self.pipeline.score_batch(frames)
             detector = self.pipeline.one_class.detector
             return BatchVerdicts(
@@ -210,8 +225,13 @@ class PipelineScorer:
                 f"hot-swap shape mismatch: serving {tuple(self.image_shape)}, "
                 f"candidate scores {tuple(pipeline.image_shape)}"
             )
+        # Compile the candidate's plan BEFORE taking the lock: stage-graph
+        # construction happens off the serving path, and the swap below is
+        # an atomic pipeline+plan+version exchange under the drained lock.
+        plan = getattr(pipeline, "plan", None)
         with self._lock:
             self.pipeline = pipeline
+            self.plan = plan
             self.model_version = model_version
 
     def close(self) -> None:

@@ -68,6 +68,9 @@ def _worker_main(
     pipeline = bundle.pipeline
     if dtype is not None:
         pipeline.set_inference_dtype(dtype)
+    # Compile the scoring plan before signalling ready: stage-graph
+    # construction happens once at worker startup, never on a request.
+    getattr(pipeline, "plan", None)
     detector = pipeline.one_class.detector
     telem = None
     sink = None

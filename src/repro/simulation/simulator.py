@@ -156,6 +156,20 @@ class ClosedLoopSimulator:
         handover_step: Optional[int] = None
         alarm_steps: List[int] = []
 
+        # When the monitor's detector and the vision policy share one CNN,
+        # the fused monitor path returns the steering angle alongside the
+        # verdict — one forward per frame instead of two (the stage
+        # runtime's cnn_forward feeds both the steering head and the
+        # saliency cascade).
+        fused_ok = (
+            monitor is not None
+            and hasattr(monitor, "observe_with_steering")
+            and hasattr(policy, "model")
+            and getattr(monitor.detector, "shares_model_with", lambda m: False)(
+                policy.model
+            )
+        )
+
         offsets = np.empty(steps)
         headings = np.empty(steps)
         commands = np.empty(steps)
@@ -173,15 +187,22 @@ class ClosedLoopSimulator:
             if disturb_at is not None and t >= disturb_at:
                 frame = disturb(frame)
 
+            fused_angle: Optional[float] = None
             if monitor is not None:
-                verdict = monitor.observe(frame)
+                if fused_ok and active_policy is policy:
+                    verdict, fused_angle = monitor.observe_with_steering(frame)
+                else:
+                    verdict = monitor.observe(frame)
                 if verdict.alarm:
                     alarm_steps.append(t)
                     if handover_step is None:
                         handover_step = t
                         active_policy = fallback
 
-            command = active_policy.steer(frame, profile)
+            if fused_angle is not None and active_policy is policy:
+                command = float(fused_angle)
+            else:
+                command = active_policy.steer(frame, profile)
             offsets[t] = state.lane_offset
             headings[t] = state.heading
             commands[t] = command

@@ -1,10 +1,10 @@
-"""Lint-style test: serving, reliability, and deploy raise only ReproError
-subclasses.
+"""Lint-style test: serving, reliability, deploy, and the stage runtime
+raise only ReproError subclasses.
 
 Callers of the serving stack are promised a single root exception type to
 catch (``except ReproError``).  This test walks the AST of every module in
-``src/repro/serving/``, ``src/repro/reliability/``, and
-``src/repro/deploy/``, resolves each ``raise`` statement's exception name,
+``src/repro/serving/``, ``src/repro/reliability/``, ``src/repro/deploy/``,
+and ``src/repro/pipeline/``, resolves each ``raise`` statement's exception name,
 and asserts it subclasses :class:`~repro.exceptions.ReproError` — so a
 stray ``raise ValueError`` can never slip into the serving path unnoticed.
 """
@@ -19,7 +19,7 @@ import repro.exceptions as repro_exceptions
 from repro.exceptions import ReproError
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-LINTED_PACKAGES = ("serving", "reliability", "deploy")
+LINTED_PACKAGES = ("serving", "reliability", "deploy", "pipeline")
 
 #: Exceptions allowed despite not subclassing ReproError.  AssertionError
 #: marks unreachable-code guards (programming errors, not API surface).

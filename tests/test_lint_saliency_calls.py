@@ -1,0 +1,67 @@
+"""Lint-style test: saliency runs only through the stage runtime.
+
+The stage runtime exists so the expensive CNN forward + backprojection
+cascade happens exactly once per batch, cached in the plan's
+:class:`~repro.pipeline.StageContext`.  A direct
+``SaliencyMethod.saliency(...)`` call anywhere else in the library is how
+duplicate forwards creep back in (the monitor/closed-loop path used to pay
+one for steering and another for saliency).  This test walks the AST of
+every module under ``src/repro/`` — excluding ``src/repro/saliency/``
+(the methods themselves) and ``src/repro/pipeline/`` (the runtime,
+including the blessed :func:`repro.pipeline.compute_saliency` escape
+hatch for mask-export tools) — and flags any call whose attribute name is
+``saliency``.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Packages allowed to call ``.saliency(...)`` directly.
+EXEMPT_PACKAGES = ("saliency", "pipeline")
+
+
+def _linted_files():
+    files = []
+    for path in sorted(SRC.rglob("*.py")):
+        relative = path.relative_to(SRC)
+        if relative.parts and relative.parts[0] in EXEMPT_PACKAGES:
+            continue
+        files.append(path)
+    assert files, "source tree not found — did the layout move?"
+    return files
+
+
+def _saliency_calls(tree: ast.AST):
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "saliency"
+        ):
+            yield node
+
+
+@pytest.mark.parametrize(
+    "path", _linted_files(), ids=lambda p: str(p.relative_to(SRC))
+)
+def test_no_direct_saliency_calls_outside_stage_runtime(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offenders = [
+        f"line {call.lineno}: direct .saliency(...) call"
+        for call in _saliency_calls(tree)
+    ]
+    assert not offenders, (
+        f"{path.relative_to(SRC.parent.parent)} bypasses the stage runtime "
+        f"(use a compiled plan, or repro.pipeline.compute_saliency for bare "
+        f"masks):\n  " + "\n  ".join(offenders)
+    )
+
+
+def test_lint_catches_a_direct_call():
+    """The lint itself fires on a bypassing call."""
+    tree = ast.parse("masks = VisualBackProp(model).saliency(frames)")
+    assert len(list(_saliency_calls(tree))) == 1

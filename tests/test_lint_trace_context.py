@@ -5,11 +5,12 @@ whatever ambient context the current thread happens to hold — on the
 serving path (dispatch thread, worker processes, socket handler threads)
 that is usually the *wrong* request, which corrupts the per-request trees
 ``repro trace`` renders.  This test walks the AST of every module in
-``src/repro/serving/`` and ``src/repro/deploy/`` (whose hot-swap and
-rollout spans interleave with serving traffic) and asserts each
+``src/repro/serving/``, ``src/repro/deploy/`` (whose hot-swap and
+rollout spans interleave with serving traffic), and ``src/repro/pipeline/``
+(whose per-stage spans run under serving batches) and asserts each
 ``.span(...)`` call passes the ``trace`` keyword explicitly (a context
-object, ``"new"``, or a variable resolved at runtime — anything but the
-ambient default).
+object, ``"new"``, ``None`` to deliberately inherit, or a variable
+resolved at runtime — anything but the implicit ambient default).
 """
 
 import ast
@@ -18,7 +19,7 @@ from pathlib import Path
 import pytest
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-LINTED_PACKAGES = ("serving", "deploy")
+LINTED_PACKAGES = ("serving", "deploy", "pipeline")
 
 
 def _linted_files():

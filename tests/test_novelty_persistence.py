@@ -1,5 +1,7 @@
 """Tests for saving/loading fitted pipelines."""
 
+import copy
+
 import numpy as np
 import pytest
 
@@ -63,6 +65,37 @@ class TestPipelinePersistence:
         np.savez(path, something=np.zeros(3))
         with pytest.raises(SerializationError, match="saved pipeline"):
             load_pipeline_state(path, trained_pilotnet)
+
+    @pytest.mark.parametrize("saliency", ["vbp", "lrp", "gradient"])
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_roundtrip_across_saliency_and_dtype(
+        self, ci_workbench, trained_pilotnet, dsu_test, tmp_path, saliency, dtype
+    ):
+        """Save/load is faithful for every saliency method at both
+        inference precisions (the scores survive, not just the weights)."""
+        # A private model copy: set_inference_dtype recasts the prediction
+        # network in place, and the session fixture must stay float64.
+        model = copy.deepcopy(trained_pilotnet)
+        config = AutoencoderConfig(epochs=2, batch_size=16, ssim_window=CI.ssim_window)
+        pipeline = SaliencyNoveltyPipeline(
+            model, CI.image_shape, config=config, saliency=saliency, rng=0
+        )
+        pipeline.fit(ci_workbench.batch("dsu", "train").frames[:32])
+        path = tmp_path / f"{saliency}_{dtype}.npz"
+        save_pipeline_state(pipeline, path)
+        restored = load_pipeline_state(path, model)
+        assert restored.saliency_name == saliency
+        if dtype == "float32":
+            pipeline.set_inference_dtype(dtype)
+            restored.set_inference_dtype(dtype)
+        assert np.dtype(restored.dtype) == np.dtype(dtype)
+        frames = dsu_test.frames[:6]
+        np.testing.assert_allclose(
+            restored.score(frames), pipeline.score(frames), rtol=1e-5, atol=1e-6
+        )
+        np.testing.assert_array_equal(
+            restored.predict_novel(frames), pipeline.predict_novel(frames)
+        )
 
     def test_mse_pipeline_roundtrip(self, ci_workbench, trained_pilotnet, tmp_path):
         config = AutoencoderConfig(epochs=4, batch_size=16, ssim_window=CI.ssim_window)
