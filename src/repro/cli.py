@@ -26,6 +26,11 @@ Commands
 ``bench-serve``
     Load-test the serving engine and print throughput plus p50/p95/p99
     latency.
+``supervise``
+    Run ``serve`` as a supervised child process: probe it for liveness,
+    restart it (with exponential backoff) when it crashes or wedges, and
+    let its ``--journal-dir`` recovery restore state on every respawn
+    (see ``docs/reliability.md``).
 ``deploy``
     Drive a model registry from the shell: ``register`` / ``list`` /
     ``status`` / ``promote`` / ``rollback`` / ``retire`` versioned
@@ -167,6 +172,53 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    supervise = sub.add_parser(
+        "supervise",
+        help="run serve as a supervised, crash-recovering child process",
+    )
+    supervise.add_argument(
+        "--bundle", type=Path, required=True,
+        help="artifact bundle the child serves (required: respawns must not retrain)",
+    )
+    supervise.add_argument(
+        "--journal-dir", type=Path, required=True, metavar="DIR",
+        help="durable WAL directory the child recovers from on every respawn",
+    )
+    supervise.add_argument("--host", default="127.0.0.1", help="bind address")
+    supervise.add_argument(
+        "--port", type=int, default=8473,
+        help="TCP port (must be fixed — the supervisor probes it)",
+    )
+    _add_dtype_arg(supervise)
+    supervise.add_argument(
+        "--workers", type=int, default=0,
+        help="worker-pool replicas in the child (0 = score in-process)",
+    )
+    supervise.add_argument(
+        "--telemetry", type=Path, default=None, metavar="PATH",
+        help="JSONL telemetry trace for the supervisor itself (default: off)",
+    )
+    supervise.add_argument(
+        "--heartbeat-s", type=float, default=1.0,
+        help="seconds between liveness checks (poll + ping probe)",
+    )
+    supervise.add_argument(
+        "--probe-failures", type=int, default=3,
+        help="consecutive failed ping probes before a wedged child is killed",
+    )
+    supervise.add_argument(
+        "--probe-grace-s", type=float, default=30.0,
+        help="boot grace before failed probes count against the child",
+    )
+    supervise.add_argument(
+        "--max-restarts", type=int, default=5,
+        help="consecutive unhealthy restarts before the supervisor gives up",
+    )
+    supervise.add_argument(
+        "--healthy-after-s", type=float, default=10.0,
+        help="uptime at which a child counts as healthy (backoff resets)",
+    )
+
     deploy = sub.add_parser(
         "deploy", help="manage a versioned model registry (see docs/deployment.md)"
     )
@@ -274,6 +326,18 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile-kernels", action=argparse.BooleanOptionalAction, default=True,
         help="record per-kernel timings/FLOPs on the serving path (default: on)",
+    )
+    parser.add_argument(
+        "--journal-dir", type=Path, default=None, metavar="DIR",
+        help=(
+            "durable WAL directory: journal admitted requests and component "
+            "state there, and replay it on startup (crash recovery; see "
+            "docs/reliability.md)"
+        ),
+    )
+    parser.add_argument(
+        "--no-journal", dest="journal_dir", action="store_const", const=None,
+        help="disable state journaling (the default unless --journal-dir is set)",
     )
 
 
@@ -550,19 +614,117 @@ def _print_engine_latency(engine) -> None:
     )
 
 
+def _recover_journal(journal_dir: Optional[Path]):
+    """Recover prior state from ``--journal-dir`` and reopen the journal.
+
+    Returns ``(report, journal)`` — both ``None`` when journaling is off.
+    Raises :class:`~repro.exceptions.JournalError` when the directory is
+    unwritable (callers map that to exit code 2).
+    """
+    if journal_dir is None:
+        return None, None
+    report, journal = _probe_journal(journal_dir)
+    summary = report.summary()
+    print(
+        f"journal {journal_dir}: recovered seq {summary['last_seq']} "
+        f"(snapshot seq {summary['snapshot_seq']}, "
+        f"{summary['replayed_records']} replayed record(s))"
+    )
+    if summary["truncated_bytes"]:
+        print(f"journal: truncated {summary['truncated_bytes']} torn tail byte(s)")
+    if summary["quarantined"]:
+        names = ", ".join(summary["quarantined"])
+        print(f"journal: quarantined corrupt segment(s): {names}", file=sys.stderr)
+    return report, journal
+
+
+def _probe_journal(journal_dir: Path):
+    """recover + open + prove the directory is actually appendable."""
+    from repro.durability import recover_and_open
+
+    report, journal = recover_and_open(journal_dir)
+    try:
+        # A read-only directory survives ``mkdir(exist_ok=True)``; the
+        # first append is what actually fails, so force one now rather
+        # than dying mid-serve.
+        journal.append("boot", {"argv": [str(part) for part in sys.argv[1:]]})
+    except Exception:
+        journal.close()
+        raise
+    return report, journal
+
+
+def _wire_journal(engine, report, journal):
+    """Attach the recovered ledger (and breaker state) to a built engine.
+
+    Returns the :class:`~repro.durability.StateJournal` to snapshot on
+    shutdown, or ``None`` when journaling is off.
+    """
+    if journal is None:
+        return None
+    from repro.durability import RequestLedger, StateJournal
+
+    state_journal = StateJournal(journal)
+    ledger = RequestLedger(journal, next_id=report.ledger.get("next_id", 1))
+    state_journal.register("ledger", ledger)
+    unresolved = report.unresolved_requests
+    if unresolved:
+        # Their clients are gone; report them failed rather than letting
+        # them look in-flight forever (and recount on every recovery).
+        ledger.resolve_crashed(unresolved)
+        print(
+            f"recovery: {len(unresolved)} request(s) were in flight at the "
+            "crash; reported as failed"
+        )
+    if engine.breaker is not None:
+        state_journal.register("breaker", engine.breaker)
+        breaker_state = report.states.get("breaker")
+        if breaker_state is not None:
+            engine.breaker.load_state_dict(breaker_state)
+            print(f"recovery: circuit breaker restored ({engine.breaker.state})")
+        engine.breaker.attach_journal(state_journal.sink("breaker"))
+    engine.attach_ledger(ledger)
+    return state_journal
+
+
+def _close_journal(state_journal, journal) -> None:
+    """Snapshot component state and seal the journal on clean shutdown."""
+    if journal is None:
+        return
+    from repro.exceptions import JournalError
+
+    try:
+        if state_journal is not None:
+            state_journal.snapshot()
+    except JournalError as exc:
+        # A failed shutdown snapshot is recoverable (the WAL tail still
+        # replays); don't mask the serve path's own exit.
+        print(f"warning: shutdown snapshot failed: {exc}", file=sys.stderr)
+    finally:
+        journal.close()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
-    from repro.exceptions import ArtifactError
+    from repro.exceptions import ArtifactError, JournalError
 
     with _telemetry_scope(args.telemetry):
+        try:
+            report, journal = _recover_journal(args.journal_dir)
+        except JournalError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
         try:
             engine, image_shape = _build_engine(
                 args, default_capacity=max(64, args.frames if args.once else 64)
             )
         except ArtifactError as exc:
+            if journal is not None:
+                journal.close()
             print(str(exc), file=sys.stderr)
             return 2
+        state_journal = _wire_journal(engine, report, journal)
         metrics_server = contextlib.nullcontext()
         if args.metrics_port is not None:
             from repro.telemetry import MetricsRegistry, MetricsServer, get_telemetry
@@ -599,7 +761,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 else:
                     from repro.serving import ServingServer
 
-                    with ServingServer(engine, host=args.host, port=args.port) as server:
+                    recovery_info = None if report is None else report.summary()
+                    with ServingServer(
+                        engine, host=args.host, port=args.port,
+                        recovery_info=recovery_info,
+                    ) as server:
                         host, port = server.address
                         print(f"serving on {host}:{port} (ctrl-c to stop)")
                         try:
@@ -609,23 +775,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                             print("\nshutting down")
         finally:
             engine.close()
+            _close_journal(state_journal, journal)
     if args.telemetry is not None:
         print(f"telemetry trace written to {args.telemetry}")
     return 0
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
-    from repro.exceptions import ArtifactError
+    from repro.exceptions import ArtifactError, JournalError
     from repro.serving import run_load
 
     with _telemetry_scope(args.telemetry):
+        try:
+            report, journal = _recover_journal(args.journal_dir)
+        except JournalError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
         try:
             engine, image_shape = _build_engine(
                 args, default_capacity=max(64, args.frames)
             )
         except ArtifactError as exc:
+            if journal is not None:
+                journal.close()
             print(str(exc), file=sys.stderr)
             return 2
+        state_journal = _wire_journal(engine, report, journal)
         try:
             # Profiling starts after the engine is built so a freshly
             # trained pipeline's training kernels stay out of the profile.
@@ -677,11 +852,82 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
                         f"chaos: degraded={stats['degraded']} retries={stats['retries']} "
                         f"breaker={stats.get('breaker', {}).get('state', 'off')}"
                     )
+                if journal is not None:
+                    ledger_stats = engine.stats().get("ledger", {})
+                    print(
+                        f"journal: {ledger_stats.get('admitted', '?')} admitted, "
+                        f"{ledger_stats.get('outstanding', '?')} outstanding at exit"
+                    )
         finally:
             engine.close()
+            _close_journal(state_journal, journal)
     if args.telemetry is not None:
         print(f"telemetry trace written to {args.telemetry}")
     return 0
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    from repro.durability import Supervisor, SupervisorConfig, tcp_ping_probe
+    from repro.exceptions import ConfigurationError, JournalError
+
+    if args.port == 0:
+        print("supervise needs a fixed --port (the probe must find the child)",
+              file=sys.stderr)
+        return 2
+    if not args.bundle.exists():
+        print(f"bundle {args.bundle} does not exist", file=sys.stderr)
+        return 2
+    try:
+        # Fail fast on an unwritable journal dir — the alternative is a
+        # child that crashes at boot in a restart loop.
+        _, probe_journal = _probe_journal(args.journal_dir)
+        probe_journal.close()
+    except JournalError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--bundle", str(args.bundle),
+        "--host", args.host,
+        "--port", str(args.port),
+        "--journal-dir", str(args.journal_dir),
+    ]
+    if args.dtype is not None:
+        command += ["--dtype", args.dtype]
+    if args.workers:
+        command += ["--workers", str(args.workers)]
+
+    try:
+        config = SupervisorConfig(
+            heartbeat_interval_s=args.heartbeat_s,
+            probe_failures_to_kill=args.probe_failures,
+            probe_grace_s=args.probe_grace_s,
+            max_restarts=args.max_restarts,
+            healthy_after_s=args.healthy_after_s,
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    supervisor = Supervisor(
+        command,
+        probe=tcp_ping_probe(args.host, args.port),
+        config=config,
+    )
+    print(f"supervising: {' '.join(command)}")
+    print(f"journal at {args.journal_dir}; ctrl-c stops supervisor and child")
+    with _telemetry_scope(args.telemetry):
+        try:
+            stats = supervisor.run()
+        except KeyboardInterrupt:
+            print("\nstopping supervisor")
+            supervisor.shutdown()
+            stats = supervisor.stats()
+    print(
+        f"supervisor done: restarts={stats['restarts']} "
+        f"exit_codes={stats['exit_codes']} gave_up={stats['gave_up']}"
+    )
+    return 1 if stats["gave_up"] else 0
 
 
 def _cmd_deploy(args: argparse.Namespace) -> int:
@@ -736,16 +982,27 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
 
 
 def _read_span_file(path: Path):
-    """Load one telemetry JSONL file, with a friendly error on absence."""
+    """Load one telemetry JSONL file, with a friendly error on absence.
+
+    Tolerant of crash-truncated traces: corrupt lines are skipped with a
+    stderr warning so ``repro trace`` / ``repro profile`` still render
+    what a killed serving process managed to flush.
+    """
     from repro.exceptions import SerializationError
-    from repro.telemetry import read_events
+    from repro.telemetry import read_events_tolerant
 
     if not path.exists():
         raise SerializationError(
             f"no telemetry file at {path}; run `repro bench-serve` or "
             "`repro serve` first (they record there by default)"
         )
-    return read_events(path)
+    records, skipped = read_events_tolerant(path)
+    if skipped:
+        print(
+            f"warning: skipped {skipped} corrupt/truncated line(s) in {path}",
+            file=sys.stderr,
+        )
+    return records
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -803,6 +1060,7 @@ _COMMANDS = {
     "bundle": _cmd_bundle,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
+    "supervise": _cmd_supervise,
     "deploy": _cmd_deploy,
     "trace": _cmd_trace,
     "profile": _cmd_profile,

@@ -44,7 +44,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, RolloutError
+from repro.exceptions import ConfigurationError, RolloutError, StateRestoreError
 from repro.serving.engine import PipelineScorer, ServingEngine
 from repro.serving.results import BatchVerdicts
 from repro.telemetry import get_telemetry
@@ -375,8 +375,54 @@ class CanaryController:
         self.shadow: Optional[ShadowRunner] = None
         self.split: Optional[CanarySplitScorer] = None
         self._primary_scorer: Optional[Any] = None
+        self._journal_sink: Optional[Callable[[], None]] = None
         # Fail fast on an unknown candidate before any traffic decisions.
         self.registry.get(self.candidate_version)
+
+    # -- durable state ----------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the rollout state machine position."""
+        return {"state": self.state, "candidate_version": self.candidate_version}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore the state machine position (e.g. after a crash).
+
+        Only the *position* is durable — the live shadow mirror / split
+        scorer are traffic plumbing rebuilt by re-running the transition
+        (``start_shadow`` / ``start_canary``) once the engine is back; the
+        recovery runbook in ``docs/reliability.md`` walks through it.
+        Restoring mid-``shadow``/``canary`` therefore leaves the engine on
+        the primary until the operator (or supervisor hook) re-attaches.
+        """
+        name = state.get("state")
+        if name not in ROLLOUT_STATES:
+            raise StateRestoreError(f"unknown rollout state {name!r} in journal")
+        version = state.get("candidate_version")
+        if version != self.candidate_version:
+            raise StateRestoreError(
+                f"rollout state was journaled for candidate {version!r} but "
+                f"this controller drives {self.candidate_version!r}"
+            )
+        if name in (SHADOW, CANARY):
+            # The traffic attachments died with the old process; the
+            # durable fact is that the rollout was in flight and not yet
+            # judged.  Re-entering from idle lets start_shadow/start_canary
+            # rebuild them through the normal (registry-truthful) path.
+            name = IDLE
+        self.state = name
+
+    def attach_journal(self, sink: Optional[Callable[[], None]]) -> None:
+        """Journal the state machine position after every transition.
+
+        ``sink`` is a zero-argument callable (typically
+        ``StateJournal.sink("rollout")``).  Pass ``None`` to detach.
+        """
+        self._journal_sink = sink
+
+    def _journal(self) -> None:
+        sink = self._journal_sink
+        if sink is not None:
+            sink()
 
     def _candidate_scorer(self) -> Any:
         bundle = self.registry.load(self.candidate_version)
@@ -412,6 +458,7 @@ class CanaryController:
             model_version=self.candidate_version,
             fraction=self.config.shadow_fraction,
         )
+        self._journal()
         return self.shadow
 
     def _detach_shadow(self) -> None:
@@ -447,6 +494,7 @@ class CanaryController:
             model_version=self.candidate_version,
             fraction=self.config.canary_fraction,
         )
+        self._journal()
         return self.split
 
     def evaluate(self) -> RolloutDecision:
@@ -496,6 +544,7 @@ class CanaryController:
         telem = get_telemetry()
         telem.counter("deploy.promotions").inc()
         telem.event("deploy.promoted", model_version=self.candidate_version)
+        self._journal()
 
     def rollback(self, reason: str = "") -> None:
         """shadow | canary → rolled_back: revert to the primary model.
@@ -524,3 +573,4 @@ class CanaryController:
         telem.event(
             "deploy.rollback", model_version=self.candidate_version, reason=reason
         )
+        self._journal()

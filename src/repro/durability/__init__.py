@@ -1,0 +1,49 @@
+"""Durable state journaling, crash recovery, and process supervision.
+
+The runtime safety state this library accumulates — a stream monitor's
+calibrated alarm window, a circuit breaker's position, the rollout state
+machine, the ledger of admitted serving requests — survives process
+death through three layers:
+
+* :class:`Journal` / :func:`recover_journal` — the append-only,
+  CRC-checksummed write-ahead log with snapshots and compaction;
+* :class:`StateJournal` / :class:`RequestLedger` /
+  :class:`RecoveryManager` — the adapters between components'
+  ``state_dict()/load_state_dict()`` and the journal, plus the startup
+  pass that replays and restores;
+* :class:`Supervisor` — the parent watchdog (`repro supervise`) that
+  respawns the serving service with backoff and triggers recovery on
+  every boot.
+
+See the "Crash recovery & supervision" section of ``docs/reliability.md``.
+"""
+
+from repro.durability.journal import Journal, JournalRecovery, recover_journal
+from repro.durability.recovery import (
+    RecoveryManager,
+    RecoveryReport,
+    recover_and_open,
+)
+from repro.durability.state import RequestLedger, StateJournal, fold_ledger
+from repro.durability.supervisor import (
+    Supervisor,
+    SupervisorConfig,
+    http_healthz_probe,
+    tcp_ping_probe,
+)
+
+__all__ = [
+    "Journal",
+    "JournalRecovery",
+    "recover_journal",
+    "RecoveryManager",
+    "RecoveryReport",
+    "recover_and_open",
+    "RequestLedger",
+    "StateJournal",
+    "fold_ledger",
+    "Supervisor",
+    "SupervisorConfig",
+    "tcp_ping_probe",
+    "http_healthz_probe",
+]

@@ -1,0 +1,496 @@
+"""Write-ahead journal: append-only, CRC-checksummed, crash-truncatable.
+
+The operational state around the serving stack — a stream monitor's
+calibrated window, a circuit breaker's position, the rollout state
+machine, the ledger of admitted requests — lives in memory.  A process
+that dies (``kill -9``, OOM, power) loses it all and restarts cold and
+un-calibrated, which for a safety monitor is itself a safety hazard.
+This module is the durable substrate that fixes that:
+
+* :class:`Journal` — an append-only log of JSON records split across
+  *segments* (``segment-<startseq>.wal``).  Each record is one line:
+  an 8-hex-digit CRC32, an 8-hex-digit payload length, and the JSON
+  payload.  Appends are flushed to the OS per record, so everything
+  written before a ``kill -9`` survives the process (an OS crash is the
+  remit of the fsync performed at rotation and snapshot).
+* snapshots — a full state document written via
+  :func:`~repro.utils.fileio.atomic_write` as ``snapshot-<seq>.json``
+  with its own CRC; segments wholly covered by a snapshot are deleted
+  (*compaction*), so replay cost stays bounded no matter how long the
+  journal runs.
+* :func:`recover_journal` — scans a journal directory and returns the
+  latest valid snapshot plus every record after it.  A torn tail (a
+  record cut mid-write by a crash) is truncated in place; a segment
+  corrupted *before* its tail (bit rot, a flipped byte) is quarantined
+  as ``<name>.corrupt`` — along with any later segments, whose sequence
+  continuity it broke — and recovery proceeds from the last valid
+  prefix.  Recovery never raises on bad data; it only counts it.
+
+The record wire format is deliberately line-oriented: JSON payloads
+cannot contain raw newlines, so a human (or ``grep``) can read a segment
+while the CRC + length header still catches every torn or flipped byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import JournalError
+from repro.utils.fileio import atomic_write, fsync_dir
+from repro.utils.log import get_logger
+
+_log = get_logger(__name__)
+
+SEGMENT_PREFIX = "segment-"
+SEGMENT_SUFFIX = ".wal"
+SNAPSHOT_PREFIX = "snapshot-"
+SNAPSHOT_SUFFIX = ".json"
+CORRUPT_SUFFIX = ".corrupt"
+
+#: ``crc32`` and ``length`` as 8 hex digits each, space-separated, then
+#: the payload: ``b"xxxxxxxx yyyyyyyy {...}\n"``.
+_HEADER_LEN = 18
+
+#: Snapshots kept after compaction — the newest plus one fallback, so a
+#: crash *during* a snapshot write (or a corrupt latest) still recovers.
+_SNAPSHOTS_KEPT = 2
+
+
+def _dumps(obj: Any) -> str:
+    """Canonical JSON: the byte form both CRCs are computed over."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _encode_record(seq: int, kind: str, data: Any) -> bytes:
+    try:
+        payload = _dumps({"seq": seq, "kind": kind, "data": data}).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise JournalError(
+            f"journal record {kind!r} (seq {seq}) is not JSON-serializable: {exc}"
+        ) from exc
+    header = f"{zlib.crc32(payload):08x} {len(payload):08x} ".encode("ascii")
+    return header + payload + b"\n"
+
+
+def _decode_line(line: bytes) -> Optional[Dict[str, Any]]:
+    """Parse one newline-terminated record line; ``None`` when invalid."""
+    if len(line) < _HEADER_LEN + 1 or not line.endswith(b"\n"):
+        return None
+    if line[8:9] != b" " or line[17:18] != b" ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+        length = int(line[9:17], 16)
+    except ValueError:
+        return None
+    payload = line[_HEADER_LEN:-1]
+    if len(payload) != length or zlib.crc32(payload) != crc:
+        return None
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if (
+        not isinstance(record, dict)
+        or not isinstance(record.get("seq"), int)
+        or not isinstance(record.get("kind"), str)
+        or "data" not in record
+    ):
+        return None
+    return record
+
+
+def _segment_path(directory: Path, start_seq: int) -> Path:
+    return directory / f"{SEGMENT_PREFIX}{start_seq:012d}{SEGMENT_SUFFIX}"
+
+
+def _snapshot_path(directory: Path, seq: int) -> Path:
+    return directory / f"{SNAPSHOT_PREFIX}{seq:012d}{SNAPSHOT_SUFFIX}"
+
+
+def _sorted_by_seq(paths: List[Path], prefix: str, suffix: str) -> List[Tuple[int, Path]]:
+    """``(start_seq, path)`` pairs for well-formed names, seq-ascending."""
+    out = []
+    for path in paths:
+        stem = path.name[len(prefix):-len(suffix)]
+        try:
+            out.append((int(stem), path))
+        except ValueError:
+            continue
+    return sorted(out)
+
+
+def _quarantine(path: Path) -> str:
+    """Rename a file out of the journal's namespace; returns the new name."""
+    target = path.with_name(path.name + CORRUPT_SUFFIX)
+    os.replace(path, target)
+    return target.name
+
+
+@dataclass
+class JournalRecovery:
+    """What :func:`recover_journal` found on disk.
+
+    Attributes
+    ----------
+    snapshot_state:
+        The latest valid snapshot's state document, or ``None``.
+    snapshot_seq:
+        Last record sequence number the snapshot covers (0 = none).
+    records:
+        Every valid record *after* the snapshot, in sequence order, as
+        ``{"seq", "kind", "data"}`` dicts — the journal tail to replay.
+    last_seq:
+        Highest sequence number recovered (snapshot or tail); the next
+        append must use ``last_seq + 1``.
+    truncated_bytes:
+        Bytes of torn tail trimmed from the final segment.
+    quarantined:
+        Files renamed to ``*.corrupt`` (segments and snapshots).
+    """
+
+    snapshot_state: Optional[Dict[str, Any]] = None
+    snapshot_seq: int = 0
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    last_seq: int = 0
+    truncated_bytes: int = 0
+    quarantined: List[str] = field(default_factory=list)
+
+    @property
+    def replayed_records(self) -> int:
+        """Number of tail records recovered after the snapshot."""
+        return len(self.records)
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-safe summary (feeds ``durability.*`` telemetry)."""
+        return {
+            "snapshot_seq": self.snapshot_seq,
+            "replayed_records": self.replayed_records,
+            "last_seq": self.last_seq,
+            "truncated_bytes": self.truncated_bytes,
+            "quarantined": list(self.quarantined),
+        }
+
+
+def _scan_segment(path: Path) -> Tuple[List[Dict[str, Any]], int, bool]:
+    """Parse one segment; ``(records, valid_end_offset, clean)``.
+
+    ``clean`` is ``False`` when invalid bytes follow the valid prefix —
+    the caller decides between torn-tail truncation and quarantine.
+    """
+    data = path.read_bytes()
+    records: List[Dict[str, Any]] = []
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline == -1:
+            return records, offset, False  # no terminator: torn mid-write
+        record = _decode_line(data[offset:newline + 1])
+        if record is None:
+            return records, offset, False
+        records.append(record)
+        offset = newline + 1
+    return records, offset, True
+
+
+def _tail_is_torn(path: Path, valid_end: int) -> bool:
+    """Whether the invalid region after ``valid_end`` is a torn tail.
+
+    A torn tail (one record cut mid-write by a crash) contains no
+    further valid record; if any later line still decodes, the damage is
+    mid-file corruption and the segment must be quarantined instead.
+    """
+    data = path.read_bytes()[valid_end:]
+    offset = 0
+    while True:
+        newline = data.find(b"\n", offset)
+        if newline == -1:
+            return True
+        offset = newline + 1
+        next_newline = data.find(b"\n", offset)
+        end = len(data) if next_newline == -1 else next_newline + 1
+        if _decode_line(data[offset:end]) is not None:
+            return False
+
+
+def _recover_snapshot(
+    directory: Path, recovery: JournalRecovery
+) -> None:
+    """Fill ``recovery`` with the newest snapshot that validates."""
+    snapshots = _sorted_by_seq(
+        sorted(directory.glob(f"{SNAPSHOT_PREFIX}*{SNAPSHOT_SUFFIX}")),
+        SNAPSHOT_PREFIX,
+        SNAPSHOT_SUFFIX,
+    )
+    for seq, path in reversed(snapshots):
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            state = document["state"]
+            valid = (
+                isinstance(document.get("seq"), int)
+                and zlib.crc32(_dumps(state).encode("utf-8")) == document["crc32"]
+            )
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            valid = False
+        if valid:
+            recovery.snapshot_state = state
+            recovery.snapshot_seq = int(document["seq"])
+            return
+        recovery.quarantined.append(_quarantine(path))
+        _log.warning("quarantined corrupt snapshot %s", path.name)
+
+
+def recover_journal(directory: Union[str, Path]) -> JournalRecovery:
+    """Scan a journal directory; never raises on corrupt data.
+
+    Returns the latest valid snapshot plus the ordered tail of records
+    after it.  Side effects on disk are repair-only: torn tails are
+    truncated in place, corrupt segments/snapshots (and segments after a
+    corrupt one, whose continuity it broke) are renamed ``*.corrupt``.
+    """
+    directory = Path(directory)
+    recovery = JournalRecovery()
+    if not directory.is_dir():
+        return recovery
+    _recover_snapshot(directory, recovery)
+    recovery.last_seq = recovery.snapshot_seq
+
+    segments = _sorted_by_seq(
+        sorted(directory.glob(f"{SEGMENT_PREFIX}*{SEGMENT_SUFFIX}")),
+        SEGMENT_PREFIX,
+        SEGMENT_SUFFIX,
+    )
+    broken = False
+    for index, (start_seq, path) in enumerate(segments):
+        if broken:
+            # Records after a quarantined segment follow a hole in the
+            # sequence; replaying them would interleave pre- and
+            # post-corruption state.
+            recovery.quarantined.append(_quarantine(path))
+            continue
+        records, valid_end, clean = _scan_segment(path)
+        for record in records:
+            if record["seq"] > recovery.snapshot_seq:
+                recovery.records.append(record)
+                recovery.last_seq = max(recovery.last_seq, record["seq"])
+        if clean:
+            continue
+        is_last = index == len(segments) - 1
+        if is_last and _tail_is_torn(path, valid_end):
+            torn = path.stat().st_size - valid_end
+            os.truncate(path, valid_end)
+            recovery.truncated_bytes += torn
+            _log.warning(
+                "truncated %d torn bytes from journal segment %s", torn, path.name
+            )
+        else:
+            recovery.quarantined.append(_quarantine(path))
+            _log.warning("quarantined corrupt journal segment %s", path.name)
+            broken = True
+    return recovery
+
+
+class Journal:
+    """Append-only write-ahead journal over a directory of segments.
+
+    Thread-safe: appends from the serving engine's dispatch threads, the
+    submit path, and a monitor interleave under one lock.  Each append
+    is flushed to the OS (``kill -9`` survivable); ``fsync`` happens at
+    segment rotation and snapshots, not per record — that is the
+    durability/throughput trade the < 5% hot-path overhead gate holds.
+
+    Parameters
+    ----------
+    directory:
+        Journal directory (created if absent).
+    max_segment_bytes:
+        Rotation threshold: a new segment starts once the active one
+        reaches this size.
+    next_seq:
+        First sequence number to assign — ``recovered.last_seq + 1``
+        when reopening after a crash (see :meth:`open`).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        max_segment_bytes: int = 1 << 20,
+        next_seq: int = 1,
+    ) -> None:
+        if max_segment_bytes < 1:
+            raise JournalError(
+                f"max_segment_bytes must be >= 1, got {max_segment_bytes}"
+            )
+        if next_seq < 1:
+            raise JournalError(f"next_seq must be >= 1, got {next_seq}")
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise JournalError(
+                f"journal directory {self.directory} is not writable: {exc}"
+            ) from exc
+        self.max_segment_bytes = int(max_segment_bytes)
+        self._lock = threading.Lock()
+        self._next_seq = int(next_seq)
+        self._handle = None
+        self._segment_bytes = 0
+        self._segment_path: Optional[Path] = None
+        self._appended_since_snapshot = 0
+        self._closed = False
+
+    @classmethod
+    def open(
+        cls, directory: Union[str, Path], **kwargs: Any
+    ) -> Tuple["Journal", JournalRecovery]:
+        """Recover a directory and return a journal continuing after it."""
+        recovered = recover_journal(directory)
+        journal = cls(directory, next_seq=recovered.last_seq + 1, **kwargs)
+        return journal, recovered
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently appended record."""
+        with self._lock:
+            return self._next_seq - 1
+
+    @property
+    def appended_since_snapshot(self) -> int:
+        """Records appended since the last :meth:`snapshot` (replay cost)."""
+        with self._lock:
+            return self._appended_since_snapshot
+
+    def _open_segment_locked(self) -> None:
+        path = _segment_path(self.directory, self._next_seq)
+        try:
+            # Append mode: segments are the one artifact that genuinely
+            # accumulates; every whole-file write goes through
+            # atomic_write instead (snapshots, rotation metadata).
+            self._handle = open(path, "ab")
+        except OSError as exc:
+            raise JournalError(f"cannot open journal segment {path}: {exc}") from exc
+        self._segment_path = path
+        self._segment_bytes = path.stat().st_size
+
+    def _seal_segment_locked(self) -> None:
+        """Flush, fsync, and detach the active segment (rotation/close)."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        self._handle = None
+        fsync_dir(self.directory)
+        self._segment_path = None
+        self._segment_bytes = 0
+
+    def append(self, kind: str, data: Any) -> int:
+        """Durably append one record; returns its sequence number."""
+        with self._lock:
+            if self._closed:
+                raise JournalError("append() on a closed journal")
+            seq = self._next_seq
+            line = _encode_record(seq, kind, data)
+            if self._handle is None:
+                self._open_segment_locked()
+            try:
+                self._handle.write(line)
+                self._handle.flush()
+            except OSError as exc:
+                raise JournalError(
+                    f"journal append failed on {self._segment_path}: {exc}"
+                ) from exc
+            self._next_seq = seq + 1
+            self._segment_bytes += len(line)
+            self._appended_since_snapshot += 1
+            if self._segment_bytes >= self.max_segment_bytes:
+                self._seal_segment_locked()
+            return seq
+
+    def sync(self) -> None:
+        """fsync the active segment (stronger than the per-append flush)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+
+    def snapshot(self, state: Dict[str, Any]) -> Path:
+        """Write a full-state snapshot and compact covered segments.
+
+        The snapshot lands via :func:`atomic_write` (crash-safe), the
+        active segment is sealed, and every segment whose records the
+        snapshot covers is deleted — along with snapshots older than the
+        retained fallback — so recovery replays a bounded tail.
+        """
+        with self._lock:
+            if self._closed:
+                raise JournalError("snapshot() on a closed journal")
+            seq = self._next_seq - 1
+            try:
+                state_json = _dumps(state)
+            except (TypeError, ValueError) as exc:
+                raise JournalError(
+                    f"snapshot state is not JSON-serializable: {exc}"
+                ) from exc
+            document = _dumps(
+                {
+                    "seq": seq,
+                    "crc32": zlib.crc32(state_json.encode("utf-8")),
+                    "state": json.loads(state_json),
+                }
+            )
+            path = _snapshot_path(self.directory, seq)
+            with atomic_write(path, mode="w") as handle:
+                handle.write(document)
+            self._seal_segment_locked()
+            self._compact_locked(seq)
+            self._appended_since_snapshot = 0
+            return path
+
+    def _compact_locked(self, snapshot_seq: int) -> None:
+        segments = _sorted_by_seq(
+            sorted(self.directory.glob(f"{SEGMENT_PREFIX}*{SEGMENT_SUFFIX}")),
+            SEGMENT_PREFIX,
+            SEGMENT_SUFFIX,
+        )
+        # A segment is fully covered when the next segment starts at or
+        # below snapshot_seq + 1; the last segment has no successor, so
+        # it is covered only if the whole journal is.
+        starts = [start for start, _ in segments] + [self._next_seq]
+        for (start, path), next_start in zip(segments, starts[1:]):
+            if next_start <= snapshot_seq + 1:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+        snapshots = _sorted_by_seq(
+            sorted(self.directory.glob(f"{SNAPSHOT_PREFIX}*{SNAPSHOT_SUFFIX}")),
+            SNAPSHOT_PREFIX,
+            SNAPSHOT_SUFFIX,
+        )
+        for _, path in snapshots[:-_SNAPSHOTS_KEPT]:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        fsync_dir(self.directory)
+
+    def close(self) -> None:
+        """Seal the active segment; further appends raise."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._seal_segment_locked()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,267 @@
+"""Durable-state adapters: components ↔ the write-ahead journal.
+
+Two bridges live here:
+
+* :class:`StateJournal` — a registry of named components exposing the
+  ``state_dict()/load_state_dict()`` protocol (:class:`StreamMonitor
+  <repro.novelty.StreamMonitor>`, :class:`CircuitBreaker
+  <repro.reliability.CircuitBreaker>`, :class:`CusumDetector
+  <repro.novelty.drift.CusumDetector>`, :class:`CanaryController
+  <repro.deploy.CanaryController>`, ...).  Each ``write()`` appends the
+  component's current state as one journal record; ``sink(name)`` hands
+  out the zero-argument hook the components' ``attach_journal`` methods
+  expect, so neither side imports the other.
+* :class:`RequestLedger` — an admit/resolve delta log for the serving
+  engine.  Every admitted request appends an ``admit`` record before its
+  outcome exists and a ``resolve`` record once it does; after a crash the
+  admits with no matching resolve are exactly the in-flight requests the
+  dead process owed answers for, and recovery reports each one as failed
+  rather than letting it vanish.  The ledger is itself a durable
+  component (``state_dict`` carries the outstanding set and the id
+  counter) so snapshot compaction cannot drop an unresolved admit.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.durability.journal import Journal
+from repro.exceptions import JournalError, StateRestoreError
+
+#: Journal record kinds this module writes.
+STATE_KIND = "state"
+LEDGER_KIND = "ledger"
+
+
+class StateJournal:
+    """Journals named components' ``state_dict()`` snapshots.
+
+    Components register under stable names; ``write(name)`` appends that
+    component's current state, ``snapshot()`` captures *all* of them into
+    a journal snapshot (compacting the segments the states came from).
+    Replay is latest-wins per name: the restore path takes the snapshot's
+    state map and overlays any later ``state`` records from the tail.
+    """
+
+    def __init__(self, journal: Journal) -> None:
+        self.journal = journal
+        self._components: Dict[str, Any] = {}
+
+    def register(self, name: str, component: Any) -> Any:
+        """Track ``component`` under ``name``; returns the component.
+
+        The component must expose ``state_dict()`` (checked eagerly — a
+        misregistered object should fail at wiring time, not at the
+        first checkpoint mid-incident).
+        """
+        if not callable(getattr(component, "state_dict", None)):
+            raise JournalError(
+                f"component {name!r} ({type(component).__name__}) does not "
+                "expose state_dict()"
+            )
+        self._components[str(name)] = component
+        return component
+
+    @property
+    def names(self) -> List[str]:
+        """Registered component names."""
+        return sorted(self._components)
+
+    def write(self, name: str) -> int:
+        """Append one component's current state; returns the record seq."""
+        try:
+            component = self._components[name]
+        except KeyError:
+            raise JournalError(
+                f"no component registered as {name!r} "
+                f"(registered: {', '.join(self.names) or 'none'})"
+            ) from None
+        return self.journal.append(
+            STATE_KIND, {"name": name, "state": component.state_dict()}
+        )
+
+    def sink(self, name: str) -> Callable[[], None]:
+        """A zero-argument hook journaling ``name`` — feed it to the
+        component's ``attach_journal``."""
+        if name not in self._components:
+            raise JournalError(f"no component registered as {name!r}")
+
+        def _sink() -> None:
+            self.write(name)
+
+        return _sink
+
+    def checkpoint(self) -> None:
+        """Append every registered component's current state."""
+        for name in self.names:
+            self.write(name)
+
+    def snapshot(self) -> None:
+        """Write a full-state journal snapshot (and compact segments)."""
+        self.journal.snapshot(
+            {
+                "components": {
+                    name: component.state_dict()
+                    for name, component in sorted(self._components.items())
+                }
+            }
+        )
+
+
+class RequestLedger:
+    """Admit/resolve delta log over the journal (see module docstring).
+
+    Thread-safe: the serving engine admits from caller threads and
+    resolves from its dispatch thread.  Journal appends happen while
+    holding the ledger lock so the on-disk admit/resolve order matches
+    the in-memory outstanding set.
+
+    Parameters
+    ----------
+    journal:
+        The journal deltas are appended to (``None`` = a disabled ledger
+        that still tracks ids, for symmetric wiring in tests).
+    next_id:
+        First request id to assign — after recovery, the recovered
+        ``next_id`` so ids never repeat across a crash.
+    """
+
+    def __init__(self, journal: Optional[Journal], next_id: int = 1) -> None:
+        if next_id < 1:
+            raise JournalError(f"next_id must be >= 1, got {next_id}")
+        self.journal = journal
+        self._lock = threading.Lock()
+        self._next_id = int(next_id)
+        self._outstanding: Dict[int, bool] = {}
+        self._admitted = 0
+        self._resolved = 0
+
+    def admit(self) -> int:
+        """Record one admitted request; returns its ledger id."""
+        with self._lock:
+            rid = self._next_id
+            self._next_id += 1
+            self._outstanding[rid] = True
+            self._admitted += 1
+            if self.journal is not None:
+                self.journal.append(
+                    LEDGER_KIND, {"event": "admit", "rid": rid}
+                )
+            return rid
+
+    def resolve(self, rid: int, status: str) -> None:
+        """Record a request's typed outcome (``Scored``/``Failed``/...).
+
+        Resolving an unknown or already-resolved id is a no-op: the
+        engine resolves through first-wins ``PendingResult`` semantics,
+        so a raced double-resolve is normal, not corruption.
+        """
+        with self._lock:
+            if self._outstanding.pop(int(rid), None) is None:
+                return
+            self._resolved += 1
+            if self.journal is not None:
+                self.journal.append(
+                    LEDGER_KIND,
+                    {"event": "resolve", "rid": int(rid), "status": str(status)},
+                )
+
+    def resolve_crashed(self, rids) -> None:
+        """Journal ``resolve`` records for admits orphaned by a crash.
+
+        The recovered unresolved ids belong to clients that are gone;
+        recording them as ``failed_on_crash`` (a) reports the loss
+        explicitly and (b) stops them from re-counting as in-flight on
+        every later recovery.  The ids are not in this ledger's
+        outstanding set (they died with the old process), so this writes
+        the journal directly instead of going through :meth:`resolve`.
+        """
+        with self._lock:
+            for rid in rids:
+                if self.journal is not None:
+                    self.journal.append(
+                        LEDGER_KIND,
+                        {
+                            "event": "resolve",
+                            "rid": int(rid),
+                            "status": "failed_on_crash",
+                        },
+                    )
+
+    def stats(self) -> Dict[str, Any]:
+        """This process's admit/resolve counters and live in-flight count."""
+        with self._lock:
+            return {
+                "admitted": self._admitted,
+                "resolved": self._resolved,
+                "outstanding": len(self._outstanding),
+                "next_id": self._next_id,
+            }
+
+    @property
+    def outstanding(self) -> List[int]:
+        """Ids admitted but not yet resolved (in-flight right now)."""
+        with self._lock:
+            return sorted(self._outstanding)
+
+    @property
+    def next_id(self) -> int:
+        with self._lock:
+            return self._next_id
+
+    # -- durable-component protocol ---------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot of the id counter and the outstanding set."""
+        with self._lock:
+            return {
+                "next_id": self._next_id,
+                "outstanding": sorted(self._outstanding),
+            }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        next_id = int(state.get("next_id", 1))
+        if next_id < 1:
+            raise StateRestoreError(f"ledger next_id must be >= 1, got {next_id}")
+        with self._lock:
+            self._next_id = next_id
+            self._outstanding = {int(rid): True for rid in state.get("outstanding", [])}
+
+
+def fold_ledger(
+    snapshot_state: Optional[Dict[str, Any]], records: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Reconstruct the ledger from a snapshot plus replayed deltas.
+
+    Returns ``{"next_id", "outstanding", "admitted", "resolved"}`` where
+    ``outstanding`` are the admits never resolved — the requests that
+    were in flight when the process died.
+    """
+    next_id = 1
+    outstanding: Dict[int, bool] = {}
+    admitted = 0
+    resolved = 0
+    if snapshot_state:
+        next_id = int(snapshot_state.get("next_id", 1))
+        outstanding = {
+            int(rid): True for rid in snapshot_state.get("outstanding", [])
+        }
+    for record in records:
+        if record.get("kind") != LEDGER_KIND:
+            continue
+        data = record["data"]
+        rid = int(data["rid"])
+        if data.get("event") == "admit":
+            outstanding[rid] = True
+            admitted += 1
+            next_id = max(next_id, rid + 1)
+        elif data.get("event") == "resolve":
+            outstanding.pop(rid, None)
+            resolved += 1
+    return {
+        "next_id": next_id,
+        "outstanding": sorted(outstanding),
+        "admitted": admitted,
+        "resolved": resolved,
+    }

@@ -1,0 +1,359 @@
+"""Supervisor runtime: keep the serving service alive across crashes.
+
+A parent watchdog (`repro supervise`) that runs the TCP serving service
+as a child process and turns crashes — including ``kill -9`` — into
+restarts with state restore instead of outages:
+
+* **liveness** — the child is polled for exit, and (optionally) probed
+  for *responsiveness* on a heartbeat interval: a child that is alive
+  but wedged (deadlocked dispatch thread, hung accept loop) is killed
+  after ``probe_failures_to_kill`` consecutive failed probes.  Two probe
+  flavors ship here: :func:`tcp_ping_probe` (the serving protocol's
+  ``ping`` op) and :func:`http_healthz_probe` (the metrics server's
+  ``/healthz``).
+* **restart policy** — exponential backoff between respawns
+  (``base_delay_s`` × ``multiplier``ⁿ, capped at ``max_delay_s``), reset
+  once the child stays healthy for ``healthy_after_s``; at most
+  ``max_restarts`` consecutive unhealthy restarts before the supervisor
+  gives up (a child that can never boot should page a human, not spin).
+* **state restore** — the supervisor itself restores nothing: the child
+  runs ``repro serve --journal-dir ...`` and its
+  :class:`~repro.durability.RecoveryManager` replays the journal on
+  every boot.  The supervisor's job is only to make sure a boot happens.
+
+Everything is injectable (``spawn``, ``probe``, ``sleep``, ``clock``) so
+the policy is unit-testable without real processes; the default wiring
+uses :mod:`subprocess` and real time.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError, SupervisorError
+from repro.telemetry import get_telemetry
+from repro.utils.log import get_logger
+
+_log = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Restart/liveness policy for one :class:`Supervisor`.
+
+    Attributes
+    ----------
+    heartbeat_interval_s:
+        Seconds between liveness checks (child poll + probe).
+    probe_failures_to_kill:
+        Consecutive failed probes after which a live-but-wedged child is
+        killed and restarted.
+    probe_grace_s:
+        Boot grace: probes are not counted against a child until it has
+        been up this long.  A freshly spawned server legitimately fails
+        probes while it loads artifacts and replays its journal —
+        killing it for that guarantees a crash loop.  Process *exit* is
+        still detected during the grace window.
+    max_restarts:
+        Consecutive unhealthy restarts before the supervisor gives up.
+        The counter resets each time a child stays up ``healthy_after_s``.
+    base_delay_s / multiplier / max_delay_s:
+        Exponential-backoff schedule between respawns.
+    healthy_after_s:
+        Uptime at which a child is considered healthy (backoff and the
+        restart budget reset).
+    restart_on_clean_exit:
+        Whether exit code 0 is restarted (default: a clean exit means
+        the service was asked to stop — honor it).
+    term_grace_s:
+        Seconds a wedged child gets to honor SIGTERM before SIGKILL.
+    """
+
+    heartbeat_interval_s: float = 1.0
+    probe_failures_to_kill: int = 3
+    probe_grace_s: float = 30.0
+    max_restarts: int = 5
+    base_delay_s: float = 0.1
+    multiplier: float = 2.0
+    max_delay_s: float = 5.0
+    healthy_after_s: float = 10.0
+    restart_on_clean_exit: bool = False
+    term_grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_s <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval_s must be positive, got {self.heartbeat_interval_s}"
+            )
+        if self.probe_failures_to_kill < 1:
+            raise ConfigurationError(
+                f"probe_failures_to_kill must be >= 1, got {self.probe_failures_to_kill}"
+            )
+        if self.probe_grace_s < 0:
+            raise ConfigurationError(
+                f"probe_grace_s must be >= 0, got {self.probe_grace_s}"
+            )
+        if self.max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.base_delay_s < 0:
+            raise ConfigurationError(
+                f"base_delay_s must be >= 0, got {self.base_delay_s}"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_delay_s < self.base_delay_s:
+            raise ConfigurationError(
+                f"max_delay_s must be >= base_delay_s, got {self.max_delay_s}"
+            )
+        if self.healthy_after_s <= 0:
+            raise ConfigurationError(
+                f"healthy_after_s must be positive, got {self.healthy_after_s}"
+            )
+        if self.term_grace_s < 0:
+            raise ConfigurationError(
+                f"term_grace_s must be >= 0, got {self.term_grace_s}"
+            )
+
+
+def tcp_ping_probe(
+    host: str, port: int, timeout_s: float = 2.0
+) -> Callable[[], bool]:
+    """A probe sending the serving protocol's ``ping`` op.
+
+    Opens a fresh connection per probe — the child restarts across
+    probes, so a held socket would go stale exactly when it matters.
+    """
+    from repro.serving.service import ServingClient
+
+    def probe() -> bool:
+        try:
+            with ServingClient(host, port, timeout_s=timeout_s) as client:
+                return client.ping()
+        except Exception:
+            return False
+
+    return probe
+
+
+def http_healthz_probe(
+    host: str, port: int, timeout_s: float = 2.0
+) -> Callable[[], bool]:
+    """A probe hitting the metrics server's ``/healthz`` endpoint."""
+    import urllib.error
+    import urllib.request
+
+    url = f"http://{host}:{port}/healthz"
+
+    def probe() -> bool:
+        try:
+            with urllib.request.urlopen(url, timeout=timeout_s) as response:
+                return response.status == 200
+        except Exception:
+            return False
+
+    return probe
+
+
+class Supervisor:
+    """Runs a command as a supervised child (see module docstring).
+
+    Parameters
+    ----------
+    command:
+        argv of the child process (e.g. ``[sys.executable, "-m", "repro",
+        "serve", "--journal-dir", ...]``).
+    probe:
+        Optional zero-argument liveness callable returning ``True`` when
+        the child is responsive.  ``None`` supervises on process exit
+        alone.
+    config:
+        The restart/liveness policy.
+    sleep / clock / spawn:
+        Injection points for tests: ``spawn(argv)`` must return an
+        object with ``poll()``, ``terminate()``, ``kill()``, ``wait()``,
+        and ``pid``.
+    """
+
+    def __init__(
+        self,
+        command: Sequence[str],
+        probe: Optional[Callable[[], bool]] = None,
+        config: Optional[SupervisorConfig] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        spawn: Optional[Callable[[Sequence[str]], Any]] = None,
+    ) -> None:
+        if not command:
+            raise SupervisorError("supervisor needs a non-empty child command")
+        self.command = [str(part) for part in command]
+        self.probe = probe
+        self.config = config or SupervisorConfig()
+        self._sleep = sleep
+        self._clock = clock
+        self._spawn = spawn or (lambda argv: subprocess.Popen(list(argv)))
+        self._child: Optional[Any] = None
+        self._stop = threading.Event()
+        self._restarts = 0
+        self._unhealthy_restarts = 0
+        self._probe_failures = 0
+        self._exit_codes: List[Optional[int]] = []
+        self._gave_up = False
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def child_pid(self) -> Optional[int]:
+        """PID of the current child, or ``None``."""
+        child = self._child
+        return None if child is None else child.pid
+
+    def stats(self) -> Dict[str, Any]:
+        """Restart counters and the child-exit history."""
+        return {
+            "restarts": self._restarts,
+            "unhealthy_restarts": self._unhealthy_restarts,
+            "exit_codes": list(self._exit_codes),
+            "gave_up": self._gave_up,
+            "child_pid": self.child_pid,
+        }
+
+    def stop(self) -> None:
+        """Ask :meth:`run` to wind down (terminates the child)."""
+        self._stop.set()
+
+    def shutdown(self) -> None:
+        """Stop supervising and terminate the child now (idempotent).
+
+        For callers interrupted *outside* :meth:`run` (a KeyboardInterrupt
+        thrown from its sleep) — makes sure no orphan child survives.
+        """
+        self._stop.set()
+        self._kill_child()
+
+    # -- lifecycle ---------------------------------------------------------
+    def _spawn_child(self) -> None:
+        self._child = self._spawn(self.command)
+        self._probe_failures = 0
+        telem = get_telemetry()
+        if telem.enabled:
+            telem.event(
+                "durability.child_spawned",
+                pid=self._child.pid,
+                restarts=self._restarts,
+            )
+        _log.info(
+            "supervisor spawned child pid=%s (restart %d)",
+            self._child.pid,
+            self._restarts,
+        )
+
+    def _kill_child(self) -> Optional[int]:
+        """SIGTERM, grace period, SIGKILL; returns the exit code."""
+        child = self._child
+        if child is None:
+            return None
+        if child.poll() is None:
+            child.terminate()
+            deadline = self._clock() + self.config.term_grace_s
+            while child.poll() is None and self._clock() < deadline:
+                self._sleep(min(0.05, self.config.heartbeat_interval_s))
+            if child.poll() is None:
+                child.kill()
+                child.wait()
+        return child.poll()
+
+    def _backoff_delay(self) -> float:
+        delay = self.config.base_delay_s * (
+            self.config.multiplier ** max(0, self._unhealthy_restarts - 1)
+        )
+        return min(delay, self.config.max_delay_s)
+
+    def run(self) -> Dict[str, Any]:
+        """Supervise until :meth:`stop`, a clean child exit, or give-up.
+
+        Returns :meth:`stats`.  Raises nothing for child failures — a
+        supervisor that dies with its child defeats the point; exhausting
+        the restart budget sets ``gave_up`` in the stats instead.
+        """
+        telem = get_telemetry()
+        self._spawn_child()
+        spawned_at = self._clock()
+        while not self._stop.is_set():
+            self._sleep(self.config.heartbeat_interval_s)
+            child = self._child
+            uptime = self._clock() - spawned_at
+            if uptime >= self.config.healthy_after_s and self._unhealthy_restarts:
+                # The child proved itself; future crashes start a fresh
+                # backoff schedule instead of inheriting this one's.
+                self._unhealthy_restarts = 0
+            exit_code = child.poll()
+            if (
+                exit_code is None
+                and self.probe is not None
+                and uptime >= self.config.probe_grace_s
+            ):
+                if self.probe():
+                    self._probe_failures = 0
+                else:
+                    self._probe_failures += 1
+                    if self._probe_failures >= self.config.probe_failures_to_kill:
+                        _log.warning(
+                            "child pid=%s unresponsive after %d probes; killing",
+                            child.pid,
+                            self._probe_failures,
+                        )
+                        if telem.enabled:
+                            telem.event(
+                                "durability.child_unresponsive",
+                                pid=child.pid,
+                                probe_failures=self._probe_failures,
+                            )
+                        exit_code = self._kill_child()
+            if exit_code is None:
+                continue
+            self._exit_codes.append(exit_code)
+            if telem.enabled:
+                telem.event(
+                    "durability.child_exited", pid=child.pid, exit_code=exit_code
+                )
+            if exit_code == 0 and not self.config.restart_on_clean_exit:
+                _log.info("child exited cleanly; supervisor done")
+                break
+            healthy_run = self._clock() - spawned_at >= self.config.healthy_after_s
+            self._unhealthy_restarts = 0 if healthy_run else self._unhealthy_restarts + 1
+            if self._unhealthy_restarts > self.config.max_restarts:
+                self._gave_up = True
+                _log.error(
+                    "giving up after %d consecutive unhealthy restarts "
+                    "(child never became healthy)",
+                    self.config.max_restarts,
+                )
+                if telem.enabled:
+                    telem.event(
+                        "durability.supervisor_gave_up",
+                        restarts=self._restarts,
+                    )
+                break
+            delay = self._backoff_delay()
+            _log.warning(
+                "child exited with code %s; respawning in %.2fs", exit_code, delay
+            )
+            if delay > 0:
+                self._sleep(delay)
+            if self._stop.is_set():
+                break
+            self._restarts += 1
+            if telem.enabled:
+                telem.counter("durability.restarts").inc()
+            self._spawn_child()
+            spawned_at = self._clock()
+        if self._stop.is_set() and self._child is not None and self._child.poll() is None:
+            self._exit_codes.append(self._kill_child())
+        return self.stats()

@@ -107,6 +107,43 @@ class RolloutError(DeploymentError):
     """
 
 
+class DurabilityError(ReproError):
+    """Durable-state journaling or crash recovery failed.
+
+    Base class for everything :mod:`repro.durability` raises, so a
+    recovery driver can catch the whole durability surface with one
+    clause.  Note that *corruption found on disk* deliberately does not
+    raise — corrupt journal segments are quarantined and recovery
+    proceeds from the last valid prefix; this type covers misuse
+    (journaling to a closed journal, restoring an incompatible state
+    dict) and unrecoverable environment failures.
+    """
+
+
+class JournalError(DurabilityError):
+    """The write-ahead journal was misused or could not persist a record.
+
+    Raised by :class:`~repro.durability.Journal` for appends after
+    ``close()``, unwritable journal directories, and records that cannot
+    be serialized to JSON.
+    """
+
+
+class StateRestoreError(DurabilityError):
+    """A recovered state dict does not fit the component restoring it.
+
+    Raised by ``load_state_dict`` implementations when the journaled
+    state disagrees with the live component's configuration (window
+    sizes, fail-safe policy, rollout version) — restoring it silently
+    would resurrect a *different* monitor than the one that crashed.
+    """
+
+
+class SupervisorError(DurabilityError):
+    """The supervisor runtime was misconfigured or exhausted its restart
+    budget without the child ever becoming healthy."""
+
+
 class StageError(ReproError):
     """A stage of a compiled :class:`~repro.pipeline.ScoringPlan` failed.
 

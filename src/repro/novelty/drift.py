@@ -20,11 +20,11 @@ Both calibrate from the same training scores the threshold detector uses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, NotFittedError
+from repro.exceptions import ConfigurationError, NotFittedError, StateRestoreError
 from repro.nn.backend.policy import as_tensor
 
 
@@ -79,6 +79,21 @@ class EwmaTracker:
     def reset(self) -> None:
         """Forget all history."""
         self._value = None
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the smoothed value."""
+        return {"alpha": self.alpha, "value": self._value}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        alpha = state.get("alpha")
+        if alpha != self.alpha:
+            raise StateRestoreError(
+                f"EWMA state was journaled with alpha={alpha!r} but this "
+                f"tracker is configured with alpha={self.alpha}"
+            )
+        value = state.get("value")
+        self._value = None if value is None else float(value)
 
 
 class CusumDetector:
@@ -171,3 +186,38 @@ class CusumDetector:
     def update_batch(self, scores: np.ndarray) -> List[DriftVerdict]:
         """Fold a sequence of scores in order."""
         return [self.update(s) for s in as_tensor(scores).ravel()]
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot: calibration, running statistic, drift latch.
+
+        The latch (:attr:`drift_index`) is the part that matters across a
+        crash — drift signalled before the crash must still read as
+        drifted after recovery, or a restart would silently un-latch a
+        rollout gate.
+        """
+        return {
+            "allowance": self.allowance,
+            "decision_threshold": self.decision_threshold,
+            "mean": self._mean,
+            "std": self._std,
+            "statistic": self._statistic,
+            "index": self._index,
+            "drift_index": self._drift_index,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (calibration included)."""
+        for key in ("allowance", "decision_threshold"):
+            ours = getattr(self, key)
+            theirs = state.get(key)
+            if theirs != ours:
+                raise StateRestoreError(
+                    f"CUSUM state was journaled with {key}={theirs!r} but "
+                    f"this detector is configured with {key}={ours}"
+                )
+        self._mean = None if state["mean"] is None else float(state["mean"])
+        self._std = None if state["std"] is None else float(state["std"])
+        self._statistic = float(state["statistic"])
+        self._index = int(state["index"])
+        drift = state.get("drift_index")
+        self._drift_index = None if drift is None else int(drift)

@@ -23,11 +23,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, NotFittedError, StageError
+from repro.exceptions import (
+    ConfigurationError,
+    NotFittedError,
+    StageError,
+    StateRestoreError,
+)
 from repro.nn.backend.policy import as_tensor
 from repro.reliability.sanitize import FrameSanitizer
 from repro.telemetry import get_telemetry
@@ -146,6 +151,8 @@ class StreamMonitor:
         self._degraded_frames: List[int] = []
         self._degraded_counts: Dict[str, int] = {}
         self._last_good_novel = False
+        self._journal_sink: Optional[Callable[[], None]] = None
+        self._journal_every = 1
 
     @property
     def alarm_active(self) -> bool:
@@ -196,6 +203,75 @@ class StreamMonitor:
             "degraded_frames": len(self._degraded_frames),
             "alarms_raised": len(self._transitions),
         }
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of all mutable stream state.
+
+        Covers everything :meth:`observe` mutates — the sliding decision
+        window, the alarm/transition history, degraded counters, the
+        fail-safe "hold" latch, and the sanitizer's stuck-camera run —
+        plus the configuration the window semantics depend on, so
+        :meth:`load_state_dict` can refuse a snapshot taken by a
+        differently-configured monitor.
+        """
+        return {
+            "window": self.window,
+            "min_consecutive": self.min_consecutive,
+            "fail_safe": self.fail_safe,
+            "index": self._index,
+            "recent": [bool(v) for v in self._recent],
+            "alarm_frames": list(self._alarm_frames),
+            "transitions": [list(pair) for pair in self._transitions],
+            "degraded_frames": list(self._degraded_frames),
+            "degraded_counts": dict(self._degraded_counts),
+            "last_good_novel": self._last_good_novel,
+            "sanitizer": self.sanitizer.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (e.g. after a crash).
+
+        Raises :class:`~repro.exceptions.StateRestoreError` when the
+        snapshot was taken under a different window geometry or
+        fail-safe policy — silently restoring it would resurrect a
+        monitor with different alarm semantics than the one that died.
+        """
+        for key in ("window", "min_consecutive", "fail_safe"):
+            ours = getattr(self, key)
+            theirs = state.get(key)
+            if theirs != ours:
+                raise StateRestoreError(
+                    f"monitor state was journaled with {key}={theirs!r} but "
+                    f"this monitor is configured with {key}={ours!r}"
+                )
+        self._index = int(state["index"])
+        self._recent = deque(
+            (bool(v) for v in state["recent"]), maxlen=self.window
+        )
+        self._alarm_frames = [int(i) for i in state["alarm_frames"]]
+        self._transitions = [
+            (int(raised), None if cleared is None else int(cleared))
+            for raised, cleared in state["transitions"]
+        ]
+        self._degraded_frames = [int(i) for i in state["degraded_frames"]]
+        self._degraded_counts = {
+            str(k): int(v) for k, v in state["degraded_counts"].items()
+        }
+        self._last_good_novel = bool(state["last_good_novel"])
+        self.sanitizer.load_state_dict(state["sanitizer"])
+
+    def attach_journal(self, sink: Callable[[], None], every: int = 1) -> None:
+        """Journal this monitor's state every ``every`` ingested frames.
+
+        ``sink`` is a zero-argument callable (typically
+        ``StateJournal.sink("monitor")``) invoked *after* each
+        ``every``-th verdict is folded in, so the journaled state always
+        reflects a frame boundary.  Pass ``None`` to detach.
+        """
+        if sink is not None and every < 1:
+            raise ConfigurationError(f"every must be >= 1, got {every}")
+        self._journal_sink = sink
+        self._journal_every = int(every)
 
     def reset(self) -> None:
         """Clear the sliding window, alarm and fault history (new drive)."""
@@ -371,6 +447,8 @@ class StreamMonitor:
             state=state,
         )
         self._index += 1
+        if self._journal_sink is not None and self._index % self._journal_every == 0:
+            self._journal_sink()
         return verdict
 
     def observe_with_steering(

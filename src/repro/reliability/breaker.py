@@ -24,9 +24,9 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict
+from typing import Any, Callable, Deque, Dict, Optional
 
-from repro.exceptions import CircuitOpenError, ConfigurationError
+from repro.exceptions import CircuitOpenError, ConfigurationError, StateRestoreError
 
 #: State names (also the values of :attr:`CircuitBreaker.state`).
 CLOSED = "closed"
@@ -101,6 +101,7 @@ class CircuitBreaker:
         self._probes_allowed = 0
         self._probe_successes = 0
         self._transitions = 0
+        self._journal_sink: Optional[Callable[[], None]] = None
 
     # -- state ------------------------------------------------------------
     @property
@@ -179,22 +180,81 @@ class CircuitBreaker:
                 if self._probe_successes >= self.config.half_open_probes:
                     self._set_state(CLOSED)
                     self._outcomes.clear()
-                return
-            self._outcomes.append(True)
+            else:
+                self._outcomes.append(True)
+        self._journal()
 
     def record_failure(self) -> None:
         """Record a failed call (may trip the breaker; re-opens half-open)."""
         with self._lock:
             if self._state == HALF_OPEN:
                 self._trip()
-                return
-            if self._state == OPEN:
-                return
-            self._outcomes.append(False)
-            if len(self._outcomes) >= self.config.min_calls:
-                failures = self._outcomes.count(False)
-                if failures / len(self._outcomes) >= self.config.failure_threshold:
-                    self._trip()
+            elif self._state != OPEN:
+                self._outcomes.append(False)
+                if len(self._outcomes) >= self.config.min_calls:
+                    failures = self._outcomes.count(False)
+                    if failures / len(self._outcomes) >= self.config.failure_threshold:
+                        self._trip()
+        self._journal()
+
+    # -- durable state -----------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the breaker machine.
+
+        The open timeout is persisted as *elapsed* seconds
+        (``clock() - opened_at``) rather than the raw monotonic
+        timestamp — monotonic clocks restart at an arbitrary origin in a
+        new process, so the raw value would be meaningless after a
+        crash.  Restoring treats the crash downtime as part of the
+        elapsed open time, which errs toward probing sooner (safe: a
+        probe failure just re-opens the breaker).
+        """
+        with self._lock:
+            return {
+                "window": self.config.window,
+                "state": self._state,
+                "outcomes": [bool(v) for v in self._outcomes],
+                "open_elapsed_s": (
+                    self._clock() - self._opened_at if self._state == OPEN else 0.0
+                ),
+                "probes_allowed": self._probes_allowed,
+                "probe_successes": self._probe_successes,
+                "transitions": self._transitions,
+            }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (e.g. after a crash)."""
+        name = state.get("state")
+        if name not in STATE_CODES:
+            raise StateRestoreError(f"unknown breaker state {name!r} in journal")
+        if state.get("window") != self.config.window:
+            raise StateRestoreError(
+                f"breaker state was journaled with window={state.get('window')!r} "
+                f"but this breaker is configured with window={self.config.window}"
+            )
+        with self._lock:
+            self._state = name
+            self._outcomes = deque(
+                (bool(v) for v in state["outcomes"]), maxlen=self.config.window
+            )
+            self._opened_at = self._clock() - float(state.get("open_elapsed_s", 0.0))
+            self._probes_allowed = int(state.get("probes_allowed", 0))
+            self._probe_successes = int(state.get("probe_successes", 0))
+            self._transitions = int(state.get("transitions", 0))
+
+    def attach_journal(self, sink: Optional[Callable[[], None]]) -> None:
+        """Journal this breaker's state after every recorded outcome.
+
+        ``sink`` is a zero-argument callable (typically
+        ``StateJournal.sink("breaker")``), invoked outside the breaker
+        lock.  Pass ``None`` to detach.
+        """
+        self._journal_sink = sink
+
+    def _journal(self) -> None:
+        sink = self._journal_sink
+        if sink is not None:
+            sink()
 
     # -- introspection ----------------------------------------------------
     def stats(self) -> Dict[str, Any]:

@@ -22,7 +22,7 @@ it needs :meth:`reset` between independent streams.
 from __future__ import annotations
 
 import hashlib
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -84,6 +84,26 @@ class FrameSanitizer:
     def consecutive_identical(self) -> int:
         """Length of the current run of byte-identical frames."""
         return self._repeats
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the stuck-camera run state.
+
+        Restoring it across a crash keeps a frozen feed detected on
+        schedule — without it a camera stuck since before the crash
+        would get a fresh ``stuck_threshold``-frame grace period.
+        """
+        return {
+            "last_digest": (
+                None if self._last_digest is None else self._last_digest.hex()
+            ),
+            "repeats": self._repeats,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        digest = state.get("last_digest")
+        self._last_digest = None if digest is None else bytes.fromhex(digest)
+        self._repeats = int(state.get("repeats", 0))
 
     def check(self, frame: np.ndarray) -> Optional[str]:
         """Classify one frame; ``None`` when scorable, else a degraded state.

@@ -39,6 +39,10 @@ class QueuedRequest:
     #: Root trace context of this request (``None`` when telemetry is off);
     #: the value that carries the request's identity across the queue.
     trace: Optional[TraceContext] = None
+    #: Durable request-ledger id (``None`` when journaling is off); the
+    #: engine resolves it alongside the :class:`PendingResult`, so a
+    #: crash leaves exactly the unresolved ids on disk.
+    ledger_id: Optional[int] = None
 
 
 class MicroBatcher:

@@ -300,6 +300,7 @@ class ServingEngine:
         self._latencies: List[float] = []
         self._last_trace_id: Optional[str] = None
         self._shadow: Optional[Any] = None
+        self._ledger: Optional[Any] = None
         self._closed = False
         self._threads = [
             threading.Thread(
@@ -341,12 +342,14 @@ class ServingEngine:
             trace = TraceContext.new_root()
         now = time.monotonic()
         pending = PendingResult()
+        ledger = self._ledger
         request = QueuedRequest(
             frame=frame,
             pending=pending,
             enqueued_at=now,
             deadline_at=None if deadline_ms is None else now + deadline_ms / 1000.0,
             trace=trace,
+            ledger_id=None if ledger is None else ledger.admit(),
         )
         telem.counter("serving.requests").inc()
         with self._stats_lock:
@@ -355,7 +358,9 @@ class ServingEngine:
                 self._last_trace_id = trace.trace_id
         if not self._batcher.offer(request):
             depth = len(self._batcher)
-            pending.resolve(Overloaded(queue_depth=depth, capacity=self._batcher.capacity))
+            outcome = Overloaded(queue_depth=depth, capacity=self._batcher.capacity)
+            self._resolve_ledger(request, outcome.status)
+            pending.resolve(outcome)
             telem.counter("serving.rejected").inc()
             if trace is not None:
                 telem.add_span(
@@ -418,6 +423,30 @@ class ServingEngine:
             self.breaker.record_success()
         return verdicts, retries
 
+    def _resolve_ledger(self, request: QueuedRequest, status: str) -> None:
+        """Record a request's typed outcome in the durable ledger.
+
+        Called *before* the caller-visible ``pending.resolve`` so the
+        on-disk resolve record exists by the time anyone can observe the
+        outcome — a crash can leave an extra unresolved admit (reported
+        as failed, conservative) but never a resolved request whose
+        journal still calls it in-flight.
+        """
+        ledger = self._ledger
+        if ledger is not None and request.ledger_id is not None:
+            ledger.resolve(request.ledger_id, status)
+
+    def attach_ledger(self, ledger: Optional[Any]) -> None:
+        """Attach (or with ``None`` detach) a durable request ledger.
+
+        Every subsequently admitted request is journaled via
+        ``ledger.admit()`` and resolved with its outcome's ``status``
+        string; after a crash the unresolved admits are exactly the
+        requests the dead process owed answers for.  See
+        :class:`~repro.durability.RequestLedger`.
+        """
+        self._ledger = ledger
+
     def _resolve_unscorable(self, live: List[QueuedRequest], reason: str, telem) -> None:
         """Resolve a batch the backend could not score, per the fail-safe
         policy: a conservative ``Degraded`` verdict or a plain ``Failed``."""
@@ -431,6 +460,7 @@ class ServingEngine:
             outcome = Failed(error=reason)
             key = "failed"
         for request in live:
+            self._resolve_ledger(request, outcome.status)
             request.pending.resolve(outcome)
         with self._stats_lock:
             self._counts[key] += len(live)
@@ -452,9 +482,9 @@ class ServingEngine:
                 if request.deadline_at is not None and now > request.deadline_at:
                     waited = now - request.enqueued_at
                     allowed = request.deadline_at - request.enqueued_at
-                    request.pending.resolve(
-                        DeadlineExceeded(waited_s=waited, deadline_s=allowed)
-                    )
+                    expired = DeadlineExceeded(waited_s=waited, deadline_s=allowed)
+                    self._resolve_ledger(request, expired.status)
+                    request.pending.resolve(expired)
                     telem.counter("serving.deadline_exceeded").inc()
                     if request.trace is not None:
                         telem.add_span(
@@ -542,6 +572,7 @@ class ServingEngine:
                         retries=retries,
                         model_version=model_version,
                     )
+                    self._resolve_ledger(request, outcome.status)
                     request.pending.resolve(outcome)
                     resolved.append((request.frame, outcome))
             # Shadow mirroring happens outside the stats lock: offer() is a
@@ -637,6 +668,9 @@ class ServingEngine:
             summary["last_trace_id"] = last_trace_id
         if self.breaker is not None:
             summary["breaker"] = self.breaker.stats()
+        ledger = self._ledger
+        if ledger is not None:
+            summary["ledger"] = ledger.stats()
         # percentile() is NaN on empty input; stats() feeds wire JSON, so
         # quote 0.0 for "no data" instead.
         summary["latency_ms"] = {
@@ -661,7 +695,9 @@ class ServingEngine:
         for thread in self._threads:
             thread.join(timeout=10.0)
         for request in leftovers:
-            request.pending.resolve(Failed(error="engine closed"))
+            closed = Failed(error="engine closed")
+            self._resolve_ledger(request, closed.status)
+            request.pending.resolve(closed)
         close = getattr(self.scorer, "close", None)
         if close is not None:
             close()

@@ -104,9 +104,15 @@ class ServingServer:
         host: str = "127.0.0.1",
         port: int = 0,
         request_timeout_s: float = 60.0,
+        recovery_info: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.engine = engine
         self.request_timeout_s = float(request_timeout_s)
+        #: Journal-recovery summary from boot (``repro serve
+        #: --journal-dir``): how much state this process restored after
+        #: the last crash.  Reported on the ``stats`` op so a supervisor
+        #: or operator can audit recoveries over the wire.
+        self.recovery_info = recovery_info
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -158,7 +164,10 @@ class ServingServer:
         if op == "ping":
             return {"id": request_id, "status": "ok", "op": "pong"}
         if op == "stats":
-            return {"id": request_id, "status": "ok", "stats": self.engine.stats()}
+            response = {"id": request_id, "status": "ok", "stats": self.engine.stats()}
+            if self.recovery_info is not None:
+                response["recovery"] = self.recovery_info
+            return response
         if op != "score":
             return {"id": request_id, "status": "error", "error": f"unknown op {op!r}"}
         telem = get_telemetry()
@@ -304,6 +313,11 @@ class ServingClient:
     def stats(self) -> Dict[str, Any]:
         """The engine's counters and latency percentiles."""
         return self._call({"op": "stats"})["stats"]
+
+    def recovery(self) -> Optional[Dict[str, Any]]:
+        """The server's boot-time journal-recovery summary (``None`` when
+        it serves without ``--journal-dir``)."""
+        return self._call({"op": "stats"}).get("recovery")
 
     def close(self) -> None:
         try:

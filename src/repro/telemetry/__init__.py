@@ -47,7 +47,13 @@ from repro.telemetry.runtime import (
     get_telemetry,
     telemetry_session,
 )
-from repro.telemetry.sink import EventSink, JsonlSink, MemorySink, read_events
+from repro.telemetry.sink import (
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    read_events,
+    read_events_tolerant,
+)
 from repro.telemetry.spans import SpanRecord, Tracer
 from repro.telemetry.trace import TraceContext, current_trace, use_trace
 
@@ -76,6 +82,7 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "read_events",
+    "read_events_tolerant",
     "SpanRecord",
     "Tracer",
     "TraceContext",

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.exceptions import ConfigurationError
-from repro.telemetry.sink import read_events
+from repro.telemetry.sink import read_events_tolerant
 from repro.utils.timer import percentile
 
 
@@ -129,8 +129,16 @@ def render_summary(summary: Dict[str, Any]) -> str:
 
 
 def render_jsonl_report(path) -> str:
-    """Read a JSONL trace and render its full report."""
-    return render_summary(summarize_events(read_events(path)))
+    """Read a JSONL trace and render its full report.
+
+    Tolerant of a trace cut mid-write by a crash: unparseable lines are
+    skipped and counted in the report header instead of raising.
+    """
+    records, skipped = read_events_tolerant(path)
+    report = render_summary(summarize_events(records))
+    if skipped:
+        report += f"\n\nwarning: skipped {skipped} corrupt/truncated line(s)"
+    return report
 
 
 # -- per-request trace trees -----------------------------------------------

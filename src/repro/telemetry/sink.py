@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exceptions import SerializationError
 
@@ -81,7 +81,30 @@ class JsonlSink(EventSink):
 
 
 def read_events(path) -> List[Dict[str, Any]]:
-    """Parse a JSONL trace written by :class:`JsonlSink` back into dicts."""
+    """Parse a JSONL trace written by :class:`JsonlSink` back into dicts.
+
+    Strict: any invalid line raises :class:`SerializationError` naming
+    the exact location.  For traces that may have been cut mid-write by
+    a crash, use :func:`read_events_tolerant`.
+    """
+    records, skipped = _read_jsonl(path, strict=True)
+    assert not skipped
+    return records
+
+
+def read_events_tolerant(path) -> Tuple[List[Dict[str, Any]], int]:
+    """Like :func:`read_events`, but skip unparseable lines.
+
+    Returns ``(records, skipped)`` where ``skipped`` counts the lines
+    dropped — a trace file from a crashed process routinely ends in a
+    truncated line, and the CLI report commands should render the valid
+    prefix (while telling the operator how much was unreadable) rather
+    than die on :class:`json.JSONDecodeError`.
+    """
+    return _read_jsonl(path, strict=False)
+
+
+def _read_jsonl(path, strict: bool) -> Tuple[List[Dict[str, Any]], int]:
     path = Path(path)
     if not path.exists():
         raise SerializationError(f"telemetry trace {path} does not exist")
@@ -92,6 +115,7 @@ def read_events(path) -> List[Dict[str, Any]]:
             f"failed to read telemetry trace {path}: {exc}"
         ) from exc
     records = []
+    skipped = 0
     with handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -100,7 +124,9 @@ def read_events(path) -> List[Dict[str, Any]]:
             try:
                 records.append(json.loads(line))
             except json.JSONDecodeError as exc:
-                raise SerializationError(
-                    f"{path}:{lineno} is not valid JSON: {exc}"
-                ) from exc
-    return records
+                if strict:
+                    raise SerializationError(
+                        f"{path}:{lineno} is not valid JSON: {exc}"
+                    ) from exc
+                skipped += 1
+    return records, skipped

@@ -15,9 +15,25 @@ hard kill never shadows a real artifact).
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from pathlib import Path
 from typing import IO, Iterator, Union
+
+from repro.utils.log import get_logger
+
+_log = get_logger(__name__)
+
+_fsync_failures_lock = threading.Lock()
+_dir_fsync_failures = 0
+_dir_fsync_warned = False
+
+
+def dir_fsync_failures() -> int:
+    """How many directory fsyncs have been skipped because the platform
+    or filesystem refused them (see :func:`fsync_dir`)."""
+    with _fsync_failures_lock:
+        return _dir_fsync_failures
 
 
 def npz_path(path: Union[str, Path]) -> Path:
@@ -35,17 +51,40 @@ def npz_path(path: Union[str, Path]) -> Path:
 def fsync_dir(directory: Path) -> None:
     """Flush a directory's entries to disk (makes a rename durable).
 
-    Best-effort: platforms/filesystems that refuse ``open(O_RDONLY)`` on
-    directories simply skip the sync.
+    Best-effort: platforms/filesystems that refuse to open a directory
+    ``O_RDONLY`` — or that reject ``fsync`` on a directory fd outright
+    (EINVAL/EBADF on some network and FUSE filesystems) — skip the sync
+    instead of raising.  Skips are counted (:func:`dir_fsync_failures`)
+    and the first one logs a warning, because on such filesystems a
+    crash immediately after a rename can still lose the rename.
     """
+    global _dir_fsync_failures, _dir_fsync_warned
     try:
         fd = os.open(directory, os.O_RDONLY)
     except OSError:
+        _note_dir_fsync_failure(directory)
         return
     try:
         os.fsync(fd)
+    except OSError:
+        _note_dir_fsync_failure(directory)
     finally:
         os.close(fd)
+
+
+def _note_dir_fsync_failure(directory: Path) -> None:
+    global _dir_fsync_failures, _dir_fsync_warned
+    with _fsync_failures_lock:
+        _dir_fsync_failures += 1
+        first = not _dir_fsync_warned
+        _dir_fsync_warned = True
+    if first:
+        _log.warning(
+            "directory fsync unsupported on %s; renames are atomic but "
+            "their durability depends on the filesystem (further skips "
+            "are counted, not logged)",
+            directory,
+        )
 
 
 @contextmanager

@@ -147,6 +147,24 @@ class TestServingParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bundle"])
 
+    def test_journal_flags(self, tmp_path):
+        args = build_parser().parse_args(["serve"])
+        assert args.journal_dir is None  # journaling is opt-in
+        args = build_parser().parse_args(
+            ["serve", "--journal-dir", str(tmp_path / "j")]
+        )
+        assert args.journal_dir == tmp_path / "j"
+        args = build_parser().parse_args(
+            ["bench-serve", "--journal-dir", str(tmp_path / "j"), "--no-journal"]
+        )
+        assert args.journal_dir is None  # --no-journal wins
+
+    def test_supervise_requires_bundle_and_journal(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["supervise"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["supervise", "--bundle", "b"])
+
 
 class TestServeCommand:
     def test_serve_once_in_process(self, capsys):
@@ -168,6 +186,55 @@ class TestServeCommand:
         ])
         assert exit_code == 2
         assert "not a directory" in capsys.readouterr().err
+
+    def test_unusable_journal_dir_exits_2(self, tmp_path, capsys):
+        """A journal path that cannot be a directory is a startup error,
+        not a crash loop (validated before any training or bundle load)."""
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a regular file")
+        exit_code = main([
+            "serve", "--once", "--frames", "2", "--scale", "ci",
+            "--journal-dir", str(blocker / "journal"),
+        ])
+        assert exit_code == 2
+        assert "journal" in capsys.readouterr().err
+
+    def test_serve_once_with_journal_recovers_on_second_boot(
+        self, tmp_path, capsys
+    ):
+        journal_dir = tmp_path / "journal"
+        assert main([
+            "serve", "--once", "--frames", "2", "--scale", "ci",
+            "--journal-dir", str(journal_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", "--once", "--frames", "2", "--scale", "ci",
+            "--journal-dir", str(journal_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        # The second boot found the first run's shutdown snapshot.
+        assert "recovered seq" in out
+        assert "snapshot seq 0" not in out
+
+    def test_supervise_validates_before_spawning(self, tmp_path, capsys):
+        bundle = tmp_path / "no-bundle"
+        exit_code = main([
+            "supervise", "--bundle", str(bundle),
+            "--journal-dir", str(tmp_path / "journal"),
+        ])
+        assert exit_code == 2
+        assert "bundle" in capsys.readouterr().err
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        bundle.mkdir()
+        exit_code = main([
+            "supervise", "--bundle", str(bundle),
+            "--journal-dir", str(blocker / "journal"),
+        ])
+        assert exit_code == 2
+        assert "journal" in capsys.readouterr().err
 
 
 class TestBundleAndBenchServe:

@@ -1,0 +1,228 @@
+"""End-to-end kill -9 survivability for the serving runtime.
+
+These tests run the real ``repro serve`` / ``repro supervise`` CLI in
+subprocesses against the session bundle, SIGKILL them mid-load, and
+assert the durability contract from ``docs/reliability.md``:
+
+* every admitted request is accounted for after recovery — resolved, or
+  reported in flight at the crash and settled as ``failed_on_crash``,
+  never silently dropped;
+* post-recovery verdicts match an uninterrupted run bit-for-bit (the
+  scorer is deterministic, so equal scores on the same frames is the
+  equivalence check);
+* the supervisor respawns a SIGKILLed child and the respawned child
+  serves from recovered state.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.durability import RecoveryManager
+from repro.serving import ServingClient
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+_SERVING_ON = re.compile(r"serving on 127\.0\.0\.1:(\d+)")
+
+
+def _spawn(argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def _await_serving(proc, lines):
+    """Read child stdout until the bound port is announced."""
+    for line in proc.stdout:
+        lines.append(line)
+        match = _SERVING_ON.search(line)
+        if match:
+            return int(match.group(1))
+    raise AssertionError(
+        "server exited before announcing its port:\n" + "".join(lines)
+    )
+
+
+def _drain(proc, lines):
+    """Keep consuming child stdout so the pipe never fills."""
+
+    def pump():
+        for line in proc.stdout:
+            lines.append(line)
+
+    thread = threading.Thread(target=pump, daemon=True)
+    thread.start()
+    return thread
+
+
+def _burst(port, frame, clients=6, per_client=5):
+    """Fire concurrent score requests and return without waiting for all."""
+    def worker():
+        try:
+            with ServingClient("127.0.0.1", port, timeout_s=5.0) as client:
+                for _ in range(per_client):
+                    client.score(frame)
+        except Exception:
+            pass  # the server dies under us mid-burst — expected
+
+    threads = [threading.Thread(target=worker, daemon=True) for _ in range(clients)]
+    for t in threads:
+        t.start()
+    return threads
+
+
+@pytest.mark.chaos
+class TestKill9Serve:
+    def test_kill9_recovers_state_and_accounts_every_request(
+        self, bundle_dir, dsu_test, tmp_path, run_bounded
+    ):
+        journal_dir = tmp_path / "journal"
+        frames = dsu_test.frames[:4]
+
+        def scenario():
+            # -- run 1: serve, score a baseline, SIGKILL mid-burst --------
+            outstanding = []
+            baseline = None
+            for _attempt in range(3):
+                lines = []
+                proc = _spawn(
+                    ["serve", "--bundle", str(bundle_dir),
+                     "--journal-dir", str(journal_dir),
+                     "--host", "127.0.0.1", "--port", "0"]
+                )
+                port = _await_serving(proc, lines)
+                _drain(proc, lines)
+                with ServingClient("127.0.0.1", port, timeout_s=30.0) as client:
+                    replies = [client.score(f) for f in frames]
+                assert all(r["status"] == "ok" for r in replies)
+                if baseline is None:
+                    baseline = [r["score"] for r in replies]
+                _burst(port, frames[0])
+                time.sleep(0.05)  # let admits hit the journal mid-score
+                os.kill(proc.pid, signal.SIGKILL)
+                assert proc.wait(timeout=30) == -int(signal.SIGKILL)
+
+                report = RecoveryManager(journal_dir).recover()
+                outstanding = report.unresolved_requests
+                if outstanding:
+                    break
+                # Unlucky kill in the between-requests gap: go again.
+            assert outstanding, "SIGKILL never caught a request in flight"
+
+            # -- run 2: same journal dir; recovery must settle the orphans
+            lines2 = []
+            proc2 = _spawn(
+                ["serve", "--bundle", str(bundle_dir),
+                 "--journal-dir", str(journal_dir),
+                 "--host", "127.0.0.1", "--port", "0"]
+            )
+            port2 = _await_serving(proc2, lines2)
+            _drain(proc2, lines2)
+            try:
+                with ServingClient("127.0.0.1", port2, timeout_s=30.0) as client:
+                    recovery = client.recovery()
+                    assert recovery is not None
+                    assert recovery["unresolved_requests"] == len(outstanding)
+                    assert recovery["replayed_records"] > 0
+                    # Post-recovery verdicts match the uninterrupted run.
+                    after = [client.score(f)["score"] for f in frames]
+                    assert after == baseline
+                    stats = client.stats()
+                    ledger = stats["ledger"]
+                    assert ledger["outstanding"] == 0
+                    # Request ids never repeat across the crash.
+                    assert ledger["next_id"] > max(outstanding)
+            finally:
+                proc2.send_signal(signal.SIGINT)
+                assert proc2.wait(timeout=30) == 0
+            return lines2
+
+        lines2 = run_bounded(scenario, timeout_s=300.0)
+        # The second boot announced what it recovered on stdout.
+        booted = "".join(lines2)
+        assert "were in flight at the crash" in booted
+
+        # -- post-mortem: the journal owes nothing ------------------------
+        final = RecoveryManager(journal_dir).recover()
+        assert final.unresolved_requests == []
+        assert final.journal.snapshot_seq > 0  # clean shutdown snapshotted
+
+
+@pytest.mark.chaos
+class TestSuperviseKill9:
+    def test_supervisor_respawns_sigkilled_child(
+        self, bundle_dir, dsu_test, tmp_path, run_bounded
+    ):
+        import socket
+
+        journal_dir = tmp_path / "journal"
+        with socket.socket() as probe_sock:
+            probe_sock.bind(("127.0.0.1", 0))
+            port = probe_sock.getsockname()[1]
+        frame = dsu_test.frames[0]
+
+        def scenario():
+            lines = []
+            proc = _spawn(
+                ["supervise", "--bundle", str(bundle_dir),
+                 "--journal-dir", str(journal_dir),
+                 "--host", "127.0.0.1", "--port", str(port),
+                 "--heartbeat-s", "0.1", "--max-restarts", "3"]
+            )
+            try:
+                # Child 1 boots (its stdout is inherited by the supervisor).
+                _await_serving(proc, lines)
+                pump = _drain(proc, lines)
+                with ServingClient("127.0.0.1", port, timeout_s=30.0) as client:
+                    first = client.score(frame)
+                    assert first["status"] == "ok"
+
+                children = Path(
+                    f"/proc/{proc.pid}/task/{proc.pid}/children"
+                ).read_text().split()
+                assert len(children) == 1
+                child_pid = int(children[0])
+                os.kill(child_pid, signal.SIGKILL)
+
+                # Child 2: wait for the respawn to announce the same port.
+                deadline = time.monotonic() + 120.0
+                while time.monotonic() < deadline:
+                    if sum("serving on" in line for line in list(lines)) >= 2:
+                        break
+                    time.sleep(0.05)
+                else:
+                    raise AssertionError(
+                        "no respawn announcement:\n" + "".join(lines)
+                    )
+                with ServingClient("127.0.0.1", port, timeout_s=30.0) as client:
+                    recovery = client.recovery()
+                    assert recovery is not None  # served from recovered state
+                    assert recovery["replayed_records"] > 0
+                    again = client.score(frame)
+                    assert again["status"] == "ok"
+                    assert again["score"] == first["score"]
+                return proc, pump, lines
+            except BaseException:
+                proc.kill()
+                raise
+
+        proc, pump, lines = run_bounded(scenario, timeout_s=300.0)
+        proc.send_signal(signal.SIGINT)
+        assert proc.wait(timeout=60) == 0
+        pump.join(timeout=10)
+        # The supervisor reaped its child on the way out: no orphans on
+        # the port and none parented to us.
+        assert "gave up" not in "".join(lines)

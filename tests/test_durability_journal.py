@@ -1,0 +1,270 @@
+"""Write-ahead journal: append/replay, rotation, compaction, corruption.
+
+The durability contract under test: everything appended before a crash is
+recovered, a record cut mid-write (torn tail) is truncated — never fatal —
+and a flipped byte mid-segment quarantines that segment as ``*.corrupt``
+instead of raising.  See ``docs/reliability.md``.
+"""
+
+import json
+import os
+import threading
+import zlib
+
+import pytest
+
+from repro.durability import Journal, recover_journal
+from repro.durability.journal import (
+    CORRUPT_SUFFIX,
+    SEGMENT_PREFIX,
+    SEGMENT_SUFFIX,
+    _decode_line,
+    _encode_record,
+)
+from repro.exceptions import JournalError
+
+
+def _segments(directory):
+    return sorted(directory.glob(f"{SEGMENT_PREFIX}*{SEGMENT_SUFFIX}"))
+
+
+def _corrupt_files(directory):
+    return sorted(directory.glob(f"*{CORRUPT_SUFFIX}"))
+
+
+# -- record wire format ------------------------------------------------------
+
+
+def test_record_roundtrips_through_the_wire_format():
+    line = _encode_record(7, "state", {"name": "monitor", "x": [1, 2]})
+    record = _decode_line(line)
+    assert record == {"seq": 7, "kind": "state", "data": {"name": "monitor", "x": [1, 2]}}
+
+
+def test_decode_rejects_damage():
+    line = _encode_record(1, "k", {"a": 1})
+    assert _decode_line(line[:-5]) is None  # truncated
+    flipped = bytearray(line)
+    flipped[-3] ^= 0xFF
+    assert _decode_line(bytes(flipped)) is None  # CRC mismatch
+    assert _decode_line(b"not a journal line\n") is None
+
+
+def test_append_rejects_non_json_data(tmp_path):
+    with Journal(tmp_path / "j") as journal:
+        with pytest.raises(JournalError):
+            journal.append("state", {"bad": object()})
+        # The failed append consumed no sequence number.
+        assert journal.append("state", {"ok": 1}) == 1
+
+
+# -- append / recover --------------------------------------------------------
+
+
+def test_appends_recover_in_order(tmp_path):
+    with Journal(tmp_path / "j") as journal:
+        for i in range(10):
+            journal.append("ledger", {"event": "admit", "rid": i})
+    recovered = recover_journal(tmp_path / "j")
+    assert recovered.last_seq == 10
+    assert [r["data"]["rid"] for r in recovered.records] == list(range(10))
+    assert recovered.truncated_bytes == 0 and not recovered.quarantined
+
+
+def test_recover_missing_directory_is_empty(tmp_path):
+    recovered = recover_journal(tmp_path / "never_created")
+    assert recovered.last_seq == 0
+    assert recovered.records == [] and recovered.snapshot_state is None
+
+
+def test_reopen_continues_the_sequence(tmp_path):
+    with Journal(tmp_path / "j") as journal:
+        journal.append("k", {"i": 1})
+    journal, recovered = Journal.open(tmp_path / "j")
+    with journal:
+        assert recovered.last_seq == 1
+        assert journal.append("k", {"i": 2}) == 2
+    recovered = recover_journal(tmp_path / "j")
+    assert [r["seq"] for r in recovered.records] == [1, 2]
+
+
+def test_concurrent_appends_keep_unique_seqs(tmp_path):
+    with Journal(tmp_path / "j") as journal:
+        def worker():
+            for _ in range(50):
+                journal.append("k", {"t": threading.get_ident()})
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    recovered = recover_journal(tmp_path / "j")
+    seqs = [r["seq"] for r in recovered.records]
+    assert seqs == sorted(seqs) and len(set(seqs)) == 200
+
+
+# -- rotation and compaction -------------------------------------------------
+
+
+def test_segments_rotate_at_max_bytes(tmp_path):
+    with Journal(tmp_path / "j", max_segment_bytes=256) as journal:
+        for i in range(40):
+            journal.append("k", {"i": i})
+    segments = _segments(tmp_path / "j")
+    assert len(segments) > 1
+    recovered = recover_journal(tmp_path / "j")
+    assert [r["data"]["i"] for r in recovered.records] == list(range(40))
+
+
+def test_snapshot_compacts_covered_segments(tmp_path):
+    journal = Journal(tmp_path / "j", max_segment_bytes=128)
+    for i in range(30):
+        journal.append("k", {"i": i})
+    journal.snapshot({"components": {"c": {"i": 29}}})
+    assert _segments(tmp_path / "j") == []  # all covered, all deleted
+    journal.append("k", {"i": 30})
+    journal.close()
+
+    recovered = recover_journal(tmp_path / "j")
+    assert recovered.snapshot_state == {"components": {"c": {"i": 29}}}
+    assert recovered.snapshot_seq == 30
+    assert [r["data"]["i"] for r in recovered.records] == [30]
+
+
+def test_old_snapshots_pruned_to_fallback(tmp_path):
+    from repro.durability.journal import SNAPSHOT_PREFIX, SNAPSHOT_SUFFIX, _SNAPSHOTS_KEPT
+
+    with Journal(tmp_path / "j") as journal:
+        for i in range(5):
+            journal.append("k", {"i": i})
+            journal.snapshot({"i": i})
+    snapshots = sorted((tmp_path / "j").glob(f"{SNAPSHOT_PREFIX}*{SNAPSHOT_SUFFIX}"))
+    assert len(snapshots) == _SNAPSHOTS_KEPT
+
+
+def test_corrupt_latest_snapshot_falls_back_to_previous(tmp_path):
+    from repro.durability.journal import SNAPSHOT_PREFIX, SNAPSHOT_SUFFIX
+
+    with Journal(tmp_path / "j") as journal:
+        journal.append("k", {"i": 1})
+        journal.snapshot({"i": 1})
+        journal.append("k", {"i": 2})
+        journal.snapshot({"i": 2})
+    latest = sorted((tmp_path / "j").glob(f"{SNAPSHOT_PREFIX}*{SNAPSHOT_SUFFIX}"))[-1]
+    latest.write_bytes(latest.read_bytes()[: len(latest.read_bytes()) // 2])
+
+    recovered = recover_journal(tmp_path / "j")
+    assert recovered.snapshot_state == {"i": 1}
+    assert any(latest.name in name for name in recovered.quarantined)
+
+
+# -- torn tails and corruption ----------------------------------------------
+
+
+def test_torn_tail_is_truncated_not_fatal(tmp_path):
+    with Journal(tmp_path / "j") as journal:
+        for i in range(5):
+            journal.append("k", {"i": i})
+    (segment,) = _segments(tmp_path / "j")
+    intact = segment.stat().st_size
+    # Simulate kill -9 mid-append: a partial record with no newline.
+    with open(segment, "ab") as handle:
+        handle.write(b"deadbeef 000000ff {\"seq\": 6, \"kind")
+
+    recovered = recover_journal(tmp_path / "j")
+    assert [r["data"]["i"] for r in recovered.records] == list(range(5))
+    assert recovered.truncated_bytes > 0
+    assert segment.stat().st_size == intact  # repaired in place
+    assert not recovered.quarantined
+
+
+def test_byte_flip_mid_segment_quarantines(tmp_path):
+    with Journal(tmp_path / "j") as journal:
+        for i in range(8):
+            journal.append("k", {"i": i})
+    (segment,) = _segments(tmp_path / "j")
+    data = bytearray(segment.read_bytes())
+    data[len(data) // 2] ^= 0xFF  # bit rot in the middle, valid records after
+    segment.write_bytes(bytes(data))
+
+    recovered = recover_journal(tmp_path / "j")
+    # Never an unhandled exception; the valid prefix replays, the file is
+    # renamed *.corrupt for offline forensics.
+    assert recovered.quarantined
+    assert _corrupt_files(tmp_path / "j")
+    assert not _segments(tmp_path / "j")
+    assert all(r["data"]["i"] < 8 for r in recovered.records)
+
+
+def test_segments_after_a_corrupt_one_are_quarantined_too(tmp_path):
+    with Journal(tmp_path / "j", max_segment_bytes=128) as journal:
+        for i in range(30):
+            journal.append("k", {"i": i})
+    segments = _segments(tmp_path / "j")
+    assert len(segments) >= 3
+    data = bytearray(segments[0].read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    segments[0].write_bytes(bytes(data))
+
+    recovered = recover_journal(tmp_path / "j")
+    # Sequence continuity broke at segment 0: everything after it is
+    # quarantined rather than replayed against pre-corruption state.
+    assert len(recovered.quarantined) == len(segments)
+    assert len(_corrupt_files(tmp_path / "j")) == len(segments)
+    assert recovered.records == [r for r in recovered.records if r["seq"] <= recovered.last_seq]
+
+
+def test_random_byte_flips_never_raise(tmp_path):
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    for trial in range(10):
+        directory = tmp_path / f"j{trial}"
+        with Journal(directory, max_segment_bytes=256) as journal:
+            for i in range(20):
+                journal.append("k", {"i": i, "pad": "x" * 10})
+            journal.snapshot({"i": 19})
+            journal.append("k", {"i": 20})
+        targets = sorted(directory.iterdir())
+        victim = targets[int(rng.integers(len(targets)))]
+        data = bytearray(victim.read_bytes())
+        if data:
+            data[int(rng.integers(len(data)))] ^= int(rng.integers(1, 256))
+            victim.write_bytes(bytes(data))
+        recovered = recover_journal(directory)  # must not raise, ever
+        assert recovered.last_seq >= 0
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+
+def test_closed_journal_rejects_appends(tmp_path):
+    journal = Journal(tmp_path / "j")
+    journal.append("k", {})
+    journal.close()
+    journal.close()  # idempotent
+    with pytest.raises(JournalError):
+        journal.append("k", {})
+    with pytest.raises(JournalError):
+        journal.snapshot({})
+
+
+def test_constructor_validation(tmp_path):
+    with pytest.raises(JournalError):
+        Journal(tmp_path / "j", max_segment_bytes=0)
+    with pytest.raises(JournalError):
+        Journal(tmp_path / "j", next_seq=0)
+    (tmp_path / "file").write_text("")
+    with pytest.raises(JournalError):
+        Journal(tmp_path / "file" / "j")
+
+
+def test_snapshot_document_is_crc_checked(tmp_path):
+    with Journal(tmp_path / "j") as journal:
+        journal.append("k", {"i": 1})
+        path = journal.snapshot({"value": 42})
+    document = json.loads(path.read_text())
+    state_json = json.dumps(document["state"], sort_keys=True, separators=(",", ":"))
+    assert document["crc32"] == zlib.crc32(state_json.encode("utf-8"))
+    assert document["seq"] == 1

@@ -1,0 +1,295 @@
+"""Supervisor runtime: restart policy, probes, backoff, give-up.
+
+The policy is tested with injected ``spawn``/``sleep``/``clock`` fakes
+(no real processes, no real time); one test at the end runs a real child
+and kills it with SIGKILL to pin the actual :mod:`subprocess` wiring.
+"""
+
+import os
+import signal
+import sys
+import time
+
+import pytest
+
+from repro.durability import Supervisor, SupervisorConfig
+from repro.exceptions import ConfigurationError, SupervisorError
+
+
+class FakeChild:
+    """A scriptable stand-in for subprocess.Popen."""
+
+    _next_pid = 1000
+
+    def __init__(self):
+        FakeChild._next_pid += 1
+        self.pid = FakeChild._next_pid
+        self.exit_code = None
+        self.terminated = False
+        self.killed = False
+
+    def poll(self):
+        return self.exit_code
+
+    def terminate(self):
+        self.terminated = True
+        self.exit_code = -int(signal.SIGTERM)
+
+    def kill(self):
+        self.killed = True
+        self.exit_code = -int(signal.SIGKILL)
+
+    def wait(self):
+        return self.exit_code
+
+
+class Harness:
+    """Deterministic spawn/sleep/clock wiring around one Supervisor."""
+
+    def __init__(self, config, probe=None):
+        self.children = []
+        self.now = 0.0
+        self.supervisor = Supervisor(
+            ["serve"],
+            probe=probe,
+            config=config,
+            sleep=self._sleep,
+            clock=lambda: self.now,
+            spawn=self._spawn,
+        )
+
+    def _spawn(self, argv):
+        child = FakeChild()
+        self.children.append(child)
+        return child
+
+    def _sleep(self, seconds):
+        self.now += seconds
+        if self._on_sleep is not None:
+            self._on_sleep(self)
+
+    _on_sleep = None
+
+    def run(self, on_sleep):
+        """Run the supervisor, driving events from the sleep hook."""
+        self._on_sleep = on_sleep
+        return self.supervisor.run()
+
+
+def _config(**kwargs):
+    defaults = dict(
+        heartbeat_interval_s=1.0,
+        probe_failures_to_kill=2,
+        probe_grace_s=0.0,
+        max_restarts=3,
+        base_delay_s=1.0,
+        multiplier=2.0,
+        max_delay_s=8.0,
+        healthy_after_s=10.0,
+        term_grace_s=0.1,
+    )
+    defaults.update(kwargs)
+    return SupervisorConfig(**defaults)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(heartbeat_interval_s=0)
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(probe_failures_to_kill=0)
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(max_restarts=-1)
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(probe_grace_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(base_delay_s=2.0, max_delay_s=1.0)
+
+    def test_empty_command_rejected(self):
+        with pytest.raises(SupervisorError):
+            Supervisor([])
+
+
+class TestRestartPolicy:
+    def test_clean_exit_stops_supervision(self):
+        harness = Harness(_config())
+
+        def on_sleep(h):
+            h.children[-1].exit_code = 0
+
+        stats = harness.run(on_sleep)
+        assert len(harness.children) == 1
+        assert stats["restarts"] == 0 and not stats["gave_up"]
+        assert stats["exit_codes"] == [0]
+
+    def test_crash_restarts_until_budget_exhausted(self):
+        harness = Harness(_config(max_restarts=3))
+
+        def on_sleep(h):
+            h.children[-1].exit_code = -9  # every child dies immediately
+
+        stats = harness.run(on_sleep)
+        # initial + 3 restarts, then give up.
+        assert len(harness.children) == 4
+        assert stats["gave_up"] and stats["restarts"] == 3
+
+    def test_backoff_is_exponential_and_capped(self):
+        delays = []
+        harness = Harness(_config(max_restarts=5, base_delay_s=1.0,
+                                  multiplier=2.0, max_delay_s=4.0))
+        supervisor = harness.supervisor
+
+        def on_sleep(h):
+            h.children[-1].exit_code = 1
+            delays.append(supervisor._backoff_delay())
+
+        harness.run(on_sleep)
+        # Recorded before each unhealthy increment; the schedule the
+        # respawns actually used is 1, 2, 4, 4, ... (capped).
+        assert supervisor._backoff_delay() == 4.0
+        assert delays[0] == 1.0
+
+    def test_healthy_uptime_resets_the_budget(self):
+        harness = Harness(_config(max_restarts=1, healthy_after_s=5.0))
+        script = {"phase": 0}
+
+        def on_sleep(h):
+            child = h.children[-1]
+            if script["phase"] == 0:
+                child.exit_code = 1  # first child: instant crash
+                script["phase"] = 1
+            elif script["phase"] == 1:
+                # second child stays healthy well past healthy_after_s,
+                # then crashes; the budget must have reset by then.
+                if h.now - script.get("born", h.now) > 20.0:
+                    child.exit_code = 1
+                    script["phase"] = 2
+                script.setdefault("born", h.now)
+            elif script["phase"] == 2:
+                script["phase"] = 3  # third child: healthy, then clean exit
+            else:
+                child.exit_code = 0
+
+        stats = harness.run(on_sleep)
+        assert not stats["gave_up"]
+        assert len(harness.children) == 3
+
+    def test_stop_kills_the_child(self):
+        harness = Harness(_config())
+        supervisor = harness.supervisor
+
+        def on_sleep(h):
+            if h.now > 3.0:
+                supervisor.stop()
+
+        stats = harness.run(on_sleep)
+        child = harness.children[-1]
+        assert child.terminated or child.killed
+        assert stats["exit_codes"][-1] is not None
+
+
+class TestProbes:
+    def test_wedged_child_is_killed_after_consecutive_failures(self):
+        probe_results = iter([True, False, False, False])
+
+        def probe():
+            return next(probe_results, True)
+
+        harness = Harness(_config(probe_failures_to_kill=2), probe=probe)
+        supervisor = harness.supervisor
+
+        def on_sleep(h):
+            if len(h.children) > 1:
+                supervisor.stop()  # the respawn after the kill ends the test
+
+        stats = harness.run(on_sleep)
+        first = harness.children[0]
+        assert first.terminated or first.killed  # wedged: killed by probe
+        assert len(harness.children) == 2
+        assert stats["restarts"] == 1
+
+    def test_booting_child_survives_the_probe_grace_window(self):
+        """A slow-booting child fails every probe but must not be killed
+        until probe_grace_s of uptime has passed."""
+        harness = Harness(
+            _config(probe_grace_s=5.0, probe_failures_to_kill=2),
+            probe=lambda: False,  # never responsive
+        )
+        supervisor = harness.supervisor
+        kill_times = []
+
+        def on_sleep(h):
+            child = h.children[-1]
+            if (child.terminated or child.killed) and len(kill_times) < len(h.children):
+                kill_times.append(h.now)
+            if len(h.children) > 1:
+                supervisor.stop()
+
+        harness.run(on_sleep)
+        first = harness.children[0]
+        assert first.terminated or first.killed
+        # grace (5s) + probe_failures_to_kill (2) heartbeats minimum.
+        assert kill_times[0] >= 7.0
+
+    def test_one_failed_probe_is_forgiven(self):
+        flaky = iter([True, False, True, True])
+
+        def probe():
+            return next(flaky, True)
+
+        harness = Harness(_config(probe_failures_to_kill=2), probe=probe)
+        supervisor = harness.supervisor
+
+        def on_sleep(h):
+            if h.now > 6.0:
+                supervisor.stop()
+
+        harness.run(on_sleep)
+        assert len(harness.children) == 1  # never killed
+
+
+class TestRealProcess:
+    def test_sigkill_child_is_respawned(self, run_bounded):
+        """A real child killed with SIGKILL (-9) comes back."""
+        command = [sys.executable, "-c", "import time; time.sleep(60)"]
+        config = SupervisorConfig(
+            heartbeat_interval_s=0.05,
+            max_restarts=2,
+            base_delay_s=0.01,
+            max_delay_s=0.05,
+            healthy_after_s=30.0,
+            term_grace_s=0.5,
+        )
+        supervisor = Supervisor(command, config=config)
+
+        def scenario():
+            import threading
+
+            def killer():
+                deadline = time.monotonic() + 10.0
+                while supervisor.child_pid is None and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                pid = supervisor.child_pid
+                os.kill(pid, signal.SIGKILL)
+                # Wait for the respawned child (a new pid), then stop.
+                while time.monotonic() < deadline:
+                    current = supervisor.child_pid
+                    if current is not None and current != pid:
+                        break
+                    time.sleep(0.01)
+                supervisor.stop()
+
+            thread = threading.Thread(target=killer)
+            thread.start()
+            stats = supervisor.run()
+            thread.join()
+            return stats
+
+        stats = run_bounded(scenario, timeout_s=30.0)
+        assert stats["restarts"] >= 1
+        assert -int(signal.SIGKILL) in stats["exit_codes"]
+        assert not stats["gave_up"]
+        # No orphans: the supervisor's own stop killed the last child.
+        assert all(code is not None for code in stats["exit_codes"])

@@ -1,0 +1,99 @@
+"""Lint-style test: durability code never truncate-writes a file.
+
+The whole point of ``src/repro/durability/`` is surviving ``kill -9``:
+every on-disk artifact must be produced either by *appending* (the WAL
+segments, mode ``"ab"``) or by the write-temp-fsync-rename dance in
+:func:`repro.utils.fileio.atomic_write` (snapshots).  A raw
+``open(path, "w")`` in this package is a durability bug — a crash between
+truncate and flush destroys the previous good copy — so this test walks
+the AST of every module in ``src/repro/durability/`` and bans ``open``
+calls whose mode writes in place (any mode containing ``w``, ``x``, or
+``+``).  Read modes and append mode stay allowed.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+DURABILITY = SRC / "durability"
+
+#: open() modes durability code may use.  Appending is crash-safe (the
+#: valid prefix survives; recovery truncates any torn tail); anything
+#: that truncates or writes in place is not.
+ALLOWED_MODES = {"r", "rb", "ab"}
+
+
+def _durability_files():
+    files = sorted(DURABILITY.rglob("*.py"))
+    assert files, "src/repro/durability/ not found — did the layout move?"
+    return files
+
+
+def _open_calls(tree: ast.AST):
+    """Yield ``open(...)`` / ``path.open(...)`` calls with their mode.
+
+    The mode is the second positional argument or the ``mode=`` keyword
+    for builtin ``open``, and the first positional argument for the
+    ``Path.open`` method form.  For builtin ``open`` a mode this lint
+    cannot resolve to a string literal is reported as ``None`` (treated
+    as an offender: durability code has no business computing file modes
+    dynamically).  Attribute-form ``.open`` calls are only flagged when
+    a literal mode resolves — ``.open`` is also an ordinary method name
+    (``Journal.open``), and a non-literal first argument there is a
+    receiver, not a mode.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            builtin = True
+            mode_arg = node.args[1] if len(node.args) > 1 else None
+        elif isinstance(node.func, ast.Attribute) and node.func.attr == "open":
+            builtin = False
+            mode_arg = node.args[0] if node.args else None
+        else:
+            continue
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode_arg = keyword.value
+        if mode_arg is None and builtin:
+            yield node, "r"  # open() defaults to read mode
+        elif isinstance(mode_arg, ast.Constant) and isinstance(mode_arg.value, str):
+            yield node, mode_arg.value
+        elif builtin:
+            yield node, None
+
+
+@pytest.mark.parametrize(
+    "path", _durability_files(), ids=lambda p: p.name
+)
+def test_durability_never_truncate_writes(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offenders = []
+    for call, mode in _open_calls(tree):
+        if mode is None:
+            offenders.append(f"line {call.lineno}: open() with a dynamic mode")
+        elif mode not in ALLOWED_MODES:
+            offenders.append(
+                f"line {call.lineno}: open(..., {mode!r}) — use append mode "
+                "or repro.utils.fileio.atomic_write"
+            )
+    assert not offenders, (
+        f"{path.relative_to(SRC.parent.parent)} opens files in "
+        f"non-crash-safe modes:\n  " + "\n  ".join(offenders)
+    )
+
+
+def test_lint_catches_a_truncating_open():
+    """The lint itself fires on truncate-write forms, not on append."""
+    bad_builtin = ast.parse("open(path, 'w')")
+    bad_method = ast.parse("path.open('w', encoding='utf-8')")
+    bad_keyword = ast.parse("open(path, mode='r+b')")
+    good_append = ast.parse("open(path, 'ab')")
+    assert [m for _, m in _open_calls(bad_builtin)] == ["w"]
+    assert [m for _, m in _open_calls(bad_method)] == ["w"]
+    assert [m for _, m in _open_calls(bad_keyword)] == ["r+b"]
+    assert [m for _, m in _open_calls(good_append)] == ["ab"]
+    assert all(m not in ALLOWED_MODES for m in ("w", "r+b"))

@@ -19,7 +19,7 @@ import repro.exceptions as repro_exceptions
 from repro.exceptions import ReproError
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-LINTED_PACKAGES = ("serving", "reliability", "deploy", "pipeline")
+LINTED_PACKAGES = ("serving", "reliability", "deploy", "pipeline", "durability")
 
 #: Exceptions allowed despite not subclassing ReproError.  AssertionError
 #: marks unreachable-code guards (programming errors, not API surface).
@@ -90,3 +90,18 @@ def test_deployment_errors_are_repro_errors():
     assert issubclass(DeploymentError, ReproError)
     assert issubclass(RegistryError, DeploymentError)
     assert issubclass(RolloutError, DeploymentError)
+
+
+def test_durability_errors_are_repro_errors():
+    """The durability exception types slot into the existing hierarchy."""
+    from repro.exceptions import (
+        DurabilityError,
+        JournalError,
+        StateRestoreError,
+        SupervisorError,
+    )
+
+    assert issubclass(DurabilityError, ReproError)
+    assert issubclass(JournalError, DurabilityError)
+    assert issubclass(StateRestoreError, DurabilityError)
+    assert issubclass(SupervisorError, DurabilityError)

@@ -19,7 +19,7 @@ from pathlib import Path
 import pytest
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-LINTED_PACKAGES = ("serving", "deploy", "pipeline")
+LINTED_PACKAGES = ("serving", "deploy", "pipeline", "durability")
 
 
 def _linted_files():

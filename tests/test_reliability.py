@@ -237,6 +237,42 @@ class TestCircuitBreaker:
         clock.advance(1.5)
         assert breaker.state == HALF_OPEN
 
+    def test_restored_mid_half_open_does_not_reopen_on_first_success(self):
+        """A breaker journaled mid-probe must resume probing after a
+        restart, not treat the first post-restore success as a fresh
+        failure signal and snap back open."""
+        before, clock = self._breaker(half_open_probes=2, reset_timeout_s=5.0)
+        for _ in range(4):
+            before.record_failure()
+        clock.advance(10.0)
+        assert before.allow()          # probe 1 admitted...
+        before.record_success()        # ...and succeeded
+        assert before.state == HALF_OPEN
+        state = before.state_dict()
+
+        after, _ = self._breaker(half_open_probes=2, reset_timeout_s=5.0)
+        after.load_state_dict(state)
+        assert after.state == HALF_OPEN
+        assert after.allow()           # exactly one probe slot remains
+        after.record_success()
+        assert after.state == CLOSED   # 2/2 probes succeeded across the crash
+        assert after.allow()
+
+    def test_restored_half_open_probe_failure_still_reopens(self):
+        before, clock = self._breaker(half_open_probes=2, reset_timeout_s=5.0)
+        for _ in range(4):
+            before.record_failure()
+        clock.advance(10.0)
+        assert before.allow()
+        state = before.state_dict()
+
+        after, after_clock = self._breaker(half_open_probes=2, reset_timeout_s=5.0)
+        after.load_state_dict(state)
+        after.record_failure()
+        assert after.state == OPEN
+        after_clock.advance(10.0)
+        assert after.state == HALF_OPEN  # the timeout restarted post-restore
+
     def test_old_failures_age_out_of_window(self):
         breaker, _ = self._breaker(window=4, min_calls=4)
         breaker.record_failure()
@@ -434,6 +470,21 @@ class TestFrameSanitizer:
         sanitizer.check(self._frame(0.6))  # a different frame resets the run
         assert sanitizer.check(frame) is None
         assert sanitizer.consecutive_identical == 1
+
+    def test_degraded_recovered_degraded_cycle(self):
+        """stuck_camera is re-entrant: degraded -> recovered -> degraded
+        again, with the repeat counter restarting from scratch each time
+        a fresh frame breaks the run."""
+        sanitizer = FrameSanitizer(stuck_threshold=3)
+        frame = self._frame()
+        assert sanitizer.check(frame) is None
+        assert sanitizer.check(frame) is None
+        assert sanitizer.check(frame) == "stuck_camera"      # degraded
+        assert sanitizer.check(self._frame(0.6)) is None     # recovered
+        assert sanitizer.consecutive_identical == 1
+        assert sanitizer.check(self._frame(0.6)) is None     # 2 repeats: fine
+        assert sanitizer.check(self._frame(0.6)) == "stuck_camera"  # degraded again
+        assert sanitizer.check(self._frame(0.7)) is None     # and recovers again
 
     def test_reset_forgets_history(self):
         sanitizer = FrameSanitizer(stuck_threshold=2)

@@ -187,6 +187,30 @@ class TestJsonlRoundTrip:
         with pytest.raises(SerializationError, match="bad.jsonl:2"):
             read_events(path)
 
+    def test_tolerant_read_skips_and_counts_damage(self, tmp_path):
+        """A trace cut short by ``kill -9`` (truncated tail, a corrupt
+        line mid-file) still yields its valid records plus a skip count."""
+        from repro.telemetry import read_events_tolerant
+
+        path = tmp_path / "crashed.jsonl"
+        path.write_text(
+            '{"type": "event", "name": "a"}\n'
+            "garbage not json\n"
+            '{"type": "event", "name": "b"}\n'
+            '{"type": "eve'  # torn mid-write, no newline
+        )
+        records, skipped = read_events_tolerant(path)
+        assert [r["name"] for r in records] == ["a", "b"]
+        assert skipped == 2
+
+    def test_tolerant_read_of_clean_file_skips_nothing(self, tmp_path):
+        from repro.telemetry import read_events_tolerant
+
+        path = tmp_path / "clean.jsonl"
+        path.write_text('{"type": "event", "name": "a"}\n')
+        records, skipped = read_events_tolerant(path)
+        assert len(records) == 1 and skipped == 0
+
 
 class TestReports:
     def _trace(self, tmp_path):
@@ -214,6 +238,14 @@ class TestReports:
         assert "frame" in text
         assert "p50" in text and "p95" in text and "p99" in text
         assert "monitor.score" in text
+
+    def test_report_of_crash_truncated_trace_warns_but_renders(self, tmp_path):
+        path = self._trace(tmp_path)
+        with open(path, "a") as handle:
+            handle.write('{"type": "eve')  # torn by a crash mid-flush
+        text = render_jsonl_report(path)
+        assert "frame" in text  # the valid records still report
+        assert "skipped 1 corrupt/truncated line" in text
 
     def test_summary_of_empty_trace(self):
         summary = summarize_events([])

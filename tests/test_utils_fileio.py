@@ -64,3 +64,40 @@ class TestAtomicWrite:
     def test_fsync_dir_is_best_effort(self, tmp_path):
         fsync_dir(tmp_path)  # must not raise
         fsync_dir(tmp_path / "does-not-exist")
+
+    def test_fsync_refusal_is_counted_not_raised(self, tmp_path, monkeypatch):
+        """EINVAL/EBADF from fsync on a directory fd (network and FUSE
+        filesystems) is skipped and counted, never propagated."""
+        import errno
+        import os
+
+        from repro.utils.fileio import dir_fsync_failures
+
+        real_fsync = os.fsync
+
+        def refusing_fsync(fd):
+            os.fstat(fd)  # still a valid fd — the refusal is the fs, not us
+            raise OSError(errno.EINVAL, "Invalid argument")
+
+        before = dir_fsync_failures()
+        monkeypatch.setattr(os, "fsync", refusing_fsync)
+        fsync_dir(tmp_path)  # must not raise
+        assert dir_fsync_failures() == before + 1
+
+        def badf_fsync(fd):
+            raise OSError(errno.EBADF, "Bad file descriptor")
+
+        monkeypatch.setattr(os, "fsync", badf_fsync)
+        fsync_dir(tmp_path)
+        assert dir_fsync_failures() == before + 2
+
+        # atomic_write keeps working on such filesystems: the payload
+        # fsync is the file's own fd (patched here too, so route it
+        # back), and the directory sync failure is absorbed.
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: real_fsync(fd)
+        )
+        path = tmp_path / "artifact.bin"
+        with atomic_write(path) as handle:
+            handle.write(b"payload")
+        assert path.read_bytes() == b"payload"
