@@ -164,6 +164,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive the engine through the TCP frontend instead of in-process",
     )
     bench.add_argument(
+        "--priority-mix", default=None, metavar="SPEC",
+        help=(
+            "split the client population across QoS classes, e.g. "
+            "'critical=10,batch=90' (weights are relative); implies a "
+            "default QoS policy unless --qos-config is given, and prints "
+            "per-class goodput and latency"
+        ),
+    )
+    bench.add_argument(
         "--chaos", action="store_true",
         help=(
             "inject seeded faults (latency spikes, exceptions, NaN scores, "
@@ -311,6 +320,14 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--deadline-ms", type=float, default=None,
         help="per-request deadline; queued requests past it are dropped",
+    )
+    parser.add_argument(
+        "--qos-config", type=Path, default=None, metavar="PATH",
+        help=(
+            "JSON admission-control & QoS policy (priority classes, "
+            "per-client rate limits, deadline shedding, AIMD concurrency "
+            "limit; see docs/admission.md).  Invalid policies exit 2."
+        ),
     )
     parser.add_argument(
         "--telemetry", type=Path, default=DEFAULT_SERVING_TELEMETRY, metavar="PATH",
@@ -495,6 +512,22 @@ def _build_engine(args: argparse.Namespace, default_capacity: int = 64):
 
     if args.workers > 0 and args.bundle is None:
         raise SystemExit("--workers requires --bundle (replicas load it from disk)")
+    # Validate the QoS policy before any expensive load/train work so a
+    # malformed --qos-config fails in milliseconds, not after training.
+    qos = None
+    if getattr(args, "qos_config", None) is not None:
+        from repro.serving import load_qos_policy
+
+        qos = load_qos_policy(args.qos_config)
+        classes = ", ".join(
+            f"{name}(w={spec.weight:g})" for name, spec in qos.classes.items()
+        )
+        print(f"qos policy {args.qos_config}: {classes}")
+    elif getattr(args, "priority_mix", None) is not None:
+        from repro.serving import QosPolicy
+
+        qos = QosPolicy.default()
+        print("qos policy: default (critical=16 interactive=4 batch=1)")
     if args.bundle is not None:
         bundle = load_bundle(args.bundle)
         image_shape = bundle.image_shape
@@ -545,6 +578,7 @@ def _build_engine(args: argparse.Namespace, default_capacity: int = 64):
         max_wait_ms=args.max_wait_ms,
         queue_capacity=args.queue_capacity or default_capacity,
         default_deadline_ms=args.deadline_ms,
+        qos=qos,
         **reliability,
     )
     return ServingEngine(scorer, config), image_shape
@@ -683,6 +717,17 @@ def _wire_journal(engine, report, journal):
             engine.breaker.load_state_dict(breaker_state)
             print(f"recovery: circuit breaker restored ({engine.breaker.state})")
         engine.breaker.attach_journal(state_journal.sink("breaker"))
+    if getattr(engine, "admission", None) is not None:
+        state_journal.register("admission", engine.admission)
+        admission_state = report.states.get("admission")
+        if admission_state is not None:
+            engine.admission.load_state_dict(admission_state)
+            buckets = len(admission_state.get("buckets", {}))
+            print(
+                f"recovery: admission state restored "
+                f"({buckets} client quota(s), "
+                f"concurrency limit {engine.admission.stats().get('concurrency_limit', 'off')})"
+            )
     engine.attach_ledger(ledger)
     return state_journal
 
@@ -707,7 +752,7 @@ def _close_journal(state_journal, journal) -> None:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
-    from repro.exceptions import ArtifactError, JournalError
+    from repro.exceptions import ArtifactError, ConfigurationError, JournalError
 
     with _telemetry_scope(args.telemetry):
         try:
@@ -719,7 +764,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             engine, image_shape = _build_engine(
                 args, default_capacity=max(64, args.frames if args.once else 64)
             )
-        except ArtifactError as exc:
+        except (ArtifactError, ConfigurationError) as exc:
             if journal is not None:
                 journal.close()
             print(str(exc), file=sys.stderr)
@@ -782,9 +827,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
-    from repro.exceptions import ArtifactError, JournalError
-    from repro.serving import run_load
+    from repro.exceptions import ArtifactError, ConfigurationError, JournalError
+    from repro.serving import parse_priority_mix, run_load, run_mixed_load
 
+    mix = None
+    if args.priority_mix is not None:
+        try:
+            mix = parse_priority_mix(args.priority_mix)
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     with _telemetry_scope(args.telemetry):
         try:
             report, journal = _recover_journal(args.journal_dir)
@@ -795,7 +847,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             engine, image_shape = _build_engine(
                 args, default_capacity=max(64, args.frames)
             )
-        except ArtifactError as exc:
+        except (ArtifactError, ConfigurationError) as exc:
             if journal is not None:
                 journal.close()
             print(str(exc), file=sys.stderr)
@@ -825,21 +877,59 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
 
                             lock = _threading.Lock()
 
-                            def _score(frame, _clients=clients, _lock=lock, _cursor=cursor):
+                            def _next_client(_clients=clients, _lock=lock, _cursor=cursor):
                                 with _lock:
                                     client = _clients[_cursor["next"] % len(_clients)]
                                     _cursor["next"] += 1
-                                return client.score(frame)
+                                return client
 
-                            report = run_load(_score, workload, clients=args.clients)
+                            if mix is not None:
+                                report = run_mixed_load(
+                                    lambda frame, qos_class, client_id: _next_client().score(
+                                        frame, client_id=client_id, priority=qos_class
+                                    ),
+                                    workload,
+                                    mix,
+                                    clients=args.clients,
+                                )
+                            else:
+                                report = run_load(
+                                    lambda frame: _next_client().score(frame),
+                                    workload,
+                                    clients=args.clients,
+                                )
                         finally:
                             for client in clients:
                                 client.close()
+                elif mix is not None:
+                    report = run_mixed_load(
+                        lambda frame, qos_class, client_id: engine.infer(
+                            frame, qos_class=qos_class, client_id=client_id
+                        ),
+                        workload,
+                        mix,
+                        clients=args.clients,
+                    )
                 else:
                     report = run_load(
                         lambda frame: engine.infer(frame), workload, clients=args.clients
                     )
                 print(report.render())
+                admission_stats = engine.stats().get("admission")
+                if admission_stats is not None:
+                    rejected = admission_stats.get("rejected", {})
+                    rejected_line = (
+                        ", ".join(f"{k}={v}" for k, v in sorted(rejected.items()))
+                        if rejected
+                        else "none"
+                    )
+                    print(
+                        f"admission: {admission_stats['admitted']} admitted, "
+                        f"rejected: {rejected_line}, concurrency limit "
+                        f"{admission_stats['concurrency_limit']}, "
+                        f"service time {admission_stats['service_time_ms_per_frame']:.3f} "
+                        f"ms/frame"
+                    )
                 _print_engine_latency(engine)
                 _print_trace_hint(engine, args.telemetry)
                 if getattr(args, "chaos", False):

@@ -50,6 +50,53 @@ class ServingError(ReproError):
     """The serving runtime was misused or failed at request time."""
 
 
+class RequestRejectedError(ServingError):
+    """The server refused a request at admission (client-side view).
+
+    Raised by :meth:`~repro.serving.ServingClient.score_strict` when the
+    wire response carries ``status: "rejected"`` — the server's admission
+    policy (quota, concurrency limit, or deadline shedding) refused the
+    request before queueing it.  Do not blindly retry: honor
+    :attr:`retry_after_ms` when present.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str = "",
+        qos_class: str = "",
+        retry_after_ms=None,
+    ) -> None:
+        super().__init__(message)
+        #: Machine-readable rejection reason from the server.
+        self.reason = reason
+        #: Priority class the request resolved to on the server.
+        self.qos_class = qos_class
+        #: Suggested client backoff in milliseconds (``None`` if the
+        #: server did not provide one).
+        self.retry_after_ms = retry_after_ms
+
+
+class ServerOverloadedError(RequestRejectedError):
+    """The server's bounded request queue was full (``status: "overloaded"``).
+
+    A transient backpressure signal rather than a policy decision —
+    retrying after a short backoff is reasonable, unlike for its parent
+    :class:`RequestRejectedError`.
+    """
+
+
+class RequestTimedOutError(ServingError):
+    """The request was admitted but its deadline passed while queued
+    (``status: "deadline_exceeded"``)."""
+
+
+class RequestFailedError(ServingError):
+    """The server answered ``status: "failed"`` or ``"error"`` — the
+    scoring backend raised, the engine shut down mid-flight, or the
+    request itself was malformed."""
+
+
 class WorkerCrashError(ServingError):
     """A worker-pool replica died (or hung) while handling a request.
 

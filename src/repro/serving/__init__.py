@@ -12,9 +12,14 @@ driving systems; this subsystem is the deployment story.  Four pieces:
 * **Worker pool** (:mod:`repro.serving.pool`) — multiprocess engine
   replicas, each loading the bundle itself, with round-robin dispatch,
   health checks, and restart-on-crash.
-* **Admission control** (:mod:`repro.serving.engine`) — bounded queues
-  with typed backpressure (:class:`Overloaded`) and per-request
-  deadlines, behind :class:`ServingEngine`.
+* **Admission control & QoS** (:mod:`repro.serving.admission` /
+  :mod:`repro.serving.qos`) — per-client token-bucket quotas, a fixed
+  set of priority classes drained by a weighted multi-queue, deadline-
+  aware shedding, and an AIMD adaptive concurrency limit, all behind a
+  JSON-configurable :class:`QosPolicy`; refusals are typed
+  :class:`Rejected` outcomes.  The engine keeps its historical bounded-
+  FIFO behavior (typed :class:`Overloaded` backpressure, per-request
+  deadlines) when no policy is configured.
 
 :mod:`repro.serving.service` adds a localhost socket frontend (length-
 prefixed JSON), :mod:`repro.serving.loadgen` a load generator; the CLI
@@ -22,6 +27,12 @@ exposes them as ``repro serve`` and ``repro bench-serve``.  See
 ``docs/serving.md``.
 """
 
+from repro.serving.admission import (
+    REJECTION_REASONS,
+    AdmissionController,
+    AdmissionDecision,
+    WeightedClassBatcher,
+)
 from repro.serving.artifacts import (
     BUNDLE_SCHEMA,
     BUNDLE_SCHEMA_VERSION,
@@ -34,8 +45,25 @@ from repro.serving.artifacts import (
 )
 from repro.serving.batcher import MicroBatcher, QueuedRequest
 from repro.serving.engine import EngineConfig, PipelineScorer, ServingEngine
-from repro.serving.loadgen import LoadReport, run_load
+from repro.serving.loadgen import (
+    LoadReport,
+    parse_priority_mix,
+    run_load,
+    run_mixed_load,
+)
 from repro.serving.pool import WorkerPool
+from repro.serving.qos import (
+    DEFAULT_CLASS,
+    PRIORITY_CLASSES,
+    AimdConfig,
+    AimdLimiter,
+    ClassPolicy,
+    QosPolicy,
+    RateLimit,
+    ServiceTimeEstimator,
+    TokenBucket,
+    load_qos_policy,
+)
 from repro.serving.results import (
     BatchVerdicts,
     DeadlineExceeded,
@@ -43,6 +71,7 @@ from repro.serving.results import (
     Failed,
     Overloaded,
     PendingResult,
+    Rejected,
     RequestOutcome,
     Scored,
 )
@@ -63,14 +92,31 @@ __all__ = [
     "PipelineScorer",
     "ServingEngine",
     "LoadReport",
+    "parse_priority_mix",
     "run_load",
+    "run_mixed_load",
     "WorkerPool",
+    "AdmissionController",
+    "AdmissionDecision",
+    "REJECTION_REASONS",
+    "WeightedClassBatcher",
+    "DEFAULT_CLASS",
+    "PRIORITY_CLASSES",
+    "AimdConfig",
+    "AimdLimiter",
+    "ClassPolicy",
+    "QosPolicy",
+    "RateLimit",
+    "ServiceTimeEstimator",
+    "TokenBucket",
+    "load_qos_policy",
     "BatchVerdicts",
     "DeadlineExceeded",
     "Degraded",
     "Failed",
     "Overloaded",
     "PendingResult",
+    "Rejected",
     "RequestOutcome",
     "Scored",
     "ServingClient",

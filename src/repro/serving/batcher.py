@@ -43,6 +43,13 @@ class QueuedRequest:
     #: engine resolves it alongside the :class:`PendingResult`, so a
     #: crash leaves exactly the unresolved ids on disk.
     ledger_id: Optional[int] = None
+    #: Priority class the request was admitted under; routes it to the
+    #: right queue of a :class:`~repro.serving.admission.WeightedClassBatcher`
+    #: (the plain FIFO ignores it).
+    qos_class: str = "interactive"
+    #: Client identity from the wire protocol (``None`` = anonymous /
+    #: in-process); admission quotas are keyed on it.
+    client_id: Optional[str] = None
 
 
 class MicroBatcher:

@@ -26,11 +26,14 @@ decides whether unscorable requests resolve to
 configured the engine also refuses to deliver non-finite scores as
 ``Scored`` — NaN verdicts are a backend failure, not an answer.
 
-Telemetry (when a session is active): ``serving.queue_depth`` and
-``serving.breaker_state`` gauges, ``serving.batch_size`` and
-``serving.request_latency`` histograms, ``serving.batch`` spans, and
-``serving.requests`` / ``serving.rejected`` / ``serving.deadline_exceeded``
-/ ``serving.errors`` / ``serving.retries`` / ``serving.degraded`` counters.
+Telemetry (when a session is active): ``serving.queue_depth``,
+``serving.breaker_state`` and ``serving.admission.concurrency_limit``
+gauges, ``serving.batch_size`` and ``serving.request_latency`` histograms,
+``serving.queue_delay.<class>`` per-priority-class window histograms,
+``serving.batch`` spans, and ``serving.requests`` / ``serving.rejected``
+/ ``serving.deadline_exceeded`` / ``serving.errors`` / ``serving.retries``
+/ ``serving.degraded`` / ``serving.admission.admitted.<class>`` /
+``serving.admission.rejected.<reason>`` counters.
 
 Tracing: :meth:`ServingEngine.submit` roots a
 :class:`~repro.telemetry.TraceContext` per admitted request (or adopts one
@@ -61,7 +64,9 @@ from repro.nn.backend.policy import as_tensor
 from repro.novelty.framework import SaliencyNoveltyPipeline
 from repro.reliability.breaker import BreakerConfig, CircuitBreaker
 from repro.reliability.retry import RetryPolicy, call_with_retry
+from repro.serving.admission import AdmissionController, WeightedClassBatcher
 from repro.serving.batcher import MicroBatcher, QueuedRequest
+from repro.serving.qos import QosPolicy
 from repro.serving.results import (
     BatchVerdicts,
     DeadlineExceeded,
@@ -69,6 +74,7 @@ from repro.serving.results import (
     Failed,
     Overloaded,
     PendingResult,
+    Rejected,
     RequestOutcome,
     Scored,
 )
@@ -114,6 +120,15 @@ class EngineConfig:
         outcome carrying the conservative ``is_novel=True`` verdict — the
         right default for a safety monitor, where "I cannot score this"
         must read as "assume novel").
+    qos:
+        Admission-control & QoS policy
+        (:class:`~repro.serving.qos.QosPolicy`).  When set, the single
+        FIFO becomes a weighted per-class multi-queue, submissions carry
+        a priority class and client id, and requests may resolve to a
+        typed :class:`~repro.serving.results.Rejected` outcome (rate
+        limit, adaptive concurrency limit, or deadline-aware shedding)
+        before any work is queued.  ``None`` keeps the historical
+        admit-everything FIFO behavior.
     """
 
     max_batch_size: int = 8
@@ -123,6 +138,7 @@ class EngineConfig:
     retry: Optional[RetryPolicy] = None
     breaker: Optional[BreakerConfig] = None
     fail_safe: str = "fail"
+    qos: Optional[QosPolicy] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1 or self.queue_capacity < 1:
@@ -280,16 +296,31 @@ class ServingEngine:
         # One jitter stream shared by every dispatch thread; exact
         # interleaving does not matter, determinism per-policy-seed does.
         self._retry_rng = (self._retry or _ONE_ATTEMPT).make_rng()
-        self._batcher = MicroBatcher(
-            max_batch_size=self.config.max_batch_size,
-            max_wait_ms=self.config.max_wait_ms,
-            capacity=self.config.queue_capacity,
-        )
+        replicas = max(1, int(getattr(scorer, "replicas", 1)))
+        if self.config.qos is not None:
+            self._batcher: Any = WeightedClassBatcher(
+                self.config.qos,
+                max_batch_size=self.config.max_batch_size,
+                max_wait_ms=self.config.max_wait_ms,
+                default_capacity=self.config.queue_capacity,
+            )
+            self.admission: Optional[AdmissionController] = AdmissionController(
+                self.config.qos, replicas=replicas
+            )
+        else:
+            self._batcher = MicroBatcher(
+                max_batch_size=self.config.max_batch_size,
+                max_wait_ms=self.config.max_wait_ms,
+                capacity=self.config.queue_capacity,
+            )
+            self.admission = None
         self._stats_lock = threading.Lock()
+        self._in_flight = 0
         self._counts = {
             "submitted": 0,
             "scored": 0,
             "rejected": 0,
+            "rejected_admission": 0,
             "deadline_exceeded": 0,
             "failed": 0,
             "degraded": 0,
@@ -319,13 +350,21 @@ class ServingEngine:
         frame: np.ndarray,
         deadline_ms: Any = _UNSET,
         trace: Optional[TraceContext] = None,
+        client_id: Optional[str] = None,
+        qos_class: Optional[str] = None,
     ) -> PendingResult:
         """Admit one frame; returns a future resolving to a typed outcome.
 
-        Never blocks: when the bounded queue is full the future is already
-        resolved to :class:`Overloaded` on return.  ``deadline_ms``
-        overrides the config default (``None`` = no deadline).  ``trace``
-        adopts a context the caller already rooted (the TCP frontend's
+        Never blocks: when admission control refuses the request (rate
+        limit, concurrency limit, deadline shedding) the future is already
+        resolved to :class:`Rejected` on return; when the bounded queue is
+        full, to :class:`Overloaded`.  ``deadline_ms`` overrides the
+        class/config default (``None`` = no deadline).  ``client_id``
+        names the caller for per-client quotas and ``qos_class`` picks a
+        priority class (both ignored without a configured
+        :attr:`EngineConfig.qos`; an unknown class raises
+        :class:`~repro.exceptions.ConfigurationError`).  ``trace`` adopts
+        a context the caller already rooted (the TCP frontend's
         ``serving.frontend`` span); with telemetry active and no ``trace``
         a fresh root is generated for the request.
         """
@@ -335,8 +374,20 @@ class ServingEngine:
             raise ShapeError(
                 f"submit expects one ({expected or 'H, W'}) frame, got {frame.shape}"
             )
-        if deadline_ms is _UNSET:
-            deadline_ms = self.config.default_deadline_ms
+        admission = self.admission
+        if admission is not None:
+            qos_class = admission.resolve_class(qos_class)
+            if deadline_ms is _UNSET:
+                spec = admission.class_policy(qos_class)
+                deadline_ms = (
+                    spec.default_deadline_ms
+                    if spec.default_deadline_ms is not None
+                    else self.config.default_deadline_ms
+                )
+        else:
+            qos_class = qos_class or "interactive"
+            if deadline_ms is _UNSET:
+                deadline_ms = self.config.default_deadline_ms
         telem = get_telemetry()
         if trace is None and telem.enabled:
             trace = TraceContext.new_root()
@@ -350,13 +401,50 @@ class ServingEngine:
             deadline_at=None if deadline_ms is None else now + deadline_ms / 1000.0,
             trace=trace,
             ledger_id=None if ledger is None else ledger.admit(),
+            qos_class=qos_class,
+            client_id=client_id,
         )
         telem.counter("serving.requests").inc()
         with self._stats_lock:
             self._counts["submitted"] += 1
+            in_flight = self._in_flight
             if trace is not None:
                 self._last_trace_id = trace.trace_id
-        if not self._batcher.offer(request):
+        if admission is not None:
+            decision = admission.admit(
+                client_id=client_id,
+                qos_class=qos_class,
+                deadline_s=None if deadline_ms is None else deadline_ms / 1000.0,
+                queue_depth=len(self._batcher),
+                in_flight=in_flight,
+            )
+            if not decision.admitted:
+                outcome: RequestOutcome = Rejected(
+                    reason=decision.reason or "rejected",
+                    qos_class=qos_class,
+                    client_id=client_id,
+                    retry_after_ms=decision.retry_after_ms,
+                )
+                self._resolve_ledger(request, outcome.status)
+                pending.resolve(outcome)
+                telem.counter(f"serving.admission.rejected.{outcome.reason}").inc()
+                if trace is not None:
+                    telem.add_span(
+                        "serving.request",
+                        0.0,
+                        context=trace,
+                        outcome="rejected",
+                        reason=outcome.reason,
+                        qos_class=qos_class,
+                    )
+                with self._stats_lock:
+                    self._counts["rejected_admission"] += 1
+                return pending
+            telem.counter(f"serving.admission.admitted.{qos_class}").inc()
+        if self._batcher.offer(request):
+            with self._stats_lock:
+                self._in_flight += 1
+        else:
             depth = len(self._batcher)
             outcome = Overloaded(queue_depth=depth, capacity=self._batcher.capacity)
             self._resolve_ledger(request, outcome.status)
@@ -371,9 +459,17 @@ class ServingEngine:
         telem.gauge("serving.queue_depth").set(len(self._batcher))
         return pending
 
-    def infer(self, frame: np.ndarray, timeout_s: float = 60.0) -> RequestOutcome:
+    def infer(
+        self,
+        frame: np.ndarray,
+        timeout_s: float = 60.0,
+        client_id: Optional[str] = None,
+        qos_class: Optional[str] = None,
+    ) -> RequestOutcome:
         """Synchronous single-frame scoring (submit + wait)."""
-        return self.submit(frame).result(timeout_s)
+        return self.submit(frame, client_id=client_id, qos_class=qos_class).result(
+            timeout_s
+        )
 
     def infer_many(self, frames: np.ndarray, timeout_s: float = 120.0) -> List[RequestOutcome]:
         """Submit a stack of frames and wait for every outcome.
@@ -464,10 +560,18 @@ class ServingEngine:
             request.pending.resolve(outcome)
         with self._stats_lock:
             self._counts[key] += len(live)
+            self._in_flight -= len(live)
 
     def _publish_breaker_state(self, telem) -> None:
         if self.breaker is not None:
             telem.gauge("serving.breaker_state").set(self.breaker.state_code())
+
+    def _publish_admission_state(self, telem) -> None:
+        admission = self.admission
+        if admission is not None and admission.aimd is not None:
+            telem.gauge("serving.admission.concurrency_limit").set(
+                admission.aimd.limit
+            )
 
     # -- dispatch --------------------------------------------------------
     def _dispatch_loop(self) -> None:
@@ -478,13 +582,18 @@ class ServingEngine:
                 return
             now = time.monotonic()
             live: List[QueuedRequest] = []
+            expired_any = False
             for request in batch:
+                telem.window_histogram(
+                    f"serving.queue_delay.{request.qos_class}"
+                ).observe(now - request.enqueued_at)
                 if request.deadline_at is not None and now > request.deadline_at:
                     waited = now - request.enqueued_at
                     allowed = request.deadline_at - request.enqueued_at
                     expired = DeadlineExceeded(waited_s=waited, deadline_s=allowed)
                     self._resolve_ledger(request, expired.status)
                     request.pending.resolve(expired)
+                    expired_any = True
                     telem.counter("serving.deadline_exceeded").inc()
                     if request.trace is not None:
                         telem.add_span(
@@ -495,8 +604,14 @@ class ServingEngine:
                         )
                     with self._stats_lock:
                         self._counts["deadline_exceeded"] += 1
+                        self._in_flight -= 1
                 else:
                     live.append(request)
+            if expired_any and self.admission is not None:
+                # Late expiries mean the queue outran the deadline budget:
+                # back the adaptive concurrency limit off.
+                self.admission.on_overload("deadline_exceeded")
+                self._publish_admission_state(telem)
             telem.gauge("serving.queue_depth").set(len(self._batcher))
             if not live:
                 continue
@@ -513,9 +628,13 @@ class ServingEngine:
                     )
             stack = np.stack([r.frame for r in live])
             if self.breaker is not None and not self.breaker.allow():
+                if self.admission is not None:
+                    self.admission.on_overload("breaker_open")
+                    self._publish_admission_state(telem)
                 self._resolve_unscorable(live, "circuit breaker open", telem)
                 self._publish_breaker_state(telem)
                 continue
+            score_started = time.monotonic()
             try:
                 with telem.span("serving.batch", trace=owner, frames=len(live)):
                     verdicts, retries = self._score_guarded(stack)
@@ -526,6 +645,11 @@ class ServingEngine:
                 self._publish_breaker_state(telem)
                 continue
             self._publish_breaker_state(telem)
+            if self.admission is not None:
+                self.admission.observe_batch(
+                    time.monotonic() - score_started, len(live)
+                )
+                self._publish_admission_state(telem)
             if retries:
                 telem.counter("serving.retries").inc(retries)
                 with self._stats_lock:
@@ -544,6 +668,7 @@ class ServingEngine:
                 telem.histogram("serving.batch_size").observe(len(live))
                 self._counts["batches"] += 1
                 self._counts["scored"] += len(live)
+                self._in_flight -= len(live)
                 for i, request in enumerate(live):
                     latency = done - request.enqueued_at
                     self._latencies.append(latency)
@@ -656,8 +781,14 @@ class ServingEngine:
             counts = dict(self._counts)
             latencies = list(self._latencies)
             last_trace_id = self._last_trace_id
+            in_flight = self._in_flight
         summary: Dict[str, Any] = dict(counts)
         summary["queue_depth"] = len(self._batcher)
+        if self.admission is not None:
+            admission_stats = self.admission.stats()
+            admission_stats["in_flight"] = in_flight
+            admission_stats["queue_depths"] = self._batcher.depths()
+            summary["admission"] = admission_stats
         model_version = getattr(self.scorer, "model_version", None)
         if model_version is not None:
             summary["model_version"] = model_version
@@ -698,6 +829,8 @@ class ServingEngine:
             closed = Failed(error="engine closed")
             self._resolve_ledger(request, closed.status)
             request.pending.resolve(closed)
+        with self._stats_lock:
+            self._in_flight -= len(leftovers)
         close = getattr(self.scorer, "close", None)
         if close is not None:
             close()

@@ -9,24 +9,39 @@ response carrying a ``status`` (an in-process
 or a :meth:`ServingClient.score <repro.serving.service.ServingClient.score>`
 over the socket protocol); ``repro bench-serve`` and the throughput
 benchmark are both thin wrappers around :func:`run_load`.
+
+:func:`run_mixed_load` extends the model to QoS testing: the client
+population is split across priority classes per a weight mix
+(``repro bench-serve --priority-mix critical=10,batch=90``), each class
+keeps its own closed loop, and the report carries per-class outcome
+counts, latency percentiles, and goodput — the numbers the admission
+benchmark gates on.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.serving.qos import PRIORITY_CLASSES
 from repro.utils.timer import percentile
 
 
 @dataclass(frozen=True)
 class LoadReport:
-    """Outcome counts and client-observed latency of one load run."""
+    """Outcome counts and client-observed latency of one load run.
+
+    ``rejected`` counts typed admission refusals (``status:
+    "rejected"``), distinct from ``overloaded`` (queue-full
+    backpressure).  ``per_class`` is filled by :func:`run_mixed_load`
+    with one stats dict per priority class (requests, outcome counts,
+    latency percentiles, elapsed, throughput and goodput).
+    """
 
     requests: int
     ok: int
@@ -40,12 +55,15 @@ class LoadReport:
     latency_ms_p50: float
     latency_ms_p95: float
     latency_ms_p99: float
+    rejected: int = 0
+    per_class: Optional[Dict[str, Dict[str, float]]] = field(default=None)
 
     def render(self) -> str:
         """Human-readable block printed by ``repro bench-serve``."""
         lines = [
             f"{'requests':<22} {self.requests:>10}",
             f"{'scored ok':<22} {self.ok:>10}",
+            f"{'rejected (admission)':<22} {self.rejected:>10}",
             f"{'rejected (overloaded)':<22} {self.overloaded:>10}",
             f"{'deadline exceeded':<22} {self.deadline_exceeded:>10}",
             f"{'degraded (fail-safe)':<22} {self.degraded:>10}",
@@ -58,6 +76,17 @@ class LoadReport:
                 f"p95={self.latency_ms_p95:.2f} p99={self.latency_ms_p99:.2f}"
             ),
         ]
+        if self.per_class:
+            for name in sorted(self.per_class):
+                stats = self.per_class[name]
+                lines.append(
+                    f"{name:<12} "
+                    f"req={int(stats['requests']):>6} ok={int(stats['ok']):>6} "
+                    f"rej={int(stats['rejected']):>6} "
+                    f"goodput={stats['goodput_fps']:>7.1f}/s "
+                    f"p50={stats['latency_ms_p50']:.2f}ms "
+                    f"p99={stats['latency_ms_p99']:.2f}ms"
+                )
         return "\n".join(lines)
 
 
@@ -126,6 +155,7 @@ def run_load(
     return LoadReport(
         requests=total,
         ok=counts.get("ok", 0),
+        rejected=counts.get("rejected", 0),
         overloaded=counts.get("overloaded", 0),
         deadline_exceeded=counts.get("deadline_exceeded", 0),
         failed=counts.get("failed", 0) + counts.get("error", 0),
@@ -136,4 +166,205 @@ def run_load(
         latency_ms_p50=percentile(latencies, 50.0) * 1e3,
         latency_ms_p95=percentile(latencies, 95.0) * 1e3,
         latency_ms_p99=percentile(latencies, 99.0) * 1e3,
+    )
+
+
+def parse_priority_mix(spec: str) -> Dict[str, float]:
+    """Parse a ``"critical=10,batch=90"`` mix spec into class weights.
+
+    Weights are relative shares of the client population (see
+    :func:`run_mixed_load`); classes must come from
+    :data:`~repro.serving.qos.PRIORITY_CLASSES`.  Raises
+    :class:`~repro.exceptions.ConfigurationError` on anything malformed,
+    so ``repro bench-serve --priority-mix`` can exit 2 with the message.
+    """
+    mix: Dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, weight_text = part.partition("=")
+        name = name.strip()
+        if not sep:
+            raise ConfigurationError(
+                f"priority-mix entry {part!r} is not of the form class=weight"
+            )
+        if name not in PRIORITY_CLASSES:
+            raise ConfigurationError(
+                f"unknown priority class {name!r}; expected one of "
+                f"{', '.join(PRIORITY_CLASSES)}"
+            )
+        if name in mix:
+            raise ConfigurationError(f"priority class {name!r} listed twice")
+        try:
+            weight = float(weight_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"priority-mix weight {weight_text!r} is not a number"
+            ) from None
+        if weight <= 0:
+            raise ConfigurationError(f"priority-mix weight for {name} must be > 0")
+        mix[name] = weight
+    if not mix:
+        raise ConfigurationError("priority mix is empty")
+    return mix
+
+
+def _allocate_clients(mix: Mapping[str, float], clients: int) -> Dict[str, int]:
+    """Split ``clients`` across classes proportional to their weights
+    (largest remainder, at least one client per listed class)."""
+    if clients < len(mix):
+        raise ConfigurationError(
+            f"{clients} clients cannot cover {len(mix)} priority classes"
+        )
+    total_weight = sum(mix.values())
+    shares = {name: clients * weight / total_weight for name, weight in mix.items()}
+    allocation = {name: max(1, int(share)) for name, share in shares.items()}
+    # Hand out (or claw back) the rounding difference by largest remainder.
+    remainders = sorted(shares, key=lambda n: shares[n] - int(shares[n]), reverse=True)
+    index = 0
+    while sum(allocation.values()) < clients:
+        allocation[remainders[index % len(remainders)]] += 1
+        index += 1
+    overshoot = sorted(allocation, key=lambda n: allocation[n], reverse=True)
+    index = 0
+    while sum(allocation.values()) > clients:
+        name = overshoot[index % len(overshoot)]
+        if allocation[name] > 1:
+            allocation[name] -= 1
+        index += 1
+    return allocation
+
+
+def run_mixed_load(
+    score_fn: Callable[[np.ndarray, str, str], Any],
+    frames: Sequence[np.ndarray],
+    mix: Mapping[str, float],
+    clients: int = 4,
+    requests_per_client: Optional[int] = None,
+) -> LoadReport:
+    """Closed-loop load with the client population split across QoS classes.
+
+    ``mix`` maps class names to relative weights; ``clients`` threads are
+    divided proportionally (each class gets at least one), and every
+    client issues ``requests_per_client`` calls (default: enough for the
+    whole run to total roughly ``len(frames)`` requests), cycling over
+    ``frames``.  ``score_fn(frame, qos_class, client_id)`` must accept
+    the class and a stable per-client id — e.g. a wrapper over
+    :meth:`ServingEngine.infer <repro.serving.engine.ServingEngine.infer>`
+    or :meth:`ServingClient.score
+    <repro.serving.service.ServingClient.score>`.
+
+    The returned report's ``per_class`` dict carries, for each class, its
+    request/outcome counts, client-observed latency percentiles, elapsed
+    wall time, offered throughput, and *goodput* (scored-ok per second) —
+    the quantity the admission benchmark gates on.
+    """
+    frames = list(frames)
+    if not frames:
+        raise ConfigurationError("run_mixed_load needs at least one frame")
+    if clients < 1:
+        raise ConfigurationError(f"clients must be >= 1, got {clients}")
+    for name in mix:
+        if name not in PRIORITY_CLASSES:
+            raise ConfigurationError(f"unknown priority class {name!r} in mix")
+    allocation = _allocate_clients(mix, clients)
+    if requests_per_client is None:
+        requests_per_client = max(1, len(frames) // clients)
+
+    lock = threading.Lock()
+    counts: Dict[str, Dict[str, int]] = {name: {} for name in allocation}
+    latencies: Dict[str, List[float]] = {name: [] for name in allocation}
+    elapsed_by_class: Dict[str, float] = {name: 0.0 for name in allocation}
+
+    def _client(qos_class: str, client_index: int) -> None:
+        client_id = f"{qos_class}-{client_index}"
+        started = time.perf_counter()
+        for k in range(requests_per_client):
+            frame = frames[(client_index * requests_per_client + k) % len(frames)]
+            call_started = time.perf_counter()
+            try:
+                response = score_fn(frame, qos_class, client_id)
+                status = _status_of(response)
+            except Exception:  # noqa: BLE001 — a load test must finish
+                status = "failed"
+            lap = time.perf_counter() - call_started
+            with lock:
+                bucket = counts[qos_class]
+                bucket[status] = bucket.get(status, 0) + 1
+                latencies[qos_class].append(lap)
+        elapsed = time.perf_counter() - started
+        with lock:
+            elapsed_by_class[qos_class] = max(elapsed_by_class[qos_class], elapsed)
+
+    threads = [
+        threading.Thread(
+            target=_client,
+            args=(name, i),
+            name=f"loadgen-{name}-{i}",
+            daemon=True,
+        )
+        for name, n_clients in allocation.items()
+        for i in range(n_clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    per_class: Dict[str, Dict[str, float]] = {}
+    for name in allocation:
+        class_counts = counts[name]
+        class_latencies = latencies[name]
+        class_elapsed = elapsed_by_class[name]
+        requests = sum(class_counts.values())
+        ok = class_counts.get("ok", 0)
+        per_class[name] = {
+            "clients": float(allocation[name]),
+            "requests": float(requests),
+            "ok": float(ok),
+            "rejected": float(class_counts.get("rejected", 0)),
+            "overloaded": float(class_counts.get("overloaded", 0)),
+            "deadline_exceeded": float(class_counts.get("deadline_exceeded", 0)),
+            "degraded": float(class_counts.get("degraded", 0)),
+            "failed": float(
+                class_counts.get("failed", 0) + class_counts.get("error", 0)
+            ),
+            "elapsed_s": class_elapsed,
+            "throughput_fps": requests / class_elapsed if class_elapsed > 0 else 0.0,
+            "goodput_fps": ok / class_elapsed if class_elapsed > 0 else 0.0,
+            "latency_ms_mean": (
+                float(np.mean(class_latencies) * 1e3) if class_latencies else 0.0
+            ),
+            "latency_ms_p50": (
+                percentile(class_latencies, 50.0) * 1e3 if class_latencies else 0.0
+            ),
+            "latency_ms_p99": (
+                percentile(class_latencies, 99.0) * 1e3 if class_latencies else 0.0
+            ),
+        }
+
+    all_latencies = [lap for laps in latencies.values() for lap in laps]
+    totals: Dict[str, int] = {}
+    for class_counts in counts.values():
+        for status, n in class_counts.items():
+            totals[status] = totals.get(status, 0) + n
+    total = sum(totals.values())
+    return LoadReport(
+        requests=total,
+        ok=totals.get("ok", 0),
+        rejected=totals.get("rejected", 0),
+        overloaded=totals.get("overloaded", 0),
+        deadline_exceeded=totals.get("deadline_exceeded", 0),
+        failed=totals.get("failed", 0) + totals.get("error", 0),
+        degraded=totals.get("degraded", 0),
+        elapsed_s=elapsed,
+        throughput_fps=total / elapsed if elapsed > 0 else 0.0,
+        latency_ms_mean=float(np.mean(all_latencies) * 1e3) if all_latencies else 0.0,
+        latency_ms_p50=percentile(all_latencies, 50.0) * 1e3 if all_latencies else 0.0,
+        latency_ms_p95=percentile(all_latencies, 95.0) * 1e3 if all_latencies else 0.0,
+        latency_ms_p99=percentile(all_latencies, 99.0) * 1e3 if all_latencies else 0.0,
+        per_class=per_class,
     )

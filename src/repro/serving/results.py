@@ -1,11 +1,14 @@
 """Typed request outcomes for the serving engine.
 
 Every request submitted to :class:`repro.serving.ServingEngine` resolves
-to exactly one of five outcome types — admission control and failures are
+to exactly one of six outcome types — admission control and failures are
 *values*, not exceptions, so a frontend can serialize them onto the wire
 without a try/except ladder:
 
 * :class:`Scored` — the frame was scored; carries the verdict and latency.
+* :class:`Rejected` — refused by admission policy (rate limit, adaptive
+  concurrency limit, or deadline-aware shedding) before entering the
+  queue; carries a machine-readable reason and is never retried.
 * :class:`Overloaded` — rejected at admission because the bounded request
   queue was full (backpressure; the engine never queues unboundedly).
 * :class:`DeadlineExceeded` — admitted, but its deadline passed while it
@@ -66,6 +69,43 @@ class Scored:
 
 
 @dataclass(frozen=True)
+class Rejected:
+    """Refused by admission policy before any work was queued.
+
+    Unlike :class:`Overloaded` (a full queue — transient backpressure),
+    a ``Rejected`` outcome is a *policy* decision: the client exceeded
+    its quota, the adaptive concurrency limit is shedding load, or the
+    request's deadline cannot be met by the current queue.  Rejections
+    are cheap by construction (no frame ever enters the queue) and are
+    deliberately not retried by the engine's reliability machinery —
+    retrying against the same overloaded node is exactly the behavior
+    admission control exists to prevent.
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable cause, one of
+        :data:`~repro.serving.admission.REJECTION_REASONS`
+        (``"rate_limited"`` / ``"concurrency_limit"`` /
+        ``"deadline_unmeetable"``).
+    qos_class:
+        Priority class the request resolved to.
+    client_id:
+        Client identity the decision was keyed on (``None`` = anonymous).
+    retry_after_ms:
+        For rate-limited rejections, when the client's token bucket will
+        admit again; ``None`` for the other reasons.
+    """
+
+    status: ClassVar[str] = "rejected"
+
+    reason: str
+    qos_class: str
+    client_id: Optional[str] = None
+    retry_after_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
 class Overloaded:
     """Rejected at admission: the bounded request queue was full."""
 
@@ -121,7 +161,9 @@ class Failed:
     error: str
 
 
-RequestOutcome = Union[Scored, Overloaded, DeadlineExceeded, Degraded, Failed]
+RequestOutcome = Union[
+    Scored, Rejected, Overloaded, DeadlineExceeded, Degraded, Failed
+]
 
 
 class PendingResult:
@@ -177,4 +219,5 @@ class BatchVerdicts:
             )
 
     def __len__(self) -> int:
+        """Number of frames this batch scored."""
         return len(self.scores)

@@ -6,15 +6,21 @@ UTF-8 JSON.  Requests carry an ``op``:
 
 .. code-block:: json
 
-    {"op": "score", "id": 7, "frame": [[0.1, 0.2], [0.3, 0.4]]}
+    {"op": "score", "id": 7, "frame": [[0.1, 0.2], [0.3, 0.4]],
+     "client": "cam-front", "priority": "critical"}
     {"op": "ping",  "id": 8}
     {"op": "stats", "id": 9}
 
-Score responses mirror the engine's typed outcomes via a ``status``
-field: ``"ok"`` (with ``score`` / ``is_novel`` / ``margin`` /
-``batch_size`` / ``latency_ms``), ``"overloaded"`` (with ``queue_depth``
-/ ``capacity``), ``"deadline_exceeded"``, ``"failed"``, or ``"error"``
-for malformed requests.  The request's ``id`` is echoed back verbatim.
+``client`` (a quota identity) and ``priority`` (a
+:data:`~repro.serving.qos.PRIORITY_CLASSES` name) are optional and only
+meaningful against an engine configured with a QoS policy.  Score
+responses mirror the engine's typed outcomes via a ``status`` field:
+``"ok"`` (with ``score`` / ``is_novel`` / ``margin`` / ``batch_size`` /
+``latency_ms``), ``"rejected"`` (admission control; with ``reason``,
+``qos_class`` and optionally ``retry_after_ms``), ``"overloaded"`` (with
+``queue_depth`` / ``capacity``), ``"deadline_exceeded"``, ``"failed"``,
+or ``"error"`` for malformed requests.  The request's ``id`` is echoed
+back verbatim.
 
 Tracing: a score request may carry a ``"trace"`` object (the
 ``to_dict()`` form of a :class:`~repro.telemetry.TraceContext`) to parent
@@ -38,10 +44,26 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import SerializationError, ServingError, ShapeError
+from repro.exceptions import (
+    ConfigurationError,
+    RequestFailedError,
+    RequestRejectedError,
+    RequestTimedOutError,
+    SerializationError,
+    ServerOverloadedError,
+    ServingError,
+    ShapeError,
+)
 from repro.nn.backend.policy import as_tensor
 from repro.serving.engine import ServingEngine
-from repro.serving.results import DeadlineExceeded, Degraded, Failed, Overloaded, Scored
+from repro.serving.results import (
+    DeadlineExceeded,
+    Degraded,
+    Failed,
+    Overloaded,
+    Rejected,
+    Scored,
+)
 from repro.telemetry import TraceContext, get_telemetry
 from repro.utils.log import get_logger
 
@@ -186,6 +208,10 @@ class ServingServer:
             deadline_kwargs: Dict[str, Any] = {}
             if "deadline_ms" in request:
                 deadline_kwargs["deadline_ms"] = request["deadline_ms"]
+            if request.get("client") is not None:
+                deadline_kwargs["client_id"] = str(request["client"])
+            if request.get("priority") is not None:
+                deadline_kwargs["qos_class"] = str(request["priority"])
             if telem.enabled:
                 with telem.span("serving.frontend", trace=trace_arg) as span:
                     request_trace = span.context.child()
@@ -199,7 +225,7 @@ class ServingServer:
             pending = self.engine.submit(frame, **deadline_kwargs)
         except KeyError:
             return {"id": request_id, "status": "error", "error": "score requires 'frame'"}
-        except (ShapeError, TypeError, ValueError) as exc:
+        except (ConfigurationError, ShapeError, TypeError, ValueError) as exc:
             return {"id": request_id, "status": "error", "error": str(exc)}
         outcome = pending.result(self.request_timeout_s)
         return _serialize_outcome(request_id, outcome)
@@ -238,6 +264,18 @@ def _serialize_outcome(request_id, outcome) -> Dict[str, Any]:
         if outcome.model_version is not None:
             response["model_version"] = outcome.model_version
         return response
+    if isinstance(outcome, Rejected):
+        response = {
+            "id": request_id,
+            "status": outcome.status,
+            "reason": outcome.reason,
+            "qos_class": outcome.qos_class,
+        }
+        if outcome.client_id is not None:
+            response["client"] = outcome.client_id
+        if outcome.retry_after_ms is not None:
+            response["retry_after_ms"] = outcome.retry_after_ms
+        return response
     if isinstance(outcome, Overloaded):
         return {
             "id": request_id,
@@ -273,11 +311,22 @@ class ServingClient:
         self._next_id = 0
 
     def _call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        op = payload.get("op")
         with self._lock:
             self._next_id += 1
             payload = dict(payload, id=self._next_id)
-            send_message(self._sock, payload)
-            reply = recv_message(self._sock)
+            try:
+                send_message(self._sock, payload)
+                reply = recv_message(self._sock)
+            except ServingError:
+                raise
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+                # Raw socket/codec failures become one typed error, so
+                # callers need a single except clause for the transport.
+                raise ServingError(
+                    f"wire failure during {op!r} request: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
         if reply is None:
             raise ServingError("server closed the connection")
         if reply.get("id") != payload["id"]:
@@ -291,20 +340,82 @@ class ServingClient:
         frame: np.ndarray,
         deadline_ms: Optional[float] = None,
         trace: Optional[TraceContext] = None,
+        client_id: Optional[str] = None,
+        priority: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Score one ``(H, W)`` frame; returns the decoded response dict.
 
-        ``trace`` propagates a caller-side trace context over the wire, so
-        the server's spans parent under the client's; either way a scored
-        response carries the request's ``trace_id`` when the server has
-        telemetry active.
+        ``client_id`` names this caller for the server's per-client
+        quotas; ``priority`` picks a QoS class (one of
+        :data:`~repro.serving.qos.PRIORITY_CLASSES`) — both are ignored
+        by servers without a QoS policy.  ``trace`` propagates a
+        caller-side trace context over the wire, so the server's spans
+        parent under the client's; either way a scored response carries
+        the request's ``trace_id`` when the server has telemetry active.
         """
         payload: Dict[str, Any] = {"op": "score", "frame": np.asarray(frame).tolist()}
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
         if trace is not None:
             payload["trace"] = trace.to_dict()
+        if client_id is not None:
+            payload["client"] = client_id
+        if priority is not None:
+            payload["priority"] = priority
         return self._call(payload)
+
+    def score_strict(
+        self,
+        frame: np.ndarray,
+        deadline_ms: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
+        client_id: Optional[str] = None,
+        priority: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Like :meth:`score`, but non-answers raise typed exceptions.
+
+        Returns the response dict for ``"ok"`` and ``"degraded"``
+        statuses (both carry a usable ``is_novel`` verdict).  Otherwise
+        raises the matching :class:`~repro.exceptions.ServingError`
+        subclass: :class:`~repro.exceptions.RequestRejectedError`
+        (admission refusal, with ``reason`` / ``qos_class`` /
+        ``retry_after_ms`` attributes),
+        :class:`~repro.exceptions.ServerOverloadedError` (queue full),
+        :class:`~repro.exceptions.RequestTimedOutError` (deadline passed
+        while queued), or :class:`~repro.exceptions.RequestFailedError`
+        (backend failure or malformed request).
+        """
+        reply = self.score(
+            frame,
+            deadline_ms=deadline_ms,
+            trace=trace,
+            client_id=client_id,
+            priority=priority,
+        )
+        status = reply.get("status")
+        if status in ("ok", "degraded"):
+            return reply
+        if status == "rejected":
+            reason = reply.get("reason", "")
+            raise RequestRejectedError(
+                f"request rejected by admission control: {reason}",
+                reason=reason,
+                qos_class=reply.get("qos_class", ""),
+                retry_after_ms=reply.get("retry_after_ms"),
+            )
+        if status == "overloaded":
+            raise ServerOverloadedError(
+                f"server queue full ({reply.get('queue_depth')}/"
+                f"{reply.get('capacity')} queued)",
+                reason="queue_full",
+            )
+        if status == "deadline_exceeded":
+            raise RequestTimedOutError(
+                f"deadline passed after {reply.get('waited_ms', 0.0):.1f} ms queued"
+            )
+        raise RequestFailedError(
+            f"request failed with status {status!r}: {reply.get('error', '')}"
+        )
 
     def ping(self) -> bool:
         """Round-trip liveness check."""
@@ -320,6 +431,7 @@ class ServingClient:
         return self._call({"op": "stats"}).get("recovery")
 
     def close(self) -> None:
+        """Close the connection (idempotent; errors on teardown ignored)."""
         try:
             self._sock.close()
         except OSError:

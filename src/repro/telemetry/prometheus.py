@@ -14,7 +14,14 @@
 
 Dotted metric names are mapped to Prometheus identifiers by replacing
 dots with underscores and prefixing ``repro_`` (``serving.scored`` →
-``repro_serving_scored_total``).
+``repro_serving_scored_total``).  A few *labeled families*
+(:data:`LABELED_FAMILIES`) are special-cased: the registry has no label
+support, so the serving layer encodes one label dimension as the final
+dotted segment (``serving.queue_delay.critical``), and the exporter
+folds those back into proper Prometheus labels
+(``repro_serving_queue_delay{class="critical"}``) — one family, one
+``# TYPE`` line, one series per class/reason, the shape dashboards
+expect.
 
 :class:`MetricsServer` is a stdlib :class:`~http.server.ThreadingHTTPServer`
 serving ``GET /metrics`` (the rendered registry) and ``GET /healthz`` (a
@@ -29,7 +36,7 @@ import json
 import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import ConfigurationError
 from repro.telemetry.metrics import MetricsRegistry
@@ -39,10 +46,47 @@ SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
 
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: Dotted-name families whose final segment renders as a Prometheus label
+#: rather than being baked into the metric name.  The metrics registry is
+#: deliberately label-free; these are the dimensions the serving layer
+#: encodes as a name suffix (``serving.queue_delay.critical``).
+LABELED_FAMILIES = {
+    "serving.queue_delay": "class",
+    "serving.admission.admitted": "class",
+    "serving.admission.rejected": "reason",
+}
+
 
 def _prom_name(name: str) -> str:
     """Map a dotted registry name onto a Prometheus metric identifier."""
     return "repro_" + name.replace(".", "_")
+
+
+def _prom_series(name: str) -> Tuple[str, str]:
+    """``(metric_name, label)`` for a dotted registry name.
+
+    Names under a :data:`LABELED_FAMILIES` family return the family's
+    Prometheus name plus a ``key="value"`` label string; everything else
+    returns its own name and an empty label.
+    """
+    for family, label in LABELED_FAMILIES.items():
+        prefix = family + "."
+        if name.startswith(prefix):
+            suffix = name[len(prefix):]
+            if suffix and "." not in suffix:
+                return _prom_name(family), f'{label}="{suffix}"'
+    return _prom_name(name), ""
+
+
+def _labels(*parts: str) -> str:
+    """Join label fragments into a ``{...}`` block (empty when no labels)."""
+    joined = ",".join(part for part in parts if part)
+    return f"{{{joined}}}" if joined else ""
+
+
+def _label_pair(key: str, value: Any) -> str:
+    """One ``key="value"`` label fragment."""
+    return f'{key}="{value}"'
 
 
 def _prom_value(value: float) -> str:
@@ -73,72 +117,89 @@ def render_prometheus(source: Union[MetricsRegistry, Dict[str, Any]]) -> str:
     return "\n".join(lines) + "\n" if lines else ""
 
 
+def _type_line(lines: List[str], seen: set, series: str, kind: str) -> None:
+    """Emit one ``# TYPE`` line per family (labeled series share theirs)."""
+    if series not in seen:
+        seen.add(series)
+        lines.append(f"# TYPE {series} {kind}")
+
+
 def _render_registry(registry: MetricsRegistry) -> List[str]:
     lines: List[str] = []
+    seen: set = set()
     for name, counter in sorted(registry._counters.items()):
-        base = _prom_name(name)
-        lines.append(f"# TYPE {base}_total counter")
-        lines.append(f"{base}_total {_prom_value(counter.value)}")
+        base, label = _prom_series(name)
+        _type_line(lines, seen, f"{base}_total", "counter")
+        lines.append(f"{base}_total{_labels(label)} {_prom_value(counter.value)}")
     for name, gauge in sorted(registry._gauges.items()):
         if gauge.value is None:
             continue
-        base = _prom_name(name)
-        lines.append(f"# TYPE {base} gauge")
-        lines.append(f"{base} {_prom_value(gauge.value)}")
+        base, label = _prom_series(name)
+        _type_line(lines, seen, base, "gauge")
+        lines.append(f"{base}{_labels(label)} {_prom_value(gauge.value)}")
     for name, hist in sorted(registry._histograms.items()):
-        base = _prom_name(name)
-        lines.append(f"# TYPE {base} histogram")
+        base, label = _prom_series(name)
+        _type_line(lines, seen, base, "histogram")
         cumulative = 0
         for bound, bucket_count in zip(hist.buckets, hist.bucket_counts):
             cumulative += bucket_count
-            lines.append(f'{base}_bucket{{le="{_prom_value(bound)}"}} {cumulative}')
+            lines.append(
+                f"{base}_bucket"
+                f'{_labels(label, _label_pair("le", _prom_value(bound)))}'
+                f" {cumulative}"
+            )
         cumulative += hist.bucket_counts[-1]
-        lines.append(f'{base}_bucket{{le="+Inf"}} {cumulative}')
-        lines.append(f"{base}_sum {_prom_value(hist.total)}")
-        lines.append(f"{base}_count {hist.count}")
+        lines.append(
+            f'{base}_bucket{_labels(label, _label_pair("le", "+Inf"))} {cumulative}'
+        )
+        lines.append(f"{base}_sum{_labels(label)} {_prom_value(hist.total)}")
+        lines.append(f"{base}_count{_labels(label)} {hist.count}")
     for name, window in sorted(registry._windows.items()):
-        base = _prom_name(name)
-        lines.append(f"# TYPE {base} summary")
+        base, label = _prom_series(name)
+        _type_line(lines, seen, base, "summary")
         for q in SUMMARY_QUANTILES:
             lines.append(
-                f'{base}{{quantile="{q}"}} {_prom_value(window.quantile(q * 100.0))}'
+                f'{base}{_labels(label, _label_pair("quantile", q))}'
+                f" {_prom_value(window.quantile(q * 100.0))}"
             )
         values = list(window.window)
-        lines.append(f"{base}_sum {_prom_value(float(sum(values)))}")
-        lines.append(f"{base}_count {window.observed}")
-        lines.append(f"# TYPE {base}_window_size gauge")
-        lines.append(f"{base}_window_size {len(values)}")
+        lines.append(f"{base}_sum{_labels(label)} {_prom_value(float(sum(values)))}")
+        lines.append(f"{base}_count{_labels(label)} {window.observed}")
+        _type_line(lines, seen, f"{base}_window_size", "gauge")
+        lines.append(f"{base}_window_size{_labels(label)} {len(values)}")
     return lines
 
 
 def _render_snapshot(snapshot: Dict[str, Any]) -> List[str]:
     lines: List[str] = []
+    seen: set = set()
     for name, value in sorted(snapshot.get("counters", {}).items()):
-        base = _prom_name(name)
-        lines.append(f"# TYPE {base}_total counter")
-        lines.append(f"{base}_total {_prom_value(value)}")
+        base, label = _prom_series(name)
+        _type_line(lines, seen, f"{base}_total", "counter")
+        lines.append(f"{base}_total{_labels(label)} {_prom_value(value)}")
     for name, value in sorted(snapshot.get("gauges", {}).items()):
         if value is None:
             continue
-        base = _prom_name(name)
-        lines.append(f"# TYPE {base} gauge")
-        lines.append(f"{base} {_prom_value(value)}")
+        base, label = _prom_series(name)
+        _type_line(lines, seen, base, "gauge")
+        lines.append(f"{base}{_labels(label)} {_prom_value(value)}")
     # Snapshots keep percentile rollups, not raw buckets, so both session
     # histograms and windows degrade to summaries here.
     for kind in ("histograms", "windows"):
         for name, summary in sorted(snapshot.get(kind, {}).items()):
-            base = _prom_name(name)
-            lines.append(f"# TYPE {base} summary")
+            base, label = _prom_series(name)
+            _type_line(lines, seen, base, "summary")
             count = summary.get("count", 0)
             if count:
                 for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
                     lines.append(
-                        f'{base}{{quantile="{q}"}} {_prom_value(summary[key])}'
+                        f'{base}{_labels(label, _label_pair("quantile", q))}'
+                        f" {_prom_value(summary[key])}"
                     )
                 lines.append(
-                    f"{base}_sum {_prom_value(summary['mean'] * count)}"
+                    f"{base}_sum{_labels(label)} {_prom_value(summary['mean'] * count)}"
                 )
-            lines.append(f"{base}_count {summary.get('observed', count)}")
+            lines.append(f"{base}_count{_labels(label)} {summary.get('observed', count)}")
     return lines
 
 

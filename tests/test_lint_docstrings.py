@@ -1,0 +1,79 @@
+"""Lint-style test: the serving package documents its public surface.
+
+``src/repro/serving/`` is the operator-facing subsystem — its classes and
+functions are what ``docs/serving.md`` / ``docs/admission.md`` describe
+and what third parties build clients against.  This test walks each
+module's AST and asserts every *public* definition (module, class,
+function, method — anything not ``_``-prefixed) opens with a docstring,
+so new surface cannot ship undocumented.
+
+Dunder methods are exempt except the handful with caller-visible
+semantics worth a sentence (``__len__`` on the batchers, for example,
+means "queue depth", which is not guessable).
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+LINTED_PACKAGES = ("serving",)
+
+#: Dunders whose behavior is idiomatic enough that a docstring adds
+#: nothing: constructors are documented by their class docstring's
+#: Parameters section, context-manager plumbing delegates to close().
+EXEMPT_DUNDERS = {
+    "__init__",
+    "__enter__",
+    "__exit__",
+    "__repr__",
+    "__post_init__",
+    "__iter__",
+    "__next__",
+}
+
+
+def _is_public(name: str) -> bool:
+    if name.startswith("__") and name.endswith("__"):
+        return name not in EXEMPT_DUNDERS
+    return not name.startswith("_")
+
+
+def _missing_docstrings(tree: ast.Module):
+    """Yield ``(lineno, qualified name)`` for every undocumented public def."""
+    if ast.get_docstring(tree) is None:
+        yield 1, "<module>"
+
+    def _walk(node, prefix):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                qualified = f"{prefix}{child.name}"
+                if _is_public(child.name) and ast.get_docstring(child) is None:
+                    yield child.lineno, qualified
+                # Recurse into classes only: methods are public surface,
+                # but a closure nested inside a function is not.
+                if isinstance(child, ast.ClassDef) and _is_public(child.name):
+                    yield from _walk(child, f"{qualified}.")
+
+    yield from _walk(tree, "")
+
+
+def _linted_files():
+    files = []
+    for package in LINTED_PACKAGES:
+        files.extend(sorted((SRC / package).rglob("*.py")))
+    assert files, "linted packages not found — did the layout move?"
+    return files
+
+
+@pytest.mark.parametrize("path", _linted_files(), ids=lambda p: f"{p.parent.name}/{p.name}")
+def test_public_serving_surface_is_documented(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offenders = [
+        f"line {lineno}: {name}" for lineno, name in _missing_docstrings(tree)
+    ]
+    assert not offenders, (
+        f"{path.relative_to(SRC.parent.parent)} has undocumented public "
+        f"definitions:\n  " + "\n  ".join(offenders)
+    )

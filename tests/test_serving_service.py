@@ -1,14 +1,26 @@
 """Tests for the socket frontend: wire protocol, server, client."""
 
 import socket
+import struct
+import threading
 
 import numpy as np
 import pytest
 
-from repro.exceptions import ServingError
+from repro.exceptions import (
+    RequestFailedError,
+    RequestRejectedError,
+    RequestTimedOutError,
+    ServerOverloadedError,
+    ServingError,
+)
 from repro.serving import (
+    BatchVerdicts,
+    ClassPolicy,
     EngineConfig,
     PipelineScorer,
+    QosPolicy,
+    RateLimit,
     ServingClient,
     ServingEngine,
     ServingServer,
@@ -131,3 +143,189 @@ class TestServer:
             assert outcome.status == "ok"
         finally:
             engine.close()
+
+
+class _TinyScorer:
+    replicas = 1
+    image_shape = (4, 4)
+
+    def score_batch(self, frames):
+        n = len(frames)
+        return BatchVerdicts(
+            scores=np.zeros(n), is_novel=np.zeros(n, dtype=bool), margins=np.zeros(n)
+        )
+
+
+@pytest.fixture
+def qos_served():
+    """A server whose engine meters the client id ``greedy`` at 1 burst."""
+    policy = QosPolicy(
+        classes={
+            "critical": ClassPolicy(weight=16, sheddable=False),
+            "interactive": ClassPolicy(weight=4),
+            "batch": ClassPolicy(weight=1),
+        },
+        client_rate_limits={"greedy": RateLimit(rate_per_s=0.5, burst=1)},
+    )
+    engine = ServingEngine(_TinyScorer(), EngineConfig(qos=policy))
+    with ServingServer(engine) as server:
+        with ServingClient(*server.address) as client:
+            yield client
+    engine.close()
+
+
+class TestQosOverTheWire:
+    def test_priority_and_client_round_trip(self, qos_served):
+        reply = qos_served.score(
+            np.zeros((4, 4)), client_id="cam-1", priority="critical"
+        )
+        assert reply["status"] == "ok"
+
+    def test_rejection_response_carries_reason(self, qos_served):
+        assert qos_served.score(np.zeros((4, 4)), client_id="greedy")["status"] == "ok"
+        reply = qos_served.score(np.zeros((4, 4)), client_id="greedy")
+        assert reply["status"] == "rejected"
+        assert reply["reason"] == "rate_limited"
+        assert reply["qos_class"] == "interactive"
+        assert reply["client"] == "greedy"
+        assert reply["retry_after_ms"] > 0
+        # The connection survives a rejection.
+        assert qos_served.ping() is True
+
+    def test_unknown_priority_is_an_error_not_a_crash(self, qos_served):
+        reply = qos_served.score(np.zeros((4, 4)), priority="bulk")
+        assert reply["status"] == "error"
+        assert "unknown priority class" in reply["error"]
+        assert qos_served.ping() is True
+
+    def test_score_strict_raises_typed_rejection(self, qos_served):
+        qos_served.score_strict(np.zeros((4, 4)), client_id="greedy")
+        with pytest.raises(RequestRejectedError) as excinfo:
+            qos_served.score_strict(np.zeros((4, 4)), client_id="greedy")
+        assert excinfo.value.reason == "rate_limited"
+        assert excinfo.value.qos_class == "interactive"
+        assert excinfo.value.retry_after_ms > 0
+
+    def test_score_strict_returns_ok_reply(self, qos_served):
+        reply = qos_served.score_strict(np.zeros((4, 4)), priority="critical")
+        assert reply["status"] == "ok"
+
+
+def _canned_server(frames):
+    """Accept one connection and answer each request from ``frames``.
+
+    Each entry is either a response dict (the request id is echoed into
+    it) or raw bytes written verbatim — lets the tests script wire-level
+    misbehavior the real server never produces.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+
+    def _serve():
+        conn, _ = listener.accept()
+        with conn:
+            for frame in frames:
+                request = recv_message(conn)
+                if request is None:
+                    return
+                if isinstance(frame, dict):
+                    send_message(conn, dict(frame, id=request["id"]))
+                else:
+                    conn.sendall(frame)
+        listener.close()
+
+    threading.Thread(target=_serve, daemon=True).start()
+    return listener.getsockname()
+
+
+class TestClientErrorMapping:
+    """score_strict maps every non-answer status to one typed exception."""
+
+    def _strict(self, reply):
+        host, port = _canned_server([reply])
+        with ServingClient(host, port) as client:
+            return client.score_strict(np.zeros((2, 2)))
+
+    def test_overloaded_raises_server_overloaded(self):
+        with pytest.raises(ServerOverloadedError) as excinfo:
+            self._strict({"status": "overloaded", "queue_depth": 64, "capacity": 64})
+        assert excinfo.value.reason == "queue_full"
+        assert isinstance(excinfo.value, RequestRejectedError)  # one except catches both
+
+    def test_deadline_exceeded_raises_timeout(self):
+        with pytest.raises(RequestTimedOutError, match="deadline"):
+            self._strict({"status": "deadline_exceeded", "waited_ms": 12.5})
+
+    def test_failed_raises_request_failed(self):
+        with pytest.raises(RequestFailedError, match="backend exploded"):
+            self._strict({"status": "failed", "error": "backend exploded"})
+
+    def test_error_status_raises_request_failed(self):
+        with pytest.raises(RequestFailedError, match="frame"):
+            self._strict({"status": "error", "error": "score requires 'frame'"})
+
+    def test_degraded_is_an_answer_not_an_error(self):
+        reply = self._strict(
+            {"status": "degraded", "reason": "breaker_open",
+             "is_novel": True, "policy": "novel"}
+        )
+        assert reply["status"] == "degraded"
+        assert reply["is_novel"] is True
+
+    def test_all_typed_errors_are_serving_errors(self):
+        for exc_type in (RequestRejectedError, ServerOverloadedError,
+                         RequestTimedOutError, RequestFailedError):
+            assert issubclass(exc_type, ServingError)
+
+
+class TestClientWireFailures:
+    """Raw transport failures surface as one typed ServingError."""
+
+    def test_malformed_json_reply_is_wrapped(self):
+        body = b"not json at all"
+        host, port = _canned_server([struct.pack(">I", len(body)) + body])
+        with ServingClient(host, port) as client:
+            with pytest.raises(ServingError, match="wire failure during 'score'"):
+                client.score(np.zeros((2, 2)))
+
+    def test_invalid_utf8_reply_is_wrapped(self):
+        body = b'\xff\xfe{"status": "ok"}'
+        host, port = _canned_server([struct.pack(">I", len(body)) + body])
+        with ServingClient(host, port) as client:
+            with pytest.raises(ServingError, match="wire failure"):
+                client.score(np.zeros((2, 2)))
+
+    def test_closed_socket_is_wrapped_as_serving_error(self):
+        host, port = _canned_server([{"status": "ok", "op": "pong"}])
+        client = ServingClient(host, port)
+        assert client.ping()
+        client._sock.close()
+        with pytest.raises(ServingError):
+            client.score(np.zeros((2, 2)))
+
+    def test_server_hangup_mid_conversation(self):
+        host, port = _canned_server([{"status": "ok", "op": "pong"}])
+        with ServingClient(host, port) as client:
+            assert client.ping()
+            # The canned server is done after one reply; the next request
+            # sees EOF, which must not escape as a raw OSError.
+            with pytest.raises(ServingError):
+                client.score(np.zeros((2, 2)))
+
+    def test_mismatched_response_id_rejected(self):
+        # A raw server that replies with the wrong id.
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(1)
+
+        def _serve():
+            conn, _ = sock.accept()
+            with conn:
+                recv_message(conn)
+                send_message(conn, {"id": 999, "status": "ok"})
+
+        threading.Thread(target=_serve, daemon=True).start()
+        with ServingClient(*sock.getsockname()) as client:
+            with pytest.raises(ServingError, match="does not match"):
+                client.score(np.zeros((2, 2)))
